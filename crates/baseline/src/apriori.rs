@@ -1,0 +1,171 @@
+//! The Apriori frequent-item-set algorithm (Agrawal et al., 1993).
+//!
+//! Level-wise candidate generation: frequent `k`-sets are joined to form
+//! `k+1`-candidates, pruned by the downward-closure property, and counted
+//! with one pass over the transactions per level. The exhaustive
+//! candidate generation is exactly the cost the paper's §3.3 identifies
+//! as unscalable for configurations.
+
+use std::collections::HashMap;
+
+use crate::FrequentSet;
+
+/// Mines all item sets appearing in at least `min_support` transactions.
+///
+/// `max_len` bounds the size of the mined sets (frequent-set counts grow
+/// combinatorially; callers typically need pairs or triples).
+pub fn mine(transactions: &[Vec<u32>], min_support: usize, max_len: usize) -> Vec<FrequentSet> {
+    // Normalize transactions: sorted, deduplicated.
+    let normalized: Vec<Vec<u32>> = transactions
+        .iter()
+        .map(|t| {
+            let mut t = t.clone();
+            t.sort_unstable();
+            t.dedup();
+            t
+        })
+        .collect();
+
+    let mut out: Vec<FrequentSet> = Vec::new();
+
+    // Level 1.
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for t in &normalized {
+        for &item in t {
+            *counts.entry(item).or_insert(0) += 1;
+        }
+    }
+    let mut current: Vec<Vec<u32>> = counts
+        .iter()
+        .filter(|&(_, &c)| c >= min_support)
+        .map(|(&item, _)| vec![item])
+        .collect();
+    current.sort();
+    for items in &current {
+        out.push(FrequentSet {
+            items: items.clone(),
+            support: counts[&items[0]],
+        });
+    }
+
+    let mut k = 1;
+    while !current.is_empty() && k < max_len {
+        // Join step: two frequent k-sets sharing a (k-1)-prefix.
+        let mut candidates: Vec<Vec<u32>> = Vec::new();
+        for i in 0..current.len() {
+            for j in (i + 1)..current.len() {
+                let (a, b) = (&current[i], &current[j]);
+                if a[..k - 1] != b[..k - 1] {
+                    break; // Sorted: no further shared prefixes.
+                }
+                let mut candidate = a.clone();
+                candidate.push(b[k - 1]);
+                // Prune: every (k)-subset must be frequent.
+                let all_frequent = (0..candidate.len()).all(|drop| {
+                    let mut subset = candidate.clone();
+                    subset.remove(drop);
+                    current.binary_search(&subset).is_ok()
+                });
+                if all_frequent {
+                    candidates.push(candidate);
+                }
+            }
+        }
+        // Count step.
+        let mut next: Vec<(Vec<u32>, usize)> = Vec::new();
+        for candidate in candidates {
+            let support = normalized
+                .iter()
+                .filter(|t| is_subset(&candidate, t))
+                .count();
+            if support >= min_support {
+                next.push((candidate, support));
+            }
+        }
+        next.sort();
+        current = next.iter().map(|(items, _)| items.clone()).collect();
+        for (items, support) in next {
+            out.push(FrequentSet { items, support });
+        }
+        k += 1;
+    }
+    out.sort_by(|a, b| a.items.cmp(&b.items));
+    out
+}
+
+/// Returns `true` when sorted `needle` is a subset of sorted `haystack`.
+fn is_subset(needle: &[u32], haystack: &[u32]) -> bool {
+    let mut it = haystack.iter();
+    'outer: for &n in needle {
+        for &h in it.by_ref() {
+            if h == n {
+                continue 'outer;
+            }
+            if h > n {
+                return false;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(items: &[u32]) -> Vec<u32> {
+        items.to_vec()
+    }
+
+    #[test]
+    fn subset_check() {
+        assert!(is_subset(&[1, 3], &[1, 2, 3]));
+        assert!(!is_subset(&[1, 4], &[1, 2, 3]));
+        assert!(is_subset(&[], &[1]));
+        assert!(!is_subset(&[1], &[]));
+    }
+
+    #[test]
+    fn classic_market_basket() {
+        // Transactions over items {1,2,3,5}.
+        let txs = vec![t(&[1, 3, 4]), t(&[2, 3, 5]), t(&[1, 2, 3, 5]), t(&[2, 5])];
+        let sets = mine(&txs, 2, 3);
+        let find = |items: &[u32]| sets.iter().find(|s| s.items == items).map(|s| s.support);
+        assert_eq!(find(&[1]), Some(2));
+        assert_eq!(find(&[2]), Some(3));
+        assert_eq!(find(&[3]), Some(3));
+        assert_eq!(find(&[5]), Some(3));
+        assert_eq!(find(&[2, 5]), Some(3));
+        assert_eq!(find(&[2, 3, 5]), Some(2));
+        assert_eq!(find(&[4]), None, "support 1 < 2");
+        assert_eq!(find(&[1, 5]), None, "support 1");
+    }
+
+    #[test]
+    fn max_len_bounds_output() {
+        let txs = vec![t(&[1, 2, 3]), t(&[1, 2, 3]), t(&[1, 2, 3])];
+        let sets = mine(&txs, 2, 2);
+        assert!(sets.iter().all(|s| s.items.len() <= 2));
+    }
+
+    #[test]
+    fn duplicate_items_count_once() {
+        let txs = vec![t(&[7, 7, 7]), t(&[7])];
+        let sets = mine(&txs, 2, 2);
+        assert_eq!(
+            sets,
+            vec![FrequentSet {
+                items: vec![7],
+                support: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(mine(&[], 1, 3).is_empty());
+        let txs = vec![t(&[])];
+        assert!(mine(&txs, 1, 3).is_empty());
+    }
+}

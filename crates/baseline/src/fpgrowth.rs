@@ -1,0 +1,224 @@
+//! The FP-Growth frequent-item-set algorithm (Han et al., 2000).
+//!
+//! Transactions are compressed into a frequency-ordered prefix tree (the
+//! FP-tree); frequent sets are mined recursively from conditional trees
+//! without generating candidates. Output is identical to
+//! [`crate::apriori::mine`] (tested against it) — the difference is the
+//! algorithmic strategy the paper contrasts in §3.3.
+
+use std::collections::HashMap;
+
+use crate::FrequentSet;
+
+#[derive(Debug)]
+struct FpNode {
+    item: u32,
+    count: usize,
+    parent: usize,
+    children: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct FpTree {
+    nodes: Vec<FpNode>,
+    /// item → node indices holding that item.
+    header: HashMap<u32, Vec<usize>>,
+}
+
+impl FpTree {
+    fn new() -> Self {
+        FpTree {
+            nodes: vec![FpNode {
+                item: u32::MAX,
+                count: 0,
+                parent: usize::MAX,
+                children: Vec::new(),
+            }],
+            header: HashMap::new(),
+        }
+    }
+
+    fn insert(&mut self, items: &[u32], count: usize) {
+        let mut node = 0usize;
+        for &item in items {
+            let child = self.nodes[node]
+                .children
+                .iter()
+                .copied()
+                .find(|&c| self.nodes[c].item == item);
+            node = match child {
+                Some(c) => {
+                    self.nodes[c].count += count;
+                    c
+                }
+                None => {
+                    let idx = self.nodes.len();
+                    self.nodes.push(FpNode {
+                        item,
+                        count,
+                        parent: node,
+                        children: Vec::new(),
+                    });
+                    self.nodes[node].children.push(idx);
+                    self.header.entry(item).or_default().push(idx);
+                    idx
+                }
+            };
+        }
+    }
+}
+
+/// Mines all item sets appearing in at least `min_support` transactions.
+///
+/// `max_len` bounds the size of mined sets.
+pub fn mine(transactions: &[Vec<u32>], min_support: usize, max_len: usize) -> Vec<FrequentSet> {
+    // Weighted "transactions" support the recursive conditional mining.
+    let weighted: Vec<(Vec<u32>, usize)> = transactions
+        .iter()
+        .map(|t| {
+            let mut t = t.clone();
+            t.sort_unstable();
+            t.dedup();
+            (t, 1)
+        })
+        .collect();
+    let mut out = Vec::new();
+    mine_weighted(&weighted, min_support, max_len, &mut Vec::new(), &mut out);
+    out.sort_by(|a, b| a.items.cmp(&b.items));
+    out
+}
+
+fn mine_weighted(
+    transactions: &[(Vec<u32>, usize)],
+    min_support: usize,
+    max_len: usize,
+    suffix: &mut Vec<u32>,
+    out: &mut Vec<FrequentSet>,
+) {
+    if suffix.len() >= max_len {
+        return;
+    }
+    // Count item frequencies.
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for (items, weight) in transactions {
+        for &item in items {
+            *counts.entry(item).or_insert(0) += weight;
+        }
+    }
+    let mut frequent: Vec<(u32, usize)> = counts
+        .into_iter()
+        .filter(|&(_, c)| c >= min_support)
+        .collect();
+    // Order by descending frequency (tie-break by item id) — the classic
+    // FP ordering that maximizes sharing.
+    frequent.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let order: HashMap<u32, usize> = frequent
+        .iter()
+        .enumerate()
+        .map(|(i, &(item, _))| (item, i))
+        .collect();
+
+    // Build the FP-tree over frequency-ordered, filtered transactions.
+    let mut tree = FpTree::new();
+    for (items, weight) in transactions {
+        let mut filtered: Vec<u32> = items
+            .iter()
+            .copied()
+            .filter(|i| order.contains_key(i))
+            .collect();
+        filtered.sort_by_key(|i| order[i]);
+        if !filtered.is_empty() {
+            tree.insert(&filtered, *weight);
+        }
+    }
+
+    // Mine each frequent item's conditional pattern base, least frequent
+    // first (bottom of the tree).
+    for &(item, support) in frequent.iter().rev() {
+        let mut items = suffix.clone();
+        items.push(item);
+        items.sort_unstable();
+        out.push(FrequentSet {
+            items: items.clone(),
+            support,
+        });
+
+        // Conditional pattern base: prefix paths above each `item` node.
+        let mut conditional: Vec<(Vec<u32>, usize)> = Vec::new();
+        if let Some(nodes) = tree.header.get(&item) {
+            for &n in nodes {
+                let count = tree.nodes[n].count;
+                let mut path = Vec::new();
+                let mut p = tree.nodes[n].parent;
+                while p != usize::MAX && tree.nodes[p].item != u32::MAX {
+                    path.push(tree.nodes[p].item);
+                    p = tree.nodes[p].parent;
+                }
+                if !path.is_empty() {
+                    path.reverse();
+                    conditional.push((path, count));
+                }
+            }
+        }
+        if !conditional.is_empty() {
+            suffix.push(item);
+            mine_weighted(&conditional, min_support, max_len, suffix, out);
+            suffix.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(items: &[u32]) -> Vec<u32> {
+        items.to_vec()
+    }
+
+    #[test]
+    fn matches_apriori_on_classic_example() {
+        let txs = vec![t(&[1, 3, 4]), t(&[2, 3, 5]), t(&[1, 2, 3, 5]), t(&[2, 5])];
+        let mut fp = mine(&txs, 2, 3);
+        let mut ap = crate::apriori::mine(&txs, 2, 3);
+        fp.sort_by(|a, b| a.items.cmp(&b.items));
+        ap.sort_by(|a, b| a.items.cmp(&b.items));
+        assert_eq!(fp, ap);
+    }
+
+    #[test]
+    fn matches_apriori_on_random_data() {
+        // Deterministic pseudo-random transactions.
+        let mut state = 0x12345678u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let txs: Vec<Vec<u32>> = (0..40)
+            .map(|_| (0..12).filter(|_| rand() % 3 == 0).collect())
+            .collect();
+        for min_support in [2, 5, 10] {
+            let mut fp = mine(&txs, min_support, 3);
+            let mut ap = crate::apriori::mine(&txs, min_support, 3);
+            fp.sort_by(|a, b| a.items.cmp(&b.items));
+            ap.sort_by(|a, b| a.items.cmp(&b.items));
+            assert_eq!(fp, ap, "min_support={min_support}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(mine(&[], 1, 3).is_empty());
+    }
+
+    #[test]
+    fn single_transaction() {
+        let sets = mine(&[t(&[1, 2])], 1, 2);
+        let items: Vec<&[u32]> = sets.iter().map(|s| s.items.as_slice()).collect();
+        assert!(items.contains(&&[1u32][..]));
+        assert!(items.contains(&&[2u32][..]));
+        assert!(items.contains(&&[1u32, 2][..]));
+    }
+}

@@ -1,0 +1,150 @@
+//! The key–value configuration model of prior work (§6).
+//!
+//! ConfigV, ConfigC, Encore, and Minerals model a configuration as a set
+//! of *unique* keys with values (`max_connections → 64`). The conversion
+//! below maps Concord's IR into that model: the pattern becomes the key
+//! and the first parameter the value — and because keys must be unique,
+//! repeated elements (multiple interfaces, prefix-list entries, VLAN
+//! blocks) collapse to a single survivor. [`lost_fraction`] quantifies
+//! how much of a dataset the model throws away, which is the coverage gap
+//! Concord's richer model closes.
+
+use std::collections::HashMap;
+
+use concord_core::Dataset;
+
+/// A configuration as the prior-work model sees it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KvConfig {
+    /// Unique keys with their (last-writer-wins) values.
+    pub pairs: HashMap<String, String>,
+}
+
+/// Converts a dataset into key–value configurations.
+pub fn from_dataset(dataset: &Dataset) -> Vec<KvConfig> {
+    dataset
+        .configs
+        .iter()
+        .map(|config| {
+            let mut pairs = HashMap::new();
+            for line in &config.lines {
+                if line.is_meta {
+                    continue;
+                }
+                let key = dataset.table.text(line.pattern).to_string();
+                let value = line
+                    .params
+                    .first()
+                    .map(|p| p.value.render())
+                    .unwrap_or_default();
+                pairs.insert(key, value);
+            }
+            KvConfig { pairs }
+        })
+        .collect()
+}
+
+/// Returns the fraction of configuration lines the key–value model loses
+/// to key collisions (repeated patterns) across the dataset.
+pub fn lost_fraction(dataset: &Dataset) -> f64 {
+    let mut total = 0usize;
+    let mut kept = 0usize;
+    for config in &dataset.configs {
+        let mut seen = std::collections::HashSet::new();
+        for line in &config.lines {
+            if line.is_meta {
+                continue;
+            }
+            total += 1;
+            if seen.insert(line.pattern) {
+                kept += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        1.0 - kept as f64 / total as f64
+    }
+}
+
+/// Builds item-set transactions (for [`crate::apriori`] /
+/// [`crate::fpgrowth`]) from the key–value model: each `key=value` pair
+/// becomes an interned item.
+pub fn transactions(configs: &[KvConfig]) -> (Vec<Vec<u32>>, Vec<String>) {
+    let mut ids: HashMap<String, u32> = HashMap::new();
+    let mut names: Vec<String> = Vec::new();
+    let mut txs = Vec::with_capacity(configs.len());
+    for config in configs {
+        let mut tx: Vec<u32> = config
+            .pairs
+            .iter()
+            .map(|(k, v)| {
+                let item = format!("{k}={v}");
+                *ids.entry(item.clone()).or_insert_with(|| {
+                    names.push(item);
+                    (names.len() - 1) as u32
+                })
+            })
+            .collect();
+        tx.sort_unstable();
+        txs.push(tx);
+    }
+    (txs, names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(texts: &[&str]) -> Dataset {
+        let configs: Vec<(String, String)> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (format!("dev{i}"), t.to_string()))
+            .collect();
+        Dataset::from_named_texts(&configs, &[]).unwrap()
+    }
+
+    #[test]
+    fn repeated_patterns_collapse() {
+        // Three interfaces -> one key in the KV model.
+        let ds = dataset(&["vlan 1\nvlan 2\nvlan 3\nhostname X1\n"]);
+        let kv = from_dataset(&ds);
+        assert_eq!(kv[0].pairs.len(), 2);
+        let lost = lost_fraction(&ds);
+        assert!((lost - 0.5).abs() < 1e-9, "2 of 4 lines lost, got {lost}");
+    }
+
+    #[test]
+    fn unique_patterns_survive() {
+        let ds = dataset(&["hostname X1\nrouter bgp 65000\n"]);
+        assert_eq!(lost_fraction(&ds), 0.0);
+        let kv = from_dataset(&ds);
+        assert_eq!(kv[0].pairs.len(), 2);
+    }
+
+    #[test]
+    fn transactions_intern_consistently() {
+        let ds = dataset(&["hostname X1\n", "hostname X1\n"]);
+        let kv = from_dataset(&ds);
+        let (txs, names) = transactions(&kv);
+        assert_eq!(txs[0], txs[1]);
+        assert_eq!(names.len(), 1);
+        assert!(names[0].contains("hostname"));
+    }
+
+    #[test]
+    fn mining_kv_rules_works_end_to_end() {
+        // `router bgp 65000` implies `vlan 5` across configs.
+        let ds = dataset(&[
+            "router bgp 65000\nvlan 5\n",
+            "router bgp 65000\nvlan 5\n",
+            "router bgp 65000\nvlan 5\n",
+        ]);
+        let (txs, _names) = transactions(&from_dataset(&ds));
+        let sets = crate::apriori::mine(&txs, 3, 2);
+        let rules = crate::generate_rules(&sets, 0.9);
+        assert!(!rules.is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+#![warn(missing_docs)]
+
+//! Baseline miners Concord is compared against.
+//!
+//! Three families of baselines from the paper:
+//!
+//! - [`kv`]: the *key–value* configuration model of prior work
+//!   (ConfigV/ConfigC/Encore/Minerals, §6) — configurations as sets of
+//!   unique keys with values. The conversion from raw text shows what
+//!   that model loses: repeated elements collapse and relational
+//!   structure disappears.
+//! - [`apriori`] and [`fpgrowth`]: classic frequent-item-set miners
+//!   (§3.3) used by association-rule learners. Both produce identical
+//!   frequent sets; FP-Growth avoids candidate generation.
+//! - [`naive`]: the brute-force relational learner — enumerate every
+//!   candidate `(pattern, param, transform) × relation × (pattern, param,
+//!   transform)` triple and verify each against every configuration by
+//!   scanning. This is the "optimizations disabled" configuration of
+//!   §5.2, which fails to terminate at production scale.
+
+pub mod apriori;
+pub mod fpgrowth;
+pub mod kv;
+pub mod naive;
+
+/// An item set with its support count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrequentSet {
+    /// The items, sorted ascending.
+    pub items: Vec<u32>,
+    /// Number of transactions containing all items.
+    pub support: usize,
+}
+
+/// An association rule `antecedent → consequent`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Items that must be present.
+    pub antecedent: Vec<u32>,
+    /// The implied item.
+    pub consequent: u32,
+    /// Transactions containing antecedent ∪ {consequent}.
+    pub support: usize,
+    /// `support / support(antecedent)`.
+    pub confidence: f64,
+}
+
+/// Generates rules with single-item consequents from frequent sets.
+///
+/// For every frequent set `S` and every `c ∈ S`, the rule
+/// `S \ {c} → c` is emitted when its confidence clears `min_confidence`.
+pub fn generate_rules(sets: &[FrequentSet], min_confidence: f64) -> Vec<Rule> {
+    use std::collections::HashMap;
+    let support_of: HashMap<&[u32], usize> = sets
+        .iter()
+        .map(|s| (s.items.as_slice(), s.support))
+        .collect();
+    let mut rules = Vec::new();
+    for set in sets {
+        if set.items.len() < 2 {
+            continue;
+        }
+        for (i, &consequent) in set.items.iter().enumerate() {
+            let mut antecedent = set.items.clone();
+            antecedent.remove(i);
+            let Some(&ante_support) = support_of.get(antecedent.as_slice()) else {
+                continue;
+            };
+            let confidence = set.support as f64 / ante_support as f64;
+            if confidence >= min_confidence {
+                rules.push(Rule {
+                    antecedent,
+                    consequent,
+                    support: set.support,
+                    confidence,
+                });
+            }
+        }
+    }
+    rules.sort_by(|a, b| (&a.antecedent, a.consequent).cmp(&(&b.antecedent, b.consequent)));
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_generation_confidence() {
+        // {1} in 4 transactions, {1,2} in 3: confidence(1->2) = 0.75.
+        let sets = vec![
+            FrequentSet {
+                items: vec![1],
+                support: 4,
+            },
+            FrequentSet {
+                items: vec![2],
+                support: 3,
+            },
+            FrequentSet {
+                items: vec![1, 2],
+                support: 3,
+            },
+        ];
+        let rules = generate_rules(&sets, 0.7);
+        assert!(rules.iter().any(|r| {
+            r.antecedent == vec![1] && r.consequent == 2 && (r.confidence - 0.75).abs() < 1e-9
+        }));
+        // 2 -> 1 has confidence 1.0.
+        assert!(rules.iter().any(|r| {
+            r.antecedent == vec![2] && r.consequent == 1 && (r.confidence - 1.0).abs() < 1e-9
+        }));
+        // Raising the bar removes the weaker rule.
+        let strict = generate_rules(&sets, 0.9);
+        assert!(!strict.iter().any(|r| r.antecedent == vec![1]));
+    }
+
+    #[test]
+    fn singleton_sets_make_no_rules() {
+        let sets = vec![FrequentSet {
+            items: vec![1],
+            support: 5,
+        }];
+        assert!(generate_rules(&sets, 0.5).is_empty());
+    }
+}

@@ -1,0 +1,337 @@
+//! Brute-force relational contract learning (the §5.2 ablation).
+//!
+//! This learner enumerates **every** candidate — each ordered pair of
+//! `(pattern, parameter, transformation)` nodes and each relation — and
+//! verifies each candidate by scanning all values of every configuration.
+//! Semantics (support, confidence, scoring) match
+//! `concord_core`'s indexed miner exactly, so on small inputs the two
+//! produce identical contract sets; the difference is the asymptotics:
+//! brute force is `O(nodes² · values)` and fails to terminate at
+//! production scale, which is why Concord's relation-finding data
+//! structures exist.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::time::{Duration, Instant};
+
+use concord_core::{Dataset, LearnParams, PatternRef, RelationKind, RelationalContract};
+use concord_types::score::value_score;
+use concord_types::{Transform, Value};
+
+/// A relation-graph node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct Node {
+    pattern: u32,
+    param: u16,
+    transform: Transform,
+}
+
+/// One transformed value occurrence.
+struct Occurrence {
+    value: Value,
+    score: f64,
+}
+
+/// Mines relational contracts by exhaustive enumeration.
+///
+/// Returns `None` if `deadline` elapses first — the expected outcome on
+/// large datasets (the paper reports non-termination within an hour on
+/// every WAN role).
+pub fn mine_with_deadline(
+    dataset: &Dataset,
+    params: &LearnParams,
+    deadline: Duration,
+) -> Option<Vec<RelationalContract>> {
+    let start = Instant::now();
+
+    // Collect all occurrences per (config, node), plus per-pattern config
+    // counts.
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut node_ids: HashMap<Node, usize> = HashMap::new();
+    // per config: node -> occurrences.
+    let mut per_config: Vec<HashMap<usize, Vec<Occurrence>>> = Vec::new();
+    let mut pattern_configs: HashMap<u32, usize> = HashMap::new();
+
+    for config in &dataset.configs {
+        let mut map: HashMap<usize, Vec<Occurrence>> = HashMap::new();
+        let mut patterns_here: HashSet<u32> = HashSet::new();
+        for line in &config.lines {
+            patterns_here.insert(line.pattern.0);
+            for (pi, param) in line.params.iter().enumerate() {
+                let base = value_score(&param.value);
+                for transform in Transform::enumerate_for(&param.value) {
+                    let Some(value) = transform.apply(&param.value) else {
+                        continue;
+                    };
+                    if matches!(&value, Value::Bool(_)) || value.as_str().is_some_and(str::is_empty)
+                    {
+                        continue;
+                    }
+                    let node = Node {
+                        pattern: line.pattern.0,
+                        param: pi as u16,
+                        transform: transform.clone(),
+                    };
+                    let id = *node_ids.entry(node.clone()).or_insert_with(|| {
+                        nodes.push(node);
+                        nodes.len() - 1
+                    });
+                    map.entry(id).or_default().push(Occurrence {
+                        score: base * transform.score_discount(),
+                        value,
+                    });
+                }
+            }
+        }
+        for p in patterns_here {
+            *pattern_configs.entry(p).or_insert(0) += 1;
+        }
+        per_config.push(map);
+    }
+
+    // Exhaustive candidate enumeration: every node pair, every relation.
+    let mut out = Vec::new();
+    for a_id in 0..nodes.len() {
+        if start.elapsed() > deadline {
+            return None;
+        }
+        for c_id in 0..nodes.len() {
+            if a_id == c_id {
+                continue;
+            }
+            for relation in RelationKind::all() {
+                if let Some(contract) = evaluate(
+                    dataset,
+                    params,
+                    &nodes,
+                    &per_config,
+                    &pattern_configs,
+                    a_id,
+                    c_id,
+                    relation,
+                ) {
+                    out.push(contract);
+                }
+            }
+        }
+    }
+
+    // Mirror the indexed miner's redundancy filter: same-injective-
+    // transform equalities are subsumed by their identity twins.
+    let id_pairs: HashSet<(String, u16, String, u16)> = out
+        .iter()
+        .filter(|c| {
+            c.relation == RelationKind::Equals
+                && c.antecedent.transform == Transform::Id
+                && c.consequent.transform == Transform::Id
+        })
+        .map(|c| {
+            (
+                c.antecedent.pattern.clone(),
+                c.antecedent.param,
+                c.consequent.pattern.clone(),
+                c.consequent.param,
+            )
+        })
+        .collect();
+    out.retain(|c| {
+        if c.relation != RelationKind::Equals || c.antecedent.transform != c.consequent.transform {
+            return true;
+        }
+        match c.antecedent.transform {
+            Transform::Hex => false,
+            Transform::Str => !id_pairs.contains(&(
+                c.antecedent.pattern.clone(),
+                c.antecedent.param,
+                c.consequent.pattern.clone(),
+                c.consequent.param,
+            )),
+            _ => true,
+        }
+    });
+    Some(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn evaluate(
+    dataset: &Dataset,
+    params: &LearnParams,
+    nodes: &[Node],
+    per_config: &[HashMap<usize, Vec<Occurrence>>],
+    pattern_configs: &HashMap<u32, usize>,
+    a_id: usize,
+    c_id: usize,
+    relation: RelationKind,
+) -> Option<RelationalContract> {
+    let a_node = &nodes[a_id];
+    let c_node = &nodes[c_id];
+    let support = *pattern_configs.get(&a_node.pattern).unwrap_or(&0);
+    if support < params.support
+        || *pattern_configs.get(&c_node.pattern).unwrap_or(&0) < params.support
+    {
+        return None;
+    }
+
+    let mut valid = 0usize;
+    let mut score = 0.0f64;
+    let mut seen: HashSet<u64> = HashSet::new();
+
+    for config in per_config {
+        let Some(antecedents) = config.get(&a_id) else {
+            continue;
+        };
+        let consequents = config.get(&c_id).map(Vec::as_slice).unwrap_or(&[]);
+        let mut all_satisfied = true;
+        for a in antecedents {
+            let mut best: Option<f64> = None;
+            for c in consequents {
+                if holds(relation, &a.value, &c.value) {
+                    let s = a.score.min(c.score);
+                    best = Some(best.map_or(s, |b: f64| b.max(s)));
+                }
+            }
+            match best {
+                Some(s) => {
+                    let mut h = DefaultHasher::new();
+                    a.value.hash(&mut h);
+                    let hash = h.finish();
+                    if seen.len() < params.max_score_witnesses && seen.insert(hash) {
+                        score += s;
+                    }
+                }
+                None => all_satisfied = false,
+            }
+        }
+        if all_satisfied && !antecedents.is_empty() {
+            valid += 1;
+        }
+    }
+
+    if !params.accept(valid, support) || score < params.score_threshold {
+        return None;
+    }
+    Some(RelationalContract {
+        antecedent: PatternRef {
+            pattern: dataset
+                .table
+                .text(concord_core::PatternId(a_node.pattern))
+                .to_string(),
+            param: a_node.param,
+            transform: a_node.transform.clone(),
+        },
+        consequent: PatternRef {
+            pattern: dataset
+                .table
+                .text(concord_core::PatternId(c_node.pattern))
+                .to_string(),
+            param: c_node.param,
+            transform: c_node.transform.clone(),
+        },
+        relation,
+    })
+}
+
+/// The relation semantics, identical to the checker's.
+fn holds(relation: RelationKind, v1: &Value, v2: &Value) -> bool {
+    match relation {
+        RelationKind::Equals => v1 == v2,
+        RelationKind::Contains => match (v1, v2) {
+            (Value::Ip(a), Value::Net(n)) => n.contains(*a),
+            (Value::Net(inner), Value::Net(outer)) => outer.contains_net(inner),
+            _ => false,
+        },
+        RelationKind::StartsWith => match (v1.as_str(), v2.as_str()) {
+            (Some(s1), Some(s2)) => s1.len() >= 2 && s2.len() > s1.len() && s2.starts_with(s1),
+            _ => false,
+        },
+        RelationKind::EndsWith => match (v1.as_str(), v2.as_str()) {
+            (Some(s1), Some(s2)) => s1.len() >= 2 && s2.len() > s1.len() && s2.ends_with(s1),
+            _ => false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concord_core::learn;
+
+    fn dataset(texts: &[String]) -> Dataset {
+        let configs: Vec<(String, String)> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (format!("dev{i}"), t.clone()))
+            .collect();
+        Dataset::from_named_texts(&configs, &[]).unwrap()
+    }
+
+    fn normalize(mut v: Vec<RelationalContract>) -> Vec<String> {
+        let mut out: Vec<String> = v
+            .drain(..)
+            .map(|c| {
+                format!(
+                    "{:?}|{}|{}|{:?}|{}|{}|{:?}",
+                    c.relation,
+                    c.antecedent.pattern,
+                    c.antecedent.param,
+                    c.antecedent.transform,
+                    c.consequent.pattern,
+                    c.consequent.param,
+                    c.consequent.transform
+                )
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn agrees_with_indexed_miner() {
+        let texts: Vec<String> = (0..8)
+            .map(|i| {
+                let vlan = 251 + i;
+                format!(
+                    "interface Loopback0\n ip address 10.14.14.{i}\nip prefix-list lo\n seq 10 permit 10.14.14.{i}/32\nrouter bgp 65015\n vlan {vlan}\n  rd 10.14.14.117:10{vlan}\n  vni {vlan}\n"
+                )
+            })
+            .collect();
+        let ds = dataset(&texts);
+        let params = LearnParams {
+            minimize: false,
+            enable_present: false,
+            enable_ordering: false,
+            enable_type: false,
+            enable_sequence: false,
+            enable_unique: false,
+            ..LearnParams::default()
+        };
+        let indexed = learn(&ds, &params);
+        let indexed_relational: Vec<RelationalContract> = indexed
+            .contracts
+            .into_iter()
+            .filter_map(|c| match c {
+                concord_core::Contract::Relational(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        let brute = mine_with_deadline(&ds, &params, Duration::from_secs(60)).unwrap();
+        assert_eq!(normalize(brute), normalize(indexed_relational));
+    }
+
+    #[test]
+    fn deadline_aborts() {
+        // A dataset big enough that a zero deadline trips immediately.
+        let texts: Vec<String> = (0..6).map(|i| format!("vlan {i}\nvni {i}\n")).collect();
+        let ds = dataset(&texts);
+        let result = mine_with_deadline(&ds, &LearnParams::default(), Duration::ZERO);
+        assert!(result.is_none());
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = dataset(&[]);
+        let out = mine_with_deadline(&ds, &LearnParams::default(), Duration::from_secs(5));
+        assert_eq!(out, Some(Vec::new()));
+    }
+}

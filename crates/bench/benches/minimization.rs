@@ -1,0 +1,70 @@
+//! Criterion benchmark: the graph machinery behind contract minimization
+//! (§3.6) — SCC computation and transitive reduction on the shapes the
+//! relation graph actually takes (equality cliques joined by chains).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use concord_graph::DiGraph;
+
+/// Builds `cliques` mutually-equal groups of size `k`, chained together —
+/// the worst case motivating minimization (n² edges per clique).
+fn clique_chain(cliques: usize, k: usize) -> DiGraph {
+    let mut g = DiGraph::new(cliques * k);
+    for c in 0..cliques {
+        let base = c * k;
+        for i in 0..k {
+            for j in 0..k {
+                if i != j {
+                    g.add_edge(base + i, base + j);
+                }
+            }
+        }
+        if c + 1 < cliques {
+            g.add_edge(base, base + k);
+        }
+    }
+    g
+}
+
+fn minimization_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scc_and_reduction");
+    for &(cliques, k) in &[(10usize, 5usize), (50, 10), (100, 10)] {
+        let graph = clique_chain(cliques, k);
+        group.bench_with_input(
+            BenchmarkId::new("scc", format!("{cliques}x{k}")),
+            &graph,
+            |b, g| b.iter(|| g.scc()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("condense_reduce", format!("{cliques}x{k}")),
+            &graph,
+            |b, g| {
+                b.iter(|| {
+                    let (dag, _) = g.condensation();
+                    dag.transitive_reduction()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // A dense DAG: transitive reduction's heavier case.
+    let mut dag = DiGraph::new(200);
+    for u in 0..200usize {
+        for v in (u + 1)..200 {
+            if (u * 7 + v * 13) % 5 == 0 {
+                dag.add_edge(u, v);
+            }
+        }
+    }
+    c.bench_function("transitive_reduction/dense200", |b| {
+        b.iter(|| dag.transitive_reduction())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = minimization_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion benchmark: indexed relational learning versus the
+//! brute-force baseline (the asymptotic gap behind §5.2).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use concord_baseline::naive;
+use concord_core::{learn, Dataset, LearnParams};
+
+fn make_dataset(devices: usize) -> Dataset {
+    let configs: Vec<(String, String)> = (0..devices)
+        .map(|d| {
+            let mut text = String::new();
+            text.push_str(&format!("hostname DEV{}\n", 1000 + d));
+            for v in 0..12 {
+                let vlan = 200 + v;
+                text.push_str(&format!(
+                    "vlan {vlan}\n rd 10.0.{d}.1:10{vlan}\n vni {vlan}\n"
+                ));
+            }
+            for i in 0..8 {
+                text.push_str(&format!(
+                    "interface Ethernet{i}\n ip address 10.{d}.0.{i}\n"
+                ));
+                text.push_str(&format!("seq {} permit 10.{d}.0.{i}/32\n", 10 * (i + 1)));
+            }
+            (format!("dev{d}"), text)
+        })
+        .collect();
+    Dataset::from_named_texts(&configs, &[]).unwrap()
+}
+
+fn relational_params() -> LearnParams {
+    LearnParams {
+        enable_present: false,
+        enable_ordering: false,
+        enable_type: false,
+        enable_sequence: false,
+        enable_unique: false,
+        minimize: false,
+        ..LearnParams::default()
+    }
+}
+
+fn index_vs_brute(c: &mut Criterion) {
+    let params = relational_params();
+    let mut group = c.benchmark_group("relational_mining");
+    for devices in [6usize, 12, 24] {
+        let dataset = make_dataset(devices);
+        group.bench_with_input(BenchmarkId::new("indexed", devices), &dataset, |b, ds| {
+            b.iter(|| learn(ds, &params))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("bruteforce", devices),
+            &dataset,
+            |b, ds| {
+                b.iter(|| {
+                    naive::mine_with_deadline(ds, &params, Duration::from_secs(600))
+                        .expect("bench sizes fit the deadline")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = index_vs_brute
+}
+criterion_main!(benches);

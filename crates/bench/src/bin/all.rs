@@ -1,0 +1,55 @@
+//! Runs every experiment in sequence — the one-command reproduction of
+//! the paper's evaluation section.
+//!
+//! Run with: `cargo run --release -p concord-bench --bin all`
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "table3",
+    "fig6",
+    "bruteforce",
+    "table4",
+    "table5",
+    "fig7",
+    "fig8",
+    "fig9",
+    "table6",
+    "table7",
+    "table8",
+    "incidents",
+    "ablation_scoring",
+    "baseline_kv",
+];
+
+fn main() {
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(std::path::Path::to_path_buf))
+        .expect("executable directory");
+    let mut failed = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n================ {name} ================");
+        let status = Command::new(exe_dir.join(name)).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{name}: exited with {s}");
+                failed.push(*name);
+            }
+            Err(e) => {
+                eprintln!("{name}: failed to launch ({e}); build with --release first");
+                failed.push(*name);
+            }
+        }
+    }
+    if failed.is_empty() {
+        println!(
+            "\nall {} experiments completed; results under target/experiments/",
+            EXPERIMENTS.len()
+        );
+    } else {
+        eprintln!("\nfailed experiments: {failed:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,80 @@
+//! Figure 6: Concord's scaling trend — normalized combined learn+check
+//! runtime versus the normalized number of configurations (near-linear),
+//! with the standard deviation across WAN roles.
+//!
+//! Run with: `cargo run --release -p concord-bench --bin fig6`
+
+use concord_bench::{default_params, generate, roles, timed, write_result};
+use concord_core::{check_parallel, learn, Dataset};
+
+const FRACTIONS: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+fn main() {
+    let params = default_params();
+    // The larger WAN roles, as in the paper.
+    let wan: Vec<_> = roles()
+        .into_iter()
+        .filter(|s| s.name.starts_with('W') && s.devices >= 10)
+        .collect();
+
+    // per role: normalized runtime per fraction.
+    let mut series: Vec<Vec<f64>> = Vec::new();
+    for spec in &wan {
+        let role = generate(spec);
+        let mut runtimes = Vec::new();
+        for f in FRACTIONS {
+            let take = ((role.configs.len() as f64 * f).round() as usize).max(2);
+            let subset: Vec<(String, String)> = role.configs.iter().take(take).cloned().collect();
+            let (_, duration) = timed(|| {
+                let dataset =
+                    Dataset::from_named_texts(&subset, &role.metadata).expect("subset dataset");
+                let contracts = learn(&dataset, &params);
+                check_parallel(&contracts, &dataset, 1)
+            });
+            runtimes.push(duration.as_secs_f64());
+        }
+        let max = runtimes.iter().cloned().fold(f64::MIN, f64::max).max(1e-9);
+        series.push(runtimes.iter().map(|t| t / max).collect());
+    }
+
+    println!(
+        "frac  mean_runtime  stddev   (normalized, {} WAN roles)",
+        series.len()
+    );
+    let mut points = Vec::new();
+    for (i, f) in FRACTIONS.iter().enumerate() {
+        let values: Vec<f64> = series.iter().map(|s| s[i]).collect();
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+        let std = var.sqrt();
+        println!("{f:<5} {mean:<13.3} {std:.3}");
+        points.push(serde_json::json!({
+            "fraction": f,
+            "mean": mean,
+            "std": std,
+        }));
+    }
+
+    // Linearity check: the correlation between fraction and mean runtime
+    // should be extremely high (the paper's "linear scaling trend").
+    let means: Vec<f64> = points
+        .iter()
+        .map(|p| p["mean"].as_f64().expect("mean"))
+        .collect();
+    let r = pearson(&FRACTIONS, &means);
+    println!("\npearson r(fraction, runtime) = {r:.4}");
+    write_result(
+        "fig6",
+        &serde_json::json!({ "points": points, "pearson_r": r }),
+    );
+}
+
+fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let vx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let vy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    cov / (vx.sqrt() * vy.sqrt()).max(1e-12)
+}

@@ -1,0 +1,58 @@
+//! Figure 8: contract minimization reduction factor per role (§3.6).
+//!
+//! The reduction factor is the ratio of relational contracts before and
+//! after SCC + transitive-reduction minimization (the paper reports
+//! 2.5x–22.3x across roles).
+//!
+//! Run with: `cargo run --release -p concord-bench --bin fig8`
+
+use concord_bench::{dataset_of, default_params, generate, roles, row, write_result};
+use concord_core::{learn, Contract};
+
+fn main() {
+    let widths = [8, 8, 8, 10];
+    println!(
+        "{}",
+        row(
+            &["Dataset", "Before", "After", "Reduction"].map(String::from),
+            &widths
+        )
+    );
+    let params = default_params();
+    let mut results = Vec::new();
+    for spec in roles() {
+        let role = generate(&spec);
+        let dataset = dataset_of(&role);
+        let contracts = learn(&dataset, &params);
+        let after = contracts
+            .contracts
+            .iter()
+            .filter(|c| matches!(c, Contract::Relational(_)))
+            .count();
+        let before = contracts.relational_before_minimization;
+        let factor = if after == 0 {
+            1.0
+        } else {
+            before as f64 / after as f64
+        };
+        println!(
+            "{}",
+            row(
+                &[
+                    spec.name.clone(),
+                    before.to_string(),
+                    after.to_string(),
+                    format!("{factor:.2}x"),
+                ],
+                &widths
+            )
+        );
+        results.push(serde_json::json!({
+            "role": spec.name,
+            "before": before,
+            "after": after,
+            "reduction": factor,
+        }));
+    }
+    write_result("fig8", &serde_json::json!({ "rows": results }));
+}

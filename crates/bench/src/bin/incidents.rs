@@ -1,0 +1,77 @@
+//! §5.5 utility experiment: replay the three production incidents across
+//! every edge deployment seed and report which contract categories catch
+//! each.
+//!
+//! Run with: `cargo run --release -p concord-bench --bin incidents`
+
+use std::collections::BTreeSet;
+
+use concord_bench::{dataset_of, default_params, roles, seed, write_result};
+use concord_core::{check, learn, Dataset};
+use concord_datagen::faults::{incidents, inject, Fault};
+use concord_datagen::generate_role;
+
+fn main() {
+    let spec = roles()
+        .into_iter()
+        .find(|s| s.name == "E1")
+        .expect("E1 exists");
+    let cases: [(&str, Fault); 3] = [
+        ("missing route aggregation", incidents::MISSING_AGGREGATE),
+        (
+            "MAC broadcast loop (rogue VLAN)",
+            incidents::ROGUE_VLAN_BLOCK,
+        ),
+        ("multiple VRFs (ordering break)", incidents::VRF_INSERTION),
+    ];
+
+    println!(
+        "{:<34} {:>7} {:>8}  categories",
+        "incident", "caught", "trials"
+    );
+    let mut results = Vec::new();
+    for (name, fault) in cases {
+        let mut caught = 0usize;
+        let mut trials = 0usize;
+        let mut categories: BTreeSet<String> = BTreeSet::new();
+        for s in 0..5u64 {
+            let role = generate_role(&spec, seed().wrapping_add(s * 31));
+            let dataset = dataset_of(&role);
+            let contracts = learn(&dataset, &default_params());
+            // Inject into each of the first three devices.
+            for (victim, text) in role.configs.iter().take(3) {
+                let Some(injected) = inject(text, fault) else {
+                    continue;
+                };
+                trials += 1;
+                let test =
+                    Dataset::from_named_texts(&[(victim.clone(), injected.text)], &role.metadata)
+                        .expect("test dataset");
+                let report = check(&contracts, &test);
+                // Ignore the pre-existing planted anomaly flags: count
+                // only violations near or caused by the injected edit.
+                let relevant: Vec<_> = report
+                    .violations
+                    .iter()
+                    .filter(|v| v.category != "type")
+                    .collect();
+                if !relevant.is_empty() {
+                    caught += 1;
+                    for v in relevant {
+                        categories.insert(v.category.clone());
+                    }
+                }
+            }
+        }
+        let list: Vec<&str> = categories.iter().map(String::as_str).collect();
+        println!("{name:<34} {caught:>7} {trials:>8}  {}", list.join(", "));
+        results.push(serde_json::json!({
+            "incident": name,
+            "caught": caught,
+            "trials": trials,
+            "categories": list,
+        }));
+    }
+    println!("\nPaper: all three replayed incidents were caught (via contains,\nmetadata-relational, and ordering contracts respectively).");
+    write_result("incidents", &serde_json::json!({ "rows": results }));
+}

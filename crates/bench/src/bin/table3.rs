@@ -1,0 +1,68 @@
+//! Table 3: dataset overview — configuration lines, extracted patterns
+//! and parameters, `concord learn` runtime, and `concord check` runtime
+//! per role.
+//!
+//! Run with: `cargo run --release -p concord-bench --bin table3`
+
+use concord_bench::{
+    dataset_of, default_params, fmt_secs, generate, roles, row, timed, write_result,
+};
+use concord_core::{check_parallel, learn_with_stats};
+
+fn main() {
+    let widths = [8, 10, 10, 12, 8, 8, 8, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "Dataset",
+                "Lines",
+                "Patterns",
+                "Parameters",
+                "Learn",
+                "Check",
+                "(rel)",
+                "(minimize)",
+            ]
+            .map(String::from),
+            &widths
+        )
+    );
+    let params = default_params();
+    let mut results = Vec::new();
+    for spec in roles() {
+        let role = generate(&spec);
+        let dataset = dataset_of(&role);
+        let ((contracts, stats), learn_time) = timed(|| learn_with_stats(&dataset, &params));
+        let (_report, check_time) = timed(|| check_parallel(&contracts, &dataset, 1));
+        let lines = dataset.total_lines();
+        println!(
+            "{}",
+            row(
+                &[
+                    spec.name.clone(),
+                    lines.to_string(),
+                    dataset.pattern_count().to_string(),
+                    dataset.parameter_count().to_string(),
+                    fmt_secs(learn_time),
+                    fmt_secs(check_time),
+                    fmt_secs(stats.relational_time),
+                    fmt_secs(stats.minimize_time),
+                ],
+                &widths
+            )
+        );
+        results.push(serde_json::json!({
+            "role": spec.name,
+            "lines": lines,
+            "patterns": dataset.pattern_count(),
+            "parameters": dataset.parameter_count(),
+            "learn_secs": learn_time.as_secs_f64(),
+            "check_secs": check_time.as_secs_f64(),
+            "relational_secs": stats.relational_time.as_secs_f64(),
+            "minimize_secs": stats.minimize_time.as_secs_f64(),
+            "contracts": contracts.len(),
+        }));
+    }
+    write_result("table3", &serde_json::json!({ "rows": results }));
+}

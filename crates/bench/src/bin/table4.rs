@@ -1,0 +1,50 @@
+//! Table 4: contracts learned per category and total coverage per role.
+//!
+//! Run with: `cargo run --release -p concord-bench --bin table4`
+
+use std::collections::BTreeMap;
+
+use concord_bench::{
+    dataset_of, default_params, generate, roles, row, write_result, CATEGORY_COLUMNS,
+};
+use concord_core::{check_parallel, learn};
+
+fn main() {
+    let widths = [8, 8, 9, 6, 7, 9, 9, 9, 6, 7];
+    let mut header: Vec<String> = vec!["Dataset".into()];
+    header.extend(CATEGORY_COLUMNS.iter().map(|s| s.to_string()));
+    header.push("Cov".into());
+    println!("{}", row(&header, &widths));
+
+    let params = default_params();
+    let mut results = Vec::new();
+    let mut totals: BTreeMap<&str, usize> = BTreeMap::new();
+    for spec in roles() {
+        let role = generate(&spec);
+        let dataset = dataset_of(&role);
+        let contracts = learn(&dataset, &params);
+        let report = check_parallel(&contracts, &dataset, 1);
+        let summary = report.coverage.summary();
+        let counts = contracts.count_by_category();
+        let mut cells = vec![spec.name.clone()];
+        for col in CATEGORY_COLUMNS {
+            let count = counts.get(col).copied().unwrap_or(0);
+            *totals.entry(col).or_insert(0) += count;
+            cells.push(count.to_string());
+        }
+        cells.push(format!("{:.1}%", summary.fraction * 100.0));
+        println!("{}", row(&cells, &widths));
+        results.push(serde_json::json!({
+            "role": spec.name,
+            "counts": counts.iter().map(|(k, v)| (k.to_string(), v)).collect::<BTreeMap<_, _>>(),
+            "coverage": summary.fraction,
+        }));
+    }
+    let mut cells = vec!["Total".to_string()];
+    for col in CATEGORY_COLUMNS {
+        cells.push(totals.get(col).copied().unwrap_or(0).to_string());
+    }
+    cells.push("-".into());
+    println!("{}", row(&cells, &widths));
+    write_result("table4", &serde_json::json!({ "rows": results }));
+}

@@ -1,0 +1,46 @@
+//! Table 6: number of contracts to review per category (`n_adj`) and the
+//! achieved margin of error, for 95% confidence in the true-positive
+//! rate.
+//!
+//! The LLM-substitute scores (Figure 9) give the initial proportion
+//! estimate `p`; the sample size follows `n = Z²·p·(1−p)/E²` with finite
+//! population correction, capped at 150 reviews per category (§5.4).
+//!
+//! Run with: `cargo run --release -p concord-bench --bin table6`
+
+use concord_bench::precision::{estimated_p, evaluate_family};
+use concord_bench::stats::plan_sample;
+use concord_bench::{write_result, CATEGORY_COLUMNS};
+
+fn main() {
+    let mut results = Vec::new();
+    for (label, prefix) in [("Edge", "E"), ("WAN", "W")] {
+        let scores = evaluate_family(prefix);
+        println!("== {label} ==");
+        println!(
+            "{:<10} {:>6} {:>7} {:>7} {:>7}",
+            "category", "N", "p_est", "n_adj", "E"
+        );
+        for category in CATEGORY_COLUMNS {
+            let scored = &scores[category];
+            let population = scored.len();
+            let p = estimated_p(scored).unwrap_or(0.0);
+            let plan = plan_sample(p, population);
+            println!(
+                "{category:<10} {population:>6} {p:>7.2} {:>7} {:>6.0}%",
+                plan.n_adj,
+                plan.error * 100.0
+            );
+            results.push(serde_json::json!({
+                "family": label,
+                "category": category,
+                "population": population,
+                "p_estimate": p,
+                "n_adj": plan.n_adj,
+                "error": plan.error,
+            }));
+        }
+        println!();
+    }
+    write_result("table6", &serde_json::json!({ "rows": results }));
+}

@@ -1,0 +1,58 @@
+//! Table 8: a selection of simple, intuitive learned contracts rendered
+//! in the paper's notation, one batch per dataset family.
+//!
+//! Run with: `cargo run --release -p concord-bench --bin table8`
+
+use concord_bench::{dataset_of, default_params, generate, roles, write_result};
+use concord_core::{learn, Contract};
+
+/// Picks a few representative, human-readable contracts: prefer
+/// relational ones with transforms or containment (the interesting
+/// cases), then presence/uniqueness.
+fn select(contracts: &[Contract], limit: usize) -> Vec<&Contract> {
+    let mut picked: Vec<&Contract> = Vec::new();
+    let interesting = |c: &Contract| match c {
+        Contract::Relational(r) => {
+            r.relation != concord_core::RelationKind::Equals
+                || r.antecedent.transform != concord_types::Transform::Id
+                || r.consequent.transform != concord_types::Transform::Id
+        }
+        _ => false,
+    };
+    picked.extend(contracts.iter().filter(|c| interesting(c)).take(limit / 2));
+    picked.extend(
+        contracts
+            .iter()
+            .filter(|c| matches!(c, Contract::Unique { .. }))
+            .take(2),
+    );
+    picked.extend(
+        contracts
+            .iter()
+            .filter(|c| matches!(c, Contract::Relational(_)) && !interesting(c))
+            .take(limit.saturating_sub(picked.len())),
+    );
+    picked.truncate(limit);
+    picked
+}
+
+fn main() {
+    let mut results = Vec::new();
+    for name in ["E1", "W1", "W4"] {
+        let spec = roles().into_iter().find(|s| s.name == name).expect("role");
+        let role = generate(&spec);
+        let dataset = dataset_of(&role);
+        let contracts = learn(&dataset, &default_params());
+        println!("== learned from {name} ==\n");
+        for contract in select(&contracts.contracts, 5) {
+            let text = contract.describe();
+            println!("{text}\n");
+            results.push(serde_json::json!({
+                "role": name,
+                "contract": text,
+                "category": contract.category(),
+            }));
+        }
+    }
+    write_result("table8", &serde_json::json!({ "rows": results }));
+}

@@ -1,0 +1,157 @@
+//! The ground-truth oracle and the deterministic LLM-substitute scorer.
+//!
+//! The paper estimates precision with GPT-4 scoring followed by manual
+//! expert review (§5.4). Neither is available offline, and — unlike the
+//! paper's authors — we control the generator, so we can do better: a
+//! learned contract is a **true positive** iff it continues to hold on
+//! devices freshly generated from the same role template with unseen
+//! seeds. Template invariants survive; coincidences break.
+//!
+//! [`score_1_to_10`] is the stand-in for the LLM's 1–10 confidence score:
+//! deterministic in the contract text, concentrated on 7–10 for oracle-
+//! true contracts and 1–5 for oracle-false ones, with a thin band of
+//! borderline scores — enough structure to reproduce the CDF shapes of
+//! Figure 9 and drive the sample-size machinery of Table 6.
+
+use concord_core::{check, Contract, ContractSet, Dataset};
+#[cfg(test)]
+use concord_datagen::generate_role;
+use concord_datagen::{generate_role_with, RoleSpec};
+
+/// Number of fresh seeds a contract must survive to count as valid.
+pub const ORACLE_SEEDS: u64 = 3;
+
+/// An oracle over freshly generated datasets of one role.
+pub struct Oracle {
+    fresh: Vec<Dataset>,
+}
+
+impl Oracle {
+    /// Builds the oracle for `spec`, generating [`ORACLE_SEEDS`] unseen
+    /// *clean* datasets (seeds disjoint from the training seed, anomaly
+    /// drift disabled): a contract reflecting operator intent must hold
+    /// on clean same-template devices, while an anomaly-flagging contract
+    /// remains valid because clean data has nothing to flag.
+    pub fn new(spec: &RoleSpec, train_seed: u64) -> Self {
+        let fresh = (1..=ORACLE_SEEDS)
+            .map(|i| {
+                let role = generate_role_with(spec, train_seed.wrapping_add(i * 7919), false);
+                Dataset::from_named_texts(&role.configs, &role.metadata)
+                    .expect("oracle dataset builds")
+            })
+            .collect();
+        Oracle { fresh }
+    }
+
+    /// Returns `true` when `contract` holds (no violations) on every
+    /// fresh dataset.
+    pub fn is_valid(&self, contract: &Contract) -> bool {
+        let singleton = ContractSet {
+            contracts: vec![contract.clone()],
+            relational_before_minimization: 0,
+        };
+        self.fresh
+            .iter()
+            .all(|ds| check(&singleton, ds).violations.is_empty())
+    }
+}
+
+/// Deterministic 1–10 confidence score for a contract, given its oracle
+/// verdict (the LLM substitute for Figure 9 / Table 6).
+pub fn score_1_to_10(contract: &Contract, oracle_valid: bool) -> u8 {
+    let h = fnv(contract.describe().as_bytes());
+    if oracle_valid {
+        // 80% in 8..=10, 15% in 6..=7, 5% borderline 5.
+        match h % 100 {
+            0..=79 => 8 + (h / 100 % 3) as u8,
+            80..=94 => 6 + (h / 100 % 2) as u8,
+            _ => 5,
+        }
+    } else {
+        // 75% in 1..=3, 20% in 4..=5, 5% optimistic 6.
+        match h % 100 {
+            0..=74 => 1 + (h / 100 % 3) as u8,
+            75..=94 => 4 + (h / 100 % 2) as u8,
+            _ => 6,
+        }
+    }
+}
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concord_core::{learn, LearnParams};
+    use concord_datagen::standard_roles;
+
+    #[test]
+    fn planted_contracts_survive_oracle() {
+        let spec = standard_roles(0.4)
+            .into_iter()
+            .find(|s| s.name == "E1")
+            .unwrap();
+        let role = generate_role(&spec, 42);
+        let ds = Dataset::from_named_texts(&role.configs, &role.metadata).unwrap();
+        let contracts = learn(&ds, &LearnParams::default());
+        let oracle = Oracle::new(&spec, 42);
+        let valid = contracts
+            .contracts
+            .iter()
+            .filter(|c| oracle.is_valid(c))
+            .count();
+        // The generator's invariants dominate; most contracts survive.
+        assert!(
+            valid * 10 >= contracts.len() * 6,
+            "only {valid}/{} survived",
+            contracts.len()
+        );
+    }
+
+    #[test]
+    fn fabricated_contract_fails_oracle() {
+        let spec = standard_roles(0.4)
+            .into_iter()
+            .find(|s| s.name == "E1")
+            .unwrap();
+        let oracle = Oracle::new(&spec, 42);
+        let bogus = Contract::Present {
+            pattern: "/no such pattern anywhere".to_string(),
+        };
+        assert!(!oracle.is_valid(&bogus));
+    }
+
+    #[test]
+    fn scores_deterministic_and_separated() {
+        let c = Contract::Present {
+            pattern: "/router bgp [a:num]".to_string(),
+        };
+        assert_eq!(score_1_to_10(&c, true), score_1_to_10(&c, true));
+        assert!(score_1_to_10(&c, true) >= 5);
+        assert!(score_1_to_10(&c, false) <= 6);
+    }
+
+    #[test]
+    fn score_distribution_shape() {
+        // Over many distinct contracts, true scores skew high and false
+        // scores skew low.
+        let mk = |i: usize| Contract::Present {
+            pattern: format!("/pattern-{i}"),
+        };
+        let true_high = (0..200)
+            .filter(|&i| score_1_to_10(&mk(i), true) >= 6)
+            .count();
+        let false_low = (0..200)
+            .filter(|&i| score_1_to_10(&mk(i), false) <= 5)
+            .count();
+        assert!(true_high > 180, "{true_high}");
+        assert!(false_low > 180, "{false_low}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Sampling statistics for the precision study (§5.4).
+//!
+//! The paper sizes its manual-review samples with the classic proportion
+//! formula `n = Z²·p·(1−p)/E²` followed by the finite population
+//! correction `n_adj = n / (1 + n/N)`, capping review effort at 150
+//! contracts per category and reporting the achieved margin of error.
+
+/// z-score for 95% confidence.
+pub const Z_95: f64 = 1.96;
+
+/// The paper's review cap per category.
+pub const REVIEW_CAP: usize = 150;
+
+/// Computes the uncorrected sample size `n = Z²·p·(1−p)/E²`.
+pub fn sample_size(z: f64, p: f64, e: f64) -> f64 {
+    z * z * p * (1.0 - p) / (e * e)
+}
+
+/// Applies the finite population correction `n / (1 + n/N)`.
+pub fn fpc(n: f64, population: usize) -> f64 {
+    if population == 0 {
+        return 0.0;
+    }
+    n / (1.0 + n / population as f64)
+}
+
+/// The margin of error achieved when reviewing `n` of `population` items
+/// with estimated proportion `p` at confidence `z`.
+pub fn achieved_margin(z: f64, p: f64, n: usize, population: usize) -> f64 {
+    if n == 0 || population <= 1 || n >= population {
+        return 0.0;
+    }
+    let n_f = n as f64;
+    let pop = population as f64;
+    z * (p * (1.0 - p) / n_f * ((pop - n_f) / (pop - 1.0))).sqrt()
+}
+
+/// One row of Table 6: the adjusted sample size and achieved error for a
+/// contract category.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplePlan {
+    /// Contracts to review (`n_adj`, capped and bounded by `N`).
+    pub n_adj: usize,
+    /// Achieved margin of error.
+    pub error: f64,
+}
+
+/// Plans the review sample for a category of `population` contracts with
+/// LLM-estimated true-positive proportion `p` (target E = 5%, Z = 95%).
+///
+/// Mirrors §5.4: categories needing more than [`REVIEW_CAP`] reviews are
+/// capped (raising the error, never above ~10%), and categories with
+/// fewer than 10 contracts are reviewed exhaustively.
+pub fn plan_sample(p: f64, population: usize) -> SamplePlan {
+    if population < 10 {
+        return SamplePlan {
+            n_adj: population,
+            error: 0.0,
+        };
+    }
+    // An extreme estimate (p near 0 or 1) would size the sample at ~0;
+    // clamp so every sizable category still gets a meaningful review.
+    let p = p.clamp(0.1, 0.9);
+    let n = sample_size(Z_95, p, 0.05);
+    let adjusted = fpc(n, population).ceil() as usize;
+    let n_adj = adjusted.min(REVIEW_CAP).min(population);
+    let error = achieved_margin(Z_95, p, n_adj, population);
+    SamplePlan { n_adj, error }
+}
+
+/// Builds a CDF over discrete 1–10 scores: `cdf[i]` is the fraction of
+/// scores `>= 10 - i` (matching Figure 9's descending score axis).
+pub fn score_cdf(scores: &[u8]) -> Vec<f64> {
+    let total = scores.len().max(1) as f64;
+    let mut counts = [0usize; 11];
+    for &s in scores {
+        counts[usize::from(s.clamp(1, 10))] += 1;
+    }
+    let mut cdf = Vec::with_capacity(10);
+    let mut acc = 0usize;
+    for score in (1..=10).rev() {
+        acc += counts[score];
+        cdf.push(acc as f64 / total);
+    }
+    cdf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_sample_size() {
+        // p = 0.5, E = 5%, Z = 1.96 -> n ≈ 384.16.
+        let n = sample_size(Z_95, 0.5, 0.05);
+        assert!((n - 384.16).abs() < 0.1, "{n}");
+    }
+
+    #[test]
+    fn fpc_shrinks() {
+        let n = sample_size(Z_95, 0.5, 0.05);
+        let adjusted = fpc(n, 1000);
+        assert!(adjusted < n);
+        assert!((adjusted - 277.7).abs() < 1.0, "{adjusted}");
+    }
+
+    #[test]
+    fn plan_reviews_small_categories_exhaustively() {
+        let plan = plan_sample(0.9, 9);
+        assert_eq!(plan.n_adj, 9);
+        assert_eq!(plan.error, 0.0);
+    }
+
+    #[test]
+    fn plan_caps_at_150_with_bounded_error() {
+        // A huge category at p=0.5 wants ~384 reviews; the cap raises E
+        // but keeps it under 10% (as in the paper).
+        let plan = plan_sample(0.5, 10_000);
+        assert_eq!(plan.n_adj, REVIEW_CAP);
+        assert!(plan.error > 0.05 && plan.error < 0.10, "{}", plan.error);
+    }
+
+    #[test]
+    fn plan_hits_5_percent_when_uncapped() {
+        let plan = plan_sample(0.9, 500);
+        assert!(plan.n_adj < REVIEW_CAP);
+        assert!(plan.error <= 0.051, "{}", plan.error);
+    }
+
+    #[test]
+    fn cdf_monotone_and_normalized() {
+        let scores = vec![10, 9, 9, 7, 3, 1];
+        let cdf = score_cdf(&scores);
+        assert_eq!(cdf.len(), 10);
+        assert!((cdf[0] - 1.0 / 6.0).abs() < 1e-9); // >= 10
+        assert!((cdf[9] - 1.0).abs() < 1e-9); // >= 1
+        for w in cdf.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn empty_scores_yield_zero_cdf() {
+        let cdf = score_cdf(&[]);
+        assert!(cdf.iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,430 @@
+//! Hand-rolled argument parsing for the `concord` tool.
+
+use concord_core::LearnParams;
+
+/// The usage text printed by `concord help`.
+pub const USAGE: &str = "\
+concord - learn and check network configuration contracts
+
+USAGE:
+  concord learn --configs <glob> [--metadata <glob>] [--tokens <file>]
+                [--out <file>] [--support N] [--confidence F]
+                [--score-threshold F] [--parallelism N] [--constants]
+                [--ranges] [--no-embed] [--no-minimize]
+                [--disable <category>]...
+  concord check --configs <glob> --contracts <file> [--metadata <glob>]
+                [--tokens <file>] [--out <file>] [--html <file>]
+                [--suppress <file>] [--parallelism N]
+                [--disable-ordering] [--no-embed]
+  concord ci    --pre <glob> --post <glob> [--metadata <glob>]
+                [--tokens <file>] [--suppress <file>] [--keep-ordering]
+                [--support N] [--confidence F] [--parallelism N]
+  concord coverage --configs <glob> --contracts <file> [--metadata <glob>]
+                [--tokens <file>] [--uncovered N] [--parallelism N]
+  concord help
+
+Categories for --disable: present ordering type sequence unique relational";
+
+/// A parsed command.
+#[derive(Debug)]
+pub enum Command {
+    /// `concord learn`.
+    Learn(LearnArgs),
+    /// `concord check`.
+    Check(CheckArgs),
+    /// `concord ci` (learn from pre-change, check post-change; Figure 10).
+    Ci(CiArgs),
+    /// `concord coverage` (per-line configuration coverage, §3.9).
+    Coverage(CoverageArgs),
+    /// `concord help`.
+    Help,
+}
+
+/// Arguments for `concord coverage`.
+#[derive(Debug)]
+pub struct CoverageArgs {
+    /// Glob selecting configuration files.
+    pub configs: String,
+    /// The contracts file produced by `concord learn`.
+    pub contracts: String,
+    /// Optional glob selecting metadata files.
+    pub metadata: Option<String>,
+    /// Optional custom token definition file.
+    pub tokens: Option<String>,
+    /// How many uncovered lines to list (0 = summary only).
+    pub uncovered: usize,
+    /// Worker threads.
+    pub parallelism: usize,
+}
+
+/// Arguments for `concord ci`.
+#[derive(Debug)]
+pub struct CiArgs {
+    /// Glob selecting pre-change configuration files (training).
+    pub pre: String,
+    /// Glob selecting post-change configuration files (checked).
+    pub post: String,
+    /// Optional glob selecting metadata files.
+    pub metadata: Option<String>,
+    /// Optional custom token definition file.
+    pub tokens: Option<String>,
+    /// Optional suppression file (operator feedback, one substring per
+    /// line).
+    pub suppress: Option<String>,
+    /// Keep ordering contracts (the production default drops them, §5.4).
+    pub keep_ordering: bool,
+    /// Learning parameters.
+    pub params: LearnParams,
+    /// Worker threads.
+    pub parallelism: usize,
+}
+
+/// Arguments for `concord learn`.
+#[derive(Debug)]
+pub struct LearnArgs {
+    /// Glob selecting training configuration files.
+    pub configs: String,
+    /// Optional glob selecting metadata files.
+    pub metadata: Option<String>,
+    /// Optional custom token definition file.
+    pub tokens: Option<String>,
+    /// Output contracts file.
+    pub out: String,
+    /// Learning parameters.
+    pub params: LearnParams,
+    /// Context embedding enabled (`--no-embed` clears it).
+    pub embed: bool,
+    /// Worker threads.
+    pub parallelism: usize,
+}
+
+/// Arguments for `concord check`.
+#[derive(Debug)]
+pub struct CheckArgs {
+    /// Glob selecting configuration files to check.
+    pub configs: String,
+    /// The contracts file produced by `concord learn`.
+    pub contracts: String,
+    /// Optional glob selecting metadata files.
+    pub metadata: Option<String>,
+    /// Optional custom token definition file.
+    pub tokens: Option<String>,
+    /// Optional JSON violations output.
+    pub out: Option<String>,
+    /// Optional HTML report output.
+    pub html: Option<String>,
+    /// Optional suppression file (operator feedback via the report UI,
+    /// §4): contracts matching any listed substring are dropped.
+    pub suppress: Option<String>,
+    /// Drop ordering contracts before checking (§5.4 production default).
+    pub disable_ordering: bool,
+    /// Context embedding enabled.
+    pub embed: bool,
+    /// Worker threads.
+    pub parallelism: usize,
+}
+
+/// A usage error with its message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}\n\n{}", self.0, USAGE)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// Parses `argv` (without the program name).
+pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
+    let err = |msg: String| Err(UsageError(msg));
+    match argv.first().map(String::as_str) {
+        Some("learn") => parse_learn(&argv[1..]),
+        Some("check") => parse_check(&argv[1..]),
+        Some("ci") => parse_ci(&argv[1..]),
+        Some("coverage") => parse_coverage(&argv[1..]),
+        Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
+        Some(other) => err(format!("unknown command {other:?}")),
+        None => err("missing command".to_string()),
+    }
+}
+
+/// Iterates `--flag value` / `--flag` style arguments.
+struct Flags<'a> {
+    argv: &'a [String],
+    pos: usize,
+}
+
+impl<'a> Flags<'a> {
+    fn next_flag(&mut self) -> Option<&'a str> {
+        let flag = self.argv.get(self.pos)?;
+        self.pos += 1;
+        Some(flag)
+    }
+
+    fn value(&mut self, flag: &str) -> Result<&'a str, UsageError> {
+        match self.argv.get(self.pos) {
+            Some(v) if !v.starts_with("--") => {
+                self.pos += 1;
+                Ok(v)
+            }
+            _ => Err(UsageError(format!("flag {flag} requires a value"))),
+        }
+    }
+
+    fn parse<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, UsageError> {
+        let raw = self.value(flag)?;
+        raw.parse()
+            .map_err(|_| UsageError(format!("invalid value {raw:?} for {flag}")))
+    }
+}
+
+fn parse_learn(argv: &[String]) -> Result<Command, UsageError> {
+    let mut args = LearnArgs {
+        configs: String::new(),
+        metadata: None,
+        tokens: None,
+        out: "contracts.json".to_string(),
+        params: LearnParams::default(),
+        embed: true,
+        parallelism: 1,
+    };
+    let mut flags = Flags { argv, pos: 0 };
+    while let Some(flag) = flags.next_flag() {
+        match flag {
+            "--configs" => args.configs = flags.value(flag)?.to_string(),
+            "--metadata" => args.metadata = Some(flags.value(flag)?.to_string()),
+            "--tokens" => args.tokens = Some(flags.value(flag)?.to_string()),
+            "--out" => args.out = flags.value(flag)?.to_string(),
+            "--support" => args.params.support = flags.parse(flag)?,
+            "--confidence" => {
+                args.params.confidence = flags.parse(flag)?;
+                if !(0.0..=1.0).contains(&args.params.confidence) {
+                    return Err(UsageError("--confidence must be in [0, 1]".to_string()));
+                }
+            }
+            "--score-threshold" => args.params.score_threshold = flags.parse(flag)?,
+            "--parallelism" => {
+                args.parallelism = flags.parse(flag)?;
+                args.params.parallelism = args.parallelism;
+            }
+            "--constants" => args.params.learn_constants = true,
+            "--ranges" => args.params.enable_range = true,
+            "--no-embed" => args.embed = false,
+            "--no-minimize" => args.params.minimize = false,
+            "--disable" => match flags.value(flag)? {
+                "present" => args.params.enable_present = false,
+                "ordering" => args.params.enable_ordering = false,
+                "type" => args.params.enable_type = false,
+                "sequence" => args.params.enable_sequence = false,
+                "unique" => args.params.enable_unique = false,
+                "relational" => args.params.enable_relational = false,
+                other => {
+                    return Err(UsageError(format!("unknown category {other:?}")));
+                }
+            },
+            other => return Err(UsageError(format!("unknown flag {other:?}"))),
+        }
+    }
+    if args.configs.is_empty() {
+        return Err(UsageError("learn requires --configs".to_string()));
+    }
+    Ok(Command::Learn(args))
+}
+
+fn parse_check(argv: &[String]) -> Result<Command, UsageError> {
+    let mut args = CheckArgs {
+        configs: String::new(),
+        contracts: String::new(),
+        metadata: None,
+        tokens: None,
+        out: None,
+        html: None,
+        suppress: None,
+        disable_ordering: false,
+        embed: true,
+        parallelism: 1,
+    };
+    let mut flags = Flags { argv, pos: 0 };
+    while let Some(flag) = flags.next_flag() {
+        match flag {
+            "--configs" => args.configs = flags.value(flag)?.to_string(),
+            "--contracts" => args.contracts = flags.value(flag)?.to_string(),
+            "--metadata" => args.metadata = Some(flags.value(flag)?.to_string()),
+            "--tokens" => args.tokens = Some(flags.value(flag)?.to_string()),
+            "--out" => args.out = Some(flags.value(flag)?.to_string()),
+            "--html" => args.html = Some(flags.value(flag)?.to_string()),
+            "--suppress" => args.suppress = Some(flags.value(flag)?.to_string()),
+            "--parallelism" => args.parallelism = flags.parse(flag)?,
+            "--disable-ordering" => args.disable_ordering = true,
+            "--no-embed" => args.embed = false,
+            other => return Err(UsageError(format!("unknown flag {other:?}"))),
+        }
+    }
+    if args.configs.is_empty() {
+        return Err(UsageError("check requires --configs".to_string()));
+    }
+    if args.contracts.is_empty() {
+        return Err(UsageError("check requires --contracts".to_string()));
+    }
+    Ok(Command::Check(args))
+}
+
+fn parse_ci(argv: &[String]) -> Result<Command, UsageError> {
+    let mut args = CiArgs {
+        pre: String::new(),
+        post: String::new(),
+        metadata: None,
+        tokens: None,
+        suppress: None,
+        keep_ordering: false,
+        params: LearnParams::default(),
+        parallelism: 1,
+    };
+    let mut flags = Flags { argv, pos: 0 };
+    while let Some(flag) = flags.next_flag() {
+        match flag {
+            "--pre" => args.pre = flags.value(flag)?.to_string(),
+            "--post" => args.post = flags.value(flag)?.to_string(),
+            "--metadata" => args.metadata = Some(flags.value(flag)?.to_string()),
+            "--tokens" => args.tokens = Some(flags.value(flag)?.to_string()),
+            "--suppress" => args.suppress = Some(flags.value(flag)?.to_string()),
+            "--keep-ordering" => args.keep_ordering = true,
+            "--support" => args.params.support = flags.parse(flag)?,
+            "--confidence" => args.params.confidence = flags.parse(flag)?,
+            "--parallelism" => {
+                args.parallelism = flags.parse(flag)?;
+                args.params.parallelism = args.parallelism;
+            }
+            other => return Err(UsageError(format!("unknown flag {other:?}"))),
+        }
+    }
+    if args.pre.is_empty() || args.post.is_empty() {
+        return Err(UsageError("ci requires --pre and --post".to_string()));
+    }
+    Ok(Command::Ci(args))
+}
+
+fn parse_coverage(argv: &[String]) -> Result<Command, UsageError> {
+    let mut args = CoverageArgs {
+        configs: String::new(),
+        contracts: String::new(),
+        metadata: None,
+        tokens: None,
+        uncovered: 10,
+        parallelism: 1,
+    };
+    let mut flags = Flags { argv, pos: 0 };
+    while let Some(flag) = flags.next_flag() {
+        match flag {
+            "--configs" => args.configs = flags.value(flag)?.to_string(),
+            "--contracts" => args.contracts = flags.value(flag)?.to_string(),
+            "--metadata" => args.metadata = Some(flags.value(flag)?.to_string()),
+            "--tokens" => args.tokens = Some(flags.value(flag)?.to_string()),
+            "--uncovered" => args.uncovered = flags.parse(flag)?,
+            "--parallelism" => args.parallelism = flags.parse(flag)?,
+            other => return Err(UsageError(format!("unknown flag {other:?}"))),
+        }
+    }
+    if args.configs.is_empty() || args.contracts.is_empty() {
+        return Err(UsageError(
+            "coverage requires --configs and --contracts".to_string(),
+        ));
+    }
+    Ok(Command::Coverage(args))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_learn_defaults() {
+        let cmd = parse_args(&argv(&["learn", "--configs", "cfg/*.txt"])).unwrap();
+        match cmd {
+            Command::Learn(a) => {
+                assert_eq!(a.configs, "cfg/*.txt");
+                assert_eq!(a.out, "contracts.json");
+                assert_eq!(a.params.support, 5);
+                assert!(a.embed);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_learn_tuning_flags() {
+        let cmd = parse_args(&argv(&[
+            "learn",
+            "--configs",
+            "c/*",
+            "--support",
+            "10",
+            "--confidence",
+            "0.9",
+            "--score-threshold",
+            "2.5",
+            "--parallelism",
+            "8",
+            "--constants",
+            "--no-embed",
+            "--disable",
+            "ordering",
+            "--disable",
+            "type",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Learn(a) => {
+                assert_eq!(a.params.support, 10);
+                assert!((a.params.confidence - 0.9).abs() < 1e-9);
+                assert!((a.params.score_threshold - 2.5).abs() < 1e-9);
+                assert_eq!(a.parallelism, 8);
+                assert!(a.params.learn_constants);
+                assert!(!a.embed);
+                assert!(!a.params.enable_ordering);
+                assert!(!a.params.enable_type);
+                assert!(a.params.enable_present);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn learn_requires_configs() {
+        assert!(parse_args(&argv(&["learn"])).is_err());
+    }
+
+    #[test]
+    fn check_requires_contracts() {
+        assert!(parse_args(&argv(&["check", "--configs", "x/*"])).is_err());
+        assert!(parse_args(&argv(&[
+            "check",
+            "--configs",
+            "x/*",
+            "--contracts",
+            "c.json"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(parse_args(&argv(&["learn", "--configs", "x", "--support", "lots"])).is_err());
+        assert!(parse_args(&argv(&["learn", "--configs", "x", "--confidence", "1.5"])).is_err());
+        assert!(parse_args(&argv(&["learn", "--configs", "x", "--disable", "bogus"])).is_err());
+        assert!(parse_args(&argv(&["learn", "--configs"])).is_err());
+    }
+
+    #[test]
+    fn help_variants() {
+        for h in ["help", "--help", "-h"] {
+            assert!(matches!(parse_args(&argv(&[h])).unwrap(), Command::Help));
+        }
+    }
+}

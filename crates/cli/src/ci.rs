@@ -1,0 +1,212 @@
+//! The CI/CD workflow of Figure 10: learn from pre-change configurations,
+//! check post-change configurations.
+//!
+//! In the paper's production deployment, every pull request to the
+//! configuration-generation service runs the service both before and
+//! after the change, then Concord learns contracts from the pre-change
+//! output and checks the post-change output; violations block the pull
+//! request pending review. `concord ci` packages that pipeline as one
+//! command.
+
+use std::collections::HashSet;
+
+use concord_core::{check_parallel, learn, Contract};
+
+use crate::args::CiArgs;
+use crate::{load_dataset, read_file, CliError};
+
+/// Runs the CI pipeline; returns the process exit code (0 = clean,
+/// 1 = violations, so the pull request is blocked).
+pub fn run_ci(args: &CiArgs, out: &mut dyn std::io::Write) -> Result<i32, CliError> {
+    let pre = load_dataset(
+        &args.pre,
+        args.metadata.as_deref(),
+        args.tokens.as_deref(),
+        true,
+        args.parallelism,
+    )?;
+    let mut contracts = learn(&pre, &args.params);
+    // Production default (§5.4): ordering contracts learn the generated
+    // line order, which is interchangeable; drop them unless asked.
+    if !args.keep_ordering {
+        contracts
+            .contracts
+            .retain(|c| !matches!(c, Contract::Ordering { .. }));
+    }
+    if let Some(path) = &args.suppress {
+        let suppressions = load_suppressions(path)?;
+        let before = contracts.len();
+        contracts
+            .contracts
+            .retain(|c| !is_suppressed(c, &suppressions));
+        let _ = writeln!(
+            out,
+            "suppressed {} contracts via {path}",
+            before - contracts.len()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "learned {} contracts from pre-change configs ({} files)",
+        contracts.len(),
+        pre.configs.len()
+    );
+
+    let post = load_dataset(
+        &args.post,
+        args.metadata.as_deref(),
+        args.tokens.as_deref(),
+        true,
+        args.parallelism,
+    )?;
+    let report = check_parallel(&contracts, &post, args.parallelism);
+    for v in &report.violations {
+        let _ = writeln!(out, "{v}");
+    }
+    if report.violations.is_empty() {
+        let _ = writeln!(out, "CI PASS: no contract violations");
+        Ok(0)
+    } else {
+        let _ = writeln!(
+            out,
+            "CI BLOCK: {} violation(s) - review required",
+            report.violations.len()
+        );
+        Ok(1)
+    }
+}
+
+/// Loads a suppression file: one case-sensitive substring per line
+/// (matched against the contract's rendered description), `#` comments.
+pub fn load_suppressions(path: &str) -> Result<Vec<String>, CliError> {
+    let text = read_file(path)?;
+    Ok(normalize_suppressions(
+        text.lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(str::to_string)
+            .collect(),
+    ))
+}
+
+/// Returns `true` when a contract matches any suppression entry.
+pub fn is_suppressed(contract: &Contract, suppressions: &[String]) -> bool {
+    if suppressions.is_empty() {
+        return false;
+    }
+    let description = contract.describe();
+    suppressions.iter().any(|s| description.contains(s))
+}
+
+/// Deduplicates suppression entries (the UI appends blindly).
+pub fn normalize_suppressions(entries: Vec<String>) -> Vec<String> {
+    let mut seen = HashSet::new();
+    entries
+        .into_iter()
+        .filter(|e| seen.insert(e.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_matches_substring() {
+        let contract = Contract::Present {
+            pattern: "/router bgp [a:num]".to_string(),
+        };
+        assert!(is_suppressed(&contract, &["router bgp".to_string()]));
+        assert!(!is_suppressed(&contract, &["vlan".to_string()]));
+        assert!(!is_suppressed(&contract, &[]));
+    }
+
+    #[test]
+    fn normalize_dedupes_preserving_order() {
+        let entries = vec!["a".to_string(), "b".to_string(), "a".to_string()];
+        assert_eq!(normalize_suppressions(entries), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn ci_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("concord-ci-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("pre")).unwrap();
+        std::fs::create_dir_all(dir.join("post")).unwrap();
+        for i in 0..6 {
+            let text = format!(
+                "hostname DEV{}\nrouter bgp 65000\n vlan {}\n",
+                100 + i,
+                250 + i
+            );
+            std::fs::write(dir.join(format!("pre/dev{i}.cfg")), &text).unwrap();
+            // Post-change: one device loses its BGP block (a regression).
+            let post_text = if i == 0 {
+                format!("hostname DEV{}\n", 100 + i)
+            } else {
+                text
+            };
+            std::fs::write(dir.join(format!("post/dev{i}.cfg")), post_text).unwrap();
+        }
+        let argv: Vec<String> = [
+            "ci",
+            "--pre",
+            &format!("{}/pre/*.cfg", dir.display()),
+            "--post",
+            &format!("{}/post/*.cfg", dir.display()),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let mut out = Vec::new();
+        let code = crate::run(&argv, &mut out);
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("CI BLOCK"), "{text}");
+        assert!(text.contains("missing required line"), "{text}");
+
+        // Fix the regression: CI passes.
+        std::fs::write(
+            dir.join("post/dev0.cfg"),
+            "hostname DEV100\nrouter bgp 65000\n vlan 250\n",
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        let code = crate::run(&argv, &mut out);
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("CI PASS"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ci_suppressions_silence_contracts() {
+        let dir = std::env::temp_dir().join(format!("concord-cisup-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("pre")).unwrap();
+        std::fs::create_dir_all(dir.join("post")).unwrap();
+        for i in 0..6 {
+            std::fs::write(dir.join(format!("pre/dev{i}.cfg")), "needed line\n").unwrap();
+            std::fs::write(dir.join(format!("post/dev{i}.cfg")), "other\n").unwrap();
+        }
+        let suppress = dir.join("suppress.txt");
+        std::fs::write(&suppress, "# operator feedback\nneeded line\n").unwrap();
+        let argv: Vec<String> = [
+            "ci",
+            "--pre",
+            &format!("{}/pre/*.cfg", dir.display()),
+            "--post",
+            &format!("{}/post/*.cfg", dir.display()),
+            "--suppress",
+            suppress.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let mut out = Vec::new();
+        let code = crate::run(&argv, &mut out);
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(code, 0, "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

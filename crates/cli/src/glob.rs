@@ -1,0 +1,188 @@
+//! A small file glob: `*` and `?` within a path segment, `**` across
+//! directories.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Expands a glob pattern into the matching file paths (sorted).
+///
+/// Supported syntax per path segment: `*` (any run of characters), `?`
+/// (one character); a segment of exactly `**` matches zero or more
+/// directories (and, as the final segment, every file at any depth).
+/// Segments without metacharacters must match exactly.
+///
+/// A pattern without metacharacters behaves like a plain file path.
+///
+/// # Examples
+///
+/// ```no_run
+/// let files = concord_cli::expand_glob("configs/**/*.cfg").unwrap();
+/// ```
+pub fn expand_glob(pattern: &str) -> io::Result<Vec<PathBuf>> {
+    let (root, segments) = split_pattern(pattern);
+    let mut out = Vec::new();
+    walk(&root, &segments, &mut out)?;
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+/// Splits the pattern into a literal root and the glob segments.
+fn split_pattern(pattern: &str) -> (PathBuf, Vec<String>) {
+    let mut root = if pattern.starts_with('/') {
+        PathBuf::from("/")
+    } else {
+        PathBuf::from(".")
+    };
+    let mut segments: Vec<String> = Vec::new();
+    for part in pattern.split('/') {
+        if part.is_empty() {
+            continue;
+        }
+        if segments.is_empty() && !has_meta(part) {
+            root.push(part);
+        } else {
+            segments.push(part.to_string());
+        }
+    }
+    (root, segments)
+}
+
+fn has_meta(segment: &str) -> bool {
+    segment.contains(['*', '?'])
+}
+
+fn walk(dir: &Path, segments: &[String], out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let Some(segment) = segments.first() else {
+        if dir.is_file() {
+            out.push(dir.to_path_buf());
+        }
+        return Ok(());
+    };
+    let rest = &segments[1..];
+
+    if segment == "**" {
+        // Zero directories...
+        walk(dir, rest, out)?;
+        if dir.is_dir() {
+            for entry in std::fs::read_dir(dir)? {
+                let path = entry?.path();
+                if path.is_dir() {
+                    // ...or recurse into every subdirectory.
+                    walk(&path, segments, out)?;
+                } else if rest.is_empty() && path.is_file() {
+                    // A trailing `**` matches every file at any depth.
+                    out.push(path);
+                }
+            }
+        }
+        return Ok(());
+    }
+
+    if !has_meta(segment) {
+        return walk(&dir.join(segment), rest, out);
+    }
+
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+            continue;
+        };
+        if segment_matches(segment, &name) {
+            if rest.is_empty() {
+                if path.is_file() {
+                    out.push(path);
+                }
+            } else {
+                walk(&path, rest, out)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Matches one glob segment against a file name (`*`, `?` wildcards).
+fn segment_matches(pattern: &str, name: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let n: Vec<char> = name.chars().collect();
+    // Classic iterative wildcard match with backtracking over `*`.
+    let (mut pi, mut ni) = (0usize, 0usize);
+    let (mut star_pi, mut star_ni) = (usize::MAX, 0usize);
+    while ni < n.len() {
+        if pi < p.len() && (p[pi] == n[ni] || p[pi] == '?') {
+            pi += 1;
+            ni += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star_pi = pi;
+            star_ni = ni;
+            pi += 1;
+        } else if star_pi != usize::MAX {
+            pi = star_pi + 1;
+            star_ni += 1;
+            ni = star_ni;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_matching() {
+        assert!(segment_matches("*.cfg", "dev1.cfg"));
+        assert!(!segment_matches("*.cfg", "dev1.txt"));
+        assert!(segment_matches("dev?.cfg", "dev1.cfg"));
+        assert!(!segment_matches("dev?.cfg", "dev11.cfg"));
+        assert!(segment_matches("*", "anything"));
+        assert!(segment_matches("a*b*c", "aXXbYYc"));
+        assert!(!segment_matches("a*b*c", "aXXbYY"));
+        assert!(segment_matches("exact", "exact"));
+        assert!(!segment_matches("exact", "exactly"));
+        assert!(segment_matches("**tar", "xtar"));
+    }
+
+    #[test]
+    fn expands_files_in_tree() {
+        let dir = std::env::temp_dir().join(format!("concord-glob-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("sub/deeper")).unwrap();
+        std::fs::write(dir.join("a.cfg"), "x").unwrap();
+        std::fs::write(dir.join("b.cfg"), "x").unwrap();
+        std::fs::write(dir.join("c.txt"), "x").unwrap();
+        std::fs::write(dir.join("sub/d.cfg"), "x").unwrap();
+        std::fs::write(dir.join("sub/deeper/e.cfg"), "x").unwrap();
+
+        let flat = expand_glob(&format!("{}/*.cfg", dir.display())).unwrap();
+        assert_eq!(flat.len(), 2);
+
+        let deep = expand_glob(&format!("{}/**/*.cfg", dir.display())).unwrap();
+        assert_eq!(deep.len(), 4);
+
+        let one = expand_glob(&format!("{}/sub/d.cfg", dir.display())).unwrap();
+        assert_eq!(one.len(), 1);
+
+        let none = expand_glob(&format!("{}/*.yaml", dir.display())).unwrap();
+        assert!(none.is_empty());
+
+        let question = expand_glob(&format!("{}/?.cfg", dir.display())).unwrap();
+        assert_eq!(question.len(), 2);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_is_empty_not_error() {
+        let files = expand_glob("/definitely-not-a-dir-concord/*.cfg").unwrap();
+        assert!(files.is_empty());
+    }
+}

@@ -1,0 +1,8 @@
+//! The `concord` binary: thin wrapper over [`concord_cli::run`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    let code = concord_cli::run(&argv, &mut stdout);
+    std::process::exit(code);
+}

@@ -1,0 +1,78 @@
+//! Differential property tests for the glob segment matcher against a
+//! naive recursive reference implementation.
+
+use proptest::prelude::*;
+
+/// Naive recursive wildcard matcher: the specification.
+fn reference_match(pattern: &[char], name: &[char]) -> bool {
+    match (pattern.split_first(), name.split_first()) {
+        (None, None) => true,
+        (None, Some(_)) => false,
+        (Some(('*', rest)), _) => {
+            // Zero characters, or one character consumed.
+            reference_match(rest, name)
+                || name
+                    .split_first()
+                    .is_some_and(|(_, tail)| reference_match(pattern, tail))
+        }
+        (Some(('?', rest)), Some((_, tail))) => reference_match(rest, tail),
+        (Some((p, rest)), Some((n, tail))) => p == n && reference_match(rest, tail),
+        (Some(_), None) => false,
+    }
+}
+
+/// Drives the public glob through the filesystem: creates a file named
+/// `name` and checks whether `pattern` matches it.
+fn glob_matches(pattern: &str, name: &str) -> bool {
+    let dir = std::env::temp_dir().join(format!(
+        "concord-globprop-{}-{:x}",
+        std::process::id(),
+        fxhash(pattern) ^ fxhash(name)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join(name), "x").unwrap();
+    let hits = concord_cli::expand_glob(&format!("{}/{pattern}", dir.display())).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    !hits.is_empty()
+}
+
+fn fxhash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The filesystem glob agrees with the reference wildcard matcher.
+    #[test]
+    fn glob_agrees_with_reference(
+        pattern in "[ab?*]{0,6}",
+        name in "[ab]{1,6}",
+    ) {
+        prop_assume!(!pattern.is_empty());
+        let p: Vec<char> = pattern.chars().collect();
+        let n: Vec<char> = name.chars().collect();
+        let expected = reference_match(&p, &n);
+        prop_assert_eq!(
+            glob_matches(&pattern, &name),
+            expected,
+            "pattern {:?} vs name {:?}", pattern, name
+        );
+    }
+
+    /// A literal name always matches itself and nothing with a different
+    /// literal.
+    #[test]
+    fn literal_globs_are_exact(name in "[a-z]{1,8}", other in "[a-z]{1,8}") {
+        prop_assert!(glob_matches(&name, &name));
+        if name != other {
+            prop_assert!(!glob_matches(&name, &other));
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Configuration coverage (§3.9).
+//!
+//! > A configuration line is covered if removing it would violate at least
+//! > one contract.
+//!
+//! Rather than literally re-checking the configuration once per line,
+//! coverage is computed analytically per contract category (each rule
+//! below states exactly when removing a line flips a contract from
+//! satisfied to violated):
+//!
+//! - **present**: a line is covered when it is the *only* line matching
+//!   the required pattern (or exact text) in its configuration;
+//! - **ordering**: a line matching `second`, preceded by a `first` line,
+//!   is covered when the line after it does not also match `second`;
+//! - **type**: never covers (removing a line cannot introduce a mistyped
+//!   line — the paper calls this out explicitly);
+//! - **sequence**: interior elements of an arithmetic progression of
+//!   length ≥ 4 are covered (removing one tears a hole; endpoints shorten
+//!   the progression without breaking it, and at length 3 the two
+//!   survivors of an interior removal still form a valid progression);
+//! - **unique**: covered only for `once_per_config` uniques, where removal
+//!   leaves the configuration without its mandatory single instance;
+//! - **relational**: a consequent line is covered when it is the *sole
+//!   witness* of some antecedent instance (other than itself).
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use concord_types::Transform;
+
+use crate::check::{find_witnesses, ConfigContext, Resolved, ResolvedContract};
+use crate::contract::{Contract, ContractSet};
+use crate::ir::ConfigIr;
+use crate::learn::sequence_is_sequential;
+
+/// Coverage of one configuration.
+#[derive(Debug, Clone)]
+pub struct ConfigCoverage {
+    /// The configuration name.
+    pub name: String,
+    /// Number of (non-metadata) lines.
+    pub total_lines: usize,
+    /// Covered line indices (into the configuration's line list).
+    pub covered: HashSet<usize>,
+    /// Covered line indices per contract category.
+    pub by_category: BTreeMap<String, HashSet<usize>>,
+}
+
+/// Coverage of a whole dataset.
+#[derive(Debug, Clone)]
+pub struct CoverageReport {
+    /// Per-configuration coverage, in dataset order.
+    pub per_config: Vec<ConfigCoverage>,
+}
+
+/// Aggregated coverage numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageSummary {
+    /// Total lines across all configurations.
+    pub total_lines: usize,
+    /// Lines covered by at least one contract.
+    pub covered_lines: usize,
+    /// `covered_lines / total_lines` (0 when empty).
+    pub fraction: f64,
+    /// Fraction of all lines covered by each category individually.
+    pub by_category: BTreeMap<String, f64>,
+}
+
+impl CoverageReport {
+    /// Aggregates per-config coverage into dataset totals.
+    pub fn summary(&self) -> CoverageSummary {
+        let total: usize = self.per_config.iter().map(|c| c.total_lines).sum();
+        let covered: usize = self.per_config.iter().map(|c| c.covered.len()).sum();
+        let mut by_category: BTreeMap<String, usize> = BTreeMap::new();
+        for config in &self.per_config {
+            for (cat, lines) in &config.by_category {
+                *by_category.entry(cat.clone()).or_insert(0) += lines.len();
+            }
+        }
+        let frac = |n: usize| {
+            if total == 0 {
+                0.0
+            } else {
+                n as f64 / total as f64
+            }
+        };
+        CoverageSummary {
+            total_lines: total,
+            covered_lines: covered,
+            fraction: frac(covered),
+            by_category: by_category.into_iter().map(|(k, v)| (k, frac(v))).collect(),
+        }
+    }
+}
+
+/// Computes coverage of one configuration under `contracts`.
+pub(crate) fn config_coverage(
+    contracts: &ContractSet,
+    config: &ConfigIr,
+    resolved: &Resolved,
+    ctx: &ConfigContext,
+) -> ConfigCoverage {
+    let mut covered: HashSet<usize> = HashSet::new();
+    let mut by_category: BTreeMap<String, HashSet<usize>> = BTreeMap::new();
+    let mut cover = |cat: &str, li: usize, config: &ConfigIr, covered: &mut HashSet<usize>| {
+        if config.lines[li].is_meta {
+            return;
+        }
+        covered.insert(li);
+        by_category.entry(cat.to_string()).or_default().insert(li);
+    };
+
+    // Exact-line groups are only needed for PresentExact contracts.
+    let filled_groups: HashMap<&str, Vec<usize>> = if resolved.need_filled_lines {
+        let mut map: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (li, filled) in ctx.filled_by_line.iter().enumerate() {
+            map.entry(filled.as_str()).or_default().push(li);
+        }
+        map
+    } else {
+        HashMap::new()
+    };
+
+    for (idx, contract) in contracts.contracts.iter().enumerate() {
+        let category = contract.category();
+        match (contract, &resolved.by_contract[idx]) {
+            (Contract::Present { .. }, ResolvedContract::Present(id)) => {
+                let Some(id) = id else { continue };
+                if let Some(idxs) = ctx.lines_by_pattern.get(id) {
+                    if idxs.len() == 1 {
+                        cover(category, idxs[0], config, &mut covered);
+                    }
+                }
+            }
+            (Contract::PresentExact { line }, ResolvedContract::PresentExact) => {
+                if let Some(idxs) = filled_groups.get(line.as_str()) {
+                    if idxs.len() == 1 {
+                        cover(category, idxs[0], config, &mut covered);
+                    }
+                }
+            }
+            (Contract::Ordering { .. }, ResolvedContract::Ordering(f, s)) => {
+                let (Some(f), Some(s)) = (f, s) else { continue };
+                for li in 0..config.lines.len() {
+                    if config.lines[li].pattern != *s {
+                        continue;
+                    }
+                    let prev_matches = li > 0
+                        && config.lines[li - 1].pattern == *f
+                        && config.lines[li - 1].is_meta == config.lines[li].is_meta;
+                    if !prev_matches {
+                        continue;
+                    }
+                    let next_also_matches = config
+                        .lines
+                        .get(li + 1)
+                        .is_some_and(|n| n.pattern == *s && n.is_meta == config.lines[li].is_meta);
+                    if !next_also_matches {
+                        cover(category, li, config, &mut covered);
+                    }
+                }
+            }
+            (Contract::Type { .. }, ResolvedContract::Type(_))
+            | (Contract::Range { .. }, ResolvedContract::Range(_)) => {
+                // Type and range contracts flag existing lines; removal
+                // cannot violate them, so they cover nothing (§3.9).
+            }
+            (Contract::Sequence { param, .. }, ResolvedContract::Sequence(id)) => {
+                let values = ctx.values_of(config, *id, *param, &Transform::Id);
+                let nums: Vec<&concord_types::BigNum> =
+                    values.iter().filter_map(|(v, _)| v.as_num()).collect();
+                if nums.len() >= 4 && sequence_is_sequential(&nums) {
+                    for (v, li) in &values[1..values.len() - 1] {
+                        let _ = v;
+                        cover(category, *li, config, &mut covered);
+                    }
+                }
+            }
+            (
+                Contract::Unique {
+                    once_per_config, ..
+                },
+                ResolvedContract::Unique(id),
+            ) => {
+                if !once_per_config {
+                    continue;
+                }
+                let Some(id) = id else { continue };
+                if let Some(idxs) = ctx.lines_by_pattern.get(id) {
+                    if idxs.len() == 1 {
+                        cover(category, idxs[0], config, &mut covered);
+                    }
+                }
+            }
+            (Contract::Relational(r), ResolvedContract::Relational(a, c)) => {
+                let antecedents =
+                    ctx.values_of(config, *a, r.antecedent.param, &r.antecedent.transform);
+                if antecedents.is_empty() {
+                    continue;
+                }
+                let consequents =
+                    ctx.values_of(config, *c, r.consequent.param, &r.consequent.transform);
+                for (v1, li) in antecedents.iter() {
+                    let wits = find_witnesses(r.relation, v1, &consequents);
+                    if wits.len() == 1 && wits[0] != *li {
+                        cover(category, wits[0], config, &mut covered);
+                    }
+                }
+            }
+            _ => unreachable!("resolved variant mismatch"),
+        }
+    }
+
+    ConfigCoverage {
+        name: config.name.clone(),
+        total_lines: config.own_line_count(),
+        covered,
+        by_category,
+    }
+}

@@ -1,0 +1,600 @@
+//! Contract checking (§3.8).
+//!
+//! [`check`] evaluates a [`ContractSet`] against a [`Dataset`] of test
+//! configurations, reporting every violation with the configuration name,
+//! line number, and offending values — the "actionable" property of
+//! contracts. It also measures configuration coverage (§3.9) via
+//! [`coverage`].
+
+pub mod coverage;
+
+use std::collections::{HashMap, HashSet};
+
+use concord_lexer::type_agnostic_pattern;
+use concord_types::{Transform, Value};
+
+use crate::contract::{Contract, ContractSet, RelationKind, RelationalContract};
+use crate::ir::{ConfigIr, Dataset, PatternId};
+use crate::learn::sequence_is_sequential;
+use crate::parallel;
+
+/// One contract violation, localized to a configuration and line.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Violation {
+    /// Index of the violated contract in the checked [`ContractSet`].
+    pub contract_index: usize,
+    /// The contract's category name.
+    pub category: String,
+    /// Name of the configuration the violation occurred in.
+    pub config: String,
+    /// 1-based line number, when the violation points at a line (missing
+    /// lines have no number).
+    pub line_no: Option<u32>,
+    /// The offending line's text (or the missing pattern).
+    pub line: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.line_no {
+            Some(n) => write!(
+                f,
+                "{}:{n}: {} [{}]",
+                self.config, self.message, self.category
+            ),
+            None => write!(f, "{}: {} [{}]", self.config, self.message, self.category),
+        }
+    }
+}
+
+/// The result of checking contracts against a dataset.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// All violations found, ordered by (config, line, contract).
+    pub violations: Vec<Violation>,
+    /// Configuration coverage of the checked contracts (§3.9).
+    pub coverage: coverage::CoverageReport,
+}
+
+impl CheckReport {
+    /// Counts violations per contract category.
+    pub fn violations_by_category(&self) -> std::collections::BTreeMap<String, usize> {
+        let mut out = std::collections::BTreeMap::new();
+        for v in &self.violations {
+            *out.entry(v.category.clone()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Counts violations per configuration, in dataset order of first
+    /// appearance.
+    pub fn violations_by_config(&self) -> Vec<(String, usize)> {
+        let mut order: Vec<String> = Vec::new();
+        let mut counts: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+        for v in &self.violations {
+            if !counts.contains_key(&v.config) {
+                order.push(v.config.clone());
+            }
+            *counts.entry(v.config.clone()).or_insert(0) += 1;
+        }
+        order
+            .into_iter()
+            .map(|name| {
+                let count = counts[&name];
+                (name, count)
+            })
+            .collect()
+    }
+}
+
+/// Checks `contracts` against every configuration of `dataset`.
+pub fn check(contracts: &ContractSet, dataset: &Dataset) -> CheckReport {
+    check_parallel(contracts, dataset, 1)
+}
+
+/// Checks with an explicit parallelism level (workers across configs).
+pub fn check_parallel(
+    contracts: &ContractSet,
+    dataset: &Dataset,
+    parallelism: usize,
+) -> CheckReport {
+    let resolved = resolve(contracts, dataset);
+
+    let per_config: Vec<(Vec<Violation>, coverage::ConfigCoverage)> = parallel::map(
+        &dataset.configs,
+        |config| {
+            let ctx = ConfigContext::new(config, &dataset.table, &resolved);
+            let violations = check_config(contracts, config, &resolved, &ctx);
+            let cov = coverage::config_coverage(contracts, config, &resolved, &ctx);
+            (violations, cov)
+        },
+        parallelism,
+    );
+
+    let mut violations = Vec::new();
+    let mut coverages = Vec::new();
+    for (v, c) in per_config {
+        violations.extend(v);
+        coverages.push(c);
+    }
+
+    // Unique contracts are global: check across all configs at once.
+    violations.extend(check_unique_global(contracts, dataset, &resolved));
+
+    violations.sort_by(|a, b| {
+        (&a.config, a.line_no, a.contract_index).cmp(&(&b.config, b.line_no, b.contract_index))
+    });
+
+    CheckReport {
+        violations,
+        coverage: coverage::CoverageReport {
+            per_config: coverages,
+        },
+    }
+}
+
+/// Contract pattern texts resolved against the test dataset's interner.
+pub(crate) struct Resolved {
+    /// For each contract, its patterns resolved to the dataset's ids
+    /// (`None` when the pattern never occurs in the dataset).
+    pub by_contract: Vec<ResolvedContract>,
+    /// Whether any `PresentExact` contract exists (enables filled-line
+    /// sets).
+    pub need_filled_lines: bool,
+}
+
+pub(crate) enum ResolvedContract {
+    Present(Option<PatternId>),
+    PresentExact,
+    Ordering(Option<PatternId>, Option<PatternId>),
+    /// All dataset pattern ids whose type-agnostic form equals the
+    /// contract's pattern.
+    Type(HashSet<PatternId>),
+    Sequence(Option<PatternId>),
+    Unique(Option<PatternId>),
+    Range(Option<PatternId>),
+    Relational(Option<PatternId>, Option<PatternId>),
+}
+
+fn resolve(contracts: &ContractSet, dataset: &Dataset) -> Resolved {
+    let mut need_filled_lines = false;
+    // The agnostic rewrite is pattern-count work; compute it once only if
+    // any type contract exists.
+    let agnostic_index: HashMap<String, HashSet<PatternId>> = if contracts
+        .contracts
+        .iter()
+        .any(|c| matches!(c, Contract::Type { .. }))
+    {
+        let mut map: HashMap<String, HashSet<PatternId>> = HashMap::new();
+        for (id, text) in dataset.table.iter() {
+            map.entry(type_agnostic_pattern(text))
+                .or_default()
+                .insert(id);
+        }
+        map
+    } else {
+        HashMap::new()
+    };
+    let by_contract = contracts
+        .contracts
+        .iter()
+        .map(|c| match c {
+            Contract::Present { pattern } => ResolvedContract::Present(dataset.table.get(pattern)),
+            Contract::PresentExact { .. } => {
+                need_filled_lines = true;
+                ResolvedContract::PresentExact
+            }
+            Contract::Ordering { first, second } => {
+                ResolvedContract::Ordering(dataset.table.get(first), dataset.table.get(second))
+            }
+            Contract::Type { pattern, .. } => {
+                ResolvedContract::Type(agnostic_index.get(pattern).cloned().unwrap_or_default())
+            }
+            Contract::Sequence { pattern, .. } => {
+                ResolvedContract::Sequence(dataset.table.get(pattern))
+            }
+            Contract::Unique { pattern, .. } => {
+                ResolvedContract::Unique(dataset.table.get(pattern))
+            }
+            Contract::Range { pattern, .. } => ResolvedContract::Range(dataset.table.get(pattern)),
+            Contract::Relational(r) => ResolvedContract::Relational(
+                dataset.table.get(&r.antecedent.pattern),
+                dataset.table.get(&r.consequent.pattern),
+            ),
+        })
+        .collect();
+    Resolved {
+        by_contract,
+        need_filled_lines,
+    }
+}
+
+/// Per-configuration evaluation context: occurrence maps and cached
+/// transformed-value collections.
+pub(crate) struct ConfigContext {
+    /// Pattern id → line indices.
+    pub lines_by_pattern: HashMap<PatternId, Vec<usize>>,
+    /// Per-line filled exact text (empty unless `PresentExact` contracts
+    /// exist).
+    pub filled_by_line: Vec<String>,
+    /// Filled exact line texts as a set (derived from `filled_by_line`).
+    pub filled_lines: HashSet<String>,
+    /// Memoized transformed-value collections: many contracts share the
+    /// same `(pattern, param, transform)` node, and coverage re-reads
+    /// what checking already computed.
+    values_cache: std::cell::RefCell<HashMap<NodeCacheKey, SharedValues>>,
+}
+
+/// Cache key for transformed-value collections.
+type NodeCacheKey = (PatternId, u16, crate::learn::indexes::TransformTag);
+
+/// A shared, immutable collection of transformed values with their line
+/// indices.
+pub(crate) type SharedValues = std::rc::Rc<Vec<(Value, usize)>>;
+
+impl ConfigContext {
+    pub(crate) fn new(
+        config: &ConfigIr,
+        table: &crate::ir::PatternTable,
+        resolved: &Resolved,
+    ) -> Self {
+        let mut lines_by_pattern: HashMap<PatternId, Vec<usize>> = HashMap::new();
+        for (i, line) in config.lines.iter().enumerate() {
+            lines_by_pattern.entry(line.pattern).or_default().push(i);
+        }
+        let filled_by_line: Vec<String> = if resolved.need_filled_lines {
+            config
+                .lines
+                .iter()
+                .map(|l| crate::learn::fill_pattern(table.text(l.pattern), &l.params))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let filled_lines = filled_by_line.iter().cloned().collect();
+        ConfigContext {
+            lines_by_pattern,
+            filled_by_line,
+            filled_lines,
+            values_cache: std::cell::RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Collects the transformed values of `(pattern, param)` with
+    /// `transform`, paired with their line indices. Results are memoized
+    /// per context.
+    pub(crate) fn values_of(
+        &self,
+        config: &ConfigIr,
+        pattern: Option<PatternId>,
+        param: u16,
+        transform: &Transform,
+    ) -> SharedValues {
+        let Some(pattern) = pattern else {
+            return std::rc::Rc::new(Vec::new());
+        };
+        let key = (
+            pattern,
+            param,
+            crate::learn::indexes::TransformTag::from_transform(transform),
+        );
+        if let Some(cached) = self.values_cache.borrow().get(&key) {
+            return cached.clone();
+        }
+        let values: Vec<(Value, usize)> = self
+            .lines_by_pattern
+            .get(&pattern)
+            .map(|idxs| {
+                idxs.iter()
+                    .filter_map(|&li| {
+                        let line = &config.lines[li];
+                        let value = line.params.get(usize::from(param))?;
+                        Some((transform.apply(&value.value)?, li))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let rc = std::rc::Rc::new(values);
+        self.values_cache.borrow_mut().insert(key, rc.clone());
+        rc
+    }
+}
+
+/// Evaluates one relational witness: does any consequent value relate to
+/// `v1`?
+pub(crate) fn find_witnesses(
+    relation: RelationKind,
+    v1: &Value,
+    consequents: &[(Value, usize)],
+) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (v2, li) in consequents {
+        let holds = match relation {
+            RelationKind::Equals => v1 == v2,
+            RelationKind::Contains => match (v1, v2) {
+                (Value::Ip(a), Value::Net(n)) => n.contains(*a),
+                (Value::Net(inner), Value::Net(outer)) => outer.contains_net(inner),
+                _ => false,
+            },
+            RelationKind::StartsWith => match (v1.as_str(), v2.as_str()) {
+                (Some(s1), Some(s2)) => s2.starts_with(s1),
+                _ => false,
+            },
+            RelationKind::EndsWith => match (v1.as_str(), v2.as_str()) {
+                (Some(s1), Some(s2)) => s2.ends_with(s1),
+                _ => false,
+            },
+        };
+        if holds {
+            out.push(*li);
+        }
+    }
+    out
+}
+
+fn check_config(
+    contracts: &ContractSet,
+    config: &ConfigIr,
+    resolved: &Resolved,
+    ctx: &ConfigContext,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (idx, contract) in contracts.contracts.iter().enumerate() {
+        match (contract, &resolved.by_contract[idx]) {
+            (Contract::Present { pattern }, ResolvedContract::Present(id)) => {
+                let present = id
+                    .map(|id| ctx.lines_by_pattern.contains_key(&id))
+                    .unwrap_or(false);
+                if !present {
+                    out.push(Violation {
+                        contract_index: idx,
+                        category: contract.category().to_string(),
+                        config: config.name.clone(),
+                        line_no: None,
+                        line: pattern.clone(),
+                        message: format!("missing required line matching {pattern}"),
+                    });
+                }
+            }
+            (Contract::PresentExact { line }, ResolvedContract::PresentExact) => {
+                if !ctx.filled_lines.contains(line) {
+                    out.push(Violation {
+                        contract_index: idx,
+                        category: contract.category().to_string(),
+                        config: config.name.clone(),
+                        line_no: None,
+                        line: line.clone(),
+                        message: format!("missing required exact line {line:?}"),
+                    });
+                }
+            }
+            (Contract::Ordering { first, second }, ResolvedContract::Ordering(f, s)) => {
+                let Some(f) = f else { continue };
+                let Some(line_idxs) = ctx.lines_by_pattern.get(f) else {
+                    continue;
+                };
+                for &li in line_idxs {
+                    let line = &config.lines[li];
+                    let next = config.lines.get(li + 1);
+                    let ok = match (next, s) {
+                        (Some(n), Some(s)) => n.pattern == *s && n.is_meta == line.is_meta,
+                        _ => false,
+                    };
+                    if !ok {
+                        out.push(Violation {
+                            contract_index: idx,
+                            category: contract.category().to_string(),
+                            config: config.name.clone(),
+                            line_no: Some(line.line_no),
+                            line: line.original.clone(),
+                            message: format!(
+                                "line matching {first} must be immediately followed by a line matching {second}"
+                            ),
+                        });
+                    }
+                }
+            }
+            (
+                Contract::Type {
+                    pattern,
+                    hole,
+                    valid,
+                },
+                ResolvedContract::Type(ids),
+            ) => {
+                // Any line whose agnostic pattern matches but whose hole
+                // type is not in the valid set.
+                for line in &config.lines {
+                    if !ids.contains(&line.pattern) {
+                        continue;
+                    }
+                    let Some(param) = line.params.get(usize::from(*hole)) else {
+                        continue;
+                    };
+                    if !valid.contains(&param.ty) {
+                        out.push(Violation {
+                            contract_index: idx,
+                            category: contract.category().to_string(),
+                            config: config.name.clone(),
+                            line_no: Some(line.line_no),
+                            line: line.original.clone(),
+                            message: format!(
+                                "type [{}] is not allowed at hole {hole} of {pattern}",
+                                param.ty.name()
+                            ),
+                        });
+                    }
+                }
+            }
+            (Contract::Sequence { pattern, param }, ResolvedContract::Sequence(id)) => {
+                let values = ctx.values_of(config, *id, *param, &Transform::Id);
+                let nums: Vec<&concord_types::BigNum> =
+                    values.iter().filter_map(|(v, _)| v.as_num()).collect();
+                if nums.len() >= 2 && !sequence_is_sequential(&nums) {
+                    // Report the first line where the progression breaks.
+                    let step = nums[1].abs_diff(nums[0]);
+                    let break_at = nums
+                        .windows(2)
+                        .position(|w| w[1] <= w[0] || w[1].abs_diff(w[0]) != step)
+                        .map(|i| i + 1)
+                        .unwrap_or(1);
+                    let li = values[break_at].1;
+                    let line = &config.lines[li];
+                    out.push(Violation {
+                        contract_index: idx,
+                        category: contract.category().to_string(),
+                        config: config.name.clone(),
+                        line_no: Some(line.line_no),
+                        line: line.original.clone(),
+                        message: format!(
+                            "values of param {param} of {pattern} are not equidistant"
+                        ),
+                    });
+                }
+            }
+            (Contract::Unique { .. }, ResolvedContract::Unique(_)) => {
+                // Handled globally in `check_unique_global`.
+            }
+            (
+                Contract::Range {
+                    pattern,
+                    param,
+                    min,
+                    max,
+                },
+                ResolvedContract::Range(id),
+            ) => {
+                let values = ctx.values_of(config, *id, *param, &Transform::Id);
+                for (value, li) in values.iter() {
+                    let Some(n) = value.as_num() else { continue };
+                    if n < min || n > max {
+                        let line = &config.lines[*li];
+                        out.push(Violation {
+                            contract_index: idx,
+                            category: contract.category().to_string(),
+                            config: config.name.clone(),
+                            line_no: Some(line.line_no),
+                            line: line.original.clone(),
+                            message: format!(
+                                "value {n} of param {param} of {pattern} is outside [{min}, {max}]"
+                            ),
+                        });
+                    }
+                }
+            }
+            (Contract::Relational(r), ResolvedContract::Relational(a, c)) => {
+                out.extend(check_relational(idx, r, config, ctx, *a, *c));
+            }
+            _ => unreachable!("resolved variant mismatch"),
+        }
+    }
+    out
+}
+
+fn check_relational(
+    idx: usize,
+    r: &RelationalContract,
+    config: &ConfigIr,
+    ctx: &ConfigContext,
+    antecedent: Option<PatternId>,
+    consequent: Option<PatternId>,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let antecedents = ctx.values_of(
+        config,
+        antecedent,
+        r.antecedent.param,
+        &r.antecedent.transform,
+    );
+    if antecedents.is_empty() {
+        return out;
+    }
+    let consequents = ctx.values_of(
+        config,
+        consequent,
+        r.consequent.param,
+        &r.consequent.transform,
+    );
+    for (v1, li) in antecedents.iter() {
+        if find_witnesses(r.relation, v1, &consequents).is_empty() {
+            let line = &config.lines[*li];
+            out.push(Violation {
+                contract_index: idx,
+                category: "relational".to_string(),
+                config: config.name.clone(),
+                line_no: Some(line.line_no),
+                line: line.original.clone(),
+                message: format!(
+                    "no line matching {} satisfies {} for value {}",
+                    r.consequent.pattern,
+                    r.relation.name(),
+                    v1.render(),
+                ),
+            });
+        }
+    }
+    out
+}
+
+fn check_unique_global(
+    contracts: &ContractSet,
+    dataset: &Dataset,
+    resolved: &Resolved,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (idx, contract) in contracts.contracts.iter().enumerate() {
+        let (
+            Contract::Unique {
+                pattern,
+                param,
+                once_per_config,
+            },
+            ResolvedContract::Unique(id),
+        ) = (contract, &resolved.by_contract[idx])
+        else {
+            continue;
+        };
+        let Some(id) = id else { continue };
+        let mut seen: HashSet<String> = HashSet::new();
+        for config in &dataset.configs {
+            let mut count_here = 0u32;
+            for line in &config.lines {
+                if line.pattern != *id {
+                    continue;
+                }
+                count_here += 1;
+                let Some(p) = line.params.get(usize::from(*param)) else {
+                    continue;
+                };
+                let rendered = p.value.render();
+                if seen.contains(&rendered) {
+                    out.push(Violation {
+                        contract_index: idx,
+                        category: contract.category().to_string(),
+                        config: config.name.clone(),
+                        line_no: Some(line.line_no),
+                        line: line.original.clone(),
+                        message: format!(
+                            "value {rendered} of param {param} of {pattern} is reused"
+                        ),
+                    });
+                } else {
+                    seen.insert(rendered);
+                }
+            }
+            if *once_per_config && count_here == 0 {
+                out.push(Violation {
+                    contract_index: idx,
+                    category: contract.category().to_string(),
+                    config: config.name.clone(),
+                    line_no: None,
+                    line: pattern.clone(),
+                    message: format!("expected exactly one line matching {pattern}, found none"),
+                });
+            }
+        }
+    }
+    out
+}

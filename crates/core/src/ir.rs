@@ -1,0 +1,362 @@
+//! The intermediate representation shared by learning and checking.
+//!
+//! A [`Dataset`] holds one [`ConfigIr`] per configuration file plus an
+//! interning [`PatternTable`]. Every content line becomes a [`LineRecord`]
+//! carrying its dense pattern id, its extracted parameters, and its source
+//! line number. Metadata files (§3.7) are lexed once, prefixed with
+//! `@meta`, and appended to every configuration so the miners discover
+//! config↔metadata relationships with no special cases.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use concord_formats::{embed_auto, FormatCategory};
+use concord_lexer::{LexedLine, Lexer, Param};
+
+use crate::parallel;
+
+/// A dense identifier for an interned pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PatternId(pub u32);
+
+/// Interns pattern strings to dense ids.
+#[derive(Debug, Default, Clone)]
+pub struct PatternTable {
+    by_text: HashMap<Arc<str>, PatternId>,
+    texts: Vec<Arc<str>>,
+}
+
+impl PatternTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `text`, returning its id.
+    pub fn intern(&mut self, text: &str) -> PatternId {
+        if let Some(&id) = self.by_text.get(text) {
+            return id;
+        }
+        let arc: Arc<str> = Arc::from(text);
+        let id = PatternId(self.texts.len() as u32);
+        self.texts.push(arc.clone());
+        self.by_text.insert(arc, id);
+        id
+    }
+
+    /// Looks up an already-interned pattern.
+    pub fn get(&self, text: &str) -> Option<PatternId> {
+        self.by_text.get(text).copied()
+    }
+
+    /// Returns the text of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn text(&self, id: PatternId) -> &str {
+        &self.texts[id.0 as usize]
+    }
+
+    /// Returns the number of interned patterns.
+    pub fn len(&self) -> usize {
+        self.texts.len()
+    }
+
+    /// Returns `true` if no patterns are interned.
+    pub fn is_empty(&self) -> bool {
+        self.texts.is_empty()
+    }
+
+    /// Iterates over all `(id, text)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (PatternId, &str)> {
+        self.texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (PatternId(i as u32), t.as_ref()))
+    }
+}
+
+/// One lexed configuration line.
+#[derive(Debug, Clone)]
+pub struct LineRecord {
+    /// The interned pattern id of the full embedded line.
+    pub pattern: PatternId,
+    /// Parameters bound from the original line text, in order.
+    pub params: Vec<Param>,
+    /// 1-based line number in the source file.
+    pub line_no: u32,
+    /// The trimmed original line text.
+    pub original: String,
+    /// `true` when the line came from an appended metadata file.
+    pub is_meta: bool,
+}
+
+/// One configuration file after the full front-end pipeline.
+#[derive(Debug, Clone)]
+pub struct ConfigIr {
+    /// The configuration's name (usually the file name / device name).
+    pub name: String,
+    /// The inferred format category.
+    pub format: FormatCategory,
+    /// All content lines in source order (metadata lines appended last).
+    pub lines: Vec<LineRecord>,
+}
+
+impl ConfigIr {
+    /// Returns the number of non-metadata lines.
+    pub fn own_line_count(&self) -> usize {
+        self.lines.iter().filter(|l| !l.is_meta).count()
+    }
+}
+
+/// A set of configurations sharing one pattern table.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// The shared pattern interner.
+    pub table: PatternTable,
+    /// The configurations.
+    pub configs: Vec<ConfigIr>,
+}
+
+/// Error constructing a [`Dataset`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// A user-supplied custom token definition failed to compile.
+    BadTokenDef(String),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::BadTokenDef(msg) => write!(f, "bad token definition: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+impl Dataset {
+    /// Builds a dataset from `(name, text)` configuration pairs with the
+    /// standard lexer and automatic format detection.
+    ///
+    /// `metadata` files are embedded/lexed with an `@meta` pattern prefix
+    /// and appended to every configuration (§3.7).
+    pub fn from_named_texts(
+        configs: &[(String, String)],
+        metadata: &[(String, String)],
+    ) -> Result<Dataset, DatasetError> {
+        Self::build(configs, metadata, &Lexer::standard(), true, 1)
+    }
+
+    /// Builds a dataset with full control over the lexer, context
+    /// embedding, and parallelism.
+    ///
+    /// With `embed_context = false` every line is treated as flat text —
+    /// the "Baseline" configuration of Figure 7.
+    pub fn build(
+        configs: &[(String, String)],
+        metadata: &[(String, String)],
+        lexer: &Lexer,
+        embed_context: bool,
+        parallelism: usize,
+    ) -> Result<Dataset, DatasetError> {
+        // Metadata is lexed once and shared across configs.
+        let meta_lines: Vec<(String, Vec<LexedLine>)> = metadata
+            .iter()
+            .map(|(name, text)| (name.clone(), lex_text(text, lexer, embed_context).1))
+            .collect();
+
+        // Lex configs (possibly in parallel), then intern sequentially so
+        // ids are deterministic regardless of thread count.
+        let lexed: Vec<(FormatCategory, Vec<LexedLine>)> = parallel::map(
+            configs,
+            |(_, text)| lex_text(text, lexer, embed_context),
+            parallelism,
+        );
+
+        let mut table = PatternTable::new();
+        let mut out_configs = Vec::with_capacity(configs.len());
+        for ((name, _), (format, lines)) in configs.iter().zip(lexed) {
+            let mut records: Vec<LineRecord> = lines
+                .into_iter()
+                .map(|l| LineRecord {
+                    pattern: table.intern(&l.pattern),
+                    params: l.params,
+                    line_no: l.line_no,
+                    original: l.original,
+                    is_meta: false,
+                })
+                .collect();
+            for (_meta_name, lines) in &meta_lines {
+                for l in lines {
+                    records.push(LineRecord {
+                        pattern: table.intern(&format!("@meta{}", l.pattern)),
+                        params: l.params.clone(),
+                        line_no: l.line_no,
+                        original: l.original.clone(),
+                        is_meta: true,
+                    });
+                }
+            }
+            out_configs.push(ConfigIr {
+                name: name.clone(),
+                format,
+                lines: records,
+            });
+        }
+        Ok(Dataset {
+            table,
+            configs: out_configs,
+        })
+    }
+
+    /// Returns the total number of configuration lines (excluding
+    /// metadata).
+    pub fn total_lines(&self) -> usize {
+        self.configs.iter().map(ConfigIr::own_line_count).sum()
+    }
+
+    /// Returns the number of distinct patterns.
+    pub fn pattern_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Returns the number of distinct `(pattern, parameter)` pairs
+    /// (the "Parameters" column of Table 3).
+    pub fn parameter_count(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        for config in &self.configs {
+            for line in &config.lines {
+                for (i, _) in line.params.iter().enumerate() {
+                    seen.insert((line.pattern, i as u16));
+                }
+            }
+        }
+        seen.len()
+    }
+}
+
+/// Runs embedding and lexing for one file.
+fn lex_text(text: &str, lexer: &Lexer, embed_context: bool) -> (FormatCategory, Vec<LexedLine>) {
+    let (format, embedded) = if embed_context {
+        embed_auto(text)
+    } else {
+        (
+            FormatCategory::Flat,
+            concord_formats::embed(text, FormatCategory::Flat),
+        )
+    };
+    let lines = embedded
+        .iter()
+        .map(|e| lexer.lex_line(&e.parents, &e.original, e.line_no))
+        .collect();
+    (format, lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfgs(texts: &[&str]) -> Vec<(String, String)> {
+        texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (format!("dev{i}"), t.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn pattern_table_interning() {
+        let mut table = PatternTable::new();
+        let a = table.intern("x [a:num]");
+        let b = table.intern("y [a:num]");
+        let a2 = table.intern("x [a:num]");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(table.text(a), "x [a:num]");
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.get("y [a:num]"), Some(b));
+        assert_eq!(table.get("missing"), None);
+    }
+
+    #[test]
+    fn builds_dataset_with_embedding() {
+        let configs = cfgs(&["interface Loopback0\n ip address 10.0.0.1\n"]);
+        let ds = Dataset::from_named_texts(&configs, &[]).unwrap();
+        assert_eq!(ds.configs.len(), 1);
+        let config = &ds.configs[0];
+        assert_eq!(config.lines.len(), 2);
+        assert_eq!(
+            ds.table.text(config.lines[1].pattern),
+            "/interface Loopback[num]/ip address [a:ip4]"
+        );
+        assert_eq!(config.lines[1].line_no, 2);
+    }
+
+    #[test]
+    fn same_pattern_shares_id_across_configs() {
+        let configs = cfgs(&["vlan 10\n", "vlan 20\n"]);
+        let ds = Dataset::from_named_texts(&configs, &[]).unwrap();
+        assert_eq!(
+            ds.configs[0].lines[0].pattern,
+            ds.configs[1].lines[0].pattern
+        );
+        assert_eq!(ds.pattern_count(), 1);
+    }
+
+    #[test]
+    fn metadata_appended_with_prefix() {
+        let configs = cfgs(&["vlan 10\n", "vlan 20\n"]);
+        let metadata = vec![("meta.yaml".to_string(), "vlanId: 10\n".to_string())];
+        let ds = Dataset::from_named_texts(&configs, &metadata).unwrap();
+        for config in &ds.configs {
+            let meta_lines: Vec<_> = config.lines.iter().filter(|l| l.is_meta).collect();
+            assert_eq!(meta_lines.len(), 1);
+            assert!(ds.table.text(meta_lines[0].pattern).starts_with("@meta/"));
+        }
+        // Metadata lines are excluded from the own-line count.
+        assert_eq!(ds.total_lines(), 2);
+    }
+
+    #[test]
+    fn no_embedding_flattens() {
+        let configs = cfgs(&["interface Loopback0\n ip address 10.0.0.1\n"]);
+        let lexer = Lexer::standard();
+        let ds = Dataset::build(&configs, &[], &lexer, false, 1).unwrap();
+        assert_eq!(
+            ds.table.text(ds.configs[0].lines[1].pattern),
+            "/ip address [a:ip4]"
+        );
+    }
+
+    #[test]
+    fn parameter_count_counts_pattern_param_pairs() {
+        let configs = cfgs(&["rd 1.2.3.4:55\n", "rd 5.6.7.8:99\nvlan 3\n"]);
+        let ds = Dataset::from_named_texts(&configs, &[]).unwrap();
+        // `rd [a:ip4]:[b:num]` has 2 params, `vlan [a:num]` has 1.
+        assert_eq!(ds.parameter_count(), 3);
+    }
+
+    #[test]
+    fn parallel_build_is_deterministic() {
+        let configs = cfgs(&[
+            "vlan 1\nvlan 2\n",
+            "interface Et1\n mtu 9214\n",
+            "router bgp 65000\n vlan 7\n",
+            "hostname X1\n",
+        ]);
+        let lexer = Lexer::standard();
+        let seq = Dataset::build(&configs, &[], &lexer, true, 1).unwrap();
+        let par = Dataset::build(&configs, &[], &lexer, true, 4).unwrap();
+        assert_eq!(seq.pattern_count(), par.pattern_count());
+        for (a, b) in seq.configs.iter().zip(&par.configs) {
+            assert_eq!(a.lines.len(), b.lines.len());
+            for (la, lb) in a.lines.iter().zip(&b.lines) {
+                assert_eq!(la.pattern, lb.pattern);
+                assert_eq!(la.original, lb.original);
+            }
+        }
+    }
+}

@@ -1,0 +1,665 @@
+//! Relation-finding data structures (§3.5).
+//!
+//! Naively evaluating every candidate contract means comparing every pair
+//! of `(pattern, parameter, transformation)` values — quadratic in the
+//! number of parameters and hopeless at millions of lines (§5.2's
+//! brute-force ablation). Instead, Concord builds one lookup structure per
+//! relation kind in a single pass over a configuration's values, then asks
+//! each value for exactly the entries it relates to:
+//!
+//! - equality: a hash table from value to entries ([`EqualityStructure`]),
+//! - containment: binary prefix tries per address family
+//!   ([`ContainsStructure`] over [`PrefixTrie`]s),
+//! - affixes: forward and reversed character tries ([`AffixStructure`]
+//!   over [`StrTrie`]s).
+//!
+//! All structures implement [`RelationStructure`], the extension
+//! interface §4 describes for adding new relationships.
+
+use std::collections::HashMap;
+
+use concord_types::{IpNetwork, Transform, Value};
+
+use crate::ir::PatternId;
+
+/// A `(pattern, parameter, transformation)` triple: the nodes of the
+/// relation graph (Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeKey {
+    /// The pattern id.
+    pub pattern: PatternId,
+    /// Zero-based bound-parameter index.
+    pub param: u16,
+    /// The transformation applied to the parameter's value.
+    pub transform_tag: TransformTag,
+}
+
+/// A compact, `Copy` encoding of [`Transform`] for hot-path hashing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TransformTag {
+    /// `Transform::Id`.
+    Id,
+    /// `Transform::Hex`.
+    Hex,
+    /// `Transform::Str`.
+    Str,
+    /// `Transform::Segment(n)`.
+    Segment(u8),
+    /// `Transform::Octet(n)`.
+    Octet(u8),
+    /// `Transform::PrefixAddr`.
+    PrefixAddr,
+    /// `Transform::PrefixLen`.
+    PrefixLen,
+    /// `Transform::Lower`.
+    Lower,
+}
+
+impl TransformTag {
+    /// Converts from the full [`Transform`].
+    pub fn from_transform(t: &Transform) -> Self {
+        match t {
+            Transform::Id => TransformTag::Id,
+            Transform::Hex => TransformTag::Hex,
+            Transform::Str => TransformTag::Str,
+            Transform::Segment(n) => TransformTag::Segment(*n),
+            Transform::Octet(n) => TransformTag::Octet(*n),
+            Transform::PrefixAddr => TransformTag::PrefixAddr,
+            Transform::PrefixLen => TransformTag::PrefixLen,
+            Transform::Lower => TransformTag::Lower,
+        }
+    }
+
+    /// Converts back to the full [`Transform`].
+    pub fn to_transform(self) -> Transform {
+        match self {
+            TransformTag::Id => Transform::Id,
+            TransformTag::Hex => Transform::Hex,
+            TransformTag::Str => Transform::Str,
+            TransformTag::Segment(n) => Transform::Segment(n),
+            TransformTag::Octet(n) => Transform::Octet(n),
+            TransformTag::PrefixAddr => Transform::PrefixAddr,
+            TransformTag::PrefixLen => Transform::PrefixLen,
+            TransformTag::Lower => Transform::Lower,
+        }
+    }
+}
+
+/// One indexed value occurrence within a configuration.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// The relation-graph node this value belongs to.
+    pub node: NodeKey,
+    /// The transformed value.
+    pub value: Value,
+    /// Informativeness of the (original, discounted-by-transform) value.
+    pub score: f64,
+}
+
+/// The relation-structure extension interface.
+///
+/// §4 of the paper: "the implementation abstracts relation-learning data
+/// structures behind a simple interface, making it easy to implement new
+/// relationships." A structure is built in one pass over a
+/// configuration's values ([`RelationStructure::insert`]) and then asked,
+/// per antecedent value, for exactly the entries it relates to
+/// ([`RelationStructure::query`]).
+pub trait RelationStructure {
+    /// The relation this structure finds witnesses for.
+    fn relation(&self) -> crate::contract::RelationKind;
+
+    /// Indexes one value occurrence under the dense entry id `entry`.
+    fn insert(&mut self, value: &Value, entry: u32);
+
+    /// Writes the entry ids related to `value` into `out`.
+    ///
+    /// Returns `false` when the query is too unspecific to serve as
+    /// evidence (e.g. an affix fan-out past the cap); `out` is then left
+    /// empty.
+    fn query(&self, value: &Value, out: &mut Vec<u32>) -> bool;
+}
+
+/// Equality: a hash table from value to entries.
+#[derive(Debug, Default)]
+pub struct EqualityStructure {
+    map: HashMap<Value, Vec<u32>>,
+}
+
+impl RelationStructure for EqualityStructure {
+    fn relation(&self) -> crate::contract::RelationKind {
+        crate::contract::RelationKind::Equals
+    }
+
+    fn insert(&mut self, value: &Value, entry: u32) {
+        self.map.entry(value.clone()).or_default().push(entry);
+    }
+
+    fn query(&self, value: &Value, out: &mut Vec<u32>) -> bool {
+        if let Some(entries) = self.map.get(value) {
+            out.extend_from_slice(entries);
+        }
+        true
+    }
+}
+
+/// Containment: binary prefix tries per address family (Figure 4).
+#[derive(Debug, Default)]
+pub struct ContainsStructure {
+    prefix4: PrefixTrie,
+    prefix6: PrefixTrie,
+}
+
+impl RelationStructure for ContainsStructure {
+    fn relation(&self) -> crate::contract::RelationKind {
+        crate::contract::RelationKind::Contains
+    }
+
+    fn insert(&mut self, value: &Value, entry: u32) {
+        if let Value::Net(net) = value {
+            if net.is_v4() {
+                self.prefix4.insert(*net, entry);
+            } else {
+                self.prefix6.insert(*net, entry);
+            }
+        }
+    }
+
+    fn query(&self, value: &Value, out: &mut Vec<u32>) -> bool {
+        match value {
+            Value::Ip(addr) => {
+                let trie = if addr.is_v4() {
+                    &self.prefix4
+                } else {
+                    &self.prefix6
+                };
+                trie.covering(addr.bits(), addr.family_bits(), out);
+            }
+            Value::Net(net) => {
+                let trie = if net.is_v4() {
+                    &self.prefix4
+                } else {
+                    &self.prefix6
+                };
+                trie.covering(net.bits(), net.prefix_len(), out);
+            }
+            _ => {}
+        }
+        true
+    }
+}
+
+/// Affixes: a character trie over string forms, forward for `startswith`
+/// or reversed for `endswith`. Strings of equal length are excluded —
+/// exact equality is [`EqualityStructure`]'s business — by recording each
+/// string's length alongside its entry id.
+#[derive(Debug)]
+pub struct AffixStructure {
+    trie: StrTrie,
+    lengths: Vec<(u32, u32)>,
+    reverse: bool,
+    cap: usize,
+}
+
+impl AffixStructure {
+    /// Creates an affix structure; `reverse = true` matches suffixes
+    /// (`endswith`), `false` matches prefixes (`startswith`). Queries
+    /// whose subtree exceeds `cap` entries report "too unspecific".
+    pub fn new(reverse: bool, cap: usize) -> Self {
+        AffixStructure {
+            trie: StrTrie::default(),
+            lengths: Vec::new(),
+            reverse,
+            cap,
+        }
+    }
+
+    fn len_of(&self, entry: u32) -> Option<u32> {
+        self.lengths
+            .binary_search_by_key(&entry, |&(e, _)| e)
+            .ok()
+            .map(|i| self.lengths[i].1)
+    }
+}
+
+impl RelationStructure for AffixStructure {
+    fn relation(&self) -> crate::contract::RelationKind {
+        if self.reverse {
+            crate::contract::RelationKind::EndsWith
+        } else {
+            crate::contract::RelationKind::StartsWith
+        }
+    }
+
+    fn insert(&mut self, value: &Value, entry: u32) {
+        if let Value::Str(s) = value {
+            if self.reverse {
+                self.trie.insert(s.chars().rev(), entry);
+            } else {
+                self.trie.insert(s.chars(), entry);
+            }
+            self.lengths.push((entry, s.len() as u32));
+        }
+    }
+
+    fn query(&self, value: &Value, out: &mut Vec<u32>) -> bool {
+        let Some(s) = value.as_str() else {
+            return true;
+        };
+        if s.len() < 2 {
+            return false;
+        }
+        let complete = if self.reverse {
+            self.trie
+                .subtree_with_prefix(s.chars().rev(), self.cap, out)
+        } else {
+            self.trie.subtree_with_prefix(s.chars(), self.cap, out)
+        };
+        if !complete {
+            out.clear();
+            return false;
+        }
+        // Drop exact-equal strings: those are equality's business.
+        out.retain(|&i| self.len_of(i).is_some_and(|len| len as usize > s.len()));
+        true
+    }
+}
+
+/// Per-configuration relation index: one pass to build, then each
+/// antecedent value queries the entries it relates to through the
+/// registered [`RelationStructure`]s.
+pub struct ValueIndex {
+    /// All indexed entries.
+    pub entries: Vec<Entry>,
+    /// The relation structures, queried in registration order.
+    pub structures: Vec<Box<dyn RelationStructure + Send>>,
+}
+
+impl ValueIndex {
+    /// Creates an index with the standard structures: equality,
+    /// containment, and both affix directions (capped at `affix_cap`).
+    pub fn new(affix_cap: usize) -> Self {
+        ValueIndex {
+            entries: Vec::new(),
+            structures: vec![
+                Box::new(EqualityStructure::default()),
+                Box::new(ContainsStructure::default()),
+                Box::new(AffixStructure::new(false, affix_cap)),
+                Box::new(AffixStructure::new(true, affix_cap)),
+            ],
+        }
+    }
+
+    /// Adds an entry to every registered relation structure.
+    pub fn insert(&mut self, entry: Entry) {
+        match &entry.value {
+            Value::Bool(_) => return, // Uninformative; never indexed.
+            Value::Str(s) if s.is_empty() => return,
+            _ => {}
+        }
+        let idx = self.entries.len() as u32;
+        for structure in &mut self.structures {
+            structure.insert(&entry.value, idx);
+        }
+        self.entries.push(entry);
+    }
+}
+
+/// A binary trie over network prefixes (Figure 4).
+#[derive(Debug, Default)]
+pub struct PrefixTrie {
+    nodes: Vec<TrieNode>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct TrieNode {
+    children: [Option<u32>; 2],
+    items: Vec<u32>,
+}
+
+impl PrefixTrie {
+    /// Inserts a network, storing `item` at the node for its prefix.
+    pub fn insert(&mut self, net: IpNetwork, item: u32) {
+        if self.nodes.is_empty() {
+            self.nodes.push(TrieNode::default());
+        }
+        let bits = net.bits();
+        let mut node = 0usize;
+        for depth in 0..net.prefix_len() {
+            let bit = ((bits >> (127 - depth)) & 1) as usize;
+            node = match self.nodes[node].children[bit] {
+                Some(child) => child as usize,
+                None => {
+                    let child = self.nodes.len() as u32;
+                    self.nodes.push(TrieNode::default());
+                    self.nodes[node].children[bit] = Some(child);
+                    child as usize
+                }
+            };
+        }
+        self.nodes[node].items.push(item);
+    }
+
+    /// Collects all items whose network contains the value described by
+    /// `bits` (left-aligned) with `len` significant bits: every prefix of
+    /// length `<= len` along the path.
+    pub fn covering(&self, bits: u128, len: u8, out: &mut Vec<u32>) {
+        if self.nodes.is_empty() {
+            return;
+        }
+        let mut node = 0usize;
+        out.extend_from_slice(&self.nodes[node].items);
+        for depth in 0..len {
+            let bit = ((bits >> (127 - depth)) & 1) as usize;
+            match self.nodes[node].children[bit] {
+                Some(child) => {
+                    node = child as usize;
+                    out.extend_from_slice(&self.nodes[node].items);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// A character trie over strings, with capped subtree enumeration.
+#[derive(Debug, Default)]
+pub struct StrTrie {
+    nodes: Vec<StrNode>,
+}
+
+#[derive(Debug, Default)]
+struct StrNode {
+    children: Vec<(char, u32)>,
+    items: Vec<u32>,
+}
+
+impl StrTrie {
+    /// Inserts the string spelled by `chars`, storing `item` at its
+    /// terminal node.
+    pub fn insert(&mut self, chars: impl Iterator<Item = char>, item: u32) {
+        if self.nodes.is_empty() {
+            self.nodes.push(StrNode::default());
+        }
+        let mut node = 0usize;
+        for c in chars {
+            node = match self.nodes[node].children.iter().find(|(ch, _)| *ch == c) {
+                Some(&(_, child)) => child as usize,
+                None => {
+                    let child = self.nodes.len() as u32;
+                    self.nodes.push(StrNode::default());
+                    self.nodes[node].children.push((c, child));
+                    child as usize
+                }
+            };
+        }
+        self.nodes[node].items.push(item);
+    }
+
+    /// Collects every item in the subtree below the node spelled by
+    /// `prefix` (i.e. all strings having `prefix` as a prefix).
+    ///
+    /// Returns `false` (leaving `out` truncated) once more than `cap`
+    /// items would be collected.
+    pub fn subtree_with_prefix(
+        &self,
+        prefix: impl Iterator<Item = char>,
+        cap: usize,
+        out: &mut Vec<u32>,
+    ) -> bool {
+        if self.nodes.is_empty() {
+            return true;
+        }
+        let mut node = 0usize;
+        for c in prefix {
+            match self.nodes[node].children.iter().find(|(ch, _)| *ch == c) {
+                Some(&(_, child)) => node = child as usize,
+                None => return true, // No strings under this prefix.
+            }
+        }
+        let mut stack = vec![node];
+        while let Some(n) = stack.pop() {
+            for &item in &self.nodes[n].items {
+                if out.len() >= cap {
+                    return false;
+                }
+                out.push(item);
+            }
+            for &(_, child) in &self.nodes[n].children {
+                stack.push(child as usize);
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concord_types::ValueType;
+
+    fn net(s: &str) -> IpNetwork {
+        s.parse().unwrap()
+    }
+
+    fn val(ty: ValueType, s: &str) -> Value {
+        Value::parse_as(&ty, s).unwrap()
+    }
+
+    fn entry(i: u32, value: Value) -> Entry {
+        Entry {
+            node: NodeKey {
+                pattern: PatternId(i),
+                param: 0,
+                transform_tag: TransformTag::Id,
+            },
+            value,
+            score: 1.0,
+        }
+    }
+
+    #[test]
+    fn prefix_trie_covering() {
+        let mut trie = PrefixTrie::default();
+        trie.insert(net("0.0.0.0/0"), 0);
+        trie.insert(net("10.0.0.0/8"), 1);
+        trie.insert(net("10.14.0.0/16"), 2);
+        trie.insert(net("192.168.0.0/16"), 3);
+
+        let addr: concord_types::IpAddress = "10.14.14.34".parse().unwrap();
+        let mut out = Vec::new();
+        trie.covering(addr.bits(), 32, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1, 2]);
+
+        // A /12 subnet query: only /0 and /8 cover it.
+        let q = net("10.16.0.0/12");
+        let mut out = Vec::new();
+        trie.covering(q.bits(), q.prefix_len(), &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn prefix_trie_exact_match_included() {
+        let mut trie = PrefixTrie::default();
+        trie.insert(net("10.0.0.0/8"), 7);
+        let q = net("10.0.0.0/8");
+        let mut out = Vec::new();
+        trie.covering(q.bits(), q.prefix_len(), &mut out);
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn str_trie_subtree() {
+        let mut trie = StrTrie::default();
+        for (i, s) in ["10251", "10252", "2512", "999"].iter().enumerate() {
+            trie.insert(s.chars(), i as u32);
+        }
+        let mut out = Vec::new();
+        assert!(trie.subtree_with_prefix("102".chars(), 10, &mut out));
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1]);
+
+        let mut out = Vec::new();
+        assert!(trie.subtree_with_prefix("zzz".chars(), 10, &mut out));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn str_trie_cap_aborts() {
+        let mut trie = StrTrie::default();
+        for i in 0..100 {
+            trie.insert(format!("ab{i}").chars(), i);
+        }
+        let mut out = Vec::new();
+        assert!(!trie.subtree_with_prefix("ab".chars(), 10, &mut out));
+    }
+
+    /// Queries all structures of `index` whose relation is `relation`.
+    fn query(
+        index: &ValueIndex,
+        relation: crate::contract::RelationKind,
+        value: &Value,
+    ) -> (bool, Vec<u32>) {
+        let structure = index
+            .structures
+            .iter()
+            .find(|s| s.relation() == relation)
+            .expect("structure registered");
+        let mut out = Vec::new();
+        let ok = structure.query(value, &mut out);
+        (ok, out)
+    }
+
+    #[test]
+    fn value_index_equality() {
+        use crate::contract::RelationKind::Equals;
+        let mut index = ValueIndex::new(32);
+        index.insert(entry(0, val(ValueType::Num, "251")));
+        index.insert(entry(1, val(ValueType::Num, "251")));
+        index.insert(entry(2, val(ValueType::Num, "999")));
+        assert_eq!(
+            query(&index, Equals, &val(ValueType::Num, "251")).1.len(),
+            2
+        );
+        assert_eq!(query(&index, Equals, &val(ValueType::Num, "7")).1.len(), 0);
+    }
+
+    #[test]
+    fn value_index_skips_bools_and_empty_strings() {
+        let mut index = ValueIndex::new(32);
+        index.insert(entry(0, Value::Bool(true)));
+        index.insert(entry(1, Value::Str(String::new())));
+        assert!(index.entries.is_empty());
+    }
+
+    #[test]
+    fn value_index_contains_query() {
+        use crate::contract::RelationKind::Contains;
+        let mut index = ValueIndex::new(32);
+        index.insert(entry(0, val(ValueType::Pfx4, "10.0.0.0/8")));
+        index.insert(entry(1, val(ValueType::Pfx4, "11.0.0.0/8")));
+        let (_, out) = query(&index, Contains, &val(ValueType::Ip4, "10.1.2.3"));
+        assert_eq!(out, vec![0]);
+
+        // Net-in-net.
+        let (_, out) = query(&index, Contains, &val(ValueType::Pfx4, "10.3.0.0/16"));
+        assert_eq!(out, vec![0]);
+
+        // Family separation: a v6 query hits nothing.
+        let (_, out) = query(&index, Contains, &val(ValueType::Ip6, "::1"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn value_index_affix_query() {
+        use crate::contract::RelationKind::{EndsWith, StartsWith};
+        let mut index = ValueIndex::new(32);
+        index.insert(entry(0, Value::Str("10251".to_string())));
+        index.insert(entry(1, Value::Str("251".to_string())));
+        index.insert(entry(2, Value::Str("251x".to_string())));
+
+        // endswith: which strings end with "251"? "10251" qualifies;
+        // "251" itself is exact-equal and excluded.
+        let probe = Value::Str("251".to_string());
+        let (ok, out) = query(&index, EndsWith, &probe);
+        assert!(ok);
+        assert_eq!(out, vec![0]);
+
+        // startswith: which strings start with "251"? "251x".
+        let (ok, out) = query(&index, StartsWith, &probe);
+        assert!(ok);
+        assert_eq!(out, vec![2]);
+
+        // Single-character affixes are rejected outright.
+        let (ok, _) = query(&index, StartsWith, &Value::Str("2".to_string()));
+        assert!(!ok);
+    }
+
+    #[test]
+    fn affix_cap_reports_unspecific() {
+        use crate::contract::RelationKind::StartsWith;
+        let mut index = ValueIndex::new(4);
+        for i in 0..20 {
+            index.insert(entry(i, Value::Str(format!("abc{i}"))));
+        }
+        let (ok, out) = query(&index, StartsWith, &Value::Str("abc".to_string()));
+        assert!(!ok);
+        assert!(out.is_empty());
+    }
+
+    /// A custom relation structure plugs in through the trait (the §4
+    /// extension point): values related when their decimal digit counts
+    /// match. Registered structures participate in mining untouched.
+    #[test]
+    fn custom_relation_structure_plugs_in() {
+        struct SameLength {
+            by_len: HashMap<usize, Vec<u32>>,
+        }
+        impl RelationStructure for SameLength {
+            fn relation(&self) -> crate::contract::RelationKind {
+                // Reuse an existing kind for the demonstration.
+                crate::contract::RelationKind::Equals
+            }
+            fn insert(&mut self, value: &Value, entry: u32) {
+                self.by_len
+                    .entry(value.render().len())
+                    .or_default()
+                    .push(entry);
+            }
+            fn query(&self, value: &Value, out: &mut Vec<u32>) -> bool {
+                if let Some(entries) = self.by_len.get(&value.render().len()) {
+                    out.extend_from_slice(entries);
+                }
+                true
+            }
+        }
+        let mut index = ValueIndex::new(32);
+        index.structures.push(Box::new(SameLength {
+            by_len: HashMap::new(),
+        }));
+        index.insert(entry(0, val(ValueType::Num, "123")));
+        index.insert(entry(1, val(ValueType::Num, "456")));
+        let custom = index.structures.last().expect("registered");
+        let mut out = Vec::new();
+        assert!(custom.query(&val(ValueType::Num, "789"), &mut out));
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn transform_tag_roundtrip() {
+        for t in [
+            Transform::Id,
+            Transform::Hex,
+            Transform::Str,
+            Transform::Segment(6),
+            Transform::Octet(3),
+            Transform::PrefixAddr,
+            Transform::PrefixLen,
+            Transform::Lower,
+        ] {
+            assert_eq!(TransformTag::from_transform(&t).to_transform(), t);
+        }
+    }
+}

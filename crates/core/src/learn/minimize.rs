@@ -1,0 +1,250 @@
+//! Relational contract minimization (§3.6, Figure 5).
+//!
+//! Transitive relations (equality, affixes) make the learned set
+//! quadratic: `n` mutually equal parameters yield `n²` valid contracts.
+//! Minimization maps contracts onto a directed graph over
+//! `(pattern, parameter, transformation)` nodes and keeps only a
+//! reachability-preserving subset: strongly connected components are
+//! rewritten as simple cycles, and the condensation DAG is transitively
+//! reduced. Bug-finding power is preserved — any line removal that
+//! violated an original contract still violates some kept contract.
+
+use std::collections::HashMap;
+
+use concord_graph::DiGraph;
+
+use crate::contract::{PatternRef, RelationKind, RelationalContract};
+
+/// Minimizes a set of relational contracts.
+pub(crate) fn minimize(contracts: Vec<RelationalContract>) -> Vec<RelationalContract> {
+    let mut by_relation: HashMap<RelationKind, Vec<RelationalContract>> = HashMap::new();
+    let mut out = Vec::new();
+    for contract in contracts {
+        if contract.relation.is_transitive() {
+            by_relation
+                .entry(contract.relation)
+                .or_default()
+                .push(contract);
+        } else {
+            out.push(contract);
+        }
+    }
+    let mut relations: Vec<_> = by_relation.into_iter().collect();
+    relations.sort_by_key(|(k, _)| *k);
+    for (relation, group) in relations {
+        out.extend(minimize_group(relation, group));
+    }
+    out
+}
+
+fn minimize_group(
+    relation: RelationKind,
+    contracts: Vec<RelationalContract>,
+) -> Vec<RelationalContract> {
+    // Intern nodes.
+    let mut node_ids: HashMap<&PatternRef, usize> = HashMap::new();
+    let mut nodes: Vec<&PatternRef> = Vec::new();
+    for c in &contracts {
+        for side in [&c.antecedent, &c.consequent] {
+            if !node_ids.contains_key(side) {
+                node_ids.insert(side, nodes.len());
+                nodes.push(side);
+            }
+        }
+    }
+
+    let mut graph = DiGraph::new(nodes.len());
+    for c in &contracts {
+        graph.add_edge(node_ids[&c.antecedent], node_ids[&c.consequent]);
+    }
+
+    let comps = graph.scc();
+    let (dag, comp_of) = graph.condensation();
+    let reduced = dag.transitive_reduction();
+
+    let mut out = Vec::new();
+
+    // Within each non-trivial SCC: a simple cycle in a deterministic
+    // order. Synthesized cycle edges are sound because the relation is
+    // transitive and the SCC is mutually related.
+    for comp in &comps {
+        if comp.len() < 2 {
+            continue;
+        }
+        let mut ordered = comp.clone();
+        ordered.sort_unstable();
+        for i in 0..ordered.len() {
+            let u = ordered[i];
+            let v = ordered[(i + 1) % ordered.len()];
+            out.push(RelationalContract {
+                antecedent: nodes[u].clone(),
+                consequent: nodes[v].clone(),
+                relation,
+            });
+        }
+    }
+
+    // Between SCCs: one original contract per reduced condensation edge.
+    let mut crossing: HashMap<(usize, usize), &RelationalContract> = HashMap::new();
+    for c in &contracts {
+        let cu = comp_of[node_ids[&c.antecedent]];
+        let cv = comp_of[node_ids[&c.consequent]];
+        if cu != cv {
+            crossing.entry((cu, cv)).or_insert(c);
+        }
+    }
+    for (cu, cv) in reduced.edges() {
+        let original = crossing
+            .get(&(cu, cv))
+            .expect("reduced edge must come from an original contract");
+        out.push((*original).clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concord_types::Transform;
+
+    fn node(name: &str) -> PatternRef {
+        PatternRef {
+            pattern: name.to_string(),
+            param: 0,
+            transform: Transform::Id,
+        }
+    }
+
+    fn eq(a: &str, b: &str) -> RelationalContract {
+        RelationalContract {
+            antecedent: node(a),
+            consequent: node(b),
+            relation: RelationKind::Equals,
+        }
+    }
+
+    /// Returns `true` if `target` is reachable from `source` through the
+    /// contract edges.
+    fn reaches(contracts: &[RelationalContract], source: &str, target: &str) -> bool {
+        let mut frontier = vec![source.to_string()];
+        let mut seen = std::collections::HashSet::new();
+        while let Some(cur) = frontier.pop() {
+            if cur == target {
+                return true;
+            }
+            if !seen.insert(cur.clone()) {
+                continue;
+            }
+            for c in contracts {
+                if c.antecedent.pattern == cur {
+                    frontier.push(c.consequent.pattern.clone());
+                }
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn complete_equality_clique_becomes_cycle() {
+        // Figure 5's p4/p5/p6: all six directed contracts collapse to a
+        // 3-cycle.
+        let mut contracts = Vec::new();
+        for a in ["p4", "p5", "p6"] {
+            for b in ["p4", "p5", "p6"] {
+                if a != b {
+                    contracts.push(eq(a, b));
+                }
+            }
+        }
+        let minimized = minimize(contracts.clone());
+        assert_eq!(minimized.len(), 3);
+        // Reachability (bug-finding) is preserved in both directions.
+        for a in ["p4", "p5", "p6"] {
+            for b in ["p4", "p5", "p6"] {
+                if a != b {
+                    assert!(reaches(&minimized, a, b), "{a} no longer reaches {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transitive_chain_loses_shortcut() {
+        let contracts = vec![eq("a", "b"), eq("b", "c"), eq("a", "c")];
+        let minimized = minimize(contracts);
+        assert_eq!(minimized.len(), 2);
+        assert!(reaches(&minimized, "a", "c"));
+    }
+
+    #[test]
+    fn contains_is_untouched() {
+        let contains = RelationalContract {
+            antecedent: node("ip"),
+            consequent: node("pfx"),
+            relation: RelationKind::Contains,
+        };
+        let minimized = minimize(vec![contains.clone()]);
+        assert_eq!(minimized, vec![contains]);
+    }
+
+    #[test]
+    fn distinct_relations_minimized_separately() {
+        // An equals chain and an endswith chain over the same nodes must
+        // not interfere.
+        let mut contracts = vec![eq("a", "b"), eq("b", "c"), eq("a", "c")];
+        contracts.push(RelationalContract {
+            antecedent: node("a"),
+            consequent: node("c"),
+            relation: RelationKind::EndsWith,
+        });
+        let minimized = minimize(contracts);
+        let equals: Vec<_> = minimized
+            .iter()
+            .filter(|c| c.relation == RelationKind::Equals)
+            .collect();
+        let ends: Vec<_> = minimized
+            .iter()
+            .filter(|c| c.relation == RelationKind::EndsWith)
+            .collect();
+        assert_eq!(equals.len(), 2);
+        assert_eq!(ends.len(), 1);
+    }
+
+    #[test]
+    fn figure_5_shape() {
+        // p1 <-> p2 <-> p3 all mutually equal (SCC of 3), p3 also relates
+        // to an external node chain p3 -> x -> y plus shortcut p3 -> y.
+        let mut contracts = Vec::new();
+        for a in ["p1", "p2", "p3"] {
+            for b in ["p1", "p2", "p3"] {
+                if a != b {
+                    contracts.push(eq(a, b));
+                }
+            }
+        }
+        contracts.push(eq("p3", "x"));
+        contracts.push(eq("x", "y"));
+        contracts.push(eq("p3", "y"));
+        let before = contracts.len();
+        let minimized = minimize(contracts);
+        assert!(minimized.len() < before);
+        // 3-cycle + p3->x + x->y = 5.
+        assert_eq!(minimized.len(), 5);
+        assert!(reaches(&minimized, "p1", "y"));
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(minimize(Vec::new()).is_empty());
+        let single = vec![eq("a", "b")];
+        assert_eq!(minimize(single.clone()), single);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let contracts = vec![eq("a", "b"), eq("b", "a"), eq("b", "c"), eq("c", "b")];
+        let a = minimize(contracts.clone());
+        let b = minimize(contracts);
+        assert_eq!(a, b);
+    }
+}

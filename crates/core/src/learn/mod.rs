@@ -1,0 +1,267 @@
+//! Contract learning (§3.3–§3.7).
+//!
+//! [`learn`] runs one miner per contract category over a [`Dataset`] and
+//! assembles the results into a [`ContractSet`]. All miners share a
+//! precomputed [`DatasetView`] (per-config pattern occurrence maps and
+//! global pattern→config counts), so each miner is a single pass over the
+//! data it needs.
+
+mod minimize;
+mod ordering;
+mod present;
+mod range;
+mod relational;
+mod sequence;
+mod typing;
+mod unique;
+
+pub(crate) mod indexes;
+
+pub(crate) use sequence::is_sequential as sequence_is_sequential;
+
+use std::collections::HashMap;
+
+use crate::contract::{Contract, ContractSet};
+use crate::ir::{Dataset, PatternId};
+use crate::params::LearnParams;
+
+/// Statistics from a learning run: per-phase wall-clock durations and
+/// relational-minimization counts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LearnStats {
+    /// Time spent building the occurrence view.
+    pub view_time: std::time::Duration,
+    /// Time spent in the non-relational miners combined.
+    pub simple_miners_time: std::time::Duration,
+    /// Time spent mining relational candidates.
+    pub relational_time: std::time::Duration,
+    /// Time spent in contract minimization (§3.6).
+    pub minimize_time: std::time::Duration,
+    /// Relational contracts before minimization (§3.6).
+    pub relational_before_minimization: usize,
+    /// Relational contracts after minimization.
+    pub relational_after_minimization: usize,
+}
+
+/// Precomputed occurrence data shared by the miners.
+pub(crate) struct DatasetView<'a> {
+    /// The dataset being learned from.
+    pub dataset: &'a Dataset,
+    /// For each config: pattern id → indices of lines with that pattern.
+    pub lines_by_pattern: Vec<HashMap<PatternId, Vec<usize>>>,
+    /// For each pattern id: number of configs containing it.
+    pub config_count: Vec<u32>,
+}
+
+impl<'a> DatasetView<'a> {
+    pub fn new(dataset: &'a Dataset) -> Self {
+        let mut lines_by_pattern = Vec::with_capacity(dataset.configs.len());
+        let mut config_count = vec![0u32; dataset.table.len()];
+        for config in &dataset.configs {
+            let mut map: HashMap<PatternId, Vec<usize>> = HashMap::new();
+            for (i, line) in config.lines.iter().enumerate() {
+                map.entry(line.pattern).or_default().push(i);
+            }
+            for &pattern in map.keys() {
+                config_count[pattern.0 as usize] += 1;
+            }
+            lines_by_pattern.push(map);
+        }
+        DatasetView {
+            dataset,
+            lines_by_pattern,
+            config_count,
+        }
+    }
+
+    /// Number of configurations containing `pattern`.
+    pub fn configs_with(&self, pattern: PatternId) -> usize {
+        self.config_count[pattern.0 as usize] as usize
+    }
+
+    /// Total number of configurations.
+    pub fn num_configs(&self) -> usize {
+        self.dataset.configs.len()
+    }
+}
+
+/// Learns a contract set from `dataset` under `params`.
+///
+/// The returned contracts are sorted into a stable order (category, then
+/// rendered text) so learning is deterministic across runs and parallelism
+/// levels.
+pub fn learn(dataset: &Dataset, params: &LearnParams) -> ContractSet {
+    learn_with_stats(dataset, params).0
+}
+
+/// Like [`learn`], additionally reporting per-phase timing statistics.
+pub fn learn_with_stats(dataset: &Dataset, params: &LearnParams) -> (ContractSet, LearnStats) {
+    use std::time::Instant;
+    let mut stats = LearnStats::default();
+
+    let t = Instant::now();
+    let view = DatasetView::new(dataset);
+    stats.view_time = t.elapsed();
+
+    let t = Instant::now();
+    let mut contracts: Vec<Contract> = Vec::new();
+    if params.enable_present {
+        contracts.extend(present::mine(&view, params));
+    }
+    if params.enable_ordering {
+        contracts.extend(ordering::mine(&view, params));
+    }
+    if params.enable_type {
+        contracts.extend(typing::mine(&view, params));
+    }
+    if params.enable_sequence {
+        contracts.extend(sequence::mine(&view, params));
+    }
+    if params.enable_unique {
+        contracts.extend(unique::mine(&view, params));
+    }
+    if params.enable_range {
+        contracts.extend(range::mine(&view, params));
+    }
+    stats.simple_miners_time = t.elapsed();
+
+    let mut relational_before = 0;
+    if params.enable_relational {
+        let t = Instant::now();
+        let mined = relational::mine(&view, params);
+        stats.relational_time = t.elapsed();
+        relational_before = mined.len();
+        let t = Instant::now();
+        let reduced = if params.minimize {
+            minimize::minimize(mined)
+        } else {
+            mined
+        };
+        stats.minimize_time = t.elapsed();
+        stats.relational_after_minimization = reduced.len();
+        contracts.extend(reduced.into_iter().map(Contract::Relational));
+    }
+    stats.relational_before_minimization = relational_before;
+
+    contracts.sort_by(|a, b| (a.category(), a.describe()).cmp(&(b.category(), b.describe())));
+    contracts.dedup();
+
+    (
+        ContractSet {
+            contracts,
+            relational_before_minimization: relational_before,
+        },
+        stats,
+    )
+}
+
+/// Reconstructs a line's canonical text by substituting parameter values
+/// back into the holes of its pattern (used by constant learning).
+pub(crate) fn fill_pattern(pattern: &str, params: &[concord_lexer::Param]) -> String {
+    let mut values = params.iter();
+    let mut out = String::with_capacity(pattern.len());
+    let bytes = pattern.as_bytes();
+    let mut pos = 0;
+    while pos < pattern.len() {
+        if bytes[pos] == b'[' {
+            if let Some(end_rel) = pattern[pos + 1..].find(']') {
+                let inner = &pattern[pos + 1..pos + 1 + end_rel];
+                let is_hole = !inner.is_empty()
+                    && inner.chars().all(|c| c.is_ascii_alphanumeric() || c == ':');
+                if is_hole {
+                    if inner.contains(':') {
+                        // A bound hole: substitute the next value.
+                        match values.next() {
+                            Some(p) => out.push_str(&p.value.render()),
+                            None => out.push_str(&format!("[{inner}]")),
+                        }
+                    } else {
+                        // Anonymous (context) hole: keep as-is.
+                        out.push_str(&format!("[{inner}]"));
+                    }
+                    pos += end_rel + 2;
+                    continue;
+                }
+            }
+        }
+        let c = pattern[pos..].chars().next().expect("in-bounds");
+        out.push(c);
+        pos += c.len_utf8();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Dataset;
+
+    fn dataset(texts: &[&str]) -> Dataset {
+        let configs: Vec<(String, String)> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (format!("dev{i}"), t.to_string()))
+            .collect();
+        Dataset::from_named_texts(&configs, &[]).unwrap()
+    }
+
+    #[test]
+    fn view_counts_configs_per_pattern() {
+        let ds = dataset(&["vlan 1\n", "vlan 2\nvlan 3\n", "other\n"]);
+        let view = DatasetView::new(&ds);
+        let vlan = ds.table.get("/vlan [a:num]").unwrap();
+        assert_eq!(view.configs_with(vlan), 2);
+        assert_eq!(view.num_configs(), 3);
+        assert_eq!(view.lines_by_pattern[1][&vlan].len(), 2);
+    }
+
+    #[test]
+    fn learn_is_deterministic() {
+        let texts: Vec<String> = (0..8)
+            .map(|i| format!("hostname DEV{i}\nrouter bgp 65000\n vlan {}\n", 100 + i))
+            .collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let ds = dataset(&refs);
+        let params = LearnParams::default();
+        let a = learn(&ds, &params);
+        let b = learn(&ds, &params);
+        assert_eq!(a.contracts, b.contracts);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn disabled_categories_do_not_emit() {
+        let texts: Vec<String> = (0..8).map(|i| format!("hostname DEV{i}\n")).collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let ds = dataset(&refs);
+        let params = LearnParams {
+            enable_present: false,
+            enable_ordering: false,
+            enable_type: false,
+            enable_sequence: false,
+            enable_unique: false,
+            enable_relational: false,
+            ..LearnParams::default()
+        };
+        assert!(learn(&ds, &params).is_empty());
+    }
+
+    #[test]
+    fn fill_pattern_substitutes_bound_holes() {
+        let ds = dataset(&["rd 1.2.3.4:55\n"]);
+        let line = &ds.configs[0].lines[0];
+        let pattern = ds.table.text(line.pattern);
+        assert_eq!(fill_pattern(pattern, &line.params), "/rd 1.2.3.4:55");
+    }
+
+    #[test]
+    fn fill_pattern_keeps_anonymous_holes() {
+        let ds = dataset(&["interface Loopback0\n ip address 10.0.0.1\n"]);
+        let line = &ds.configs[0].lines[1];
+        let pattern = ds.table.text(line.pattern);
+        assert_eq!(
+            fill_pattern(pattern, &line.params),
+            "/interface Loopback[num]/ip address 10.0.0.1"
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! Ordering-contract mining (§3.4).
+//!
+//! Ordering contracts only relate *immediate* successor lines: whenever a
+//! line matches `p1`, the next line must match `p2`. Restricting to
+//! adjacent pairs keeps learning fast and lets contracts chain into blocks
+//! of lines that must appear together.
+
+use std::collections::HashMap;
+
+use crate::contract::Contract;
+use crate::ir::PatternId;
+use crate::learn::DatasetView;
+use crate::params::LearnParams;
+
+pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> Vec<Contract> {
+    // (p1 -> p2) -> number of configs in which EVERY p1 line is
+    // immediately followed by a p2 line.
+    let mut valid: HashMap<(PatternId, PatternId), u32> = HashMap::new();
+
+    for config in &view.dataset.configs {
+        // For each p1 in this config, the set of follower patterns; `None`
+        // marks an occurrence with no valid follower (end of file or a
+        // metadata boundary).
+        let mut followers: HashMap<PatternId, Option<PatternId>> = HashMap::new();
+        let mut conflicted: std::collections::HashSet<PatternId> = std::collections::HashSet::new();
+        for (i, line) in config.lines.iter().enumerate() {
+            let next = config.lines.get(i + 1);
+            let follower = match next {
+                Some(n) if n.is_meta == line.is_meta => Some(n.pattern),
+                _ => None,
+            };
+            match followers.entry(line.pattern) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(follower);
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if *e.get() != follower {
+                        conflicted.insert(line.pattern);
+                    }
+                }
+            }
+        }
+        for (p1, follower) in followers {
+            if conflicted.contains(&p1) {
+                continue;
+            }
+            if let Some(p2) = follower {
+                *valid.entry((p1, p2)).or_insert(0) += 1;
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (&(p1, p2), &valid_count) in &valid {
+        let support = view.configs_with(p1);
+        if view.configs_with(p2) < params.support {
+            continue;
+        }
+        if params.accept(valid_count as usize, support) {
+            out.push(Contract::Ordering {
+                first: view.dataset.table.text(p1).to_string(),
+                second: view.dataset.table.text(p2).to_string(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Dataset;
+
+    fn dataset(texts: &[String]) -> Dataset {
+        let configs: Vec<(String, String)> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (format!("dev{i}"), t.clone()))
+            .collect();
+        Dataset::from_named_texts(&configs, &[]).unwrap()
+    }
+
+    fn orderings(contracts: &[Contract]) -> Vec<(String, String)> {
+        contracts
+            .iter()
+            .filter_map(|c| match c {
+                Contract::Ordering { first, second } => Some((first.clone(), second.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_block_ordering() {
+        // `evpn ether-segment` is always immediately followed by
+        // `route-target import ...` (Figure 1 contract 4).
+        let texts: Vec<String> = (0..6)
+            .map(|i| {
+                format!(
+                    "interface Port-Channel{i}\n evpn ether-segment\n route-target import 00:00:0c:d3:00:0{i}\n"
+                )
+            })
+            .collect();
+        let ds = dataset(&texts);
+        let view = DatasetView::new(&ds);
+        let contracts = mine(&view, &LearnParams::default());
+        let pairs = orderings(&contracts);
+        assert!(pairs.iter().any(|(f, s)| {
+            f.ends_with("evpn ether-segment") && s.contains("route-target import")
+        }));
+    }
+
+    #[test]
+    fn conflicting_followers_block_learning() {
+        let mut texts: Vec<String> = (0..5).map(|_| "a line\nb line\n".to_string()).collect();
+        // In one config, `a line` appears twice with different followers.
+        texts.push("a line\nb line\na line\nc line\n".to_string());
+        let ds = dataset(&texts);
+        let view = DatasetView::new(&ds);
+        let params = LearnParams {
+            confidence: 1.0,
+            ..LearnParams::default()
+        };
+        let pairs = orderings(&mine(&view, &params));
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn tolerates_minority_deviation() {
+        // 25 configs follow the order, 1 deviates: 25/26 > 96%.
+        let mut texts: Vec<String> = (0..25).map(|_| "a line\nb line\n".to_string()).collect();
+        texts.push("a line\nc line\nb line\n".to_string());
+        let ds = dataset(&texts);
+        let view = DatasetView::new(&ds);
+        let pairs = orderings(&mine(&view, &LearnParams::default()));
+        assert!(pairs.contains(&("/a line".to_string(), "/b line".to_string())));
+    }
+
+    #[test]
+    fn end_of_file_breaks_ordering() {
+        // `a line` is last in half the configs: no consistent follower.
+        let texts: Vec<String> = (0..10)
+            .map(|i| {
+                if i % 2 == 0 {
+                    "a line\nb line\n".to_string()
+                } else {
+                    "b line\na line\n".to_string()
+                }
+            })
+            .collect();
+        let ds = dataset(&texts);
+        let view = DatasetView::new(&ds);
+        let pairs = orderings(&mine(&view, &LearnParams::default()));
+        assert!(!pairs.iter().any(|(f, _)| f == "/a line"));
+    }
+
+    #[test]
+    fn follower_pattern_needs_support() {
+        // p2 appears in only 3 configs (below S=5)... but then p1->p2 can
+        // hold in at most 3 configs, failing confidence anyway; use a
+        // contrived setup where p1 support is 3 too.
+        let texts: Vec<String> = (0..3).map(|_| "x line\ny line\n".to_string()).collect();
+        let ds = dataset(&texts);
+        let view = DatasetView::new(&ds);
+        assert!(orderings(&mine(&view, &LearnParams::default())).is_empty());
+    }
+}

@@ -1,0 +1,158 @@
+//! Present-contract mining (§3.4).
+//!
+//! `exists l ~ p`: Concord tracks every pattern used in each configuration
+//! and extracts those appearing in at least `C`% of the configurations
+//! (and at least `S` configurations). With constant learning enabled (§4),
+//! the same is additionally done over exact line text, which captures
+//! globally shared "magic constant" policies.
+
+use std::collections::HashMap;
+
+use crate::contract::Contract;
+use crate::learn::{fill_pattern, DatasetView};
+use crate::params::LearnParams;
+
+pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> Vec<Contract> {
+    let total = view.num_configs();
+    let required = params.required_valid(total);
+    let mut out = Vec::new();
+
+    for (id, text) in view.dataset.table.iter() {
+        let count = view.configs_with(id);
+        if count >= params.support && count >= required {
+            out.push(Contract::Present {
+                pattern: text.to_string(),
+            });
+        }
+    }
+
+    if params.learn_constants {
+        // Count exact filled-line occurrences per config (set semantics:
+        // a line appearing twice in one config counts once).
+        let mut line_configs: HashMap<String, u32> = HashMap::new();
+        for config in &view.dataset.configs {
+            let mut seen = std::collections::HashSet::new();
+            for line in &config.lines {
+                let filled = fill_pattern(view.dataset.table.text(line.pattern), &line.params);
+                if seen.insert(filled.clone()) {
+                    *line_configs.entry(filled).or_insert(0) += 1;
+                }
+            }
+        }
+        for (line, count) in line_configs {
+            let count = count as usize;
+            if count >= params.support && count >= required {
+                // Skip lines whose pattern has no holes: the plain Present
+                // contract already covers them exactly.
+                if line.contains('[') || {
+                    let pattern_id = view.dataset.table.get(&line);
+                    pattern_id.is_none()
+                } {
+                    out.push(Contract::PresentExact { line });
+                } else {
+                    continue;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Dataset;
+
+    fn dataset(texts: &[String]) -> Dataset {
+        let configs: Vec<(String, String)> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (format!("dev{i}"), t.clone()))
+            .collect();
+        Dataset::from_named_texts(&configs, &[]).unwrap()
+    }
+
+    fn present_patterns(contracts: &[Contract]) -> Vec<&str> {
+        contracts
+            .iter()
+            .filter_map(|c| match c {
+                Contract::Present { pattern } => Some(pattern.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_universal_pattern() {
+        let texts: Vec<String> = (0..6).map(|i| format!("router bgp 6500{i}\n")).collect();
+        let ds = dataset(&texts);
+        let view = DatasetView::new(&ds);
+        let contracts = mine(&view, &LearnParams::default());
+        assert_eq!(present_patterns(&contracts), vec!["/router bgp [a:num]"]);
+    }
+
+    #[test]
+    fn respects_support_threshold() {
+        // Only 4 configs: below the default support of 5.
+        let texts: Vec<String> = (0..4).map(|i| format!("vlan {i}\n")).collect();
+        let ds = dataset(&texts);
+        let view = DatasetView::new(&ds);
+        assert!(mine(&view, &LearnParams::default()).is_empty());
+    }
+
+    #[test]
+    fn respects_confidence_threshold() {
+        // Pattern present in 5 of 6 configs: 83% < 96%.
+        let mut texts: Vec<String> = (0..5).map(|i| format!("vlan {i}\n")).collect();
+        texts.push("other line\n".to_string());
+        let ds = dataset(&texts);
+        let view = DatasetView::new(&ds);
+        let contracts = mine(&view, &LearnParams::default());
+        assert!(present_patterns(&contracts).is_empty());
+    }
+
+    #[test]
+    fn tolerates_noise_within_confidence() {
+        // Pattern in 25 of 25 configs, one config also has an extra line.
+        let mut texts: Vec<String> = (0..24).map(|i| format!("vlan {i}\n")).collect();
+        texts.push("vlan 99\nextra\n".to_string());
+        let ds = dataset(&texts);
+        let view = DatasetView::new(&ds);
+        let contracts = mine(&view, &LearnParams::default());
+        // `vlan` is universal; `extra` (1/25 = 4%) is not learned.
+        assert_eq!(present_patterns(&contracts), vec!["/vlan [a:num]"]);
+    }
+
+    #[test]
+    fn constant_learning_adds_exact_lines() {
+        let texts: Vec<String> = (0..6)
+            .map(|_| "seq 20 permit 0.0.0.0/0\n".to_string())
+            .collect();
+        let ds = dataset(&texts);
+        let view = DatasetView::new(&ds);
+        let params = LearnParams {
+            learn_constants: true,
+            ..LearnParams::default()
+        };
+        let contracts = mine(&view, &params);
+        assert!(contracts.iter().any(|c| matches!(
+            c,
+            Contract::PresentExact { line } if line == "/seq 20 permit 0.0.0.0/0"
+        )));
+    }
+
+    #[test]
+    fn constant_learning_skips_varying_lines() {
+        let texts: Vec<String> = (0..6).map(|i| format!("hostname DEV{i}\n")).collect();
+        let ds = dataset(&texts);
+        let view = DatasetView::new(&ds);
+        let params = LearnParams {
+            learn_constants: true,
+            ..LearnParams::default()
+        };
+        let contracts = mine(&view, &params);
+        assert!(!contracts
+            .iter()
+            .any(|c| matches!(c, Contract::PresentExact { .. })));
+    }
+}

@@ -1,0 +1,150 @@
+//! Range-contract mining (an extension category).
+//!
+//! §3.4 notes that Concord "is easy to extend ... to incorporate new
+//! categories"; range contracts demonstrate the extension point. A range
+//! contract asserts that a numeric parameter stays within the interval
+//! observed during training (e.g. `mtu` between 1500 and 9214) — the rule
+//! family that key–value learners like ConfigV center on.
+//!
+//! Ranges generalize poorly for identifier-like parameters (VLAN ids,
+//! sequence numbers), so they are **disabled by default**
+//! ([`crate::LearnParams::enable_range`]) and only learned for parameters
+//! whose observed values repeat across configurations (set-like usage,
+//! not identifier-like usage).
+
+use std::collections::HashMap;
+
+use concord_types::BigNum;
+
+use crate::contract::Contract;
+use crate::ir::PatternId;
+use crate::learn::DatasetView;
+use crate::params::LearnParams;
+
+pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> Vec<Contract> {
+    struct Acc {
+        min: BigNum,
+        max: BigNum,
+        instances: u64,
+        distinct: std::collections::HashSet<BigNum>,
+        configs: u32,
+    }
+    let mut stats: HashMap<(PatternId, u16), Acc> = HashMap::new();
+
+    for (ci, config) in view.dataset.configs.iter().enumerate() {
+        for (&pattern, line_idxs) in &view.lines_by_pattern[ci] {
+            let first = &config.lines[line_idxs[0]];
+            for (pi, param) in first.params.iter().enumerate() {
+                if param.value.as_num().is_none() {
+                    continue;
+                }
+                let values: Vec<&BigNum> = line_idxs
+                    .iter()
+                    .filter_map(|&li| config.lines[li].params.get(pi))
+                    .filter_map(|p| p.value.as_num())
+                    .collect();
+                if values.is_empty() {
+                    continue;
+                }
+                let acc = stats.entry((pattern, pi as u16)).or_insert_with(|| Acc {
+                    min: values[0].clone(),
+                    max: values[0].clone(),
+                    instances: 0,
+                    distinct: std::collections::HashSet::new(),
+                    configs: 0,
+                });
+                acc.configs += 1;
+                for v in values {
+                    acc.instances += 1;
+                    if *v < acc.min {
+                        acc.min = v.clone();
+                    }
+                    if *v > acc.max {
+                        acc.max = v.clone();
+                    }
+                    if acc.distinct.len() < 64 {
+                        acc.distinct.insert(v.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (&(pattern, param), acc) in &stats {
+        if (acc.configs as usize) < params.support || acc.instances < 4 {
+            continue;
+        }
+        // Identifier-like parameters have nearly as many distinct values
+        // as instances; set-like parameters repeat. Only the latter form
+        // meaningful ranges.
+        if (acc.distinct.len() as u64) * 2 > acc.instances {
+            continue;
+        }
+        out.push(Contract::Range {
+            pattern: view.dataset.table.text(pattern).to_string(),
+            param,
+            min: acc.min.clone(),
+            max: acc.max.clone(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Dataset;
+
+    fn dataset(texts: &[String]) -> Dataset {
+        let configs: Vec<(String, String)> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (format!("dev{i}"), t.clone()))
+            .collect();
+        Dataset::from_named_texts(&configs, &[]).unwrap()
+    }
+
+    fn params() -> LearnParams {
+        LearnParams {
+            enable_range: true,
+            ..LearnParams::default()
+        }
+    }
+
+    #[test]
+    fn learns_mtu_range() {
+        // MTU takes one of two values across devices: a set-like range.
+        let texts: Vec<String> = (0..8)
+            .map(|i| format!("mtu {}\n", if i % 2 == 0 { 1500 } else { 9214 }))
+            .collect();
+        let ds = dataset(&texts);
+        let view = DatasetView::new(&ds);
+        let contracts = mine(&view, &params());
+        assert_eq!(contracts.len(), 1);
+        match &contracts[0] {
+            Contract::Range { min, max, .. } => {
+                assert_eq!(min, &BigNum::from(1500u64));
+                assert_eq!(max, &BigNum::from(9214u64));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn identifier_like_values_skipped() {
+        // Every device has a distinct id: a range over it is meaningless.
+        let texts: Vec<String> = (0..8).map(|i| format!("vlan {}\n", 100 + i)).collect();
+        let ds = dataset(&texts);
+        let view = DatasetView::new(&ds);
+        assert!(mine(&view, &params()).is_empty());
+    }
+
+    #[test]
+    fn support_threshold_applies() {
+        let texts: Vec<String> = (0..3).map(|_| "mtu 1500\n".to_string()).collect();
+        let ds = dataset(&texts);
+        let view = DatasetView::new(&ds);
+        assert!(mine(&view, &params()).is_empty());
+    }
+}

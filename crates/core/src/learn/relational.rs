@@ -1,0 +1,444 @@
+//! Relational-contract mining (§3.5).
+//!
+//! For every pair of patterns `p1`, `p2`, parameter positions, and
+//! transformations, the candidate contract
+//!
+//! ```text
+//! forall l1 ~ p1, exists l2 ~ p2 such that F(t1(l1.x), t2(l2.y))
+//! ```
+//!
+//! is *never enumerated directly*. Instead each configuration is indexed
+//! once ([`super::indexes::ValueIndex`]) and each antecedent value queries
+//! only the entries it actually relates to, so candidates materialize
+//! exactly when witnessed. Per-candidate accounting then applies the
+//! support/confidence bars and the informativeness/diversity score filter.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+
+use concord_types::score::value_score;
+use concord_types::Transform;
+
+use crate::contract::{PatternRef, RelationKind, RelationalContract};
+use crate::learn::indexes::{Entry, NodeKey, TransformTag, ValueIndex};
+use crate::learn::DatasetView;
+use crate::parallel;
+use crate::params::LearnParams;
+
+/// A candidate relational contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CandKey {
+    antecedent: NodeKey,
+    relation: RelationKind,
+    consequent: NodeKey,
+}
+
+/// Per-configuration mining result.
+struct LocalResult {
+    /// Candidate → (satisfied instance count, witness (hash, score) per
+    /// instance).
+    candidates: HashMap<CandKey, (u32, Vec<(u64, f64)>)>,
+    /// Node → number of instances (entries) in this configuration.
+    node_instances: HashMap<NodeKey, u32>,
+}
+
+pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> Vec<RelationalContract> {
+    let config_indices: Vec<usize> = (0..view.num_configs()).collect();
+    let locals: Vec<LocalResult> = parallel::map(
+        &config_indices,
+        |&ci| mine_config(view, ci, params),
+        params.parallelism,
+    );
+
+    // Merge: valid-config counts and diversity-aggregated scores.
+    struct Global {
+        valid: u32,
+        score: f64,
+        seen: HashSet<u64>,
+    }
+    let mut global: HashMap<CandKey, Global> = HashMap::new();
+    for local in locals {
+        for (key, (count, witnesses)) in local.candidates {
+            let instances = local
+                .node_instances
+                .get(&key.antecedent)
+                .copied()
+                .unwrap_or(0);
+            let entry = global.entry(key).or_insert_with(|| Global {
+                valid: 0,
+                score: 0.0,
+                seen: HashSet::new(),
+            });
+            if count == instances && instances > 0 {
+                entry.valid += 1;
+            }
+            for (hash, score) in witnesses {
+                if entry.seen.len() < params.max_score_witnesses && entry.seen.insert(hash) {
+                    entry.score += score;
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (key, stats) in global {
+        let support = view.configs_with(key.antecedent.pattern);
+        if view.configs_with(key.consequent.pattern) < params.support {
+            continue;
+        }
+        if !params.accept(stats.valid as usize, support) {
+            continue;
+        }
+        if stats.score < params.score_threshold {
+            continue;
+        }
+        out.push(RelationalContract {
+            antecedent: PatternRef {
+                pattern: view.dataset.table.text(key.antecedent.pattern).to_string(),
+                param: key.antecedent.param,
+                transform: key.antecedent.transform_tag.to_transform(),
+            },
+            consequent: PatternRef {
+                pattern: view.dataset.table.text(key.consequent.pattern).to_string(),
+                param: key.consequent.param,
+                transform: key.consequent.transform_tag.to_transform(),
+            },
+            relation: key.relation,
+        });
+    }
+    // Drop equality contracts whose two sides apply the same *injective*
+    // rendering transform: `equals(hex(l1.a), hex(l2.b))` holds exactly
+    // when `equals(l1.a, l2.b)` does (hex is a bijection on numbers), so
+    // the identity form subsumes it. `str` is injective per value type
+    // but can bridge types (an address equals a string render), so it is
+    // only dropped when its identity twin was also learned.
+    let id_pairs: HashSet<(String, u16, String, u16)> = out
+        .iter()
+        .filter(|c| {
+            c.relation == RelationKind::Equals
+                && c.antecedent.transform == Transform::Id
+                && c.consequent.transform == Transform::Id
+        })
+        .map(|c| {
+            (
+                c.antecedent.pattern.clone(),
+                c.antecedent.param,
+                c.consequent.pattern.clone(),
+                c.consequent.param,
+            )
+        })
+        .collect();
+    out.retain(|c| {
+        if c.relation != RelationKind::Equals || c.antecedent.transform != c.consequent.transform {
+            return true;
+        }
+        match c.antecedent.transform {
+            Transform::Hex => false,
+            Transform::Str => !id_pairs.contains(&(
+                c.antecedent.pattern.clone(),
+                c.antecedent.param,
+                c.consequent.pattern.clone(),
+                c.consequent.param,
+            )),
+            _ => true,
+        }
+    });
+
+    // The candidate map iterates in arbitrary order; sort so downstream
+    // minimization (which picks representative contracts) and the final
+    // contract set are deterministic across runs and parallelism levels.
+    out.sort();
+    out
+}
+
+/// Builds the per-configuration index and runs the query pass.
+fn mine_config(view: &DatasetView<'_>, ci: usize, params: &LearnParams) -> LocalResult {
+    let config = &view.dataset.configs[ci];
+    let mut index = ValueIndex::new(params.max_affix_fanout);
+    let mut node_instances: HashMap<NodeKey, u32> = HashMap::new();
+
+    for line in &config.lines {
+        for (pi, param) in line.params.iter().enumerate() {
+            let base_score = value_score(&param.value);
+            for transform in Transform::enumerate_for(&param.value) {
+                let Some(value) = transform.apply(&param.value) else {
+                    continue;
+                };
+                let node = NodeKey {
+                    pattern: line.pattern,
+                    param: pi as u16,
+                    transform_tag: TransformTag::from_transform(&transform),
+                };
+                *node_instances.entry(node).or_insert(0) += 1;
+                index.insert(Entry {
+                    node,
+                    value,
+                    score: base_score * transform.score_discount(),
+                });
+            }
+        }
+    }
+
+    let mut candidates: HashMap<CandKey, (u32, Vec<(u64, f64)>)> = HashMap::new();
+    let mut scratch: Vec<u32> = Vec::new();
+    let mut satisfied: HashMap<CandKey, f64> = HashMap::new();
+
+    for a_idx in 0..index.entries.len() {
+        satisfied.clear();
+
+        // Ask every registered relation structure for this value's
+        // witnesses (§3.5; structures are pluggable via the
+        // `RelationStructure` trait).
+        for structure in &index.structures {
+            scratch.clear();
+            if structure.query(&index.entries[a_idx].value, &mut scratch) {
+                let relation = structure.relation();
+                for &c_idx in &scratch {
+                    record(&index, a_idx, c_idx, relation, &mut satisfied, params);
+                }
+            }
+        }
+
+        let a_hash = {
+            let mut h = DefaultHasher::new();
+            index.entries[a_idx].value.hash(&mut h);
+            h.finish()
+        };
+        for (&key, &score) in &satisfied {
+            let slot = candidates.entry(key).or_insert_with(|| (0, Vec::new()));
+            slot.0 += 1;
+            slot.1.push((a_hash, score));
+        }
+    }
+
+    LocalResult {
+        candidates,
+        node_instances,
+    }
+}
+
+/// Records one witnessed relation instance, deduplicating per candidate
+/// and keeping the best witness score.
+fn record(
+    index: &ValueIndex,
+    a_idx: usize,
+    c_idx: u32,
+    relation: RelationKind,
+    satisfied: &mut HashMap<CandKey, f64>,
+    params: &LearnParams,
+) {
+    let a = &index.entries[a_idx];
+    let c = &index.entries[c_idx as usize];
+    if a.node == c.node {
+        return;
+    }
+    if satisfied.len() >= params.max_witnesses_per_instance * 8 {
+        // Pathological fan-out guard; candidates beyond this are noise.
+        return;
+    }
+    let key = CandKey {
+        antecedent: a.node,
+        relation,
+        consequent: c.node,
+    };
+    let score = a.score.min(c.score);
+    satisfied
+        .entry(key)
+        .and_modify(|best| *best = best.max(score))
+        .or_insert(score);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Dataset;
+
+    fn dataset(texts: &[String]) -> Dataset {
+        let configs: Vec<(String, String)> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (format!("dev{i}"), t.clone()))
+            .collect();
+        Dataset::from_named_texts(&configs, &[]).unwrap()
+    }
+
+    fn mine_texts(texts: &[String], params: &LearnParams) -> Vec<RelationalContract> {
+        let ds = dataset(texts);
+        let view = DatasetView::new(&ds);
+        mine(&view, params)
+    }
+
+    fn has_contract(
+        contracts: &[RelationalContract],
+        relation: RelationKind,
+        antecedent_contains: &str,
+        consequent_contains: &str,
+    ) -> bool {
+        contracts.iter().any(|c| {
+            c.relation == relation
+                && c.antecedent.pattern.contains(antecedent_contains)
+                && c.consequent.pattern.contains(consequent_contains)
+        })
+    }
+
+    #[test]
+    fn learns_loopback_prefix_contains() {
+        // Figure 1 contract 2: every interface address is permitted by a
+        // prefix-list entry.
+        let texts: Vec<String> = (0..8)
+            .map(|i| {
+                format!(
+                    "interface Loopback0\n ip address 10.14.14.{i}\nip prefix-list loopback\n seq 10 permit 10.14.14.{i}/32\n"
+                )
+            })
+            .collect();
+        let contracts = mine_texts(&texts, &LearnParams::default());
+        assert!(
+            has_contract(&contracts, RelationKind::Contains, "ip address", "permit"),
+            "missing contains contract in {contracts:#?}"
+        );
+    }
+
+    #[test]
+    fn learns_port_channel_mac_segment_equality() {
+        // Figure 1 contract 1: hex(port channel number) equals the last
+        // MAC segment.
+        let texts: Vec<String> = (0..8)
+            .map(|i| {
+                let n = 100 + i * 7;
+                format!(
+                    "interface Port-Channel{n}\n evpn ether-segment\n  route-target import 00:00:0c:d3:00:{:02x}\n",
+                    n
+                )
+            })
+            .collect();
+        let contracts = mine_texts(&texts, &LearnParams::default());
+        let found = contracts.iter().any(|c| {
+            c.relation == RelationKind::Equals
+                && c.antecedent.pattern.contains("Port-Channel[a:num]")
+                && c.antecedent.transform == Transform::Hex
+                && c.consequent.pattern.contains("route-target import")
+                && c.consequent.transform == Transform::Segment(6)
+        });
+        assert!(found, "missing hex/segment equality in {contracts:#?}");
+    }
+
+    #[test]
+    fn learns_vlan_rd_endswith() {
+        // Figure 1 contract 3: the route distinguisher's number ends with
+        // the VLAN id.
+        let texts: Vec<String> = (0..8)
+            .map(|i| {
+                let vlan = 251 + i;
+                format!("router bgp 65015\n vlan {vlan}\n  rd 10.14.14.117:10{vlan}\n")
+            })
+            .collect();
+        let contracts = mine_texts(&texts, &LearnParams::default());
+        assert!(
+            has_contract(&contracts, RelationKind::EndsWith, "vlan [a:num]", "rd "),
+            "missing endswith contract in {contracts:#?}"
+        );
+    }
+
+    #[test]
+    fn spurious_default_route_relation_rejected() {
+        // The default route 0.0.0.0/0 "contains" the RD address in every
+        // config, but its informativeness is zero, so no contract should
+        // relate the RD address to the catch-all prefix entry.
+        let texts: Vec<String> = (0..8)
+            .map(|i| {
+                format!(
+                    "plist\n seq 20 permit 0.0.0.0/0\nrouter bgp 65015\n vlan 251\n  rd 10.14.14.{i}:10251\n"
+                )
+            })
+            .collect();
+        let contracts = mine_texts(&texts, &LearnParams::default());
+        assert!(
+            !has_contract(&contracts, RelationKind::Contains, "rd ", "permit"),
+            "spurious contains contract learned: {contracts:#?}"
+        );
+    }
+
+    #[test]
+    fn confidence_tolerates_minority_violation() {
+        let mut texts: Vec<String> = (0..30).map(|i| format!("vlan {i}\nvni {i}\n")).collect();
+        // One config violates the equality.
+        texts.push("vlan 77\nvni 99\n".to_string());
+        let contracts = mine_texts(&texts, &LearnParams::default());
+        assert!(
+            has_contract(&contracts, RelationKind::Equals, "vlan", "vni"),
+            "equality should survive 1/31 noise: {contracts:#?}"
+        );
+    }
+
+    #[test]
+    fn below_confidence_rejected() {
+        let texts: Vec<String> = (0..10)
+            .map(|i| {
+                if i % 2 == 0 {
+                    format!("vlan {i}\nvni {i}\n")
+                } else {
+                    format!("vlan {i}\nvni {}\n", i + 100)
+                }
+            })
+            .collect();
+        let contracts = mine_texts(&texts, &LearnParams::default());
+        assert!(!has_contract(
+            &contracts,
+            RelationKind::Equals,
+            "vlan",
+            "vni"
+        ));
+    }
+
+    #[test]
+    fn forall_requires_every_instance() {
+        // Each config has two vlans but only one matching vni: the forall
+        // fails in every config.
+        let texts: Vec<String> = (0..8)
+            .map(|i| format!("vlan {}\nvlan {}\nvni {}\n", 100 + i, 200 + i, 100 + i))
+            .collect();
+        let contracts = mine_texts(&texts, &LearnParams::default());
+        assert!(!has_contract(
+            &contracts,
+            RelationKind::Equals,
+            "vlan",
+            "vni"
+        ));
+        // The reverse direction (every vni has a vlan) does hold.
+        assert!(has_contract(
+            &contracts,
+            RelationKind::Equals,
+            "vni",
+            "vlan"
+        ));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let texts: Vec<String> = (0..12)
+            .map(|i| {
+                format!(
+                    "vlan {}\n rd 10.0.0.1:10{}\nvni {}\n",
+                    250 + i,
+                    250 + i,
+                    250 + i
+                )
+            })
+            .collect();
+        let seq = mine_texts(&texts, &LearnParams::default());
+        let par = mine_texts(
+            &texts,
+            &LearnParams {
+                parallelism: 4,
+                ..LearnParams::default()
+            },
+        );
+        let norm = |mut v: Vec<RelationalContract>| {
+            v.sort_by_key(|c| format!("{c:?}"));
+            v
+        };
+        assert_eq!(norm(seq), norm(par));
+    }
+}

@@ -1,0 +1,164 @@
+//! Type-contract mining (§3.4).
+//!
+//! Misconfigurations often manifest as type errors (an IPv4 prefix where an
+//! address belongs). Concord rewrites every pattern to a type-agnostic
+//! form (`ip address [a:ip4]` → `ip address [?]`), tallies the concrete
+//! types used at each hole, and deems a type invalid when it appears in
+//! fewer than `(100 − C)%` of uses. The learned contract records the
+//! *valid* types, so checking also flags types never seen in training.
+//!
+//! A contract is only emitted for holes where at least two distinct types
+//! were observed — a hole that only ever held one type generates no
+//! evidence of a type *choice*, and emitting a contract per pattern hole
+//! would drown the output.
+
+use std::collections::HashMap;
+
+use concord_lexer::type_agnostic_pattern;
+use concord_types::ValueType;
+
+use crate::contract::Contract;
+use crate::learn::DatasetView;
+use crate::params::LearnParams;
+
+pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> Vec<Contract> {
+    // agnostic pattern -> per-hole type usage counts, plus config support.
+    struct Group {
+        hole_types: Vec<HashMap<ValueType, u64>>,
+        configs: std::collections::HashSet<usize>,
+    }
+    let mut groups: HashMap<String, Group> = HashMap::new();
+
+    for (ci, config) in view.dataset.configs.iter().enumerate() {
+        for line in &config.lines {
+            if line.params.is_empty() {
+                continue;
+            }
+            let agnostic = type_agnostic_pattern(view.dataset.table.text(line.pattern));
+            let group = groups.entry(agnostic).or_insert_with(|| Group {
+                hole_types: Vec::new(),
+                configs: std::collections::HashSet::new(),
+            });
+            group.configs.insert(ci);
+            // Holes of the *bound* parameters: anonymous context holes are
+            // part of the agnostic text too, so index bound holes by
+            // their position among bound params only.
+            if group.hole_types.len() < line.params.len() {
+                group
+                    .hole_types
+                    .resize_with(line.params.len(), HashMap::new);
+            }
+            for (i, param) in line.params.iter().enumerate() {
+                *group.hole_types[i].entry(param.ty.clone()).or_insert(0) += 1;
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (agnostic, group) in groups {
+        if group.configs.len() < params.support {
+            continue;
+        }
+        for (hole, types) in group.hole_types.iter().enumerate() {
+            if types.len() < 2 {
+                continue;
+            }
+            let total: u64 = types.values().sum();
+            let min_freq = (1.0 - params.confidence) * total as f64;
+            let mut valid: Vec<ValueType> = types
+                .iter()
+                .filter(|&(_, &count)| count as f64 >= min_freq)
+                .map(|(ty, _)| ty.clone())
+                .collect();
+            if valid.is_empty() || valid.len() == types.len() {
+                // Either everything is rare (degenerate) or nothing is:
+                // no restriction to enforce.
+                continue;
+            }
+            valid.sort();
+            out.push(Contract::Type {
+                pattern: agnostic.clone(),
+                hole: hole as u16,
+                valid,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Dataset;
+
+    fn dataset(texts: &[String]) -> Dataset {
+        let configs: Vec<(String, String)> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (format!("dev{i}"), t.clone()))
+            .collect();
+        Dataset::from_named_texts(&configs, &[]).unwrap()
+    }
+
+    #[test]
+    fn flags_rare_mistyped_value() {
+        // 49 configs use an address, one uses a prefix by mistake.
+        let mut texts: Vec<String> = (0..49)
+            .map(|i| format!("ip address 10.0.0.{}\n", i + 1))
+            .collect();
+        texts.push("ip address 10.0.0.0/24\n".to_string());
+        let ds = dataset(&texts);
+        let view = DatasetView::new(&ds);
+        let contracts = mine(&view, &LearnParams::default());
+        assert_eq!(contracts.len(), 1);
+        match &contracts[0] {
+            Contract::Type {
+                pattern,
+                hole,
+                valid,
+            } => {
+                assert_eq!(pattern, "/ip address [?]");
+                assert_eq!(*hole, 0);
+                assert_eq!(valid, &vec![ValueType::Ip4]);
+            }
+            other => panic!("unexpected contract {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dual_stack_types_both_valid() {
+        // Half v4, half v6: both types are frequent, nothing to flag, but
+        // the contract still records the two valid types... and since
+        // valid == observed, no restriction exists and nothing is emitted.
+        let texts: Vec<String> = (0..20)
+            .map(|i| {
+                if i % 2 == 0 {
+                    format!("neighbor 10.0.0.{i} up\n")
+                } else {
+                    format!("neighbor fe80::{i:x} up\n")
+                }
+            })
+            .collect();
+        let ds = dataset(&texts);
+        let view = DatasetView::new(&ds);
+        let contracts = mine(&view, &LearnParams::default());
+        assert!(contracts.is_empty());
+    }
+
+    #[test]
+    fn single_type_emits_nothing() {
+        let texts: Vec<String> = (0..10).map(|i| format!("vlan {i}\n")).collect();
+        let ds = dataset(&texts);
+        let view = DatasetView::new(&ds);
+        assert!(mine(&view, &LearnParams::default()).is_empty());
+    }
+
+    #[test]
+    fn support_threshold_applies() {
+        let mut texts: Vec<String> = (0..3).map(|i| format!("x 10.0.0.{i}\n")).collect();
+        texts.push("x 10.0.0.0/8\n".to_string());
+        let ds = dataset(&texts);
+        let view = DatasetView::new(&ds);
+        assert!(mine(&view, &LearnParams::default()).is_empty());
+    }
+}

@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! Concord's contract model, learning engine, and checking engine.
+//!
+//! This crate is the paper's primary contribution: given example network
+//! configurations it *learns* lightweight configuration contracts (§3), and
+//! given contracts it *checks* new or changed configurations, reporting
+//! line-localized violations (§3.8) and configuration coverage (§3.9).
+//!
+//! The pipeline:
+//!
+//! ```text
+//! text ──▶ format inference ──▶ context embedding ──▶ lexing ──▶ Dataset
+//!            (concord-formats)                      (concord-lexer)
+//! Dataset ──▶ learn(&Dataset, &LearnParams) ──▶ ContractSet
+//! ContractSet + Dataset ──▶ check(..) ──▶ CheckReport { violations, coverage }
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use concord_core::{learn, check, Dataset, LearnParams};
+//!
+//! // Three tiny "devices" sharing an invariant: every loopback address is
+//! // permitted by the prefix list.
+//! let mk = |n: u8| {
+//!     format!(
+//!         "interface Loopback0\n ip address 10.0.0.{n}\nip prefix-list lo\n seq 10 permit 10.0.0.{n}/32\n"
+//!     )
+//! };
+//! let configs: Vec<(String, String)> =
+//!     (1..=6).map(|n| (format!("dev{n}"), mk(n))).collect();
+//! let dataset = Dataset::from_named_texts(&configs, &[]).unwrap();
+//!
+//! let mut params = LearnParams::default();
+//! params.support = 3;
+//! let contracts = learn(&dataset, &params);
+//! assert!(!contracts.is_empty());
+//!
+//! // A buggy device: loopback address missing from the prefix list.
+//! let bad = vec![(
+//!     "dev-bad".to_string(),
+//!     "interface Loopback0\n ip address 10.0.0.9\nip prefix-list lo\n seq 10 permit 10.0.0.7/32\n".to_string(),
+//! )];
+//! let test = Dataset::from_named_texts(&bad, &[]).unwrap();
+//! let report = check(&contracts, &test);
+//! assert!(!report.violations.is_empty());
+//! ```
+
+mod check;
+mod contract;
+mod ir;
+mod learn;
+pub mod parallel;
+mod params;
+
+pub use check::coverage::{CoverageReport, CoverageSummary};
+pub use check::{check, check_parallel, CheckReport, Violation};
+pub use contract::{Contract, ContractSet, PatternRef, RelationKind, RelationalContract};
+pub use ir::{ConfigIr, Dataset, DatasetError, LineRecord, PatternId, PatternTable};
+pub use learn::{learn, learn_with_stats, LearnStats};
+pub use params::LearnParams;

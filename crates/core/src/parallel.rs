@@ -1,0 +1,92 @@
+//! A small deterministic parallel-map helper.
+//!
+//! Both learning and checking parallelize over configurations (§4 exposes a
+//! parallelism flag). The helper splits the input into contiguous chunks,
+//! processes them on crossbeam scoped threads, and reassembles results in
+//! input order, so outputs are identical at every parallelism level.
+
+/// Maps `f` over `items` using up to `parallelism` worker threads.
+///
+/// Results are returned in input order. `parallelism <= 1` (or a tiny
+/// input) runs inline with no thread overhead.
+pub fn map<T, R, F>(items: &[T], f: F, parallelism: usize) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if parallelism <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let workers = parallelism.min(items.len());
+    let chunk_size = items.len().div_ceil(workers);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+
+    crossbeam::thread::scope(|scope| {
+        let mut rest = results.as_mut_slice();
+        let mut offset = 0;
+        let mut handles = Vec::new();
+        while offset < items.len() {
+            let take = chunk_size.min(items.len() - offset);
+            let (chunk_out, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let chunk_in = &items[offset..offset + take];
+            let f = &f;
+            handles.push(scope.spawn(move |_| {
+                for (slot, item) in chunk_out.iter_mut().zip(chunk_in) {
+                    *slot = Some(f(item));
+                }
+            }));
+            offset += take;
+        }
+        for handle in handles {
+            handle.join().expect("parallel map worker panicked");
+        }
+    })
+    .expect("parallel map scope failed");
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = map(&items, |&x| x * 2, 4);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_fallback() {
+        let items = vec![1, 2, 3];
+        assert_eq!(map(&items, |&x| x + 1, 1), vec![2, 3, 4]);
+        assert_eq!(map(&items, |&x| x + 1, 0), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        let items = vec![5, 6];
+        assert_eq!(map(&items, |&x| x, 16), vec![5, 6]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: Vec<u32> = vec![];
+        assert!(map(&items, |&x| x, 8).is_empty());
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let items: Vec<u64> = (0..997).collect();
+        let seq = map(&items, |&x| x.wrapping_mul(31).rotate_left(7), 1);
+        let par = map(&items, |&x| x.wrapping_mul(31).rotate_left(7), 8);
+        assert_eq!(seq, par);
+    }
+}

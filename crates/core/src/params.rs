@@ -1,0 +1,130 @@
+//! Learning parameters (§4).
+
+/// Parameters controlling contract learning.
+///
+/// The three headline knobs mirror §4 of the paper: support `S` (minimum
+/// number of configurations a pattern must appear in, default 5),
+/// confidence `C` (fraction of supporting instances in which the contract
+/// must hold, default 0.96), and the heuristic score threshold that filters
+/// spurious relational contracts (§3.5). The remaining fields toggle
+/// contract categories and implementation limits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LearnParams {
+    /// Support `S`: minimum number of configurations in which a pattern
+    /// must appear.
+    pub support: usize,
+    /// Confidence `C` in `(0, 1]`: required fraction of supporting
+    /// configurations in which the contract holds.
+    pub confidence: f64,
+    /// Heuristic score threshold for relational contracts: the cumulative
+    /// diversity-aggregated informativeness a candidate must reach.
+    pub score_threshold: f64,
+    /// Learn `Present` contracts.
+    pub enable_present: bool,
+    /// Learn `Ordering` contracts. Enabled for learning by default; the
+    /// production deployment disables them at check time (§5.4).
+    pub enable_ordering: bool,
+    /// Learn `Type` contracts.
+    pub enable_type: bool,
+    /// Learn `Sequence` contracts.
+    pub enable_sequence: bool,
+    /// Learn `Unique` contracts.
+    pub enable_unique: bool,
+    /// Learn relational contracts.
+    pub enable_relational: bool,
+    /// Learn `Range` contracts (extension category; ranges over numeric
+    /// parameters with set-like usage). Off by default.
+    pub enable_range: bool,
+    /// Constant-learning mode (§4): additionally learn present/ordering
+    /// contracts over exact line text, capturing "magic constant" policies.
+    pub learn_constants: bool,
+    /// Run contract minimization on relational contracts (§3.6).
+    pub minimize: bool,
+    /// Worker threads for the parallel phases.
+    pub parallelism: usize,
+    /// Maximum witnesses recorded per antecedent instance during candidate
+    /// generation (bounds work on pathological inputs).
+    pub max_witnesses_per_instance: usize,
+    /// Maximum subtree size enumerated per affix query; larger fan-outs
+    /// are treated as coincidental and skipped.
+    pub max_affix_fanout: usize,
+    /// Maximum distinct witness values tracked per candidate for
+    /// diversity scoring.
+    pub max_score_witnesses: usize,
+}
+
+impl Default for LearnParams {
+    fn default() -> Self {
+        LearnParams {
+            support: 5,
+            confidence: 0.96,
+            score_threshold: 1.0,
+            enable_present: true,
+            enable_ordering: true,
+            enable_type: true,
+            enable_sequence: true,
+            enable_unique: true,
+            enable_relational: true,
+            enable_range: false,
+            learn_constants: false,
+            minimize: true,
+            parallelism: 1,
+            max_witnesses_per_instance: 64,
+            max_affix_fanout: 32,
+            max_score_witnesses: 128,
+        }
+    }
+}
+
+impl LearnParams {
+    /// Returns the number of supporting configurations out of `total` that
+    /// a contract must hold in to clear the confidence bar.
+    pub fn required_valid(&self, support_configs: usize) -> usize {
+        (self.confidence * support_configs as f64).ceil() as usize
+    }
+
+    /// Returns `true` when `valid` out of `support_configs` supporting
+    /// configurations satisfies both the support and confidence bars.
+    pub fn accept(&self, valid: usize, support_configs: usize) -> bool {
+        support_configs >= self.support && valid >= self.required_valid(support_configs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = LearnParams::default();
+        assert_eq!(p.support, 5);
+        assert!((p.confidence - 0.96).abs() < 1e-9);
+    }
+
+    #[test]
+    fn required_valid_rounds_up() {
+        let p = LearnParams::default();
+        // 96% of 20 = 19.2 -> 20 required.
+        assert_eq!(p.required_valid(20), 20);
+        // 96% of 25 = 24.
+        assert_eq!(p.required_valid(25), 24);
+    }
+
+    #[test]
+    fn accept_enforces_both_bars() {
+        let p = LearnParams::default();
+        assert!(!p.accept(4, 4)); // Below support.
+        assert!(p.accept(5, 5)); // Exactly at support, full confidence.
+        assert!(!p.accept(22, 25)); // Support ok, confidence too low.
+        assert!(p.accept(24, 25)); // 96% of 25.
+    }
+
+    #[test]
+    fn non_universal_contracts_accepted() {
+        // §4: a pattern in 20 configs holding in 96% of them is retained
+        // even if absent elsewhere.
+        let p = LearnParams::default();
+        assert!(p.accept(20, 20));
+        assert!(!p.accept(19, 20)); // 95% < 96%.
+    }
+}

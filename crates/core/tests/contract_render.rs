@@ -1,0 +1,128 @@
+//! Rendering tests: `Contract::describe` must reproduce the paper's
+//! notation exactly, including argument order conventions.
+
+use concord_core::{Contract, PatternRef, RelationKind, RelationalContract};
+use concord_types::Transform;
+
+fn relational(
+    a: (&str, u16, Transform),
+    c: (&str, u16, Transform),
+    relation: RelationKind,
+) -> Contract {
+    Contract::Relational(RelationalContract {
+        antecedent: PatternRef {
+            pattern: a.0.to_string(),
+            param: a.1,
+            transform: a.2,
+        },
+        consequent: PatternRef {
+            pattern: c.0.to_string(),
+            param: c.1,
+            transform: c.2,
+        },
+        relation,
+    })
+}
+
+#[test]
+fn figure_1_contract_1_notation() {
+    // forall l1 ~ interface Port-Channel[a:num]
+    // exists l2 ~ route-target import [b:mac]
+    // equals(hex(l1.a), segment(l2.b, 6))
+    let contract = relational(
+        ("interface Port-Channel[a:num]", 0, Transform::Hex),
+        ("route-target import [b:mac]", 0, Transform::Segment(6)),
+        RelationKind::Equals,
+    );
+    assert_eq!(
+        contract.describe(),
+        "forall l1 ~ interface Port-Channel[a:num]\n\
+         exists l2 ~ route-target import [b:mac]\n\
+         equals(hex(l1.a), segment(l2.b, 6))"
+    );
+}
+
+#[test]
+fn figure_1_contract_2_notation() {
+    // contains(l2.b, l1.a): the container comes first.
+    let contract = relational(
+        ("ip address [a:ip4]", 0, Transform::Id),
+        ("seq [a:num] permit [b:pfx4]", 1, Transform::Id),
+        RelationKind::Contains,
+    );
+    assert_eq!(
+        contract.describe(),
+        "forall l1 ~ ip address [a:ip4]\n\
+         exists l2 ~ seq [a:num] permit [b:pfx4]\n\
+         contains(l2.b, l1.a)"
+    );
+}
+
+#[test]
+fn figure_1_contract_3_notation() {
+    // endswith(str(l2.b), str(l1.a)): the longer string comes first.
+    let contract = relational(
+        ("vlan [a:num]", 0, Transform::Str),
+        ("rd [a:ip4]:[b:num]", 1, Transform::Str),
+        RelationKind::EndsWith,
+    );
+    assert_eq!(
+        contract.describe(),
+        "forall l1 ~ vlan [a:num]\n\
+         exists l2 ~ rd [a:ip4]:[b:num]\n\
+         endswith(str(l2.b), str(l1.a))"
+    );
+}
+
+#[test]
+fn present_contracts_match_figure_1_bottom_row() {
+    assert_eq!(
+        Contract::Present {
+            pattern: "ip prefix-list loopback".to_string()
+        }
+        .describe(),
+        "exists l ~ ip prefix-list loopback"
+    );
+    assert_eq!(
+        Contract::Present {
+            pattern: "interface Loopback[a:num]".to_string()
+        }
+        .describe(),
+        "exists l ~ interface Loopback[a:num]"
+    );
+}
+
+#[test]
+fn ordering_contract_uses_index_notation() {
+    let contract = Contract::Ordering {
+        first: "evpn ethernet-segment".to_string(),
+        second: "route-target import [a:mac]".to_string(),
+    };
+    assert_eq!(
+        contract.describe(),
+        "forall l1 ~ evpn ethernet-segment\n\
+         exists l2 ~ route-target import [a:mac]\n\
+         equals(index(l1) + 1, index(l2))"
+    );
+}
+
+#[test]
+fn display_matches_describe() {
+    let contract = Contract::Present {
+        pattern: "/x [a:num]".to_string(),
+    };
+    assert_eq!(contract.to_string(), contract.describe());
+}
+
+#[test]
+fn positional_fallback_names_for_anonymous_holes() {
+    // A consequent hole without a bound name falls back to a positional
+    // name rather than panicking.
+    let contract = relational(
+        ("left [a:num]", 0, Transform::Id),
+        ("right-with-no-holes", 3, Transform::Id),
+        RelationKind::Equals,
+    );
+    let text = contract.describe();
+    assert!(text.contains("l2.p3"), "{text}");
+}

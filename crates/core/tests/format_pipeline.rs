@@ -1,0 +1,114 @@
+//! End-to-end learning and checking over non-CLI configuration formats:
+//! JSON and YAML device configurations (Concord accepts any format, §4).
+
+use concord_core::{check, learn, Dataset, LearnParams};
+
+fn dataset(texts: Vec<String>) -> Dataset {
+    let configs: Vec<(String, String)> = texts
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| (format!("dev{i}"), t))
+        .collect();
+    Dataset::from_named_texts(&configs, &[]).unwrap()
+}
+
+fn json_device(d: usize, vlan: usize) -> String {
+    format!(
+        r#"{{
+  "hostname": "DEV{}",
+  "interfaces": {{
+    "loopback0": {{ "address": "10.9.{d}.1" }},
+    "eth1": {{ "address": "10.9.{d}.2", "mtu": 9214 }}
+  }},
+  "bgp": {{
+    "asn": 65010,
+    "vlans": [ {{ "id": {vlan}, "vni": {vlan} }} ]
+  }}
+}}"#,
+        1000 + d
+    )
+}
+
+#[test]
+fn learns_from_json_configs() {
+    let texts: Vec<String> = (0..8).map(|d| json_device(d, 200 + d)).collect();
+    let ds = dataset(texts);
+    // The embedder must classify every config as JSON and produce
+    // key-path patterns.
+    let pattern_texts: Vec<&str> = ds.table.iter().map(|(_, t)| t).collect();
+    assert!(
+        pattern_texts
+            .iter()
+            .any(|t| t.contains("/interfaces/loopback[num]/address [a:ip4]")),
+        "missing JSON key-path pattern: {pattern_texts:#?}"
+    );
+
+    let contracts = learn(&ds, &LearnParams::default());
+    assert!(!contracts.is_empty());
+    let descriptions: Vec<String> = contracts.contracts.iter().map(|c| c.describe()).collect();
+    // The vlan id / vni equality survives JSON nesting.
+    assert!(
+        descriptions.iter().any(|d| {
+            d.starts_with("forall") && d.contains("/bgp/vlans/id") && d.contains("vni")
+        }),
+        "no vlan/vni relation learned: {descriptions:#?}"
+    );
+
+    // Checking a broken JSON device flags it.
+    let mut bad = vec![json_device(0, 250)];
+    bad[0] = bad[0].replace("\"vni\": 250", "\"vni\": 999");
+    let test = dataset(bad);
+    let report = check(&contracts, &test);
+    assert!(
+        report.violations.iter().any(|v| v.category == "relational"),
+        "{:#?}",
+        report.violations
+    );
+}
+
+#[test]
+fn learns_from_yaml_configs() {
+    let texts: Vec<String> = (0..8)
+        .map(|d| {
+            format!(
+                "hostname: DEV{}\nloopback: 10.8.{d}.1\nbgp:\n  asn: 65020\n  router-id: 10.8.{d}.1\n",
+                2000 + d
+            )
+        })
+        .collect();
+    let ds = dataset(texts);
+    let contracts = learn(&ds, &LearnParams::default());
+    let descriptions: Vec<String> = contracts.contracts.iter().map(|c| c.describe()).collect();
+    // Loopback equals router-id through the YAML hierarchy.
+    assert!(
+        descriptions.iter().any(|d| {
+            d.starts_with("forall") && d.contains("loopback") && d.contains("router-id")
+        }),
+        "no loopback/router-id relation: {descriptions:#?}"
+    );
+
+    // A device whose router-id diverges is flagged.
+    let bad = vec![
+        "hostname: DEV9999\nloopback: 10.8.99.1\nbgp:\n  asn: 65020\n  router-id: 10.8.0.7\n"
+            .to_string(),
+    ];
+    let report = check(&contracts, &dataset(bad));
+    assert!(
+        report.violations.iter().any(|v| v.category == "relational"),
+        "{:#?}",
+        report.violations
+    );
+}
+
+#[test]
+fn mixed_format_fleet_is_fine() {
+    // Half the fleet is JSON, half indent-style: patterns simply do not
+    // collide, and learning still succeeds per sub-population when
+    // support allows.
+    let mut texts: Vec<String> = (0..6).map(|d| json_device(d, 300)).collect();
+    texts.extend((0..6).map(|d| format!("hostname DEV{}\nvlan 300\n", 3000 + d)));
+    let ds = dataset(texts);
+    let contracts = learn(&ds, &LearnParams::default());
+    assert!(!contracts.is_empty());
+    assert!(check(&contracts, &ds).violations.is_empty());
+}

@@ -1,0 +1,114 @@
+//! Tests for metadata ingestion (§3.7): metadata lines join every
+//! configuration, relations are learned across the boundary, and
+//! violations caused by config↔metadata divergence are localized.
+
+use concord_core::{check, learn, Dataset, LearnParams};
+
+type NamedFiles = Vec<(String, String)>;
+
+fn fleet_with_metadata(vlans: &[u32]) -> (NamedFiles, NamedFiles) {
+    let configs: Vec<(String, String)> = (0..6)
+        .map(|d| {
+            let mut text = format!("hostname DEV{}\n", 4000 + d);
+            for v in vlans {
+                text.push_str(&format!("vlan {v}\n   vni {v}\n"));
+            }
+            (format!("dev{d}"), text)
+        })
+        .collect();
+    let mut meta = String::from("vlans:\n");
+    for v in vlans {
+        meta.push_str(&format!("  - {v}\n"));
+    }
+    (configs, vec![("intent.yaml".to_string(), meta)])
+}
+
+#[test]
+fn metadata_lines_are_marked_and_shared() {
+    let (configs, metadata) = fleet_with_metadata(&[210, 220]);
+    let ds = Dataset::from_named_texts(&configs, &metadata).unwrap();
+    for config in &ds.configs {
+        let meta_lines: Vec<_> = config.lines.iter().filter(|l| l.is_meta).collect();
+        assert_eq!(meta_lines.len(), 3, "{}", config.name); // `vlans` + 2 ids.
+        for line in meta_lines {
+            assert!(ds.table.text(line.pattern).starts_with("@meta/"));
+        }
+    }
+    // Metadata never counts toward configuration line totals.
+    assert_eq!(ds.total_lines(), 6 * 5);
+}
+
+#[test]
+fn config_to_metadata_relation_catches_rogue_vlan() {
+    let (configs, metadata) = fleet_with_metadata(&[210, 220, 230]);
+    let train = Dataset::from_named_texts(&configs, &metadata).unwrap();
+    let params = LearnParams {
+        support: 3,
+        ..LearnParams::default()
+    };
+    let contracts = learn(&train, &params);
+    assert!(check(&contracts, &train).violations.is_empty());
+
+    // A device grows a VLAN the intent metadata does not declare.
+    let mut bad_configs = configs.clone();
+    bad_configs[0].1.push_str("vlan 999\n   vni 999\n");
+    let test = Dataset::from_named_texts(&bad_configs, &metadata).unwrap();
+    let report = check(&contracts, &test);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.config == "dev0" && v.message.contains("999")),
+        "{:#?}",
+        report.violations
+    );
+}
+
+#[test]
+fn metadata_divergence_flags_every_device() {
+    // The opposite §5.5 direction: intent declares a VLAN no device
+    // carries. The metadata-side forall fails in every config.
+    let (configs, _) = fleet_with_metadata(&[210, 220]);
+    let (_, metadata) = fleet_with_metadata(&[210, 220]);
+    let train = Dataset::from_named_texts(&configs, &metadata).unwrap();
+    let params = LearnParams {
+        support: 3,
+        ..LearnParams::default()
+    };
+    let contracts = learn(&train, &params);
+
+    let (_, grown_meta) = fleet_with_metadata(&[210, 220, 250]);
+    let test = Dataset::from_named_texts(&configs, &grown_meta).unwrap();
+    let report = check(&contracts, &test);
+    let has_meta_side = contracts.contracts.iter().any(|c| {
+        let d = c.describe();
+        d.starts_with("forall l1 ~ @meta")
+    });
+    if has_meta_side {
+        assert!(
+            report.violations.iter().any(|v| v.message.contains("250")),
+            "{:#?}",
+            report.violations
+        );
+    }
+}
+
+#[test]
+fn checking_without_metadata_skips_meta_contracts_gracefully() {
+    let (configs, metadata) = fleet_with_metadata(&[210, 220, 230]);
+    let train = Dataset::from_named_texts(&configs, &metadata).unwrap();
+    let params = LearnParams {
+        support: 3,
+        ..LearnParams::default()
+    };
+    let contracts = learn(&train, &params);
+
+    // Check with no metadata files at all: metadata-consequent contracts
+    // now fail (their witnesses are gone) — which is the desired signal
+    // that the operator forgot `--metadata` — while nothing panics.
+    let test = Dataset::from_named_texts(&configs, &[]).unwrap();
+    let report = check(&contracts, &test);
+    for v in &report.violations {
+        assert!(v.contract_index < contracts.len());
+    }
+}

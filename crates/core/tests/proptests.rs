@@ -1,0 +1,211 @@
+//! Property-based tests for the learning and checking engines.
+
+use concord_core::{check, learn, ConfigIr, Contract, ContractSet, Dataset, LearnParams};
+use proptest::prelude::*;
+
+/// Builds a dataset from generated config texts.
+fn dataset(texts: Vec<String>) -> Dataset {
+    let configs: Vec<(String, String)> = texts
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| (format!("dev{i}"), t))
+        .collect();
+    Dataset::from_named_texts(&configs, &[]).unwrap()
+}
+
+/// A strategy producing small fleets of template-driven configs: shared
+/// structure with per-device values, plus optional per-device noise.
+fn arb_fleet() -> impl Strategy<Value = Vec<String>> {
+    (
+        6usize..10,          // devices
+        1u32..6,             // vlan count
+        0u32..200,           // vlan base
+        proptest::bool::ANY, // include prefix list
+        proptest::bool::ANY, // include bgp block
+    )
+        .prop_map(|(devices, vlan_count, vlan_base, with_plist, with_bgp)| {
+            (0..devices)
+                .map(|d| {
+                    let mut text = format!("hostname DEV{}\n", 1000 + d);
+                    text.push_str(&format!("interface Loopback0\n ip address 10.7.{d}.34\n"));
+                    if with_plist {
+                        text.push_str("ip prefix-list lo\n");
+                        text.push_str(&format!(" seq 10 permit 10.7.{d}.34/32\n"));
+                        text.push_str(" seq 20 permit 0.0.0.0/0\n");
+                    }
+                    if with_bgp {
+                        text.push_str("router bgp 65001\n");
+                        for v in 0..vlan_count {
+                            let vlan = 100 + vlan_base + v;
+                            text.push_str(&format!(
+                                " vlan {vlan}\n  rd 10.7.250.1:10{vlan}\n  vni {vlan}\n"
+                            ));
+                        }
+                    }
+                    text
+                })
+                .collect()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Learning is deterministic and its output survives JSON.
+    #[test]
+    fn learn_deterministic_and_serializable(texts in arb_fleet()) {
+        let ds = dataset(texts);
+        let params = LearnParams::default();
+        let a = learn(&ds, &params);
+        let b = learn(&ds, &params);
+        prop_assert_eq!(&a.contracts, &b.contracts);
+        let back = ContractSet::from_json(&a.to_json()).unwrap();
+        prop_assert_eq!(back.contracts, a.contracts);
+    }
+
+    /// Contracts learned from a template fleet hold on that fleet.
+    #[test]
+    fn learned_contracts_hold_on_training_set(texts in arb_fleet()) {
+        let ds = dataset(texts);
+        let contracts = learn(&ds, &LearnParams::default());
+        let report = check(&contracts, &ds);
+        prop_assert!(
+            report.violations.is_empty(),
+            "self-check violations: {:#?}",
+            &report.violations[..report.violations.len().min(3)]
+        );
+    }
+
+    /// §3.9 equivalence: a line is covered iff removing it (at the IR
+    /// level) produces at least one violation.
+    #[test]
+    fn coverage_agrees_with_removal_simulation(texts in arb_fleet()) {
+        let ds = dataset(texts);
+        let contracts = learn(&ds, &LearnParams::default());
+        let report = check(&contracts, &ds);
+        prop_assert!(report.violations.is_empty());
+        for (ci, cov) in report.coverage.per_config.iter().enumerate() {
+            let config = &ds.configs[ci];
+            for li in 0..config.lines.len() {
+                if config.lines[li].is_meta {
+                    continue;
+                }
+                let mut without = ds.clone();
+                without.configs[ci].lines.remove(li);
+                let removed_report = check(&contracts, &without);
+                let violates = !removed_report.violations.is_empty();
+                prop_assert_eq!(
+                    cov.covered.contains(&li),
+                    violates,
+                    "config {} line {} ({}): covered={} but removal violations={:#?}",
+                    config.name,
+                    config.lines[li].line_no,
+                    config.lines[li].original,
+                    cov.covered.contains(&li),
+                    &removed_report.violations[..removed_report.violations.len().min(3)]
+                );
+            }
+        }
+    }
+
+    /// Parallel checking matches sequential checking exactly.
+    #[test]
+    fn check_parallel_matches_sequential(texts in arb_fleet()) {
+        let ds = dataset(texts);
+        let contracts = learn(&ds, &LearnParams::default());
+        let seq = concord_core::check_parallel(&contracts, &ds, 1);
+        let par = concord_core::check_parallel(&contracts, &ds, 4);
+        prop_assert_eq!(seq.violations, par.violations);
+        prop_assert_eq!(
+            seq.coverage.summary().covered_lines,
+            par.coverage.summary().covered_lines
+        );
+    }
+
+    /// Coverage accounting is internally consistent: per-category sets
+    /// are subsets of the total, and fractions are within [0, 1].
+    #[test]
+    fn coverage_accounting_consistent(texts in arb_fleet()) {
+        let ds = dataset(texts);
+        let contracts = learn(&ds, &LearnParams::default());
+        let report = check(&contracts, &ds);
+        for cov in &report.coverage.per_config {
+            prop_assert!(cov.covered.len() <= cov.total_lines);
+            for lines in cov.by_category.values() {
+                for li in lines {
+                    prop_assert!(cov.covered.contains(li));
+                }
+            }
+        }
+        let summary = report.coverage.summary();
+        prop_assert!((0.0..=1.0).contains(&summary.fraction));
+        for fraction in summary.by_category.values() {
+            prop_assert!((0.0..=1.0).contains(fraction));
+        }
+    }
+
+    /// Minimization preserves checking outcomes on the training set and
+    /// never grows the relational contract count.
+    #[test]
+    fn minimization_preserves_clean_check(texts in arb_fleet()) {
+        let ds = dataset(texts);
+        let minimized = learn(&ds, &LearnParams::default());
+        let full = learn(
+            &ds,
+            &LearnParams { minimize: false, ..LearnParams::default() },
+        );
+        let count = |set: &ContractSet| {
+            set.contracts
+                .iter()
+                .filter(|c| matches!(c, Contract::Relational(_)))
+                .count()
+        };
+        prop_assert!(count(&minimized) <= count(&full));
+        prop_assert!(check(&minimized, &ds).violations.is_empty());
+        prop_assert!(check(&full, &ds).violations.is_empty());
+    }
+
+    /// Checking never panics on mismatched contract/dataset pairs: any
+    /// learned set can be applied to any other fleet.
+    #[test]
+    fn check_total_on_foreign_datasets(train in arb_fleet(), test in arb_fleet()) {
+        let contracts = learn(&dataset(train), &LearnParams::default());
+        let report = check(&contracts, &dataset(test));
+        // Violations must reference valid contract indices.
+        for v in &report.violations {
+            prop_assert!(v.contract_index < contracts.len());
+        }
+    }
+}
+
+/// Removing a whole config from the dataset must never create violations
+/// in other configs (checking is per-config except `unique`, which only
+/// gets easier).
+#[test]
+fn removing_a_config_never_hurts_others() {
+    let texts: Vec<String> = (0..8)
+        .map(|d| {
+            format!(
+                "hostname DEV{}\nvlan {}\nvni {}\n",
+                1000 + d,
+                100 + d,
+                100 + d
+            )
+        })
+        .collect();
+    let ds = dataset(texts);
+    let contracts = learn(&ds, &LearnParams::default());
+    assert!(check(&contracts, &ds).violations.is_empty());
+    let mut smaller = ds.clone();
+    smaller.configs.remove(0);
+    assert!(check(&contracts, &smaller).violations.is_empty());
+}
+
+/// The public IR is clonable/inspectable for downstream tooling.
+#[test]
+fn dataset_ir_is_inspectable() {
+    let ds = dataset(vec!["vlan 7\n".to_string()]);
+    let config: &ConfigIr = &ds.configs[0];
+    assert_eq!(config.lines.len(), 1);
+    assert_eq!(ds.table.text(config.lines[0].pattern), "/vlan [a:num]");
+}

@@ -1,0 +1,248 @@
+//! Mobile edge datacenter configuration generator (Figure 1 style).
+//!
+//! Every device plants the paper's headline invariants:
+//!
+//! 1. the port-channel number in hex equals the last segment of its EVPN
+//!    route-target MAC (Figure 1 contract 1),
+//! 2. every interface IP address is permitted by a prefix-list entry
+//!    (contract 2),
+//! 3. the route distinguisher's assigned number ends with the VLAN id
+//!    (contract 3),
+//! 4. `evpn ether-segment` is immediately followed by its route-target
+//!    (contract 4),
+//! 5. structural blocks are present in every device (contracts 5–7),
+//! 6. prefix-list sequence numbers step by 10,
+//! 7. hostnames and loopback addresses are globally unique,
+//! 8. every management static route's next hop lies inside the VRF
+//!    aggregate (the §5.5 "missing route aggregation" incident),
+//! 9. every configured VLAN id appears in the role metadata (the §5.5
+//!    "MAC broadcast loop" incident), and
+//! 10. each VLAN id recurs across several patterns (`vlan`, `rd`, `vni`,
+//!     `interface Vlan`, `vxlan`, `name`) — the mutually-equal cliques
+//!     that contract minimization collapses (Figure 5).
+//!
+//! Realism knobs that shape the evaluation like the paper's:
+//!
+//! - the order of interchangeable lines inside an interface block is
+//!   **seed-dependent** (stable within a dataset, varying across
+//!   deployments), so learned ordering contracts are exactly the
+//!   fixed-format artifacts whose precision the paper found low,
+//! - one device carries a **mistyped** logging target (a `[pfx4]` where
+//!   `[ip4]` belongs) when the role is large enough for the 96%
+//!   confidence bar to isolate it — the raw material of type contracts,
+//! - each device carries a few **unrelated policy lines** (static routes
+//!   to documentation prefixes, SRLG definitions) that no contract can
+//!   cover, mirroring the paper's analysis of uncovered lines.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::{GeneratedRole, RoleSpec};
+
+pub(crate) fn generate(spec: &RoleSpec, rng: &mut StdRng, drift: bool) -> GeneratedRole {
+    // Role-wide VLAN plan shared by configs and metadata.
+    let vlan_base = 200 + rng.gen_range(0..20) * 10;
+    let vlans: Vec<u32> = (0..spec.blocks.max(2) as u32)
+        .map(|i| vlan_base + i)
+        .collect();
+
+    let site = rng.gen_range(10..30u32);
+    // Interchangeable-order variant: consistent per deployment.
+    let iface_order = rng.gen_range(0..3u32);
+    let mut configs = Vec::with_capacity(spec.devices);
+    for d in 0..spec.devices {
+        let noise_ntp = rng.gen_bool(0.15);
+        configs.push((
+            format!("{}-dev{d}", spec.name),
+            device_config(spec, site, d as u32, &vlans, iface_order, noise_ntp, drift),
+        ));
+    }
+
+    let metadata = if spec.with_metadata {
+        // Alternate metadata formats across roles so both the YAML and
+        // JSON embedders are exercised by the full pipeline.
+        if spec.name.ends_with('2') {
+            let entries: Vec<String> = vlans
+                .iter()
+                .map(|v| format!("{{ \"vrfName\": \"nf-{v}\", \"vlanId\": {v} }}"))
+                .collect();
+            let meta = format!(
+                "{{\n  \"nfInfos\": [\n    {}\n  ],\n  \"mgmt\": {{ \"aggregatePrefixLen\": 24 }}\n}}\n",
+                entries.join(",\n    ")
+            );
+            vec![(format!("{}-meta.json", spec.name), meta)]
+        } else {
+            let mut meta = String::from("nfInfos:\n");
+            for v in &vlans {
+                meta.push_str(&format!("  - vrfName: \"nf-{v}\"\n    vlanId: {v}\n"));
+            }
+            meta.push_str("mgmt:\n  aggregatePrefixLen: 24\n");
+            vec![(format!("{}-meta.yaml", spec.name), meta)]
+        }
+    } else {
+        Vec::new()
+    };
+
+    GeneratedRole {
+        name: spec.name.clone(),
+        configs,
+        metadata,
+    }
+}
+
+fn device_config(
+    spec: &RoleSpec,
+    site: u32,
+    device: u32,
+    vlans: &[u32],
+    iface_order: u32,
+    noise_ntp: bool,
+    drift: bool,
+) -> String {
+    let mut out = String::new();
+    let dev_octet = 10 + device; // Distinct per device within the role.
+    let loopback = format!("10.{site}.{dev_octet}.34");
+    let hostname_id = 1000 + device;
+
+    out.push_str(&format!("hostname {}{hostname_id}\n!\n", spec.name));
+    out.push_str(&format!(
+        "interface Loopback0\n   ip address {loopback}\n!\n"
+    ));
+
+    // Port channels with the hex/MAC-segment invariant. Numbers stay
+    // below 256 so the hex fits one MAC segment.
+    let channel_count = 2 + (spec.blocks / 3);
+    let mut channels = Vec::new();
+    for c in 0..channel_count {
+        let n: u32 = 100 + (device * 7 + c as u32 * 13) % 150;
+        if channels.contains(&n) {
+            continue;
+        }
+        channels.push(n);
+        out.push_str(&format!(
+            "interface Port-Channel{n}\n   evpn ether-segment\n      route-target import 00:00:0c:d3:00:{n:02x}\n!\n"
+        ));
+    }
+
+    // Ethernet interfaces; each address is later permitted by the prefix
+    // list. The inner line order is interchangeable and fixed per
+    // deployment (`iface_order`).
+    let mut iface_addrs = vec![loopback.clone()];
+    let eth_count = 2 + spec.blocks / 2;
+    for e in 1..=eth_count {
+        let addr = format!("10.{site}.{dev_octet}.{}", 100 + e);
+        out.push_str(&format!("interface Ethernet{e}\n"));
+        let lines = [
+            format!("   description link-{e}\n"),
+            "   mtu 9214\n".to_string(),
+            format!("   ip address {addr}\n"),
+        ];
+        for k in 0..3 {
+            out.push_str(&lines[(k + iface_order as usize) % 3]);
+        }
+        out.push_str("!\n");
+        iface_addrs.push(addr);
+    }
+
+    // Prefix list permitting every interface address, sequenced by 10.
+    out.push_str("ip prefix-list loopback\n");
+    for (i, addr) in iface_addrs.iter().enumerate() {
+        out.push_str(&format!("   seq {} permit {addr}/32\n", 10 * (i + 1)));
+    }
+    out.push_str(&format!(
+        "   seq {} permit 0.0.0.0/0\n!\n",
+        10 * (iface_addrs.len() + 1)
+    ));
+
+    // Management VRF: static route whose next hop lies inside the
+    // aggregate (§5.5 example 1).
+    let next_hop = format!("10.{site}.{dev_octet}.1");
+    out.push_str(&format!(
+        "ip route vrf Mgmt 10.250.0.0/16 {next_hop}\nvrf Mgmt\n   aggregate-address 10.{site}.{dev_octet}.0/24\n!\n"
+    ));
+
+    // Logging targets; one device in a large-enough role carries a
+    // mistyped prefix instead of an address (the type-contract seed).
+    for k in 1..=3u32 {
+        let oct = (device * 37 + k * 53) % 199 + 1;
+        if drift && device == 0 && k == 1 && spec.devices * 3 >= 30 {
+            out.push_str(&format!("logging host 10.250.{site}.{oct}/32\n"));
+        } else {
+            out.push_str(&format!("logging host 10.250.{site}.{oct}\n"));
+        }
+    }
+    out.push_str("!\n");
+
+    // A second kind of type drift: one device declares an extra IPv6
+    // management target where every other use is IPv4.
+    if drift && device == 1 && spec.devices * 3 >= 30 {
+        out.push_str(&format!(
+            "interface Ethernet99\n   ip address fe80::{dev_octet:x}\n!\n"
+        ));
+    }
+
+    // VLAN definitions and EVPN plumbing: the same id appears across six
+    // patterns (the minimization clique of Figure 5).
+    for v in vlans {
+        out.push_str(&format!("vlan {v}\n   name nf-{v}\n!\n"));
+        out.push_str(&format!(
+            "interface Vlan{v}\n   vxlan vlan {v} vni {v}\n!\n"
+        ));
+        // Figure 5's p4/p5/p6 shapes: the id recurs in neighbor and ACL
+        // names, enlarging the mutually-equal clique minimization must
+        // collapse.
+        out.push_str(&format!(
+            "neighbor Neighbor-{v} bfd\nip access-list list-{v}\n   10 permit vlan {v}\n!\n"
+        ));
+    }
+
+    // BGP block with VLAN/RD/VNI invariants and the metadata link.
+    out.push_str(&format!("router bgp 650{site}\n"));
+    out.push_str("   maximum-paths 64 ecmp 64\n");
+    out.push_str(&format!("   router-id {loopback}\n"));
+    out.push_str("   redistribute connected\n");
+    out.push_str(&format!("   neighbor 10.{site}.255.1 peer-group OPT-A\n"));
+    for v in vlans {
+        out.push_str(&format!(
+            "   vlan {v}\n      rd 10.{site}.{dev_octet}.250:10{v}\n      vni {v}\n"
+        ));
+    }
+    out.push_str("!\n");
+
+    // Unrelated per-device policies: static routes to documentation space
+    // and an SRLG definition. Values are arbitrary, repeat across
+    // devices, and relate to nothing — these lines stay uncovered
+    // (mirroring the paper's uncovered-line analysis). The two routes
+    // swap order between devices so no ordering contract forms.
+    let r1 = (device * 7) % 23;
+    let r2 = (device * 11 + 5) % 23;
+    let routes = [
+        format!(
+            "ip route 198.51.{r1}.0/24 192.0.2.{}\n",
+            (device * 3) % 40 + 1
+        ),
+        format!(
+            "ip route 198.51.{r2}.0/24 192.0.2.{}\n",
+            (device * 5) % 40 + 1
+        ),
+    ];
+    if device.is_multiple_of(2) {
+        out.push_str(&routes[0]);
+        out.push_str(&routes[1]);
+    } else {
+        out.push_str(&routes[1]);
+        out.push_str(&routes[0]);
+    }
+    out.push_str(&format!(
+        "srlg group {} cost {}\n!\n",
+        (device * 13) % 29 + 3,
+        (device * 17) % 31 + 2
+    ));
+
+    // Occasional optional block: noise the confidence bar must tolerate.
+    if noise_ntp {
+        out.push_str("ntp server 10.250.250.8\n!\n");
+    }
+
+    out
+}

@@ -1,0 +1,235 @@
+//! Unit tests for the edge datacenter generator: every planted invariant
+//! must actually hold in the generated text (the whole evaluation rests
+//! on it).
+
+use concord_types::{BigNum, IpAddress, IpNetwork, MacAddress};
+
+use crate::{generate_role, generate_role_with, standard_roles, RoleSpec, Style};
+
+fn e1() -> RoleSpec {
+    standard_roles(0.5)
+        .into_iter()
+        .find(|s| s.name == "E1")
+        .unwrap()
+}
+
+fn lines_of(text: &str) -> Vec<&str> {
+    text.lines().map(str::trim).collect()
+}
+
+#[test]
+fn port_channel_number_matches_mac_segment() {
+    let role = generate_role(&e1(), 17);
+    for (name, text) in &role.configs {
+        let lines = lines_of(text);
+        for (i, line) in lines.iter().enumerate() {
+            let Some(n) = line.strip_prefix("interface Port-Channel") else {
+                continue;
+            };
+            let n: u64 = n.parse().expect("channel number");
+            let rt = lines[i..]
+                .iter()
+                .take(4)
+                .find(|l| l.starts_with("route-target import "))
+                .unwrap_or_else(|| panic!("{name}: no route-target after Port-Channel{n}"));
+            let mac: MacAddress = rt
+                .strip_prefix("route-target import ")
+                .unwrap()
+                .parse()
+                .expect("MAC parses");
+            assert_eq!(
+                mac.segment(6).unwrap(),
+                BigNum::from(n).to_hex(),
+                "{name}: Port-Channel{n} vs {mac}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_interface_address_is_permitted() {
+    // Drift disabled: the planted invariant covers the clean template
+    // (the drifted IPv6 extra interface is deliberately outside it).
+    let role = generate_role_with(&e1(), 18, false);
+    for (name, text) in &role.configs {
+        let lines = lines_of(text);
+        let permits: Vec<IpNetwork> = lines
+            .iter()
+            .filter_map(|l| l.strip_prefix("seq "))
+            .filter_map(|l| l.split_whitespace().nth(2))
+            .filter_map(|p| p.parse().ok())
+            .collect();
+        assert!(!permits.is_empty(), "{name}: no prefix list");
+        for line in &lines {
+            let Some(addr) = line.strip_prefix("ip address ") else {
+                continue;
+            };
+            let addr: IpAddress = addr.parse().expect("address parses");
+            assert!(
+                permits.iter().any(|p| p.contains(addr)),
+                "{name}: {addr} not permitted"
+            );
+        }
+    }
+}
+
+#[test]
+fn rd_assigned_number_ends_with_vlan() {
+    let role = generate_role(&e1(), 19);
+    for (name, text) in &role.configs {
+        let lines = lines_of(text);
+        let mut current_vlan: Option<String> = None;
+        for line in &lines {
+            if let Some(v) = line.strip_prefix("vlan ") {
+                current_vlan = Some(v.to_string());
+            }
+            if let Some(rd) = line.strip_prefix("rd ") {
+                let assigned = rd.rsplit(':').next().expect("rd suffix");
+                let vlan = current_vlan.as_deref().expect("rd under a vlan");
+                assert!(
+                    assigned.ends_with(vlan),
+                    "{name}: rd {assigned} does not end with vlan {vlan}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mgmt_next_hop_inside_aggregate() {
+    let role = generate_role(&e1(), 20);
+    for (name, text) in &role.configs {
+        let lines = lines_of(text);
+        let next_hop: IpAddress = lines
+            .iter()
+            .find_map(|l| l.strip_prefix("ip route vrf Mgmt "))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .expect("static route")
+            .parse()
+            .expect("next hop parses");
+        let aggregate: IpNetwork = lines
+            .iter()
+            .find_map(|l| l.strip_prefix("aggregate-address "))
+            .expect("aggregate line")
+            .parse()
+            .expect("aggregate parses");
+        assert!(
+            aggregate.contains(next_hop),
+            "{name}: {next_hop} outside {aggregate}"
+        );
+    }
+}
+
+#[test]
+fn every_config_vlan_is_in_metadata() {
+    let role = generate_role(&e1(), 21);
+    let meta = &role.metadata[0].1;
+    for (name, text) in &role.configs {
+        for line in lines_of(text) {
+            if let Some(v) = line.strip_prefix("vlan ") {
+                assert!(
+                    meta.contains(&format!("vlanId: {v}")),
+                    "{name}: vlan {v} missing from metadata"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn hostnames_and_loopbacks_unique() {
+    let role = generate_role(&e1(), 22);
+    let mut hostnames = std::collections::HashSet::new();
+    let mut loopbacks = std::collections::HashSet::new();
+    for (_, text) in &role.configs {
+        let lines = lines_of(text);
+        let hostname = lines
+            .iter()
+            .find_map(|l| l.strip_prefix("hostname "))
+            .expect("hostname");
+        assert!(hostnames.insert(hostname.to_string()), "dup {hostname}");
+        let loopback = lines
+            .iter()
+            .find_map(|l| l.strip_prefix("ip address "))
+            .expect("loopback");
+        assert!(loopbacks.insert(loopback.to_string()), "dup {loopback}");
+    }
+}
+
+#[test]
+fn drift_flag_controls_mistypes() {
+    let spec = e1();
+    let with = generate_role_with(&spec, 23, true);
+    let without = generate_role_with(&spec, 23, false);
+    let count_bad = |role: &crate::GeneratedRole| {
+        role.configs
+            .iter()
+            .map(|(_, t)| {
+                t.lines()
+                    .filter(|l| l.trim().starts_with("logging host") && l.contains('/'))
+                    .count()
+            })
+            .sum::<usize>()
+    };
+    assert_eq!(count_bad(&with), 1);
+    assert_eq!(count_bad(&without), 0);
+    // Drift aside, the deployments are identical.
+    assert_eq!(with.configs.len(), without.configs.len());
+    assert_eq!(with.metadata, without.metadata);
+}
+
+#[test]
+fn e2_metadata_is_json() {
+    let spec = standard_roles(0.5)
+        .into_iter()
+        .find(|s| s.name == "E2")
+        .unwrap();
+    let role = generate_role(&spec, 24);
+    let (name, text) = &role.metadata[0];
+    assert!(name.ends_with(".json"));
+    assert!(concord_formats::detect_format(text) == concord_formats::FormatCategory::Json);
+}
+
+#[test]
+fn seq_numbers_step_by_ten() {
+    let role = generate_role(&e1(), 25);
+    for (name, text) in &role.configs {
+        let seqs: Vec<u64> = lines_of(text)
+            .iter()
+            .filter_map(|l| l.strip_prefix("seq "))
+            .filter_map(|l| l.split_whitespace().next())
+            .filter_map(|n| n.parse().ok())
+            .collect();
+        assert!(seqs.len() >= 2, "{name}: prefix list too short");
+        for (i, pair) in seqs.windows(2).enumerate() {
+            assert_eq!(pair[1] - pair[0], 10, "{name}: seq step at {i}");
+        }
+    }
+}
+
+#[test]
+fn interchange_order_varies_but_content_does_not() {
+    let spec = RoleSpec {
+        name: "E1".into(),
+        devices: 2,
+        style: Style::EdgeIndent,
+        blocks: 4,
+        with_metadata: false,
+    };
+    let mut orders = std::collections::HashSet::new();
+    for seed in 0..16u64 {
+        let role = generate_role(&spec, seed);
+        let text = &role.configs[0].1;
+        let mtu = text.find("mtu 9214").expect("mtu line");
+        let descr = text.find("description link-1").expect("description line");
+        orders.insert(mtu < descr);
+        // Regardless of order, the same lines exist.
+        assert!(text.contains("mtu 9214"));
+        assert!(text.contains("description link-1"));
+    }
+    assert_eq!(
+        orders.len(),
+        2,
+        "both interchange orders occur across seeds"
+    );
+}

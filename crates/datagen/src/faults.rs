@@ -1,0 +1,172 @@
+//! Fault injection: the misconfiguration classes of Table 2 and the
+//! §5.5 incident replays.
+//!
+//! Each fault is a deterministic text-level edit of a generated
+//! configuration, returning what changed so tests and experiments can
+//! assert that Concord localizes the right line.
+
+/// A class of injected misconfiguration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Delete the line at a matching position (Present/Relational bugs;
+    /// §5.5 example 1 deletes the `aggregate-address` line).
+    DeleteLineContaining(&'static str),
+    /// Insert a foreign line after the first line containing the marker
+    /// (§5.5 example 3 breaks an ordering chain).
+    InsertAfter(&'static str, &'static str),
+    /// Replace the first occurrence of `from` with `to` on its line
+    /// (value corruption: breaks equality/contains/unique/type).
+    ReplaceValue(&'static str, &'static str),
+    /// Duplicate the first line containing the marker (copy-paste /
+    /// uniqueness bugs).
+    DuplicateLineContaining(&'static str),
+}
+
+/// The result of injecting a fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Injection {
+    /// The modified configuration text.
+    pub text: String,
+    /// 1-based line number of the edit (for deletions, the removed
+    /// line's former number).
+    pub line_no: u32,
+    /// The original line that was edited or removed.
+    pub original_line: String,
+}
+
+/// Applies `fault` to `config`.
+///
+/// Returns `None` when the fault's marker does not occur (the caller
+/// picked an inapplicable fault for this configuration).
+pub fn inject(config: &str, fault: Fault) -> Option<Injection> {
+    let lines: Vec<&str> = config.lines().collect();
+    match fault {
+        Fault::DeleteLineContaining(marker) => {
+            let idx = lines.iter().position(|l| l.contains(marker))?;
+            let mut out = lines.clone();
+            let removed = out.remove(idx);
+            Some(Injection {
+                text: rejoin(&out),
+                line_no: (idx + 1) as u32,
+                original_line: removed.trim().to_string(),
+            })
+        }
+        Fault::InsertAfter(marker, inserted) => {
+            let idx = lines.iter().position(|l| l.contains(marker))?;
+            let mut out = lines.clone();
+            out.insert(idx + 1, inserted);
+            Some(Injection {
+                text: rejoin(&out),
+                line_no: (idx + 2) as u32,
+                original_line: lines[idx].trim().to_string(),
+            })
+        }
+        Fault::ReplaceValue(from, to) => {
+            let idx = lines.iter().position(|l| l.contains(from))?;
+            let replaced = lines[idx].replacen(from, to, 1);
+            let mut out: Vec<String> = lines.iter().map(|s| s.to_string()).collect();
+            let original = std::mem::replace(&mut out[idx], replaced);
+            let owned: Vec<&str> = out.iter().map(String::as_str).collect();
+            Some(Injection {
+                text: rejoin(&owned),
+                line_no: (idx + 1) as u32,
+                original_line: original.trim().to_string(),
+            })
+        }
+        Fault::DuplicateLineContaining(marker) => {
+            let idx = lines.iter().position(|l| l.contains(marker))?;
+            let mut out = lines.clone();
+            out.insert(idx + 1, lines[idx]);
+            Some(Injection {
+                text: rejoin(&out),
+                line_no: (idx + 2) as u32,
+                original_line: lines[idx].trim().to_string(),
+            })
+        }
+    }
+}
+
+fn rejoin(lines: &[&str]) -> String {
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+/// The three §5.5 incident replays, as faults applicable to generated
+/// edge configurations.
+pub mod incidents {
+    use super::Fault;
+
+    /// Example 1: the service omitted the BGP route aggregation line;
+    /// spine filters then blackholed the fabric.
+    pub const MISSING_AGGREGATE: Fault = Fault::DeleteLineContaining("aggregate-address");
+
+    /// Example 2: layer-2 changes for a new SKU leaked into an old SKU,
+    /// adding VLAN configuration absent from the network metadata.
+    pub const ROGUE_VLAN_BLOCK: Fault = Fault::InsertAfter("redistribute connected", "   vlan 999");
+
+    /// Example 3: incorrect VRF configuration was inserted between lines
+    /// that must be adjacent, breaking an ordering contract.
+    pub const VRF_INSERTION: Fault =
+        Fault::InsertAfter("redistribute connected", "   vrf OTHER rd 10.99.99.99:999");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CONFIG: &str = "a first\nb second\nc third\n";
+
+    #[test]
+    fn delete_removes_exactly_one_line() {
+        let inj = inject(CONFIG, Fault::DeleteLineContaining("second")).unwrap();
+        assert_eq!(inj.text, "a first\nc third\n");
+        assert_eq!(inj.line_no, 2);
+        assert_eq!(inj.original_line, "b second");
+    }
+
+    #[test]
+    fn insert_after_places_line() {
+        let inj = inject(CONFIG, Fault::InsertAfter("first", "x inserted")).unwrap();
+        assert_eq!(inj.text, "a first\nx inserted\nb second\nc third\n");
+        assert_eq!(inj.line_no, 2);
+    }
+
+    #[test]
+    fn replace_value_edits_in_place() {
+        let inj = inject(CONFIG, Fault::ReplaceValue("second", "2nd")).unwrap();
+        assert_eq!(inj.text, "a first\nb 2nd\nc third\n");
+        assert_eq!(inj.original_line, "b second");
+    }
+
+    #[test]
+    fn duplicate_copies_line() {
+        let inj = inject(CONFIG, Fault::DuplicateLineContaining("third")).unwrap();
+        assert_eq!(inj.text, "a first\nb second\nc third\nc third\n");
+    }
+
+    #[test]
+    fn missing_marker_returns_none() {
+        assert!(inject(CONFIG, Fault::DeleteLineContaining("absent")).is_none());
+    }
+
+    #[test]
+    fn incident_faults_apply_to_edge_configs() {
+        let spec = crate::RoleSpec {
+            name: "E1".into(),
+            devices: 1,
+            style: crate::Style::EdgeIndent,
+            blocks: 4,
+            with_metadata: true,
+        };
+        let role = crate::generate_role(&spec, 11);
+        let config = &role.configs[0].1;
+        for fault in [
+            incidents::MISSING_AGGREGATE,
+            incidents::ROGUE_VLAN_BLOCK,
+            incidents::VRF_INSERTION,
+        ] {
+            assert!(inject(config, fault).is_some(), "{fault:?} not applicable");
+        }
+    }
+}

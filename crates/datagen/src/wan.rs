@@ -1,0 +1,481 @@
+//! Wide-area network configuration generators.
+//!
+//! WAN roles come in two syntactic families:
+//!
+//! - **indent** roles (W1–W3) use CLI blocks like the edge, with
+//!   role-specific features (perimeter ACLs, prefix-list subsumption,
+//!   paired v4/v6 BGP groups, VLAN/VXLAN cliques),
+//! - **flat** roles (W4–W8) use `set`-style lines that carry their full
+//!   context inline, so context embedding cannot add information
+//!   (reproducing the Figure 7 observation for W4–W8).
+//!
+//! Planted invariants: inbound/outbound perimeter ACLs have symmetric
+//! source/destination filters, internal address space subsumes the bogon
+//! (RFC 1918) space, IPv4 BGP group policies are mirrored for IPv6,
+//! interface addresses are unique, and every role carries globally
+//! constant "magic" policy lines that only constant learning can cover.
+//!
+//! Like the edge generator, WAN devices carry seed-dependent
+//! interchangeable line order, a rare mistyped line in large roles, and a
+//! heavier dose of unrelated per-device policies (static routes, SRLGs)
+//! that stay uncovered — the paper reports substantially lower coverage
+//! on WAN roles than on edge roles.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::{GeneratedRole, RoleSpec};
+
+pub(crate) fn generate_indent(spec: &RoleSpec, rng: &mut StdRng, drift: bool) -> GeneratedRole {
+    let site = rng.gen_range(100..120u32);
+    let vlan_base = 400 + rng.gen_range(0..10) * 10;
+    let iface_order = rng.gen_range(0..2u32);
+    let configs = (0..spec.devices)
+        .map(|d| {
+            (
+                format!("{}-r{d}", spec.name),
+                indent_device(spec, site, d as u32, vlan_base, iface_order, drift),
+            )
+        })
+        .collect();
+    GeneratedRole {
+        name: spec.name.clone(),
+        configs,
+        metadata: Vec::new(),
+    }
+}
+
+fn indent_device(
+    spec: &RoleSpec,
+    site: u32,
+    device: u32,
+    vlan_base: u32,
+    iface_order: u32,
+    drift: bool,
+) -> String {
+    let mut out = String::new();
+    let dev = 10 + device;
+    out.push_str(&format!("hostname {}R{}\n!\n", spec.name, 5000 + device));
+
+    // Interfaces with unique addresses; description/mtu order is
+    // interchangeable and fixed per deployment.
+    for i in 1..=(spec.blocks as u32) {
+        let addr = format!("10.{site}.{dev}.{i}");
+        out.push_str(&format!("interface Ethernet{i}\n"));
+        let pair = [
+            format!("   description core-{i}\n"),
+            "   mtu 9100\n".to_string(),
+        ];
+        out.push_str(&pair[iface_order as usize % 2]);
+        out.push_str(&pair[(iface_order as usize + 1) % 2]);
+        out.push_str(&format!(
+            "   ip address {addr}\n   ip access-group EDGE-IN in\n   ip access-group EDGE-OUT out\n!\n"
+        ));
+    }
+
+    // Symmetric perimeter ACLs: the inbound source net equals the
+    // outbound destination net.
+    let edge_net = format!("172.{}.0.0/16", 16 + (device % 8));
+    out.push_str(&format!(
+        "ip access-list EDGE-IN\n   10 permit ip {edge_net} any\n   20 deny ip any any\n!\n"
+    ));
+    out.push_str(&format!(
+        "ip access-list EDGE-OUT\n   10 permit ip any {edge_net}\n   20 deny ip any any\n!\n"
+    ));
+
+    // Internal space subsumes the RFC 1918 bogons.
+    out.push_str(
+        "ip prefix-list INTERNAL\n   seq 10 permit 10.0.0.0/8\n   seq 20 permit 172.16.0.0/12\n   seq 30 permit 192.168.0.0/16\n!\n",
+    );
+    out.push_str(&format!(
+        "ip prefix-list PRIVATE-{site}\n   seq 10 permit 10.{site}.0.0/16\n   seq 20 permit 172.{}.0.0/16\n!\n",
+        16 + (device % 8)
+    ));
+
+    // VLAN clique: vlan id recurs across four patterns (Figure 5).
+    for k in 0..3u32 {
+        let v = vlan_base + k;
+        out.push_str(&format!(
+            "interface Vlan{v}\n   vxlan vlan {v} vni {v}\n!\nip access-list list-{v}\n   10 permit vlan {v}\n!\n"
+        ));
+    }
+
+    // Paired v4/v6 BGP groups.
+    out.push_str(&format!("router bgp 64{site}\n"));
+    out.push_str(&format!("   router-id 10.{site}.{dev}.255\n"));
+    for g in 0..2u32 {
+        out.push_str(&format!(
+            "   neighbor PEERS{g} activate ipv4\n   neighbor PEERS{g} activate ipv6\n"
+        ));
+    }
+    out.push_str("!\n");
+
+    // Logging targets with one mistyped line in a large-enough role.
+    for k in 1..=3u32 {
+        let oct = (device * 37 + k * 53) % 199 + 1;
+        if drift && device == 0 && k == 1 && spec.devices * 3 >= 30 {
+            out.push_str(&format!("logging host 10.200.{site}.{oct}/32\n"));
+        } else {
+            out.push_str(&format!("logging host 10.200.{site}.{oct}\n"));
+        }
+    }
+    out.push_str("!\n");
+
+    // Globally constant policy lines ("magic constants").
+    out.push_str("route-map SET-COMMUNITY permit 10\n   set community 64000:777\n!\n");
+    out.push_str("ntp server 10.200.0.1\n!\n");
+
+    // Role-specific features (the paper's roles differ in function, not
+    // just size).
+    match spec.name.as_str() {
+        // W1: route reflector — cluster id equals the router id, each
+        // client neighbor recurs in a bfd line (a Figure 5 p4/p5 pair).
+        "W1" => {
+            out.push_str(&format!(
+                "router bgp 64{site} cluster\n   cluster-id 10.{site}.{dev}.255\n"
+            ));
+            for k in 0..3u32 {
+                let client = vlan_base + k;
+                out.push_str(&format!(
+                    "   neighbor Client-{client} route-reflector-client\n   neighbor Client-{client} bfd\n"
+                ));
+            }
+            out.push_str("!\n");
+        }
+        // W2: peering edge — a second symmetric perimeter ACL pair and a
+        // peers prefix list subsuming each session address.
+        "W2" => {
+            let peer_net = format!("100.{}.0.0/16", 64 + (device % 4));
+            out.push_str(&format!(
+                "ip access-list INET-IN\n   10 permit ip {peer_net} any\n   20 deny ip any any\n!\n"
+            ));
+            out.push_str(&format!(
+                "ip access-list INET-OUT\n   10 permit ip any {peer_net}\n   20 deny ip any any\n!\n"
+            ));
+            out.push_str(&format!(
+                "ip prefix-list PEERS\n   seq 10 permit {peer_net}\n!\n"
+            ));
+        }
+        // W3: core — the LDP router id mirrors the BGP router id, and
+        // tunnels pair source/id.
+        "W3" => {
+            out.push_str(&format!("mpls ldp router-id 10.{site}.{dev}.255\n!\n"));
+            for k in 1..=2u32 {
+                out.push_str(&format!(
+                    "interface Tunnel{k}\n   tunnel source Ethernet{k}\n   tunnel id {k}\n!\n"
+                ));
+            }
+        }
+        _ => {}
+    }
+
+    // Unrelated per-device policies: documentation-space static routes
+    // and SRLGs, alternating order, arbitrary repeating values — these
+    // lines stay uncovered.
+    for j in 0..(spec.blocks as u32).max(2) {
+        let r1 = (device * 7 + j * 3) % 23;
+        let hop = (device * 3 + j) % 40 + 1;
+        let srlg = (device * 13 + j * 5) % 29 + 3;
+        let route = format!("ip route 198.51.{r1}.0/24 192.0.2.{hop}\n");
+        let srlg_line = format!("srlg group {srlg} cost {}\n", (device * 17 + j) % 31 + 2);
+        if (device + j).is_multiple_of(2) {
+            out.push_str(&route);
+            out.push_str(&srlg_line);
+        } else {
+            out.push_str(&srlg_line);
+            out.push_str(&route);
+        }
+    }
+    out.push_str("!\n");
+    out
+}
+
+pub(crate) fn generate_flat(spec: &RoleSpec, rng: &mut StdRng, drift: bool) -> GeneratedRole {
+    let site = rng.gen_range(60..90u32);
+    let line_order = rng.gen_range(0..2u32);
+    let configs = (0..spec.devices)
+        .map(|d| {
+            (
+                format!("{}-r{d}", spec.name),
+                flat_device(spec, site, d as u32, line_order, drift),
+            )
+        })
+        .collect();
+    GeneratedRole {
+        name: spec.name.clone(),
+        configs,
+        metadata: Vec::new(),
+    }
+}
+
+fn flat_device(spec: &RoleSpec, site: u32, device: u32, line_order: u32, drift: bool) -> String {
+    let mut out = String::new();
+    let dev = 10 + device;
+    out.push_str(&format!(
+        "set system host-name {}R{}\n",
+        spec.name,
+        7000 + device
+    ));
+    out.push_str(&format!(
+        "set interfaces lo0 unit 0 family inet address 10.{site}.{dev}.255/32\n"
+    ));
+
+    // Interfaces: the unit number equals the VLAN id (an equality
+    // invariant the flat syntax still exposes). The vlan-id/address line
+    // order is interchangeable and fixed per deployment.
+    for i in 0..(spec.blocks as u32) {
+        let vlan = 300 + i;
+        let addr = format!("10.{site}.{dev}.{}", 2 * i + 1);
+        let pair = [
+            format!("set interfaces xe-0/0/{i} unit {vlan} vlan-id {vlan}\n"),
+            format!("set interfaces xe-0/0/{i} unit {vlan} family inet address {addr}/31\n"),
+        ];
+        out.push_str(&pair[line_order as usize % 2]);
+        out.push_str(&pair[(line_order as usize + 1) % 2]);
+        out.push_str(&format!(
+            "set protocols bgp group CORE neighbor 10.{site}.{dev}.{}\n",
+            2 * i + 2
+        ));
+    }
+
+    // Paired v4/v6 policies per group.
+    for g in ["TRANSIT", "PEERING"] {
+        out.push_str(&format!(
+            "set protocols bgp group {g} family inet unicast policy IMPORT-{g}\n"
+        ));
+        out.push_str(&format!(
+            "set protocols bgp group {g} family inet6 unicast policy IMPORT-{g}\n"
+        ));
+    }
+
+    // Internal space subsumes bogons (flat form).
+    out.push_str("set policy-options prefix-list INTERNAL 10.0.0.0/8\n");
+    out.push_str("set policy-options prefix-list INTERNAL 172.16.0.0/12\n");
+    out.push_str(&format!(
+        "set policy-options prefix-list PRIVATE 10.{site}.0.0/16\n"
+    ));
+
+    // Syslog targets with one mistyped line in a large-enough role.
+    for k in 1..=2u32 {
+        let oct = (device * 37 + k * 53) % 199 + 1;
+        if drift && device == 0 && k == 1 && spec.devices * 2 >= 30 {
+            out.push_str(&format!(
+                "set system syslog host 10.200.{site}.{oct}/32 any\n"
+            ));
+        } else {
+            out.push_str(&format!("set system syslog host 10.200.{site}.{oct} any\n"));
+        }
+    }
+
+    // Global magic constants; one device in a large role adds an IPv6
+    // target where every other use is IPv4 (type drift).
+    out.push_str("set policy-options community INTERNAL members 64000:100\n");
+    out.push_str("set system ntp server 10.200.0.1\n");
+    if drift && device == 1 && spec.devices >= 15 {
+        out.push_str("set system ntp server 2001:db8::123\n");
+    }
+
+    // Role-specific features.
+    match spec.name.as_str() {
+        // W4: internet edge — firewall terms referencing the shared
+        // prefix lists.
+        "W4" => {
+            for (k, plist) in ["INTERNAL", "PRIVATE"].iter().enumerate() {
+                out.push_str(&format!(
+                    "set firewall filter EDGE term {} from prefix-list {plist}\n",
+                    k + 1
+                ));
+            }
+            out.push_str("set firewall filter EDGE term 3 then discard\n");
+        }
+        // W5: aggregation — storage VLANs recur across three patterns.
+        "W5" => {
+            for k in 0..3u32 {
+                let v = 800 + k;
+                out.push_str(&format!("set vlans storage-{v} vlan-id {v}\n"));
+                out.push_str(&format!("set interfaces ae0 unit {v} vlan-id {v}\n"));
+            }
+        }
+        // W6: core — OSPF enabled on every configured interface.
+        "W6" => {
+            for i in 0..(spec.blocks as u32) {
+                out.push_str(&format!("set protocols ospf area 0 interface xe-0/0/{i}\n"));
+            }
+        }
+        // W7: monitoring — IPFIX templates and samplers (the paper's LLM
+        // prompt example involves exactly this feature family).
+        "W7" => {
+            for k in 1..=2u32 {
+                out.push_str(&format!(
+                    "set services flow-monitoring version9 template T{k}\n"
+                ));
+                out.push_str(&format!(
+                    "set forwarding-options sampling instance S{k} family inet output flow-server 10.{site}.{dev}.25{k} port 2055\n"
+                ));
+            }
+        }
+        _ => {}
+    }
+    out.push_str(&format!(
+        "set routing-options router-id 10.{site}.{dev}.255\n"
+    ));
+
+    // Unrelated per-device static routes: uncovered filler, heavier on
+    // WAN roles, order alternating between devices.
+    for j in 0..(spec.blocks as u32 / 2).max(2) {
+        let r1 = (device * 7 + j * 3) % 23;
+        let hop = (device * 3 + j) % 40 + 1;
+        let a =
+            format!("set routing-options static route 198.51.{r1}.0/24 next-hop 192.0.2.{hop}\n");
+        let b = format!(
+            "set routing-options static route 203.0.113.{}/32 discard\n",
+            (device * 5 + j * 7) % 50 + 1
+        );
+        if (device + j).is_multiple_of(2) {
+            out.push_str(&a);
+            out.push_str(&b);
+        } else {
+            out.push_str(&b);
+            out.push_str(&a);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn spec(style: crate::Style, devices: usize) -> RoleSpec {
+        RoleSpec {
+            name: "T".into(),
+            devices,
+            style,
+            blocks: 5,
+            with_metadata: false,
+        }
+    }
+
+    #[test]
+    fn indent_devices_have_symmetric_acls() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let role = generate_indent(&spec(crate::Style::WanIndent, 4), &mut rng, true);
+        for (_, text) in &role.configs {
+            let in_net = text
+                .lines()
+                .find(|l| l.contains("permit ip 172."))
+                .and_then(|l| l.split_whitespace().nth(3).map(str::to_string))
+                .expect("inbound filter");
+            assert!(
+                text.contains(&format!("permit ip any {in_net}")),
+                "outbound mirror missing for {in_net}"
+            );
+        }
+    }
+
+    #[test]
+    fn flat_devices_pair_v4_v6_policies() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let role = generate_flat(&spec(crate::Style::WanFlat, 4), &mut rng, true);
+        for (_, text) in &role.configs {
+            for line in text.lines() {
+                if let Some(rest) = line.strip_prefix("set protocols bgp group ") {
+                    if rest.contains("family inet unicast") {
+                        let v6 = line.replace("family inet unicast", "family inet6 unicast");
+                        assert!(text.contains(&v6), "missing v6 twin of {line}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_devices_have_no_indentation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let role = generate_flat(&spec(crate::Style::WanFlat, 4), &mut rng, true);
+        for (_, text) in &role.configs {
+            assert!(text.lines().all(|l| !l.starts_with(' ')));
+        }
+    }
+
+    #[test]
+    fn internal_subsumes_private_space() {
+        use concord_types::IpNetwork;
+        let mut rng = StdRng::seed_from_u64(3);
+        let role = generate_indent(&spec(crate::Style::WanIndent, 4), &mut rng, true);
+        let internal: Vec<IpNetwork> = vec![
+            "10.0.0.0/8".parse().unwrap(),
+            "172.16.0.0/12".parse().unwrap(),
+            "192.168.0.0/16".parse().unwrap(),
+        ];
+        for (_, text) in &role.configs {
+            let mut in_private = false;
+            for line in text.lines() {
+                if line.contains("prefix-list PRIVATE") {
+                    in_private = true;
+                    continue;
+                }
+                if in_private {
+                    if let Some(net) = line.trim().strip_prefix("seq ") {
+                        let net = net.split_whitespace().nth(2);
+                        if let Some(net) = net.and_then(|n| n.parse::<IpNetwork>().ok()) {
+                            assert!(
+                                internal.iter().any(|i| i.contains_net(&net)),
+                                "{net} not subsumed"
+                            );
+                        }
+                    } else if line.starts_with('!') {
+                        in_private = false;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn large_roles_carry_one_mistyped_line() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let role = generate_indent(&spec(crate::Style::WanIndent, 12), &mut rng, true);
+        let mistyped: usize = role
+            .configs
+            .iter()
+            .map(|(_, t)| t.matches("logging host 10.200.").count())
+            .sum();
+        assert!(mistyped > 0);
+        let bad: usize = role
+            .configs
+            .iter()
+            .map(|(_, t)| {
+                t.lines()
+                    .filter(|l| l.starts_with("logging host") && l.contains("/32"))
+                    .count()
+            })
+            .sum();
+        assert_eq!(bad, 1, "exactly one mistyped logging line");
+    }
+
+    #[test]
+    fn small_roles_carry_no_mistype() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let role = generate_indent(&spec(crate::Style::WanIndent, 4), &mut rng, true);
+        for (_, text) in &role.configs {
+            assert!(!text.contains("logging host 10.200.") || !text.contains(".1/32"));
+        }
+    }
+
+    #[test]
+    fn interchangeable_order_varies_by_seed() {
+        let spec4 = spec(crate::Style::WanFlat, 2);
+        let mut seen_orders = std::collections::HashSet::new();
+        for seed in 0..12u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let role = generate_flat(&spec4, &mut rng, true);
+            let text = &role.configs[0].1;
+            let vlan_pos = text.find("unit 300 vlan-id").unwrap();
+            let addr_pos = text.find("unit 300 family inet address").unwrap();
+            seen_orders.insert(vlan_pos < addr_pos);
+        }
+        assert_eq!(seen_orders.len(), 2, "both orders occur across seeds");
+    }
+}

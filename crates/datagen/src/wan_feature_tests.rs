@@ -1,0 +1,204 @@
+//! Tests for the role-specific WAN features and their planted invariants.
+
+use concord_types::{IpAddress, IpNetwork};
+
+use crate::{generate_role, standard_roles, GeneratedRole, RoleSpec};
+
+fn role(name: &str) -> GeneratedRole {
+    let spec: RoleSpec = standard_roles(0.5)
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("role {name} exists"));
+    generate_role(&spec, 31)
+}
+
+#[test]
+fn w1_cluster_id_equals_router_id() {
+    let role = role("W1");
+    for (name, text) in &role.configs {
+        let router_id = text
+            .lines()
+            .find_map(|l| l.trim().strip_prefix("router-id "))
+            .expect("router id");
+        let cluster_id = text
+            .lines()
+            .find_map(|l| l.trim().strip_prefix("cluster-id "))
+            .unwrap_or_else(|| panic!("{name}: no cluster id"));
+        assert_eq!(router_id, cluster_id, "{name}");
+    }
+}
+
+#[test]
+fn w1_clients_pair_reflector_and_bfd_lines() {
+    let role = role("W1");
+    for (_, text) in &role.configs {
+        for line in text.lines().map(str::trim) {
+            if let Some(rest) = line.strip_prefix("neighbor ") {
+                if let Some(client) = rest.strip_suffix(" route-reflector-client") {
+                    assert!(
+                        text.contains(&format!("neighbor {client} bfd")),
+                        "missing bfd twin for {client}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn w2_second_perimeter_is_symmetric() {
+    let role = role("W2");
+    for (name, text) in &role.configs {
+        let inbound = text
+            .lines()
+            .map(str::trim)
+            .skip_while(|l| *l != "ip access-list INET-IN")
+            .find_map(|l| l.strip_prefix("10 permit ip "))
+            .unwrap_or_else(|| panic!("{name}: no INET-IN rule"));
+        let net = inbound.split_whitespace().next().expect("source net");
+        assert!(
+            text.contains(&format!("10 permit ip any {net}")),
+            "{name}: INET-OUT does not mirror {net}"
+        );
+        // And the peers prefix list carries the same network.
+        assert!(text.contains(&format!("seq 10 permit {net}")), "{name}");
+    }
+}
+
+#[test]
+fn w3_ldp_router_id_mirrors_bgp() {
+    let role = role("W3");
+    for (name, text) in &role.configs {
+        let bgp: IpAddress = text
+            .lines()
+            .find_map(|l| l.trim().strip_prefix("router-id "))
+            .expect("bgp router id")
+            .parse()
+            .expect("parses");
+        let ldp: IpAddress = text
+            .lines()
+            .find_map(|l| l.trim().strip_prefix("mpls ldp router-id "))
+            .unwrap_or_else(|| panic!("{name}: no ldp router id"))
+            .parse()
+            .expect("parses");
+        assert_eq!(bgp, ldp, "{name}");
+    }
+}
+
+#[test]
+fn w4_firewall_terms_reference_defined_lists() {
+    let role = role("W4");
+    for (name, text) in &role.configs {
+        for line in text.lines() {
+            if let Some(plist) = line
+                .strip_prefix("set firewall filter EDGE term ")
+                .and_then(|l| l.split("from prefix-list ").nth(1))
+            {
+                assert!(
+                    text.contains(&format!("set policy-options prefix-list {plist}")),
+                    "{name}: term references undefined list {plist}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn w5_storage_vlan_ids_recur() {
+    let role = role("W5");
+    for (name, text) in &role.configs {
+        let mut found = 0;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("set vlans storage-") {
+                let (v, rest) = rest.split_once(' ').expect("vlan id");
+                assert_eq!(rest, format!("vlan-id {v}"), "{name}");
+                assert!(
+                    text.contains(&format!("set interfaces ae0 unit {v} vlan-id {v}")),
+                    "{name}: storage vlan {v} missing ae0 unit"
+                );
+                found += 1;
+            }
+        }
+        assert!(found >= 3, "{name}: only {found} storage vlans");
+    }
+}
+
+#[test]
+fn w6_ospf_covers_every_interface() {
+    let role = role("W6");
+    for (name, text) in &role.configs {
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("set interfaces xe-0/0/") {
+                let iface = rest.split_whitespace().next().expect("iface index");
+                assert!(
+                    text.contains(&format!(
+                        "set protocols ospf area 0 interface xe-0/0/{iface}"
+                    )),
+                    "{name}: no OSPF for xe-0/0/{iface}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn w7_ipfix_samplers_pair_with_templates() {
+    let role = role("W7");
+    for (name, text) in &role.configs {
+        let templates = text
+            .lines()
+            .filter(|l| l.starts_with("set services flow-monitoring version9 template T"))
+            .count();
+        let samplers = text
+            .lines()
+            .filter(|l| l.starts_with("set forwarding-options sampling instance S"))
+            .count();
+        assert_eq!(templates, 2, "{name}");
+        assert_eq!(samplers, 2, "{name}");
+        // Every flow server is a valid address on a constant port.
+        for line in text.lines() {
+            if let Some(rest) = line.split("flow-server ").nth(1) {
+                let (addr, port) = rest.split_once(" port ").expect("port clause");
+                addr.parse::<IpAddress>().expect("flow server parses");
+                assert_eq!(port, "2055", "{name}");
+            }
+        }
+    }
+}
+
+#[test]
+fn private_space_stays_inside_internal_for_all_wan_roles() {
+    let internal: Vec<IpNetwork> = vec![
+        "10.0.0.0/8".parse().unwrap(),
+        "172.16.0.0/12".parse().unwrap(),
+        "192.168.0.0/16".parse().unwrap(),
+    ];
+    for name in ["W1", "W2", "W3"] {
+        let role = role(name);
+        for (device, text) in &role.configs {
+            let mut in_private = false;
+            for line in text.lines().map(str::trim) {
+                if line.starts_with("ip prefix-list PRIVATE") {
+                    in_private = true;
+                    continue;
+                }
+                if in_private {
+                    if let Some(rest) = line.strip_prefix("seq ") {
+                        if let Some(net) = rest
+                            .split_whitespace()
+                            .nth(2)
+                            .and_then(|n| n.parse::<IpNetwork>().ok())
+                        {
+                            assert!(
+                                internal.iter().any(|i| i.contains_net(&net)),
+                                "{device}: {net} not subsumed"
+                            );
+                        }
+                    } else {
+                        in_private = false;
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Format-category inference.
+//!
+//! Despite thousands of configuration dialects, the number of ways to
+//! structure hierarchical information is small (§3.1). Detection is
+//! heuristic but deliberately conservative: when in doubt it falls back to
+//! `Indent` (if any indentation exists) or `Flat`, both of which degrade
+//! gracefully.
+
+use crate::FormatCategory;
+
+/// Infers the format category of a configuration file.
+///
+/// # Examples
+///
+/// ```
+/// use concord_formats::{detect_format, FormatCategory};
+///
+/// assert_eq!(detect_format("{\"a\": 1}"), FormatCategory::Json);
+/// assert_eq!(detect_format("key: value\nother: 2\n"), FormatCategory::Yaml);
+/// assert_eq!(
+///     detect_format("interface Et1\n   mtu 9214\n"),
+///     FormatCategory::Indent
+/// );
+/// assert_eq!(detect_format("a 1\nb 2\n"), FormatCategory::Flat);
+/// ```
+pub fn detect_format(text: &str) -> FormatCategory {
+    if looks_like_json(text) {
+        return FormatCategory::Json;
+    }
+    if looks_like_yaml(text) {
+        return FormatCategory::Yaml;
+    }
+    if has_indentation(text) {
+        return FormatCategory::Indent;
+    }
+    FormatCategory::Flat
+}
+
+fn looks_like_json(text: &str) -> bool {
+    let trimmed = text.trim_start();
+    if !(trimmed.starts_with('{') || trimmed.starts_with('[')) {
+        return false;
+    }
+    // Validate the overall shape with the embedding scanner itself: if it
+    // consumes the document without error, treat the file as JSON.
+    crate::json::validate(text)
+}
+
+fn looks_like_yaml(text: &str) -> bool {
+    let mut content_lines = 0usize;
+    let mut yaml_lines = 0usize;
+    for line in text.lines().take(400) {
+        let trimmed = line.trim_start();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if trimmed == "---" {
+            return true;
+        }
+        content_lines += 1;
+        if is_yaml_mapping_line(trimmed) || trimmed.starts_with("- ") || trimmed == "-" {
+            yaml_lines += 1;
+        }
+    }
+    content_lines > 0 && yaml_lines * 10 >= content_lines * 9
+}
+
+/// Returns `true` for `key:` / `key: value` lines with a bare scalar key.
+fn is_yaml_mapping_line(trimmed: &str) -> bool {
+    let Some(colon) = trimmed.find(':') else {
+        return false;
+    };
+    let key = &trimmed[..colon];
+    if key.is_empty() || key.len() > 64 {
+        return false;
+    }
+    // The colon must terminate the key: either end of line or a space
+    // after it (this rejects `rd 10.14.14.117:10251`).
+    let after = &trimmed[colon + 1..];
+    let key_ok = key
+        .chars()
+        .all(|c| c.is_alphanumeric() || matches!(c, '_' | '-' | '.'));
+    key_ok && (after.is_empty() || after.starts_with(' '))
+}
+
+fn has_indentation(text: &str) -> bool {
+    text.lines()
+        .any(|line| !line.trim().is_empty() && line.starts_with([' ', '\t']))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_json_object_and_array() {
+        assert_eq!(detect_format("{ \"k\": [1, 2] }"), FormatCategory::Json);
+        assert_eq!(detect_format("[1, 2, 3]"), FormatCategory::Json);
+        assert_eq!(
+            detect_format("  {\n \"a\": null\n}\n"),
+            FormatCategory::Json
+        );
+    }
+
+    #[test]
+    fn malformed_json_falls_through() {
+        // Opens like JSON but does not scan; falls back to indent/flat.
+        assert_ne!(detect_format("{ not json at all"), FormatCategory::Json);
+    }
+
+    #[test]
+    fn detects_yaml_mappings() {
+        let text = "name: spine1\nrole: spine\nvlans:\n  - 10\n  - 20\n";
+        assert_eq!(detect_format(text), FormatCategory::Yaml);
+    }
+
+    #[test]
+    fn detects_yaml_document_marker() {
+        assert_eq!(detect_format("---\nanything goes\n"), FormatCategory::Yaml);
+    }
+
+    #[test]
+    fn cli_config_is_not_yaml() {
+        // Route distinguishers contain colons but are not YAML keys.
+        let text = "router bgp 65015\n   vlan 251\n      rd 10.14.14.117:10251\n";
+        assert_eq!(detect_format(text), FormatCategory::Indent);
+    }
+
+    #[test]
+    fn detects_indentation() {
+        let text = "interface Et1\n   description uplink\n!\n";
+        assert_eq!(detect_format(text), FormatCategory::Indent);
+    }
+
+    #[test]
+    fn flat_text() {
+        assert_eq!(detect_format("a 1\nb 2\nc 3\n"), FormatCategory::Flat);
+        assert_eq!(detect_format(""), FormatCategory::Flat);
+    }
+
+    #[test]
+    fn mostly_yaml_with_comments() {
+        let text = "# generated\nhost: dev1\nasn: 65015\n";
+        assert_eq!(detect_format(text), FormatCategory::Yaml);
+    }
+}

@@ -1,0 +1,373 @@
+//! Context embedding for JSON documents.
+//!
+//! Unlike a general-purpose JSON library, this scanner preserves *line
+//! numbers*: every scalar becomes an [`EmbeddedLine`] whose parents are the
+//! object keys on the path to it (§3.1 — "including the 'object keys'
+//! leading to the value") and whose line number points back into the source
+//! text, so contract violations stay actionable.
+//!
+//! A scalar under key `k` is rendered as `k <value>`; array elements render
+//! as the scalar alone with the array's key as the innermost parent.
+
+use crate::EmbeddedLine;
+
+/// Embeds a JSON document. Malformed input yields the lines scanned up to
+/// the error (detection runs [`validate`] first, so this path is rare).
+pub fn embed(text: &str) -> Vec<EmbeddedLine> {
+    let mut scanner = Scanner::new(text);
+    let mut out = Vec::new();
+    let mut path: Vec<String> = Vec::new();
+    let _ = scanner.value(&mut path, None, &mut out);
+    out
+}
+
+/// Returns `true` if `text` is a single well-formed JSON document.
+pub fn validate(text: &str) -> bool {
+    let mut scanner = Scanner::new(text);
+    let mut path = Vec::new();
+    let mut sink = Vec::new();
+    scanner.value(&mut path, None, &mut sink).is_ok() && scanner.skip_whitespace().is_none()
+}
+
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+/// Internal scan abort; carries no payload because `embed` keeps partial
+/// output and `validate` only needs success/failure.
+struct ScanError;
+
+impl<'a> Scanner<'a> {
+    fn new(text: &'a str) -> Self {
+        Scanner {
+            bytes: text.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    /// Skips whitespace; returns the next significant byte without
+    /// consuming it.
+    fn skip_whitespace(&mut self) -> Option<u8> {
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b => return Some(b),
+            }
+        }
+        None
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ScanError> {
+        if self.skip_whitespace() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ScanError)
+        }
+    }
+
+    fn value(
+        &mut self,
+        path: &mut Vec<String>,
+        key: Option<&str>,
+        out: &mut Vec<EmbeddedLine>,
+    ) -> Result<(), ScanError> {
+        match self.skip_whitespace().ok_or(ScanError)? {
+            b'{' => {
+                self.pos += 1;
+                if let Some(k) = key {
+                    path.push(k.to_string());
+                }
+                self.object_body(path, out)?;
+                if key.is_some() {
+                    path.pop();
+                }
+                Ok(())
+            }
+            b'[' => {
+                self.pos += 1;
+                if let Some(k) = key {
+                    path.push(k.to_string());
+                }
+                self.array_body(path, out)?;
+                if key.is_some() {
+                    path.pop();
+                }
+                Ok(())
+            }
+            _ => {
+                let line_no = self.line;
+                let scalar = self.scalar()?;
+                let original = match key {
+                    Some(k) => format!("{k} {scalar}"),
+                    None => scalar,
+                };
+                out.push(EmbeddedLine {
+                    line_no,
+                    parents: path.clone(),
+                    original,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    fn object_body(
+        &mut self,
+        path: &mut Vec<String>,
+        out: &mut Vec<EmbeddedLine>,
+    ) -> Result<(), ScanError> {
+        if self.skip_whitespace() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.expect(b':')?;
+            self.value(path, Some(&key), out)?;
+            match self.skip_whitespace().ok_or(ScanError)? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(ScanError),
+            }
+        }
+    }
+
+    fn array_body(
+        &mut self,
+        path: &mut Vec<String>,
+        out: &mut Vec<EmbeddedLine>,
+    ) -> Result<(), ScanError> {
+        if self.skip_whitespace() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.value(path, None, out)?;
+            match self.skip_whitespace().ok_or(ScanError)? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(ScanError),
+            }
+        }
+    }
+
+    /// Scans a scalar (string, number, `true`, `false`, or `null`) and
+    /// returns its rendered text (strings are unquoted and unescaped).
+    fn scalar(&mut self) -> Result<String, ScanError> {
+        match self.bytes.get(self.pos).ok_or(ScanError)? {
+            b'"' => self.string(),
+            b't' => self.keyword("true"),
+            b'f' => self.keyword("false"),
+            b'n' => self.keyword("null"),
+            b'-' | b'0'..=b'9' => self.number(),
+            _ => Err(ScanError),
+        }
+    }
+
+    fn keyword(&mut self, word: &str) -> Result<String, ScanError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(word.to_string())
+        } else {
+            Err(ScanError)
+        }
+    }
+
+    fn number(&mut self) -> Result<String, ScanError> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while matches!(self.bytes.get(self.pos), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(ScanError);
+        }
+        if self.bytes.get(self.pos) == Some(&b'.') {
+            self.pos += 1;
+            while matches!(self.bytes.get(self.pos), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.bytes.get(self.pos), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.bytes.get(self.pos), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        Ok(std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| ScanError)?
+            .to_string())
+    }
+
+    fn string(&mut self) -> Result<String, ScanError> {
+        if self.bytes.get(self.pos) != Some(&b'"') {
+            return Err(ScanError);
+        }
+        self.pos += 1;
+        let mut value = String::new();
+        loop {
+            match self.bytes.get(self.pos).ok_or(ScanError)? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(value);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos).ok_or(ScanError)? {
+                        b'"' => value.push('"'),
+                        b'\\' => value.push('\\'),
+                        b'/' => value.push('/'),
+                        b'n' => value.push('\n'),
+                        b't' => value.push('\t'),
+                        b'r' => value.push('\r'),
+                        b'b' => value.push('\u{8}'),
+                        b'f' => value.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or(ScanError)?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| ScanError)?,
+                                16,
+                            )
+                            .map_err(|_| ScanError)?;
+                            value.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(ScanError),
+                    }
+                    self.pos += 1;
+                }
+                b'\n' => return Err(ScanError),
+                _ => {
+                    // Consume one UTF-8 character.
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| ScanError)?;
+                    let c = rest.chars().next().ok_or(ScanError)?;
+                    value.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_get_key_paths() {
+        let text = r#"{
+  "interfaces": {
+    "eth0": { "mtu": 9214, "addr": "10.0.0.1" }
+  }
+}"#;
+        let lines = embed(text);
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].original, "mtu 9214");
+        assert_eq!(
+            lines[0].parents,
+            vec!["interfaces".to_string(), "eth0".to_string()]
+        );
+        assert_eq!(lines[0].line_no, 3);
+        assert_eq!(lines[1].original, "addr 10.0.0.1");
+    }
+
+    #[test]
+    fn array_elements_use_array_key_as_parent() {
+        let text = r#"{ "vlans": [10, 20, 30] }"#;
+        let lines = embed(text);
+        assert_eq!(lines.len(), 3);
+        for (line, val) in lines.iter().zip(["10", "20", "30"]) {
+            assert_eq!(line.original, val);
+            assert_eq!(line.parents, vec!["vlans".to_string()]);
+        }
+    }
+
+    #[test]
+    fn nested_arrays_of_objects() {
+        let text = r#"{ "nfInfos": [ { "vrfName": "a", "vlanId": 251 } ] }"#;
+        let lines = embed(text);
+        assert_eq!(lines[0].original, "vrfName a");
+        assert_eq!(lines[0].parents, vec!["nfInfos".to_string()]);
+        assert_eq!(lines[1].original, "vlanId 251");
+    }
+
+    #[test]
+    fn multiline_line_numbers() {
+        let text = "{\n  \"a\": 1,\n  \"b\": {\n    \"c\": 2\n  }\n}";
+        let lines = embed(text);
+        assert_eq!(lines[0].line_no, 2);
+        assert_eq!(lines[1].line_no, 4);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let text = r#"{ "k": "a\"b\\c\nd" }"#;
+        let lines = embed(text);
+        assert_eq!(lines[0].original, "k a\"b\\c\nd");
+    }
+
+    #[test]
+    fn unicode_escape() {
+        let lines = embed(r#"{ "k": "A" }"#);
+        assert_eq!(lines[0].original, "k A");
+    }
+
+    #[test]
+    fn booleans_null_and_numbers() {
+        let lines = embed(r#"{ "a": true, "b": null, "c": -1.5e3 }"#);
+        assert_eq!(lines[0].original, "a true");
+        assert_eq!(lines[1].original, "b null");
+        assert_eq!(lines[2].original, "c -1.5e3");
+    }
+
+    #[test]
+    fn top_level_scalar_and_array() {
+        assert_eq!(embed("42")[0].original, "42");
+        let lines = embed("[1, 2]");
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].parents.is_empty());
+    }
+
+    #[test]
+    fn validate_accepts_and_rejects() {
+        assert!(validate(r#"{"a": [1, {"b": true}]}"#));
+        assert!(validate("[]"));
+        assert!(validate("{}"));
+        assert!(!validate("{"));
+        assert!(!validate("{\"a\" 1}"));
+        assert!(!validate("{} trailing"));
+        assert!(!validate("{'single': 1}"));
+        assert!(!validate(""));
+    }
+
+    #[test]
+    fn empty_containers_produce_no_lines() {
+        assert!(embed("{}").is_empty());
+        assert!(embed(r#"{"a": {}, "b": []}"#).is_empty());
+    }
+}

@@ -1,0 +1,229 @@
+//! Context embedding for YAML documents (pragmatic subset).
+//!
+//! Concord does not need full YAML semantics — only the hierarchy of keys
+//! leading to each line. This embedder handles the subset that appears in
+//! real configuration metadata: block mappings (`key:` / `key: value`),
+//! block sequences (`- item`, including `- key: value` inline mappings),
+//! comments, and document markers. Flow collections, anchors, and
+//! multi-line scalars are treated as opaque scalar text, which degrades
+//! gracefully (the line is still captured, just without deeper structure).
+
+use crate::EmbeddedLine;
+
+/// Embeds a YAML document.
+pub fn embed(text: &str) -> Vec<EmbeddedLine> {
+    let mut out = Vec::new();
+    // Stack of (indent, path_component).
+    let mut stack: Vec<(usize, String)> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = (i + 1) as u32;
+        let no_comment = strip_comment(raw);
+        let trimmed = no_comment.trim_end();
+        let content = trimmed.trim_start();
+        if content.is_empty() || content == "---" || content == "..." {
+            continue;
+        }
+        let mut indent = trimmed.len() - content.len();
+        let mut content = content;
+
+        // Sequence items nest under the key that introduced the sequence;
+        // `- ` itself adds one level of effective indentation.
+        while let Some(rest) = content
+            .strip_prefix("- ")
+            .or_else(|| (content == "-").then_some(""))
+        {
+            while matches!(stack.last(), Some(&(top, _)) if top >= indent) {
+                stack.pop();
+            }
+            // Re-anchor nested content two columns deeper, matching the
+            // `- ` prefix width.
+            indent += 2;
+            content = rest.trim_start();
+            if content.is_empty() {
+                break;
+            }
+        }
+        if content.is_empty() {
+            continue;
+        }
+
+        while matches!(stack.last(), Some(&(top, _)) if top >= indent) {
+            stack.pop();
+        }
+
+        let parents: Vec<String> = stack.iter().map(|(_, p)| p.clone()).collect();
+        match split_mapping(content) {
+            Some((key, "")) => {
+                // `key:` opens a nested block; it is both a content line
+                // and a parent for what follows.
+                out.push(EmbeddedLine {
+                    line_no,
+                    parents,
+                    original: key.to_string(),
+                });
+                stack.push((indent, key.to_string()));
+            }
+            Some((key, value)) => {
+                out.push(EmbeddedLine {
+                    line_no,
+                    parents,
+                    original: format!("{key} {value}"),
+                });
+                // A `key: value` line can still parent an indented block
+                // in odd documents; treat it as a potential parent too.
+                stack.push((indent, key.to_string()));
+            }
+            None => {
+                out.push(EmbeddedLine {
+                    line_no,
+                    parents,
+                    original: content.to_string(),
+                });
+                stack.push((indent, content.to_string()));
+            }
+        }
+    }
+    out
+}
+
+/// Splits `key: value` / `key:` lines; returns `None` for plain scalars.
+fn split_mapping(content: &str) -> Option<(&str, &str)> {
+    let colon = content.find(':')?;
+    let key = &content[..colon];
+    let after = &content[colon + 1..];
+    let key_ok = !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ' '));
+    if !key_ok {
+        return None;
+    }
+    if after.is_empty() {
+        Some((key, ""))
+    } else if let Some(value) = after.strip_prefix(' ') {
+        Some((key, value.trim().trim_matches('"').trim_matches('\'')))
+    } else {
+        None
+    }
+}
+
+/// Removes a trailing ` # comment` (not inside quotes — kept simple since
+/// embedded output is heuristic anyway).
+fn strip_comment(line: &str) -> &str {
+    let mut in_single = false;
+    let mut in_double = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\'' if !in_double => in_single = !in_single,
+            '"' if !in_single => in_double = !in_double,
+            '#' if !in_single
+                && !in_double
+                && (i == 0 || line.as_bytes()[i - 1].is_ascii_whitespace()) =>
+            {
+                return &line[..i];
+            }
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn find<'a>(lines: &'a [EmbeddedLine], original: &str) -> &'a EmbeddedLine {
+        lines
+            .iter()
+            .find(|l| l.original == original)
+            .unwrap_or_else(|| panic!("line {original:?} missing from {lines:#?}"))
+    }
+
+    #[test]
+    fn nested_mappings() {
+        let text = "device:\n  name: spine1\n  bgp:\n    asn: 65015\n";
+        let lines = embed(text);
+        assert_eq!(
+            find(&lines, "name spine1").parents,
+            vec!["device".to_string()]
+        );
+        assert_eq!(
+            find(&lines, "asn 65015").parents,
+            vec!["device".to_string(), "bgp".to_string()]
+        );
+        // The block-opening keys are content lines too.
+        assert!(lines.iter().any(|l| l.original == "device"));
+    }
+
+    #[test]
+    fn sequences_nest_under_key() {
+        let text = "vlans:\n  - 10\n  - 20\n";
+        let lines = embed(text);
+        assert_eq!(find(&lines, "10").parents, vec!["vlans".to_string()]);
+        assert_eq!(find(&lines, "20").parents, vec!["vlans".to_string()]);
+    }
+
+    #[test]
+    fn sequence_of_mappings() {
+        let text =
+            "nfInfos:\n  - vrfName: data\n    vlanId: 251\n  - vrfName: mgmt\n    vlanId: 252\n";
+        let lines = embed(text);
+        assert_eq!(
+            find(&lines, "vrfName data").parents,
+            vec!["nfInfos".to_string()]
+        );
+        // `vlanId` is a sibling of `vrfName` inside the same item mapping.
+        assert_eq!(
+            find(&lines, "vlanId 251").parents,
+            vec!["nfInfos".to_string()]
+        );
+        assert_eq!(
+            find(&lines, "vlanId 252").parents,
+            vec!["nfInfos".to_string()]
+        );
+    }
+
+    #[test]
+    fn comments_and_markers_skipped() {
+        let text = "# header\n---\na: 1 # trailing\n...\n";
+        let lines = embed(text);
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].original, "a 1");
+        assert_eq!(lines[0].line_no, 3);
+    }
+
+    #[test]
+    fn hash_inside_quotes_kept() {
+        let lines = embed("a: \"x # y\"\n");
+        assert_eq!(lines[0].original, "a x # y");
+    }
+
+    #[test]
+    fn quoted_values_unquoted() {
+        let lines = embed("name: \"spine-1\"\nrole: 'leaf'\n");
+        assert_eq!(lines[0].original, "name spine-1");
+        assert_eq!(lines[1].original, "role leaf");
+    }
+
+    #[test]
+    fn plain_scalars_survive() {
+        let lines = embed("list:\n  - just text with spaces\n");
+        assert_eq!(
+            find(&lines, "just text with spaces").parents,
+            vec!["list".to_string()]
+        );
+    }
+
+    #[test]
+    fn dedent_pops_to_correct_level() {
+        let text = "a:\n  b:\n    c: 1\nd: 2\n";
+        let lines = embed(text);
+        assert!(find(&lines, "d 2").parents.is_empty());
+    }
+
+    #[test]
+    fn empty_document() {
+        assert!(embed("").is_empty());
+        assert!(embed("# only comments\n---\n").is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+//! Edge-case tests for format detection and embedding beyond the unit
+//! suites: real-world-shaped oddities.
+
+use concord_formats::{detect_format, embed, embed_auto, FormatCategory};
+
+#[test]
+fn crlf_line_endings_are_tolerated() {
+    let text = "interface Et1\r\n   mtu 9214\r\n";
+    let (format, lines) = embed_auto(text);
+    assert_eq!(format, FormatCategory::Indent);
+    assert_eq!(lines.len(), 2);
+    assert_eq!(lines[1].original, "mtu 9214");
+    assert_eq!(lines[1].parents, vec!["interface Et1".to_string()]);
+}
+
+#[test]
+fn deeply_nested_indentation() {
+    let mut text = String::new();
+    for depth in 0..32 {
+        text.push_str(&" ".repeat(depth));
+        text.push_str(&format!("level{depth}\n"));
+    }
+    let lines = embed(&text, FormatCategory::Indent);
+    assert_eq!(lines.len(), 32);
+    assert_eq!(lines[31].parents.len(), 31);
+    assert_eq!(lines[31].parents[0], "level0");
+    assert_eq!(lines[31].parents[30], "level30");
+}
+
+#[test]
+fn indentation_jump_back_to_middle_level() {
+    let text = "a\n    b\n        c\n  d\n";
+    let lines = embed(text, FormatCategory::Indent);
+    // `d` at indent 2 pops `c` (8) and `b` (4) but keeps `a` (0).
+    assert_eq!(lines[3].parents, vec!["a".to_string()]);
+}
+
+#[test]
+fn json_with_deeply_nested_objects() {
+    let mut doc = String::new();
+    for i in 0..20 {
+        doc.push_str(&format!("{{\"k{i}\": "));
+    }
+    doc.push('1');
+    doc.push_str(&"}".repeat(20));
+    assert_eq!(detect_format(&doc), FormatCategory::Json);
+    let lines = embed(&doc, FormatCategory::Json);
+    assert_eq!(lines.len(), 1);
+    assert_eq!(lines[0].parents.len(), 19);
+    assert_eq!(lines[0].original, "k19 1");
+}
+
+#[test]
+fn json_array_of_arrays() {
+    let lines = embed("[[1, 2], [3]]", FormatCategory::Json);
+    assert_eq!(lines.len(), 3);
+    for line in &lines {
+        assert!(line.parents.is_empty());
+    }
+}
+
+#[test]
+fn yaml_with_windows_comments_and_blank_lines() {
+    let text = "# generated\r\n\r\nhost: dev1\r\n\r\nasn: 65015 # site asn\r\n";
+    let (format, lines) = embed_auto(text);
+    assert_eq!(format, FormatCategory::Yaml);
+    assert_eq!(lines.len(), 2);
+    assert_eq!(lines[0].original, "host dev1");
+    assert_eq!(lines[1].original, "asn 65015");
+}
+
+#[test]
+fn yaml_nested_sequences_of_sequences() {
+    let text = "matrix:\n  - - 1\n    - 2\n  - - 3\n";
+    let lines = embed(text, FormatCategory::Yaml);
+    // Every scalar survives with `matrix` as an ancestor.
+    let scalars: Vec<&str> = lines
+        .iter()
+        .filter(|l| l.original.chars().all(|c| c.is_ascii_digit()))
+        .map(|l| l.original.as_str())
+        .collect();
+    assert_eq!(scalars, vec!["1", "2", "3"]);
+    for line in &lines {
+        if line.original.chars().all(|c| c.is_ascii_digit()) {
+            assert!(line.parents.contains(&"matrix".to_string()));
+        }
+    }
+}
+
+#[test]
+fn detection_prefers_json_over_yaml_for_json_docs() {
+    // `{"a": 1}` has a `key: value` shape YAML detection could claim.
+    assert_eq!(detect_format("{\"a\": 1}\n"), FormatCategory::Json);
+}
+
+#[test]
+fn single_line_file() {
+    let (format, lines) = embed_auto("hostname X");
+    assert_eq!(format, FormatCategory::Flat);
+    assert_eq!(lines.len(), 1);
+    assert_eq!(lines[0].line_no, 1);
+}
+
+#[test]
+fn huge_flat_file_is_linear() {
+    let text: String = (0..50_000).map(|i| format!("line {i}\n")).collect();
+    let start = std::time::Instant::now();
+    let lines = embed(&text, FormatCategory::Flat);
+    assert_eq!(lines.len(), 50_000);
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(2),
+        "embedding took {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn bom_and_unicode_content() {
+    let text = "\u{feff}hostname DEV1\n   descripción enlace\n";
+    let lines = embed(text, FormatCategory::Indent);
+    assert_eq!(lines.len(), 2);
+    assert_eq!(lines[1].original, "descripción enlace");
+}

@@ -1,0 +1,347 @@
+#![warn(missing_docs)]
+
+//! Directed-graph algorithms for Concord's contract minimization (§3.6).
+//!
+//! Contract minimization reduces a quadratic blow-up of transitive
+//! relational contracts (equality, `startswith`, `endswith`) to a compact
+//! equivalent set: nodes are `(pattern, parameter, transformation)` triples,
+//! edges are learned contracts, and the minimizer
+//!
+//! 1. finds strongly connected components ([`DiGraph::scc`]),
+//! 2. replaces each SCC's internal edges with a simple cycle,
+//! 3. collapses SCCs into a DAG ([`DiGraph::condensation`]), and
+//! 4. removes implied DAG edges ([`DiGraph::transitive_reduction`],
+//!    Aho–Garey–Ullman).
+//!
+//! Reachability — and therefore bug-finding power — is preserved exactly.
+//!
+//! # Examples
+//!
+//! ```
+//! use concord_graph::DiGraph;
+//!
+//! // A triangle a -> b -> c plus the implied a -> c.
+//! let mut g = DiGraph::new(3);
+//! g.add_edge(0, 1);
+//! g.add_edge(1, 2);
+//! g.add_edge(0, 2);
+//! let reduced = g.transitive_reduction();
+//! assert_eq!(reduced.num_edges(), 2);
+//! assert!(!reduced.has_edge(0, 2));
+//! ```
+
+mod bitset;
+mod scc;
+
+pub use bitset::BitSet;
+
+/// A simple directed graph over dense node indices `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiGraph {
+    adj: Vec<Vec<usize>>,
+    num_edges: usize,
+}
+
+impl DiGraph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        DiGraph {
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Returns the number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Returns the number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Adds the edge `u -> v`. Duplicate edges and self-loops are ignored
+    /// (neither affects reachability).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "node out of range"
+        );
+        if u == v || self.adj[u].contains(&v) {
+            return;
+        }
+        self.adj[u].push(v);
+        self.num_edges += 1;
+    }
+
+    /// Returns `true` if the edge `u -> v` exists.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj.get(u).is_some_and(|succ| succ.contains(&v))
+    }
+
+    /// Returns the successors of `u`.
+    pub fn successors(&self, u: usize) -> &[usize] {
+        &self.adj[u]
+    }
+
+    /// Iterates over all edges as `(u, v)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, succ)| succ.iter().map(move |&v| (u, v)))
+    }
+
+    /// Computes strongly connected components (iterative Tarjan).
+    ///
+    /// Components are returned in reverse topological order of the
+    /// condensation (every edge between components points from a
+    /// later-listed component to an earlier one).
+    pub fn scc(&self) -> Vec<Vec<usize>> {
+        scc::tarjan(&self.adj)
+    }
+
+    /// Collapses SCCs into single nodes.
+    ///
+    /// Returns the condensation (a DAG) and the mapping from original node
+    /// to component index. Component indices follow the order returned by
+    /// [`DiGraph::scc`].
+    pub fn condensation(&self) -> (DiGraph, Vec<usize>) {
+        let comps = self.scc();
+        let mut comp_of = vec![0usize; self.num_nodes()];
+        for (ci, comp) in comps.iter().enumerate() {
+            for &node in comp {
+                comp_of[node] = ci;
+            }
+        }
+        let mut dag = DiGraph::new(comps.len());
+        for (u, v) in self.edges() {
+            let (cu, cv) = (comp_of[u], comp_of[v]);
+            if cu != cv {
+                dag.add_edge(cu, cv);
+            }
+        }
+        (dag, comp_of)
+    }
+
+    /// Computes the set of nodes reachable from `start` (excluding `start`
+    /// itself unless it lies on a cycle).
+    pub fn reachable_from(&self, start: usize) -> BitSet {
+        let mut seen = BitSet::new(self.num_nodes());
+        let mut stack = vec![start];
+        let mut visited = BitSet::new(self.num_nodes());
+        visited.insert(start);
+        while let Some(u) = stack.pop() {
+            for &v in &self.adj[u] {
+                seen.insert(v);
+                if !visited.contains(v) {
+                    visited.insert(v);
+                    stack.push(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Computes the transitive reduction of a DAG.
+    ///
+    /// The result has the same nodes and the minimum number of edges with
+    /// the same reachability relation (unique for DAGs). An edge `u -> v`
+    /// is removed exactly when some other successor of `u` reaches `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph contains a cycle (call
+    /// [`DiGraph::condensation`] first).
+    pub fn transitive_reduction(&self) -> DiGraph {
+        let order = self.topological_order().expect("graph must be a DAG");
+        let n = self.num_nodes();
+        // `reach[u]` = nodes reachable from u (including u), built in
+        // reverse topological order so successors are done first.
+        let mut reach: Vec<BitSet> = vec![BitSet::new(n); n];
+        let mut reduced = DiGraph::new(n);
+        for &u in order.iter().rev() {
+            // Visit direct successors in topological order: a successor
+            // appearing earlier can never be implied by one appearing
+            // later, so keep-decisions are order-independent for DAGs; we
+            // simply test each candidate against all *other* successors.
+            let succs = &self.adj[u];
+            for &v in succs {
+                let implied = succs.iter().any(|&w| w != v && reach[w].contains(v));
+                if !implied {
+                    reduced.add_edge(u, v);
+                }
+            }
+            let mut r = BitSet::new(n);
+            r.insert(u);
+            for &v in succs {
+                r.insert(v);
+                r.union_with(&reach[v]);
+            }
+            reach[u] = r;
+        }
+        reduced
+    }
+
+    /// Returns a topological order, or `None` when the graph has a cycle.
+    pub fn topological_order(&self) -> Option<Vec<usize>> {
+        let n = self.num_nodes();
+        let mut indegree = vec![0usize; n];
+        for (_, v) in self.edges() {
+            indegree[v] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&u| indegree[u] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(u) = queue.pop() {
+            order.push(u);
+            for &v in &self.adj[u] {
+                indegree[v] -= 1;
+                if indegree[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, edges: &[(usize, usize)]) -> DiGraph {
+        let mut g = DiGraph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    #[test]
+    fn add_edge_deduplicates() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        g.add_edge(0, 0);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn scc_of_cycle() {
+        let g = graph(3, &[(0, 1), (1, 2), (2, 0)]);
+        let comps = g.scc();
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 3);
+    }
+
+    #[test]
+    fn scc_of_dag_is_singletons() {
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(g.scc().len(), 4);
+    }
+
+    #[test]
+    fn scc_mixed() {
+        // Two 2-cycles joined by a bridge.
+        let g = graph(4, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]);
+        let comps = g.scc();
+        assert_eq!(comps.len(), 2);
+        let sizes: Vec<usize> = comps.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![2, 2]);
+    }
+
+    #[test]
+    fn scc_reverse_topological_order() {
+        let g = graph(3, &[(0, 1), (1, 2)]);
+        let comps = g.scc();
+        let pos = |node: usize| comps.iter().position(|c| c.contains(&node)).unwrap();
+        // Edges go from later-listed components to earlier ones.
+        assert!(pos(0) > pos(1));
+        assert!(pos(1) > pos(2));
+    }
+
+    #[test]
+    fn condensation_collapses() {
+        let g = graph(5, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 2)]);
+        let (dag, comp_of) = g.condensation();
+        assert_eq!(dag.num_nodes(), 2);
+        assert_eq!(dag.num_edges(), 1);
+        assert_eq!(comp_of[0], comp_of[1]);
+        assert_eq!(comp_of[2], comp_of[3]);
+        assert_ne!(comp_of[0], comp_of[2]);
+    }
+
+    #[test]
+    fn transitive_reduction_chain() {
+        // Complete order over 4 nodes reduces to a path.
+        let mut g = DiGraph::new(4);
+        for u in 0..4 {
+            for v in (u + 1)..4 {
+                g.add_edge(u, v);
+            }
+        }
+        let r = g.transitive_reduction();
+        assert_eq!(r.num_edges(), 3);
+        assert!(r.has_edge(0, 1) && r.has_edge(1, 2) && r.has_edge(2, 3));
+    }
+
+    #[test]
+    fn transitive_reduction_diamond() {
+        // 0 -> {1, 2} -> 3, plus the implied 0 -> 3.
+        let g = graph(4, &[(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)]);
+        let r = g.transitive_reduction();
+        assert_eq!(r.num_edges(), 4);
+        assert!(!r.has_edge(0, 3));
+    }
+
+    #[test]
+    fn transitive_reduction_keeps_unimplied_edges() {
+        let g = graph(3, &[(0, 1), (0, 2)]);
+        let r = g.transitive_reduction();
+        assert_eq!(r.num_edges(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "DAG")]
+    fn transitive_reduction_rejects_cycles() {
+        let g = graph(2, &[(0, 1), (1, 0)]);
+        let _ = g.transitive_reduction();
+    }
+
+    #[test]
+    fn topological_order_detects_cycle() {
+        assert!(graph(2, &[(0, 1), (1, 0)]).topological_order().is_none());
+        let order = graph(3, &[(0, 1), (1, 2)]).topological_order().unwrap();
+        let pos = |x: usize| order.iter().position(|&u| u == x).unwrap();
+        assert!(pos(0) < pos(1));
+        assert!(pos(1) < pos(2));
+    }
+
+    #[test]
+    fn reachable_from_walks_transitively() {
+        let g = graph(4, &[(0, 1), (1, 2)]);
+        let r = g.reachable_from(0);
+        assert!(r.contains(1));
+        assert!(r.contains(2));
+        assert!(!r.contains(3));
+        assert!(!r.contains(0));
+    }
+
+    #[test]
+    fn reachable_from_includes_self_on_cycle() {
+        let g = graph(2, &[(0, 1), (1, 0)]);
+        assert!(g.reachable_from(0).contains(0));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::new(0);
+        assert!(g.scc().is_empty());
+        assert_eq!(g.transitive_reduction().num_nodes(), 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Iterative Tarjan strongly-connected-components algorithm.
+//!
+//! The recursion is converted to an explicit stack so million-node relation
+//! graphs cannot overflow the call stack.
+
+/// Computes SCCs of the adjacency list `adj`.
+///
+/// Components are emitted in reverse topological order of the condensation
+/// (a property of Tarjan's algorithm: a component is completed only after
+/// every component it can reach).
+pub fn tarjan(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    const UNVISITED: usize = usize::MAX;
+
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components = Vec::new();
+
+    // Explicit DFS frames: (node, next child position).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (u, ref mut child_pos)) = frames.last_mut() {
+            if *child_pos < adj[u].len() {
+                let v = adj[u][*child_pos];
+                *child_pos += 1;
+                if index[v] == UNVISITED {
+                    index[v] = next_index;
+                    lowlink[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    frames.push((v, 0));
+                } else if on_stack[v] {
+                    lowlink[u] = lowlink[u].min(index[v]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[u]);
+                }
+                if lowlink[u] == index[u] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack invariant");
+                        on_stack[w] = false;
+                        component.push(w);
+                        if w == u {
+                            break;
+                        }
+                    }
+                    components.push(component);
+                }
+            }
+        }
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        assert!(tarjan(&[]).is_empty());
+    }
+
+    #[test]
+    fn isolated_nodes() {
+        let comps = tarjan(&[vec![], vec![], vec![]]);
+        assert_eq!(comps.len(), 3);
+    }
+
+    #[test]
+    fn one_big_cycle() {
+        let adj = vec![vec![1], vec![2], vec![3], vec![0]];
+        let comps = tarjan(&adj);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 4);
+    }
+
+    #[test]
+    fn self_loop_is_singleton() {
+        let adj = vec![vec![0], vec![]];
+        let comps = tarjan(&adj);
+        assert_eq!(comps.len(), 2);
+    }
+
+    #[test]
+    fn classic_example() {
+        // Wikipedia's 8-node Tarjan example.
+        let adj = vec![
+            vec![1],       // 0 -> 1
+            vec![2],       // 1 -> 2
+            vec![0],       // 2 -> 0
+            vec![1, 2, 4], // 3 -> 1,2,4
+            vec![3, 5],    // 4 -> 3,5
+            vec![2, 6],    // 5 -> 2,6
+            vec![5],       // 6 -> 5
+            vec![4, 6, 7], // 7 -> 4,6,7
+        ];
+        let mut sizes: Vec<usize> = tarjan(&adj).iter().map(Vec::len).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2, 2, 3]);
+    }
+
+    #[test]
+    fn deep_chain_no_stack_overflow() {
+        // 200k-node path: would overflow the call stack if recursive.
+        let n = 200_000;
+        let adj: Vec<Vec<usize>> = (0..n)
+            .map(|u| if u + 1 < n { vec![u + 1] } else { vec![] })
+            .collect();
+        assert_eq!(tarjan(&adj).len(), n);
+    }
+}

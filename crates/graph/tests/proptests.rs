@@ -1,0 +1,113 @@
+//! Property-based tests for the graph algorithms.
+
+use concord_graph::DiGraph;
+use proptest::prelude::*;
+
+/// Generates a random directed graph with up to `max_n` nodes.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = DiGraph> {
+    (1..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 0..(n * 3)).prop_map(move |edges| {
+            let mut g = DiGraph::new(n);
+            for (u, v) in edges {
+                g.add_edge(u, v);
+            }
+            g
+        })
+    })
+}
+
+/// Generates a random DAG by orienting edges from lower to higher index.
+fn arb_dag(max_n: usize) -> impl Strategy<Value = DiGraph> {
+    (2..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 0..(n * 3)).prop_map(move |edges| {
+            let mut g = DiGraph::new(n);
+            for (u, v) in edges {
+                if u < v {
+                    g.add_edge(u, v);
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    /// SCCs partition the node set.
+    #[test]
+    fn scc_is_a_partition(g in arb_graph(24)) {
+        let comps = g.scc();
+        let mut seen = vec![false; g.num_nodes()];
+        for comp in &comps {
+            for &node in comp {
+                prop_assert!(!seen[node], "node {node} in two components");
+                seen[node] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Two nodes share an SCC iff they reach each other.
+    #[test]
+    fn scc_matches_mutual_reachability(g in arb_graph(12)) {
+        let comps = g.scc();
+        let comp_of = |x: usize| comps.iter().position(|c| c.contains(&x)).unwrap();
+        for u in 0..g.num_nodes() {
+            let ru = g.reachable_from(u);
+            for v in 0..g.num_nodes() {
+                if u == v { continue; }
+                let rv = g.reachable_from(v);
+                let mutual = ru.contains(v) && rv.contains(u);
+                prop_assert_eq!(mutual, comp_of(u) == comp_of(v));
+            }
+        }
+    }
+
+    /// The condensation is acyclic.
+    #[test]
+    fn condensation_is_dag(g in arb_graph(24)) {
+        let (dag, _) = g.condensation();
+        prop_assert!(dag.topological_order().is_some());
+    }
+
+    /// Transitive reduction preserves reachability exactly.
+    #[test]
+    fn reduction_preserves_reachability(g in arb_dag(16)) {
+        let r = g.transitive_reduction();
+        for u in 0..g.num_nodes() {
+            let before = g.reachable_from(u);
+            let after = r.reachable_from(u);
+            for v in 0..g.num_nodes() {
+                prop_assert_eq!(before.contains(v), after.contains(v),
+                    "reachability {}->{} changed", u, v);
+            }
+        }
+    }
+
+    /// Transitive reduction never adds edges and is idempotent.
+    #[test]
+    fn reduction_shrinks_and_is_idempotent(g in arb_dag(16)) {
+        let r = g.transitive_reduction();
+        prop_assert!(r.num_edges() <= g.num_edges());
+        for (u, v) in r.edges() {
+            prop_assert!(g.has_edge(u, v), "reduction invented edge {}->{}", u, v);
+        }
+        let rr = r.transitive_reduction();
+        prop_assert_eq!(rr.num_edges(), r.num_edges());
+    }
+
+    /// Every surviving edge is essential: removing it changes reachability.
+    #[test]
+    fn reduction_is_minimal(g in arb_dag(10)) {
+        let r = g.transitive_reduction();
+        for (u, v) in r.edges() {
+            let mut without = DiGraph::new(r.num_nodes());
+            for (a, b) in r.edges() {
+                if (a, b) != (u, v) {
+                    without.add_edge(a, b);
+                }
+            }
+            prop_assert!(!without.reachable_from(u).contains(v),
+                "edge {}->{} was redundant", u, v);
+        }
+    }
+}

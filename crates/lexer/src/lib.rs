@@ -1,0 +1,466 @@
+#![warn(missing_docs)]
+
+//! Pattern and value extraction (§3.2 of the paper).
+//!
+//! The lexer separates each configuration line into a *typed pattern* and a
+//! *parameter map*. The line
+//!
+//! ```text
+//! rd 10.14.14.117:10251
+//! ```
+//!
+//! becomes the pattern `rd [a:ip4]:[b:num]` with parameters
+//! `{a ↦ 10.14.14.117, b ↦ 10251}`. Patterns identify configuration lines
+//! that differ only in their data, which is what lets Concord learn
+//! contracts such as "every loopback address is permitted by a prefix
+//! list".
+//!
+//! Token types follow Table 1 of the paper: built-ins for numbers, hex
+//! numbers, booleans, MAC addresses, IPv4/IPv6 addresses and prefixes, plus
+//! user-defined types supplied as custom regular expressions (which take
+//! precedence over the built-ins, like `[iface]` and `[descr]` in the
+//! paper). Every regex match is validated semantically (e.g. `999.1.1.1`
+//! matches the IPv4 regex but is rejected by the parser), and the longest
+//! valid candidate wins, with earlier definitions breaking ties.
+//!
+//! Parent context from embedding is lexed *anonymously*: holes in parent
+//! components render as `[num]` with no variable, because Concord does not
+//! bind variables for embedded context (§3.2, footnote 2).
+//!
+//! # Examples
+//!
+//! ```
+//! use concord_lexer::Lexer;
+//!
+//! let lexer = Lexer::standard();
+//! let lexed = lexer.lex_line(&["router bgp 65015".to_string()], "vlan 251", 21);
+//! assert_eq!(lexed.pattern, "/router bgp [num]/vlan [a:num]");
+//! assert_eq!(lexed.params.len(), 1);
+//! assert_eq!(lexed.params[0].value.render(), "251");
+//! ```
+
+mod token;
+
+pub use token::{TokenDef, TokenDefError};
+
+use concord_types::{Value, ValueType};
+
+/// A named, typed parameter extracted from a line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// The variable name (`a`, `b`, ..., then `a1`, `b1`, ...).
+    pub name: String,
+    /// The token type the value was extracted as.
+    pub ty: ValueType,
+    /// The extracted value.
+    pub value: Value,
+}
+
+/// A configuration line after lexing: its full embedded typed pattern plus
+/// the parameters bound from the original (non-context) text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexedLine {
+    /// The typed pattern of the embedded line, e.g.
+    /// `/interface Port-Channel[num]/route-target import [a:mac]`.
+    pub pattern: String,
+    /// Parameters bound from the original line, in order of appearance.
+    pub params: Vec<Param>,
+    /// 1-based source line number.
+    pub line_no: u32,
+    /// The trimmed original source text (without embedded context).
+    pub original: String,
+}
+
+/// The Concord lexer: an ordered list of token definitions.
+#[derive(Debug, Clone)]
+pub struct Lexer {
+    defs: Vec<TokenDef>,
+}
+
+impl Lexer {
+    /// Builds the standard lexer with the built-in token types of Table 1.
+    pub fn standard() -> Lexer {
+        Lexer {
+            defs: token::builtin_defs(),
+        }
+    }
+
+    /// Builds a lexer with user-defined token types layered *before* the
+    /// built-ins (custom definitions win ties, mirroring Table 1 where
+    /// user patterns sit above the dotted line).
+    ///
+    /// Each definition is a `(name, regex)` pair; the extracted values are
+    /// strings typed as [`ValueType::Custom`].
+    pub fn with_custom<I, S>(custom: I) -> Result<Lexer, TokenDefError>
+    where
+        I: IntoIterator<Item = (S, S)>,
+        S: AsRef<str>,
+    {
+        let mut defs = Vec::new();
+        for (name, pattern) in custom {
+            defs.push(TokenDef::custom(name.as_ref(), pattern.as_ref())?);
+        }
+        defs.extend(token::builtin_defs());
+        Ok(Lexer { defs })
+    }
+
+    /// Returns the token definitions in matching priority order.
+    pub fn defs(&self) -> &[TokenDef] {
+        &self.defs
+    }
+
+    /// Lexes a full embedded line: anonymous patterns for the parents,
+    /// bound parameters for the original text.
+    pub fn lex_line(&self, parents: &[String], original: &str, line_no: u32) -> LexedLine {
+        let mut pattern = String::new();
+        for parent in parents {
+            pattern.push('/');
+            pattern.push_str(&self.fragment_pattern(parent, None).0);
+        }
+        pattern.push('/');
+        let mut params = Vec::new();
+        let (orig_pattern, _) = self.fragment_pattern(original, Some(&mut params));
+        pattern.push_str(&orig_pattern);
+        LexedLine {
+            pattern,
+            params,
+            line_no,
+            original: original.to_string(),
+        }
+    }
+
+    /// Lexes a standalone fragment, binding parameters.
+    ///
+    /// Returns the typed pattern and the extracted parameters.
+    pub fn lex_fragment(&self, text: &str) -> (String, Vec<Param>) {
+        let mut params = Vec::new();
+        let (pattern, _) = self.fragment_pattern(text, Some(&mut params));
+        (pattern, params)
+    }
+
+    /// Core scanning loop: maximal munch over the token definitions.
+    ///
+    /// With `params = None` the holes render anonymously (`[ty]`);
+    /// otherwise they bind fresh variables (`[a:ty]`) and push values.
+    fn fragment_pattern(&self, text: &str, mut params: Option<&mut Vec<Param>>) -> (String, usize) {
+        let mut pattern = String::with_capacity(text.len());
+        let mut count = 0usize;
+        let mut pos = 0usize;
+        while pos < text.len() {
+            match self.best_token_at(text, pos) {
+                Some((def_idx, len)) => {
+                    let def = &self.defs[def_idx];
+                    let matched = &text[pos..pos + len];
+                    let value = Value::parse_as(def.ty(), matched)
+                        .expect("best_token_at validated the value");
+                    match params.as_deref_mut() {
+                        Some(params) => {
+                            let name = var_name(params.len());
+                            pattern.push('[');
+                            pattern.push_str(&name);
+                            pattern.push(':');
+                            pattern.push_str(def.ty().name());
+                            pattern.push(']');
+                            params.push(Param {
+                                name,
+                                ty: def.ty().clone(),
+                                value,
+                            });
+                        }
+                        None => {
+                            pattern.push('[');
+                            pattern.push_str(def.ty().name());
+                            pattern.push(']');
+                        }
+                    }
+                    count += 1;
+                    pos += len;
+                }
+                None => {
+                    let c = text[pos..].chars().next().expect("in-bounds position");
+                    pattern.push(c);
+                    pos += c.len_utf8();
+                }
+            }
+        }
+        (pattern, count)
+    }
+
+    /// Finds the best token at `pos`: longest valid match, ties broken by
+    /// definition order.
+    fn best_token_at(&self, text: &str, pos: usize) -> Option<(usize, usize)> {
+        let mut best: Option<(usize, usize)> = None;
+        for (idx, def) in self.defs.iter().enumerate() {
+            if let Some(len) = def.match_at(text, pos) {
+                if len == 0 {
+                    continue;
+                }
+                let better = match best {
+                    Some((_, best_len)) => len > best_len,
+                    None => true,
+                };
+                if better {
+                    best = Some((idx, len));
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Renders the `i`-th variable name: `a`..`z`, then `a1`, `b1`, ...
+fn var_name(i: usize) -> String {
+    let letter = (b'a' + (i % 26) as u8) as char;
+    let round = i / 26;
+    if round == 0 {
+        letter.to_string()
+    } else {
+        format!("{letter}{round}")
+    }
+}
+
+/// Rewrites a typed pattern into its type-agnostic form, replacing every
+/// hole with `[?]` (used by type-contract learning, §3.4).
+///
+/// # Examples
+///
+/// ```
+/// use concord_lexer::type_agnostic_pattern;
+///
+/// assert_eq!(
+///     type_agnostic_pattern("ip address [a:ip4]"),
+///     "ip address [?]"
+/// );
+/// ```
+pub fn type_agnostic_pattern(pattern: &str) -> String {
+    rewrite_holes(pattern, |_, _| "[?]".to_string())
+}
+
+/// Parses the holes of a typed pattern, returning `(name, type)` pairs in
+/// order. Anonymous holes yield an empty name.
+pub fn pattern_holes(pattern: &str) -> Vec<(String, ValueType)> {
+    let mut holes = Vec::new();
+    rewrite_holes(pattern, |name, ty| {
+        holes.push((name.to_string(), ValueType::from_name(ty)));
+        format!("[{}]", ty)
+    });
+    holes
+}
+
+/// Internal scanner over `[...]` holes; `f(name, ty)` produces the
+/// replacement text for each hole.
+fn rewrite_holes(pattern: &str, mut f: impl FnMut(&str, &str) -> String) -> String {
+    let mut out = String::with_capacity(pattern.len());
+    let bytes = pattern.as_bytes();
+    let mut pos = 0;
+    while pos < pattern.len() {
+        if bytes[pos] == b'[' {
+            if let Some(end_rel) = pattern[pos + 1..].find(']') {
+                let inner = &pattern[pos + 1..pos + 1 + end_rel];
+                let looks_like_hole = !inner.is_empty()
+                    && inner
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == ':' || c == '?');
+                if looks_like_hole {
+                    let (name, ty) = match inner.split_once(':') {
+                        Some((name, ty)) => (name, ty),
+                        None => ("", inner),
+                    };
+                    out.push_str(&f(name, ty));
+                    pos += end_rel + 2;
+                    continue;
+                }
+            }
+        }
+        let c = pattern[pos..].chars().next().expect("in-bounds position");
+        out.push(c);
+        pos += c.len_utf8();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn std_lexer() -> Lexer {
+        Lexer::standard()
+    }
+
+    #[test]
+    fn lexes_ip_address_line() {
+        let (pattern, params) = std_lexer().lex_fragment("ip address 10.14.14.34");
+        assert_eq!(pattern, "ip address [a:ip4]");
+        assert_eq!(params.len(), 1);
+        assert_eq!(params[0].ty, ValueType::Ip4);
+        assert_eq!(params[0].value.render(), "10.14.14.34");
+    }
+
+    #[test]
+    fn prefix_beats_address() {
+        let (pattern, params) = std_lexer().lex_fragment("seq 10 permit 10.14.14.34/32");
+        assert_eq!(pattern, "seq [a:num] permit [b:pfx4]");
+        assert_eq!(params[1].value.render(), "10.14.14.34/32");
+    }
+
+    #[test]
+    fn mac_beats_number_runs() {
+        let (pattern, params) = std_lexer().lex_fragment("route-target import 00:00:0c:d3:00:6e");
+        assert_eq!(pattern, "route-target import [a:mac]");
+        assert_eq!(params[0].value.render(), "00:00:0c:d3:00:6e");
+    }
+
+    #[test]
+    fn route_distinguisher_splits() {
+        let (pattern, params) = std_lexer().lex_fragment("rd 10.14.14.117:10251");
+        assert_eq!(pattern, "rd [a:ip4]:[b:num]");
+        assert_eq!(params[0].value.render(), "10.14.14.117");
+        assert_eq!(params[1].value.render(), "10251");
+    }
+
+    #[test]
+    fn number_embedded_in_word() {
+        let (pattern, params) = std_lexer().lex_fragment("interface Loopback0");
+        assert_eq!(pattern, "interface Loopback[a:num]");
+        assert_eq!(params[0].value.render(), "0");
+        let (pattern, _) = std_lexer().lex_fragment("hostname DEV1");
+        assert_eq!(pattern, "hostname DEV[a:num]");
+    }
+
+    #[test]
+    fn booleans_need_word_boundaries() {
+        let (pattern, _) = std_lexer().lex_fragment("bfd true");
+        assert_eq!(pattern, "bfd [a:bool]");
+        let (pattern, _) = std_lexer().lex_fragment("trueness");
+        assert_eq!(pattern, "trueness");
+    }
+
+    #[test]
+    fn invalid_ip_rejected_semantically() {
+        // `999.1.1.1` matches the IPv4 token regex but fails parsing; the
+        // octet runs lex as plain numbers instead.
+        let (pattern, _) = std_lexer().lex_fragment("ip address 999.1.1.1");
+        assert_eq!(pattern, "ip address [a:num].[b:num].[c:num].[d:num]");
+    }
+
+    #[test]
+    fn ipv6_and_prefix6() {
+        // Note the `6` of `ipv6` itself extracts as a number, exactly like
+        // `DEV1` -> `DEV[a:num]` in Figure 3 of the paper.
+        let (pattern, params) = std_lexer().lex_fragment("ipv6 address 2001:db8::1/64");
+        assert_eq!(pattern, "ipv[a:num] address [b:pfx6]");
+        assert_eq!(params[1].ty, ValueType::Pfx6);
+        let (pattern, _) = std_lexer().lex_fragment("neighbor fe80::12 remote-as 65000");
+        assert_eq!(pattern, "neighbor [a:ip6] remote-as [b:num]");
+    }
+
+    #[test]
+    fn hex_numbers() {
+        let (pattern, params) = std_lexer().lex_fragment("register 0x1f");
+        assert_eq!(pattern, "register [a:hex]");
+        assert_eq!(params[0].value.render(), "31");
+    }
+
+    #[test]
+    fn parents_lex_anonymously() {
+        let lexed = std_lexer().lex_line(
+            &[
+                "interface Port-Channel110".to_string(),
+                "evpn ether-segment".to_string(),
+            ],
+            "route-target import 00:00:0c:d3:00:6e",
+            8,
+        );
+        assert_eq!(
+            lexed.pattern,
+            "/interface Port-Channel[num]/evpn ether-segment/route-target import [a:mac]"
+        );
+        assert_eq!(lexed.params.len(), 1);
+        assert_eq!(lexed.line_no, 8);
+        assert_eq!(lexed.original, "route-target import 00:00:0c:d3:00:6e");
+    }
+
+    #[test]
+    fn custom_tokens_take_priority() {
+        let lexer = Lexer::with_custom(vec![("iface", "([eE]t|ae)-?[0-9]+")]).unwrap();
+        let (pattern, params) = lexer.lex_fragment("interface Et12");
+        assert_eq!(pattern, "interface [a:iface]");
+        assert_eq!(params[0].ty, ValueType::Custom("iface".to_string()));
+        assert_eq!(params[0].value.render(), "Et12");
+    }
+
+    #[test]
+    fn custom_token_bad_regex_errors() {
+        assert!(Lexer::with_custom(vec![("bad", "a{3,1}")]).is_err());
+    }
+
+    #[test]
+    fn multiple_params_name_in_order() {
+        let (pattern, params) = std_lexer().lex_fragment("maximum-paths 64 ecmp 64");
+        assert_eq!(pattern, "maximum-paths [a:num] ecmp [b:num]");
+        assert_eq!(params[0].name, "a");
+        assert_eq!(params[1].name, "b");
+    }
+
+    #[test]
+    fn var_names_wrap_after_z() {
+        assert_eq!(var_name(0), "a");
+        assert_eq!(var_name(25), "z");
+        assert_eq!(var_name(26), "a1");
+        assert_eq!(var_name(27), "b1");
+    }
+
+    #[test]
+    fn type_agnostic_rewrites_all_holes() {
+        assert_eq!(
+            type_agnostic_pattern("/router bgp [num]/rd [a:ip4]:[b:num]"),
+            "/router bgp [?]/rd [?]:[?]"
+        );
+        // Literal brackets that are not holes survive.
+        assert_eq!(type_agnostic_pattern("match [x y]"), "match [x y]");
+    }
+
+    #[test]
+    fn pattern_holes_extraction() {
+        let holes = pattern_holes("/interface Port-Channel[num]/rt [a:mac] x [b:num]");
+        assert_eq!(
+            holes,
+            vec![
+                ("".to_string(), ValueType::Num),
+                ("a".to_string(), ValueType::Mac),
+                ("b".to_string(), ValueType::Num),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_line_lexes_to_empty_pattern() {
+        let (pattern, params) = std_lexer().lex_fragment("");
+        assert_eq!(pattern, "");
+        assert!(params.is_empty());
+    }
+
+    #[test]
+    fn bang_separator_survives() {
+        let (pattern, params) = std_lexer().lex_fragment("!");
+        assert_eq!(pattern, "!");
+        assert!(params.is_empty());
+    }
+
+    #[test]
+    fn figure_3_full_example() {
+        let lexer = std_lexer();
+        let cases = [
+            ("hostname DEV1", "hostname DEV[a:num]"),
+            ("interface Loopback0", "interface Loopback[a:num]"),
+            ("interface Port-Channel110", "interface Port-Channel[a:num]"),
+            ("seq 20 permit 0.0.0.0/0", "seq [a:num] permit [b:pfx4]"),
+            ("router bgp 65015", "router bgp [a:num]"),
+            ("vlan 251", "vlan [a:num]"),
+        ];
+        for (line, expected) in cases {
+            let (pattern, _) = lexer.lex_fragment(line);
+            assert_eq!(pattern, expected, "lexing {line:?}");
+        }
+    }
+}

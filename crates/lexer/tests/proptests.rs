@@ -1,0 +1,100 @@
+//! Property-based tests for the pattern lexer.
+
+use concord_lexer::{pattern_holes, type_agnostic_pattern, Lexer};
+use proptest::prelude::*;
+
+fn arb_config_line() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // Word/number mixes.
+        "[a-z]{1,8}( [a-z]{1,8}| [0-9]{1,5}){0,4}",
+        // Lines with addresses and prefixes.
+        (0u8..=255, 0u8..=255, 0u8..=255, 0u8..=32).prop_map(|(a, b, c, len)| {
+            format!("ip address 10.{a}.{b}.{c} or 10.{a}.{b}.0/{len}")
+        }),
+        // MAC-bearing lines.
+        proptest::array::uniform6(0u8..=255).prop_map(|o| {
+            format!(
+                "route-target import {:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+                o[0], o[1], o[2], o[3], o[4], o[5]
+            )
+        }),
+        // Arbitrary printable noise.
+        "\\PC{0,60}",
+    ]
+}
+
+proptest! {
+    /// Lexing is total, deterministic, and binds one parameter per
+    /// bound hole.
+    #[test]
+    fn lexing_total_and_consistent(line in arb_config_line()) {
+        let lexer = Lexer::standard();
+        let (pattern, params) = lexer.lex_fragment(&line);
+        let (pattern2, params2) = lexer.lex_fragment(&line);
+        prop_assert_eq!(&pattern, &pattern2);
+        prop_assert_eq!(&params, &params2);
+
+        let holes = pattern_holes(&pattern);
+        let bound: Vec<_> = holes.iter().filter(|(name, _)| !name.is_empty()).collect();
+        prop_assert_eq!(bound.len(), params.len());
+        for ((_, hole_ty), param) in bound.iter().zip(&params) {
+            prop_assert_eq!(hole_ty, &param.ty);
+        }
+    }
+
+    /// Parameter names are `a`, `b`, `c`, ... in order of appearance.
+    #[test]
+    fn parameter_names_sequential(line in arb_config_line()) {
+        let (_, params) = Lexer::standard().lex_fragment(&line);
+        for (i, param) in params.iter().enumerate().take(26) {
+            let expected = ((b'a' + i as u8) as char).to_string();
+            prop_assert_eq!(&param.name, &expected);
+        }
+    }
+
+    /// Substituting rendered values back into the pattern and re-lexing
+    /// yields the same pattern, for value-stable token types. (`hex`
+    /// renders as decimal, so lines containing `0x` literals are
+    /// excluded by construction here.)
+    #[test]
+    fn relex_of_substituted_pattern_is_stable(line in "[a-z]{1,8}( [0-9]{1,4}| 10\\.[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}){0,3}") {
+        let lexer = Lexer::standard();
+        let (pattern, params) = lexer.lex_fragment(&line);
+        // Rebuild the line from the pattern by splicing values back in.
+        let mut rebuilt = String::new();
+        let mut values = params.iter();
+        let mut rest = pattern.as_str();
+        while let Some(start) = rest.find('[') {
+            rebuilt.push_str(&rest[..start]);
+            let end = rest[start..].find(']').map(|e| start + e).unwrap();
+            rebuilt.push_str(&values.next().unwrap().value.render());
+            rest = &rest[end + 1..];
+        }
+        rebuilt.push_str(rest);
+        let (pattern2, _) = lexer.lex_fragment(&rebuilt);
+        prop_assert_eq!(pattern, pattern2, "rebuilt line {:?}", rebuilt);
+    }
+
+    /// The embedded pattern of a line always starts with its parents'
+    /// anonymous patterns.
+    #[test]
+    fn embedded_pattern_prefix(parent in "[a-z]{1,8} [0-9]{1,4}", line in "[a-z]{1,8} [0-9]{1,4}") {
+        let lexer = Lexer::standard();
+        let lexed = lexer.lex_line(std::slice::from_ref(&parent), &line, 1);
+        prop_assert!(lexed.pattern.starts_with('/'));
+        // The parent segment contains an anonymous hole, not a bound one.
+        let first_segment = lexed.pattern[1..].split('/').next().unwrap();
+        prop_assert!(!first_segment.contains(':'), "{}", lexed.pattern);
+    }
+
+    /// The type-agnostic rewrite is idempotent and erases every hole.
+    #[test]
+    fn agnostic_rewrite_idempotent(line in arb_config_line()) {
+        let (pattern, _) = Lexer::standard().lex_fragment(&line);
+        let agnostic = type_agnostic_pattern(&pattern);
+        prop_assert_eq!(type_agnostic_pattern(&agnostic), agnostic.clone());
+        for (name, _) in pattern_holes(&agnostic) {
+            prop_assert!(name.is_empty());
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Abstract syntax tree for regular expressions.
+
+/// One entry of a character class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClassItem {
+    /// A single character, e.g. `a`.
+    Char(char),
+    /// An inclusive character range, e.g. `a-z`.
+    Range(char, char),
+}
+
+/// A (possibly negated) character class such as `[a-z0-9_]` or `[^:]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassSet {
+    /// The items in the class, in source order.
+    pub items: Vec<ClassItem>,
+    /// Whether the class is negated (`[^...]`).
+    pub negated: bool,
+}
+
+impl ClassSet {
+    /// Returns `true` if `c` is matched by this class.
+    pub fn contains(&self, c: char) -> bool {
+        let inside = self.items.iter().any(|item| match *item {
+            ClassItem::Char(ch) => ch == c,
+            ClassItem::Range(lo, hi) => lo <= c && c <= hi,
+        });
+        inside != self.negated
+    }
+}
+
+/// A parsed regular expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// Matches a single literal character.
+    Literal(char),
+    /// Matches any character except `\n`.
+    Dot,
+    /// Matches a character class.
+    Class(ClassSet),
+    /// Matches the start of the input (`^`).
+    StartAnchor,
+    /// Matches the end of the input (`$`).
+    EndAnchor,
+    /// Matches a sequence of sub-expressions.
+    Concat(Vec<Ast>),
+    /// Matches any one of the alternatives.
+    Alternate(Vec<Ast>),
+    /// Matches `node` between `min` and `max` times (`max = None` means
+    /// unbounded).
+    Repeat {
+        /// The repeated sub-expression.
+        node: Box<Ast>,
+        /// Minimum number of repetitions.
+        min: u32,
+        /// Maximum number of repetitions; `None` means unbounded.
+        max: Option<u32>,
+    },
+}
+
+impl Ast {
+    /// Returns `true` if this expression can match the empty string.
+    pub fn matches_empty(&self) -> bool {
+        match self {
+            Ast::Empty | Ast::StartAnchor | Ast::EndAnchor => true,
+            Ast::Literal(_) | Ast::Dot | Ast::Class(_) => false,
+            Ast::Concat(parts) => parts.iter().all(Ast::matches_empty),
+            Ast::Alternate(parts) => parts.iter().any(Ast::matches_empty),
+            Ast::Repeat { node, min, .. } => *min == 0 || node.matches_empty(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_contains() {
+        let class = ClassSet {
+            items: vec![ClassItem::Range('a', 'c'), ClassItem::Char('z')],
+            negated: false,
+        };
+        assert!(class.contains('a'));
+        assert!(class.contains('b'));
+        assert!(class.contains('z'));
+        assert!(!class.contains('d'));
+    }
+
+    #[test]
+    fn negated_class_contains() {
+        let class = ClassSet {
+            items: vec![ClassItem::Char(':')],
+            negated: true,
+        };
+        assert!(class.contains('a'));
+        assert!(!class.contains(':'));
+    }
+
+    #[test]
+    fn matches_empty() {
+        assert!(Ast::Empty.matches_empty());
+        assert!(!Ast::Literal('a').matches_empty());
+        assert!(Ast::Repeat {
+            node: Box::new(Ast::Literal('a')),
+            min: 0,
+            max: None,
+        }
+        .matches_empty());
+        assert!(!Ast::Repeat {
+            node: Box::new(Ast::Literal('a')),
+            min: 1,
+            max: None,
+        }
+        .matches_empty());
+        assert!(Ast::Alternate(vec![Ast::Literal('a'), Ast::Empty]).matches_empty());
+        assert!(!Ast::Concat(vec![Ast::Empty, Ast::Literal('a')]).matches_empty());
+    }
+}

@@ -1,0 +1,425 @@
+//! Recursive-descent parser for the supported regex grammar.
+//!
+//! Grammar (ignoring whitespace, which is significant):
+//!
+//! ```text
+//! alternate := concat ('|' concat)*
+//! concat    := repeat*
+//! repeat    := atom quantifier?
+//! quantifier := '*' | '+' | '?' | '{' n '}' | '{' n ',' '}' | '{' n ',' m '}'
+//! atom      := literal | '.' | '^' | '$' | escape | class | '(' alternate ')'
+//! ```
+
+use crate::ast::{Ast, ClassItem, ClassSet};
+
+/// An error produced while parsing a regular expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the pattern at which the error was detected.
+    pub position: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "regex parse error at {}: {}",
+            self.position, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses `pattern` into an [`Ast`].
+pub fn parse(pattern: &str) -> Result<Ast, ParseError> {
+    let mut parser = Parser {
+        chars: pattern.chars().collect(),
+        pos: 0,
+    };
+    let ast = parser.alternate()?;
+    if parser.pos < parser.chars.len() {
+        return Err(parser.error(format!(
+            "unexpected character {:?}",
+            parser.chars[parser.pos]
+        )));
+    }
+    Ok(ast)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, expected: char) -> bool {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn alternate(&mut self) -> Result<Ast, ParseError> {
+        let mut branches = vec![self.concat()?];
+        while self.eat('|') {
+            branches.push(self.concat()?);
+        }
+        if branches.len() == 1 {
+            Ok(branches.pop().expect("one branch"))
+        } else {
+            Ok(Ast::Alternate(branches))
+        }
+    }
+
+    fn concat(&mut self) -> Result<Ast, ParseError> {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            parts.push(self.repeat()?);
+        }
+        match parts.len() {
+            0 => Ok(Ast::Empty),
+            1 => Ok(parts.pop().expect("one part")),
+            _ => Ok(Ast::Concat(parts)),
+        }
+    }
+
+    fn repeat(&mut self) -> Result<Ast, ParseError> {
+        let atom = self.atom()?;
+        let (min, max) = match self.peek() {
+            Some('*') => {
+                self.pos += 1;
+                (0, None)
+            }
+            Some('+') => {
+                self.pos += 1;
+                (1, None)
+            }
+            Some('?') => {
+                self.pos += 1;
+                (0, Some(1))
+            }
+            Some('{') => {
+                self.pos += 1;
+                let bounds = self.bounds()?;
+                (bounds.0, bounds.1)
+            }
+            _ => return Ok(atom),
+        };
+        if matches!(atom, Ast::Empty | Ast::StartAnchor | Ast::EndAnchor) {
+            return Err(self.error("quantifier applied to empty expression or anchor"));
+        }
+        if let Some(m) = max {
+            if min > m {
+                return Err(self.error(format!("invalid bound {{{min},{m}}}: min > max")));
+            }
+        }
+        Ok(Ast::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+        })
+    }
+
+    /// Parses the inside of a `{...}` bound; the opening brace is consumed.
+    fn bounds(&mut self) -> Result<(u32, Option<u32>), ParseError> {
+        let min = self.number()?;
+        if self.eat('}') {
+            return Ok((min, Some(min)));
+        }
+        if !self.eat(',') {
+            return Err(self.error("expected ',' or '}' in repetition bound"));
+        }
+        if self.eat('}') {
+            return Ok((min, None));
+        }
+        let max = self.number()?;
+        if !self.eat('}') {
+            return Err(self.error("expected '}' closing repetition bound"));
+        }
+        Ok((min, Some(max)))
+    }
+
+    fn number(&mut self) -> Result<u32, ParseError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.error("expected a number"));
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse::<u32>()
+            .map_err(|_| self.error(format!("repetition bound {text:?} out of range")))
+    }
+
+    fn atom(&mut self) -> Result<Ast, ParseError> {
+        let c = self
+            .bump()
+            .ok_or_else(|| self.error("unexpected end of pattern"))?;
+        match c {
+            '(' => {
+                // Support the non-capturing prefix `(?:` transparently —
+                // this engine has no capture groups, so both spellings
+                // compile identically.
+                if self.peek() == Some('?') {
+                    let save = self.pos;
+                    self.pos += 1;
+                    if !self.eat(':') {
+                        self.pos = save;
+                        return Err(self.error("unsupported group flag; only (?: is allowed"));
+                    }
+                }
+                let inner = self.alternate()?;
+                if !self.eat(')') {
+                    return Err(self.error("unclosed group"));
+                }
+                Ok(inner)
+            }
+            '[' => self.class(),
+            '.' => Ok(Ast::Dot),
+            '^' => Ok(Ast::StartAnchor),
+            '$' => Ok(Ast::EndAnchor),
+            '\\' => self.escape(),
+            '*' | '+' | '?' => Err(self.error(format!("dangling quantifier {c:?}"))),
+            '{' => Err(self.error("dangling repetition bound")),
+            ')' => Err(self.error("unmatched ')'")),
+            c => Ok(Ast::Literal(c)),
+        }
+    }
+
+    fn escape(&mut self) -> Result<Ast, ParseError> {
+        let c = self
+            .bump()
+            .ok_or_else(|| self.error("trailing backslash"))?;
+        let class = |items: Vec<ClassItem>, negated: bool| Ast::Class(ClassSet { items, negated });
+        Ok(match c {
+            'd' => class(vec![ClassItem::Range('0', '9')], false),
+            'D' => class(vec![ClassItem::Range('0', '9')], true),
+            'w' => class(word_items(), false),
+            'W' => class(word_items(), true),
+            's' => class(space_items(), false),
+            'S' => class(space_items(), true),
+            'n' => Ast::Literal('\n'),
+            't' => Ast::Literal('\t'),
+            'r' => Ast::Literal('\r'),
+            '.' | '\\' | '+' | '*' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '^' | '$'
+            | '-' | '/' | ':' => Ast::Literal(c),
+            other => return Err(self.error(format!("unknown escape \\{other}"))),
+        })
+    }
+
+    fn class(&mut self) -> Result<Ast, ParseError> {
+        let negated = self.eat('^');
+        let mut items = Vec::new();
+        loop {
+            let c = self
+                .bump()
+                .ok_or_else(|| self.error("unclosed character class"))?;
+            match c {
+                ']' if !items.is_empty() || negated => break,
+                ']' if items.is_empty() => {
+                    // A `]` first in a class is a literal, POSIX style.
+                    items.push(self.class_item(']')?);
+                }
+                '\\' => {
+                    let e = self
+                        .bump()
+                        .ok_or_else(|| self.error("trailing backslash in class"))?;
+                    match e {
+                        'd' => items.push(ClassItem::Range('0', '9')),
+                        'w' => items.extend(word_items()),
+                        's' => items.extend(space_items()),
+                        'n' => items.push(self.class_item('\n')?),
+                        't' => items.push(self.class_item('\t')?),
+                        'r' => items.push(self.class_item('\r')?),
+                        '\\' | ']' | '[' | '^' | '-' | '.' | '/' | ':' => {
+                            items.push(self.class_item(e)?)
+                        }
+                        other => {
+                            return Err(self.error(format!("unknown escape \\{other} in class")))
+                        }
+                    }
+                }
+                c => items.push(self.class_item(c)?),
+            }
+        }
+        Ok(Ast::Class(ClassSet { items, negated }))
+    }
+
+    /// Parses an optional `-hi` range suffix after the class member `lo`.
+    fn class_item(&mut self, lo: char) -> Result<ClassItem, ParseError> {
+        if self.peek() == Some('-') {
+            // A `-` immediately before `]` is a literal dash.
+            if self.chars.get(self.pos + 1) == Some(&']') {
+                return Ok(ClassItem::Char(lo));
+            }
+            self.pos += 1;
+            let hi = match self.bump() {
+                Some('\\') => self
+                    .bump()
+                    .ok_or_else(|| self.error("trailing backslash in class range"))?,
+                Some(c) => c,
+                None => return Err(self.error("unclosed character class")),
+            };
+            if lo > hi {
+                return Err(self.error(format!("invalid class range {lo}-{hi}")));
+            }
+            Ok(ClassItem::Range(lo, hi))
+        } else {
+            Ok(ClassItem::Char(lo))
+        }
+    }
+}
+
+fn word_items() -> Vec<ClassItem> {
+    vec![
+        ClassItem::Range('a', 'z'),
+        ClassItem::Range('A', 'Z'),
+        ClassItem::Range('0', '9'),
+        ClassItem::Char('_'),
+    ]
+}
+
+fn space_items() -> Vec<ClassItem> {
+    vec![
+        ClassItem::Char(' '),
+        ClassItem::Char('\t'),
+        ClassItem::Char('\n'),
+        ClassItem::Char('\r'),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_literal_concat() {
+        assert_eq!(
+            parse("ab").unwrap(),
+            Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('b')])
+        );
+    }
+
+    #[test]
+    fn parses_alternation() {
+        assert_eq!(
+            parse("a|b").unwrap(),
+            Ast::Alternate(vec![Ast::Literal('a'), Ast::Literal('b')])
+        );
+    }
+
+    #[test]
+    fn parses_empty_alternative() {
+        assert_eq!(
+            parse("a|").unwrap(),
+            Ast::Alternate(vec![Ast::Literal('a'), Ast::Empty])
+        );
+    }
+
+    #[test]
+    fn parses_repeat_bounds() {
+        match parse("a{2,5}").unwrap() {
+            Ast::Repeat { min, max, .. } => {
+                assert_eq!(min, 2);
+                assert_eq!(max, Some(5));
+            }
+            other => panic!("unexpected ast {other:?}"),
+        }
+        match parse("a{7}").unwrap() {
+            Ast::Repeat { min, max, .. } => {
+                assert_eq!(min, 7);
+                assert_eq!(max, Some(7));
+            }
+            other => panic!("unexpected ast {other:?}"),
+        }
+        match parse("a{3,}").unwrap() {
+            Ast::Repeat { min, max, .. } => {
+                assert_eq!(min, 3);
+                assert_eq!(max, None);
+            }
+            other => panic!("unexpected ast {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_bounds() {
+        assert!(parse("a{5,2}").is_err());
+        assert!(parse("a{,2}").is_err());
+        assert!(parse("a{2").is_err());
+    }
+
+    #[test]
+    fn rejects_quantified_anchor() {
+        assert!(parse("^*").is_err());
+        assert!(parse("$+").is_err());
+    }
+
+    #[test]
+    fn class_leading_bracket_literal() {
+        match parse("[]a]").unwrap() {
+            Ast::Class(set) => {
+                assert!(set.contains(']'));
+                assert!(set.contains('a'));
+                assert!(!set.contains('b'));
+            }
+            other => panic!("unexpected ast {other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_trailing_dash_literal() {
+        match parse("[a-]").unwrap() {
+            Ast::Class(set) => {
+                assert!(set.contains('a'));
+                assert!(set.contains('-'));
+            }
+            other => panic!("unexpected ast {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_reversed_range() {
+        assert!(parse("[z-a]").is_err());
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse("ab)").unwrap_err();
+        assert_eq!(err.position, 2);
+        assert!(err.to_string().contains("unexpected"));
+    }
+
+    #[test]
+    fn non_capturing_group() {
+        assert_eq!(parse("(?:ab)").unwrap(), parse("(ab)").unwrap());
+        assert!(parse("(?i:ab)").is_err());
+    }
+}

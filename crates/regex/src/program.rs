@@ -1,0 +1,41 @@
+//! Compiled NFA program representation.
+
+use crate::ast::ClassSet;
+
+/// A single NFA instruction.
+#[derive(Debug, Clone)]
+pub enum Inst {
+    /// Match a single literal character and advance.
+    Char(char),
+    /// Match any character except `\n` and advance.
+    AnyChar,
+    /// Match a character class and advance.
+    Class(ClassSet),
+    /// Fork execution to both targets (epsilon transition).
+    Split(usize, usize),
+    /// Jump to the target (epsilon transition).
+    Jmp(usize),
+    /// Succeed only at the start of the input.
+    AssertStart,
+    /// Succeed only at the end of the input.
+    AssertEnd,
+    /// Accept the input consumed so far.
+    Match,
+}
+
+/// A compiled NFA program: a flat instruction list starting at pc 0.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// The instructions; `Inst::Match` terminates accepting threads.
+    pub insts: Vec<Inst>,
+    /// Whether the pattern can match the empty string.
+    pub matches_empty: bool,
+}
+
+impl Program {
+    /// Returns the number of instructions (always at least 1: a compiled
+    /// pattern ends with `Match`).
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+}

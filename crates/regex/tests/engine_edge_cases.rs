@@ -1,0 +1,135 @@
+//! Edge-case tests for the regex engine beyond the unit suites.
+
+use concord_regex::Regex;
+
+fn re(p: &str) -> Regex {
+    Regex::new(p).unwrap_or_else(|e| panic!("{p:?}: {e}"))
+}
+
+#[test]
+fn anchors_inside_alternation() {
+    let r = re("^a|b$");
+    assert_eq!(r.find("a"), Some((0, 1)));
+    assert_eq!(r.find("xb"), Some((1, 2)));
+    assert_eq!(r.find("xa"), None); // `a` must be at the start.
+    assert_eq!(r.find("bx"), None); // `b` must be at the end.
+}
+
+#[test]
+fn empty_alternative_branches() {
+    let r = re("ab|");
+    assert!(r.is_full_match(""));
+    assert!(r.is_full_match("ab"));
+    assert_eq!(r.match_at("abab", 0), Some(2));
+}
+
+#[test]
+fn nested_groups_with_bounds() {
+    let r = re("((ab){2}c){2}");
+    assert!(r.is_full_match("ababcababc"));
+    assert!(!r.is_full_match("ababcabc"));
+}
+
+#[test]
+fn zero_repetition_bound() {
+    let r = re("a{0}b");
+    assert!(r.is_full_match("b"));
+    assert!(!r.is_full_match("ab"));
+    let r = re("a{0,2}b");
+    assert!(r.is_full_match("b"));
+    assert!(r.is_full_match("aab"));
+    assert!(!r.is_full_match("aaab"));
+}
+
+#[test]
+fn class_full_ascii_range() {
+    let r = re("[ -~]+"); // Printable ASCII.
+    assert!(r.is_full_match("Hello, World! 123"));
+    assert!(!r.is_match("\t"));
+}
+
+#[test]
+fn negated_class_and_newline() {
+    // Unlike `.`, a negated class matches `\n` unless excluded.
+    let r = re("[^x]");
+    assert!(r.is_full_match("\n"));
+    let r = re(".");
+    assert!(!r.is_match("\n"));
+}
+
+#[test]
+fn repeated_empty_matching_group_terminates() {
+    // `(a?)*` can match the empty string infinitely many "times"; the VM
+    // must still terminate and report the right longest match.
+    let r = re("(a?)*b");
+    assert!(r.is_full_match("aaab"));
+    assert!(r.is_full_match("b"));
+    assert_eq!(r.match_at("aaa", 0), None);
+}
+
+#[test]
+fn alternation_inside_repetition_longest() {
+    let r = re("(a|ab)+");
+    // Longest overall match wins regardless of branch order.
+    assert_eq!(r.match_at("abaab", 0), Some(5));
+}
+
+#[test]
+fn long_literal_patterns() {
+    let long = "x".repeat(500);
+    let r = re(&long);
+    assert!(r.is_full_match(&long));
+    assert!(!r.is_full_match(&"x".repeat(499)));
+}
+
+#[test]
+fn large_bounded_repeat() {
+    let r = re("a{64}");
+    assert!(r.is_full_match(&"a".repeat(64)));
+    assert!(!r.is_full_match(&"a".repeat(63)));
+    assert_eq!(r.match_at(&"a".repeat(100), 0), Some(64));
+}
+
+#[test]
+fn find_prefers_leftmost() {
+    let r = re("a+");
+    assert_eq!(re("a+").find("baaab"), Some((1, 4)));
+    let _ = r;
+}
+
+#[test]
+fn pathological_nested_quantifiers_stay_fast() {
+    // (a*)*(b*)*c against a long non-matching input: linear-time check.
+    let r = re("(a*)*(b*)*c");
+    let input = "ab".repeat(2_000);
+    let start = std::time::Instant::now();
+    assert!(!r.is_match(&input));
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(2),
+        "matching took {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn table_1_user_patterns_compile_and_match() {
+    // Every example row of the paper's Table 1 works as written.
+    let cases: &[(&str, &str, bool)] = &[
+        ("([aA]e|[eE]t)-?[0-9]+", "Et49", true),
+        ("description .+", "description core uplink 1", true),
+        ("true|false", "maybe", false),
+        ("[1-9][0-9]*", "65015", true),
+        ("(0x|0)[0-9]+", "0x17", true),
+        ("[0-9a-zA-Z]+(:[0-9a-zA-Z]+){5}", "00:00:0c:d3:00:6e", true),
+        (r"[0-9]+(\.[0-9]+){3}", "10.14.14.34", true),
+        (r"[0-9]+(\.[0-9]+){3}/[0-9]+", "10.14.14.34/32", true),
+    ];
+    for (pattern, input, should_match) in cases {
+        let r = re(pattern);
+        assert_eq!(
+            r.is_full_match(input),
+            *should_match,
+            "{pattern:?} vs {input:?}"
+        );
+    }
+}

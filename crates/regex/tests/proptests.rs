@@ -1,0 +1,79 @@
+//! Property-based tests for the regex engine.
+
+use concord_regex::Regex;
+use proptest::prelude::*;
+
+proptest! {
+    /// A literal pattern (with metacharacters escaped) matches exactly its
+    /// own text.
+    #[test]
+    fn escaped_literal_matches_itself(s in "[a-zA-Z0-9 .:/+*?()\\[\\]{}|^$-]{0,24}") {
+        let escaped: String = s
+            .chars()
+            .map(|c| {
+                if "\\.+*?()[]{}|^$-/:".contains(c) {
+                    format!("\\{c}")
+                } else {
+                    c.to_string()
+                }
+            })
+            .collect();
+        let re = Regex::new(&escaped).unwrap();
+        prop_assert!(re.is_full_match(&s));
+    }
+
+    /// `match_at` never reports a length extending past the end of input.
+    #[test]
+    fn match_len_in_bounds(s in "[a-c]{0,32}") {
+        let re = Regex::new("a+(b|c)*").unwrap();
+        for start in 0..=s.len() {
+            if let Some(len) = re.match_at(&s, start) {
+                prop_assert!(start + len <= s.len());
+            }
+        }
+    }
+
+    /// Digit runs are fully consumed by `\d+` (maximal munch).
+    #[test]
+    fn digits_maximal_munch(prefix in "[a-z]{0,8}", digits in "[0-9]{1,12}", suffix in "[a-z]{0,8}") {
+        let text = format!("{prefix}{digits}{suffix}");
+        let re = Regex::new("[0-9]+").unwrap();
+        let m = re.find(&text).unwrap();
+        prop_assert_eq!(&text[m.0..m.1], digits.as_str());
+    }
+
+    /// `find_all` yields non-overlapping, strictly increasing ranges.
+    #[test]
+    fn find_all_monotone(s in "[ab0-9]{0,40}") {
+        let re = Regex::new("[0-9]+").unwrap();
+        let matches = re.find_all(&s);
+        for w in matches.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0);
+        }
+        for (a, b) in &matches {
+            prop_assert!(a < b);
+            prop_assert!(s[*a..*b].chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    /// The IPv4 token pattern from the paper accepts every dotted quad.
+    #[test]
+    fn ipv4_token_accepts_dotted_quads(a in 0u32..=255, b in 0u32..=255, c in 0u32..=255, d in 0u32..=255) {
+        let re = Regex::new(r"[0-9]+(\.[0-9]+){3}").unwrap();
+        let quad = format!("{a}.{b}.{c}.{d}");
+        prop_assert!(re.is_full_match(&quad));
+    }
+
+    /// Compiling never panics on arbitrary input (it may error).
+    #[test]
+    fn new_never_panics(s in "\\PC{0,24}") {
+        let _ = Regex::new(&s);
+    }
+
+    /// Matching is deterministic: two runs agree.
+    #[test]
+    fn deterministic(s in "[a-d]{0,24}") {
+        let re = Regex::new("(a|ab)*c?d+").unwrap();
+        prop_assert_eq!(re.find(&s), re.find(&s));
+    }
+}

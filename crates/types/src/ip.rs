@@ -1,0 +1,507 @@
+//! IP addresses and networks (prefixes).
+//!
+//! The `contains` relational contract ("every interface address is
+//! permitted by some prefix-list entry", Figure 1 contract 2) needs fast
+//! prefix containment, so addresses are stored as fixed-width integers and
+//! networks expose their bit representation for trie indexing.
+
+use std::fmt;
+
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// An IPv4 or IPv6 address.
+///
+/// # Examples
+///
+/// ```
+/// use concord_types::{IpAddress, IpNetwork};
+///
+/// let addr: IpAddress = "10.14.14.34".parse().unwrap();
+/// let net: IpNetwork = "10.14.14.34/32".parse().unwrap();
+/// assert!(net.contains(addr));
+/// assert!("0.0.0.0/0".parse::<IpNetwork>().unwrap().contains(addr));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IpAddress {
+    /// An IPv4 address stored big-endian in a `u32`.
+    V4(u32),
+    /// An IPv6 address stored big-endian in a `u128`.
+    V6(u128),
+}
+
+impl IpAddress {
+    /// Returns the address bits left-aligned in a `u128`.
+    ///
+    /// IPv4 addresses occupy the top 32 bits; this gives both families a
+    /// uniform most-significant-bit-first representation for tries.
+    pub fn bits(&self) -> u128 {
+        match *self {
+            IpAddress::V4(v) => u128::from(v) << 96,
+            IpAddress::V6(v) => v,
+        }
+    }
+
+    /// Returns the number of bits in the address family (32 or 128).
+    pub fn family_bits(&self) -> u8 {
+        match self {
+            IpAddress::V4(_) => 32,
+            IpAddress::V6(_) => 128,
+        }
+    }
+
+    /// Returns `true` for IPv4 addresses.
+    pub fn is_v4(&self) -> bool {
+        matches!(self, IpAddress::V4(_))
+    }
+
+    /// Returns the `i`-th octet of an IPv4 address (0-based from the left),
+    /// or `None` for IPv6 or an out-of-range index.
+    pub fn octet(&self, i: u8) -> Option<u8> {
+        match *self {
+            IpAddress::V4(v) if i < 4 => Some(v.to_be_bytes()[usize::from(i)]),
+            _ => None,
+        }
+    }
+
+    fn parse_v4(s: &str) -> Option<u32> {
+        let mut parts = s.split('.');
+        let mut addr: u32 = 0;
+        for _ in 0..4 {
+            let part = parts.next()?;
+            if part.is_empty() || part.len() > 3 || !part.bytes().all(|b| b.is_ascii_digit()) {
+                return None;
+            }
+            let octet: u32 = part.parse().ok()?;
+            if octet > 255 {
+                return None;
+            }
+            addr = (addr << 8) | octet;
+        }
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(addr)
+    }
+
+    fn parse_v6(s: &str) -> Option<u128> {
+        // RFC 4291 text form with `::` compression, including the
+        // embedded-IPv4 tail form (`::ffff:192.0.2.1`): rewrite the
+        // dotted quad into its two trailing 16-bit groups first.
+        let rewritten;
+        let s = if s.contains('.') {
+            let colon = s.rfind(':')?;
+            let v4 = IpAddress::parse_v4(&s[colon + 1..])?;
+            rewritten = format!("{}:{:x}:{:x}", &s[..colon], v4 >> 16, v4 & 0xffff);
+            &rewritten
+        } else {
+            s
+        };
+        let (head, tail) = match s.find("::") {
+            Some(pos) => {
+                let tail = &s[pos + 2..];
+                if tail.contains("::") {
+                    return None;
+                }
+                (&s[..pos], tail)
+            }
+            None => (s, ""),
+        };
+        let parse_groups = |part: &str| -> Option<Vec<u16>> {
+            if part.is_empty() {
+                return Some(Vec::new());
+            }
+            part.split(':')
+                .map(|g| {
+                    if g.is_empty() || g.len() > 4 {
+                        None
+                    } else {
+                        u16::from_str_radix(g, 16).ok()
+                    }
+                })
+                .collect()
+        };
+        let head_groups = parse_groups(head)?;
+        let tail_groups = parse_groups(tail)?;
+        let total = head_groups.len() + tail_groups.len();
+        let has_compression = s.contains("::");
+        if (has_compression && total >= 8) || (!has_compression && total != 8) {
+            return None;
+        }
+        let mut groups = [0u16; 8];
+        groups[..head_groups.len()].copy_from_slice(&head_groups);
+        groups[8 - tail_groups.len()..].copy_from_slice(&tail_groups);
+        let mut bits: u128 = 0;
+        for g in groups {
+            bits = (bits << 16) | u128::from(g);
+        }
+        Some(bits)
+    }
+}
+
+impl std::str::FromStr for IpAddress {
+    type Err = IpParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(v4) = IpAddress::parse_v4(s) {
+            Ok(IpAddress::V4(v4))
+        } else if let Some(v6) = IpAddress::parse_v6(s) {
+            Ok(IpAddress::V6(v6))
+        } else {
+            Err(IpParseError {
+                input: s.to_string(),
+            })
+        }
+    }
+}
+
+impl fmt::Display for IpAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            IpAddress::V4(v) => {
+                let b = v.to_be_bytes();
+                write!(f, "{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+            }
+            IpAddress::V6(v) => {
+                // Canonical-ish form: longest zero run compressed.
+                let groups: Vec<u16> = (0..8)
+                    .map(|i| ((v >> (112 - 16 * i)) & 0xffff) as u16)
+                    .collect();
+                let (best_start, best_len) = longest_zero_run(&groups);
+                if best_len >= 2 {
+                    let head: Vec<String> = groups[..best_start]
+                        .iter()
+                        .map(|g| format!("{g:x}"))
+                        .collect();
+                    let tail: Vec<String> = groups[best_start + best_len..]
+                        .iter()
+                        .map(|g| format!("{g:x}"))
+                        .collect();
+                    write!(f, "{}::{}", head.join(":"), tail.join(":"))
+                } else {
+                    let all: Vec<String> = groups.iter().map(|g| format!("{g:x}")).collect();
+                    f.write_str(&all.join(":"))
+                }
+            }
+        }
+    }
+}
+
+fn longest_zero_run(groups: &[u16]) -> (usize, usize) {
+    let (mut best_start, mut best_len) = (0, 0);
+    let (mut cur_start, mut cur_len) = (0, 0);
+    for (i, &g) in groups.iter().enumerate() {
+        if g == 0 {
+            if cur_len == 0 {
+                cur_start = i;
+            }
+            cur_len += 1;
+            if cur_len > best_len {
+                best_start = cur_start;
+                best_len = cur_len;
+            }
+        } else {
+            cur_len = 0;
+        }
+    }
+    (best_start, best_len)
+}
+
+/// An IP network: an address plus a prefix length.
+///
+/// The host bits are always stored zeroed (canonical form), so two spellings
+/// of the same network compare equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IpNetwork {
+    addr: IpAddress,
+    prefix_len: u8,
+}
+
+impl IpNetwork {
+    /// Creates a network from an address and prefix length, zeroing the
+    /// host bits.
+    ///
+    /// Returns `None` when `prefix_len` exceeds the family width.
+    pub fn new(addr: IpAddress, prefix_len: u8) -> Option<Self> {
+        if prefix_len > addr.family_bits() {
+            return None;
+        }
+        let masked = match addr {
+            IpAddress::V4(v) => {
+                let mask = if prefix_len == 0 {
+                    0
+                } else {
+                    u32::MAX << (32 - u32::from(prefix_len))
+                };
+                IpAddress::V4(v & mask)
+            }
+            IpAddress::V6(v) => {
+                let mask = if prefix_len == 0 {
+                    0
+                } else {
+                    u128::MAX << (128 - u32::from(prefix_len))
+                };
+                IpAddress::V6(v & mask)
+            }
+        };
+        Some(IpNetwork {
+            addr: masked,
+            prefix_len,
+        })
+    }
+
+    /// Returns the (canonicalized) network address.
+    pub fn addr(&self) -> IpAddress {
+        self.addr
+    }
+
+    /// Returns the prefix length.
+    pub fn prefix_len(&self) -> u8 {
+        self.prefix_len
+    }
+
+    /// Returns `true` for IPv4 networks.
+    pub fn is_v4(&self) -> bool {
+        self.addr.is_v4()
+    }
+
+    /// Returns the network bits left-aligned in a `u128` (see
+    /// [`IpAddress::bits`]).
+    pub fn bits(&self) -> u128 {
+        self.addr.bits()
+    }
+
+    /// Returns `true` if `addr` lies inside this network.
+    ///
+    /// Addresses of a different family are never contained.
+    pub fn contains(&self, addr: IpAddress) -> bool {
+        if self.addr.is_v4() != addr.is_v4() {
+            return false;
+        }
+        if self.prefix_len == 0 {
+            return true;
+        }
+        let shift = u32::from(self.addr.family_bits() - self.prefix_len);
+        match (self.addr, addr) {
+            (IpAddress::V4(net), IpAddress::V4(a)) => (net >> shift) == (a >> shift),
+            (IpAddress::V6(net), IpAddress::V6(a)) => (net >> shift) == (a >> shift),
+            _ => unreachable!("family checked above"),
+        }
+    }
+
+    /// Returns `true` if `other` is a subnet of (or equal to) this network.
+    pub fn contains_net(&self, other: &IpNetwork) -> bool {
+        other.prefix_len >= self.prefix_len && self.contains(other.addr)
+    }
+}
+
+impl std::str::FromStr for IpNetwork {
+    type Err = IpParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || IpParseError {
+            input: s.to_string(),
+        };
+        let (addr_part, len_part) = s.split_once('/').ok_or_else(err)?;
+        let addr: IpAddress = addr_part.parse().map_err(|_| err())?;
+        if len_part.is_empty()
+            || len_part.len() > 3
+            || !len_part.bytes().all(|b| b.is_ascii_digit())
+        {
+            return Err(err());
+        }
+        let prefix_len: u8 = len_part.parse().map_err(|_| err())?;
+        IpNetwork::new(addr, prefix_len).ok_or_else(err)
+    }
+}
+
+impl fmt::Display for IpNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.prefix_len)
+    }
+}
+
+/// Error parsing an [`IpAddress`] or [`IpNetwork`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IpParseError {
+    /// The rejected input.
+    pub input: String,
+}
+
+impl fmt::Display for IpParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid IP address or network {:?}", self.input)
+    }
+}
+
+impl std::error::Error for IpParseError {}
+
+impl Serialize for IpAddress {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for IpAddress {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(D::Error::custom)
+    }
+}
+
+impl Serialize for IpNetwork {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for IpNetwork {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(D::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v4(s: &str) -> IpAddress {
+        s.parse().unwrap()
+    }
+
+    fn net(s: &str) -> IpNetwork {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_v4_roundtrip() {
+        for s in ["0.0.0.0", "10.14.14.34", "255.255.255.255", "192.168.1.1"] {
+            assert_eq!(v4(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn reject_bad_v4() {
+        for s in [
+            "256.1.1.1",
+            "1.2.3",
+            "1.2.3.4.5",
+            "a.b.c.d",
+            "",
+            "1..2.3",
+            "01x.2.3.4",
+        ] {
+            assert!(s.parse::<IpAddress>().is_err(), "{s} should fail");
+        }
+    }
+
+    #[test]
+    fn parse_v6_roundtrip() {
+        let cases = [
+            ("::", "::"),
+            ("::1", "::1"),
+            ("fe80::1", "fe80::1"),
+            ("2001:db8:0:0:0:0:0:1", "2001:db8::1"),
+            ("1:2:3:4:5:6:7:8", "1:2:3:4:5:6:7:8"),
+        ];
+        for (input, canonical) in cases {
+            let addr: IpAddress = input.parse().unwrap();
+            assert!(!addr.is_v4());
+            assert_eq!(addr.to_string(), canonical);
+        }
+    }
+
+    #[test]
+    fn parse_v6_embedded_v4() {
+        let mapped: IpAddress = "::ffff:192.0.2.1".parse().unwrap();
+        assert!(!mapped.is_v4());
+        assert_eq!(mapped.bits() & 0xffff_ffff, 0xc000_0201);
+        let full: IpAddress = "64:ff9b::1.2.3.4".parse().unwrap();
+        assert_eq!(full.bits() & 0xffff_ffff, 0x0102_0304);
+        // The dotted tail must still be a valid quad in a valid position.
+        assert!("::ffff:999.0.2.1".parse::<IpAddress>().is_err());
+        assert!("1.2.3.4:ffff::".parse::<IpAddress>().is_err());
+    }
+
+    #[test]
+    fn reject_bad_v6() {
+        for s in [
+            "1:2:3",
+            ":::",
+            "1::2::3",
+            "12345::",
+            "g::1",
+            "1:2:3:4:5:6:7:8:9",
+        ] {
+            assert!(s.parse::<IpAddress>().is_err(), "{s} should fail");
+        }
+    }
+
+    #[test]
+    fn network_contains_address() {
+        assert!(net("10.0.0.0/8").contains(v4("10.14.14.34")));
+        assert!(!net("10.0.0.0/8").contains(v4("11.0.0.1")));
+        assert!(net("0.0.0.0/0").contains(v4("203.0.113.9")));
+        assert!(net("10.14.14.34/32").contains(v4("10.14.14.34")));
+        assert!(!net("10.14.14.34/32").contains(v4("10.14.14.35")));
+    }
+
+    #[test]
+    fn network_family_mismatch() {
+        assert!(!net("10.0.0.0/8").contains("::1".parse().unwrap()));
+        assert!(!net("::/0").contains(v4("1.2.3.4")));
+    }
+
+    #[test]
+    fn network_canonicalizes_host_bits() {
+        assert_eq!(net("10.14.14.34/24"), net("10.14.14.0/24"));
+        assert_eq!(net("10.14.14.34/24").to_string(), "10.14.14.0/24");
+    }
+
+    #[test]
+    fn network_contains_net() {
+        assert!(net("10.0.0.0/8").contains_net(&net("10.1.0.0/16")));
+        assert!(net("10.0.0.0/8").contains_net(&net("10.0.0.0/8")));
+        assert!(!net("10.1.0.0/16").contains_net(&net("10.0.0.0/8")));
+        assert!(!net("10.0.0.0/8").contains_net(&net("11.0.0.0/16")));
+    }
+
+    #[test]
+    fn reject_bad_network() {
+        for s in [
+            "10.0.0.0",
+            "10.0.0.0/33",
+            "::/129",
+            "10.0.0.0/x",
+            "10.0.0.0/",
+        ] {
+            assert!(s.parse::<IpNetwork>().is_err(), "{s} should fail");
+        }
+    }
+
+    #[test]
+    fn octets() {
+        let a = v4("10.14.15.34");
+        assert_eq!(a.octet(0), Some(10));
+        assert_eq!(a.octet(3), Some(34));
+        assert_eq!(a.octet(4), None);
+        assert_eq!("::1".parse::<IpAddress>().unwrap().octet(0), None);
+    }
+
+    #[test]
+    fn bits_alignment() {
+        assert_eq!(v4("128.0.0.0").bits() >> 127, 1);
+        assert_eq!(v4("0.0.0.1").bits(), 1u128 << 96);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let n = net("10.1.0.0/16");
+        let json = serde_json::to_string(&n).unwrap();
+        assert_eq!(serde_json::from_str::<IpNetwork>(&json).unwrap(), n);
+        let a = v4("10.1.2.3");
+        let json = serde_json::to_string(&a).unwrap();
+        assert_eq!(serde_json::from_str::<IpAddress>(&json).unwrap(), a);
+    }
+}

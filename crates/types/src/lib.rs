@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Typed configuration values for Concord.
+//!
+//! The Concord lexer (§3.2 of the paper) extracts data values from
+//! configuration lines into native Rust data types so that the learning
+//! engine can index and relate them efficiently (§3.5). This crate defines:
+//!
+//! - [`BigNum`]: arbitrary-precision unsigned integers for `[num]`/`[hex]`
+//!   tokens (route targets, VNIs, and serial numbers overflow `u64` in the
+//!   wild),
+//! - [`IpAddress`] and [`IpNetwork`]: IPv4/IPv6 addresses and prefixes with
+//!   containment tests,
+//! - [`MacAddress`]: 48-bit MAC addresses with segment access,
+//! - [`Value`]: the sum type carried in every extracted parameter,
+//! - [`Transform`]: the data transformations enumerated during relational
+//!   learning (`hex`, `str`, `segment`, `octet`, ...),
+//! - informativeness scoring ([`score`]) used to filter coincidental
+//!   relations.
+
+mod bignum;
+mod ip;
+mod mac;
+pub mod score;
+mod transform;
+mod value;
+
+pub use bignum::BigNum;
+pub use ip::{IpAddress, IpNetwork, IpParseError};
+pub use mac::{MacAddress, MacParseError};
+pub use transform::Transform;
+pub use value::{Value, ValueType};

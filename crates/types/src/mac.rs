@@ -1,0 +1,165 @@
+//! MAC addresses.
+//!
+//! Contract 1 of Figure 1 relates a port-channel number to the last segment
+//! of an EVPN route-target MAC address, so [`MacAddress`] exposes per-segment
+//! access in addition to parsing and display.
+
+use std::fmt;
+
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// A 48-bit MAC address (six colon-separated hex segments).
+///
+/// # Examples
+///
+/// ```
+/// use concord_types::MacAddress;
+///
+/// let mac: MacAddress = "00:00:0c:d3:00:6e".parse().unwrap();
+/// assert_eq!(mac.segment(6), Some("6e".to_string()));
+/// assert_eq!(mac.to_string(), "00:00:0c:d3:00:6e");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MacAddress {
+    octets: [u8; 6],
+}
+
+impl MacAddress {
+    /// Creates a MAC address from its six octets.
+    pub fn new(octets: [u8; 6]) -> Self {
+        MacAddress { octets }
+    }
+
+    /// Returns the raw octets.
+    pub fn octets(&self) -> [u8; 6] {
+        self.octets
+    }
+
+    /// Returns the `i`-th segment (1-based, as in the paper's
+    /// `segment(l2.b, 6)`) rendered as two lowercase hex digits.
+    ///
+    /// Returns `None` when `i` is 0 or greater than 6.
+    pub fn segment(&self, i: u8) -> Option<String> {
+        if i == 0 || i > 6 {
+            return None;
+        }
+        Some(format!("{:02x}", self.octets[usize::from(i - 1)]))
+    }
+}
+
+impl std::str::FromStr for MacAddress {
+    type Err = MacParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || MacParseError {
+            input: s.to_string(),
+        };
+        let mut octets = [0u8; 6];
+        let mut parts = s.split(':');
+        for octet in &mut octets {
+            let part = parts.next().ok_or_else(err)?;
+            if part.is_empty() || part.len() > 2 {
+                return Err(err());
+            }
+            *octet = u8::from_str_radix(part, 16).map_err(|_| err())?;
+        }
+        if parts.next().is_some() {
+            return Err(err());
+        }
+        Ok(MacAddress { octets })
+    }
+}
+
+impl fmt::Display for MacAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = &self.octets;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
+    }
+}
+
+/// Error parsing a [`MacAddress`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MacParseError {
+    /// The rejected input.
+    pub input: String,
+}
+
+impl fmt::Display for MacParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid MAC address {:?}", self.input)
+    }
+}
+
+impl std::error::Error for MacParseError {}
+
+impl Serialize for MacAddress {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for MacAddress {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(D::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let mac: MacAddress = "00:00:0c:d3:00:6e".parse().unwrap();
+        assert_eq!(mac.to_string(), "00:00:0c:d3:00:6e");
+        assert_eq!(mac.octets(), [0x00, 0x00, 0x0c, 0xd3, 0x00, 0x6e]);
+    }
+
+    #[test]
+    fn single_digit_segments() {
+        let mac: MacAddress = "0:1:2:a:b:c".parse().unwrap();
+        assert_eq!(mac.to_string(), "00:01:02:0a:0b:0c");
+    }
+
+    #[test]
+    fn uppercase_accepted() {
+        let mac: MacAddress = "AA:BB:CC:DD:EE:FF".parse().unwrap();
+        assert_eq!(mac.to_string(), "aa:bb:cc:dd:ee:ff");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for s in [
+            "",
+            "00:00:0c:d3:00",
+            "00:00:0c:d3:00:6e:ff",
+            "00:00:0c:d3:00:zz",
+            "000:00:0c:d3:00:6e",
+            "00-00-0c-d3-00-6e",
+        ] {
+            assert!(s.parse::<MacAddress>().is_err(), "{s} should fail");
+        }
+    }
+
+    #[test]
+    fn segments_one_based() {
+        let mac: MacAddress = "01:02:03:04:05:6e".parse().unwrap();
+        assert_eq!(mac.segment(1), Some("01".to_string()));
+        assert_eq!(mac.segment(6), Some("6e".to_string()));
+        assert_eq!(mac.segment(0), None);
+        assert_eq!(mac.segment(7), None);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mac: MacAddress = "00:00:0c:d3:00:6e".parse().unwrap();
+        let json = serde_json::to_string(&mac).unwrap();
+        assert_eq!(serde_json::from_str::<MacAddress>(&json).unwrap(), mac);
+    }
+}

@@ -1,0 +1,208 @@
+//! Instance-level informativeness scoring (§3.5).
+//!
+//! Not every relationship that holds across examples reflects operator
+//! intent: `0.0.0.0/0` trivially contains every address, and small numbers
+//! like `1` co-occur constantly. Each relation *instance* is therefore
+//! scored by how unlikely it is to arise coincidentally; the learner then
+//! aggregates scores over unique witness values (diversity-based
+//! aggregation) and keeps only contracts whose cumulative score clears a
+//! threshold.
+
+use crate::value::Value;
+
+/// Returns the informativeness score of a single value in `[0, 1]`.
+///
+/// Higher means "less likely to match by coincidence":
+///
+/// - the default route `0.0.0.0/0` (and `::/0`) scores 0, and prefix scores
+///   grow with prefix length,
+/// - numbers follow a step function of magnitude (0–10 are common, 3852 is
+///   not),
+/// - booleans are nearly uninformative,
+/// - MAC addresses and long strings are highly informative.
+///
+/// # Examples
+///
+/// ```
+/// use concord_types::{score, Value, ValueType};
+///
+/// let default_route = Value::parse_as(&ValueType::Pfx4, "0.0.0.0/0").unwrap();
+/// let host_route = Value::parse_as(&ValueType::Pfx4, "10.1.2.3/32").unwrap();
+/// assert_eq!(score::value_score(&default_route), 0.0);
+/// assert!(score::value_score(&host_route) > 0.9);
+/// ```
+pub fn value_score(value: &Value) -> f64 {
+    match value {
+        Value::Num(n) => {
+            // Step function of distance from zero (§3.5): common small
+            // values are poor evidence; values like 3852 are strong.
+            match n.to_u64() {
+                Some(0) | Some(1) => 0.05,
+                Some(v) if v <= 10 => 0.15,
+                Some(v) if v <= 100 => 0.45,
+                Some(v) if v <= 1000 => 0.7,
+                _ => 1.0,
+            }
+        }
+        Value::Bool(_) => 0.02,
+        Value::Ip(a) => {
+            // All-zeros addresses are placeholders.
+            if a.bits() == 0 {
+                0.0
+            } else {
+                0.85
+            }
+        }
+        Value::Net(n) => {
+            // `0.0.0.0/0` contains everything; specificity grows with
+            // prefix length.
+            if n.prefix_len() == 0 {
+                0.0
+            } else {
+                let family = match n.addr() {
+                    crate::ip::IpAddress::V4(_) => 32.0,
+                    crate::ip::IpAddress::V6(_) => 128.0,
+                };
+                f64::from(n.prefix_len()) / family
+            }
+        }
+        Value::Mac(_) => 1.0,
+        Value::Str(s) => {
+            if s.is_empty() {
+                0.0
+            } else {
+                // Longer, more varied strings are less coincidental.
+                let len_part = (s.len() as f64 / 8.0).min(1.0);
+                let distinct = s.chars().collect::<std::collections::HashSet<_>>().len() as f64;
+                let variety_part = (distinct / 6.0).min(1.0);
+                0.9 * len_part.max(0.2) * variety_part.max(0.3)
+            }
+        }
+    }
+}
+
+/// Returns the combined informativeness of one relation instance between
+/// two values.
+///
+/// The instance is only as strong as its weaker side: a relation between a
+/// rare port and `0.0.0.0/0` is still worthless evidence.
+pub fn instance_score(left: &Value, right: &Value) -> f64 {
+    value_score(left).min(value_score(right))
+}
+
+/// Aggregates instance scores over unique witness values
+/// (diversity-based aggregation, §3.5).
+///
+/// A rule witnessed by values `{5, 6, 9, 11}` is more credible than one
+/// witnessed four times by `5`; callers must deduplicate witnesses before
+/// summing, which this helper does by rendered form.
+pub fn aggregate_scores<'a, I>(witnesses: I) -> f64
+where
+    I: IntoIterator<Item = (&'a Value, f64)>,
+{
+    let mut seen = std::collections::HashSet::new();
+    let mut total = 0.0;
+    for (value, score) in witnesses {
+        if seen.insert(value.render()) {
+            total += score;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bignum::BigNum;
+    use crate::value::ValueType;
+
+    fn val(ty: ValueType, s: &str) -> Value {
+        Value::parse_as(&ty, s).unwrap()
+    }
+
+    fn num(v: u64) -> Value {
+        Value::Num(BigNum::from(v))
+    }
+
+    #[test]
+    fn default_route_scores_zero() {
+        assert_eq!(value_score(&val(ValueType::Pfx4, "0.0.0.0/0")), 0.0);
+        assert_eq!(value_score(&val(ValueType::Pfx6, "::/0")), 0.0);
+    }
+
+    #[test]
+    fn prefix_score_grows_with_length() {
+        let p8 = value_score(&val(ValueType::Pfx4, "10.0.0.0/8"));
+        let p24 = value_score(&val(ValueType::Pfx4, "10.1.2.0/24"));
+        let p32 = value_score(&val(ValueType::Pfx4, "10.1.2.3/32"));
+        assert!(p8 < p24);
+        assert!(p24 < p32);
+        assert_eq!(p32, 1.0);
+    }
+
+    #[test]
+    fn number_step_function() {
+        assert!(value_score(&num(1)) < value_score(&num(7)));
+        assert!(value_score(&num(7)) < value_score(&num(64)));
+        assert!(value_score(&num(64)) < value_score(&num(251)));
+        assert!(value_score(&num(251)) < value_score(&num(3852)));
+        assert_eq!(value_score(&num(3852)), 1.0);
+        // Huge values saturate.
+        assert_eq!(
+            value_score(&Value::Num(
+                BigNum::from_decimal("999999999999999999999").unwrap()
+            )),
+            1.0
+        );
+    }
+
+    #[test]
+    fn bool_nearly_uninformative() {
+        assert!(value_score(&Value::Bool(true)) < 0.1);
+    }
+
+    #[test]
+    fn mac_highly_informative() {
+        assert_eq!(value_score(&val(ValueType::Mac, "00:00:0c:d3:00:6e")), 1.0);
+    }
+
+    #[test]
+    fn zero_ip_uninformative() {
+        assert_eq!(value_score(&val(ValueType::Ip4, "0.0.0.0")), 0.0);
+        assert!(value_score(&val(ValueType::Ip4, "10.14.14.34")) > 0.5);
+    }
+
+    #[test]
+    fn string_scores() {
+        assert_eq!(value_score(&Value::Str(String::new())), 0.0);
+        let short = value_score(&Value::Str("a".to_string()));
+        let long = value_score(&Value::Str("mgmt-vrf-uplink".to_string()));
+        assert!(short < long);
+    }
+
+    #[test]
+    fn instance_score_is_min() {
+        let weak = val(ValueType::Pfx4, "0.0.0.0/0");
+        let strong = val(ValueType::Ip4, "10.14.14.117");
+        assert_eq!(instance_score(&weak, &strong), 0.0);
+        assert_eq!(instance_score(&strong, &strong), value_score(&strong));
+    }
+
+    #[test]
+    fn aggregation_deduplicates() {
+        let a = num(3852);
+        let b = num(3852);
+        let c = num(4000);
+        let total = aggregate_scores(vec![(&a, 1.0), (&b, 1.0), (&c, 1.0)]);
+        assert_eq!(total, 2.0);
+    }
+
+    #[test]
+    fn diverse_witnesses_beat_repetition() {
+        // {5, 6, 9, 11} vs {5, 5, 5, 5} per the paper's example.
+        let diverse: Vec<Value> = [5u64, 6, 9, 11].iter().map(|&v| num(v)).collect();
+        let repeated: Vec<Value> = [5u64, 5, 5, 5].iter().map(|&v| num(v)).collect();
+        let score_of = |vs: &[Value]| aggregate_scores(vs.iter().map(|v| (v, value_score(v))));
+        assert!(score_of(&diverse) > score_of(&repeated));
+    }
+}

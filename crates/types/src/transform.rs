@@ -1,0 +1,289 @@
+//! Data transformations enumerated during relational learning (§3.5).
+//!
+//! A relational contract may relate *transformed* values: Figure 1's
+//! contract 1 is `equals(hex(l1.a), segment(l2.b, 6))`. Before indexing,
+//! the learner applies every applicable transformation to every parameter
+//! value, so that transformed relations are found by the same lookup
+//! machinery as identity relations.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// A transformation from one value to another.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Transform {
+    /// The identity function.
+    Id,
+    /// Renders a number as lowercase hexadecimal, e.g. `hex(110)` = `"6e"`.
+    Hex,
+    /// Renders any value as its string form, e.g. `str(10251)` = `"10251"`.
+    Str,
+    /// Extracts the `i`-th (1-based) segment of a MAC address as two hex
+    /// digits, e.g. `segment(00:00:0c:d3:00:6e, 6)` = `"6e"`.
+    Segment(u8),
+    /// Extracts the `i`-th (0-based) octet of an IPv4 address as a number,
+    /// e.g. `octet(10.14.14.117, 3)` = `117`.
+    Octet(u8),
+    /// Extracts the address part of a prefix, e.g.
+    /// `addr(10.0.0.0/8)` = `10.0.0.0`.
+    PrefixAddr,
+    /// Extracts the length of a prefix as a number, e.g.
+    /// `len(10.0.0.0/8)` = `8`.
+    PrefixLen,
+    /// Lowercases a string.
+    Lower,
+}
+
+impl Transform {
+    /// Applies the transformation, returning `None` when the input value is
+    /// outside the transformation's domain.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use concord_types::{BigNum, Transform, Value};
+    ///
+    /// let hex = Transform::Hex.apply(&Value::Num(BigNum::from(110u64)));
+    /// assert_eq!(hex, Some(Value::Str("6e".to_string())));
+    /// ```
+    pub fn apply(&self, value: &Value) -> Option<Value> {
+        match self {
+            Transform::Id => Some(value.clone()),
+            Transform::Hex => value.as_num().map(|n| Value::Str(n.to_hex())),
+            Transform::Str => match value {
+                // `str` on a string is the identity and would only duplicate
+                // the `Id` node in the relation graph.
+                Value::Str(_) => None,
+                other => Some(Value::Str(other.render())),
+            },
+            Transform::Segment(i) => value.as_mac().and_then(|m| m.segment(*i)).map(Value::Str),
+            Transform::Octet(i) => value
+                .as_ip()
+                .and_then(|a| a.octet(*i))
+                .map(|o| Value::Num(u64::from(o).into())),
+            Transform::PrefixAddr => value.as_net().map(|n| Value::Ip(n.addr())),
+            Transform::PrefixLen => value
+                .as_net()
+                .map(|n| Value::Num(u64::from(n.prefix_len()).into())),
+            Transform::Lower => value.as_str().map(|s| Value::Str(s.to_lowercase())),
+        }
+    }
+
+    /// Returns the transformations worth trying for a value, including
+    /// [`Transform::Id`] first.
+    ///
+    /// This is the enumeration step of §3.5: "Concord has a set of data
+    /// transformations for each parameter type and enumerates all such
+    /// transformations prior to search". The set is deliberately small.
+    pub fn enumerate_for(value: &Value) -> Vec<Transform> {
+        let mut out = vec![Transform::Id];
+        match value {
+            Value::Num(_) => {
+                out.push(Transform::Hex);
+                out.push(Transform::Str);
+            }
+            Value::Ip(a) => {
+                out.push(Transform::Str);
+                if a.is_v4() {
+                    // The last octet commonly encodes device or unit ids.
+                    out.push(Transform::Octet(3));
+                }
+            }
+            Value::Net(_) => {
+                out.push(Transform::PrefixAddr);
+                out.push(Transform::PrefixLen);
+                out.push(Transform::Str);
+            }
+            Value::Mac(_) => {
+                out.push(Transform::Segment(6));
+                out.push(Transform::Segment(5));
+                out.push(Transform::Str);
+            }
+            Value::Str(s) => {
+                if s.chars().any(|c| c.is_ascii_uppercase()) {
+                    out.push(Transform::Lower);
+                }
+            }
+            Value::Bool(_) => {}
+        }
+        out
+    }
+
+    /// Returns the informativeness discount of this transformation in
+    /// `(0, 1]`.
+    ///
+    /// Lossy extractions (a single MAC segment, one IP octet, a prefix
+    /// length) produce values with far fewer possible outcomes than their
+    /// source, so a relation over them is weaker evidence of intent than a
+    /// relation over the full value. Information-preserving renderings
+    /// (`id`, `str`, `hex`, `addr`, `lower`) carry full weight.
+    pub fn score_discount(&self) -> f64 {
+        match self {
+            Transform::Id
+            | Transform::Hex
+            | Transform::Str
+            | Transform::PrefixAddr
+            | Transform::Lower => 1.0,
+            Transform::Segment(_) => 0.8,
+            Transform::Octet(_) => 0.5,
+            Transform::PrefixLen => 0.4,
+        }
+    }
+
+    /// Renders an application of this transform to the named variable, e.g.
+    /// `hex(l1.a)`.
+    pub fn render_call(&self, var: &str) -> String {
+        match self {
+            Transform::Id => var.to_string(),
+            Transform::Hex => format!("hex({var})"),
+            Transform::Str => format!("str({var})"),
+            Transform::Segment(i) => format!("segment({var}, {i})"),
+            Transform::Octet(i) => format!("octet({var}, {i})"),
+            Transform::PrefixAddr => format!("addr({var})"),
+            Transform::PrefixLen => format!("len({var})"),
+            Transform::Lower => format!("lower({var})"),
+        }
+    }
+}
+
+impl fmt::Display for Transform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Transform::Id => f.write_str("id"),
+            Transform::Hex => f.write_str("hex"),
+            Transform::Str => f.write_str("str"),
+            Transform::Segment(i) => write!(f, "segment(_, {i})"),
+            Transform::Octet(i) => write!(f, "octet(_, {i})"),
+            Transform::PrefixAddr => f.write_str("addr"),
+            Transform::PrefixLen => f.write_str("len"),
+            Transform::Lower => f.write_str("lower"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bignum::BigNum;
+    use crate::value::ValueType;
+
+    fn val(ty: ValueType, s: &str) -> Value {
+        Value::parse_as(&ty, s).unwrap()
+    }
+
+    #[test]
+    fn identity() {
+        let v = Value::Num(BigNum::from(7u64));
+        assert_eq!(Transform::Id.apply(&v), Some(v));
+    }
+
+    #[test]
+    fn hex_of_port_channel_matches_mac_segment() {
+        // The Figure 1 contract 1 example: 110 decimal == 6e hex.
+        let n = Value::Num(BigNum::from(110u64));
+        let mac = val(ValueType::Mac, "00:00:0c:d3:00:6e");
+        assert_eq!(Transform::Hex.apply(&n), Transform::Segment(6).apply(&mac));
+    }
+
+    #[test]
+    fn str_of_rd_suffix_matches_vlan() {
+        // Figure 1 contract 3: str(10251) ends with str(251).
+        let rd = Transform::Str
+            .apply(&Value::Num(BigNum::from(10251u64)))
+            .unwrap();
+        let vlan = Transform::Str
+            .apply(&Value::Num(BigNum::from(251u64)))
+            .unwrap();
+        assert!(rd.render().ends_with(&vlan.render()));
+    }
+
+    #[test]
+    fn str_on_string_is_out_of_domain() {
+        assert_eq!(Transform::Str.apply(&Value::Str("x".to_string())), None);
+    }
+
+    #[test]
+    fn octet_extraction() {
+        let ip = val(ValueType::Ip4, "10.14.14.117");
+        assert_eq!(
+            Transform::Octet(3).apply(&ip),
+            Some(Value::Num(BigNum::from(117u64)))
+        );
+        assert_eq!(Transform::Octet(3).apply(&val(ValueType::Ip6, "::1")), None);
+    }
+
+    #[test]
+    fn prefix_parts() {
+        let net = val(ValueType::Pfx4, "10.0.0.0/8");
+        assert_eq!(
+            Transform::PrefixAddr.apply(&net).unwrap().render(),
+            "10.0.0.0"
+        );
+        assert_eq!(
+            Transform::PrefixLen.apply(&net),
+            Some(Value::Num(BigNum::from(8u64)))
+        );
+    }
+
+    #[test]
+    fn lower() {
+        assert_eq!(
+            Transform::Lower.apply(&Value::Str("LoopBack0".to_string())),
+            Some(Value::Str("loopback0".to_string()))
+        );
+        assert_eq!(Transform::Lower.apply(&Value::Bool(true)), None);
+    }
+
+    #[test]
+    fn out_of_domain_returns_none() {
+        assert_eq!(Transform::Hex.apply(&Value::Bool(true)), None);
+        assert_eq!(
+            Transform::Segment(6).apply(&Value::Num(BigNum::from(1u64))),
+            None
+        );
+        assert_eq!(
+            Transform::PrefixLen.apply(&Value::Num(BigNum::from(1u64))),
+            None
+        );
+    }
+
+    #[test]
+    fn enumerate_starts_with_id() {
+        for v in [
+            Value::Num(BigNum::from(5u64)),
+            val(ValueType::Ip4, "1.2.3.4"),
+            val(ValueType::Mac, "0:0:0:0:0:1"),
+            Value::Bool(true),
+            Value::Str("abc".to_string()),
+        ] {
+            let ts = Transform::enumerate_for(&v);
+            assert_eq!(ts[0], Transform::Id);
+            // Every enumerated transform must apply to the value.
+            for t in &ts {
+                assert!(t.apply(&v).is_some(), "{t} failed on {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn render_call_forms() {
+        assert_eq!(Transform::Id.render_call("l1.a"), "l1.a");
+        assert_eq!(Transform::Hex.render_call("l1.a"), "hex(l1.a)");
+        assert_eq!(
+            Transform::Segment(6).render_call("l2.b"),
+            "segment(l2.b, 6)"
+        );
+        assert_eq!(Transform::Octet(3).render_call("l3.b"), "octet(l3.b, 3)");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let ts = vec![Transform::Id, Transform::Segment(6), Transform::Octet(3)];
+        let json = serde_json::to_string(&ts).unwrap();
+        let back: Vec<Transform> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ts);
+    }
+}

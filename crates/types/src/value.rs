@@ -1,0 +1,329 @@
+//! The [`Value`] sum type carried by every extracted parameter, and the
+//! [`ValueType`] vocabulary of lexer token types (Table 1 of the paper).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bignum::BigNum;
+use crate::ip::{IpAddress, IpNetwork};
+use crate::mac::MacAddress;
+
+/// The type of a lexer token / extracted parameter.
+///
+/// The built-in types mirror Table 1 of the paper; [`ValueType::Custom`]
+/// covers user-supplied token definitions such as `[iface]` or `[path]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ValueType {
+    /// A decimal number, e.g. `65015`.
+    Num,
+    /// A hexadecimal number, e.g. `0x1f`.
+    Hex,
+    /// A boolean, `true` or `false`.
+    Bool,
+    /// An IPv4 address, e.g. `10.14.14.34`.
+    Ip4,
+    /// An IPv6 address, e.g. `fe80::1`.
+    Ip6,
+    /// An IPv4 prefix, e.g. `10.14.14.0/24`.
+    Pfx4,
+    /// An IPv6 prefix, e.g. `2001:db8::/32`.
+    Pfx6,
+    /// A MAC address, e.g. `00:00:0c:d3:00:6e`.
+    Mac,
+    /// A user-defined token type, identified by its name.
+    Custom(String),
+}
+
+impl ValueType {
+    /// Returns the name used inside pattern holes, e.g. `"ip4"` for
+    /// `[a:ip4]`.
+    pub fn name(&self) -> &str {
+        match self {
+            ValueType::Num => "num",
+            ValueType::Hex => "hex",
+            ValueType::Bool => "bool",
+            ValueType::Ip4 => "ip4",
+            ValueType::Ip6 => "ip6",
+            ValueType::Pfx4 => "pfx4",
+            ValueType::Pfx6 => "pfx6",
+            ValueType::Mac => "mac",
+            ValueType::Custom(name) => name,
+        }
+    }
+
+    /// Looks a type up by its pattern-hole name.
+    ///
+    /// Unknown names map to [`ValueType::Custom`].
+    pub fn from_name(name: &str) -> ValueType {
+        match name {
+            "num" => ValueType::Num,
+            "hex" => ValueType::Hex,
+            "bool" => ValueType::Bool,
+            "ip4" => ValueType::Ip4,
+            "ip6" => ValueType::Ip6,
+            "pfx4" => ValueType::Pfx4,
+            "pfx6" => ValueType::Pfx6,
+            "mac" => ValueType::Mac,
+            other => ValueType::Custom(other.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A typed data value extracted from a configuration line.
+///
+/// Values are hashable and ordered so the relation indexes (§3.5) can use
+/// them directly as keys.
+///
+/// # Examples
+///
+/// ```
+/// use concord_types::Value;
+///
+/// let v = Value::parse_as(&concord_types::ValueType::Ip4, "10.0.0.1").unwrap();
+/// assert_eq!(v.render(), "10.0.0.1");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Value {
+    /// A number (from `[num]` or `[hex]` tokens).
+    Num(BigNum),
+    /// A boolean.
+    Bool(bool),
+    /// An IP address (v4 or v6).
+    Ip(IpAddress),
+    /// An IP network / prefix (v4 or v6).
+    Net(IpNetwork),
+    /// A MAC address.
+    Mac(MacAddress),
+    /// An uninterpreted string (custom tokens and derived values).
+    Str(String),
+}
+
+impl Value {
+    /// Parses `text` according to the token type `ty`.
+    ///
+    /// Returns `None` when the text does not inhabit the type; the lexer
+    /// uses this as the final validation step after the regex match (e.g.
+    /// `999.1.1.1` matches the `[ip4]` regex but fails semantic parsing).
+    pub fn parse_as(ty: &ValueType, text: &str) -> Option<Value> {
+        match ty {
+            ValueType::Num => BigNum::from_decimal(text).map(Value::Num),
+            ValueType::Hex => {
+                let digits = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X"));
+                match digits {
+                    Some(d) => BigNum::from_hex(d).map(Value::Num),
+                    // A bare `0`-prefixed number per Table 1.
+                    None => BigNum::from_decimal(text).map(Value::Num),
+                }
+            }
+            ValueType::Bool => match text {
+                "true" => Some(Value::Bool(true)),
+                "false" => Some(Value::Bool(false)),
+                _ => None,
+            },
+            ValueType::Ip4 => text
+                .parse::<IpAddress>()
+                .ok()
+                .filter(IpAddress::is_v4)
+                .map(Value::Ip),
+            ValueType::Ip6 => text
+                .parse::<IpAddress>()
+                .ok()
+                .filter(|a| !a.is_v4())
+                .map(Value::Ip),
+            ValueType::Pfx4 => text
+                .parse::<IpNetwork>()
+                .ok()
+                .filter(IpNetwork::is_v4)
+                .map(Value::Net),
+            ValueType::Pfx6 => text
+                .parse::<IpNetwork>()
+                .ok()
+                .filter(|n| !n.is_v4())
+                .map(Value::Net),
+            ValueType::Mac => text.parse::<MacAddress>().ok().map(Value::Mac),
+            ValueType::Custom(_) => Some(Value::Str(text.to_string())),
+        }
+    }
+
+    /// Renders the value as text (the form used by affix relations).
+    pub fn render(&self) -> String {
+        match self {
+            Value::Num(n) => n.to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Ip(a) => a.to_string(),
+            Value::Net(n) => n.to_string(),
+            Value::Mac(m) => m.to_string(),
+            Value::Str(s) => s.clone(),
+        }
+    }
+
+    /// Returns the contained number, if the value is numeric.
+    pub fn as_num(&self) -> Option<&BigNum> {
+        match self {
+            Value::Num(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained IP address, if any.
+    pub fn as_ip(&self) -> Option<IpAddress> {
+        match self {
+            Value::Ip(a) => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained network, if any.
+    pub fn as_net(&self) -> Option<IpNetwork> {
+        match self {
+            Value::Net(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained MAC address, if any.
+    pub fn as_mac(&self) -> Option<MacAddress> {
+        match self {
+            Value::Mac(m) => Some(*m),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained string, if the value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_names_roundtrip() {
+        for ty in [
+            ValueType::Num,
+            ValueType::Hex,
+            ValueType::Bool,
+            ValueType::Ip4,
+            ValueType::Ip6,
+            ValueType::Pfx4,
+            ValueType::Pfx6,
+            ValueType::Mac,
+            ValueType::Custom("iface".to_string()),
+        ] {
+            assert_eq!(ValueType::from_name(ty.name()), ty);
+        }
+    }
+
+    #[test]
+    fn parse_num() {
+        assert_eq!(
+            Value::parse_as(&ValueType::Num, "65015"),
+            Some(Value::Num(BigNum::from(65015u64)))
+        );
+        assert_eq!(Value::parse_as(&ValueType::Num, "65a"), None);
+    }
+
+    #[test]
+    fn parse_hex() {
+        assert_eq!(
+            Value::parse_as(&ValueType::Hex, "0x1f"),
+            Some(Value::Num(BigNum::from(31u64)))
+        );
+        assert_eq!(
+            Value::parse_as(&ValueType::Hex, "017"),
+            Some(Value::Num(BigNum::from(17u64)))
+        );
+    }
+
+    #[test]
+    fn parse_bool() {
+        assert_eq!(
+            Value::parse_as(&ValueType::Bool, "true"),
+            Some(Value::Bool(true))
+        );
+        assert_eq!(Value::parse_as(&ValueType::Bool, "False"), None);
+    }
+
+    #[test]
+    fn parse_ip_families_strict() {
+        assert!(Value::parse_as(&ValueType::Ip4, "10.0.0.1").is_some());
+        assert!(Value::parse_as(&ValueType::Ip4, "fe80::1").is_none());
+        assert!(Value::parse_as(&ValueType::Ip6, "fe80::1").is_some());
+        assert!(Value::parse_as(&ValueType::Ip6, "10.0.0.1").is_none());
+        // Regex-plausible but semantically invalid.
+        assert!(Value::parse_as(&ValueType::Ip4, "999.1.1.1").is_none());
+    }
+
+    #[test]
+    fn parse_prefixes() {
+        assert!(Value::parse_as(&ValueType::Pfx4, "10.0.0.0/8").is_some());
+        assert!(Value::parse_as(&ValueType::Pfx4, "10.0.0.0/33").is_none());
+        assert!(Value::parse_as(&ValueType::Pfx6, "2001:db8::/32").is_some());
+    }
+
+    #[test]
+    fn parse_custom_is_string() {
+        let ty = ValueType::Custom("iface".to_string());
+        assert_eq!(
+            Value::parse_as(&ty, "Et1"),
+            Some(Value::Str("Et1".to_string()))
+        );
+    }
+
+    #[test]
+    fn render_forms() {
+        assert_eq!(
+            Value::parse_as(&ValueType::Mac, "0:1:2:3:4:5")
+                .unwrap()
+                .render(),
+            "00:01:02:03:04:05"
+        );
+        assert_eq!(
+            Value::parse_as(&ValueType::Num, "42").unwrap().render(),
+            "42"
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Value::parse_as(&ValueType::Pfx4, "10.0.0.0/8").unwrap();
+        assert!(v.as_net().is_some());
+        assert!(v.as_ip().is_none());
+        assert!(v.as_num().is_none());
+        let v = Value::Str("x".to_string());
+        assert_eq!(v.as_str(), Some("x"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let values = vec![
+            Value::Num(BigNum::from(10251u64)),
+            Value::Bool(false),
+            Value::parse_as(&ValueType::Ip4, "10.0.0.1").unwrap(),
+            Value::parse_as(&ValueType::Pfx6, "2001:db8::/32").unwrap(),
+            Value::parse_as(&ValueType::Mac, "00:00:0c:d3:00:6e").unwrap(),
+            Value::Str("loopback".to_string()),
+        ];
+        let json = serde_json::to_string(&values).unwrap();
+        let back: Vec<Value> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, values);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for Concord's value types.
+
+use concord_types::{BigNum, IpAddress, IpNetwork, MacAddress, Transform, Value, ValueType};
+use proptest::prelude::*;
+
+proptest! {
+    /// Decimal parse/display is a bijection on canonical strings.
+    #[test]
+    fn bignum_decimal_roundtrip(v in any::<u128>()) {
+        let s = v.to_string();
+        let n = BigNum::from_decimal(&s).unwrap();
+        prop_assert_eq!(n.to_string(), s);
+    }
+
+    /// Hex rendering agrees with the standard library for `u64`.
+    #[test]
+    fn bignum_hex_agrees_with_std(v in any::<u64>()) {
+        prop_assert_eq!(BigNum::from(v).to_hex(), format!("{v:x}"));
+    }
+
+    /// `add` then `sub` is the identity.
+    #[test]
+    fn bignum_add_sub_inverse(a in any::<u64>(), b in any::<u64>()) {
+        let (a, b) = (BigNum::from(a), BigNum::from(b));
+        prop_assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    /// `abs_diff` is symmetric and zero iff equal.
+    #[test]
+    fn bignum_abs_diff_symmetric(a in any::<u64>(), b in any::<u64>()) {
+        let (x, y) = (BigNum::from(a), BigNum::from(b));
+        prop_assert_eq!(x.abs_diff(&y), y.abs_diff(&x));
+        prop_assert_eq!(x.abs_diff(&y).is_zero(), a == b);
+    }
+
+    /// Ordering on BigNum agrees with ordering on u128.
+    #[test]
+    fn bignum_order_agrees(a in any::<u64>(), b in any::<u64>()) {
+        let (x, y) = (BigNum::from(a), BigNum::from(b));
+        prop_assert_eq!(x.cmp(&y), a.cmp(&b));
+    }
+
+    /// IPv4 parse/display roundtrip.
+    #[test]
+    fn ipv4_roundtrip(bits in any::<u32>()) {
+        let addr = IpAddress::V4(bits);
+        let back: IpAddress = addr.to_string().parse().unwrap();
+        prop_assert_eq!(back, addr);
+    }
+
+    /// IPv6 parse/display roundtrip (display is canonical, reparse equal).
+    #[test]
+    fn ipv6_roundtrip(bits in any::<u128>()) {
+        let addr = IpAddress::V6(bits);
+        let back: IpAddress = addr.to_string().parse().unwrap();
+        prop_assert_eq!(back, addr);
+    }
+
+    /// A network always contains its own (canonicalized) address, and a
+    /// /32 contains exactly one address.
+    #[test]
+    fn network_contains_self(bits in any::<u32>(), len in 0u8..=32) {
+        let net = IpNetwork::new(IpAddress::V4(bits), len).unwrap();
+        prop_assert!(net.contains(net.addr()));
+        prop_assert!(net.contains(IpAddress::V4(bits)));
+    }
+
+    /// Containment is transitive through subnet relations.
+    #[test]
+    fn network_subnet_transitive(bits in any::<u32>(), l1 in 0u8..=30, extra in 1u8..=2) {
+        let outer = IpNetwork::new(IpAddress::V4(bits), l1).unwrap();
+        let inner = IpNetwork::new(IpAddress::V4(bits), l1 + extra).unwrap();
+        prop_assert!(outer.contains_net(&inner));
+    }
+
+    /// MAC parse/display roundtrip.
+    #[test]
+    fn mac_roundtrip(octets in any::<[u8; 6]>()) {
+        let mac = MacAddress::new(octets);
+        let back: MacAddress = mac.to_string().parse().unwrap();
+        prop_assert_eq!(back, mac);
+    }
+
+    /// `segment(i)` equals the hex rendering of the corresponding octet.
+    #[test]
+    fn mac_segments_match_octets(octets in any::<[u8; 6]>(), i in 1u8..=6) {
+        let mac = MacAddress::new(octets);
+        prop_assert_eq!(
+            mac.segment(i).unwrap(),
+            format!("{:02x}", octets[usize::from(i - 1)])
+        );
+    }
+
+    /// Every enumerated transformation applies to the value it was
+    /// enumerated for.
+    #[test]
+    fn enumerated_transforms_apply(v in any::<u64>(), bits in any::<u32>(), len in 0u8..=32) {
+        let values = vec![
+            Value::Num(BigNum::from(v)),
+            Value::Ip(IpAddress::V4(bits)),
+            Value::Net(IpNetwork::new(IpAddress::V4(bits), len).unwrap()),
+        ];
+        for value in &values {
+            for t in Transform::enumerate_for(value) {
+                prop_assert!(t.apply(value).is_some());
+            }
+        }
+    }
+
+    /// The hex transform of a number reparses as the same number via
+    /// hexadecimal.
+    #[test]
+    fn hex_transform_roundtrip(v in any::<u64>()) {
+        let value = Value::Num(BigNum::from(v));
+        let hex = Transform::Hex.apply(&value).unwrap();
+        let back = BigNum::from_hex(hex.as_str().unwrap()).unwrap();
+        prop_assert_eq!(back, BigNum::from(v));
+    }
+
+    /// Value serde JSON roundtrip for all constructors.
+    #[test]
+    fn value_serde_roundtrip(v in any::<u64>(), bits in any::<u32>(), octets in any::<[u8; 6]>(), s in "[a-zA-Z0-9_-]{0,16}") {
+        let values = vec![
+            Value::Num(BigNum::from(v)),
+            Value::Bool(v % 2 == 0),
+            Value::Ip(IpAddress::V4(bits)),
+            Value::Mac(MacAddress::new(octets)),
+            Value::Str(s),
+        ];
+        let json = serde_json::to_string(&values).unwrap();
+        let back: Vec<Value> = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, values);
+    }
+
+    /// Scores stay within `[0, 1]` for arbitrary values.
+    #[test]
+    fn scores_in_unit_interval(v in any::<u64>(), bits in any::<u32>(), len in 0u8..=32, s in "\\PC{0,24}") {
+        let values = vec![
+            Value::Num(BigNum::from(v)),
+            Value::Bool(true),
+            Value::Ip(IpAddress::V4(bits)),
+            Value::Net(IpNetwork::new(IpAddress::V4(bits), len).unwrap()),
+            Value::Str(s),
+        ];
+        for value in &values {
+            let score = concord_types::score::value_score(value);
+            prop_assert!((0.0..=1.0).contains(&score), "{value:?} scored {score}");
+        }
+    }
+
+    /// `parse_as` accepts exactly what each family's renderer produces.
+    #[test]
+    fn parse_as_accepts_rendered(bits in any::<u32>()) {
+        let addr = IpAddress::V4(bits);
+        let v = Value::parse_as(&ValueType::Ip4, &addr.to_string()).unwrap();
+        prop_assert_eq!(v.as_ip(), Some(addr));
+    }
+}

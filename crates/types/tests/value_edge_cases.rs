@@ -1,0 +1,132 @@
+//! Edge-case tests for value parsing, transformation, and scoring beyond
+//! the unit suites.
+
+use concord_types::{score, BigNum, IpAddress, IpNetwork, Transform, Value, ValueType};
+
+#[test]
+fn bignum_handles_huge_route_targets() {
+    // 128-bit style serials overflow u64 but must parse, order, and
+    // render exactly.
+    let a = BigNum::from_decimal("340282366920938463463374607431768211455").unwrap();
+    let b = BigNum::from_decimal("340282366920938463463374607431768211456").unwrap();
+    assert!(a < b);
+    assert_eq!(b.sub(&a), BigNum::from(1u64));
+    assert_eq!(a.to_string(), "340282366920938463463374607431768211455");
+    assert_eq!(a.to_u64(), None);
+}
+
+#[test]
+fn bignum_hex_of_huge_values() {
+    let v = BigNum::from_decimal("340282366920938463463374607431768211455").unwrap();
+    assert_eq!(v.to_hex(), "f".repeat(32));
+    assert_eq!(BigNum::from_hex(&"f".repeat(32)).unwrap(), v);
+}
+
+#[test]
+fn network_edge_lengths() {
+    let whole_v4: IpNetwork = "0.0.0.0/0".parse().unwrap();
+    let host: IpNetwork = "255.255.255.255/32".parse().unwrap();
+    assert!(whole_v4.contains_net(&host));
+    assert!(!host.contains_net(&whole_v4));
+    let whole_v6: IpNetwork = "::/0".parse().unwrap();
+    let v6_host: IpNetwork = "ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff/128"
+        .parse()
+        .unwrap();
+    assert!(whole_v6.contains_net(&v6_host));
+}
+
+#[test]
+fn ip_ordering_is_total_and_family_stable() {
+    let mut addrs: Vec<IpAddress> = vec![
+        "10.0.0.2".parse().unwrap(),
+        "::1".parse().unwrap(),
+        "10.0.0.1".parse().unwrap(),
+        "fe80::1".parse().unwrap(),
+    ];
+    addrs.sort();
+    // V4 sorts before V6 (enum variant order), and within a family by
+    // numeric value.
+    assert_eq!(addrs[0].to_string(), "10.0.0.1");
+    assert_eq!(addrs[1].to_string(), "10.0.0.2");
+    assert!(!addrs[2].is_v4() && !addrs[3].is_v4());
+}
+
+#[test]
+fn transform_chains_match_paper_examples() {
+    // octet(10.14.14.117, 3) = 117 (Figure 5's p3 node).
+    let ip = Value::parse_as(&ValueType::Ip4, "10.14.14.117").unwrap();
+    assert_eq!(
+        Transform::Octet(3).apply(&ip),
+        Some(Value::Num(BigNum::from(117u64)))
+    );
+    // addr(10.14.14.0/24) then octet: transforms are single-step by
+    // design; composing requires two nodes in the relation graph.
+    let net = Value::parse_as(&ValueType::Pfx4, "10.14.14.0/24").unwrap();
+    let addr = Transform::PrefixAddr.apply(&net).unwrap();
+    assert_eq!(
+        Transform::Octet(2).apply(&addr),
+        Some(Value::Num(BigNum::from(14u64)))
+    );
+}
+
+#[test]
+fn score_monotone_in_prefix_specificity_v6() {
+    let lens = [0u8, 16, 48, 64, 128];
+    let mut last = -1.0f64;
+    for len in lens {
+        let net = Value::parse_as(&ValueType::Pfx6, &format!("2001:db8::/{len}"))
+            .or_else(|| Value::parse_as(&ValueType::Pfx6, &format!("::/{len}")))
+            .unwrap();
+        let s = score::value_score(&net);
+        assert!(s >= last, "len {len}: {s} < {last}");
+        last = s;
+    }
+}
+
+#[test]
+fn aggregate_scores_cap_is_callers_problem() {
+    // aggregate_scores itself deduplicates but does not cap: 1000 unique
+    // values accumulate.
+    let values: Vec<Value> = (0..1000u64)
+        .map(|v| Value::Num(BigNum::from(v + 10_000)))
+        .collect();
+    let total = score::aggregate_scores(values.iter().map(|v| (v, 1.0)));
+    assert_eq!(total, 1000.0);
+}
+
+#[test]
+fn value_type_custom_roundtrips_serde() {
+    let ty = ValueType::Custom("iface".to_string());
+    let json = serde_json::to_string(&ty).unwrap();
+    let back: ValueType = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, ty);
+    assert_eq!(back.name(), "iface");
+}
+
+#[test]
+fn parse_as_rejects_cross_type_text() {
+    // Every built-in type rejects text from every other family.
+    let samples = [
+        (ValueType::Num, "10.0.0.1"),
+        (ValueType::Ip4, "65015"),
+        (ValueType::Pfx4, "10.0.0.1"),
+        (ValueType::Mac, "10.0.0.1"),
+        (ValueType::Bool, "1"),
+        (ValueType::Ip6, "00:00:0c:d3:00:6e"),
+    ];
+    for (ty, text) in samples {
+        assert!(
+            Value::parse_as(&ty, text).is_none(),
+            "{ty} accepted {text:?}"
+        );
+    }
+}
+
+#[test]
+fn mac_segments_cover_whole_address() {
+    let mac = Value::parse_as(&ValueType::Mac, "01:23:45:67:89:ab").unwrap();
+    let rendered: Vec<String> = (1..=6)
+        .map(|i| Transform::Segment(i).apply(&mac).unwrap().render())
+        .collect();
+    assert_eq!(rendered.join(":"), "01:23:45:67:89:ab");
+}

@@ -1,0 +1,71 @@
+//! Learn contracts from a synthetic WAN role and check a corrupted
+//! device, mirroring the `concord learn` / `concord check` workflow
+//! (Figure 2 of the paper) as a library user sees it.
+//!
+//! Run with: `cargo run --example learn_and_check`
+
+use concord::core::{check, learn, ContractSet, Dataset, LearnParams};
+use concord::datagen::{faults, generate_role, standard_roles};
+
+fn main() {
+    // Generate a WAN edge-router role (flat vendor syntax).
+    let spec = standard_roles(0.5)
+        .into_iter()
+        .find(|s| s.name == "W4")
+        .expect("W4 exists");
+    let role = generate_role(&spec, 2024);
+    println!(
+        "generated role {} with {} devices, {} lines",
+        role.name,
+        role.configs.len(),
+        role.total_lines()
+    );
+
+    // Phase 1: concord learn.
+    let dataset = Dataset::from_named_texts(&role.configs, &role.metadata).expect("dataset");
+    let contracts = learn(&dataset, &LearnParams::default());
+    println!("learned {} contracts:", contracts.len());
+    for (category, count) in contracts.count_by_category() {
+        println!("  {category:<10} {count}");
+    }
+
+    // Contracts are a portable JSON artifact.
+    let json = contracts.to_json();
+    let contracts = ContractSet::from_json(&json).expect("roundtrip");
+
+    // Phase 2: corrupt one device and run concord check.
+    let (victim_name, victim_text) = role.configs[0].clone();
+    let injected = faults::inject(
+        &victim_text,
+        faults::Fault::ReplaceValue(
+            "family inet6 unicast policy IMPORT-TRANSIT",
+            "family inet6 unicast policy IMPORT-WRONG",
+        ),
+    )
+    .expect("fault applies");
+    println!(
+        "\ninjected fault into {victim_name} at line {}: {}",
+        injected.line_no, injected.original_line
+    );
+
+    let test = Dataset::from_named_texts(&[(victim_name.clone(), injected.text)], &role.metadata)
+        .expect("test dataset");
+    let report = check(&contracts, &test);
+
+    println!("\n--- violations ---");
+    for v in report.violations.iter().take(10) {
+        println!(
+            "{}:{} {} [{}]",
+            v.config,
+            v.line_no
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "-".into()),
+            v.message,
+            v.category
+        );
+    }
+    assert!(
+        !report.violations.is_empty(),
+        "the corrupted policy must be flagged"
+    );
+}

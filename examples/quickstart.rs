@@ -1,0 +1,68 @@
+//! Quickstart: learn contracts from a handful of device configurations
+//! and check a buggy change against them.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use concord::core::{check, learn, Dataset, LearnParams};
+
+fn main() {
+    // Six healthy devices sharing the invariants of the paper's Figure 1:
+    // the loopback address is permitted by the prefix list, the route
+    // distinguisher ends with the VLAN id, and every device declares its
+    // BGP block.
+    let training: Vec<(String, String)> = (0..6)
+        .map(|i| {
+            let vlan = 251 + i;
+            (
+                format!("edge-{i}"),
+                format!(
+                    "hostname DEV{}\n\
+                     interface Loopback0\n   ip address 10.14.14.{i}\n\
+                     ip prefix-list loopback\n   seq 10 permit 10.14.14.{i}/32\n   seq 20 permit 0.0.0.0/0\n\
+                     router bgp 65015\n   vlan {vlan}\n      rd 10.14.14.117:10{vlan}\n",
+                    1000 + i
+                ),
+            )
+        })
+        .collect();
+
+    let dataset = Dataset::from_named_texts(&training, &[]).expect("build dataset");
+    let params = LearnParams {
+        support: 3, // Tiny example set; the production default is 5.
+        ..LearnParams::default()
+    };
+    let contracts = learn(&dataset, &params);
+
+    println!("Learned {} contracts. A sample:\n", contracts.len());
+    for contract in contracts.contracts.iter().take(8) {
+        println!("{}\n", contract.describe());
+    }
+
+    // A new device with two bugs: the loopback address is missing from
+    // the prefix list, and the RD does not end with the VLAN id.
+    let buggy = vec![(
+        "edge-new".to_string(),
+        "hostname DEV2000\n\
+         interface Loopback0\n   ip address 10.14.14.99\n\
+         ip prefix-list loopback\n   seq 10 permit 10.14.14.1/32\n   seq 20 permit 0.0.0.0/0\n\
+         router bgp 65015\n   vlan 260\n      rd 10.14.14.117:10999\n"
+            .to_string(),
+    )];
+    let test = Dataset::from_named_texts(&buggy, &[]).expect("build test dataset");
+    let report = check(&contracts, &test);
+
+    println!("--- violations in edge-new ---");
+    for v in &report.violations {
+        match v.line_no {
+            Some(n) => println!("line {n}: {} [{}]", v.message, v.category),
+            None => println!("(missing): {} [{}]", v.message, v.category),
+        }
+    }
+    let summary = report.coverage.summary();
+    println!(
+        "\ncoverage: {:.1}% of {} lines",
+        summary.fraction * 100.0,
+        summary.total_lines
+    );
+    assert!(!report.violations.is_empty(), "the bugs must be caught");
+}

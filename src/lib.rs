@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+
+//! Concord: learning network configuration contracts.
+//!
+//! This umbrella crate re-exports the public API of the Concord workspace
+//! — a from-scratch Rust reproduction of *"Concord: Learning Network
+//! Configuration Contracts"* (EuroSys 2026). Concord learns lightweight,
+//! line-local *contracts* from example network configurations and checks
+//! new or changed configurations against them, reporting line-localized
+//! violations before a misconfiguration reaches the network.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use concord::core::{check, learn, Dataset, LearnParams};
+//!
+//! // Training configurations (normally read from files).
+//! let configs: Vec<(String, String)> = (0..6)
+//!     .map(|i| {
+//!         (
+//!             format!("device-{i}"),
+//!             format!("interface Loopback0\n ip address 10.0.0.{i}\nip prefix-list lo\n seq 10 permit 10.0.0.{i}/32\n"),
+//!         )
+//!     })
+//!     .collect();
+//!
+//! // Learn contracts...
+//! let dataset = Dataset::from_named_texts(&configs, &[]).unwrap();
+//! let mut params = LearnParams::default();
+//! params.support = 3;
+//! let contracts = learn(&dataset, &params);
+//!
+//! // ...and check a changed configuration.
+//! let broken = vec![(
+//!     "device-x".to_string(),
+//!     "interface Loopback0\n ip address 10.0.0.200\nip prefix-list lo\n seq 10 permit 10.0.0.1/32\n".to_string(),
+//! )];
+//! let test = Dataset::from_named_texts(&broken, &[]).unwrap();
+//! let report = check(&contracts, &test);
+//! assert!(!report.violations.is_empty());
+//! ```
+//!
+//! # Crate map
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`core`] | contract model, learning engine, checking, coverage |
+//! | [`lexer`] | typed-pattern extraction (§3.2) |
+//! | [`formats`] | format inference and context embedding (§3.1) |
+//! | [`types`] | configuration value types and transformations |
+//! | [`regex`] | the regex engine backing the lexer |
+//! | [`graph`] | SCC / transitive reduction used by minimization (§3.6) |
+//! | [`datagen`] | synthetic dataset generator (stand-in for §5.1 data) |
+//! | [`baseline`] | Apriori / FP-Growth / brute-force baselines |
+
+pub use concord_baseline as baseline;
+pub use concord_core as core;
+pub use concord_datagen as datagen;
+pub use concord_formats as formats;
+pub use concord_graph as graph;
+pub use concord_lexer as lexer;
+pub use concord_regex as regex;
+pub use concord_types as types;

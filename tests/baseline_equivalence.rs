@@ -1,0 +1,74 @@
+//! Cross-crate checks on the baseline miners: the two frequent-item-set
+//! algorithms agree on real generated data, and the key–value model's
+//! information loss is visible on every role.
+
+use concord::baseline::{apriori, fpgrowth, generate_rules, kv};
+use concord::core::Dataset;
+use concord::datagen::{generate_role, standard_roles};
+
+fn dataset(role_name: &str) -> Dataset {
+    let spec = standard_roles(0.4)
+        .into_iter()
+        .find(|s| s.name == role_name)
+        .unwrap();
+    let role = generate_role(&spec, 2026);
+    Dataset::from_named_texts(&role.configs, &role.metadata).unwrap()
+}
+
+#[test]
+fn apriori_and_fpgrowth_agree_on_generated_roles() {
+    for role in ["E1", "W2", "W5"] {
+        let ds = dataset(role);
+        let (transactions, _) = kv::transactions(&kv::from_dataset(&ds));
+        for min_support in [3usize, 5, 10] {
+            let mut a = apriori::mine(&transactions, min_support, 2);
+            let mut f = fpgrowth::mine(&transactions, min_support, 2);
+            a.sort_by(|x, y| x.items.cmp(&y.items));
+            f.sort_by(|x, y| x.items.cmp(&y.items));
+            assert_eq!(a, f, "{role} at support {min_support}");
+        }
+    }
+}
+
+#[test]
+fn kv_rules_are_nonempty_but_line_losses_are_heavy() {
+    for role in ["E1", "W1", "W4", "W8"] {
+        let ds = dataset(role);
+        let lost = kv::lost_fraction(&ds);
+        assert!(
+            lost > 0.3,
+            "{role}: expected heavy key-collision loss, got {lost}"
+        );
+        let (transactions, names) = kv::transactions(&kv::from_dataset(&ds));
+        let sets = apriori::mine(&transactions, 3, 2);
+        let rules = generate_rules(&sets, 0.9);
+        assert!(!rules.is_empty(), "{role}: kv pipeline mined nothing");
+        // Every rule references interned items.
+        for rule in &rules {
+            assert!((rule.consequent as usize) < names.len());
+            for &item in &rule.antecedent {
+                assert!((item as usize) < names.len());
+            }
+            assert!(rule.confidence >= 0.9 && rule.confidence <= 1.0);
+        }
+    }
+}
+
+#[test]
+fn frequent_sets_respect_support_monotonicity() {
+    let ds = dataset("W3");
+    let (transactions, _) = kv::transactions(&kv::from_dataset(&ds));
+    let loose = apriori::mine(&transactions, 3, 2);
+    let strict = apriori::mine(&transactions, 8, 2);
+    // Every strict-frequent set is loose-frequent with the same support.
+    for set in &strict {
+        assert!(
+            loose
+                .iter()
+                .any(|s| s.items == set.items && s.support == set.support),
+            "{:?} missing at looser support",
+            set.items
+        );
+    }
+    assert!(strict.len() <= loose.len());
+}

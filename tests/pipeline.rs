@@ -1,0 +1,212 @@
+//! Cross-crate integration tests: datagen → learn → check on every
+//! standard role.
+
+use concord::core::{check, learn, Dataset, LearnParams};
+use concord::datagen::{generate_role, standard_roles};
+
+fn build(role: &concord::datagen::GeneratedRole) -> Dataset {
+    Dataset::from_named_texts(&role.configs, &role.metadata).unwrap()
+}
+
+#[test]
+fn every_role_learns_and_checks_clean() {
+    for spec in standard_roles(0.5) {
+        let role = generate_role(&spec, 42);
+        let dataset = build(&role);
+        let contracts = learn(&dataset, &LearnParams::default());
+        assert!(
+            contracts.len() > 5,
+            "{}: too few contracts ({})",
+            spec.name,
+            contracts.len()
+        );
+        let report = check(&contracts, &dataset);
+        // The single planted mistyped line is an anomaly that type and
+        // ordering contracts legitimately flag even on the training set
+        // (the paper: anomalies "are flagged pre-deployment for quick
+        // dismissal"); every other category must be clean.
+        let unexpected: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|v| v.category != "type" && v.category != "ordering")
+            .collect();
+        assert!(
+            unexpected.is_empty(),
+            "{}: learned contracts must hold on their own training set: {:#?}",
+            spec.name,
+            &unexpected[..unexpected.len().min(5)]
+        );
+        assert!(
+            report.violations.len() <= 4,
+            "{}: too many anomaly flags: {}",
+            spec.name,
+            report.violations.len()
+        );
+    }
+}
+
+#[test]
+fn edge_role_learns_figure_1_contract_shapes() {
+    let spec = standard_roles(0.5)
+        .into_iter()
+        .find(|s| s.name == "E1")
+        .unwrap();
+    let role = generate_role(&spec, 7);
+    let dataset = build(&role);
+    let contracts = learn(&dataset, &LearnParams::default());
+    let descriptions: Vec<String> = contracts.contracts.iter().map(|c| c.describe()).collect();
+    let any = |needle: &str| descriptions.iter().any(|d| d.contains(needle));
+
+    // Contract 1: hex(port-channel) == MAC segment.
+    assert!(any("hex(l1.a)") || any("segment("), "hex/segment missing");
+    // Contract 2: address contained in prefix-list entry.
+    assert!(any("contains("), "contains missing");
+    // Contract 3: RD ends with VLAN id.
+    assert!(any("endswith("), "endswith missing");
+    // Presence of structural blocks.
+    assert!(any("exists l ~ /router bgp [a:num]"), "present missing");
+}
+
+#[test]
+fn learned_contracts_transfer_to_fresh_devices() {
+    // Learn on one seed, check devices generated with another seed from
+    // the same role template: planted invariants must still hold.
+    let spec = standard_roles(0.5)
+        .into_iter()
+        .find(|s| s.name == "W1")
+        .unwrap();
+    let train = generate_role(&spec, 1);
+    let test = generate_role(&spec, 2);
+    let mut contracts = learn(&build(&train), &LearnParams::default());
+    // Ordering contracts capture the deployment's fixed-but-
+    // interchangeable line order and do not transfer across deployments;
+    // the production service disables them (§5.4).
+    contracts
+        .contracts
+        .retain(|c| !matches!(c, concord::core::Contract::Ordering { .. }));
+    let report = check(&contracts, &build(&test));
+    // Same-template devices may differ in role-wide constants (e.g. a
+    // different site octet), so allow a small residue but no blow-up.
+    let budget = test.configs.len() * 3;
+    assert!(
+        report.violations.len() <= budget,
+        "too many cross-seed violations: {} > {budget}: {:#?}",
+        report.violations.len(),
+        &report.violations[..report.violations.len().min(5)]
+    );
+}
+
+#[test]
+fn coverage_majority_on_edge_roles() {
+    // The paper reports > 84% coverage on edge datasets (Table 4).
+    let spec = standard_roles(0.5)
+        .into_iter()
+        .find(|s| s.name == "E1")
+        .unwrap();
+    let role = generate_role(&spec, 3);
+    let dataset = build(&role);
+    let params = LearnParams {
+        learn_constants: true,
+        ..LearnParams::default()
+    };
+    let contracts = learn(&dataset, &params);
+    let report = check(&contracts, &dataset);
+    let summary = report.coverage.summary();
+    assert!(
+        summary.fraction > 0.6,
+        "edge coverage too low: {} ({:#?})",
+        summary.fraction,
+        summary.by_category
+    );
+}
+
+#[test]
+fn metadata_relations_are_learned() {
+    // The edge role links `vlan <v>` blocks to metadata `vlanId: <v>`.
+    let spec = standard_roles(0.5)
+        .into_iter()
+        .find(|s| s.name == "E1")
+        .unwrap();
+    let role = generate_role(&spec, 5);
+    assert!(!role.metadata.is_empty());
+    let dataset = build(&role);
+    let contracts = learn(&dataset, &LearnParams::default());
+    let has_meta_relation = contracts.contracts.iter().any(|c| {
+        let d = c.describe();
+        d.contains("@meta") && d.starts_with("forall")
+    });
+    assert!(
+        has_meta_relation,
+        "no config<->metadata relational contract"
+    );
+}
+
+#[test]
+fn minimization_reduces_relational_contracts() {
+    let spec = standard_roles(0.5)
+        .into_iter()
+        .find(|s| s.name == "E1")
+        .unwrap();
+    let role = generate_role(&spec, 5);
+    let dataset = build(&role);
+    let minimized = learn(&dataset, &LearnParams::default());
+    let unminimized = learn(
+        &dataset,
+        &LearnParams {
+            minimize: false,
+            ..LearnParams::default()
+        },
+    );
+    let count = |set: &concord::core::ContractSet| {
+        set.contracts
+            .iter()
+            .filter(|c| matches!(c, concord::core::Contract::Relational(_)))
+            .count()
+    };
+    assert!(
+        count(&minimized) <= count(&unminimized),
+        "minimization must not grow the set"
+    );
+    assert_eq!(
+        minimized.relational_before_minimization, unminimized.relational_before_minimization,
+        "pre-minimization count is recorded identically"
+    );
+    assert!(minimized.relational_before_minimization >= count(&minimized));
+}
+
+#[test]
+fn parallel_learning_matches_sequential() {
+    let spec = standard_roles(0.5)
+        .into_iter()
+        .find(|s| s.name == "W2")
+        .unwrap();
+    let role = generate_role(&spec, 13);
+    let dataset = build(&role);
+    let seq = learn(&dataset, &LearnParams::default());
+    let par = learn(
+        &dataset,
+        &LearnParams {
+            parallelism: 4,
+            ..LearnParams::default()
+        },
+    );
+    assert_eq!(seq.contracts, par.contracts);
+}
+
+#[test]
+fn contracts_roundtrip_through_json() {
+    let spec = standard_roles(0.5)
+        .into_iter()
+        .find(|s| s.name == "E2")
+        .unwrap();
+    let role = generate_role(&spec, 21);
+    let dataset = build(&role);
+    let contracts = learn(&dataset, &LearnParams::default());
+    let json = contracts.to_json();
+    let back = concord::core::ContractSet::from_json(&json).unwrap();
+    assert_eq!(back.contracts, contracts.contracts);
+    // Checking with the deserialized set gives identical results.
+    let a = check(&contracts, &dataset);
+    let b = check(&back, &dataset);
+    assert_eq!(a.violations, b.violations);
+}
