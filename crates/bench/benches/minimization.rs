@@ -1,9 +1,8 @@
-//! Criterion benchmark: the graph machinery behind contract minimization
+//! Micro-benchmark: the graph machinery behind contract minimization
 //! (§3.6) — SCC computation and transitive reduction on the shapes the
 //! relation graph actually takes (equality cliques joined by chains).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use concord_bench::microbench::bench;
 use concord_graph::DiGraph;
 
 /// Builds `cliques` mutually-equal groups of size `k`, chained together —
@@ -26,27 +25,15 @@ fn clique_chain(cliques: usize, k: usize) -> DiGraph {
     g
 }
 
-fn minimization_benches(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scc_and_reduction");
+fn main() {
     for &(cliques, k) in &[(10usize, 5usize), (50, 10), (100, 10)] {
         let graph = clique_chain(cliques, k);
-        group.bench_with_input(
-            BenchmarkId::new("scc", format!("{cliques}x{k}")),
-            &graph,
-            |b, g| b.iter(|| g.scc()),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("condense_reduce", format!("{cliques}x{k}")),
-            &graph,
-            |b, g| {
-                b.iter(|| {
-                    let (dag, _) = g.condensation();
-                    dag.transitive_reduction()
-                })
-            },
-        );
+        bench(&format!("scc/{cliques}x{k}"), || graph.scc());
+        bench(&format!("condense_reduce/{cliques}x{k}"), || {
+            let (dag, _) = graph.condensation();
+            dag.transitive_reduction()
+        });
     }
-    group.finish();
 
     // A dense DAG: transitive reduction's heavier case.
     let mut dag = DiGraph::new(200);
@@ -57,14 +44,7 @@ fn minimization_benches(c: &mut Criterion) {
             }
         }
     }
-    c.bench_function("transitive_reduction/dense200", |b| {
-        b.iter(|| dag.transitive_reduction())
+    bench("transitive_reduction/dense200", || {
+        dag.transitive_reduction()
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = minimization_benches
-}
-criterion_main!(benches);

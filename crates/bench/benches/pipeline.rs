@@ -1,12 +1,11 @@
-//! Criterion benchmarks for the end-to-end pipeline: dataset
-//! construction (embed + lex), learning, and checking.
+//! Micro-benchmarks for the end-to-end pipeline: dataset construction
+//! (embed + lex), learning, and checking.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use concord_bench::microbench::bench;
 use concord_core::{check_parallel, learn, Dataset, LearnParams};
 use concord_datagen::{generate_role, standard_roles};
 
-fn pipeline_benches(c: &mut Criterion) {
+fn main() {
     let spec = standard_roles(0.25)
         .into_iter()
         .find(|s| s.name == "W2")
@@ -14,35 +13,22 @@ fn pipeline_benches(c: &mut Criterion) {
     let role = generate_role(&spec, 7);
     let params = LearnParams::default();
 
-    c.bench_function("build_dataset/W2", |b| {
-        b.iter(|| Dataset::from_named_texts(&role.configs, &role.metadata).unwrap())
+    bench("build_dataset/W2", || {
+        Dataset::from_named_texts(&role.configs, &role.metadata).unwrap()
     });
 
     let dataset = Dataset::from_named_texts(&role.configs, &role.metadata).unwrap();
-    c.bench_function("learn/W2", |b| b.iter(|| learn(&dataset, &params)));
+    bench("learn/W2", || learn(&dataset, &params));
 
     let contracts = learn(&dataset, &params);
-    c.bench_function("check/W2", |b| {
-        b.iter(|| check_parallel(&contracts, &dataset, 1))
-    });
+    bench("check/W2", || check_parallel(&contracts, &dataset, 1));
 
     // Scaling: learning time versus number of devices.
-    let mut group = c.benchmark_group("learn_scaling");
     let mut takes = vec![4usize, 8, role.configs.len()];
     takes.dedup();
     for take in takes {
         let subset: Vec<(String, String)> = role.configs.iter().take(take).cloned().collect();
         let ds = Dataset::from_named_texts(&subset, &role.metadata).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(take), &ds, |b, ds| {
-            b.iter(|| learn(ds, &params))
-        });
+        bench(&format!("learn_scaling/{take}"), || learn(&ds, &params));
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = pipeline_benches
-}
-criterion_main!(benches);

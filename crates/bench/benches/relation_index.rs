@@ -1,11 +1,10 @@
-//! Criterion benchmark: indexed relational learning versus the
-//! brute-force baseline (the asymptotic gap behind §5.2).
+//! Micro-benchmark: indexed relational learning versus the brute-force
+//! baseline (the asymptotic gap behind §5.2).
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
 use concord_baseline::naive;
+use concord_bench::microbench::bench;
 use concord_core::{learn, Dataset, LearnParams};
 
 fn make_dataset(devices: usize) -> Dataset {
@@ -43,31 +42,16 @@ fn relational_params() -> LearnParams {
     }
 }
 
-fn index_vs_brute(c: &mut Criterion) {
+fn main() {
     let params = relational_params();
-    let mut group = c.benchmark_group("relational_mining");
     for devices in [6usize, 12, 24] {
         let dataset = make_dataset(devices);
-        group.bench_with_input(BenchmarkId::new("indexed", devices), &dataset, |b, ds| {
-            b.iter(|| learn(ds, &params))
+        bench(&format!("relational_mining/indexed/{devices}"), || {
+            learn(&dataset, &params)
         });
-        group.bench_with_input(
-            BenchmarkId::new("bruteforce", devices),
-            &dataset,
-            |b, ds| {
-                b.iter(|| {
-                    naive::mine_with_deadline(ds, &params, Duration::from_secs(600))
-                        .expect("bench sizes fit the deadline")
-                })
-            },
-        );
+        bench(&format!("relational_mining/bruteforce/{devices}"), || {
+            naive::mine_with_deadline(&dataset, &params, Duration::from_secs(600))
+                .expect("bench sizes fit the deadline")
+        });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = index_vs_brute
-}
-criterion_main!(benches);

@@ -74,7 +74,7 @@ fn main() {
             fp_rate * 100.0,
             check_unfiltered.as_secs_f64() / check_filtered.as_secs_f64().max(1e-9),
         );
-        rows.push(serde_json::json!({
+        rows.push(concord_json::json!({
             "role": spec.name,
             "filtered": filtered.len(),
             "unfiltered": unfiltered.len(),
@@ -87,5 +87,5 @@ fn main() {
     println!(
         "\nThe score filter (§3.5) halves the relational contract set. The\nremoved extras are low-informativeness matches between common\nconstants — on real data those are the coincidences the paper\npenalizes; on deterministic synthetic templates a slice of them still\nsurvives the oracle, while the rest (e.g. 40% on E2) are outright\nfalse positives. The extras also tax every future check run."
     );
-    write_result("ablation_scoring", &serde_json::json!({ "rows": rows }));
+    write_result("ablation_scoring", &concord_json::json!({ "rows": rows }));
 }

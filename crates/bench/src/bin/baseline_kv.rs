@@ -50,7 +50,7 @@ fn main() {
             contracts.len(),
             relational,
         );
-        rows.push(serde_json::json!({
+        rows.push(concord_json::json!({
             "role": spec.name,
             "lines_lost": lost,
             "kv_rules": rules.len(),
@@ -61,5 +61,5 @@ fn main() {
     println!(
         "\nThe key-value model discards every repeated element (multiple\ninterfaces, prefix-list entries, VLAN blocks) before mining even\nstarts, and its rules relate whole lines, never values — it cannot\nexpress a single one of Concord's relational contracts (column 5)."
     );
-    write_result("baseline_kv", &serde_json::json!({ "rows": rows }));
+    write_result("baseline_kv", &concord_json::json!({ "rows": rows }));
 }

@@ -93,7 +93,7 @@ fn main() {
             kinds * 2,
             indexed_time.as_secs_f64()
         );
-        rows.push(serde_json::json!({
+        rows.push(concord_json::json!({
             "patterns": kinds * 2,
             "indexed_secs": indexed_time.as_secs_f64(),
             "brute": brute_text,
@@ -103,5 +103,5 @@ fn main() {
     println!(
         "\nIndexed learning scales near-linearly with pattern diversity while\nbrute force grows quadratically — the paper's production datasets\n(thousands of patterns, Table 3) put brute force past a 1-hour timeout\non every WAN role."
     );
-    write_result("bruteforce", &serde_json::json!({ "rows": rows }));
+    write_result("bruteforce", &concord_json::json!({ "rows": rows }));
 }

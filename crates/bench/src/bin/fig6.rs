@@ -48,7 +48,7 @@ fn main() {
         let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
         let std = var.sqrt();
         println!("{f:<5} {mean:<13.3} {std:.3}");
-        points.push(serde_json::json!({
+        points.push(concord_json::json!({
             "fraction": f,
             "mean": mean,
             "std": std,
@@ -65,7 +65,7 @@ fn main() {
     println!("\npearson r(fraction, runtime) = {r:.4}");
     write_result(
         "fig6",
-        &serde_json::json!({ "points": points, "pearson_r": r }),
+        &concord_json::json!({ "points": points, "pearson_r": r }),
     );
 }
 

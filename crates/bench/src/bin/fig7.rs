@@ -53,7 +53,7 @@ fn main() {
                 &widths
             )
         );
-        results.push(serde_json::json!({
+        results.push(concord_json::json!({
             "role": spec.name,
             "baseline": baseline,
             "context": context,
@@ -63,5 +63,5 @@ fn main() {
     println!(
         "\nExpected shape (paper): Context >= Baseline everywhere, with no\nembedding gain on the flat roles W4-W8; Constants adds further coverage."
     );
-    write_result("fig7", &serde_json::json!({ "rows": results }));
+    write_result("fig7", &concord_json::json!({ "rows": results }));
 }

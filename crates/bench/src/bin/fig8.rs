@@ -47,12 +47,12 @@ fn main() {
                 &widths
             )
         );
-        results.push(serde_json::json!({
+        results.push(concord_json::json!({
             "role": spec.name,
             "before": before,
             "after": after,
             "reduction": factor,
         }));
     }
-    write_result("fig8", &serde_json::json!({ "rows": results }));
+    write_result("fig8", &concord_json::json!({ "rows": results }));
 }

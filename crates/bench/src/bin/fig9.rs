@@ -12,7 +12,7 @@ use concord_bench::precision::{evaluate_family, FamilyScores};
 use concord_bench::stats::score_cdf;
 use concord_bench::{write_result, CATEGORY_COLUMNS};
 
-fn print_family(label: &str, scores: &FamilyScores, out: &mut Vec<serde_json::Value>) {
+fn print_family(label: &str, scores: &FamilyScores, out: &mut Vec<concord_json::Value>) {
     println!("== {label} ==");
     println!("{:<10} {:>5}  CDF over scores 10..1", "category", "n");
     for category in CATEGORY_COLUMNS {
@@ -24,7 +24,7 @@ fn print_family(label: &str, scores: &FamilyScores, out: &mut Vec<serde_json::Va
             scored.len(),
             rendered.join(" ")
         );
-        out.push(serde_json::json!({
+        out.push(concord_json::json!({
             "family": label,
             "category": category,
             "n": scored.len(),
@@ -41,5 +41,5 @@ fn main() {
     let wan = evaluate_family("W");
     print_family("WAN", &wan, &mut results);
     println!("(scores 6-10 are estimated true positives; see table6 for the\n resulting sample sizes and table7 for oracle precision)");
-    write_result("fig9", &serde_json::json!({ "rows": results }));
+    write_result("fig9", &concord_json::json!({ "rows": results }));
 }

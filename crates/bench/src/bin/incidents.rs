@@ -65,7 +65,7 @@ fn main() {
         }
         let list: Vec<&str> = categories.iter().map(String::as_str).collect();
         println!("{name:<34} {caught:>7} {trials:>8}  {}", list.join(", "));
-        results.push(serde_json::json!({
+        results.push(concord_json::json!({
             "incident": name,
             "caught": caught,
             "trials": trials,
@@ -73,5 +73,5 @@ fn main() {
         }));
     }
     println!("\nPaper: all three replayed incidents were caught (via contains,\nmetadata-relational, and ordering contracts respectively).");
-    write_result("incidents", &serde_json::json!({ "rows": results }));
+    write_result("incidents", &concord_json::json!({ "rows": results }));
 }

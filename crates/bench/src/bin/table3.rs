@@ -52,7 +52,7 @@ fn main() {
                 &widths
             )
         );
-        results.push(serde_json::json!({
+        results.push(concord_json::json!({
             "role": spec.name,
             "lines": lines,
             "patterns": dataset.pattern_count(),
@@ -64,5 +64,5 @@ fn main() {
             "contracts": contracts.len(),
         }));
     }
-    write_result("table3", &serde_json::json!({ "rows": results }));
+    write_result("table3", &concord_json::json!({ "rows": results }));
 }

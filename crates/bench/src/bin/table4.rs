@@ -34,7 +34,7 @@ fn main() {
         }
         cells.push(format!("{:.1}%", summary.fraction * 100.0));
         println!("{}", row(&cells, &widths));
-        results.push(serde_json::json!({
+        results.push(concord_json::json!({
             "role": spec.name,
             "counts": counts.iter().map(|(k, v)| (k.to_string(), v)).collect::<BTreeMap<_, _>>(),
             "coverage": summary.fraction,
@@ -46,5 +46,5 @@ fn main() {
     }
     cells.push("-".into());
     println!("{}", row(&cells, &widths));
-    write_result("table4", &serde_json::json!({ "rows": results }));
+    write_result("table4", &concord_json::json!({ "rows": results }));
 }

@@ -38,10 +38,10 @@ fn main() {
             cells.push(format!("{:.1}%", fraction * 100.0));
         }
         println!("{}", row(&cells, &widths));
-        results.push(serde_json::json!({
+        results.push(concord_json::json!({
             "role": spec.name,
             "coverage_by_category": by_cat,
         }));
     }
-    write_result("table5", &serde_json::json!({ "rows": results }));
+    write_result("table5", &concord_json::json!({ "rows": results }));
 }

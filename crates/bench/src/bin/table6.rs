@@ -31,7 +31,7 @@ fn main() {
                 plan.n_adj,
                 plan.error * 100.0
             );
-            results.push(serde_json::json!({
+            results.push(concord_json::json!({
                 "family": label,
                 "category": category,
                 "population": population,
@@ -42,5 +42,5 @@ fn main() {
         }
         println!();
     }
-    write_result("table6", &serde_json::json!({ "rows": results }));
+    write_result("table6", &concord_json::json!({ "rows": results }));
 }

@@ -32,7 +32,7 @@ fn main() {
                 Some(p) => cells.push_str(&format!("{:>9.0}", p * 100.0)),
                 None => cells.push_str(&format!("{:>9}", "-")),
             }
-            results.push(serde_json::json!({
+            results.push(concord_json::json!({
                 "family": label,
                 "category": category,
                 "n": scored.len(),
@@ -44,5 +44,5 @@ fn main() {
     println!(
         "\n(precision via the generator oracle; the paper reports >= 90% for\n most categories with ordering lowest — see DESIGN.md substitution 2)"
     );
-    write_result("table7", &serde_json::json!({ "rows": results }));
+    write_result("table7", &concord_json::json!({ "rows": results }));
 }

@@ -47,12 +47,12 @@ fn main() {
         for contract in select(&contracts.contracts, 5) {
             let text = contract.describe();
             println!("{text}\n");
-            results.push(serde_json::json!({
+            results.push(concord_json::json!({
                 "role": name,
                 "contract": text,
                 "category": contract.category(),
             }));
         }
     }
-    write_result("table8", &serde_json::json!({ "rows": results }));
+    write_result("table8", &concord_json::json!({ "rows": results }));
 }

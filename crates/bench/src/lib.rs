@@ -12,6 +12,7 @@
 //! sample-size statistics of §5.4, and machine-readable result output
 //! under `target/experiments/`.
 
+pub mod microbench;
 pub mod oracle;
 pub mod precision;
 pub mod stats;
@@ -77,11 +78,11 @@ pub fn fmt_secs(d: Duration) -> String {
 
 /// Writes a machine-readable experiment result under
 /// `target/experiments/<name>.json`.
-pub fn write_result(name: &str, json: &serde_json::Value) {
+pub fn write_result(name: &str, json: &concord_json::Value) {
     let dir = std::path::Path::new("target/experiments");
     if std::fs::create_dir_all(dir).is_ok() {
         let path = dir.join(format!("{name}.json"));
-        if let Ok(text) = serde_json::to_string_pretty(json) {
+        if let Ok(text) = concord_json::to_string_pretty(json) {
             let _ = std::fs::write(&path, text);
             eprintln!("(wrote {})", path.display());
         }

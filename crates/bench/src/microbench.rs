@@ -1,0 +1,89 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! The bench targets under `benches/` use this instead of an external
+//! framework so the workspace builds hermetically. It follows the same
+//! shape as the original criterion setup (warm-up, fixed sample count,
+//! report the distribution) but measures with plain [`Instant`].
+
+use std::time::{Duration, Instant};
+
+/// Number of timed samples per benchmark (matches the old
+/// `sample_size(10)` configuration).
+pub const SAMPLES: usize = 10;
+
+/// One benchmark's timing summary.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Timed samples taken.
+    pub samples: usize,
+    /// Fastest sample — the least-noisy single-shot estimate.
+    pub min: Duration,
+    /// Mean over all samples.
+    pub mean: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+}
+
+/// Runs `f` once to warm up, then [`SAMPLES`] timed iterations, and
+/// prints a one-line summary `name  min  mean  max`.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Measurement {
+    std::hint::black_box(f());
+    let mut times = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        times.push(start.elapsed());
+    }
+    let min = *times.iter().min().expect("SAMPLES > 0");
+    let max = *times.iter().max().expect("SAMPLES > 0");
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    let m = Measurement {
+        samples: times.len(),
+        min,
+        mean,
+        max,
+    };
+    println!(
+        "{name:<40} min {:>10}  mean {:>10}  max {:>10}  ({} samples)",
+        fmt(min),
+        fmt(mean),
+        fmt(max),
+        m.samples,
+    );
+    m
+}
+
+/// Formats a duration with a unit suited to its magnitude.
+pub fn fmt(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1}us", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2}s", nanos as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_all_samples() {
+        let mut calls = 0u32;
+        let m = bench("noop", || calls += 1);
+        assert_eq!(m.samples, SAMPLES);
+        assert_eq!(calls as usize, SAMPLES + 1); // warm-up + samples
+        assert!(m.min <= m.mean && m.mean <= m.max);
+    }
+
+    #[test]
+    fn fmt_picks_units() {
+        assert_eq!(fmt(Duration::from_nanos(500)), "500ns");
+        assert_eq!(fmt(Duration::from_micros(1500)), "1.50ms");
+        assert_eq!(fmt(Duration::from_secs(2)), "2.00s");
+    }
+}

@@ -11,11 +11,11 @@ USAGE:
                 [--out <file>] [--support N] [--confidence F]
                 [--score-threshold F] [--parallelism N] [--constants]
                 [--ranges] [--no-embed] [--no-minimize]
-                [--disable <category>]...
+                [--stats text|json] [--disable <category>]...
   concord check --configs <glob> --contracts <file> [--metadata <glob>]
                 [--tokens <file>] [--out <file>] [--html <file>]
                 [--suppress <file>] [--parallelism N]
-                [--disable-ordering] [--no-embed]
+                [--disable-ordering] [--no-embed] [--stats text|json]
   concord ci    --pre <glob> --post <glob> [--metadata <glob>]
                 [--tokens <file>] [--suppress <file>] [--keep-ordering]
                 [--support N] [--confidence F] [--parallelism N]
@@ -23,7 +23,38 @@ USAGE:
                 [--tokens <file>] [--uncovered N] [--parallelism N]
   concord help
 
-Categories for --disable: present ordering type sequence unique relational";
+Categories for --disable: present ordering type sequence unique relational
+
+--stats text prints a per-stage timing summary (lexing with cache
+hit/miss counts, each miner, minimization, checking); --stats json
+emits the same data as one machine-readable object (schema
+concord-pipeline-stats/v1, see DESIGN.md) instead of the human
+summary.";
+
+/// Per-stage statistics reporting mode (`--stats`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StatsMode {
+    /// No statistics output.
+    #[default]
+    Off,
+    /// Human-readable summary appended to normal output.
+    Text,
+    /// One `concord-pipeline-stats/v1` JSON object replacing the human
+    /// summary.
+    Json,
+}
+
+impl StatsMode {
+    fn parse(raw: &str) -> Result<StatsMode, UsageError> {
+        match raw {
+            "text" => Ok(StatsMode::Text),
+            "json" => Ok(StatsMode::Json),
+            other => Err(UsageError(format!(
+                "--stats expects `text` or `json`, got {other:?}"
+            ))),
+        }
+    }
+}
 
 /// A parsed command.
 #[derive(Debug)]
@@ -96,6 +127,8 @@ pub struct LearnArgs {
     pub embed: bool,
     /// Worker threads.
     pub parallelism: usize,
+    /// Per-stage statistics reporting.
+    pub stats: StatsMode,
 }
 
 /// Arguments for `concord check`.
@@ -122,6 +155,8 @@ pub struct CheckArgs {
     pub embed: bool,
     /// Worker threads.
     pub parallelism: usize,
+    /// Per-stage statistics reporting.
+    pub stats: StatsMode,
 }
 
 /// A usage error with its message.
@@ -189,6 +224,7 @@ fn parse_learn(argv: &[String]) -> Result<Command, UsageError> {
         params: LearnParams::default(),
         embed: true,
         parallelism: 1,
+        stats: StatsMode::Off,
     };
     let mut flags = Flags { argv, pos: 0 };
     while let Some(flag) = flags.next_flag() {
@@ -197,6 +233,7 @@ fn parse_learn(argv: &[String]) -> Result<Command, UsageError> {
             "--metadata" => args.metadata = Some(flags.value(flag)?.to_string()),
             "--tokens" => args.tokens = Some(flags.value(flag)?.to_string()),
             "--out" => args.out = flags.value(flag)?.to_string(),
+            "--stats" => args.stats = StatsMode::parse(flags.value(flag)?)?,
             "--support" => args.params.support = flags.parse(flag)?,
             "--confidence" => {
                 args.params.confidence = flags.parse(flag)?;
@@ -245,6 +282,7 @@ fn parse_check(argv: &[String]) -> Result<Command, UsageError> {
         disable_ordering: false,
         embed: true,
         parallelism: 1,
+        stats: StatsMode::Off,
     };
     let mut flags = Flags { argv, pos: 0 };
     while let Some(flag) = flags.next_flag() {
@@ -254,6 +292,7 @@ fn parse_check(argv: &[String]) -> Result<Command, UsageError> {
             "--metadata" => args.metadata = Some(flags.value(flag)?.to_string()),
             "--tokens" => args.tokens = Some(flags.value(flag)?.to_string()),
             "--out" => args.out = Some(flags.value(flag)?.to_string()),
+            "--stats" => args.stats = StatsMode::parse(flags.value(flag)?)?,
             "--html" => args.html = Some(flags.value(flag)?.to_string()),
             "--suppress" => args.suppress = Some(flags.value(flag)?.to_string()),
             "--parallelism" => args.parallelism = flags.parse(flag)?,

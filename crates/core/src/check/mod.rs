@@ -19,7 +19,7 @@ use crate::learn::sequence_is_sequential;
 use crate::parallel;
 
 /// One contract violation, localized to a configuration and line.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// Index of the violated contract in the checked [`ContractSet`].
     pub contract_index: usize,
@@ -34,6 +34,37 @@ pub struct Violation {
     pub line: String,
     /// Human-readable explanation.
     pub message: String,
+}
+
+impl concord_json::ToJson for Violation {
+    fn to_json(&self) -> concord_json::Json {
+        concord_json::Json::Object(vec![
+            ("contract_index".to_string(), self.contract_index.to_json()),
+            ("category".to_string(), self.category.to_json()),
+            ("config".to_string(), self.config.to_json()),
+            ("line_no".to_string(), self.line_no.to_json()),
+            ("line".to_string(), self.line.to_json()),
+            ("message".to_string(), self.message.to_json()),
+        ])
+    }
+}
+
+impl concord_json::FromJson for Violation {
+    fn from_json(value: &concord_json::Json) -> Result<Self, concord_json::Error> {
+        let field = |key: &str| {
+            value
+                .get(key)
+                .ok_or_else(|| concord_json::Error::custom(format!("missing field {key:?}")))
+        };
+        Ok(Violation {
+            contract_index: usize::from_json(field("contract_index")?)?,
+            category: String::from_json(field("category")?)?,
+            config: String::from_json(field("config")?)?,
+            line_no: Option::<u32>::from_json(field("line_no")?)?,
+            line: String::from_json(field("line")?)?,
+            message: String::from_json(field("message")?)?,
+        })
+    }
 }
 
 impl std::fmt::Display for Violation {

@@ -5,7 +5,7 @@
 //! be checked against any other. [`Contract::describe`] renders the
 //! `forall/exists` notation used throughout the paper.
 
-use serde::{Deserialize, Serialize};
+use concord_json::{Error as JsonError, FromJson, Json, ToJson};
 
 use concord_types::{Transform, ValueType};
 
@@ -13,7 +13,7 @@ use concord_types::{Transform, ValueType};
 ///
 /// All relations are evaluated as `F(v1, v2)` where `v1` is the transformed
 /// antecedent value and `v2` the transformed consequent value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum RelationKind {
     /// `v1 == v2`.
     Equals,
@@ -67,7 +67,7 @@ impl std::fmt::Display for RelationKind {
 
 /// One side of a relational contract: a pattern, a parameter position, and
 /// the transformation applied to the parameter's value.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PatternRef {
     /// The full (embedded) pattern text.
     pub pattern: String,
@@ -87,7 +87,7 @@ impl PatternRef {
 
 /// A relational contract (§3.5):
 /// `forall l1 ~ p1, exists l2 ~ p2 such that F(t1(l1.x), t2(l2.y))`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RelationalContract {
     /// The universally quantified side.
     pub antecedent: PatternRef,
@@ -98,7 +98,7 @@ pub struct RelationalContract {
 }
 
 /// A learned (or manually authored) configuration contract.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Contract {
     /// `exists l ~ p`: the configuration must contain at least one line
     /// matching `pattern`.
@@ -268,7 +268,7 @@ fn param_name(pattern: &str, index: u16) -> String {
 }
 
 /// A set of learned contracts plus learning statistics.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ContractSet {
     /// The contracts, in a stable order.
     pub contracts: Vec<Contract>,
@@ -300,13 +300,218 @@ impl ContractSet {
     /// Serializes the set to pretty JSON (the `concord learn` output
     /// format, §4).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("contract serialization cannot fail")
+        concord_json::to_string_pretty(self).expect("contract serialization cannot fail")
     }
 
     /// Deserializes a set from JSON.
-    pub fn from_json(json: &str) -> Result<ContractSet, serde_json::Error> {
-        serde_json::from_str(json)
+    pub fn from_json(json: &str) -> Result<ContractSet, JsonError> {
+        concord_json::from_str(json)
     }
+}
+
+impl ToJson for RelationKind {
+    fn to_json(&self) -> Json {
+        Json::Str(format!("{self:?}"))
+    }
+}
+
+impl FromJson for RelationKind {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value.as_str() {
+            Some("Equals") => Ok(RelationKind::Equals),
+            Some("Contains") => Ok(RelationKind::Contains),
+            Some("StartsWith") => Ok(RelationKind::StartsWith),
+            Some("EndsWith") => Ok(RelationKind::EndsWith),
+            _ => Err(JsonError::custom(format!("unknown RelationKind {value}"))),
+        }
+    }
+}
+
+impl ToJson for PatternRef {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("pattern".to_string(), self.pattern.to_json()),
+            ("param".to_string(), self.param.to_json()),
+            ("transform".to_string(), self.transform.to_json()),
+        ])
+    }
+}
+
+impl FromJson for PatternRef {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(PatternRef {
+            pattern: field(value, "pattern")?,
+            param: field(value, "param")?,
+            transform: field(value, "transform")?,
+        })
+    }
+}
+
+impl ToJson for RelationalContract {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("antecedent".to_string(), self.antecedent.to_json()),
+            ("consequent".to_string(), self.consequent.to_json()),
+            ("relation".to_string(), self.relation.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RelationalContract {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(RelationalContract {
+            antecedent: field(value, "antecedent")?,
+            consequent: field(value, "consequent")?,
+            relation: field(value, "relation")?,
+        })
+    }
+}
+
+impl ToJson for Contract {
+    fn to_json(&self) -> Json {
+        let obj = |pairs: Vec<(&str, Json)>| {
+            Json::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        };
+        match self {
+            Contract::Present { pattern } => {
+                Json::tagged("Present", obj(vec![("pattern", pattern.to_json())]))
+            }
+            Contract::PresentExact { line } => {
+                Json::tagged("PresentExact", obj(vec![("line", line.to_json())]))
+            }
+            Contract::Ordering { first, second } => Json::tagged(
+                "Ordering",
+                obj(vec![
+                    ("first", first.to_json()),
+                    ("second", second.to_json()),
+                ]),
+            ),
+            Contract::Type {
+                pattern,
+                hole,
+                valid,
+            } => Json::tagged(
+                "Type",
+                obj(vec![
+                    ("pattern", pattern.to_json()),
+                    ("hole", hole.to_json()),
+                    ("valid", valid.to_json()),
+                ]),
+            ),
+            Contract::Sequence { pattern, param } => Json::tagged(
+                "Sequence",
+                obj(vec![
+                    ("pattern", pattern.to_json()),
+                    ("param", param.to_json()),
+                ]),
+            ),
+            Contract::Unique {
+                pattern,
+                param,
+                once_per_config,
+            } => Json::tagged(
+                "Unique",
+                obj(vec![
+                    ("pattern", pattern.to_json()),
+                    ("param", param.to_json()),
+                    ("once_per_config", once_per_config.to_json()),
+                ]),
+            ),
+            Contract::Range {
+                pattern,
+                param,
+                min,
+                max,
+            } => Json::tagged(
+                "Range",
+                obj(vec![
+                    ("pattern", pattern.to_json()),
+                    ("param", param.to_json()),
+                    ("min", min.to_json()),
+                    ("max", max.to_json()),
+                ]),
+            ),
+            Contract::Relational(r) => Json::tagged("Relational", r.to_json()),
+        }
+    }
+}
+
+impl FromJson for Contract {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let [(tag, inner)] = value
+            .as_object()
+            .ok_or_else(|| JsonError::custom(format!("expected Contract object, got {value}")))?
+        else {
+            return Err(JsonError::custom(
+                "expected one-key Contract object".to_string(),
+            ));
+        };
+        match tag.as_str() {
+            "Present" => Ok(Contract::Present {
+                pattern: field(inner, "pattern")?,
+            }),
+            "PresentExact" => Ok(Contract::PresentExact {
+                line: field(inner, "line")?,
+            }),
+            "Ordering" => Ok(Contract::Ordering {
+                first: field(inner, "first")?,
+                second: field(inner, "second")?,
+            }),
+            "Type" => Ok(Contract::Type {
+                pattern: field(inner, "pattern")?,
+                hole: field(inner, "hole")?,
+                valid: field(inner, "valid")?,
+            }),
+            "Sequence" => Ok(Contract::Sequence {
+                pattern: field(inner, "pattern")?,
+                param: field(inner, "param")?,
+            }),
+            "Unique" => Ok(Contract::Unique {
+                pattern: field(inner, "pattern")?,
+                param: field(inner, "param")?,
+                once_per_config: field(inner, "once_per_config")?,
+            }),
+            "Range" => Ok(Contract::Range {
+                pattern: field(inner, "pattern")?,
+                param: field(inner, "param")?,
+                min: field(inner, "min")?,
+                max: field(inner, "max")?,
+            }),
+            "Relational" => RelationalContract::from_json(inner).map(Contract::Relational),
+            other => Err(JsonError::custom(format!(
+                "unknown Contract variant {other:?}"
+            ))),
+        }
+    }
+}
+
+impl ToJson for ContractSet {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("contracts".to_string(), self.contracts.to_json()),
+            (
+                "relational_before_minimization".to_string(),
+                self.relational_before_minimization.to_json(),
+            ),
+        ])
+    }
+}
+
+impl FromJson for ContractSet {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(ContractSet {
+            contracts: field(value, "contracts")?,
+            relational_before_minimization: field(value, "relational_before_minimization")?,
+        })
+    }
+}
+
+/// Decodes a required object field.
+fn field<T: FromJson>(value: &Json, key: &str) -> Result<T, JsonError> {
+    let inner = value
+        .get(key)
+        .ok_or_else(|| JsonError::custom(format!("missing field {key:?}")))?;
+    T::from_json(inner).map_err(|e| JsonError::custom(format!("field {key:?}: {e}")))
 }
 
 #[cfg(test)]

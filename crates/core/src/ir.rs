@@ -10,11 +10,13 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 use concord_formats::{embed_auto, FormatCategory};
-use concord_lexer::{LexedLine, Lexer, Param};
+use concord_lexer::{LexCache, LexedLine, Lexer, Param};
 
 use crate::parallel;
+use crate::stats::BuildStats;
 
 /// A dense identifier for an interned pattern.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -155,6 +157,11 @@ impl Dataset {
     ///
     /// With `embed_context = false` every line is treated as flat text —
     /// the "Baseline" configuration of Figure 7.
+    ///
+    /// Lexing goes through a fresh [`LexCache`], so each distinct line
+    /// shape across all configurations is scanned exactly once. Use
+    /// [`Dataset::build_with_stats`] to share a cache across builds, to
+    /// disable caching, or to observe timing and hit counts.
     pub fn build(
         configs: &[(String, String)],
         metadata: &[(String, String)],
@@ -162,20 +169,49 @@ impl Dataset {
         embed_context: bool,
         parallelism: usize,
     ) -> Result<Dataset, DatasetError> {
+        let cache = LexCache::new();
+        Self::build_with_stats(
+            configs,
+            metadata,
+            lexer,
+            embed_context,
+            parallelism,
+            Some(&cache),
+        )
+        .map(|(dataset, _)| dataset)
+    }
+
+    /// Like [`Dataset::build`], with explicit control over the lex cache
+    /// (`None` disables caching entirely) and reporting [`BuildStats`]
+    /// for the run: lexing/interning time and the cache hit/miss deltas
+    /// this build contributed.
+    pub fn build_with_stats(
+        configs: &[(String, String)],
+        metadata: &[(String, String)],
+        lexer: &Lexer,
+        embed_context: bool,
+        parallelism: usize,
+        cache: Option<&LexCache>,
+    ) -> Result<(Dataset, BuildStats), DatasetError> {
+        let cache_before = cache.map(|c| c.stats());
+
+        let lex_start = Instant::now();
         // Metadata is lexed once and shared across configs.
         let meta_lines: Vec<(String, Vec<LexedLine>)> = metadata
             .iter()
-            .map(|(name, text)| (name.clone(), lex_text(text, lexer, embed_context).1))
+            .map(|(name, text)| (name.clone(), lex_text(text, lexer, embed_context, cache).1))
             .collect();
 
         // Lex configs (possibly in parallel), then intern sequentially so
         // ids are deterministic regardless of thread count.
         let lexed: Vec<(FormatCategory, Vec<LexedLine>)> = parallel::map(
             configs,
-            |(_, text)| lex_text(text, lexer, embed_context),
+            |(_, text)| lex_text(text, lexer, embed_context, cache),
             parallelism,
         );
+        let lex_time = lex_start.elapsed();
 
+        let intern_start = Instant::now();
         let mut table = PatternTable::new();
         let mut out_configs = Vec::with_capacity(configs.len());
         for ((name, _), (format, lines)) in configs.iter().zip(lexed) {
@@ -206,10 +242,27 @@ impl Dataset {
                 lines: records,
             });
         }
-        Ok(Dataset {
+        let intern_time = intern_start.elapsed();
+
+        let dataset = Dataset {
             table,
             configs: out_configs,
-        })
+        };
+        let (cache_hits, cache_misses) = match (cache_before, cache.map(|c| c.stats())) {
+            (Some(before), Some(after)) => (after.hits - before.hits, after.misses - before.misses),
+            _ => (0, 0),
+        };
+        let stats = BuildStats {
+            configs: dataset.configs.len(),
+            lines: dataset.configs.iter().map(|c| c.lines.len()).sum(),
+            patterns: dataset.table.len(),
+            lex_time,
+            intern_time,
+            cache_enabled: cache.is_some(),
+            cache_hits,
+            cache_misses,
+        };
+        Ok((dataset, stats))
     }
 
     /// Returns the total number of configuration lines (excluding
@@ -239,7 +292,12 @@ impl Dataset {
 }
 
 /// Runs embedding and lexing for one file.
-fn lex_text(text: &str, lexer: &Lexer, embed_context: bool) -> (FormatCategory, Vec<LexedLine>) {
+fn lex_text(
+    text: &str,
+    lexer: &Lexer,
+    embed_context: bool,
+    cache: Option<&LexCache>,
+) -> (FormatCategory, Vec<LexedLine>) {
     let (format, embedded) = if embed_context {
         embed_auto(text)
     } else {
@@ -250,7 +308,10 @@ fn lex_text(text: &str, lexer: &Lexer, embed_context: bool) -> (FormatCategory, 
     };
     let lines = embedded
         .iter()
-        .map(|e| lexer.lex_line(&e.parents, &e.original, e.line_no))
+        .map(|e| match cache {
+            Some(cache) => lexer.lex_line_cached(cache, &e.parents, &e.original, e.line_no),
+            None => lexer.lex_line(&e.parents, &e.original, e.line_no),
+        })
         .collect();
     (format, lines)
 }

@@ -31,6 +31,9 @@ use crate::params::LearnParams;
 pub struct LearnStats {
     /// Time spent building the occurrence view.
     pub view_time: std::time::Duration,
+    /// Per-miner wall-clock time, in execution order (one entry per
+    /// enabled miner, including `relational`).
+    pub miner_times: Vec<(String, std::time::Duration)>,
     /// Time spent in the non-relational miners combined.
     pub simple_miners_time: std::time::Duration,
     /// Time spent mining relational candidates.
@@ -105,23 +108,29 @@ pub fn learn_with_stats(dataset: &Dataset, params: &LearnParams) -> (ContractSet
 
     let t = Instant::now();
     let mut contracts: Vec<Contract> = Vec::new();
-    if params.enable_present {
-        contracts.extend(present::mine(&view, params));
-    }
-    if params.enable_ordering {
-        contracts.extend(ordering::mine(&view, params));
-    }
-    if params.enable_type {
-        contracts.extend(typing::mine(&view, params));
-    }
-    if params.enable_sequence {
-        contracts.extend(sequence::mine(&view, params));
-    }
-    if params.enable_unique {
-        contracts.extend(unique::mine(&view, params));
-    }
-    if params.enable_range {
-        contracts.extend(range::mine(&view, params));
+    {
+        // Each enabled miner is timed individually for PipelineStats.
+        let mut run_miner = |name: &str, enabled: bool, mine: &dyn Fn() -> Vec<Contract>| {
+            if enabled {
+                let t = Instant::now();
+                contracts.extend(mine());
+                stats.miner_times.push((name.to_string(), t.elapsed()));
+            }
+        };
+        run_miner("present", params.enable_present, &|| {
+            present::mine(&view, params)
+        });
+        run_miner("ordering", params.enable_ordering, &|| {
+            ordering::mine(&view, params)
+        });
+        run_miner("type", params.enable_type, &|| typing::mine(&view, params));
+        run_miner("sequence", params.enable_sequence, &|| {
+            sequence::mine(&view, params)
+        });
+        run_miner("unique", params.enable_unique, &|| {
+            unique::mine(&view, params)
+        });
+        run_miner("range", params.enable_range, &|| range::mine(&view, params));
     }
     stats.simple_miners_time = t.elapsed();
 
@@ -130,6 +139,9 @@ pub fn learn_with_stats(dataset: &Dataset, params: &LearnParams) -> (ContractSet
         let t = Instant::now();
         let mined = relational::mine(&view, params);
         stats.relational_time = t.elapsed();
+        stats
+            .miner_times
+            .push(("relational".to_string(), stats.relational_time));
         relational_before = mined.len();
         let t = Instant::now();
         let reduced = if params.minimize {

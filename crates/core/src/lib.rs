@@ -53,6 +53,7 @@ mod ir;
 mod learn;
 pub mod parallel;
 mod params;
+mod stats;
 
 pub use check::coverage::{CoverageReport, CoverageSummary};
 pub use check::{check, check_parallel, CheckReport, Violation};
@@ -60,3 +61,4 @@ pub use contract::{Contract, ContractSet, PatternRef, RelationKind, RelationalCo
 pub use ir::{ConfigIr, Dataset, DatasetError, LineRecord, PatternId, PatternTable};
 pub use learn::{learn, learn_with_stats, LearnStats};
 pub use params::LearnParams;
+pub use stats::{BuildStats, CheckStats, PipelineStats, STATS_SCHEMA};

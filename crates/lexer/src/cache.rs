@@ -1,0 +1,212 @@
+//! A shared, content-addressed lex cache.
+//!
+//! Network configurations within a role repeat the same line *shapes*
+//! thousands of times (`vlan 251` on thirty devices, `no shutdown` on
+//! every interface). Re-running the maximal-munch scanner on each
+//! occurrence dominates dataset construction, so [`LexCache`] memoizes
+//! the result of lexing one embedded line — the typed pattern plus the
+//! bound parameters — keyed by the full embedded content (parent context
+//! and original text). Each distinct line shape is lexed exactly once per
+//! cache, no matter how many configurations contain it.
+//!
+//! The cache is sharded and internally synchronized, so the parallel
+//! dataset builder shares one cache across all worker threads. Hits and
+//! misses are counted with relaxed atomics and surface in the pipeline
+//! statistics (`concord-cli --stats`).
+//!
+//! A cache memoizes the output of *one* token-definition set: reusing a
+//! cache with a lexer built from different custom tokens returns stale
+//! patterns. Callers that switch lexers must switch caches.
+
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::Param;
+
+/// Number of independently locked shards. A small power of two keeps
+/// contention negligible at the parallelism levels the pipeline uses.
+const SHARDS: usize = 16;
+
+/// One memoized lexing result.
+#[derive(Debug, Clone)]
+struct CachedLine {
+    pattern: String,
+    params: Vec<Param>,
+}
+
+/// Hit/miss counts observed by a [`LexCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the scanner.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; `0` when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
+/// A thread-safe memo table from embedded line content to lexing result.
+#[derive(Debug, Default)]
+pub struct LexCache {
+    shards: Vec<Mutex<HashMap<String, CachedLine>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl LexCache {
+    /// Creates an empty cache.
+    pub fn new() -> LexCache {
+        LexCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Builds the content-address of an embedded line. Parents are single
+    /// lines (no `'\n'`), so newline-joining is unambiguous, and `'\x00'`
+    /// separates context from original text.
+    pub(crate) fn key(parents: &[String], original: &str) -> String {
+        let mut key = String::with_capacity(
+            parents.iter().map(|p| p.len() + 1).sum::<usize>() + original.len() + 1,
+        );
+        for parent in parents {
+            key.push_str(parent);
+            key.push('\n');
+        }
+        key.push('\x00');
+        key.push_str(original);
+        key
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<HashMap<String, CachedLine>> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARDS]
+    }
+
+    /// Looks up a memoized result, counting the hit or miss.
+    pub(crate) fn lookup(&self, key: &str) -> Option<(String, Vec<Param>)> {
+        let guard = self.shard(key).lock().expect("lex cache shard poisoned");
+        match guard.get(key) {
+            Some(entry) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some((entry.pattern.clone(), entry.params.clone()))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Memoizes a freshly lexed line.
+    pub(crate) fn insert(&self, key: String, pattern: &str, params: &[Param]) {
+        let mut guard = self.shard(&key).lock().expect("lex cache shard poisoned");
+        guard.entry(key).or_insert_with(|| CachedLine {
+            pattern: pattern.to_string(),
+            params: params.to_vec(),
+        });
+    }
+
+    /// Returns the number of distinct line shapes cached.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("lex cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Returns `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the hit/miss counts observed so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lexer;
+
+    #[test]
+    fn second_lookup_hits() {
+        let lexer = Lexer::standard();
+        let cache = LexCache::new();
+        let parents = vec!["router bgp 65015".to_string()];
+        let first = lexer.lex_line_cached(&cache, &parents, "vlan 251", 3);
+        let second = lexer.lex_line_cached(&cache, &parents, "vlan 251", 9);
+        assert_eq!(first.pattern, second.pattern);
+        assert_eq!(first.params, second.params);
+        // line_no stays per-occurrence, outside the cache.
+        assert_eq!(first.line_no, 3);
+        assert_eq!(second.line_no, 9);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cached_result_matches_uncached() {
+        let lexer = Lexer::standard();
+        let cache = LexCache::new();
+        let parents = vec!["interface Port-Channel110".to_string()];
+        let line = "route-target import 00:00:0c:d3:00:6e";
+        let direct = lexer.lex_line(&parents, line, 8);
+        lexer.lex_line_cached(&cache, &parents, line, 8); // prime
+        let cached = lexer.lex_line_cached(&cache, &parents, line, 8);
+        assert_eq!(cached, direct);
+    }
+
+    #[test]
+    fn distinct_context_is_a_distinct_entry() {
+        let lexer = Lexer::standard();
+        let cache = LexCache::new();
+        let a = lexer.lex_line_cached(&cache, &["vlan 10".to_string()], "name X", 1);
+        let b = lexer.lex_line_cached(&cache, &["vlan 20".to_string()], "name X", 1);
+        // Same pattern text (context lexes anonymously) but both shapes
+        // were real misses: the key includes the raw parent text.
+        assert_eq!(a.pattern, b.pattern);
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn key_is_unambiguous() {
+        // (parents ["a"], "b") must differ from (parents [], "a\nb")-style
+        // concatenations.
+        let k1 = LexCache::key(&["a".to_string()], "b");
+        let k2 = LexCache::key(&[], "a\nb");
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn hit_rate_arithmetic() {
+        let stats = CacheStats { hits: 3, misses: 1 };
+        assert_eq!(stats.lookups(), 4);
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

@@ -39,8 +39,10 @@
 //! assert_eq!(lexed.params[0].value.render(), "251");
 //! ```
 
+mod cache;
 mod token;
 
+pub use cache::{CacheStats, LexCache};
 pub use token::{TokenDef, TokenDefError};
 
 use concord_types::{Value, ValueType};
@@ -127,6 +129,34 @@ impl Lexer {
             line_no,
             original: original.to_string(),
         }
+    }
+
+    /// Lexes a full embedded line through a shared [`LexCache`]: each
+    /// distinct `(parents, original)` content is scanned once per cache,
+    /// and later occurrences replay the memoized pattern and parameters
+    /// (with their own `line_no`).
+    ///
+    /// The result is identical to [`Lexer::lex_line`] as long as `cache`
+    /// is only ever used with lexers holding the same token definitions.
+    pub fn lex_line_cached(
+        &self,
+        cache: &LexCache,
+        parents: &[String],
+        original: &str,
+        line_no: u32,
+    ) -> LexedLine {
+        let key = LexCache::key(parents, original);
+        if let Some((pattern, params)) = cache.lookup(&key) {
+            return LexedLine {
+                pattern,
+                params,
+                line_no,
+                original: original.to_string(),
+            };
+        }
+        let lexed = self.lex_line(parents, original, line_no);
+        cache.insert(key, &lexed.pattern, &lexed.params);
+        lexed
     }
 
     /// Lexes a standalone fragment, binding parameters.

