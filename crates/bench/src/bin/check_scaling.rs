@@ -1,0 +1,158 @@
+//! Check-engine scaling: naive reference checker vs the compiled
+//! [`CheckProgram`] engine on growing relational-heavy workloads.
+//!
+//! For each dataset size the harness learns contracts once, then times
+//! both checkers (minimum of several samples) and records the speedup
+//! into `BENCH_check.json` at the repository root (and
+//! `target/experiments/check_scaling.json`). Pass `--smoke` (or set
+//! `CONCORD_CHECK_SMOKE=1`) for the small CI sizes.
+//!
+//! The workload is the EdgeIndent generator: every device carries
+//! loopback/prefix-list/VLAN blocks whose invariants learn as
+//! relational contracts, so checking cost is dominated by relational
+//! witness search — exactly what the compiled engine's indexes target.
+
+use concord_bench::{dataset_of, fmt_secs, seed, timed, write_result};
+use concord_core::LearnParams;
+use concord_core::{check_naive_parallel, check_parallel_with_stats, learn, CheckReport};
+use concord_datagen::{generate_role, RoleSpec, Style};
+use concord_json::{json, Json};
+use std::time::Duration;
+
+/// Timed check samples per engine; the minimum is the reported estimate.
+const SAMPLES: usize = 3;
+
+/// Repeated-block knob (`CONCORD_CHECK_BLOCKS` overrides): per-device
+/// VLAN/interface/prefix-list multiplicity. Naive relational checking is
+/// O(blocks²) per contract per config (every antecedent occurrence scans
+/// every consequent occurrence), so this is the axis that separates the
+/// engines; the compiled engine's witness indexes make it O(blocks).
+/// Full runs use the value the committed `BENCH_check.json` was measured
+/// at; smoke runs shrink it to keep CI fast.
+const BLOCKS_FULL: usize = 768;
+const BLOCKS_SMOKE: usize = 96;
+
+fn blocks() -> usize {
+    std::env::var("CONCORD_CHECK_BLOCKS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if smoke() { BLOCKS_SMOKE } else { BLOCKS_FULL })
+}
+
+fn smoke() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+        || std::env::var("CONCORD_CHECK_SMOKE").is_ok_and(|v| v == "1")
+}
+
+fn min_time(mut run: impl FnMut() -> CheckReport) -> (CheckReport, Duration) {
+    let mut best: Option<(CheckReport, Duration)> = None;
+    for _ in 0..SAMPLES {
+        let (report, elapsed) = timed(&mut run);
+        if best.as_ref().is_none_or(|(_, t)| elapsed < *t) {
+            best = Some((report, elapsed));
+        }
+    }
+    best.expect("SAMPLES > 0")
+}
+
+fn main() {
+    let sizes: &[usize] = if smoke() {
+        &[4, 8, 16]
+    } else {
+        &[8, 16, 32, 64]
+    };
+    let parallelism = 1; // single-threaded: measure the algorithm, not the pool
+
+    let mut entries: Vec<Json> = Vec::new();
+    for &devices in sizes {
+        let spec = RoleSpec {
+            name: format!("SCALE{devices}"),
+            devices,
+            style: Style::EdgeIndent,
+            blocks: blocks(),
+            with_metadata: false,
+        };
+        let role = generate_role(&spec, seed());
+        let dataset = dataset_of(&role);
+        // Default params (no constant mining): constants learn thousands of
+        // per-line Present contracts that cost the same in both engines;
+        // this benchmark isolates the relational witness search.
+        let contracts = learn(&dataset, &LearnParams::default());
+
+        let (naive_report, naive_time) =
+            min_time(|| check_naive_parallel(&contracts, &dataset, parallelism));
+        let mut compiled_stats = None;
+        let (compiled_report, compiled_time) = min_time(|| {
+            let (report, stats) = check_parallel_with_stats(&contracts, &dataset, parallelism);
+            compiled_stats = Some(stats);
+            report
+        });
+        let compiled_stats = compiled_stats.expect("SAMPLES > 0");
+        assert_eq!(
+            naive_report.violations, compiled_report.violations,
+            "engines must agree before their timings are comparable"
+        );
+
+        let speedup = naive_time.as_secs_f64() / compiled_time.as_secs_f64().max(1e-9);
+        println!(
+            "{:>4} configs ({} lines, {} contracts): naive {} / compiled {} ({speedup:.1}x), {} violations",
+            devices,
+            role.total_lines(),
+            contracts.len(),
+            fmt_secs(naive_time),
+            fmt_secs(compiled_time),
+            compiled_report.violations.len(),
+        );
+
+        let phases = Json::Array(
+            compiled_stats
+                .category_times
+                .iter()
+                .map(|(name, time)| json!({ "name": name.as_str(), "secs": time.as_secs_f64() }))
+                .collect(),
+        );
+        entries.push(json!({
+            "configs": devices,
+            "lines": role.total_lines(),
+            "contracts": contracts.len(),
+            "violations": compiled_report.violations.len(),
+            "naive_secs": naive_time.as_secs_f64(),
+            "compiled_secs": compiled_time.as_secs_f64(),
+            "speedup": speedup,
+            "compile_secs": compiled_stats.compile_time.as_secs_f64(),
+            "witness": json!({
+                "indexes": compiled_stats.witness_indexes,
+                "entries": compiled_stats.witness_entries,
+                "probes": compiled_stats.witness_probes,
+                "hit_rate": compiled_stats.probe_hit_rate(),
+            }),
+            "phases": phases,
+        }));
+    }
+
+    let result = json!({
+        "schema": "concord-bench-check/v1",
+        "smoke": smoke(),
+        "seed": seed(),
+        "blocks": blocks(),
+        "parallelism": parallelism,
+        "sizes": Json::Array(entries),
+    });
+    write_result("check_scaling", &result);
+    if !smoke() {
+        write_bench_file(&result);
+    }
+}
+
+/// Writes the latest run to `BENCH_check.json` at the repository root.
+/// Unlike the pipeline trajectory this is a snapshot, not an append-only
+/// log: the scaling curve is the artifact, not its history. Smoke runs
+/// skip it — the committed snapshot is always a full-ladder measurement.
+fn write_bench_file(result: &Json) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_check.json");
+    let text = concord_json::to_string_pretty(result).expect("result serializes");
+    match std::fs::write(&path, text) {
+        Ok(()) => eprintln!("(wrote {})", path.display()),
+        Err(e) => eprintln!("(could not write {}: {e})", path.display()),
+    }
+}

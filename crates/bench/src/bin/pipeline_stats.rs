@@ -10,7 +10,9 @@
 //! the trajectory.
 
 use concord_bench::{fmt_secs, scale, seed, write_result};
-use concord_core::{check_parallel, learn_with_stats, Dataset, LearnParams, PipelineStats};
+use concord_core::{
+    check_parallel_with_stats, learn_with_stats, Dataset, LearnParams, PipelineStats,
+};
 use concord_datagen::{generate_role, standard_roles};
 use concord_json::{json, Json};
 use concord_lexer::{LexCache, Lexer};
@@ -59,15 +61,9 @@ fn main() {
         Dataset::build_with_stats(&role.configs, &[], &lexer, true, 1, Some(&cache))
             .expect("build succeeds");
     let (contracts, learn_stats) = learn_with_stats(&dataset, &params);
-    let check_start = Instant::now();
-    let report = check_parallel(&contracts, &dataset, 1);
+    let (_report, check_stats) = check_parallel_with_stats(&contracts, &dataset, 1);
     let pipeline = PipelineStats {
-        check: Some(concord_core::CheckStats {
-            contracts: contracts.len(),
-            violations: report.violations.len(),
-            parallelism: 1,
-            check_time: check_start.elapsed(),
-        }),
+        check: Some(check_stats),
         build: Some(build_stats),
         learn: Some(learn_stats),
         total_time: total.elapsed(),

@@ -1,0 +1,112 @@
+//! Golden equivalence: the compiled check engine must produce
+//! byte-identical reports to the naive oracle (`check_naive_parallel`,
+//! kept behind the `naive-check` feature) — same violations in the same
+//! order, same coverage — across config styles, injected faults, and
+//! worker counts. This is the contract that lets every optimization in
+//! the compiled engine land without a semantics review: the oracle is
+//! the spec.
+
+use concord_bench::{default_params, seed};
+use concord_core::{check_naive_parallel, check_parallel, CheckReport, ContractSet, Dataset};
+use concord_datagen::faults::{incidents, inject, Fault};
+use concord_datagen::{generate_role, GeneratedRole, RoleSpec, Style};
+
+/// Renders a report to a canonical string. Violations keep engine order
+/// (order equality is part of the contract); coverage sets are sorted
+/// (`HashSet` iteration order is not part of the report's meaning).
+fn render(report: &CheckReport) -> String {
+    let mut out = String::new();
+    for v in &report.violations {
+        out.push_str(&format!("{v:?}\n"));
+    }
+    for c in &report.coverage.per_config {
+        let mut covered: Vec<usize> = c.covered.iter().copied().collect();
+        covered.sort_unstable();
+        out.push_str(&format!(
+            "coverage {} total={} covered={covered:?}\n",
+            c.name, c.total_lines
+        ));
+        for (cat, lines) in &c.by_category {
+            let mut lines: Vec<usize> = lines.iter().copied().collect();
+            lines.sort_unstable();
+            out.push_str(&format!("  {cat}: {lines:?}\n"));
+        }
+    }
+    out
+}
+
+/// Applies a rotating fault per device; devices whose text lacks the
+/// fault's marker stay clean (faults target style-specific lines).
+fn with_faults(role: &GeneratedRole) -> Vec<(String, String)> {
+    let faults = [
+        incidents::MISSING_AGGREGATE,
+        incidents::ROGUE_VLAN_BLOCK,
+        incidents::VRF_INSERTION,
+        Fault::ReplaceValue("10.", "172."),
+        Fault::DuplicateLineContaining("vlan"),
+    ];
+    role.configs
+        .iter()
+        .enumerate()
+        .map(|(i, (name, text))| {
+            let text = match inject(text, faults[i % faults.len()]) {
+                Some(injection) => injection.text,
+                None => text.clone(),
+            };
+            (name.clone(), text)
+        })
+        .collect()
+}
+
+fn assert_engines_agree(contracts: &ContractSet, dataset: &Dataset, label: &str) {
+    for parallelism in [1, 8] {
+        let compiled = check_parallel(contracts, dataset, parallelism);
+        let naive = check_naive_parallel(contracts, dataset, parallelism);
+        assert_eq!(
+            render(&compiled),
+            render(&naive),
+            "engines diverge on {label} at parallelism {parallelism}"
+        );
+        // The faulted datasets must actually exercise the engines.
+        if label.contains("faulted") {
+            assert!(
+                !compiled.violations.is_empty(),
+                "{label} produced no violations — the faults were not injected"
+            );
+        }
+    }
+}
+
+fn check_style(style: Style, name: &str) {
+    let spec = RoleSpec {
+        name: name.to_string(),
+        devices: 8,
+        style,
+        blocks: 6,
+        with_metadata: true,
+    };
+    let role = generate_role(&spec, seed());
+    // Constants on: present-exact contracts join the mix, so every
+    // violation and coverage category is exercised.
+    let dataset =
+        Dataset::from_named_texts(&role.configs, &role.metadata).expect("clean dataset builds");
+    let contracts = concord_core::learn(&dataset, &default_params());
+    assert!(!contracts.is_empty(), "{name} learned no contracts");
+
+    assert_engines_agree(&contracts, &dataset, &format!("{name} clean"));
+
+    let faulted = with_faults(&role);
+    let faulted_dataset =
+        Dataset::from_named_texts(&faulted, &role.metadata).expect("faulted dataset builds");
+    assert_engines_agree(&contracts, &faulted_dataset, &format!("{name} faulted"));
+}
+
+#[test]
+fn compiled_engine_matches_naive_on_edge_style() {
+    check_style(Style::EdgeIndent, "EDGE-EQ");
+}
+
+#[test]
+fn compiled_engine_matches_naive_on_wan_style() {
+    check_style(Style::WanFlat, "WAN-EQ");
+}

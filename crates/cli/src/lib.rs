@@ -35,7 +35,8 @@ use std::path::Path;
 use std::time::Instant;
 
 use concord_core::{
-    check_parallel, learn_with_stats, BuildStats, CheckStats, ContractSet, Dataset, PipelineStats,
+    check_parallel, check_parallel_with_stats, learn_with_stats, BuildStats, ContractSet, Dataset,
+    PipelineStats,
 };
 use concord_lexer::Lexer;
 
@@ -160,17 +161,11 @@ fn run_check(args: &CheckArgs, out: &mut dyn std::io::Write) -> Result<i32, CliE
         args.embed,
         args.parallelism,
     )?;
-    let check_start = Instant::now();
-    let report = check_parallel(&contracts, &dataset, args.parallelism);
+    let (report, check_stats) = check_parallel_with_stats(&contracts, &dataset, args.parallelism);
     let stats = PipelineStats {
         build: Some(build_stats),
         learn: None,
-        check: Some(CheckStats {
-            contracts: contracts.len(),
-            violations: report.violations.len(),
-            parallelism: args.parallelism.max(1),
-            check_time: check_start.elapsed(),
-        }),
+        check: Some(check_stats),
         total_time: total.elapsed(),
     };
 

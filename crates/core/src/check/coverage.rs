@@ -23,12 +23,25 @@
 //! - **relational**: a consequent line is covered when it is the *sole
 //!   witness* of some antecedent instance (other than itself).
 
+//!
+//! Coverage executes against the compiled [`CheckProgram`]: it reuses the
+//! per-configuration [`ProgramContext`] that checking built, so the
+//! transformed-value cache is shared and the relational rule costs no
+//! extra probes — the check pass's fused witness queries already stashed
+//! every sole-witness line. The naive variant
+//! ([`config_coverage_naive`]) is retained behind the `naive-check`
+//! feature as the equivalence oracle.
+
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 use concord_types::Transform;
 
+use crate::check::program::{CheckProgram, ProgramContext};
+#[cfg(any(test, feature = "naive-check"))]
 use crate::check::{find_witnesses, ConfigContext, Resolved, ResolvedContract};
-use crate::contract::{Contract, ContractSet};
+use crate::contract::Contract;
+#[cfg(any(test, feature = "naive-check"))]
+use crate::contract::ContractSet;
 use crate::ir::ConfigIr;
 use crate::learn::sequence_is_sequential;
 
@@ -92,8 +105,196 @@ impl CoverageReport {
     }
 }
 
-/// Computes coverage of one configuration under `contracts`.
+/// Computes coverage of one configuration against the compiled program,
+/// reusing the per-configuration context (value cache + witness indexes)
+/// the check pass built.
 pub(crate) fn config_coverage(
+    program: &CheckProgram<'_>,
+    config: &ConfigIr,
+    pctx: &ProgramContext<'_>,
+) -> ConfigCoverage {
+    let contracts = &program.contracts.contracts;
+    let ctx = &pctx.ctx;
+    // Accumulate in bitsets: a covered line is reported many times (every
+    // relational sole witness, every contract sharing it), and hashing
+    // each duplicate dwarfs the probes themselves. The public
+    // `HashSet`/`BTreeMap` shape is materialized once at the end, paying
+    // one insert per *unique* covered line instead of one per report.
+    let mut bits = CoverBits::new(config.lines.len());
+    let cover = |cat: &'static str, li: usize, config: &ConfigIr, bits: &mut CoverBits| {
+        if config.lines[li].is_meta {
+            return;
+        }
+        bits.set(cat, li);
+    };
+
+    // Exact-line groups are only needed for PresentExact contracts.
+    let filled_groups: HashMap<&str, Vec<usize>> = if program.resolved.need_filled_lines {
+        let mut map: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (li, filled) in ctx.filled_by_line.iter().enumerate() {
+            map.entry(filled.as_str()).or_default().push(li);
+        }
+        map
+    } else {
+        HashMap::new()
+    };
+
+    // Present: the only line matching the pattern is covered.
+    for &(idx, id) in &program.present {
+        let Some(id) = id else { continue };
+        if let Some(idxs) = ctx.lines_by_pattern.get(&id) {
+            if idxs.len() == 1 {
+                cover(contracts[idx].category(), idxs[0], config, &mut bits);
+            }
+        }
+    }
+    for &idx in &program.present_exact {
+        let Contract::PresentExact { line } = &contracts[idx] else {
+            unreachable!("present-exact op on non-exact contract")
+        };
+        if let Some(idxs) = filled_groups.get(line.as_str()) {
+            if idxs.len() == 1 {
+                cover(contracts[idx].category(), idxs[0], config, &mut bits);
+            }
+        }
+    }
+
+    // Ordering: a `second` line preceded by `first` and not followed by
+    // another `second` is the sole adjacency witness. Dispatched on the
+    // second pattern's occurrence list instead of scanning every line.
+    for &(idx, f, s) in &program.ordering {
+        let Some(s) = s else { continue };
+        let Some(seconds) = ctx.lines_by_pattern.get(&s) else {
+            continue;
+        };
+        for &li in seconds {
+            let prev_matches = li > 0
+                && config.lines[li - 1].pattern == f
+                && config.lines[li - 1].is_meta == config.lines[li].is_meta;
+            if !prev_matches {
+                continue;
+            }
+            let next_also_matches = config
+                .lines
+                .get(li + 1)
+                .is_some_and(|n| n.pattern == s && n.is_meta == config.lines[li].is_meta);
+            if !next_also_matches {
+                cover(contracts[idx].category(), li, config, &mut bits);
+            }
+        }
+    }
+
+    // Type and range contracts flag existing lines; removal cannot
+    // violate them, so they cover nothing (§3.9).
+
+    // Sequence: interior elements of a valid progression of length ≥ 4.
+    for &(idx, id) in &program.sequence {
+        let Contract::Sequence { param, .. } = &contracts[idx] else {
+            unreachable!("sequence op on non-sequence contract")
+        };
+        let values = ctx.values_of(config, id, *param, &Transform::Id);
+        let nums: Vec<&concord_types::BigNum> =
+            values.iter().filter_map(|(v, _)| v.as_num()).collect();
+        if nums.len() >= 4 && sequence_is_sequential(&nums) {
+            for (_, li) in &values[1..values.len() - 1] {
+                cover(contracts[idx].category(), *li, config, &mut bits);
+            }
+        }
+    }
+
+    // Unique: only `once_per_config` uniques cover their single instance.
+    for &(idx, id) in &program.unique {
+        let Contract::Unique {
+            once_per_config, ..
+        } = &contracts[idx]
+        else {
+            unreachable!("unique op on non-unique contract")
+        };
+        if !once_per_config {
+            continue;
+        }
+        if let Some(idxs) = ctx.lines_by_pattern.get(&id) {
+            if idxs.len() == 1 {
+                cover(contracts[idx].category(), idxs[0], config, &mut bits);
+            }
+        }
+    }
+
+    // Relational: a consequent line that is the sole witness of some
+    // antecedent instance (other than itself) is covered. The check
+    // pass's fused probes already identified these lines — consume the
+    // stash instead of re-probing every antecedent.
+    for (idx, w) in pctx.take_relational_cover() {
+        cover(contracts[idx].category(), w as usize, config, &mut bits);
+    }
+
+    let (covered, by_category) = bits.materialize();
+    ConfigCoverage {
+        name: config.name.clone(),
+        total_lines: config.own_line_count(),
+        covered,
+        by_category,
+    }
+}
+
+/// Per-line coverage bitsets: one overall, one per category seen. The
+/// category list stays tiny (one entry per contract category, ≤ 7), so a
+/// linear scan on an interned `&'static str` beats hashing.
+struct CoverBits {
+    lines: usize,
+    all: Vec<bool>,
+    per_category: Vec<(&'static str, Vec<bool>)>,
+}
+
+impl CoverBits {
+    fn new(lines: usize) -> Self {
+        CoverBits {
+            lines,
+            all: vec![false; lines],
+            per_category: Vec::new(),
+        }
+    }
+
+    fn set(&mut self, cat: &'static str, li: usize) {
+        self.all[li] = true;
+        match self.per_category.iter_mut().find(|(c, _)| *c == cat) {
+            Some((_, bits)) => bits[li] = true,
+            None => {
+                let mut bits = vec![false; self.lines];
+                bits[li] = true;
+                self.per_category.push((cat, bits));
+            }
+        }
+    }
+
+    fn materialize(self) -> (HashSet<usize>, BTreeMap<String, HashSet<usize>>) {
+        let covered = self
+            .all
+            .iter()
+            .enumerate()
+            .filter_map(|(li, &c)| c.then_some(li))
+            .collect();
+        let by_category = self
+            .per_category
+            .into_iter()
+            .map(|(cat, bits)| {
+                let lines = bits
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(li, &c)| c.then_some(li))
+                    .collect();
+                (cat.to_string(), lines)
+            })
+            .collect();
+        (covered, by_category)
+    }
+}
+
+/// Computes coverage of one configuration under `contracts` with the
+/// naive per-contract scans (the equivalence oracle for
+/// [`config_coverage`]).
+#[cfg(any(test, feature = "naive-check"))]
+pub(crate) fn config_coverage_naive(
     contracts: &ContractSet,
     config: &ConfigIr,
     resolved: &Resolved,
@@ -106,7 +307,16 @@ pub(crate) fn config_coverage(
             return;
         }
         covered.insert(li);
-        by_category.entry(cat.to_string()).or_default().insert(li);
+        // Hot path: look up by `&str` first so the per-line call does not
+        // allocate a key (categories repeat across thousands of lines).
+        match by_category.get_mut(cat) {
+            Some(lines) => {
+                lines.insert(li);
+            }
+            None => {
+                by_category.entry(cat.to_string()).or_default().insert(li);
+            }
+        }
     };
 
     // Exact-line groups are only needed for PresentExact contracts.

@@ -5,18 +5,36 @@
 //! line number, and offending values — the "actionable" property of
 //! contracts. It also measures configuration coverage (§3.9) via
 //! [`coverage`].
+//!
+//! Checking runs on the compiled engine ([`program::CheckProgram`]):
+//! contracts are compiled once per (contract set, dataset) into
+//! pattern-dispatched checks with indexed relational witnesses, then
+//! executed per configuration. The original naive engine is retained
+//! behind the `naive-check` feature (and in tests) as the equivalence
+//! oracle and benchmark baseline — see `check_naive`.
 
 pub mod coverage;
+pub mod program;
+mod witness;
+
+pub use program::CheckProgram;
 
 use std::collections::{HashMap, HashSet};
+
+use crate::fxhash::FxHashMap;
+use std::time::Instant;
 
 use concord_lexer::type_agnostic_pattern;
 use concord_types::{Transform, Value};
 
-use crate::contract::{Contract, ContractSet, RelationKind, RelationalContract};
+use crate::contract::{Contract, ContractSet};
+#[cfg(any(test, feature = "naive-check"))]
+use crate::contract::{RelationKind, RelationalContract};
 use crate::ir::{ConfigIr, Dataset, PatternId};
+#[cfg(any(test, feature = "naive-check"))]
 use crate::learn::sequence_is_sequential;
 use crate::parallel;
+use crate::stats::CheckStats;
 
 /// One contract violation, localized to a configuration and line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -99,24 +117,21 @@ impl CheckReport {
         out
     }
 
-    /// Counts violations per configuration, in dataset order of first
-    /// appearance.
+    /// Counts violations per configuration, in order of each
+    /// configuration's first appearance in the violation list.
     pub fn violations_by_config(&self) -> Vec<(String, usize)> {
-        let mut order: Vec<String> = Vec::new();
-        let mut counts: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+        let mut out: Vec<(String, usize)> = Vec::new();
+        let mut slot: HashMap<&str, usize> = HashMap::new();
         for v in &self.violations {
-            if !counts.contains_key(&v.config) {
-                order.push(v.config.clone());
+            match slot.get(v.config.as_str()) {
+                Some(&i) => out[i].1 += 1,
+                None => {
+                    slot.insert(&v.config, out.len());
+                    out.push((v.config.clone(), 1));
+                }
             }
-            *counts.entry(v.config.clone()).or_insert(0) += 1;
         }
-        order
-            .into_iter()
-            .map(|name| {
-                let count = counts[&name];
-                (name, count)
-            })
-            .collect()
+        out
     }
 }
 
@@ -131,6 +146,104 @@ pub fn check_parallel(
     dataset: &Dataset,
     parallelism: usize,
 ) -> CheckReport {
+    check_parallel_with_stats(contracts, dataset, parallelism).0
+}
+
+/// Checks with an explicit parallelism level, also reporting
+/// [`CheckStats`]: compile time, witness index/probe counters, and
+/// per-phase wall-clock times.
+///
+/// With `parallelism > 1` the per-phase times are summed across workers
+/// (CPU time, not wall-clock); `check_time` is the end-to-end wall-clock.
+pub fn check_parallel_with_stats(
+    contracts: &ContractSet,
+    dataset: &Dataset,
+    parallelism: usize,
+) -> (CheckReport, CheckStats) {
+    let start = Instant::now();
+    let program = CheckProgram::compile(contracts, dataset);
+
+    let per_config = parallel::map(
+        &dataset.configs,
+        |config| program.run_config(config),
+        parallelism,
+    );
+
+    let mut violations = Vec::new();
+    let mut coverages = Vec::new();
+    let mut phases = program::PhaseTimes::default();
+    let (mut indexes_built, mut index_entries, mut probes, mut probe_hits) = (0, 0, 0, 0);
+    for (v, c, counters, p) in per_config {
+        violations.extend(v);
+        coverages.push(c);
+        indexes_built += counters.indexes_built.get();
+        index_entries += counters.index_entries.get();
+        probes += counters.probes.get();
+        probe_hits += counters.probe_hits.get();
+        phases.present += p.present;
+        phases.pattern += p.pattern;
+        phases.sequence += p.sequence;
+        phases.relational += p.relational;
+        phases.coverage += p.coverage;
+    }
+
+    // Unique contracts are global: one pass across all configs at once.
+    let unique_start = Instant::now();
+    violations.extend(program.check_unique(dataset));
+    let unique_time = unique_start.elapsed();
+
+    violations.sort_by(|a, b| {
+        (&a.config, a.line_no, a.contract_index).cmp(&(&b.config, b.line_no, b.contract_index))
+    });
+
+    let stats = CheckStats {
+        contracts: contracts.len(),
+        violations: violations.len(),
+        parallelism: parallelism.max(1),
+        check_time: start.elapsed(),
+        compile_time: program.compile_time,
+        witness_indexes: indexes_built,
+        witness_entries: index_entries,
+        witness_probes: probes,
+        witness_probe_hits: probe_hits,
+        category_times: vec![
+            ("present".to_string(), phases.present),
+            ("pattern".to_string(), phases.pattern),
+            ("sequence".to_string(), phases.sequence),
+            ("relational".to_string(), phases.relational),
+            ("unique".to_string(), unique_time),
+            ("coverage".to_string(), phases.coverage),
+        ],
+    };
+
+    (
+        CheckReport {
+            violations,
+            coverage: coverage::CoverageReport {
+                per_config: coverages,
+            },
+        },
+        stats,
+    )
+}
+
+/// The naive reference checker: every contract scans for its pattern and
+/// every relational probe scans all consequents. Retained as the
+/// equivalence oracle for the compiled engine and as the benchmark
+/// baseline (`check_scaling`); output is byte-identical to
+/// [`check_parallel`] by construction (and pinned by the golden test).
+#[cfg(any(test, feature = "naive-check"))]
+pub fn check_naive(contracts: &ContractSet, dataset: &Dataset) -> CheckReport {
+    check_naive_parallel(contracts, dataset, 1)
+}
+
+/// Naive checking with an explicit parallelism level.
+#[cfg(any(test, feature = "naive-check"))]
+pub fn check_naive_parallel(
+    contracts: &ContractSet,
+    dataset: &Dataset,
+    parallelism: usize,
+) -> CheckReport {
     let resolved = resolve(contracts, dataset);
 
     let per_config: Vec<(Vec<Violation>, coverage::ConfigCoverage)> = parallel::map(
@@ -138,7 +251,7 @@ pub fn check_parallel(
         |config| {
             let ctx = ConfigContext::new(config, &dataset.table, &resolved);
             let violations = check_config(contracts, config, &resolved, &ctx);
-            let cov = coverage::config_coverage(contracts, config, &resolved, &ctx);
+            let cov = coverage::config_coverage_naive(contracts, config, &resolved, &ctx);
             (violations, cov)
         },
         parallelism,
@@ -246,7 +359,7 @@ fn resolve(contracts: &ContractSet, dataset: &Dataset) -> Resolved {
 /// transformed-value collections.
 pub(crate) struct ConfigContext {
     /// Pattern id → line indices.
-    pub lines_by_pattern: HashMap<PatternId, Vec<usize>>,
+    pub lines_by_pattern: FxHashMap<PatternId, Vec<usize>>,
     /// Per-line filled exact text (empty unless `PresentExact` contracts
     /// exist).
     pub filled_by_line: Vec<String>,
@@ -255,7 +368,7 @@ pub(crate) struct ConfigContext {
     /// Memoized transformed-value collections: many contracts share the
     /// same `(pattern, param, transform)` node, and coverage re-reads
     /// what checking already computed.
-    values_cache: std::cell::RefCell<HashMap<NodeCacheKey, SharedValues>>,
+    values_cache: std::cell::RefCell<FxHashMap<NodeCacheKey, SharedValues>>,
 }
 
 /// Cache key for transformed-value collections.
@@ -271,7 +384,7 @@ impl ConfigContext {
         table: &crate::ir::PatternTable,
         resolved: &Resolved,
     ) -> Self {
-        let mut lines_by_pattern: HashMap<PatternId, Vec<usize>> = HashMap::new();
+        let mut lines_by_pattern: FxHashMap<PatternId, Vec<usize>> = FxHashMap::default();
         for (i, line) in config.lines.iter().enumerate() {
             lines_by_pattern.entry(line.pattern).or_default().push(i);
         }
@@ -289,7 +402,7 @@ impl ConfigContext {
             lines_by_pattern,
             filled_by_line,
             filled_lines,
-            values_cache: std::cell::RefCell::new(HashMap::new()),
+            values_cache: std::cell::RefCell::new(FxHashMap::default()),
         }
     }
 
@@ -334,7 +447,9 @@ impl ConfigContext {
 }
 
 /// Evaluates one relational witness: does any consequent value relate to
-/// `v1`?
+/// `v1`? The naive O(consequents) scan — the compiled engine answers the
+/// same question through a [`witness::WitnessIndex`].
+#[cfg(any(test, feature = "naive-check"))]
 pub(crate) fn find_witnesses(
     relation: RelationKind,
     v1: &Value,
@@ -365,6 +480,7 @@ pub(crate) fn find_witnesses(
     out
 }
 
+#[cfg(any(test, feature = "naive-check"))]
 fn check_config(
     contracts: &ContractSet,
     config: &ConfigIr,
@@ -516,7 +632,15 @@ fn check_config(
                 }
             }
             (Contract::Relational(r), ResolvedContract::Relational(a, c)) => {
-                out.extend(check_relational(idx, r, config, ctx, *a, *c));
+                out.extend(check_relational(
+                    idx,
+                    r,
+                    contract.category(),
+                    config,
+                    ctx,
+                    *a,
+                    *c,
+                ));
             }
             _ => unreachable!("resolved variant mismatch"),
         }
@@ -524,9 +648,12 @@ fn check_config(
     out
 }
 
+#[cfg(any(test, feature = "naive-check"))]
+#[allow(clippy::too_many_arguments)]
 fn check_relational(
     idx: usize,
     r: &RelationalContract,
+    category: &'static str,
     config: &ConfigIr,
     ctx: &ConfigContext,
     antecedent: Option<PatternId>,
@@ -553,7 +680,7 @@ fn check_relational(
             let line = &config.lines[*li];
             out.push(Violation {
                 contract_index: idx,
-                category: "relational".to_string(),
+                category: category.to_string(),
                 config: config.name.clone(),
                 line_no: Some(line.line_no),
                 line: line.original.clone(),
@@ -569,6 +696,7 @@ fn check_relational(
     out
 }
 
+#[cfg(any(test, feature = "naive-check"))]
 fn check_unique_global(
     contracts: &ContractSet,
     dataset: &Dataset,
@@ -628,4 +756,80 @@ fn check_unique_global(
         }
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_dataset() -> Dataset {
+        let configs = vec![(
+            "dev0".to_string(),
+            "interface Loopback0\n ip address 10.0.0.1\n ip address 10.0.0.2\n".to_string(),
+        )];
+        Dataset::from_named_texts(&configs, &[]).unwrap()
+    }
+
+    fn empty_set() -> ContractSet {
+        ContractSet {
+            contracts: Vec::new(),
+            relational_before_minimization: 0,
+        }
+    }
+
+    fn ip_address_pattern(ds: &Dataset) -> PatternId {
+        ds.table
+            .iter()
+            .find(|(_, text)| text.contains("ip address"))
+            .map(|(id, _)| id)
+            .expect("ip address pattern interned")
+    }
+
+    #[test]
+    fn values_of_memoizes_per_node() {
+        let ds = toy_dataset();
+        let config = &ds.configs[0];
+        let resolved = resolve(&empty_set(), &ds);
+        let ctx = ConfigContext::new(config, &ds.table, &resolved);
+
+        // The pattern with an IP parameter (the `ip address` lines).
+        let pattern = ip_address_pattern(&ds);
+
+        let first = ctx.values_of(config, Some(pattern), 0, &Transform::Id);
+        assert_eq!(first.len(), 2, "both ip address lines collected");
+        let second = ctx.values_of(config, Some(pattern), 0, &Transform::Id);
+        assert!(
+            std::rc::Rc::ptr_eq(&first, &second),
+            "cache hit must return the same allocation"
+        );
+
+        // A different transform is a different cache node.
+        let other = ctx.values_of(config, Some(pattern), 0, &Transform::Str);
+        assert!(!std::rc::Rc::ptr_eq(&first, &other));
+    }
+
+    #[test]
+    fn values_of_out_of_domain_is_empty() {
+        let ds = toy_dataset();
+        let config = &ds.configs[0];
+        let resolved = resolve(&empty_set(), &ds);
+        let ctx = ConfigContext::new(config, &ds.table, &resolved);
+        let pattern = ip_address_pattern(&ds);
+
+        // Unresolved pattern: nothing to collect.
+        assert!(ctx.values_of(config, None, 0, &Transform::Id).is_empty());
+        // Parameter index past the line's arity.
+        assert!(ctx
+            .values_of(config, Some(pattern), 99, &Transform::Id)
+            .is_empty());
+        // Transform outside the value's domain (hex of an IP address)
+        // drops every occurrence.
+        assert!(ctx
+            .values_of(config, Some(pattern), 0, &Transform::Hex)
+            .is_empty());
+        // The empty results are memoized too.
+        let a = ctx.values_of(config, Some(pattern), 99, &Transform::Id);
+        let b = ctx.values_of(config, Some(pattern), 99, &Transform::Id);
+        assert!(std::rc::Rc::ptr_eq(&a, &b));
+    }
 }

@@ -1,0 +1,632 @@
+//! The compiled check engine.
+//!
+//! [`CheckProgram::compile`] turns a `ContractSet` + `Dataset` into an
+//! executable program, once; [`CheckProgram::check_config`] then runs it
+//! against each configuration. Compilation inverts the naive
+//! contracts × lines loop:
+//!
+//! - **pattern dispatch**: type, range, and ordering checks are grouped
+//!   by the dataset [`PatternId`] they apply to, so one pass over a
+//!   configuration's lines visits, per line, only the contracts that can
+//!   fire on it (the naive engine scans every line once *per type
+//!   contract*);
+//! - **indexed witnesses**: each relational contract's consequent node is
+//!   compiled to a [`WitnessIndex`] spec — deduplicated across contracts
+//!   sharing the node — and built lazily per configuration, turning every
+//!   antecedent probe from O(consequents) into O(1)/O(log) with one fused
+//!   query that answers checking ("any witness?") and coverage ("the sole
+//!   witness?") in a single index walk;
+//! - **single-pass uniques**: unique contracts are grouped by pattern id
+//!   and evaluated in one pass over the dataset
+//!   ([`CheckProgram::check_unique`]), instead of one full dataset
+//!   re-scan per unique contract.
+//!
+//! Coverage ([`coverage::config_coverage`]) executes against the same
+//! program and per-configuration context, so checking and coverage share
+//! the transformed-value cache and the witness indexes.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use concord_types::Transform;
+
+use crate::contract::{Contract, ContractSet, RelationKind};
+use crate::ir::{ConfigIr, Dataset, PatternId, PatternTable};
+use crate::learn::indexes::TransformTag;
+use crate::learn::sequence_is_sequential;
+
+use super::coverage::{self, ConfigCoverage};
+use super::witness::{WitnessIndex, WitnessProbe};
+use super::{ConfigContext, Resolved, ResolvedContract, Violation};
+
+/// A check dispatched per line by the line's pattern id.
+#[derive(Debug, Clone, Copy)]
+enum LineOp {
+    /// A `Type` contract whose agnostic pattern set contains this id.
+    Type { idx: usize },
+    /// A `Range` contract on this pattern.
+    Range { idx: usize },
+    /// An `Ordering` contract whose `first` pattern is this id; the
+    /// resolved `second` id rides along (`None` when `second` never
+    /// occurs in the dataset — every instance then violates).
+    Ordering {
+        idx: usize,
+        second: Option<PatternId>,
+    },
+}
+
+/// One compiled relational contract: the antecedent probe node plus the
+/// id of the (shared) witness index over its consequent node.
+#[derive(Debug, Clone)]
+struct CompiledRelational {
+    /// Contract index in the checked set.
+    idx: usize,
+    /// Resolved antecedent pattern id.
+    antecedent: Option<PatternId>,
+    /// Index into [`CheckProgram::index_specs`].
+    index_id: usize,
+}
+
+/// The consequent node + relation a [`WitnessIndex`] is built over.
+/// Deduplicated: contracts sharing `(pattern, param, transform,
+/// relation)` share one index per configuration.
+#[derive(Debug, Clone)]
+struct IndexSpec {
+    relation: RelationKind,
+    pattern: Option<PatternId>,
+    param: u16,
+    transform: Transform,
+}
+
+/// A contract set compiled against one dataset's pattern table.
+///
+/// Compile once, execute per configuration — the shape of the
+/// deployment story where contracts are long-lived and every config
+/// change is checked on commit.
+pub struct CheckProgram<'c> {
+    pub(crate) contracts: &'c ContractSet,
+    pub(crate) resolved: Resolved,
+    table: &'c PatternTable,
+    /// `Present` contracts: `(idx, resolved pattern id)`.
+    pub(crate) present: Vec<(usize, Option<PatternId>)>,
+    /// `PresentExact` contracts.
+    pub(crate) present_exact: Vec<usize>,
+    /// Per-pattern dispatched line checks (type / range / ordering).
+    line_ops: HashMap<PatternId, Vec<LineOp>>,
+    /// `Ordering` contracts (for coverage): `(idx, first, second)`.
+    pub(crate) ordering: Vec<(usize, PatternId, Option<PatternId>)>,
+    /// `Sequence` contracts: `(idx, resolved pattern id)`.
+    pub(crate) sequence: Vec<(usize, Option<PatternId>)>,
+    /// Resolved `Unique` contracts: `(idx, pattern id)`.
+    pub(crate) unique: Vec<(usize, PatternId)>,
+    /// Unique contract indices grouped by pattern id (single-pass check).
+    unique_ops: HashMap<PatternId, Vec<usize>>,
+    /// Compiled relational contracts.
+    relational: Vec<CompiledRelational>,
+    /// Deduplicated witness-index specs.
+    index_specs: Vec<IndexSpec>,
+    /// Wall-clock time spent compiling.
+    pub compile_time: Duration,
+}
+
+/// Per-configuration execution state: the shared [`ConfigContext`]
+/// (occurrence maps + transformed-value cache) plus lazily built witness
+/// indexes and probe counters. Checking builds it; coverage reuses it.
+pub(crate) struct ProgramContext<'a> {
+    /// Occurrence maps and the transformed-value cache.
+    pub ctx: ConfigContext,
+    config: &'a ConfigIr,
+    /// Lazily built witness indexes, one slot per [`IndexSpec`].
+    witness: RefCell<Vec<Option<Rc<WitnessIndex>>>>,
+    /// Sole-witness lines recorded by the check pass's fused probes:
+    /// `(contract index, consequent line index)`. Coverage consumes this
+    /// instead of re-probing every antecedent.
+    relational_cover: RefCell<Vec<(usize, u32)>>,
+    /// Stats counters (witness probes and index sizes).
+    pub counters: ExecCounters,
+}
+
+/// Per-configuration execution counters, aggregated into
+/// [`CheckStats`](crate::CheckStats).
+#[derive(Debug, Default)]
+pub(crate) struct ExecCounters {
+    /// Witness indexes actually built (lazy: unprobed specs cost nothing).
+    pub indexes_built: Cell<u64>,
+    /// Total consequent occurrences indexed.
+    pub index_entries: Cell<u64>,
+    /// Antecedent probes issued.
+    pub probes: Cell<u64>,
+    /// Probes that found a witness (non-violations).
+    pub probe_hits: Cell<u64>,
+}
+
+/// Wall-clock time per check phase for one configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct PhaseTimes {
+    pub present: Duration,
+    pub pattern: Duration,
+    pub sequence: Duration,
+    pub relational: Duration,
+    pub coverage: Duration,
+}
+
+impl<'a> ProgramContext<'a> {
+    pub(crate) fn new(program: &CheckProgram<'_>, config: &'a ConfigIr) -> Self {
+        ProgramContext {
+            ctx: ConfigContext::new(config, program.table, &program.resolved),
+            config,
+            witness: RefCell::new(vec![None; program.index_specs.len()]),
+            relational_cover: RefCell::new(Vec::new()),
+            counters: ExecCounters::default(),
+        }
+    }
+
+    /// The `(contract index, consequent line)` pairs where the check
+    /// pass found exactly one witness covering a distinct line.
+    pub(crate) fn take_relational_cover(&self) -> Vec<(usize, u32)> {
+        std::mem::take(&mut self.relational_cover.borrow_mut())
+    }
+
+    /// Returns the witness index for spec `id`, building it on first use
+    /// from the context's (memoized) transformed-value collection.
+    pub(crate) fn witness_index(&self, program: &CheckProgram<'_>, id: usize) -> Rc<WitnessIndex> {
+        if let Some(built) = &self.witness.borrow()[id] {
+            return built.clone();
+        }
+        let spec = &program.index_specs[id];
+        let values = self
+            .ctx
+            .values_of(self.config, spec.pattern, spec.param, &spec.transform);
+        let index = Rc::new(WitnessIndex::build(spec.relation, &values));
+        self.counters
+            .indexes_built
+            .set(self.counters.indexes_built.get() + 1);
+        self.counters
+            .index_entries
+            .set(self.counters.index_entries.get() + index.len() as u64);
+        self.witness.borrow_mut()[id] = Some(index.clone());
+        index
+    }
+}
+
+impl<'c> CheckProgram<'c> {
+    /// Compiles `contracts` against `dataset`'s pattern table.
+    pub fn compile(contracts: &'c ContractSet, dataset: &'c Dataset) -> Self {
+        let start = Instant::now();
+        let resolved = super::resolve(contracts, dataset);
+
+        let mut present = Vec::new();
+        let mut present_exact = Vec::new();
+        let mut line_ops: HashMap<PatternId, Vec<LineOp>> = HashMap::new();
+        let mut ordering = Vec::new();
+        let mut sequence = Vec::new();
+        let mut unique = Vec::new();
+        let mut unique_ops: HashMap<PatternId, Vec<usize>> = HashMap::new();
+        let mut relational = Vec::new();
+        let mut index_specs: Vec<IndexSpec> = Vec::new();
+        let mut index_ids: HashMap<(Option<PatternId>, u16, TransformTag, RelationKind), usize> =
+            HashMap::new();
+
+        for (idx, (contract, rc)) in contracts
+            .contracts
+            .iter()
+            .zip(&resolved.by_contract)
+            .enumerate()
+        {
+            match (contract, rc) {
+                (Contract::Present { .. }, ResolvedContract::Present(id)) => {
+                    present.push((idx, *id));
+                }
+                (Contract::PresentExact { .. }, ResolvedContract::PresentExact) => {
+                    present_exact.push(idx);
+                }
+                (Contract::Ordering { .. }, ResolvedContract::Ordering(f, s)) => {
+                    if let Some(f) = f {
+                        line_ops
+                            .entry(*f)
+                            .or_default()
+                            .push(LineOp::Ordering { idx, second: *s });
+                        ordering.push((idx, *f, *s));
+                    }
+                }
+                (Contract::Type { .. }, ResolvedContract::Type(ids)) => {
+                    for id in ids {
+                        line_ops.entry(*id).or_default().push(LineOp::Type { idx });
+                    }
+                }
+                (Contract::Sequence { .. }, ResolvedContract::Sequence(id)) => {
+                    sequence.push((idx, *id));
+                }
+                (Contract::Unique { .. }, ResolvedContract::Unique(id)) => {
+                    if let Some(id) = id {
+                        unique.push((idx, *id));
+                        unique_ops.entry(*id).or_default().push(idx);
+                    }
+                }
+                (Contract::Range { .. }, ResolvedContract::Range(id)) => {
+                    if let Some(id) = id {
+                        line_ops.entry(*id).or_default().push(LineOp::Range { idx });
+                    }
+                }
+                (Contract::Relational(r), ResolvedContract::Relational(a, c)) => {
+                    let key = (
+                        *c,
+                        r.consequent.param,
+                        TransformTag::from_transform(&r.consequent.transform),
+                        r.relation,
+                    );
+                    let index_id = *index_ids.entry(key).or_insert_with(|| {
+                        index_specs.push(IndexSpec {
+                            relation: r.relation,
+                            pattern: *c,
+                            param: r.consequent.param,
+                            transform: r.consequent.transform.clone(),
+                        });
+                        index_specs.len() - 1
+                    });
+                    relational.push(CompiledRelational {
+                        idx,
+                        antecedent: *a,
+                        index_id,
+                    });
+                }
+                _ => unreachable!("resolved variant mismatch"),
+            }
+        }
+
+        // Per-pattern op lists are probed per line: keep each list in
+        // contract order so violation emission order matches the naive
+        // engine's (stable sort ties on identical keys).
+        CheckProgram {
+            contracts,
+            resolved,
+            table: &dataset.table,
+            present,
+            present_exact,
+            line_ops,
+            ordering,
+            sequence,
+            unique,
+            unique_ops,
+            relational,
+            index_specs,
+            compile_time: start.elapsed(),
+        }
+    }
+
+    /// Number of deduplicated witness-index specs (stats).
+    pub fn witness_specs(&self) -> usize {
+        self.index_specs.len()
+    }
+
+    /// Checks one configuration and computes its coverage against the
+    /// same per-configuration context (shared value cache and witness
+    /// indexes).
+    pub fn check_config(&self, config: &ConfigIr) -> (Vec<Violation>, ConfigCoverage) {
+        let pctx = ProgramContext::new(self, config);
+        let (violations, _) = self.run_checks(config, &pctx);
+        let coverage = coverage::config_coverage(self, config, &pctx);
+        (violations, coverage)
+    }
+
+    /// Full per-configuration execution returning violations, coverage,
+    /// counters, and phase timings (the `check_parallel` work item).
+    pub(crate) fn run_config(
+        &self,
+        config: &ConfigIr,
+    ) -> (Vec<Violation>, ConfigCoverage, ExecCounters, PhaseTimes) {
+        let pctx = ProgramContext::new(self, config);
+        let (violations, mut phases) = self.run_checks(config, &pctx);
+        let t = Instant::now();
+        let coverage = coverage::config_coverage(self, config, &pctx);
+        phases.coverage = t.elapsed();
+        (violations, coverage, pctx.counters, phases)
+    }
+
+    /// Runs all per-configuration checks (everything except the global
+    /// unique pass and coverage).
+    fn run_checks(
+        &self,
+        config: &ConfigIr,
+        pctx: &ProgramContext<'_>,
+    ) -> (Vec<Violation>, PhaseTimes) {
+        let mut out = Vec::new();
+        let mut phases = PhaseTimes::default();
+        let ctx = &pctx.ctx;
+
+        // Presence: O(1) per contract.
+        let t = Instant::now();
+        for &(idx, id) in &self.present {
+            let present = id
+                .map(|id| ctx.lines_by_pattern.contains_key(&id))
+                .unwrap_or(false);
+            if !present {
+                let Contract::Present { pattern } = &self.contracts.contracts[idx] else {
+                    unreachable!("present op on non-present contract")
+                };
+                out.push(Violation {
+                    contract_index: idx,
+                    category: self.contracts.contracts[idx].category().to_string(),
+                    config: config.name.clone(),
+                    line_no: None,
+                    line: pattern.clone(),
+                    message: format!("missing required line matching {pattern}"),
+                });
+            }
+        }
+        for &idx in &self.present_exact {
+            let Contract::PresentExact { line } = &self.contracts.contracts[idx] else {
+                unreachable!("present-exact op on non-exact contract")
+            };
+            if !ctx.filled_lines.contains(line) {
+                out.push(Violation {
+                    contract_index: idx,
+                    category: self.contracts.contracts[idx].category().to_string(),
+                    config: config.name.clone(),
+                    line_no: None,
+                    line: line.clone(),
+                    message: format!("missing required exact line {line:?}"),
+                });
+            }
+        }
+        phases.present = t.elapsed();
+
+        // Pattern-dispatched line checks: one pass over the lines; each
+        // line visits only the ops compiled for its pattern id.
+        let t = Instant::now();
+        if !self.line_ops.is_empty() {
+            for (li, line) in config.lines.iter().enumerate() {
+                let Some(ops) = self.line_ops.get(&line.pattern) else {
+                    continue;
+                };
+                for op in ops {
+                    match *op {
+                        LineOp::Type { idx } => {
+                            let Contract::Type {
+                                pattern,
+                                hole,
+                                valid,
+                            } = &self.contracts.contracts[idx]
+                            else {
+                                unreachable!("type op on non-type contract")
+                            };
+                            let Some(param) = line.params.get(usize::from(*hole)) else {
+                                continue;
+                            };
+                            if !valid.contains(&param.ty) {
+                                out.push(Violation {
+                                    contract_index: idx,
+                                    category: self.contracts.contracts[idx].category().to_string(),
+                                    config: config.name.clone(),
+                                    line_no: Some(line.line_no),
+                                    line: line.original.clone(),
+                                    message: format!(
+                                        "type [{}] is not allowed at hole {hole} of {pattern}",
+                                        param.ty.name()
+                                    ),
+                                });
+                            }
+                        }
+                        LineOp::Range { idx } => {
+                            let Contract::Range {
+                                pattern,
+                                param,
+                                min,
+                                max,
+                            } = &self.contracts.contracts[idx]
+                            else {
+                                unreachable!("range op on non-range contract")
+                            };
+                            let Some(p) = line.params.get(usize::from(*param)) else {
+                                continue;
+                            };
+                            let Some(n) = p.value.as_num() else { continue };
+                            if n < min || n > max {
+                                out.push(Violation {
+                                    contract_index: idx,
+                                    category: self.contracts.contracts[idx].category().to_string(),
+                                    config: config.name.clone(),
+                                    line_no: Some(line.line_no),
+                                    line: line.original.clone(),
+                                    message: format!(
+                                        "value {n} of param {param} of {pattern} is outside [{min}, {max}]"
+                                    ),
+                                });
+                            }
+                        }
+                        LineOp::Ordering { idx, second } => {
+                            let Contract::Ordering {
+                                first,
+                                second: second_text,
+                            } = &self.contracts.contracts[idx]
+                            else {
+                                unreachable!("ordering op on non-ordering contract")
+                            };
+                            let next = config.lines.get(li + 1);
+                            let ok = match (next, second) {
+                                (Some(n), Some(s)) => n.pattern == s && n.is_meta == line.is_meta,
+                                _ => false,
+                            };
+                            if !ok {
+                                out.push(Violation {
+                                    contract_index: idx,
+                                    category: self.contracts.contracts[idx].category().to_string(),
+                                    config: config.name.clone(),
+                                    line_no: Some(line.line_no),
+                                    line: line.original.clone(),
+                                    message: format!(
+                                        "line matching {first} must be immediately followed by a line matching {second_text}"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        phases.pattern = t.elapsed();
+
+        // Sequences: per contract, over the node's memoized values.
+        let t = Instant::now();
+        for &(idx, id) in &self.sequence {
+            let Contract::Sequence { pattern, param } = &self.contracts.contracts[idx] else {
+                unreachable!("sequence op on non-sequence contract")
+            };
+            let values = ctx.values_of(config, id, *param, &Transform::Id);
+            let nums: Vec<&concord_types::BigNum> =
+                values.iter().filter_map(|(v, _)| v.as_num()).collect();
+            if nums.len() >= 2 && !sequence_is_sequential(&nums) {
+                let step = nums[1].abs_diff(nums[0]);
+                let break_at = nums
+                    .windows(2)
+                    .position(|w| w[1] <= w[0] || w[1].abs_diff(w[0]) != step)
+                    .map(|i| i + 1)
+                    .unwrap_or(1);
+                let li = values[break_at].1;
+                let line = &config.lines[li];
+                out.push(Violation {
+                    contract_index: idx,
+                    category: self.contracts.contracts[idx].category().to_string(),
+                    config: config.name.clone(),
+                    line_no: Some(line.line_no),
+                    line: line.original.clone(),
+                    message: format!("values of param {param} of {pattern} are not equidistant"),
+                });
+            }
+        }
+        phases.sequence = t.elapsed();
+
+        // Relational: indexed antecedent probes. Each fused probe also
+        // resolves the coverage rule (a sole witness on a distinct line
+        // covers that line), stashed for `config_coverage` to consume.
+        let t = Instant::now();
+        for compiled in &self.relational {
+            let Contract::Relational(r) = &self.contracts.contracts[compiled.idx] else {
+                unreachable!("relational op on non-relational contract")
+            };
+            let antecedents = ctx.values_of(
+                config,
+                compiled.antecedent,
+                r.antecedent.param,
+                &r.antecedent.transform,
+            );
+            if antecedents.is_empty() {
+                continue;
+            }
+            let index = pctx.witness_index(self, compiled.index_id);
+            let mut cover = pctx.relational_cover.borrow_mut();
+            let mut probes = 0u64;
+            let mut hits = 0u64;
+            for (v1, li) in antecedents.iter() {
+                probes += 1;
+                match index.probe(v1) {
+                    WitnessProbe::Zero => {
+                        let line = &config.lines[*li];
+                        out.push(Violation {
+                            contract_index: compiled.idx,
+                            category: self.contracts.contracts[compiled.idx]
+                                .category()
+                                .to_string(),
+                            config: config.name.clone(),
+                            line_no: Some(line.line_no),
+                            line: line.original.clone(),
+                            message: format!(
+                                "no line matching {} satisfies {} for value {}",
+                                r.consequent.pattern,
+                                r.relation.name(),
+                                v1.render(),
+                            ),
+                        });
+                    }
+                    WitnessProbe::One(w) => {
+                        hits += 1;
+                        if w as usize != *li {
+                            cover.push((compiled.idx, w));
+                        }
+                    }
+                    WitnessProbe::Many => hits += 1,
+                }
+            }
+            pctx.counters
+                .probes
+                .set(pctx.counters.probes.get() + probes);
+            pctx.counters
+                .probe_hits
+                .set(pctx.counters.probe_hits.get() + hits);
+        }
+        phases.relational = t.elapsed();
+
+        (out, phases)
+    }
+
+    /// Checks all unique contracts in a single pass over the dataset,
+    /// dispatched by pattern id.
+    pub(crate) fn check_unique(&self, dataset: &Dataset) -> Vec<Violation> {
+        if self.unique.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        // Per-contract cross-config seen sets, keyed by contract index.
+        let mut seen: HashMap<usize, std::collections::HashSet<String>> = HashMap::new();
+        let mut counts: HashMap<usize, u32> = HashMap::new();
+        for config in &dataset.configs {
+            counts.clear();
+            for line in &config.lines {
+                let Some(ops) = self.unique_ops.get(&line.pattern) else {
+                    continue;
+                };
+                for &idx in ops {
+                    let Contract::Unique { pattern, param, .. } = &self.contracts.contracts[idx]
+                    else {
+                        unreachable!("unique op on non-unique contract")
+                    };
+                    *counts.entry(idx).or_insert(0) += 1;
+                    let Some(p) = line.params.get(usize::from(*param)) else {
+                        continue;
+                    };
+                    let rendered = p.value.render();
+                    let seen_set = seen.entry(idx).or_default();
+                    if seen_set.contains(&rendered) {
+                        out.push(Violation {
+                            contract_index: idx,
+                            category: self.contracts.contracts[idx].category().to_string(),
+                            config: config.name.clone(),
+                            line_no: Some(line.line_no),
+                            line: line.original.clone(),
+                            message: format!(
+                                "value {rendered} of param {param} of {pattern} is reused"
+                            ),
+                        });
+                    } else {
+                        seen_set.insert(rendered);
+                    }
+                }
+            }
+            for &(idx, _) in &self.unique {
+                let Contract::Unique {
+                    pattern,
+                    once_per_config,
+                    ..
+                } = &self.contracts.contracts[idx]
+                else {
+                    unreachable!("unique op on non-unique contract")
+                };
+                if *once_per_config && counts.get(&idx).copied().unwrap_or(0) == 0 {
+                    out.push(Violation {
+                        contract_index: idx,
+                        category: self.contracts.contracts[idx].category().to_string(),
+                        config: config.name.clone(),
+                        line_no: None,
+                        line: pattern.clone(),
+                        message: format!(
+                            "expected exactly one line matching {pattern}, found none"
+                        ),
+                    });
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,300 @@
+//! Indexed relational witness lookup for the compiled check engine.
+//!
+//! The naive checker answers "does any consequent value relate to this
+//! antecedent value?" by scanning every consequent
+//! ([`find_witnesses`](crate::check::find_witnesses) — O(consequents) per
+//! probe). A [`WitnessIndex`] is built once per `(config, consequent
+//! node, relation)` and answers the same question in O(1) or
+//! O(log consequents), reusing the relation-structure machinery of
+//! [`learn::indexes`](crate::learn::indexes):
+//!
+//! - `equals`: a hash map from value to witness lines,
+//! - `contains`: the binary [`PrefixTrie`] per address family (Figure 4),
+//! - `startswith` / `endswith`: sorted string tables probed by binary
+//!   search (every string with prefix `p` occupies a contiguous run in
+//!   byte-lexicographic order; `endswith` stores char-reversed strings).
+//!
+//! One fused query serves both consumers ([`WitnessIndex::probe`]):
+//! checking needs *any* witness, coverage needs the *sole* witness when
+//! exactly one exists. Counting witnesses capped at two answers both in
+//! a single index walk, so the check pass probes each antecedent once.
+
+use concord_types::Value;
+
+use crate::contract::RelationKind;
+use crate::fxhash::FxHashMap;
+use crate::learn::indexes::PrefixTrie;
+
+/// A per-configuration index over one consequent node's transformed
+/// values, specialized to one relation kind.
+pub(crate) enum WitnessIndex {
+    /// `equals`: value → line indices carrying it.
+    Equals(FxHashMap<Value, Vec<u32>>),
+    /// `contains`: prefix tries per address family over consequent
+    /// networks; trie items are line indices.
+    Contains {
+        /// IPv4 networks.
+        v4: PrefixTrie,
+        /// IPv6 networks.
+        v6: PrefixTrie,
+        /// Number of indexed networks (for stats).
+        entries: usize,
+    },
+    /// `startswith` / `endswith`: consequent strings sorted
+    /// byte-lexicographically (char-reversed when `reverse`), paired with
+    /// their line indices.
+    Affix {
+        /// Sorted `(string form, line index)` pairs.
+        entries: Vec<(String, u32)>,
+        /// `true` for `endswith` (strings stored reversed).
+        reverse: bool,
+    },
+}
+
+/// The result of one fused witness probe: how many consequent
+/// occurrences relate to the antecedent value, capped at two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WitnessProbe {
+    /// No witness: the contract is violated at this antecedent.
+    Zero,
+    /// Exactly one witness (its line index) — coverage's "sole witness".
+    One(u32),
+    /// Two or more witnesses.
+    Many,
+}
+
+impl WitnessIndex {
+    /// Builds the index for `relation` over a consequent node's
+    /// `(transformed value, line index)` collection.
+    pub fn build(relation: RelationKind, consequents: &[(Value, usize)]) -> Self {
+        match relation {
+            RelationKind::Equals => {
+                let mut map: FxHashMap<Value, Vec<u32>> = FxHashMap::default();
+                for (v, li) in consequents {
+                    map.entry(v.clone()).or_default().push(*li as u32);
+                }
+                WitnessIndex::Equals(map)
+            }
+            RelationKind::Contains => {
+                let mut v4 = PrefixTrie::default();
+                let mut v6 = PrefixTrie::default();
+                let mut entries = 0usize;
+                for (v, li) in consequents {
+                    if let Value::Net(net) = v {
+                        if net.is_v4() {
+                            v4.insert(*net, *li as u32);
+                        } else {
+                            v6.insert(*net, *li as u32);
+                        }
+                        entries += 1;
+                    }
+                }
+                WitnessIndex::Contains { v4, v6, entries }
+            }
+            RelationKind::StartsWith | RelationKind::EndsWith => {
+                let reverse = relation == RelationKind::EndsWith;
+                let mut entries: Vec<(String, u32)> = consequents
+                    .iter()
+                    .filter_map(|(v, li)| {
+                        let s = v.as_str()?;
+                        let key = if reverse {
+                            s.chars().rev().collect()
+                        } else {
+                            s.to_string()
+                        };
+                        Some((key, *li as u32))
+                    })
+                    .collect();
+                entries.sort_unstable();
+                WitnessIndex::Affix { entries, reverse }
+            }
+        }
+    }
+
+    /// Number of indexed consequent occurrences (stats).
+    pub fn len(&self) -> usize {
+        match self {
+            WitnessIndex::Equals(map) => map.values().map(Vec::len).sum(),
+            WitnessIndex::Contains { entries, .. } => *entries,
+            WitnessIndex::Affix { entries, .. } => entries.len(),
+        }
+    }
+
+    /// Fused witness query: counts the consequent occurrences relating
+    /// to `v1`, capped at two, returning the sole witness's line index
+    /// when there is exactly one. Checking consumes "zero vs non-zero";
+    /// coverage consumes the `One` identity — one index walk serves both.
+    pub fn probe(&self, v1: &Value) -> WitnessProbe {
+        match self {
+            WitnessIndex::Equals(map) => match map.get(v1).map(Vec::as_slice) {
+                None | Some([]) => WitnessProbe::Zero,
+                Some([li]) => WitnessProbe::One(*li),
+                Some(_) => WitnessProbe::Many,
+            },
+            WitnessIndex::Contains { v4, v6, .. } => {
+                let (count, first) = match v1 {
+                    Value::Ip(addr) => {
+                        let trie = if addr.is_v4() { v4 } else { v6 };
+                        trie.covering_first2(addr.bits(), addr.family_bits())
+                    }
+                    Value::Net(net) => {
+                        let trie = if net.is_v4() { v4 } else { v6 };
+                        trie.covering_first2(net.bits(), net.prefix_len())
+                    }
+                    _ => (0, 0),
+                };
+                match count {
+                    0 => WitnessProbe::Zero,
+                    1 => WitnessProbe::One(first),
+                    _ => WitnessProbe::Many,
+                }
+            }
+            WitnessIndex::Affix { entries, reverse } => {
+                let Some(probe) = affix_probe(v1, *reverse) else {
+                    return WitnessProbe::Zero;
+                };
+                let probe = probe.as_ref();
+                let start = entries.partition_point(|(s, _)| s.as_str() < probe);
+                let mut run = entries[start..]
+                    .iter()
+                    .take_while(|(s, _)| s.starts_with(probe));
+                match (run.next(), run.next()) {
+                    (None, _) => WitnessProbe::Zero,
+                    (Some((_, li)), None) => WitnessProbe::One(*li),
+                    _ => WitnessProbe::Many,
+                }
+            }
+        }
+    }
+}
+
+/// The string form an affix probe compares under (reversed for
+/// `endswith`); `None` when the antecedent value has no string form.
+/// Forward probes borrow — only `endswith` pays a per-probe reversal.
+fn affix_probe(v1: &Value, reverse: bool) -> Option<std::borrow::Cow<'_, str>> {
+    let s = v1.as_str()?;
+    Some(if reverse {
+        std::borrow::Cow::Owned(s.chars().rev().collect())
+    } else {
+        std::borrow::Cow::Borrowed(s)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::find_witnesses;
+    use concord_types::ValueType;
+
+    fn val(ty: ValueType, s: &str) -> Value {
+        Value::parse_as(&ty, s).unwrap()
+    }
+
+    /// Differential check: the fused probe must agree with the naive
+    /// scan's witness count (capped at two) for every probe, and name
+    /// the same line when the witness is sole.
+    fn assert_matches_naive(
+        relation: RelationKind,
+        consequents: &[(Value, usize)],
+        probes: &[Value],
+    ) {
+        let index = WitnessIndex::build(relation, consequents);
+        for probe in probes {
+            let naive = find_witnesses(relation, probe, consequents);
+            let expected = match naive.as_slice() {
+                [] => WitnessProbe::Zero,
+                [li] => WitnessProbe::One(*li as u32),
+                _ => WitnessProbe::Many,
+            };
+            assert_eq!(
+                index.probe(probe),
+                expected,
+                "{relation:?} probe({probe:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn equals_index_matches_naive() {
+        let consequents = vec![
+            (val(ValueType::Num, "10"), 0),
+            (val(ValueType::Num, "10"), 3),
+            (val(ValueType::Num, "20"), 5),
+            (Value::Str("x".into()), 7),
+        ];
+        let probes = vec![
+            val(ValueType::Num, "10"),
+            val(ValueType::Num, "20"),
+            val(ValueType::Num, "30"),
+            Value::Str("x".into()),
+            Value::Bool(true),
+        ];
+        assert_matches_naive(RelationKind::Equals, &consequents, &probes);
+    }
+
+    #[test]
+    fn contains_index_matches_naive() {
+        let consequents = vec![
+            (val(ValueType::Pfx4, "10.0.0.0/8"), 0),
+            (val(ValueType::Pfx4, "10.14.0.0/16"), 1),
+            (val(ValueType::Pfx4, "192.168.0.0/16"), 2),
+            (val(ValueType::Pfx6, "2001:db8::/32"), 3),
+            (val(ValueType::Num, "99"), 4), // non-network: never a witness
+        ];
+        let probes = vec![
+            val(ValueType::Ip4, "10.14.3.4"),
+            val(ValueType::Ip4, "11.0.0.1"),
+            val(ValueType::Pfx4, "10.14.8.0/24"),
+            val(ValueType::Pfx4, "10.16.0.0/12"),
+            val(ValueType::Ip6, "2001:db8::1"),
+            val(ValueType::Ip6, "::1"),
+            val(ValueType::Num, "10"),
+        ];
+        assert_matches_naive(RelationKind::Contains, &consequents, &probes);
+    }
+
+    #[test]
+    fn affix_indexes_match_naive() {
+        let consequents = vec![
+            (Value::Str("10251".into()), 0),
+            (Value::Str("251".into()), 1),
+            (Value::Str("251x".into()), 2),
+            (Value::Str("2".into()), 3),
+            (Value::Str(String::new()), 4),
+            (val(ValueType::Num, "251"), 5), // numbers have no string form
+        ];
+        let probes = vec![
+            Value::Str("251".into()),
+            Value::Str("25".into()),
+            Value::Str("10251".into()),
+            Value::Str("zzz".into()),
+            Value::Str(String::new()),
+            val(ValueType::Num, "251"),
+        ];
+        assert_matches_naive(RelationKind::StartsWith, &consequents, &probes);
+        assert_matches_naive(RelationKind::EndsWith, &consequents, &probes);
+    }
+
+    #[test]
+    fn len_counts_indexed_occurrences() {
+        let consequents = vec![
+            (val(ValueType::Num, "10"), 0),
+            (val(ValueType::Num, "10"), 1),
+            (val(ValueType::Pfx4, "10.0.0.0/8"), 2),
+        ];
+        assert_eq!(
+            WitnessIndex::build(RelationKind::Equals, &consequents).len(),
+            3
+        );
+        // Only the network is indexable for `contains`.
+        assert_eq!(
+            WitnessIndex::build(RelationKind::Contains, &consequents).len(),
+            1
+        );
+        // Numbers have no string form; nothing is affix-indexable.
+        assert_eq!(
+            WitnessIndex::build(RelationKind::StartsWith, &consequents).len(),
+            0
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! A minimal Fx-style hasher for the checking hot paths.
+//!
+//! The compiled check engine hashes millions of tiny keys per run
+//! (pattern ids, parameter values): the standard library's
+//! DoS-resistant SipHash costs more than the lookups themselves. This
+//! is the multiply-xor construction used by rustc's `FxHasher` —
+//! excellent distribution on short keys, a fraction of the cost, and
+//! safe here because every hashed key derives from the operator's own
+//! configurations, not attacker-chosen input.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher (the rustc `FxHasher` construction).
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// `u64::from_bits(golden ratio)`-derived odd multiplier.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// A `HashMap` keyed through [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributes_small_keys() {
+        let mut buckets = std::collections::HashSet::new();
+        for i in 0u32..1000 {
+            let mut h = FxHasher::default();
+            h.write_u32(i);
+            buckets.insert(h.finish());
+        }
+        assert_eq!(buckets.len(), 1000, "no collisions on sequential u32s");
+    }
+
+    #[test]
+    fn handles_unaligned_tails() {
+        let mut a = FxHasher::default();
+        a.write(b"abcdefghi"); // 8-byte chunk + 1-byte tail
+        let mut b = FxHasher::default();
+        b.write(b"abcdefghj");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_works_end_to_end() {
+        let mut map: FxHashMap<String, usize> = FxHashMap::default();
+        map.insert("a".into(), 1);
+        map.insert("b".into(), 2);
+        assert_eq!(map.get("a"), Some(&1));
+        assert_eq!(map.get("c"), None);
+    }
+}

@@ -339,6 +339,68 @@ impl PrefixTrie {
         self.nodes[node].items.push(item);
     }
 
+    /// Returns `true` when any stored network contains the value
+    /// described by `bits` (left-aligned) with `len` significant bits —
+    /// [`PrefixTrie::covering`] without materializing the item list
+    /// (early exit at the first populated node along the path).
+    pub fn covers_any(&self, bits: u128, len: u8) -> bool {
+        if self.nodes.is_empty() {
+            return false;
+        }
+        let mut node = 0usize;
+        if !self.nodes[node].items.is_empty() {
+            return true;
+        }
+        for depth in 0..len {
+            let bit = ((bits >> (127 - depth)) & 1) as usize;
+            match self.nodes[node].children[bit] {
+                Some(child) => {
+                    node = child as usize;
+                    if !self.nodes[node].items.is_empty() {
+                        return true;
+                    }
+                }
+                None => break,
+            }
+        }
+        false
+    }
+
+    /// Walks the covering path counting items, capped at two: returns
+    /// `(count.min(2), first item)`. One walk answers both "any witness?"
+    /// (count > 0) and "sole witness?" (count == 1) without
+    /// materializing the item list.
+    pub fn covering_first2(&self, bits: u128, len: u8) -> (u8, u32) {
+        fn take(items: &[u32], count: &mut u8, first: &mut u32) {
+            if *count == 0 {
+                if let Some(&li) = items.first() {
+                    *first = li;
+                }
+            }
+            *count = count.saturating_add(items.len().min(2) as u8).min(2);
+        }
+        let (mut count, mut first) = (0u8, 0u32);
+        if self.nodes.is_empty() {
+            return (count, first);
+        }
+        let mut node = 0usize;
+        take(&self.nodes[node].items, &mut count, &mut first);
+        for depth in 0..len {
+            if count >= 2 {
+                break;
+            }
+            let bit = ((bits >> (127 - depth)) & 1) as usize;
+            match self.nodes[node].children[bit] {
+                Some(child) => {
+                    node = child as usize;
+                    take(&self.nodes[node].items, &mut count, &mut first);
+                }
+                None => break,
+            }
+        }
+        (count, first)
+    }
+
     /// Collects all items whose network contains the value described by
     /// `bits` (left-aligned) with `len` significant bits: every prefix of
     /// length `<= len` along the path.
@@ -477,6 +539,45 @@ mod tests {
         trie.covering(q.bits(), q.prefix_len(), &mut out);
         out.sort_unstable();
         assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn covers_any_agrees_with_covering() {
+        let mut trie = PrefixTrie::default();
+        trie.insert(net("10.0.0.0/8"), 0);
+        trie.insert(net("192.168.0.0/16"), 1);
+        let probes = ["10.1.2.3", "192.168.4.5", "172.16.0.1"];
+        for p in probes {
+            let addr: concord_types::IpAddress = p.parse().unwrap();
+            let mut out = Vec::new();
+            trie.covering(addr.bits(), addr.family_bits(), &mut out);
+            assert_eq!(
+                trie.covers_any(addr.bits(), addr.family_bits()),
+                !out.is_empty(),
+                "{p}"
+            );
+        }
+        assert!(!PrefixTrie::default().covers_any(0, 32));
+    }
+
+    #[test]
+    fn covering_first2_agrees_with_covering() {
+        let mut trie = PrefixTrie::default();
+        trie.insert(net("10.0.0.0/8"), 0);
+        trie.insert(net("10.1.0.0/16"), 1);
+        trie.insert(net("192.168.0.0/16"), 2);
+        let probes = ["10.1.2.3", "10.200.0.1", "192.168.4.5", "172.16.0.1"];
+        for p in probes {
+            let addr: concord_types::IpAddress = p.parse().unwrap();
+            let mut out = Vec::new();
+            trie.covering(addr.bits(), addr.family_bits(), &mut out);
+            let (count, first) = trie.covering_first2(addr.bits(), addr.family_bits());
+            assert_eq!(usize::from(count), out.len().min(2), "{p}");
+            if !out.is_empty() {
+                assert_eq!(first, out[0], "{p}");
+            }
+        }
+        assert_eq!(PrefixTrie::default().covering_first2(0, 32), (0, 0));
     }
 
     #[test]

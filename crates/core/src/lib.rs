@@ -49,6 +49,7 @@
 
 mod check;
 mod contract;
+mod fxhash;
 mod ir;
 mod learn;
 pub mod parallel;
@@ -56,9 +57,17 @@ mod params;
 mod stats;
 
 pub use check::coverage::{CoverageReport, CoverageSummary};
-pub use check::{check, check_parallel, CheckReport, Violation};
+pub use check::{
+    check, check_parallel, check_parallel_with_stats, CheckProgram, CheckReport, Violation,
+};
+#[cfg(any(test, feature = "naive-check"))]
+pub use check::{check_naive, check_naive_parallel};
 pub use contract::{Contract, ContractSet, PatternRef, RelationKind, RelationalContract};
 pub use ir::{ConfigIr, Dataset, DatasetError, LineRecord, PatternId, PatternTable};
+pub use learn::indexes::{
+    AffixStructure, ContainsStructure, Entry, EqualityStructure, NodeKey, PrefixTrie,
+    RelationStructure, StrTrie, TransformTag, ValueIndex,
+};
 pub use learn::{learn, learn_with_stats, LearnStats};
 pub use params::LearnParams;
 pub use stats::{BuildStats, CheckStats, PipelineStats, STATS_SCHEMA};

@@ -15,8 +15,9 @@ use concord_json::{Json, ToJson};
 use crate::learn::LearnStats;
 
 /// Schema identifier emitted in the JSON form, bumped on breaking
-/// changes to the layout.
-pub const STATS_SCHEMA: &str = "concord-pipeline-stats/v1";
+/// changes to the layout. v2 added the compiled-check fields
+/// (`compile_secs`, `witness`, `categories`) to the `check` stage.
+pub const STATS_SCHEMA: &str = "concord-pipeline-stats/v2";
 
 /// Statistics from one [`Dataset::build_with_stats`](crate::Dataset::build_with_stats) run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -72,7 +73,7 @@ impl ToJson for BuildStats {
     }
 }
 
-/// Statistics from one checking run.
+/// Statistics from one checking run on the compiled engine.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CheckStats {
     /// Contracts checked.
@@ -81,17 +82,64 @@ pub struct CheckStats {
     pub violations: usize,
     /// Worker threads used.
     pub parallelism: usize,
-    /// Wall-clock checking time.
+    /// Wall-clock checking time (compile + execute + coverage).
     pub check_time: Duration,
+    /// Time compiling the [`CheckProgram`](crate::CheckProgram).
+    pub compile_time: Duration,
+    /// Witness indexes built across all configurations (lazy — only
+    /// probed consequent nodes are indexed).
+    pub witness_indexes: u64,
+    /// Total consequent occurrences indexed.
+    pub witness_entries: u64,
+    /// Relational antecedent probes issued.
+    pub witness_probes: u64,
+    /// Probes that found a witness (non-violations).
+    pub witness_probe_hits: u64,
+    /// Per-phase check time, in execution order (present, pattern,
+    /// sequence, relational, unique, coverage). Summed across workers,
+    /// so CPU time when `parallelism > 1`.
+    pub category_times: Vec<(String, Duration)>,
+}
+
+impl CheckStats {
+    /// Fraction of witness probes that found a witness (0 when no probes
+    /// were issued).
+    pub fn probe_hit_rate(&self) -> f64 {
+        if self.witness_probes == 0 {
+            0.0
+        } else {
+            self.witness_probe_hits as f64 / self.witness_probes as f64
+        }
+    }
 }
 
 impl ToJson for CheckStats {
     fn to_json(&self) -> Json {
+        let categories = Json::Array(
+            self.category_times
+                .iter()
+                .map(|(name, time)| {
+                    concord_json::json!({
+                        "name": name.as_str(),
+                        "secs": time.as_secs_f64(),
+                    })
+                })
+                .collect(),
+        );
         concord_json::json!({
             "contracts": self.contracts,
             "violations": self.violations,
             "parallelism": self.parallelism,
             "check_secs": self.check_time.as_secs_f64(),
+            "compile_secs": self.compile_time.as_secs_f64(),
+            "witness": concord_json::json!({
+                "indexes": self.witness_indexes,
+                "entries": self.witness_entries,
+                "probes": self.witness_probes,
+                "probe_hits": self.witness_probe_hits,
+                "hit_rate": self.probe_hit_rate(),
+            }),
+            "categories": categories,
         })
     }
 }
@@ -138,7 +186,7 @@ pub struct PipelineStats {
 }
 
 impl PipelineStats {
-    /// Serializes to the documented `concord-pipeline-stats/v1` object.
+    /// Serializes to the documented [`STATS_SCHEMA`] object.
     pub fn to_json(&self) -> Json {
         concord_json::json!({
             "schema": STATS_SCHEMA,
@@ -193,6 +241,22 @@ impl PipelineStats {
                 c.check_time.as_secs_f64(),
                 c.parallelism,
             ));
+            out.push_str(&format!(
+                "  compile {:.3}s; witness indexes: {} ({} entries); probes: {} ({:.1}% hit)\n",
+                c.compile_time.as_secs_f64(),
+                c.witness_indexes,
+                c.witness_entries,
+                c.witness_probes,
+                100.0 * c.probe_hit_rate(),
+            ));
+            if !c.category_times.is_empty() {
+                let parts: Vec<String> = c
+                    .category_times
+                    .iter()
+                    .map(|(name, time)| format!("{name} {:.3}s", time.as_secs_f64()))
+                    .collect();
+                out.push_str(&format!("  phases: {}\n", parts.join(", ")));
+            }
         }
         out.push_str(&format!("total: {:.3}s", self.total_time.as_secs_f64()));
         out
@@ -229,6 +293,15 @@ mod tests {
                 violations: 1,
                 parallelism: 8,
                 check_time: Duration::from_millis(7),
+                compile_time: Duration::from_micros(120),
+                witness_indexes: 3,
+                witness_entries: 450,
+                witness_probes: 200,
+                witness_probe_hits: 198,
+                category_times: vec![
+                    ("present".to_string(), Duration::from_millis(1)),
+                    ("relational".to_string(), Duration::from_millis(4)),
+                ],
             }),
             total_time: Duration::from_millis(80),
         }
@@ -244,6 +317,14 @@ mod tests {
         assert!((json["build"]["cache"]["hit_rate"].as_f64().unwrap() - 0.75).abs() < 1e-12);
         assert_eq!(json["learn"]["miners"][0]["name"].as_str(), Some("present"));
         assert_eq!(json["check"]["violations"].as_u64(), Some(1));
+        assert!(json["check"]["compile_secs"].as_f64().unwrap() > 0.0);
+        assert_eq!(json["check"]["witness"]["indexes"].as_u64(), Some(3));
+        assert_eq!(json["check"]["witness"]["probes"].as_u64(), Some(200));
+        assert!((json["check"]["witness"]["hit_rate"].as_f64().unwrap() - 0.99).abs() < 1e-12);
+        assert_eq!(
+            json["check"]["categories"][1]["name"].as_str(),
+            Some("relational")
+        );
     }
 
     #[test]
@@ -260,11 +341,15 @@ mod tests {
         let text = sample().render_text();
         assert!(text.contains("lex cache: 75 hits / 25 misses"));
         assert!(text.contains("present 0.003s"));
+        assert!(text.contains("witness indexes: 3 (450 entries)"));
+        assert!(text.contains("probes: 200 (99.0% hit)"));
+        assert!(text.contains("phases: present 0.001s, relational 0.004s"));
         assert!(text.contains("total:"));
     }
 
     #[test]
     fn hit_rate_handles_zero_lookups() {
         assert_eq!(BuildStats::default().cache_hit_rate(), 0.0);
+        assert_eq!(CheckStats::default().probe_hit_rate(), 0.0);
     }
 }

@@ -144,10 +144,12 @@ fn relational_violation_names_value() {
         "interface Loopback0\n ip address 10.14.14.99\nip prefix-list lo\n seq 10 permit 10.14.14.1/32\n",
     );
     let report = check(&learned, &bad);
+    // Relational violations carry the relation's real category name
+    // (equality / contains / affix), never a generic "relational".
     let relational: Vec<_> = report
         .violations
         .iter()
-        .filter(|v| v.category == "relational")
+        .filter(|v| matches!(v.category.as_str(), "equality" | "contains" | "affix"))
         .collect();
     assert!(
         !relational.is_empty(),
@@ -416,4 +418,71 @@ fn range_contracts_learn_and_check() {
     // Range contracts never cover lines (like type contracts).
     let cov = check(&learned, &ds).coverage.summary();
     assert!(!cov.by_category.contains_key("range"));
+}
+
+#[test]
+fn violations_by_config_groups_in_first_seen_order() {
+    use concord_core::{CoverageReport, Violation};
+    let mk = |config: &str, line_no: u32| Violation {
+        contract_index: 0,
+        category: "present".to_string(),
+        config: config.to_string(),
+        line_no: Some(line_no),
+        line: String::new(),
+        message: String::new(),
+    };
+    let report = concord_core::CheckReport {
+        violations: vec![
+            mk("zeta", 1),
+            mk("alpha", 1),
+            mk("zeta", 2),
+            mk("alpha", 2),
+            mk("zeta", 3),
+        ],
+        coverage: CoverageReport {
+            per_config: Vec::new(),
+        },
+    };
+    // Counts aggregate per config, but the grouping preserves the order
+    // in which each config first appears in the violation list.
+    assert_eq!(
+        report.violations_by_config(),
+        vec![("zeta".to_string(), 3), ("alpha".to_string(), 2)]
+    );
+}
+
+#[test]
+fn violation_categories_match_their_contracts() {
+    let train: Vec<String> = (0..8)
+        .map(|i| {
+            format!(
+                "interface Loopback0\n ip address 10.14.14.{i}\nip prefix-list lo\n seq 10 permit 10.14.14.{i}/32\n"
+            )
+        })
+        .collect();
+    let mut set = learn(&dataset(&train), &LearnParams::default());
+    set.contracts.push(Contract::Present {
+        pattern: "/router bgp [a:num]".to_string(),
+    });
+
+    let bad = single(
+        "interface Loopback0\n ip address 10.14.14.99\nip prefix-list lo\n seq 10 permit 10.14.14.1/32\n",
+    );
+    let report = check(&set, &bad);
+    assert!(!report.violations.is_empty());
+    // Every violation's category is exactly its contract's category —
+    // one source of truth (Contract::category), never a literal.
+    for v in &report.violations {
+        assert_eq!(
+            v.category,
+            set.contracts[v.contract_index].category(),
+            "{v:#?}"
+        );
+    }
+    let distinct: std::collections::BTreeSet<&str> = report
+        .violations
+        .iter()
+        .map(|v| v.category.as_str())
+        .collect();
+    assert!(distinct.len() >= 2, "want several categories: {distinct:?}");
 }

@@ -60,7 +60,10 @@ fn learns_from_json_configs() {
     let test = dataset(bad);
     let report = check(&contracts, &test);
     assert!(
-        report.violations.iter().any(|v| v.category == "relational"),
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v.category.as_str(), "equality" | "contains" | "affix")),
         "{:#?}",
         report.violations
     );
@@ -94,7 +97,10 @@ fn learns_from_yaml_configs() {
     ];
     let report = check(&contracts, &dataset(bad));
     assert!(
-        report.violations.iter().any(|v| v.category == "relational"),
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v.category.as_str(), "equality" | "contains" | "affix")),
         "{:#?}",
         report.violations
     );
