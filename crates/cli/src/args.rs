@@ -28,7 +28,7 @@ Categories for --disable: present ordering type sequence unique relational
 --stats text prints a per-stage timing summary (lexing with cache
 hit/miss counts, each miner, minimization, checking); --stats json
 emits the same data as one machine-readable object (schema
-concord-pipeline-stats/v2, see DESIGN.md) instead of the human
+concord-pipeline-stats/v3, see DESIGN.md) instead of the human
 summary.";
 
 /// Per-stage statistics reporting mode (`--stats`).
@@ -39,7 +39,7 @@ pub enum StatsMode {
     Off,
     /// Human-readable summary appended to normal output.
     Text,
-    /// One `concord-pipeline-stats/v2` JSON object replacing the human
+    /// One `concord-pipeline-stats/v3` JSON object replacing the human
     /// summary.
     Json,
 }

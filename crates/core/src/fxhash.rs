@@ -1,15 +1,15 @@
-//! A minimal Fx-style hasher for the checking hot paths.
+//! A minimal Fx-style hasher for the checking and learning hot paths.
 //!
-//! The compiled check engine hashes millions of tiny keys per run
-//! (pattern ids, parameter values): the standard library's
-//! DoS-resistant SipHash costs more than the lookups themselves. This
-//! is the multiply-xor construction used by rustc's `FxHasher` —
-//! excellent distribution on short keys, a fraction of the cost, and
-//! safe here because every hashed key derives from the operator's own
-//! configurations, not attacker-chosen input.
+//! The compiled check engine and the learn engine hash millions of tiny
+//! keys per run (pattern ids, candidate keys, parameter values): the
+//! standard library's DoS-resistant SipHash costs more than the lookups
+//! themselves. This is the multiply-xor construction used by rustc's
+//! `FxHasher` — excellent distribution on short keys, a fraction of the
+//! cost, and safe here because every hashed key derives from the
+//! operator's own configurations, not attacker-chosen input.
 
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
 
 /// Multiply-xor hasher (the rustc `FxHasher` construction).
 #[derive(Default)]
@@ -76,6 +76,18 @@ impl Hasher for FxHasher {
 /// A `HashMap` keyed through [`FxHasher`].
 pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
+/// A `HashSet` keyed through [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// Hashes one value through [`FxHasher`] (the learn engine's witness
+/// fingerprint — replaces per-witness `DefaultHasher` construction).
+#[inline]
+pub fn fx_hash_one<T: Hash>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,6 +110,15 @@ mod tests {
         let mut b = FxHasher::default();
         b.write(b"abcdefghj");
         assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hash_one_is_stable_and_discriminating() {
+        assert_eq!(fx_hash_one(&42u64), fx_hash_one(&42u64));
+        assert_ne!(fx_hash_one(&42u64), fx_hash_one(&43u64));
+        let mut set: FxHashSet<u32> = FxHashSet::default();
+        assert!(set.insert(7));
+        assert!(!set.insert(7));
     }
 
     #[test]

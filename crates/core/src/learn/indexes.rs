@@ -16,10 +16,9 @@
 //! All structures implement [`RelationStructure`], the extension
 //! interface §4 describes for adding new relationships.
 
-use std::collections::HashMap;
-
 use concord_types::{IpNetwork, Transform, Value};
 
+use crate::fxhash::FxHashMap;
 use crate::ir::PatternId;
 
 /// A `(pattern, parameter, transformation)` triple: the nodes of the
@@ -122,7 +121,7 @@ pub trait RelationStructure {
 /// Equality: a hash table from value to entries.
 #[derive(Debug, Default)]
 pub struct EqualityStructure {
-    map: HashMap<Value, Vec<u32>>,
+    map: FxHashMap<Value, Vec<u32>>,
 }
 
 impl RelationStructure for EqualityStructure {
@@ -131,7 +130,14 @@ impl RelationStructure for EqualityStructure {
     }
 
     fn insert(&mut self, value: &Value, entry: u32) {
-        self.map.entry(value.clone()).or_default().push(entry);
+        // Most inserts repeat an existing key (a config reuses values
+        // across lines); probe first so only genuinely new keys pay the
+        // clone.
+        if let Some(entries) = self.map.get_mut(value) {
+            entries.push(entry);
+        } else {
+            self.map.insert(value.clone(), vec![entry]);
+        }
     }
 
     fn query(&self, value: &Value, out: &mut Vec<u32>) -> bool {
@@ -195,7 +201,15 @@ impl RelationStructure for ContainsStructure {
 #[derive(Debug)]
 pub struct AffixStructure {
     trie: StrTrie,
-    lengths: Vec<(u32, u32)>,
+    /// String length per entry id, dense (`u32::MAX` = not a string
+    /// entry), so the equal-length filter in `query` is O(1) per
+    /// candidate instead of a binary search.
+    lengths: Vec<u32>,
+    /// Terminal trie node per already-inserted string: a config repeats
+    /// most values across lines (~75% duplicates in the EDGE/WAN fleet),
+    /// and a duplicate only needs its entry id appended at the terminal
+    /// — no char-by-char walk.
+    terminals: FxHashMap<String, u32>,
     reverse: bool,
     cap: usize,
 }
@@ -208,16 +222,17 @@ impl AffixStructure {
         AffixStructure {
             trie: StrTrie::default(),
             lengths: Vec::new(),
+            terminals: FxHashMap::default(),
             reverse,
             cap,
         }
     }
 
     fn len_of(&self, entry: u32) -> Option<u32> {
-        self.lengths
-            .binary_search_by_key(&entry, |&(e, _)| e)
-            .ok()
-            .map(|i| self.lengths[i].1)
+        match self.lengths.get(entry as usize).copied() {
+            None | Some(u32::MAX) => None,
+            some => some,
+        }
     }
 }
 
@@ -232,12 +247,20 @@ impl RelationStructure for AffixStructure {
 
     fn insert(&mut self, value: &Value, entry: u32) {
         if let Value::Str(s) = value {
-            if self.reverse {
-                self.trie.insert(s.chars().rev(), entry);
+            if let Some(&node) = self.terminals.get(s.as_str()) {
+                self.trie.push_item(node, entry);
             } else {
-                self.trie.insert(s.chars(), entry);
+                let node = if self.reverse {
+                    self.trie.insert(s.chars().rev(), entry)
+                } else {
+                    self.trie.insert(s.chars(), entry)
+                };
+                self.terminals.insert(s.clone(), node);
             }
-            self.lengths.push((entry, s.len() as u32));
+            if self.lengths.len() <= entry as usize {
+                self.lengths.resize(entry as usize + 1, u32::MAX);
+            }
+            self.lengths[entry as usize] = s.len() as u32;
         }
     }
 
@@ -437,8 +460,10 @@ struct StrNode {
 
 impl StrTrie {
     /// Inserts the string spelled by `chars`, storing `item` at its
-    /// terminal node.
-    pub fn insert(&mut self, chars: impl Iterator<Item = char>, item: u32) {
+    /// terminal node. Returns the terminal node id, which callers may
+    /// keep to append further items for the same string via
+    /// [`StrTrie::push_item`] without re-walking the trie.
+    pub fn insert(&mut self, chars: impl Iterator<Item = char>, item: u32) -> u32 {
         if self.nodes.is_empty() {
             self.nodes.push(StrNode::default());
         }
@@ -455,6 +480,13 @@ impl StrTrie {
             };
         }
         self.nodes[node].items.push(item);
+        node as u32
+    }
+
+    /// Appends `item` at a terminal node previously returned by
+    /// [`StrTrie::insert`] for the same string.
+    pub fn push_item(&mut self, node: u32, item: u32) {
+        self.nodes[node as usize].items.push(item);
     }
 
     /// Collects every item in the subtree below the node spelled by
@@ -715,7 +747,7 @@ mod tests {
     #[test]
     fn custom_relation_structure_plugs_in() {
         struct SameLength {
-            by_len: HashMap<usize, Vec<u32>>,
+            by_len: std::collections::HashMap<usize, Vec<u32>>,
         }
         impl RelationStructure for SameLength {
             fn relation(&self) -> crate::contract::RelationKind {
@@ -737,7 +769,7 @@ mod tests {
         }
         let mut index = ValueIndex::new(32);
         index.structures.push(Box::new(SameLength {
-            by_len: HashMap::new(),
+            by_len: std::collections::HashMap::new(),
         }));
         index.insert(entry(0, val(ValueType::Num, "123")));
         index.insert(entry(1, val(ValueType::Num, "456")));

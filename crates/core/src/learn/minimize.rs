@@ -9,15 +9,24 @@
 //! reduced. Bug-finding power is preserved — any line removal that
 //! violated an original contract still violates some kept contract.
 
-use std::collections::HashMap;
-
 use concord_graph::DiGraph;
 
 use crate::contract::{PatternRef, RelationKind, RelationalContract};
+use crate::fxhash::FxHashMap;
+use crate::parallel;
 
 /// Minimizes a set of relational contracts.
-pub(crate) fn minimize(contracts: Vec<RelationalContract>) -> Vec<RelationalContract> {
-    let mut by_relation: HashMap<RelationKind, Vec<RelationalContract>> = HashMap::new();
+///
+/// Each transitive relation kind forms an independent graph problem
+/// (SCC + condensation + transitive reduction), so the groups run
+/// concurrently on the work-stealing pool; the output keeps the
+/// deterministic order (non-transitive contracts first, then groups in
+/// relation-kind order) at every parallelism level.
+pub(crate) fn minimize(
+    contracts: Vec<RelationalContract>,
+    parallelism: usize,
+) -> Vec<RelationalContract> {
+    let mut by_relation: FxHashMap<RelationKind, Vec<RelationalContract>> = FxHashMap::default();
     let mut out = Vec::new();
     for contract in contracts {
         if contract.relation.is_transitive() {
@@ -31,20 +40,25 @@ pub(crate) fn minimize(contracts: Vec<RelationalContract>) -> Vec<RelationalCont
     }
     let mut relations: Vec<_> = by_relation.into_iter().collect();
     relations.sort_by_key(|(k, _)| *k);
-    for (relation, group) in relations {
-        out.extend(minimize_group(relation, group));
+    let minimized = parallel::map(
+        &relations,
+        |(relation, group)| minimize_group(*relation, group),
+        parallelism,
+    );
+    for group in minimized {
+        out.extend(group);
     }
     out
 }
 
 fn minimize_group(
     relation: RelationKind,
-    contracts: Vec<RelationalContract>,
+    contracts: &[RelationalContract],
 ) -> Vec<RelationalContract> {
     // Intern nodes.
-    let mut node_ids: HashMap<&PatternRef, usize> = HashMap::new();
+    let mut node_ids: FxHashMap<&PatternRef, usize> = FxHashMap::default();
     let mut nodes: Vec<&PatternRef> = Vec::new();
-    for c in &contracts {
+    for c in contracts {
         for side in [&c.antecedent, &c.consequent] {
             if !node_ids.contains_key(side) {
                 node_ids.insert(side, nodes.len());
@@ -54,7 +68,7 @@ fn minimize_group(
     }
 
     let mut graph = DiGraph::new(nodes.len());
-    for c in &contracts {
+    for c in contracts {
         graph.add_edge(node_ids[&c.antecedent], node_ids[&c.consequent]);
     }
 
@@ -85,8 +99,8 @@ fn minimize_group(
     }
 
     // Between SCCs: one original contract per reduced condensation edge.
-    let mut crossing: HashMap<(usize, usize), &RelationalContract> = HashMap::new();
-    for c in &contracts {
+    let mut crossing: FxHashMap<(usize, usize), &RelationalContract> = FxHashMap::default();
+    for c in contracts {
         let cu = comp_of[node_ids[&c.antecedent]];
         let cv = comp_of[node_ids[&c.consequent]];
         if cu != cv {
@@ -156,7 +170,7 @@ mod tests {
                 }
             }
         }
-        let minimized = minimize(contracts.clone());
+        let minimized = minimize(contracts.clone(), 4);
         assert_eq!(minimized.len(), 3);
         // Reachability (bug-finding) is preserved in both directions.
         for a in ["p4", "p5", "p6"] {
@@ -171,7 +185,7 @@ mod tests {
     #[test]
     fn transitive_chain_loses_shortcut() {
         let contracts = vec![eq("a", "b"), eq("b", "c"), eq("a", "c")];
-        let minimized = minimize(contracts);
+        let minimized = minimize(contracts, 4);
         assert_eq!(minimized.len(), 2);
         assert!(reaches(&minimized, "a", "c"));
     }
@@ -183,7 +197,7 @@ mod tests {
             consequent: node("pfx"),
             relation: RelationKind::Contains,
         };
-        let minimized = minimize(vec![contains.clone()]);
+        let minimized = minimize(vec![contains.clone()], 1);
         assert_eq!(minimized, vec![contains]);
     }
 
@@ -197,7 +211,7 @@ mod tests {
             consequent: node("c"),
             relation: RelationKind::EndsWith,
         });
-        let minimized = minimize(contracts);
+        let minimized = minimize(contracts, 4);
         let equals: Vec<_> = minimized
             .iter()
             .filter(|c| c.relation == RelationKind::Equals)
@@ -226,7 +240,7 @@ mod tests {
         contracts.push(eq("x", "y"));
         contracts.push(eq("p3", "y"));
         let before = contracts.len();
-        let minimized = minimize(contracts);
+        let minimized = minimize(contracts, 4);
         assert!(minimized.len() < before);
         // 3-cycle + p3->x + x->y = 5.
         assert_eq!(minimized.len(), 5);
@@ -235,16 +249,16 @@ mod tests {
 
     #[test]
     fn empty_and_single() {
-        assert!(minimize(Vec::new()).is_empty());
+        assert!(minimize(Vec::new(), 1).is_empty());
         let single = vec![eq("a", "b")];
-        assert_eq!(minimize(single.clone()), single);
+        assert_eq!(minimize(single.clone(), 2), single);
     }
 
     #[test]
     fn deterministic_output() {
         let contracts = vec![eq("a", "b"), eq("b", "a"), eq("b", "c"), eq("c", "b")];
-        let a = minimize(contracts.clone());
-        let b = minimize(contracts);
+        let a = minimize(contracts.clone(), 4);
+        let b = minimize(contracts, 4);
         assert_eq!(a, b);
     }
 }

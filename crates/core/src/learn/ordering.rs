@@ -5,9 +5,8 @@
 //! adjacent pairs keeps learning fast and lets contracts chain into blocks
 //! of lines that must appear together.
 
-use std::collections::HashMap;
-
 use crate::contract::Contract;
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::ir::PatternId;
 use crate::learn::DatasetView;
 use crate::params::LearnParams;
@@ -15,14 +14,14 @@ use crate::params::LearnParams;
 pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> Vec<Contract> {
     // (p1 -> p2) -> number of configs in which EVERY p1 line is
     // immediately followed by a p2 line.
-    let mut valid: HashMap<(PatternId, PatternId), u32> = HashMap::new();
+    let mut valid: FxHashMap<(PatternId, PatternId), u32> = FxHashMap::default();
 
     for config in &view.dataset.configs {
         // For each p1 in this config, the set of follower patterns; `None`
         // marks an occurrence with no valid follower (end of file or a
         // metadata boundary).
-        let mut followers: HashMap<PatternId, Option<PatternId>> = HashMap::new();
-        let mut conflicted: std::collections::HashSet<PatternId> = std::collections::HashSet::new();
+        let mut followers: FxHashMap<PatternId, Option<PatternId>> = FxHashMap::default();
+        let mut conflicted: FxHashSet<PatternId> = FxHashSet::default();
         for (i, line) in config.lines.iter().enumerate() {
             let next = config.lines.get(i + 1);
             let follower = match next {

@@ -6,10 +6,9 @@
 //! the same is additionally done over exact line text, which captures
 //! globally shared "magic constant" policies.
 
-use std::collections::HashMap;
-
 use crate::contract::Contract;
-use crate::learn::{fill_pattern, DatasetView};
+use crate::fxhash::FxHashMap;
+use crate::learn::{fill_pattern_into, DatasetView};
 use crate::params::LearnParams;
 
 pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> Vec<Contract> {
@@ -28,18 +27,35 @@ pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> Vec<Contract
 
     if params.learn_constants {
         // Count exact filled-line occurrences per config (set semantics:
-        // a line appearing twice in one config counts once).
-        let mut line_configs: HashMap<String, u32> = HashMap::new();
-        for config in &view.dataset.configs {
-            let mut seen = std::collections::HashSet::new();
+        // a line appearing twice in one config counts once — tracked by
+        // remembering the last config that counted each line, so the
+        // whole pass fills one reused buffer and allocates only per
+        // *distinct* line).
+        let mut line_configs: FxHashMap<String, (u32, u32)> = FxHashMap::default();
+        let mut buf = String::new();
+        for (ci, config) in view.dataset.configs.iter().enumerate() {
+            let ci = ci as u32;
             for line in &config.lines {
-                let filled = fill_pattern(view.dataset.table.text(line.pattern), &line.params);
-                if seen.insert(filled.clone()) {
-                    *line_configs.entry(filled).or_insert(0) += 1;
+                buf.clear();
+                fill_pattern_into(
+                    &mut buf,
+                    view.dataset.table.text(line.pattern),
+                    &line.params,
+                );
+                match line_configs.get_mut(buf.as_str()) {
+                    Some(slot) => {
+                        if slot.1 != ci {
+                            slot.0 += 1;
+                            slot.1 = ci;
+                        }
+                    }
+                    None => {
+                        line_configs.insert(buf.clone(), (1, ci));
+                    }
                 }
             }
         }
-        for (line, count) in line_configs {
+        for (line, (count, _)) in line_configs {
             let count = count as usize;
             if count >= params.support && count >= required {
                 // Skip lines whose pattern has no holes: the plain Present

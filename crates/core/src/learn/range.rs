@@ -12,11 +12,10 @@
 //! whose observed values repeat across configurations (set-like usage,
 //! not identifier-like usage).
 
-use std::collections::HashMap;
-
 use concord_types::BigNum;
 
 use crate::contract::Contract;
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::ir::PatternId;
 use crate::learn::DatasetView;
 use crate::params::LearnParams;
@@ -26,10 +25,10 @@ pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> Vec<Contract
         min: BigNum,
         max: BigNum,
         instances: u64,
-        distinct: std::collections::HashSet<BigNum>,
+        distinct: FxHashSet<BigNum>,
         configs: u32,
     }
-    let mut stats: HashMap<(PatternId, u16), Acc> = HashMap::new();
+    let mut stats: FxHashMap<(PatternId, u16), Acc> = FxHashMap::default();
 
     for (ci, config) in view.dataset.configs.iter().enumerate() {
         for (&pattern, line_idxs) in &view.lines_by_pattern[ci] {
@@ -50,7 +49,7 @@ pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> Vec<Contract
                     min: values[0].clone(),
                     max: values[0].clone(),
                     instances: 0,
-                    distinct: std::collections::HashSet::new(),
+                    distinct: FxHashSet::default(),
                     configs: 0,
                 });
                 acc.configs += 1;

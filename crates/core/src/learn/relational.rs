@@ -13,14 +13,13 @@
 //! exactly when witnessed. Per-candidate accounting then applies the
 //! support/confidence bars and the informativeness/diversity score filter.
 
-use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, HashSet};
-use std::hash::{Hash, Hasher};
+use std::time::{Duration, Instant};
 
 use concord_types::score::value_score;
 use concord_types::Transform;
 
 use crate::contract::{PatternRef, RelationKind, RelationalContract};
+use crate::fxhash::{fx_hash_one, FxHashMap, FxHashSet};
 use crate::learn::indexes::{Entry, NodeKey, TransformTag, ValueIndex};
 use crate::learn::DatasetView;
 use crate::parallel;
@@ -28,79 +27,222 @@ use crate::params::LearnParams;
 
 /// A candidate relational contract.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct CandKey {
-    antecedent: NodeKey,
-    relation: RelationKind,
-    consequent: NodeKey,
+pub(crate) struct CandKey {
+    pub antecedent: NodeKey,
+    pub relation: RelationKind,
+    pub consequent: NodeKey,
 }
 
-/// Per-configuration mining result.
-struct LocalResult {
-    /// Candidate → (satisfied instance count, witness (hash, score) per
-    /// instance).
-    candidates: HashMap<CandKey, (u32, Vec<(u64, f64)>)>,
-    /// Node → number of instances (entries) in this configuration.
-    node_instances: HashMap<NodeKey, u32>,
+/// Per-candidate accumulation: valid-config count plus the first
+/// [`LearnParams::max_score_witnesses`] distinct witnesses in config
+/// order. The witness list invariant (distinct hashes, first-seen order,
+/// capped) makes [`merge_partials`] associative over adjacent config
+/// runs, so a left fold and a binary tree merge produce bit-identical
+/// results — including the floating-point diversity score, which is
+/// summed over the list in its (stable) order at finalization.
+struct Partial {
+    valid: u32,
+    witnesses: Vec<(u64, f64)>,
+    /// Hash-membership mirror of `witnesses`, materialized lazily once
+    /// the list outgrows [`SEEN_THRESHOLD`]: per-config leaves hold a
+    /// handful of witnesses and a linear dedup scan is faster than any
+    /// set, but an accumulated run approaching the witness cap would
+    /// make the scan quadratic per candidate across merge levels.
+    seen: Option<Box<crate::fxhash::FxHashSet<u64>>>,
 }
 
-pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> Vec<RelationalContract> {
+/// Witness-list length at which [`Partial::seen`] is materialized.
+const SEEN_THRESHOLD: usize = 32;
+
+/// Candidate → partial accumulation, for one config or a merged run:
+/// a run sorted by packed [`cand_code`]. Sorted runs turn every tree
+/// merge into a linear two-pointer join — no per-entry hashing or
+/// probing while 5k-candidate maps shuffle up the tree — and the full
+/// [`CandKey`] is only reconstructed once per surviving candidate at
+/// finalization.
+type PartialRun = Vec<(u128, Partial)>;
+
+/// Per-configuration mining result, already folded into mergeable form.
+struct LocalOutcome {
+    partial: PartialRun,
+    /// Witness records dropped by the pathological fan-out guard.
+    truncations: u64,
+}
+
+/// The result of relational mining, with merge-phase instrumentation.
+pub(crate) struct MineOutcome {
+    /// The mined contracts, sorted.
+    pub contracts: Vec<RelationalContract>,
+    /// Wall-clock time of the global merge (tree or fold).
+    pub merge_time: Duration,
+    /// Witness records dropped by the per-instance fan-out guard, summed
+    /// over all configurations.
+    pub fanout_truncations: u64,
+}
+
+pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> MineOutcome {
+    // Mine a chunk of configs concurrently, tree-merge the chunk, fold
+    // it into the running accumulation, repeat. The association stays
+    // pairwise-adjacent throughout — ((c0·c1)·(c2·c3))·… — so the result
+    // is byte-identical at every parallelism level and to a flat fold,
+    // while only one chunk of per-config partials (instead of the whole
+    // fleet's) is ever resident: on large fleets the partials dwarf the
+    // dataset, and keeping them all alive for one global reduce slows
+    // every downstream allocation.
+    let chunk_len = params.parallelism.max(1) * 2;
+    let mut global: Option<PartialRun> = None;
+    let mut fanout_truncations = 0u64;
+    let mut merge_time = Duration::ZERO;
     let config_indices: Vec<usize> = (0..view.num_configs()).collect();
-    let locals: Vec<LocalResult> = parallel::map(
-        &config_indices,
-        |&ci| mine_config(view, ci, params),
-        params.parallelism,
-    );
+    for chunk in config_indices.chunks(chunk_len) {
+        let locals = parallel::map(
+            chunk,
+            |&ci| mine_config(view, ci, params),
+            params.parallelism,
+        );
+        fanout_truncations += locals.iter().map(|l| l.truncations).sum::<u64>();
 
-    // Merge: valid-config counts and diversity-aggregated scores.
-    struct Global {
-        valid: u32,
-        score: f64,
-        seen: HashSet<u64>,
+        // Merge the chunk's partials up a binary tree: pairwise merges
+        // of adjacent runs preserve config-order witness accounting
+        // while the pairs of each level run concurrently.
+        let t = Instant::now();
+        let run = parallel::reduce(
+            locals.into_iter().map(|l| l.partial).collect(),
+            |a, b| merge_partials(a, b, params.max_score_witnesses),
+            params.parallelism,
+        )
+        .unwrap_or_default();
+        global = Some(match global {
+            Some(acc) => merge_partials(acc, run, params.max_score_witnesses),
+            None => run,
+        });
+        merge_time += t.elapsed();
     }
-    let mut global: HashMap<CandKey, Global> = HashMap::new();
-    for local in locals {
-        for (key, (count, witnesses)) in local.candidates {
-            let instances = local
-                .node_instances
-                .get(&key.antecedent)
-                .copied()
-                .unwrap_or(0);
-            let entry = global.entry(key).or_insert_with(|| Global {
-                valid: 0,
-                score: 0.0,
-                seen: HashSet::new(),
-            });
-            if count == instances && instances > 0 {
-                entry.valid += 1;
-            }
-            for (hash, score) in witnesses {
-                if entry.seen.len() < params.max_score_witnesses && entry.seen.insert(hash) {
-                    entry.score += score;
+
+    MineOutcome {
+        contracts: finalize(global.unwrap_or_default(), view, params),
+        merge_time,
+        fanout_truncations,
+    }
+}
+
+/// Merges two key-sorted runs, `left` holding earlier configs.
+///
+/// A two-pointer join: distinct keys pass through, equal keys combine —
+/// valid counts add; witness lists concatenate with first-seen
+/// deduplication, truncated at `cap`. Truncating eagerly is lossless: a
+/// witness past position `cap` in its own run's distinct order can never
+/// be among the first `cap` distinct of any longer run it is a suffix of.
+fn merge_partials(left: PartialRun, right: PartialRun, cap: usize) -> PartialRun {
+    let mut out: PartialRun = Vec::with_capacity(left.len().max(right.len()));
+    let mut l = left.into_iter();
+    let mut r = right.into_iter();
+    let (mut lv, mut rv) = (l.next(), r.next());
+    loop {
+        match (lv, rv) {
+            (Some(lp), Some(rp)) => match lp.0.cmp(&rp.0) {
+                std::cmp::Ordering::Less => {
+                    out.push(lp);
+                    (lv, rv) = (l.next(), Some(rp));
                 }
+                std::cmp::Ordering::Greater => {
+                    out.push(rp);
+                    (lv, rv) = (Some(lp), r.next());
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push((lp.0, merge_one(lp.1, rp.1, cap)));
+                    (lv, rv) = (l.next(), r.next());
+                }
+            },
+            (Some(lp), None) => {
+                out.push(lp);
+                out.extend(l);
+                break;
+            }
+            (None, Some(rp)) => {
+                out.push(rp);
+                out.extend(r);
+                break;
+            }
+            (None, None) => break,
+        }
+    }
+    out
+}
+
+/// Combines one candidate's accumulations; `held` precedes `incoming`
+/// in config order.
+fn merge_one(mut held: Partial, incoming: Partial, cap: usize) -> Partial {
+    held.valid += incoming.valid;
+    for (hash, score) in incoming.witnesses {
+        if held.witnesses.len() >= cap {
+            break;
+        }
+        let duplicate = match &held.seen {
+            Some(set) => set.contains(&hash),
+            None => held.witnesses.iter().any(|&(h, _)| h == hash),
+        };
+        if !duplicate {
+            held.witnesses.push((hash, score));
+            match &mut held.seen {
+                Some(set) => {
+                    set.insert(hash);
+                }
+                None if held.witnesses.len() >= SEEN_THRESHOLD => {
+                    held.seen = Some(Box::new(held.witnesses.iter().map(|&(h, _)| h).collect()));
+                }
+                None => {}
             }
         }
     }
+    held
+}
 
+/// Applies the support/confidence/score bars and renders contracts.
+///
+/// The diversity score is summed over each witness list in its stable
+/// (config-order) sequence, reproducing the reference fold's running sum
+/// bit-for-bit.
+fn finalize(
+    global: PartialRun,
+    view: &DatasetView<'_>,
+    params: &LearnParams,
+) -> Vec<RelationalContract> {
+    let scored = global.into_iter().map(|(code, stats)| {
+        let score: f64 = stats.witnesses.iter().map(|&(_, s)| s).sum();
+        (decode_cand(code), stats.valid, score)
+    });
+    finalize_scored(scored, view.dataset, &view.config_count, params)
+}
+
+/// The shared tail of finalization: support/confidence/score bars, the
+/// injective-transform subsumption filter, and the deterministic sort.
+pub(crate) fn finalize_scored(
+    scored: impl IntoIterator<Item = (CandKey, u32, f64)>,
+    dataset: &crate::ir::Dataset,
+    config_count: &[u32],
+    params: &LearnParams,
+) -> Vec<RelationalContract> {
     let mut out = Vec::new();
-    for (key, stats) in global {
-        let support = view.configs_with(key.antecedent.pattern);
-        if view.configs_with(key.consequent.pattern) < params.support {
+    for (key, valid, score) in scored {
+        let support = config_count[key.antecedent.pattern.0 as usize] as usize;
+        if (config_count[key.consequent.pattern.0 as usize] as usize) < params.support {
             continue;
         }
-        if !params.accept(stats.valid as usize, support) {
+        if !params.accept(valid as usize, support) {
             continue;
         }
-        if stats.score < params.score_threshold {
+        if score < params.score_threshold {
             continue;
         }
         out.push(RelationalContract {
             antecedent: PatternRef {
-                pattern: view.dataset.table.text(key.antecedent.pattern).to_string(),
+                pattern: dataset.table.text(key.antecedent.pattern).to_string(),
                 param: key.antecedent.param,
                 transform: key.antecedent.transform_tag.to_transform(),
             },
             consequent: PatternRef {
-                pattern: view.dataset.table.text(key.consequent.pattern).to_string(),
+                pattern: dataset.table.text(key.consequent.pattern).to_string(),
                 param: key.consequent.param,
                 transform: key.consequent.transform_tag.to_transform(),
             },
@@ -113,7 +255,7 @@ pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> Vec<Relation
     // the identity form subsumes it. `str` is injective per value type
     // but can bridge types (an address equals a string render), so it is
     // only dropped when its identity twin was also learned.
-    let id_pairs: HashSet<(String, u16, String, u16)> = out
+    let id_pairs: FxHashSet<(String, u16, String, u16)> = out
         .iter()
         .filter(|c| {
             c.relation == RelationKind::Equals
@@ -153,24 +295,26 @@ pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> Vec<Relation
 }
 
 /// Builds the per-configuration index and runs the query pass.
-fn mine_config(view: &DatasetView<'_>, ci: usize, params: &LearnParams) -> LocalResult {
+fn mine_config(view: &DatasetView<'_>, ci: usize, params: &LearnParams) -> LocalOutcome {
     let config = &view.dataset.configs[ci];
     let mut index = ValueIndex::new(params.max_affix_fanout);
-    let mut node_instances: HashMap<NodeKey, u32> = HashMap::new();
+    let mut node_instances: FxHashMap<u64, u32> = FxHashMap::default();
 
+    let mut transforms: Vec<Transform> = Vec::new();
     for line in &config.lines {
         for (pi, param) in line.params.iter().enumerate() {
             let base_score = value_score(&param.value);
-            for transform in Transform::enumerate_for(&param.value) {
+            Transform::enumerate_into(&param.value, &mut transforms);
+            for transform in &transforms {
                 let Some(value) = transform.apply(&param.value) else {
                     continue;
                 };
                 let node = NodeKey {
                     pattern: line.pattern,
                     param: pi as u16,
-                    transform_tag: TransformTag::from_transform(&transform),
+                    transform_tag: TransformTag::from_transform(transform),
                 };
-                *node_instances.entry(node).or_insert(0) += 1;
+                *node_instances.entry(node_code(node)).or_insert(0) += 1;
                 index.insert(Entry {
                     node,
                     value,
@@ -180,73 +324,258 @@ fn mine_config(view: &DatasetView<'_>, ci: usize, params: &LearnParams) -> Local
         }
     }
 
-    let mut candidates: HashMap<CandKey, (u32, Vec<(u64, f64)>)> = HashMap::new();
-    let mut scratch: Vec<u32> = Vec::new();
-    let mut satisfied: HashMap<CandKey, f64> = HashMap::new();
+    // Group entries by (node, value). Entries sharing both produce an
+    // identical query pass — same witnesses, same score, same fingerprint
+    // — so a value repeated across a config's blocks (a constant mask on
+    // every interface, say) would re-run it once per occurrence for zero
+    // new information. One representative entry per group runs the
+    // queries and the per-instance counters scale by the group's
+    // multiplicity; groups are visited in first-occurrence entry order,
+    // so the deduplicated witness stream is unchanged.
+    let mut group_of: FxHashMap<(NodeKey, &concord_types::Value), u32> = FxHashMap::default();
+    group_of.reserve(index.entries.len());
+    let mut reps: Vec<(usize, u32)> = Vec::new();
+    for (a_idx, entry) in index.entries.iter().enumerate() {
+        match group_of.entry((entry.node, &entry.value)) {
+            std::collections::hash_map::Entry::Occupied(slot) => {
+                reps[*slot.get() as usize].1 += 1;
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(reps.len() as u32);
+                reps.push((a_idx, 1));
+            }
+        }
+    }
 
-    for a_idx in 0..index.entries.len() {
+    // Candidate accumulation, already in mergeable form: instance count
+    // plus the first `max_score_witnesses` distinct witnesses in rep
+    // (= entry) order. Deduplication is a linear scan of the kept list —
+    // the set of seen hashes IS the kept list's hashes (a hash is
+    // recorded exactly when it is kept), and the list is capped small,
+    // so a per-candidate hash set would be pure allocator churn.
+    let mut candidates: FxHashMap<u128, (u32, Vec<(u64, f64)>)> = FxHashMap::default();
+    let mut scratch: Vec<u32> = Vec::new();
+    // Per-rep dedup keyed by the packed (relation, consequent) code — the
+    // antecedent is fixed within a rep, so the 61-bit code identifies the
+    // candidate. A rep satisfies ~10 candidates in practice, so a
+    // linear-scanned list beats a hash map: no hashing on insert, and the
+    // flush below walks it contiguously. The fan-out guard bounds the
+    // scan at `fanout_cap` entries even on pathological values.
+    let mut satisfied: Vec<(u64, f64)> = Vec::new();
+    let mut truncations = 0u64;
+    let fanout_cap = params.max_witnesses_per_instance * 8;
+    // Query results depend only on the probed *value* — never on the
+    // probing node — and EDGE/WAN-style fleets repeat each value across
+    // several nodes (~3-4 reps per distinct value in practice). Cache
+    // each value's witnesses so trie walks run once per value, and
+    // pre-merge them by packed (relation, consequent) code with the max
+    // consequent score: `min(a, max_c) == max_c min(a, c)`, so a rep
+    // recovers its exact per-candidate score from the merged entry, and
+    // the merged codes are unique, so the per-rep satisfied list needs
+    // no dedup scan. The one behavior the merged form cannot replay is
+    // the fan-out guard (it drops raw witnesses in scan order once the
+    // satisfied list hits the cap), so a value whose merged fan-out
+    // could trip it falls back to replaying the raw lists. Reps are
+    // still visited in first-occurrence order, so the witness stream
+    // (and hence every downstream byte) is unchanged.
+    enum CachedQueries {
+        /// Distinct (relation, consequent) codes with max consequent
+        /// score; proven unable to trip the fan-out guard.
+        Merged(Vec<(u64, f64)>),
+        /// Raw per-structure witness lists, replayed with the guard.
+        Raw(Vec<(RelationKind, Vec<u32>)>),
+    }
+    let mut query_cache: FxHashMap<&concord_types::Value, u32> = FxHashMap::default();
+    let mut cached_queries: Vec<CachedQueries> = Vec::new();
+
+    for &(a_idx, mult) in &reps {
         satisfied.clear();
+        let a = &index.entries[a_idx];
+        let a_node = a.node;
+        let a_code = node_code(a_node);
+        let a_score = a.score;
 
         // Ask every registered relation structure for this value's
         // witnesses (§3.5; structures are pluggable via the
-        // `RelationStructure` trait).
-        for structure in &index.structures {
-            scratch.clear();
-            if structure.query(&index.entries[a_idx].value, &mut scratch) {
-                let relation = structure.relation();
-                for &c_idx in &scratch {
-                    record(&index, a_idx, c_idx, relation, &mut satisfied, params);
+        // `RelationStructure` trait) — through the by-value cache.
+        let qi = match query_cache.entry(&a.value) {
+            std::collections::hash_map::Entry::Occupied(slot) => *slot.get(),
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                let mut lists = Vec::new();
+                for structure in &index.structures {
+                    scratch.clear();
+                    if structure.query(&a.value, &mut scratch) && !scratch.is_empty() {
+                        lists.push((structure.relation(), scratch.clone()));
+                    }
+                }
+                let mut merged: Vec<(u64, f64)> = Vec::new();
+                for (relation, list) in &lists {
+                    for &c_idx in list {
+                        let c = &index.entries[c_idx as usize];
+                        let code = consequent_code(*relation, c.node);
+                        match merged.iter_mut().find(|(k, _)| *k == code) {
+                            Some((_, best)) => *best = best.max(c.score),
+                            None => merged.push((code, c.score)),
+                        }
+                    }
+                }
+                // With fewer than `fanout_cap` distinct codes the
+                // satisfied list can never reach the cap mid-scan, so
+                // the guard provably never fires for ANY rep of this
+                // value and the merged form is exact.
+                let qi = cached_queries.len() as u32;
+                cached_queries.push(if merged.len() < fanout_cap {
+                    CachedQueries::Merged(merged)
+                } else {
+                    CachedQueries::Raw(lists)
+                });
+                slot.insert(qi);
+                qi
+            }
+        };
+        match &cached_queries[qi as usize] {
+            CachedQueries::Merged(merged) => {
+                for &(ccode, cscore) in merged {
+                    // `ccode >> 2` recovers the consequent's node code;
+                    // node_code is injective, so this is the same-node
+                    // skip without touching `entries`.
+                    if ccode >> 2 == a_code {
+                        continue;
+                    }
+                    satisfied.push((ccode, a_score.min(cscore)));
+                }
+            }
+            CachedQueries::Raw(lists) => {
+                for (relation, list) in lists {
+                    for &c_idx in list {
+                        let c = &index.entries[c_idx as usize];
+                        if a_node == c.node {
+                            continue;
+                        }
+                        if satisfied.len() >= fanout_cap {
+                            // Pathological fan-out guard; candidates
+                            // beyond this are noise — but the drop is
+                            // counted, not silent (LearnStats surfaces
+                            // it).
+                            truncations += u64::from(mult);
+                            continue;
+                        }
+                        let code = consequent_code(*relation, c.node);
+                        let score = a_score.min(c.score);
+                        match satisfied.iter_mut().find(|(k, _)| *k == code) {
+                            Some((_, best)) => *best = best.max(score),
+                            None => satisfied.push((code, score)),
+                        }
+                    }
                 }
             }
         }
 
-        let a_hash = {
-            let mut h = DefaultHasher::new();
-            index.entries[a_idx].value.hash(&mut h);
-            h.finish()
-        };
-        for (&key, &score) in &satisfied {
-            let slot = candidates.entry(key).or_insert_with(|| (0, Vec::new()));
-            slot.0 += 1;
-            slot.1.push((a_hash, score));
+        let a_hash = fx_hash_one(&a.value);
+        for &(ccode, score) in &satisfied {
+            let slot = candidates
+                .entry(cand_code(a_code, ccode))
+                .or_insert_with(|| (0, Vec::new()));
+            slot.0 += mult;
+            if slot.1.len() < params.max_score_witnesses
+                && !slot.1.iter().any(|&(h, _)| h == a_hash)
+            {
+                slot.1.push((a_hash, score));
+            }
         }
     }
 
-    LocalResult {
-        candidates,
-        node_instances,
+    // Resolve each candidate's valid bit (every antecedent instance in
+    // this config satisfied); the witness lists are already deduplicated
+    // and capped.
+    let mut partial: PartialRun = Vec::with_capacity(candidates.len());
+    for (code, (count, witnesses)) in candidates {
+        let antecedent = (code >> 61) as u64;
+        let instances = node_instances.get(&antecedent).copied().unwrap_or(0);
+        let valid = u32::from(count == instances && instances > 0);
+        partial.push((
+            code,
+            Partial {
+                valid,
+                witnesses,
+                seen: None,
+            },
+        ));
+    }
+    partial.sort_unstable_by_key(|&(code, _)| code);
+
+    LocalOutcome {
+        partial,
+        truncations,
     }
 }
 
-/// Records one witnessed relation instance, deduplicating per candidate
-/// and keeping the best witness score.
-fn record(
-    index: &ValueIndex,
-    a_idx: usize,
-    c_idx: u32,
-    relation: RelationKind,
-    satisfied: &mut HashMap<CandKey, f64>,
-    params: &LearnParams,
-) {
-    let a = &index.entries[a_idx];
-    let c = &index.entries[c_idx as usize];
-    if a.node == c.node {
-        return;
-    }
-    if satisfied.len() >= params.max_witnesses_per_instance * 8 {
-        // Pathological fan-out guard; candidates beyond this are noise.
-        return;
-    }
-    let key = CandKey {
-        antecedent: a.node,
-        relation,
-        consequent: c.node,
+/// Packs a [`NodeKey`] into an injective 59-bit code: transform tag
+/// (11 bits: 3-bit discriminant + 8-bit payload), parameter index
+/// (16 bits), pattern id (32 bits).
+fn node_code(node: NodeKey) -> u64 {
+    let (d, payload) = match node.transform_tag {
+        TransformTag::Id => (0u64, 0u64),
+        TransformTag::Hex => (1, 0),
+        TransformTag::Str => (2, 0),
+        TransformTag::Segment(n) => (3, u64::from(n)),
+        TransformTag::Octet(n) => (4, u64::from(n)),
+        TransformTag::PrefixAddr => (5, 0),
+        TransformTag::PrefixLen => (6, 0),
+        TransformTag::Lower => (7, 0),
     };
-    let score = a.score.min(c.score);
-    satisfied
-        .entry(key)
-        .and_modify(|best| *best = best.max(score))
-        .or_insert(score);
+    (d | (payload << 3)) | (u64::from(node.param) << 11) | (u64::from(node.pattern.0) << 27)
+}
+
+/// Inverts [`node_code`].
+fn decode_node(code: u64) -> NodeKey {
+    let payload = ((code >> 3) & 0xff) as u8;
+    let transform_tag = match code & 0b111 {
+        0 => TransformTag::Id,
+        1 => TransformTag::Hex,
+        2 => TransformTag::Str,
+        3 => TransformTag::Segment(payload),
+        4 => TransformTag::Octet(payload),
+        5 => TransformTag::PrefixAddr,
+        6 => TransformTag::PrefixLen,
+        _ => TransformTag::Lower,
+    };
+    NodeKey {
+        pattern: crate::ir::PatternId((code >> 27) as u32),
+        param: ((code >> 11) & 0xffff) as u16,
+        transform_tag,
+    }
+}
+
+/// Packs a candidate's varying half — the relation plus the consequent
+/// node — into an injective 61-bit code. Within one antecedent rep this
+/// code identifies the candidate, so the per-rep dedup map hashes one
+/// `u64` instead of a multi-field `CandKey`.
+fn consequent_code(relation: RelationKind, node: NodeKey) -> u64 {
+    (relation as u64) | (node_code(node) << 2)
+}
+
+/// Packs a full candidate — antecedent node (59 bits) over the
+/// relation + consequent code (61 bits) — into an injective 120-bit
+/// code, the key of every map on the accumulate/merge path.
+fn cand_code(antecedent: u64, consequent: u64) -> u128 {
+    (u128::from(antecedent) << 61) | u128::from(consequent)
+}
+
+/// Inverts [`cand_code`] back into the full [`CandKey`].
+fn decode_cand(code: u128) -> CandKey {
+    let ccode = (code as u64) & ((1 << 61) - 1);
+    let relation = match ccode & 0b11 {
+        0 => RelationKind::Equals,
+        1 => RelationKind::Contains,
+        2 => RelationKind::StartsWith,
+        _ => RelationKind::EndsWith,
+    };
+    CandKey {
+        antecedent: decode_node((code >> 61) as u64),
+        relation,
+        consequent: decode_node(ccode >> 2),
+    }
 }
 
 #[cfg(test)]
@@ -266,7 +595,7 @@ mod tests {
     fn mine_texts(texts: &[String], params: &LearnParams) -> Vec<RelationalContract> {
         let ds = dataset(texts);
         let view = DatasetView::new(&ds);
-        mine(&view, params)
+        mine(&view, params).contracts
     }
 
     fn has_contract(
@@ -440,5 +769,110 @@ mod tests {
             v
         };
         assert_eq!(norm(seq), norm(par));
+    }
+
+    #[test]
+    fn tree_merge_matches_reference_fold() {
+        // An awkward (odd, > one tree level) config count with witness
+        // overlap across configs: tree-merged output must be identical to
+        // the sequential left fold, at several parallelism levels —
+        // including a tight witness cap where merge order could bite.
+        let texts: Vec<String> = (0..13)
+            .map(|i| {
+                format!(
+                    "vlan {}\n rd 10.0.0.1:10{}\nvni {}\nvlan 999\nvni 999\n",
+                    250 + (i % 7),
+                    250 + (i % 7),
+                    250 + (i % 7)
+                )
+            })
+            .collect();
+        let ds = dataset(&texts);
+        let view = DatasetView::new(&ds);
+        for max_score_witnesses in [2, 128] {
+            for parallelism in [1, 4, 8] {
+                let params = LearnParams {
+                    parallelism,
+                    max_score_witnesses,
+                    ..LearnParams::default()
+                };
+                let tree = mine(&view, &params);
+                let ref_view = crate::learn::reference::DatasetView::new(&ds);
+                let fold = crate::learn::reference::mine_relational(&ref_view, &params);
+                assert_eq!(
+                    tree.contracts, fold.contracts,
+                    "tree merge diverges from fold at p={parallelism}, cap={max_score_witnesses}"
+                );
+                assert_eq!(tree.fanout_truncations, fold.fanout_truncations);
+            }
+        }
+    }
+
+    #[test]
+    fn guard_replay_matches_reference_fold() {
+        // One value shared by 14 keyword patterns: every instance
+        // satisfies ~13 equality candidates, so `max_witnesses_per_instance: 1`
+        // (fan-out guard = 8) trips mid-scan. That forces the by-value
+        // query cache off its pre-merged fast path into the raw replay,
+        // which must reproduce the guard's scan-order drops — counted
+        // and witnessed — exactly as the reference fold does.
+        const KEYWORDS: [&str; 14] = [
+            "alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel", "india",
+            "juliet", "kilo", "lima", "mike", "november",
+        ];
+        let texts: Vec<String> = (0..5)
+            .map(|i| {
+                KEYWORDS
+                    .iter()
+                    .map(|k| format!("{k} {}\n", 300 + i))
+                    .collect::<String>()
+            })
+            .collect();
+        let ds = dataset(&texts);
+        let view = DatasetView::new(&ds);
+        let mut guard_tripped = false;
+        for parallelism in [1, 8] {
+            let params = LearnParams {
+                parallelism,
+                max_witnesses_per_instance: 1,
+                ..LearnParams::default()
+            };
+            let tree = mine(&view, &params);
+            let ref_view = crate::learn::reference::DatasetView::new(&ds);
+            let fold = crate::learn::reference::mine_relational(&ref_view, &params);
+            assert_eq!(
+                tree.contracts, fold.contracts,
+                "guard replay diverges from fold at p={parallelism}"
+            );
+            assert_eq!(tree.fanout_truncations, fold.fanout_truncations);
+            guard_tripped |= tree.fanout_truncations > 0;
+        }
+        assert!(
+            guard_tripped,
+            "the tight guard must actually truncate, or the raw replay path is untested"
+        );
+    }
+
+    #[test]
+    fn fanout_guard_truncations_are_counted() {
+        let texts: Vec<String> = (0..8)
+            .map(|i| format!("vlan {}\nvni {}\n", 100 + i, 100 + i))
+            .collect();
+        let ds = dataset(&texts);
+        let view = DatasetView::new(&ds);
+        // Default guard: nothing pathological here, nothing truncated.
+        let relaxed = mine(&view, &LearnParams::default());
+        assert_eq!(relaxed.fanout_truncations, 0);
+        assert!(!relaxed.contracts.is_empty());
+        // A zero-width guard drops every witness record — and says so.
+        let strangled = mine(
+            &view,
+            &LearnParams {
+                max_witnesses_per_instance: 0,
+                ..LearnParams::default()
+            },
+        );
+        assert!(strangled.contracts.is_empty());
+        assert!(strangled.fanout_truncations > 0);
     }
 }

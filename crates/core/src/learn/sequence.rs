@@ -5,11 +5,10 @@
 //! (e.g. `seq 10`, `seq 20`, `seq 30`). They catch missing or reordered
 //! sequence elements.
 
-use std::collections::HashMap;
-
 use concord_types::BigNum;
 
 use crate::contract::Contract;
+use crate::fxhash::FxHashMap;
 use crate::ir::PatternId;
 use crate::learn::DatasetView;
 use crate::params::LearnParams;
@@ -37,7 +36,7 @@ pub(crate) fn is_sequential(values: &[&BigNum]) -> bool {
 
 pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> Vec<Contract> {
     // (pattern, param) -> (configs with >= 2 instances, sequential configs).
-    let mut stats: HashMap<(PatternId, u16), (u32, u32)> = HashMap::new();
+    let mut stats: FxHashMap<(PatternId, u16), (u32, u32)> = FxHashMap::default();
 
     for (ci, config) in view.dataset.configs.iter().enumerate() {
         for (&pattern, line_idxs) in &view.lines_by_pattern[ci] {

@@ -12,22 +12,21 @@
 //! evidence of a type *choice*, and emitting a contract per pattern hole
 //! would drown the output.
 
-use std::collections::HashMap;
-
 use concord_lexer::type_agnostic_pattern;
 use concord_types::ValueType;
 
 use crate::contract::Contract;
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::learn::DatasetView;
 use crate::params::LearnParams;
 
 pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> Vec<Contract> {
     // agnostic pattern -> per-hole type usage counts, plus config support.
     struct Group {
-        hole_types: Vec<HashMap<ValueType, u64>>,
-        configs: std::collections::HashSet<usize>,
+        hole_types: Vec<FxHashMap<ValueType, u64>>,
+        configs: FxHashSet<usize>,
     }
-    let mut groups: HashMap<String, Group> = HashMap::new();
+    let mut groups: FxHashMap<String, Group> = FxHashMap::default();
 
     for (ci, config) in view.dataset.configs.iter().enumerate() {
         for line in &config.lines {
@@ -37,7 +36,7 @@ pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> Vec<Contract
             let agnostic = type_agnostic_pattern(view.dataset.table.text(line.pattern));
             let group = groups.entry(agnostic).or_insert_with(|| Group {
                 hole_types: Vec::new(),
-                configs: std::collections::HashSet::new(),
+                configs: FxHashSet::default(),
             });
             group.configs.insert(ci);
             // Holes of the *bound* parameters: anonymous context holes are
@@ -46,7 +45,7 @@ pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> Vec<Contract
             if group.hole_types.len() < line.params.len() {
                 group
                     .hole_types
-                    .resize_with(line.params.len(), HashMap::new);
+                    .resize_with(line.params.len(), FxHashMap::default);
             }
             for (i, param) in line.params.iter().enumerate() {
                 *group.hole_types[i].entry(param.ty.clone()).or_insert(0) += 1;

@@ -7,25 +7,24 @@
 //! aggregate informativeness of the observed values must clear the score
 //! threshold (§3.5).
 
-use std::collections::{HashMap, HashSet};
-
 use concord_types::score::value_score;
 
 use crate::contract::Contract;
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::ir::PatternId;
 use crate::learn::DatasetView;
 use crate::params::LearnParams;
 
 pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> Vec<Contract> {
     struct Acc {
-        values: HashSet<String>,
+        values: FxHashSet<String>,
         instances: u64,
         duplicate: bool,
         score: f64,
         configs: u32,
         once_per_config: bool,
     }
-    let mut stats: HashMap<(PatternId, u16), Acc> = HashMap::new();
+    let mut stats: FxHashMap<(PatternId, u16), Acc> = FxHashMap::default();
 
     for (ci, _) in view.dataset.configs.iter().enumerate() {
         for (&pattern, line_idxs) in &view.lines_by_pattern[ci] {
@@ -33,7 +32,7 @@ pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> Vec<Contract
             let first = &config.lines[line_idxs[0]];
             for pi in 0..first.params.len() {
                 let acc = stats.entry((pattern, pi as u16)).or_insert_with(|| Acc {
-                    values: HashSet::new(),
+                    values: FxHashSet::default(),
                     instances: 0,
                     duplicate: false,
                     score: 0.0,

@@ -68,6 +68,8 @@ pub use learn::indexes::{
     AffixStructure, ContainsStructure, Entry, EqualityStructure, NodeKey, PrefixTrie,
     RelationStructure, StrTrie, TransformTag, ValueIndex,
 };
+#[cfg(any(test, feature = "reference-learn"))]
+pub use learn::learn_reference;
 pub use learn::{learn, learn_with_stats, LearnStats};
 pub use params::LearnParams;
 pub use stats::{BuildStats, CheckStats, PipelineStats, STATS_SCHEMA};

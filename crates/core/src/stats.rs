@@ -16,8 +16,10 @@ use crate::learn::LearnStats;
 
 /// Schema identifier emitted in the JSON form, bumped on breaking
 /// changes to the layout. v2 added the compiled-check fields
-/// (`compile_secs`, `witness`, `categories`) to the `check` stage.
-pub const STATS_SCHEMA: &str = "concord-pipeline-stats/v2";
+/// (`compile_secs`, `witness`, `categories`) to the `check` stage; v3
+/// added the parallel-learn fields (`miner_parallelism`,
+/// `relational_merge_secs`, `fanout_truncations`) to the `learn` stage.
+pub const STATS_SCHEMA: &str = "concord-pipeline-stats/v3";
 
 /// Statistics from one [`Dataset::build_with_stats`](crate::Dataset::build_with_stats) run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -159,9 +161,12 @@ impl ToJson for LearnStats {
         );
         concord_json::json!({
             "view_secs": self.view_time.as_secs_f64(),
+            "miner_parallelism": self.miner_parallelism,
             "miners": miners,
             "simple_miners_secs": self.simple_miners_time.as_secs_f64(),
             "relational_secs": self.relational_time.as_secs_f64(),
+            "relational_merge_secs": self.relational_merge_time.as_secs_f64(),
+            "fanout_truncations": self.fanout_truncations,
             "minimize_secs": self.minimize_time.as_secs_f64(),
             "relational_before_minimization": self.relational_before_minimization,
             "relational_after_minimization": self.relational_after_minimization,
@@ -232,6 +237,12 @@ impl PipelineStats {
                 l.relational_before_minimization,
                 l.relational_after_minimization,
             ));
+            out.push_str(&format!(
+                "  miner parallelism {}; relational merge {:.3}s; fan-out truncations {}\n",
+                l.miner_parallelism,
+                l.relational_merge_time.as_secs_f64(),
+                l.fanout_truncations,
+            ));
         }
         if let Some(c) = &self.check {
             out.push_str(&format!(
@@ -284,6 +295,9 @@ mod tests {
                     ("present".to_string(), Duration::from_millis(3)),
                     ("relational".to_string(), Duration::from_millis(9)),
                 ],
+                miner_parallelism: 6,
+                relational_merge_time: Duration::from_millis(2),
+                fanout_truncations: 17,
                 relational_before_minimization: 10,
                 relational_after_minimization: 4,
                 ..LearnStats::default()
@@ -316,6 +330,9 @@ mod tests {
         assert_eq!(json["build"]["cache"]["hits"].as_u64(), Some(75));
         assert!((json["build"]["cache"]["hit_rate"].as_f64().unwrap() - 0.75).abs() < 1e-12);
         assert_eq!(json["learn"]["miners"][0]["name"].as_str(), Some("present"));
+        assert_eq!(json["learn"]["miner_parallelism"].as_u64(), Some(6));
+        assert!(json["learn"]["relational_merge_secs"].as_f64().unwrap() > 0.0);
+        assert_eq!(json["learn"]["fanout_truncations"].as_u64(), Some(17));
         assert_eq!(json["check"]["violations"].as_u64(), Some(1));
         assert!(json["check"]["compile_secs"].as_f64().unwrap() > 0.0);
         assert_eq!(json["check"]["witness"]["indexes"].as_u64(), Some(3));
@@ -341,6 +358,9 @@ mod tests {
         let text = sample().render_text();
         assert!(text.contains("lex cache: 75 hits / 25 misses"));
         assert!(text.contains("present 0.003s"));
+        assert!(text.contains("miner parallelism 6"));
+        assert!(text.contains("relational merge 0.002s"));
+        assert!(text.contains("fan-out truncations 17"));
         assert!(text.contains("witness indexes: 3 (450 entries)"));
         assert!(text.contains("probes: 200 (99.0% hit)"));
         assert!(text.contains("phases: present 0.001s, relational 0.004s"));

@@ -79,7 +79,16 @@ impl Transform {
     /// transformations for each parameter type and enumerates all such
     /// transformations prior to search". The set is deliberately small.
     pub fn enumerate_for(value: &Value) -> Vec<Transform> {
-        let mut out = vec![Transform::Id];
+        let mut out = Vec::new();
+        Transform::enumerate_into(value, &mut out);
+        out
+    }
+
+    /// [`Transform::enumerate_for`] into a caller-owned buffer (cleared
+    /// first), so per-line loops reuse one allocation.
+    pub fn enumerate_into(value: &Value, out: &mut Vec<Transform>) {
+        out.clear();
+        out.push(Transform::Id);
         match value {
             Value::Num(_) => {
                 out.push(Transform::Hex);
@@ -109,7 +118,6 @@ impl Transform {
             }
             Value::Bool(_) => {}
         }
-        out
     }
 
     /// Returns the informativeness discount of this transformation in

@@ -155,12 +155,37 @@ impl Value {
     /// Renders the value as text (the form used by affix relations).
     pub fn render(&self) -> String {
         match self {
-            Value::Num(n) => n.to_string(),
-            Value::Bool(b) => b.to_string(),
-            Value::Ip(a) => a.to_string(),
-            Value::Net(n) => n.to_string(),
-            Value::Mac(m) => m.to_string(),
             Value::Str(s) => s.clone(),
+            _ => {
+                let mut out = String::new();
+                self.render_into(&mut out);
+                out
+            }
+        }
+    }
+
+    /// Renders the value into `out`, avoiding the intermediate
+    /// allocation of [`Value::render`] on hot paths that fill a reused
+    /// buffer.
+    pub fn render_into(&self, out: &mut String) {
+        use fmt::Write;
+        match self {
+            Value::Str(s) => out.push_str(s),
+            Value::Num(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Ip(a) => {
+                let _ = write!(out, "{a}");
+            }
+            Value::Net(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Mac(m) => {
+                let _ = write!(out, "{m}");
+            }
         }
     }
 
@@ -207,7 +232,14 @@ impl Value {
 
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.render())
+        match self {
+            Value::Str(s) => f.write_str(s),
+            other => {
+                let mut out = String::new();
+                other.render_into(&mut out);
+                f.write_str(&out)
+            }
+        }
     }
 }
 
