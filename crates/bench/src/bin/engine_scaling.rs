@@ -1,0 +1,198 @@
+//! Incremental-engine scaling: batch full rebuild vs the resident
+//! `concord-engine` snapshot on a single-configuration edit.
+//!
+//! For each corpus size the harness builds an engine, learns contracts
+//! once, then measures the steady-state edit loop both ways:
+//!
+//! * **full rebuild** — what the batch workflow pays per edit: rebuild
+//!   the [`Dataset`] from all texts (fresh lex cache — a batch run has
+//!   no memory) and run the full compiled check;
+//! * **incremental** — `Engine::upsert_config` of the one edited file
+//!   followed by `Engine::check_dirty`, which re-lexes one file through
+//!   the persistent cache and re-checks one configuration.
+//!
+//! The reports are asserted byte-identical before any timing is
+//! reported, every sample. Results go to `BENCH_engine.json` at the
+//! repository root (full runs; smoke runs only write
+//! `target/experiments/engine_scaling.json`). Pass `--smoke` (or set
+//! `CONCORD_ENGINE_SMOKE=1`) for the small CI sizes.
+
+use concord_bench::{fmt_secs, seed, timed, write_result};
+use concord_core::{check_parallel_with_stats, CheckReport, Dataset, LearnParams};
+use concord_datagen::{generate_role, RoleSpec, Style};
+use concord_engine::{Engine, EngineOptions};
+use concord_json::{json, Json};
+use concord_lexer::{LexCache, Lexer};
+use std::time::Duration;
+
+/// Timed edit→check samples per path; the minimum is the estimate.
+const SAMPLES: usize = 3;
+
+/// Per-device block multiplicity (see `check_scaling` for the rationale;
+/// the engine benchmark keeps checking non-trivial so the incremental
+/// win is about work avoided, not noise).
+const BLOCKS_FULL: usize = 192;
+const BLOCKS_SMOKE: usize = 48;
+
+fn blocks() -> usize {
+    std::env::var("CONCORD_ENGINE_BLOCKS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if smoke() { BLOCKS_SMOKE } else { BLOCKS_FULL })
+}
+
+fn smoke() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+        || std::env::var("CONCORD_ENGINE_SMOKE").is_ok_and(|v| v == "1")
+}
+
+fn assert_reports_equal(incremental: &CheckReport, batch: &CheckReport, context: &str) {
+    assert_eq!(
+        incremental.violations, batch.violations,
+        "{context}: violations diverged"
+    );
+    assert_eq!(
+        incremental.coverage.per_config, batch.coverage.per_config,
+        "{context}: coverage diverged"
+    );
+}
+
+fn main() {
+    let sizes: &[usize] = if smoke() {
+        &[4, 8, 16]
+    } else {
+        &[8, 16, 32, 64]
+    };
+    let parallelism = 1; // measure work avoided, not the thread pool
+
+    let mut entries: Vec<Json> = Vec::new();
+    for &devices in sizes {
+        let spec = RoleSpec {
+            name: format!("ENG{devices}"),
+            devices,
+            style: Style::EdgeIndent,
+            blocks: blocks(),
+            with_metadata: false,
+        };
+        let role = generate_role(&spec, seed());
+        let mut corpus = role.configs.clone();
+        corpus.sort();
+
+        let options = EngineOptions {
+            parallelism,
+            learn: LearnParams::default(),
+            ..EngineOptions::default()
+        };
+        let mut engine = Engine::from_corpus(&corpus, &[], options).expect("engine builds");
+        engine.relearn();
+        let contracts = engine.contracts().expect("just learned").clone();
+        engine.check_dirty().expect("contracts loaded");
+
+        // The steady-state edit: toggle one device's text between its
+        // original and a one-line-longer variant (the duplicated last
+        // line reuses an existing pattern, so contract resolution — and
+        // therefore the outcome cache — survives the edit).
+        let target = corpus[0].0.clone();
+        let base = corpus[0].1.clone();
+        let longer = {
+            let last = base.lines().next_back().expect("non-empty config");
+            format!("{base}{last}\n")
+        };
+
+        let lexer = Lexer::standard();
+        let mut full_best: Option<Duration> = None;
+        let mut incr_best: Option<Duration> = None;
+        let mut last_violations = 0usize;
+        let mut last_dirty = 0usize;
+        let mut last_reused = 0usize;
+        for sample in 0..SAMPLES {
+            let text = if sample % 2 == 0 { &longer } else { &base };
+            corpus[0].1 = text.clone();
+
+            let (incr_report, incr_time) = timed(|| {
+                engine.upsert_config(&target, text);
+                engine.check_dirty().expect("contracts loaded").report
+            });
+            let ((full_report, _), full_time) = timed(|| {
+                let cache = LexCache::new();
+                let (dataset, _) = Dataset::build_with_stats(
+                    &corpus,
+                    &[],
+                    &lexer,
+                    true,
+                    parallelism,
+                    Some(&cache),
+                )
+                .expect("dataset builds");
+                check_parallel_with_stats(&contracts, &dataset, parallelism)
+            });
+            assert_reports_equal(
+                &incr_report,
+                &full_report,
+                &format!("{devices} configs, sample {sample}"),
+            );
+            last_violations = incr_report.violations.len();
+            if full_best.is_none_or(|t| full_time < t) {
+                full_best = Some(full_time);
+            }
+            if incr_best.is_none_or(|t| incr_time < t) {
+                incr_best = Some(incr_time);
+            }
+            let last = engine.snapshot_stats().last_check.expect("checked");
+            last_dirty = last.dirty_configs;
+            last_reused = last.reused_configs;
+        }
+        let full_time = full_best.expect("SAMPLES > 0");
+        let incr_time = incr_best.expect("SAMPLES > 0");
+        let speedup = full_time.as_secs_f64() / incr_time.as_secs_f64().max(1e-9);
+
+        println!(
+            "{:>4} configs ({} lines, {} contracts): rebuild {} / incremental {} ({speedup:.1}x), dirty {}/{}, {} violations",
+            devices,
+            role.total_lines(),
+            contracts.len(),
+            fmt_secs(full_time),
+            fmt_secs(incr_time),
+            last_dirty,
+            last_dirty + last_reused,
+            last_violations,
+        );
+
+        entries.push(json!({
+            "configs": devices,
+            "lines": role.total_lines(),
+            "contracts": contracts.len(),
+            "violations": last_violations,
+            "full_rebuild_secs": full_time.as_secs_f64(),
+            "incremental_secs": incr_time.as_secs_f64(),
+            "speedup": speedup,
+            "dirty_configs": last_dirty,
+            "reused_configs": last_reused,
+        }));
+    }
+
+    let result = json!({
+        "schema": "concord-bench-engine/v1",
+        "smoke": smoke(),
+        "seed": seed(),
+        "blocks": blocks(),
+        "parallelism": parallelism,
+        "sizes": Json::Array(entries),
+    });
+    write_result("engine_scaling", &result);
+    if !smoke() {
+        write_bench_file(&result);
+    }
+}
+
+/// Writes the latest full-ladder run to `BENCH_engine.json` at the
+/// repository root (a snapshot, like `BENCH_check.json` — the scaling
+/// curve is the artifact, not its history).
+fn write_bench_file(result: &Json) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json");
+    let text = concord_json::to_string_pretty(result).expect("result serializes");
+    match std::fs::write(&path, text) {
+        Ok(()) => eprintln!("(wrote {})", path.display()),
+        Err(e) => eprintln!("(could not write {}: {e})", path.display()),
+    }
+}

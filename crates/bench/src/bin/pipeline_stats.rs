@@ -66,6 +66,7 @@ fn main() {
         check: Some(check_stats),
         build: Some(build_stats),
         learn: Some(learn_stats),
+        engine: None,
         total_time: total.elapsed(),
     };
 

@@ -21,6 +21,10 @@ USAGE:
                 [--support N] [--confidence F] [--parallelism N]
   concord coverage --configs <glob> --contracts <file> [--metadata <glob>]
                 [--tokens <file>] [--uncovered N] [--parallelism N]
+  concord serve [--configs <glob>] [--contracts <file>] [--metadata <glob>]
+                [--tokens <file>] [--support N] [--confidence F]
+                [--parallelism N] [--no-embed] [--staleness F]
+                [--listen <addr>] [--once]
   concord help
 
 Categories for --disable: present ordering type sequence unique relational
@@ -28,8 +32,13 @@ Categories for --disable: present ordering type sequence unique relational
 --stats text prints a per-stage timing summary (lexing with cache
 hit/miss counts, each miner, minimization, checking); --stats json
 emits the same data as one machine-readable object (schema
-concord-pipeline-stats/v3, see DESIGN.md) instead of the human
-summary.";
+concord-pipeline-stats/v4, see DESIGN.md) instead of the human
+summary.
+
+serve holds a resident incremental engine and answers a line protocol
+on stdin/stdout (or one TCP connection at a time with --listen):
+UPSERT <name> (+ body, `.` terminated), REMOVE <name>, LEARN, CHECK,
+STATS, QUIT. See TUTORIAL.md for a walkthrough.";
 
 /// Per-stage statistics reporting mode (`--stats`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -39,7 +48,7 @@ pub enum StatsMode {
     Off,
     /// Human-readable summary appended to normal output.
     Text,
-    /// One `concord-pipeline-stats/v3` JSON object replacing the human
+    /// One `concord-pipeline-stats/v4` JSON object replacing the human
     /// summary.
     Json,
 }
@@ -67,8 +76,37 @@ pub enum Command {
     Ci(CiArgs),
     /// `concord coverage` (per-line configuration coverage, §3.9).
     Coverage(CoverageArgs),
+    /// `concord serve` (resident incremental engine, §3.7).
+    Serve(ServeArgs),
     /// `concord help`.
     Help,
+}
+
+/// Arguments for `concord serve`.
+#[derive(Debug)]
+pub struct ServeArgs {
+    /// Optional glob selecting the initial configuration corpus (the
+    /// session starts empty without it).
+    pub configs: Option<String>,
+    /// Optional contracts file to preload (otherwise the session's first
+    /// LEARN produces them).
+    pub contracts: Option<String>,
+    /// Optional glob selecting metadata files.
+    pub metadata: Option<String>,
+    /// Optional custom token definition file.
+    pub tokens: Option<String>,
+    /// Learning parameters for in-session LEARN commands.
+    pub params: LearnParams,
+    /// Context embedding enabled.
+    pub embed: bool,
+    /// Worker threads.
+    pub parallelism: usize,
+    /// Staleness threshold for the engine's relearn-if-stale logic.
+    pub staleness: f64,
+    /// TCP address to listen on (`None` serves stdin/stdout).
+    pub listen: Option<String>,
+    /// Exit after the first TCP connection closes (smoke tests).
+    pub once: bool,
 }
 
 /// Arguments for `concord coverage`.
@@ -179,6 +217,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
         Some("check") => parse_check(&argv[1..]),
         Some("ci") => parse_ci(&argv[1..]),
         Some("coverage") => parse_coverage(&argv[1..]),
+        Some("serve") => parse_serve(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
         Some(other) => err(format!("unknown command {other:?}")),
         None => err("missing command".to_string()),
@@ -374,6 +413,47 @@ fn parse_coverage(argv: &[String]) -> Result<Command, UsageError> {
     Ok(Command::Coverage(args))
 }
 
+fn parse_serve(argv: &[String]) -> Result<Command, UsageError> {
+    let mut args = ServeArgs {
+        configs: None,
+        contracts: None,
+        metadata: None,
+        tokens: None,
+        params: LearnParams::default(),
+        embed: true,
+        parallelism: 1,
+        staleness: 0.2,
+        listen: None,
+        once: false,
+    };
+    let mut flags = Flags { argv, pos: 0 };
+    while let Some(flag) = flags.next_flag() {
+        match flag {
+            "--configs" => args.configs = Some(flags.value(flag)?.to_string()),
+            "--contracts" => args.contracts = Some(flags.value(flag)?.to_string()),
+            "--metadata" => args.metadata = Some(flags.value(flag)?.to_string()),
+            "--tokens" => args.tokens = Some(flags.value(flag)?.to_string()),
+            "--support" => args.params.support = flags.parse(flag)?,
+            "--confidence" => args.params.confidence = flags.parse(flag)?,
+            "--parallelism" => {
+                args.parallelism = flags.parse(flag)?;
+                args.params.parallelism = args.parallelism;
+            }
+            "--no-embed" => args.embed = false,
+            "--staleness" => {
+                args.staleness = flags.parse(flag)?;
+                if !(0.0..=1.0).contains(&args.staleness) {
+                    return Err(UsageError("--staleness must be in [0, 1]".to_string()));
+                }
+            }
+            "--listen" => args.listen = Some(flags.value(flag)?.to_string()),
+            "--once" => args.once = true,
+            other => return Err(UsageError(format!("unknown flag {other:?}"))),
+        }
+    }
+    Ok(Command::Serve(args))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -458,6 +538,40 @@ mod tests {
         assert!(parse_args(&argv(&["learn", "--configs", "x", "--confidence", "1.5"])).is_err());
         assert!(parse_args(&argv(&["learn", "--configs", "x", "--disable", "bogus"])).is_err());
         assert!(parse_args(&argv(&["learn", "--configs"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve() {
+        let cmd = parse_args(&argv(&[
+            "serve",
+            "--configs",
+            "cfg/*.txt",
+            "--staleness",
+            "0.4",
+            "--listen",
+            "127.0.0.1:0",
+            "--once",
+            "--parallelism",
+            "4",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve(a) => {
+                assert_eq!(a.configs.as_deref(), Some("cfg/*.txt"));
+                assert!((a.staleness - 0.4).abs() < 1e-9);
+                assert_eq!(a.listen.as_deref(), Some("127.0.0.1:0"));
+                assert!(a.once);
+                assert_eq!(a.parallelism, 4);
+                assert_eq!(a.params.parallelism, 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // serve needs no flags at all: an empty resident session is valid.
+        assert!(matches!(
+            parse_args(&argv(&["serve"])).unwrap(),
+            Command::Serve(_)
+        ));
+        assert!(parse_args(&argv(&["serve", "--staleness", "3.0"])).is_err());
     }
 
     #[test]

@@ -24,12 +24,15 @@ mod args;
 mod ci;
 mod glob;
 mod report;
+mod serve;
 
 pub use args::{
-    parse_args, CheckArgs, CiArgs, Command, CoverageArgs, LearnArgs, StatsMode, UsageError,
+    parse_args, CheckArgs, CiArgs, Command, CoverageArgs, LearnArgs, ServeArgs, StatsMode,
+    UsageError,
 };
 pub use ci::{is_suppressed, load_suppressions};
 pub use glob::expand_glob;
+pub use serve::serve_session;
 
 use std::path::Path;
 use std::time::Instant;
@@ -89,6 +92,7 @@ fn run_inner(argv: &[String], out: &mut dyn std::io::Write) -> Result<i32, CliEr
         Command::Check(args) => run_check(&args, out),
         Command::Ci(args) => ci::run_ci(&args, out),
         Command::Coverage(args) => run_coverage(&args, out),
+        Command::Serve(args) => serve::run_serve(&args, out),
         Command::Help => {
             let _ = writeln!(out, "{}", args::USAGE);
             Ok(0)
@@ -112,6 +116,7 @@ fn run_learn(args: &LearnArgs, out: &mut dyn std::io::Write) -> Result<i32, CliE
         build: Some(build_stats),
         learn: Some(learn_stats),
         check: None,
+        engine: None,
         total_time: total.elapsed(),
     };
     if args.stats == StatsMode::Json {
@@ -166,6 +171,7 @@ fn run_check(args: &CheckArgs, out: &mut dyn std::io::Write) -> Result<i32, CliE
         build: Some(build_stats),
         learn: None,
         check: Some(check_stats),
+        engine: None,
         total_time: total.elapsed(),
     };
 
@@ -313,7 +319,7 @@ pub fn build_lexer(path: &str) -> Result<Lexer, CliError> {
     Lexer::with_custom(defs).map_err(|e| CliError::Invalid(format!("{path}: {e}")))
 }
 
-fn read_glob(pattern: &str) -> Result<Vec<(String, String)>, CliError> {
+pub(crate) fn read_glob(pattern: &str) -> Result<Vec<(String, String)>, CliError> {
     let mut out = Vec::new();
     for path in expand_glob(pattern).map_err(|e| CliError::Io(pattern.to_string(), e))? {
         let name = path

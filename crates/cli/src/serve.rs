@@ -1,0 +1,313 @@
+//! `concord serve`: a resident incremental engine behind a line protocol.
+//!
+//! The batch commands (`learn`, `check`) rebuild the pipeline from disk
+//! on every invocation. `serve` instead holds one [`Engine`] for the
+//! whole session and absorbs single-configuration edits, so each CHECK
+//! costs work proportional to what changed since the last one (§3.7's
+//! interactive workflow).
+//!
+//! The protocol is plain text, one command per line:
+//!
+//! ```text
+//! UPSERT <name>     -- followed by the configuration body, terminated
+//!                      by a line containing only "."
+//! REMOVE <name>
+//! LEARN             -- relearn contracts from the current snapshot
+//! CHECK             -- report violations; recomputes only dirty configs
+//! STATS             -- one-line JSON engine snapshot
+//! QUIT
+//! ```
+//!
+//! Every response line starts with `ok` or `err`, so a driver can script
+//! the session. By default the session runs over stdin/stdout; with
+//! `--listen <addr>` it accepts TCP connections (one at a time — the
+//! engine state persists across connections, and `--once` exits after
+//! the first connection for smoke tests). Everything is `std`-only:
+//! [`std::net::TcpListener`] and line-buffered reads.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+
+use concord_core::ContractSet;
+use concord_engine::{Engine, EngineOptions};
+use concord_json::ToJson;
+
+use crate::args::ServeArgs;
+use crate::{build_lexer, read_file, read_glob, CliError};
+
+/// Runs `concord serve`. Returns the process exit code.
+pub fn run_serve(args: &ServeArgs, out: &mut dyn Write) -> Result<i32, CliError> {
+    let mut engine = build_engine(args)?;
+    match &args.listen {
+        Some(addr) => serve_tcp(&mut engine, addr, args.once, out),
+        None => {
+            let stdin = std::io::stdin();
+            serve_session(&mut engine, stdin.lock(), out)
+                .map_err(|e| CliError::Io("<stdin>".to_string(), e))?;
+            Ok(0)
+        }
+    }
+}
+
+/// Builds the session's engine from the serve arguments: optional
+/// initial corpus and metadata globs, optional preloaded contracts.
+fn build_engine(args: &ServeArgs) -> Result<Engine, CliError> {
+    let lexer = match &args.tokens {
+        Some(path) => build_lexer(path)?,
+        None => concord_lexer::Lexer::standard(),
+    };
+    let corpus = match &args.configs {
+        Some(glob) => read_glob(glob)?,
+        None => Vec::new(),
+    };
+    let metadata = match &args.metadata {
+        Some(glob) => read_glob(glob)?,
+        None => Vec::new(),
+    };
+    let options = EngineOptions {
+        embed_context: args.embed,
+        parallelism: args.parallelism,
+        learn: args.params.clone(),
+        staleness_threshold: args.staleness,
+    };
+    let mut engine = Engine::from_corpus_with_lexer(&corpus, &metadata, lexer, options)
+        .map_err(|e| CliError::Invalid(e.to_string()))?;
+    if let Some(path) = &args.contracts {
+        let json = read_file(path)?;
+        let contracts =
+            ContractSet::from_json(&json).map_err(|e| CliError::Invalid(format!("{path}: {e}")))?;
+        engine.set_contracts(contracts);
+    }
+    Ok(engine)
+}
+
+fn serve_tcp(
+    engine: &mut Engine,
+    addr: &str,
+    once: bool,
+    out: &mut dyn Write,
+) -> Result<i32, CliError> {
+    let listener = TcpListener::bind(addr).map_err(|e| CliError::Io(addr.to_string(), e))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| CliError::Io(addr.to_string(), e))?;
+    // The bound port (OS-chosen under `--listen 127.0.0.1:0`) goes to
+    // stdout so a driver can connect.
+    let _ = writeln!(out, "listening on {local}");
+    let _ = out.flush();
+    for stream in listener.incoming() {
+        let stream = stream.map_err(|e| CliError::Io(addr.to_string(), e))?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| CliError::Io(addr.to_string(), e))?,
+        );
+        let mut writer = stream;
+        // A dropped connection ends its session, not the server.
+        if let Err(e) = serve_session(engine, reader, &mut writer) {
+            let _ = writeln!(out, "connection error: {e}");
+        }
+        if once {
+            break;
+        }
+    }
+    Ok(0)
+}
+
+/// Runs one protocol session over arbitrary line-based transports.
+///
+/// The engine outlives the session: a TCP server passes the same engine
+/// to every connection, so edits persist across reconnects.
+pub fn serve_session<R: BufRead, W: Write + ?Sized>(
+    engine: &mut Engine,
+    mut input: R,
+    out: &mut W,
+) -> std::io::Result<()> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if input.read_line(&mut line)? == 0 {
+            return Ok(()); // EOF ends the session.
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let (command, rest) = match trimmed.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (trimmed, ""),
+        };
+        match command {
+            "UPSERT" => {
+                if rest.is_empty() {
+                    writeln!(out, "err UPSERT requires a configuration name")?;
+                } else {
+                    match read_body(&mut input)? {
+                        Some(body) => {
+                            let id = engine.upsert_config(rest, &body);
+                            let gen = engine.config_generation(rest).unwrap_or(0);
+                            writeln!(out, "ok upsert {rest} id={} gen={gen}", id.0)?;
+                        }
+                        None => {
+                            writeln!(out, "err UPSERT body not terminated by `.`")?;
+                            out.flush()?;
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+            "REMOVE" => {
+                if rest.is_empty() {
+                    writeln!(out, "err REMOVE requires a configuration name")?;
+                } else {
+                    match engine.remove_config(rest) {
+                        Some(_) => writeln!(out, "ok remove {rest}")?,
+                        None => writeln!(out, "err no configuration named {rest}")?,
+                    }
+                }
+            }
+            "LEARN" => {
+                engine.relearn();
+                let n = engine.contracts().map(ContractSet::len).unwrap_or(0);
+                writeln!(out, "ok learn {n} contracts")?;
+            }
+            "CHECK" => match engine.check_dirty() {
+                Ok(result) => {
+                    for v in &result.report.violations {
+                        writeln!(out, "{v}")?;
+                    }
+                    let summary = result.report.coverage.summary();
+                    writeln!(
+                        out,
+                        "ok check {} violations; coverage {:.1}% of {} lines; dirty={} reused={}",
+                        result.report.violations.len(),
+                        summary.fraction * 100.0,
+                        summary.total_lines,
+                        result.engine.dirty_configs,
+                        result.engine.reused_configs,
+                    )?;
+                }
+                Err(e) => writeln!(out, "err {e}")?,
+            },
+            "STATS" => {
+                writeln!(
+                    out,
+                    "ok stats {}",
+                    engine.snapshot_stats().to_json().render()
+                )?;
+            }
+            "QUIT" => {
+                writeln!(out, "ok bye")?;
+                out.flush()?;
+                return Ok(());
+            }
+            other => writeln!(out, "err unknown command {other:?}")?,
+        }
+        out.flush()?;
+    }
+}
+
+/// Reads an UPSERT body up to the `.` sentinel line. `None` on EOF
+/// before the sentinel.
+fn read_body<R: BufRead>(input: &mut R) -> std::io::Result<Option<String>> {
+    let mut body = String::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if input.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        if line.trim_end_matches(['\r', '\n']) == "." {
+            return Ok(Some(body));
+        }
+        body.push_str(&line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn fresh_engine() -> Engine {
+        let corpus: Vec<(String, String)> = (0..6)
+            .map(|i| {
+                (
+                    format!("dev{i}"),
+                    format!(
+                        "hostname DEV{}\nrouter bgp 65000\nvlan {}\n",
+                        100 + i,
+                        250 + i
+                    ),
+                )
+            })
+            .collect();
+        Engine::from_corpus(&corpus, &[], EngineOptions::default()).unwrap()
+    }
+
+    fn session(engine: &mut Engine, script: &str) -> String {
+        let mut out = Vec::new();
+        serve_session(engine, Cursor::new(script.to_string()), &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn scripted_session_learns_edits_and_checks() {
+        let mut engine = fresh_engine();
+        let out = session(
+            &mut engine,
+            "LEARN\nCHECK\nUPSERT dev0\nhostname DEV100\nvlan 250\n.\nCHECK\nQUIT\n",
+        );
+        assert!(out.contains("ok learn"), "{out}");
+        assert!(out.contains("ok check 0 violations"), "{out}");
+        // The edited dev0 lost its bgp line: one dirty config, violations.
+        assert!(out.contains("missing required line"), "{out}");
+        assert!(out.contains("dirty=1 reused=5"), "{out}");
+        assert!(out.ends_with("ok bye\n"), "{out}");
+    }
+
+    #[test]
+    fn session_state_persists_across_sessions() {
+        // Reconnecting (a second session on the same engine) sees the
+        // first session's edits — the engine outlives the transport.
+        let mut engine = fresh_engine();
+        session(&mut engine, "LEARN\nCHECK\nREMOVE dev5\n");
+        let out = session(&mut engine, "CHECK\nSTATS\n");
+        assert!(out.contains("dirty=0 reused=5"), "{out}");
+        assert!(out.contains("\"edits\":1"), "{out}");
+    }
+
+    #[test]
+    fn errors_are_reported_inline() {
+        let mut engine = fresh_engine();
+        let out = session(
+            &mut engine,
+            "CHECK\nREMOVE nope\nUPSERT\nFLY\nREMOVE\nQUIT\n",
+        );
+        assert!(out.contains("err no contracts loaded"), "{out}");
+        assert!(out.contains("err no configuration named nope"), "{out}");
+        assert!(out.contains("err UPSERT requires"), "{out}");
+        assert!(out.contains("err unknown command \"FLY\""), "{out}");
+        assert!(out.contains("err REMOVE requires"), "{out}");
+    }
+
+    #[test]
+    fn unterminated_upsert_body_ends_session() {
+        let mut engine = fresh_engine();
+        let out = session(&mut engine, "UPSERT dev9\nvlan 1\n");
+        assert!(out.contains("err UPSERT body not terminated"), "{out}");
+    }
+
+    #[test]
+    fn stats_is_one_json_line() {
+        let mut engine = fresh_engine();
+        let out = session(&mut engine, "STATS\n");
+        let json_part = out
+            .strip_prefix("ok stats ")
+            .expect("stats prefix")
+            .trim_end();
+        let json = concord_json::Json::parse(json_part).expect("valid JSON");
+        assert_eq!(json["configs"].as_u64(), Some(6));
+        assert!(json["contracts"].is_null());
+    }
+}

@@ -46,7 +46,7 @@ use crate::ir::ConfigIr;
 use crate::learn::sequence_is_sequential;
 
 /// Coverage of one configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConfigCoverage {
     /// The configuration name.
     pub name: String,

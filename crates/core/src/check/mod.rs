@@ -17,7 +17,7 @@ pub mod coverage;
 pub mod program;
 mod witness;
 
-pub use program::CheckProgram;
+pub use program::{CheckCounters, CheckProgram, ConfigOutcome, UniqueTable};
 
 use std::collections::{HashMap, HashSet};
 
@@ -172,19 +172,16 @@ pub fn check_parallel_with_stats(
     let mut violations = Vec::new();
     let mut coverages = Vec::new();
     let mut phases = program::PhaseTimes::default();
-    let (mut indexes_built, mut index_entries, mut probes, mut probe_hits) = (0, 0, 0, 0);
-    for (v, c, counters, p) in per_config {
-        violations.extend(v);
-        coverages.push(c);
-        indexes_built += counters.indexes_built.get();
-        index_entries += counters.index_entries.get();
-        probes += counters.probes.get();
-        probe_hits += counters.probe_hits.get();
-        phases.present += p.present;
-        phases.pattern += p.pattern;
-        phases.sequence += p.sequence;
-        phases.relational += p.relational;
-        phases.coverage += p.coverage;
+    let mut counters = CheckCounters::default();
+    for outcome in per_config {
+        violations.extend(outcome.violations);
+        coverages.push(outcome.coverage);
+        counters.accumulate(&outcome.counters);
+        phases.present += outcome.phases.present;
+        phases.pattern += outcome.phases.pattern;
+        phases.sequence += outcome.phases.sequence;
+        phases.relational += outcome.phases.relational;
+        phases.coverage += outcome.phases.coverage;
     }
 
     // Unique contracts are global: one pass across all configs at once.
@@ -202,10 +199,10 @@ pub fn check_parallel_with_stats(
         parallelism: parallelism.max(1),
         check_time: start.elapsed(),
         compile_time: program.compile_time,
-        witness_indexes: indexes_built,
-        witness_entries: index_entries,
-        witness_probes: probes,
-        witness_probe_hits: probe_hits,
+        witness_indexes: counters.indexes_built,
+        witness_entries: counters.index_entries,
+        witness_probes: counters.probes,
+        witness_probe_hits: counters.probe_hits,
         category_times: vec![
             ("present".to_string(), phases.present),
             ("pattern".to_string(), phases.pattern),
@@ -535,7 +532,7 @@ fn check_config(
                             category: contract.category().to_string(),
                             config: config.name.clone(),
                             line_no: Some(line.line_no),
-                            line: line.original.clone(),
+                            line: line.original.to_string(),
                             message: format!(
                                 "line matching {first} must be immediately followed by a line matching {second}"
                             ),
@@ -566,7 +563,7 @@ fn check_config(
                             category: contract.category().to_string(),
                             config: config.name.clone(),
                             line_no: Some(line.line_no),
-                            line: line.original.clone(),
+                            line: line.original.to_string(),
                             message: format!(
                                 "type [{}] is not allowed at hole {hole} of {pattern}",
                                 param.ty.name()
@@ -594,7 +591,7 @@ fn check_config(
                         category: contract.category().to_string(),
                         config: config.name.clone(),
                         line_no: Some(line.line_no),
-                        line: line.original.clone(),
+                        line: line.original.to_string(),
                         message: format!(
                             "values of param {param} of {pattern} are not equidistant"
                         ),
@@ -623,7 +620,7 @@ fn check_config(
                             category: contract.category().to_string(),
                             config: config.name.clone(),
                             line_no: Some(line.line_no),
-                            line: line.original.clone(),
+                            line: line.original.to_string(),
                             message: format!(
                                 "value {n} of param {param} of {pattern} is outside [{min}, {max}]"
                             ),
@@ -683,7 +680,7 @@ fn check_relational(
                 category: category.to_string(),
                 config: config.name.clone(),
                 line_no: Some(line.line_no),
-                line: line.original.clone(),
+                line: line.original.to_string(),
                 message: format!(
                     "no line matching {} satisfies {} for value {}",
                     r.consequent.pattern,
@@ -734,7 +731,7 @@ fn check_unique_global(
                         category: contract.category().to_string(),
                         config: config.name.clone(),
                         line_no: Some(line.line_no),
-                        line: line.original.clone(),
+                        line: line.original.to_string(),
                         message: format!(
                             "value {rendered} of param {param} of {pattern} is reused"
                         ),

@@ -26,8 +26,10 @@
 //! the transformed-value cache and the witness indexes.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use concord_types::Transform;
@@ -140,6 +142,62 @@ pub(crate) struct ExecCounters {
     pub probes: Cell<u64>,
     /// Probes that found a witness (non-violations).
     pub probe_hits: Cell<u64>,
+}
+
+impl ExecCounters {
+    /// The plain (cacheable) snapshot of these counters.
+    fn snapshot(&self) -> CheckCounters {
+        CheckCounters {
+            indexes_built: self.indexes_built.get(),
+            index_entries: self.index_entries.get(),
+            probes: self.probes.get(),
+            probe_hits: self.probe_hits.get(),
+        }
+    }
+}
+
+/// Execution counters of one configuration's check run, in plain
+/// cloneable form. Deterministic for a given configuration and compiled
+/// program, so the incremental engine caches them alongside violations
+/// and coverage and replays them into aggregate [`CheckStats`] without
+/// re-running the configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckCounters {
+    /// Witness indexes built for this configuration.
+    pub indexes_built: u64,
+    /// Total consequent occurrences indexed.
+    pub index_entries: u64,
+    /// Relational antecedent probes issued.
+    pub probes: u64,
+    /// Probes that found a witness (non-violations).
+    pub probe_hits: u64,
+}
+
+impl CheckCounters {
+    /// Accumulates `other` into `self`.
+    pub fn accumulate(&mut self, other: &CheckCounters) {
+        self.indexes_built += other.indexes_built;
+        self.index_entries += other.index_entries;
+        self.probes += other.probes;
+        self.probe_hits += other.probe_hits;
+    }
+}
+
+/// Everything one configuration contributes to a check run, minus the
+/// global unique pass (see [`CheckProgram::unique_table`]): the unit of
+/// work `check_parallel` fans out — and the unit of caching for the
+/// incremental engine, which recomputes outcomes only for edited
+/// configurations.
+#[derive(Debug, Clone)]
+pub struct ConfigOutcome {
+    /// Violations found in this configuration, in emission order.
+    pub violations: Vec<Violation>,
+    /// The configuration's coverage.
+    pub coverage: ConfigCoverage,
+    /// Execution counters (witness indexes / probes).
+    pub counters: CheckCounters,
+    /// Per-phase wall-clock times (not cacheable — timing only).
+    pub(crate) phases: PhaseTimes,
 }
 
 /// Wall-clock time per check phase for one configuration.
@@ -311,18 +369,82 @@ impl<'c> CheckProgram<'c> {
         (violations, coverage)
     }
 
-    /// Full per-configuration execution returning violations, coverage,
-    /// counters, and phase timings (the `check_parallel` work item).
-    pub(crate) fn run_config(
-        &self,
-        config: &ConfigIr,
-    ) -> (Vec<Violation>, ConfigCoverage, ExecCounters, PhaseTimes) {
+    /// Full per-configuration execution returning the configuration's
+    /// [`ConfigOutcome`]: violations, coverage, and counters (the
+    /// `check_parallel` work item, and the incremental engine's cached
+    /// unit).
+    ///
+    /// The outcome depends only on the configuration's lines and this
+    /// program's contract resolution
+    /// ([`CheckProgram::resolution_fingerprint`]) — not on any other
+    /// configuration — which is what makes per-configuration caching
+    /// sound.
+    pub fn run_config(&self, config: &ConfigIr) -> ConfigOutcome {
         let pctx = ProgramContext::new(self, config);
         let (violations, mut phases) = self.run_checks(config, &pctx);
         let t = Instant::now();
         let coverage = coverage::config_coverage(self, config, &pctx);
         phases.coverage = t.elapsed();
-        (violations, coverage, pctx.counters, phases)
+        ConfigOutcome {
+            violations,
+            coverage,
+            counters: pctx.counters.snapshot(),
+            phases,
+        }
+    }
+
+    /// A stable fingerprint of this program's contract resolution: how
+    /// every contract pattern resolved against the dataset's interner
+    /// (including type-agnostic pattern sets).
+    ///
+    /// Per-configuration outcomes ([`CheckProgram::run_config`]) and
+    /// unique tables ([`CheckProgram::unique_table`]) are functions of
+    /// `(configuration lines, resolution)` alone, so a cached result is
+    /// valid exactly as long as this fingerprint is unchanged. Editing a
+    /// dataset only grows the interner; the fingerprint moves only when a
+    /// new pattern makes a previously unresolved contract resolve (or
+    /// joins a type-agnostic set), at which point every cached outcome
+    /// must be recomputed.
+    pub fn resolution_fingerprint(&self) -> u64 {
+        let mut h = crate::fxhash::FxHasher::default();
+        for rc in &self.resolved.by_contract {
+            match rc {
+                super::ResolvedContract::Present(id) => {
+                    0u8.hash(&mut h);
+                    id.hash(&mut h);
+                }
+                super::ResolvedContract::PresentExact => 1u8.hash(&mut h),
+                super::ResolvedContract::Ordering(a, b) => {
+                    2u8.hash(&mut h);
+                    a.hash(&mut h);
+                    b.hash(&mut h);
+                }
+                super::ResolvedContract::Type(ids) => {
+                    3u8.hash(&mut h);
+                    let mut sorted: Vec<PatternId> = ids.iter().copied().collect();
+                    sorted.sort_unstable();
+                    sorted.hash(&mut h);
+                }
+                super::ResolvedContract::Sequence(id) => {
+                    4u8.hash(&mut h);
+                    id.hash(&mut h);
+                }
+                super::ResolvedContract::Unique(id) => {
+                    5u8.hash(&mut h);
+                    id.hash(&mut h);
+                }
+                super::ResolvedContract::Range(id) => {
+                    6u8.hash(&mut h);
+                    id.hash(&mut h);
+                }
+                super::ResolvedContract::Relational(a, c) => {
+                    7u8.hash(&mut h);
+                    a.hash(&mut h);
+                    c.hash(&mut h);
+                }
+            }
+        }
+        h.finish()
     }
 
     /// Runs all per-configuration checks (everything except the global
@@ -401,7 +523,7 @@ impl<'c> CheckProgram<'c> {
                                     category: self.contracts.contracts[idx].category().to_string(),
                                     config: config.name.clone(),
                                     line_no: Some(line.line_no),
-                                    line: line.original.clone(),
+                                    line: line.original.to_string(),
                                     message: format!(
                                         "type [{}] is not allowed at hole {hole} of {pattern}",
                                         param.ty.name()
@@ -429,7 +551,7 @@ impl<'c> CheckProgram<'c> {
                                     category: self.contracts.contracts[idx].category().to_string(),
                                     config: config.name.clone(),
                                     line_no: Some(line.line_no),
-                                    line: line.original.clone(),
+                                    line: line.original.to_string(),
                                     message: format!(
                                         "value {n} of param {param} of {pattern} is outside [{min}, {max}]"
                                     ),
@@ -455,7 +577,7 @@ impl<'c> CheckProgram<'c> {
                                     category: self.contracts.contracts[idx].category().to_string(),
                                     config: config.name.clone(),
                                     line_no: Some(line.line_no),
-                                    line: line.original.clone(),
+                                    line: line.original.to_string(),
                                     message: format!(
                                         "line matching {first} must be immediately followed by a line matching {second_text}"
                                     ),
@@ -491,7 +613,7 @@ impl<'c> CheckProgram<'c> {
                     category: self.contracts.contracts[idx].category().to_string(),
                     config: config.name.clone(),
                     line_no: Some(line.line_no),
-                    line: line.original.clone(),
+                    line: line.original.to_string(),
                     message: format!("values of param {param} of {pattern} are not equidistant"),
                 });
             }
@@ -531,7 +653,7 @@ impl<'c> CheckProgram<'c> {
                                 .to_string(),
                             config: config.name.clone(),
                             line_no: Some(line.line_no),
-                            line: line.original.clone(),
+                            line: line.original.to_string(),
                             message: format!(
                                 "no line matching {} satisfies {} for value {}",
                                 r.consequent.pattern,
@@ -561,47 +683,84 @@ impl<'c> CheckProgram<'c> {
         (out, phases)
     }
 
-    /// Checks all unique contracts in a single pass over the dataset,
-    /// dispatched by pattern id.
-    pub(crate) fn check_unique(&self, dataset: &Dataset) -> Vec<Violation> {
+    /// Whether any unique contract resolved against the dataset — i.e.
+    /// whether the global unique pass has work to do.
+    pub fn has_unique(&self) -> bool {
+        !self.unique.is_empty()
+    }
+
+    /// Extracts one configuration's [`UniqueTable`]: every event the
+    /// configuration contributes to the global unique pass, in line
+    /// order. Like [`CheckProgram::run_config`], the table depends only
+    /// on the configuration's lines and the contract resolution, so the
+    /// incremental engine caches it per configuration and re-extracts it
+    /// only after an edit.
+    pub fn unique_table(&self, config: &ConfigIr) -> UniqueTable {
+        let mut events = Vec::new();
+        if self.unique.is_empty() {
+            return UniqueTable { events };
+        }
+        for line in &config.lines {
+            let Some(ops) = self.unique_ops.get(&line.pattern) else {
+                continue;
+            };
+            for &idx in ops {
+                let Contract::Unique { param, .. } = &self.contracts.contracts[idx] else {
+                    unreachable!("unique op on non-unique contract")
+                };
+                let rendered = line
+                    .params
+                    .get(usize::from(*param))
+                    .map(|p| p.value.render());
+                events.push(UniqueEvent {
+                    contract: idx,
+                    line_no: line.line_no,
+                    line: line.original.clone(),
+                    rendered,
+                });
+            }
+        }
+        UniqueTable { events }
+    }
+
+    /// Replays per-configuration [`UniqueTable`]s in dataset order,
+    /// reproducing the global unique pass byte for byte: reuse violations
+    /// surface in line order against cross-configuration first-seen
+    /// state, and `once_per_config` "found none" violations follow each
+    /// configuration in compiled contract order.
+    pub fn check_unique_tables(&self, tables: &[(&str, &UniqueTable)]) -> Vec<Violation> {
         if self.unique.is_empty() {
             return Vec::new();
         }
         let mut out = Vec::new();
         // Per-contract cross-config seen sets, keyed by contract index.
-        let mut seen: HashMap<usize, std::collections::HashSet<String>> = HashMap::new();
+        let mut seen: HashMap<usize, HashSet<String>> = HashMap::new();
         let mut counts: HashMap<usize, u32> = HashMap::new();
-        for config in &dataset.configs {
+        for &(name, table) in tables {
             counts.clear();
-            for line in &config.lines {
-                let Some(ops) = self.unique_ops.get(&line.pattern) else {
+            for event in &table.events {
+                let idx = event.contract;
+                let Contract::Unique { pattern, param, .. } = &self.contracts.contracts[idx] else {
+                    unreachable!("unique event on non-unique contract")
+                };
+                *counts.entry(idx).or_insert(0) += 1;
+                let Some(rendered) = &event.rendered else {
                     continue;
                 };
-                for &idx in ops {
-                    let Contract::Unique { pattern, param, .. } = &self.contracts.contracts[idx]
-                    else {
-                        unreachable!("unique op on non-unique contract")
-                    };
-                    *counts.entry(idx).or_insert(0) += 1;
-                    let Some(p) = line.params.get(usize::from(*param)) else {
-                        continue;
-                    };
-                    let rendered = p.value.render();
-                    let seen_set = seen.entry(idx).or_default();
-                    if seen_set.contains(&rendered) {
-                        out.push(Violation {
-                            contract_index: idx,
-                            category: self.contracts.contracts[idx].category().to_string(),
-                            config: config.name.clone(),
-                            line_no: Some(line.line_no),
-                            line: line.original.clone(),
-                            message: format!(
-                                "value {rendered} of param {param} of {pattern} is reused"
-                            ),
-                        });
-                    } else {
-                        seen_set.insert(rendered);
-                    }
+                let seen_set = seen.entry(idx).or_default();
+                if seen_set.contains(rendered) {
+                    out.push(Violation {
+                        contract_index: idx,
+                        category: self.contracts.contracts[idx].category().to_string(),
+                        config: name.to_string(),
+                        line_no: Some(event.line_no),
+                        line: event.line.to_string(),
+                        message: format!(
+                            "value {rendered} of param {param} of {pattern} is reused"
+                        ),
+                    });
+                } else {
+                    seen_set.insert(rendered.clone());
                 }
             }
             for &(idx, _) in &self.unique {
@@ -617,7 +776,7 @@ impl<'c> CheckProgram<'c> {
                     out.push(Violation {
                         contract_index: idx,
                         category: self.contracts.contracts[idx].category().to_string(),
-                        config: config.name.clone(),
+                        config: name.to_string(),
                         line_no: None,
                         line: pattern.clone(),
                         message: format!(
@@ -629,4 +788,62 @@ impl<'c> CheckProgram<'c> {
         }
         out
     }
+
+    /// Checks all unique contracts in a single pass over the dataset —
+    /// expressed as "extract every configuration's table, replay them in
+    /// dataset order", so the batch path and the incremental engine share
+    /// one implementation.
+    pub(crate) fn check_unique(&self, dataset: &Dataset) -> Vec<Violation> {
+        if self.unique.is_empty() {
+            return Vec::new();
+        }
+        let tables: Vec<UniqueTable> = dataset
+            .configs
+            .iter()
+            .map(|c| self.unique_table(c))
+            .collect();
+        let refs: Vec<(&str, &UniqueTable)> = dataset
+            .configs
+            .iter()
+            .zip(&tables)
+            .map(|(c, t)| (c.name.as_str(), t))
+            .collect();
+        self.check_unique_tables(&refs)
+    }
+}
+
+/// One configuration's contribution to the global unique pass: an event
+/// per (unique contract, matching line), in line order. Extracted by
+/// [`CheckProgram::unique_table`] and replayed by
+/// [`CheckProgram::check_unique_tables`].
+#[derive(Debug, Clone, Default)]
+pub struct UniqueTable {
+    events: Vec<UniqueEvent>,
+}
+
+impl UniqueTable {
+    /// Number of events in this table.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether this configuration contributes nothing to the unique pass.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// One matching line of one unique contract.
+#[derive(Debug, Clone)]
+struct UniqueEvent {
+    /// Contract index in the checked set.
+    contract: usize,
+    /// 1-based source line number.
+    line_no: u32,
+    /// The line's original text (shared with the dataset record).
+    line: Arc<str>,
+    /// The rendered parameter value; `None` when the line lacks the
+    /// contract's parameter (counts toward presence, contributes no
+    /// value).
+    rendered: Option<String>,
 }

@@ -5,16 +5,28 @@
 //! carrying its dense pattern id, its extracted parameters, and its source
 //! line number. Metadata files (§3.7) are lexed once, prefixed with
 //! `@meta`, and appended to every configuration so the miners discover
-//! config↔metadata relationships with no special cases.
+//! config↔metadata relationships with no special cases. The appended
+//! records are `Arc`-shared: every configuration carries the *same*
+//! parameter and text allocations, so a large metadata corpus costs one
+//! copy regardless of configuration count.
+//!
+//! Datasets are also *mutable*: [`Dataset::upsert_config`] and
+//! [`Dataset::remove_config`] absorb single-file edits without rebuilding
+//! the corpus — only the changed file is re-embedded and re-lexed (through
+//! the shared [`LexCache`]), and the pattern table grows append-only so
+//! existing [`PatternId`]s stay stable across edits. This is the
+//! foundation the resident `concord-engine` snapshot builds on.
 
-use std::collections::HashMap;
+use std::collections::HashSet;
 use std::fmt;
+use std::hash::Hasher;
 use std::sync::Arc;
 use std::time::Instant;
 
 use concord_formats::{embed_auto, FormatCategory};
 use concord_lexer::{LexCache, LexedLine, Lexer, Param};
 
+use crate::fxhash::FxHasher;
 use crate::parallel;
 use crate::stats::BuildStats;
 
@@ -22,11 +34,45 @@ use crate::stats::BuildStats;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PatternId(pub u32);
 
+/// Empty bucket sentinel of the interner's probe table.
+const EMPTY: u32 = u32::MAX;
+
 /// Interns pattern strings to dense ids.
-#[derive(Debug, Default, Clone)]
+///
+/// The table is a hand-rolled open-addressing map (Fx-hashed, linear
+/// probing): one probe walk serves both hit and miss, so [`intern`]
+/// touches the table exactly once per call instead of the get-then-insert
+/// double lookup a `HashMap` forces without raw-entry access. Ids are
+/// append-only — interning never invalidates previously returned ids,
+/// which is what allows datasets to be edited in place.
+///
+/// [`intern`]: PatternTable::intern
+#[derive(Debug, Clone)]
 pub struct PatternTable {
-    by_text: HashMap<Arc<str>, PatternId>,
+    /// Interned pattern texts, indexed by id.
     texts: Vec<Arc<str>>,
+    /// Cached hash per text (grow re-buckets without re-hashing).
+    hashes: Vec<u64>,
+    /// Open-addressing probe table over ids; power-of-two length.
+    buckets: Vec<u32>,
+}
+
+impl Default for PatternTable {
+    fn default() -> Self {
+        PatternTable {
+            texts: Vec::new(),
+            hashes: Vec::new(),
+            buckets: vec![EMPTY; 16],
+        }
+    }
+}
+
+/// Fx hash of a pattern text (the interner's single hash function).
+#[inline]
+fn hash_text(text: &str) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(text.as_bytes());
+    h.finish()
 }
 
 impl PatternTable {
@@ -36,20 +82,67 @@ impl PatternTable {
     }
 
     /// Interns `text`, returning its id.
+    ///
+    /// One probe walk: an existing entry returns its id from the same
+    /// walk that would otherwise find the insertion slot.
     pub fn intern(&mut self, text: &str) -> PatternId {
-        if let Some(&id) = self.by_text.get(text) {
-            return id;
+        let hash = hash_text(text);
+        let mask = self.buckets.len() - 1;
+        let mut slot = (hash as usize) & mask;
+        loop {
+            let entry = self.buckets[slot];
+            if entry == EMPTY {
+                break;
+            }
+            let i = entry as usize;
+            if self.hashes[i] == hash && &*self.texts[i] == text {
+                return PatternId(entry);
+            }
+            slot = (slot + 1) & mask;
         }
-        let arc: Arc<str> = Arc::from(text);
-        let id = PatternId(self.texts.len() as u32);
-        self.texts.push(arc.clone());
-        self.by_text.insert(arc, id);
-        id
+        let id = u32::try_from(self.texts.len()).expect("pattern table fits u32 ids");
+        self.texts.push(Arc::from(text));
+        self.hashes.push(hash);
+        self.buckets[slot] = id;
+        // Keep load under 7/8 so probe chains stay short.
+        if (self.texts.len() + 1) * 8 > self.buckets.len() * 7 {
+            self.grow();
+        }
+        PatternId(id)
+    }
+
+    /// Doubles the probe table and re-buckets every id from its cached
+    /// hash (texts are never re-hashed).
+    fn grow(&mut self) {
+        let new_len = self.buckets.len() * 2;
+        let mask = new_len - 1;
+        let mut buckets = vec![EMPTY; new_len];
+        for (i, &hash) in self.hashes.iter().enumerate() {
+            let mut slot = (hash as usize) & mask;
+            while buckets[slot] != EMPTY {
+                slot = (slot + 1) & mask;
+            }
+            buckets[slot] = i as u32;
+        }
+        self.buckets = buckets;
     }
 
     /// Looks up an already-interned pattern.
     pub fn get(&self, text: &str) -> Option<PatternId> {
-        self.by_text.get(text).copied()
+        let hash = hash_text(text);
+        let mask = self.buckets.len() - 1;
+        let mut slot = (hash as usize) & mask;
+        loop {
+            let entry = self.buckets[slot];
+            if entry == EMPTY {
+                return None;
+            }
+            let i = entry as usize;
+            if self.hashes[i] == hash && &*self.texts[i] == text {
+                return Some(PatternId(entry));
+            }
+            slot = (slot + 1) & mask;
+        }
     }
 
     /// Returns the text of `id`.
@@ -81,16 +174,20 @@ impl PatternTable {
 }
 
 /// One lexed configuration line.
+///
+/// Parameter and text payloads are `Arc`-shared so records clone in O(1):
+/// metadata records are shared across every configuration, and dataset
+/// edits move records without copying line contents.
 #[derive(Debug, Clone)]
 pub struct LineRecord {
     /// The interned pattern id of the full embedded line.
     pub pattern: PatternId,
     /// Parameters bound from the original line text, in order.
-    pub params: Vec<Param>,
+    pub params: Arc<[Param]>,
     /// 1-based line number in the source file.
     pub line_no: u32,
     /// The trimmed original line text.
-    pub original: String,
+    pub original: Arc<str>,
     /// `true` when the line came from an appended metadata file.
     pub is_meta: bool,
 }
@@ -120,6 +217,13 @@ pub struct Dataset {
     pub table: PatternTable,
     /// The configurations.
     pub configs: Vec<ConfigIr>,
+    /// Lexed metadata files, kept so edits can append metadata to newly
+    /// upserted configurations.
+    meta_lexed: Vec<Vec<LexedLine>>,
+    /// The shared metadata records (interned lazily so id assignment
+    /// matches the batch build order: first config's own lines, then
+    /// metadata). `None` until the first configuration needs them.
+    meta_records: Option<Vec<LineRecord>>,
 }
 
 /// Error constructing a [`Dataset`].
@@ -197,9 +301,9 @@ impl Dataset {
 
         let lex_start = Instant::now();
         // Metadata is lexed once and shared across configs.
-        let meta_lines: Vec<(String, Vec<LexedLine>)> = metadata
+        let meta_lexed: Vec<Vec<LexedLine>> = metadata
             .iter()
-            .map(|(name, text)| (name.clone(), lex_text(text, lexer, embed_context, cache).1))
+            .map(|(_, text)| lex_text(text, lexer, embed_context, cache).1)
             .collect();
 
         // Lex configs (possibly in parallel), then intern sequentially so
@@ -212,31 +316,25 @@ impl Dataset {
         let lex_time = lex_start.elapsed();
 
         let intern_start = Instant::now();
-        let mut table = PatternTable::new();
-        let mut out_configs = Vec::with_capacity(configs.len());
+        let mut dataset = Dataset {
+            table: PatternTable::new(),
+            configs: Vec::with_capacity(configs.len()),
+            meta_lexed,
+            meta_records: None,
+        };
         for ((name, _), (format, lines)) in configs.iter().zip(lexed) {
             let mut records: Vec<LineRecord> = lines
                 .into_iter()
                 .map(|l| LineRecord {
-                    pattern: table.intern(&l.pattern),
-                    params: l.params,
+                    pattern: dataset.table.intern(&l.pattern),
+                    params: l.params.into(),
                     line_no: l.line_no,
-                    original: l.original,
+                    original: l.original.into(),
                     is_meta: false,
                 })
                 .collect();
-            for (_meta_name, lines) in &meta_lines {
-                for l in lines {
-                    records.push(LineRecord {
-                        pattern: table.intern(&format!("@meta{}", l.pattern)),
-                        params: l.params.clone(),
-                        line_no: l.line_no,
-                        original: l.original.clone(),
-                        is_meta: true,
-                    });
-                }
-            }
-            out_configs.push(ConfigIr {
+            records.extend_from_slice(dataset.shared_meta_records());
+            dataset.configs.push(ConfigIr {
                 name: name.clone(),
                 format,
                 lines: records,
@@ -244,10 +342,6 @@ impl Dataset {
         }
         let intern_time = intern_start.elapsed();
 
-        let dataset = Dataset {
-            table,
-            configs: out_configs,
-        };
         let (cache_hits, cache_misses) = match (cache_before, cache.map(|c| c.stats())) {
             (Some(before), Some(after)) => (after.hits - before.hits, after.misses - before.misses),
             _ => (0, 0),
@@ -265,6 +359,90 @@ impl Dataset {
         Ok((dataset, stats))
     }
 
+    /// Returns the shared metadata records, interning their patterns on
+    /// first use (after the first configuration's own lines, matching the
+    /// batch interning order).
+    fn shared_meta_records(&mut self) -> &[LineRecord] {
+        if self.meta_records.is_none() {
+            let records: Vec<LineRecord> = self
+                .meta_lexed
+                .iter()
+                .flat_map(|lines| lines.iter())
+                .map(|l| LineRecord {
+                    pattern: self.table.intern(&format!("@meta{}", l.pattern)),
+                    params: l.params.clone().into(),
+                    line_no: l.line_no,
+                    original: l.original.as_str().into(),
+                    is_meta: true,
+                })
+                .collect();
+            self.meta_records = Some(records);
+        }
+        self.meta_records.as_deref().expect("just populated")
+    }
+
+    /// Inserts or replaces the configuration named `name`, re-embedding
+    /// and re-lexing only `text`. Returns the configuration's index.
+    ///
+    /// An existing configuration is replaced in place (its position is
+    /// preserved); a new one is inserted at its name-sorted position, the
+    /// order [`Dataset::from_named_texts`] produces when callers pass
+    /// name-sorted corpora (the CLI always does). Pattern ids are
+    /// append-only: patterns no longer referenced by any line simply stay
+    /// interned, which never changes check output (violations carry
+    /// texts, not ids).
+    pub fn upsert_config(
+        &mut self,
+        name: &str,
+        text: &str,
+        lexer: &Lexer,
+        embed_context: bool,
+        cache: Option<&LexCache>,
+    ) -> usize {
+        let (format, lines) = lex_text(text, lexer, embed_context, cache);
+        let mut records: Vec<LineRecord> = lines
+            .into_iter()
+            .map(|l| LineRecord {
+                pattern: self.table.intern(&l.pattern),
+                params: l.params.into(),
+                line_no: l.line_no,
+                original: l.original.into(),
+                is_meta: false,
+            })
+            .collect();
+        records.extend_from_slice(self.shared_meta_records());
+        let config = ConfigIr {
+            name: name.to_string(),
+            format,
+            lines: records,
+        };
+        match self.configs.iter().position(|c| c.name == name) {
+            Some(i) => {
+                self.configs[i] = config;
+                i
+            }
+            None => {
+                let i = self.configs.partition_point(|c| c.name.as_str() < name);
+                self.configs.insert(i, config);
+                i
+            }
+        }
+    }
+
+    /// Removes the configuration named `name`, returning its former index
+    /// (`None` when no such configuration exists). The pattern table is
+    /// left untouched.
+    pub fn remove_config(&mut self, name: &str) -> Option<usize> {
+        let i = self.configs.iter().position(|c| c.name == name)?;
+        self.configs.remove(i);
+        Some(i)
+    }
+
+    /// Returns the index of the configuration named `name`.
+    pub fn config_index(&self, name: &str) -> Option<usize> {
+        self.configs.iter().position(|c| c.name == name)
+    }
+
     /// Returns the total number of configuration lines (excluding
     /// metadata).
     pub fn total_lines(&self) -> usize {
@@ -279,7 +457,7 @@ impl Dataset {
     /// Returns the number of distinct `(pattern, parameter)` pairs
     /// (the "Parameters" column of Table 3).
     pub fn parameter_count(&self) -> usize {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = HashSet::new();
         for config in &self.configs {
             for line in &config.lines {
                 for (i, _) in line.params.iter().enumerate() {
@@ -343,6 +521,25 @@ mod tests {
     }
 
     #[test]
+    fn pattern_table_survives_growth() {
+        // Push well past several grow() doublings and verify every id and
+        // lookup stays correct.
+        let mut table = PatternTable::new();
+        let ids: Vec<PatternId> = (0..1000).map(|i| table.intern(&format!("p{i}"))).collect();
+        assert_eq!(table.len(), 1000);
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(table.text(*id), format!("p{i}"));
+            assert_eq!(table.get(&format!("p{i}")), Some(*id));
+            assert_eq!(table.intern(&format!("p{i}")), *id, "re-intern is a hit");
+        }
+        assert_eq!(table.get("p1000"), None);
+        let collected: Vec<(PatternId, String)> =
+            table.iter().map(|(id, t)| (id, t.to_string())).collect();
+        assert_eq!(collected.len(), 1000);
+        assert_eq!(collected[7], (PatternId(7), "p7".to_string()));
+    }
+
+    #[test]
     fn builds_dataset_with_embedding() {
         let configs = cfgs(&["interface Loopback0\n ip address 10.0.0.1\n"]);
         let ds = Dataset::from_named_texts(&configs, &[]).unwrap();
@@ -379,6 +576,31 @@ mod tests {
         }
         // Metadata lines are excluded from the own-line count.
         assert_eq!(ds.total_lines(), 2);
+    }
+
+    #[test]
+    fn metadata_records_are_arc_shared_across_configs() {
+        let configs = cfgs(&["vlan 10\n", "vlan 20\n", "vlan 30\n"]);
+        let metadata = vec![(
+            "meta.yaml".to_string(),
+            "vlanId: 10\nsiteId: 4\n".to_string(),
+        )];
+        let ds = Dataset::from_named_texts(&configs, &metadata).unwrap();
+        let meta_of = |ci: usize| -> Vec<&LineRecord> {
+            ds.configs[ci].lines.iter().filter(|l| l.is_meta).collect()
+        };
+        let (a, b) = (meta_of(0), meta_of(1));
+        assert_eq!(a.len(), 2);
+        for (la, lb) in a.iter().zip(&b) {
+            assert!(
+                Arc::ptr_eq(&la.original, &lb.original),
+                "metadata text allocations must be shared, not copied"
+            );
+            assert!(
+                Arc::ptr_eq(&la.params, &lb.params),
+                "metadata param allocations must be shared, not copied"
+            );
+        }
     }
 
     #[test]
@@ -419,5 +641,74 @@ mod tests {
                 assert_eq!(la.original, lb.original);
             }
         }
+    }
+
+    #[test]
+    fn upsert_replaces_in_place_and_inserts_sorted() {
+        let configs = cfgs(&["vlan 1\n", "vlan 2\n", "vlan 3\n"]);
+        let lexer = Lexer::standard();
+        let mut ds = Dataset::from_named_texts(&configs, &[]).unwrap();
+
+        // Replace dev1 in place.
+        let i = ds.upsert_config("dev1", "interface Et1\n mtu 9000\n", &lexer, true, None);
+        assert_eq!(i, 1);
+        assert_eq!(ds.configs[1].name, "dev1");
+        assert_eq!(ds.configs[1].lines.len(), 2);
+
+        // Insert a new name at its sorted position.
+        let i = ds.upsert_config("dev15", "vlan 9\n", &lexer, true, None);
+        assert_eq!(i, 2, "dev15 sorts between dev1 and dev2");
+        let names: Vec<&str> = ds.configs.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["dev0", "dev1", "dev15", "dev2"]);
+    }
+
+    #[test]
+    fn upsert_matches_batch_build() {
+        // An edited dataset must equal (up to pattern id numbering) the
+        // batch build of the edited corpus: same lines, same texts, same
+        // pattern texts per line.
+        let lexer = Lexer::standard();
+        let metadata = vec![("meta.yaml".to_string(), "siteId: 9\n".to_string())];
+        let mut corpus = cfgs(&["vlan 1\nvlan 2\n", "interface Et1\n mtu 9214\n"]);
+        let mut ds = Dataset::from_named_texts(&corpus, &metadata).unwrap();
+
+        // Edit dev0, add dev2, remove dev1.
+        corpus[0].1 = "vlan 1\nvlan 7\nhostname A\n".to_string();
+        ds.upsert_config("dev0", &corpus[0].1, &lexer, true, None);
+        corpus.push((
+            "dev2".to_string(),
+            "router bgp 65000\n vlan 3\n".to_string(),
+        ));
+        ds.upsert_config("dev2", &corpus[2].1, &lexer, true, None);
+        assert_eq!(ds.remove_config("dev1"), Some(1));
+        assert_eq!(ds.remove_config("dev1"), None);
+        corpus.remove(1);
+
+        let batch = Dataset::from_named_texts(&corpus, &metadata).unwrap();
+        assert_eq!(ds.configs.len(), batch.configs.len());
+        assert_eq!(ds.total_lines(), batch.total_lines());
+        for (a, b) in ds.configs.iter().zip(&batch.configs) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.lines.len(), b.lines.len());
+            for (la, lb) in a.lines.iter().zip(&b.lines) {
+                assert_eq!(ds.table.text(la.pattern), batch.table.text(lb.pattern));
+                assert_eq!(la.original, lb.original);
+                assert_eq!(la.params, lb.params);
+                assert_eq!(la.is_meta, lb.is_meta);
+            }
+        }
+    }
+
+    #[test]
+    fn upsert_into_empty_dataset_appends_metadata() {
+        let lexer = Lexer::standard();
+        let metadata = vec![("meta.yaml".to_string(), "siteId: 9\n".to_string())];
+        let mut ds = Dataset::from_named_texts(&[], &metadata).unwrap();
+        assert!(ds.configs.is_empty());
+        ds.upsert_config("dev0", "vlan 4\n", &lexer, true, None);
+        let batch = Dataset::from_named_texts(&cfgs(&["vlan 4\n"]), &metadata).unwrap();
+        assert_eq!(ds.configs[0].lines.len(), batch.configs[0].lines.len());
+        assert_eq!(ds.pattern_count(), batch.pattern_count());
+        assert!(ds.configs[0].lines.iter().any(|l| l.is_meta));
     }
 }

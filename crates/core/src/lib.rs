@@ -56,9 +56,10 @@ pub mod parallel;
 mod params;
 mod stats;
 
-pub use check::coverage::{CoverageReport, CoverageSummary};
+pub use check::coverage::{ConfigCoverage, CoverageReport, CoverageSummary};
 pub use check::{
-    check, check_parallel, check_parallel_with_stats, CheckProgram, CheckReport, Violation,
+    check, check_parallel, check_parallel_with_stats, CheckCounters, CheckProgram, CheckReport,
+    ConfigOutcome, UniqueTable, Violation,
 };
 #[cfg(any(test, feature = "naive-check"))]
 pub use check::{check_naive, check_naive_parallel};
@@ -72,4 +73,6 @@ pub use learn::indexes::{
 pub use learn::learn_reference;
 pub use learn::{learn, learn_with_stats, LearnStats};
 pub use params::LearnParams;
-pub use stats::{BuildStats, CheckStats, PipelineStats, STATS_SCHEMA};
+pub use stats::{
+    BuildStats, CheckStats, EngineCheckStats, EngineStats, PipelineStats, STATS_SCHEMA,
+};

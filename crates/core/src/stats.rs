@@ -18,8 +18,11 @@ use crate::learn::LearnStats;
 /// changes to the layout. v2 added the compiled-check fields
 /// (`compile_secs`, `witness`, `categories`) to the `check` stage; v3
 /// added the parallel-learn fields (`miner_parallelism`,
-/// `relational_merge_secs`, `fanout_truncations`) to the `learn` stage.
-pub const STATS_SCHEMA: &str = "concord-pipeline-stats/v3";
+/// `relational_merge_secs`, `fanout_truncations`) to the `learn` stage;
+/// v4 added the `engine` stage (incremental-engine counters: edits
+/// absorbed, dirty vs reused configurations, reused lex entries, patched
+/// vs rebuilt witness indexes).
+pub const STATS_SCHEMA: &str = "concord-pipeline-stats/v4";
 
 /// Statistics from one [`Dataset::build_with_stats`](crate::Dataset::build_with_stats) run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -174,6 +177,87 @@ impl ToJson for LearnStats {
     }
 }
 
+/// Incremental counters of one `Engine::check_dirty` call: how much of
+/// the check was patched from the cache versus recomputed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCheckStats {
+    /// Configurations re-checked this call (dirty or invalidated).
+    pub dirty_configs: usize,
+    /// Configurations whose cached outcome was reused untouched.
+    pub reused_configs: usize,
+    /// Whether a resolution change (contracts swapped, or an edit that
+    /// re-resolved a contract pattern) forced a full cache invalidation.
+    pub resolution_invalidated: bool,
+    /// Witness indexes rebuilt while re-checking dirty configurations.
+    pub witness_indexes_rebuilt: u64,
+    /// Witness indexes patched in place — carried over inside reused
+    /// per-configuration outcomes instead of being rebuilt.
+    pub witness_indexes_patched: u64,
+}
+
+impl ToJson for EngineCheckStats {
+    fn to_json(&self) -> Json {
+        concord_json::json!({
+            "dirty_configs": self.dirty_configs,
+            "reused_configs": self.reused_configs,
+            "resolution_invalidated": self.resolution_invalidated,
+            "witness_indexes_rebuilt": self.witness_indexes_rebuilt,
+            "witness_indexes_patched": self.witness_indexes_patched,
+        })
+    }
+}
+
+/// A snapshot of a resident incremental engine (`Engine::snapshot_stats`
+/// in `concord-engine`): the versioned dataset, the edit/relearn history,
+/// and the lex-cache reuse across all edits absorbed so far.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EngineStats {
+    /// Configurations in the snapshot.
+    pub configs: usize,
+    /// Total line records (including appended metadata lines).
+    pub lines: usize,
+    /// Distinct interned patterns (append-only across edits).
+    pub patterns: usize,
+    /// Contracts currently loaded (`None` before the first learn/load).
+    pub contracts: Option<usize>,
+    /// Upserts + removes absorbed since the engine was built.
+    pub edits: u64,
+    /// Full relearns performed.
+    pub relearns: u64,
+    /// Configurations currently awaiting re-check.
+    pub dirty_configs: usize,
+    /// Fraction of lines changed since the last learn (the
+    /// `relearn_if_stale` signal).
+    pub staleness: f64,
+    /// Lex-cache hits across the engine's lifetime (lines reused from the
+    /// persistent cache instead of re-scanned).
+    pub lex_cache_hits: u64,
+    /// Lex-cache misses across the engine's lifetime.
+    pub lex_cache_misses: u64,
+    /// Counters of the most recent `check_dirty` call.
+    pub last_check: Option<EngineCheckStats>,
+}
+
+impl ToJson for EngineStats {
+    fn to_json(&self) -> Json {
+        concord_json::json!({
+            "configs": self.configs,
+            "lines": self.lines,
+            "patterns": self.patterns,
+            "contracts": self.contracts,
+            "edits": self.edits,
+            "relearns": self.relearns,
+            "dirty_configs": self.dirty_configs,
+            "staleness": self.staleness,
+            "lex_cache": concord_json::json!({
+                "hits": self.lex_cache_hits,
+                "misses": self.lex_cache_misses,
+            }),
+            "last_check": self.last_check,
+        })
+    }
+}
+
 /// Aggregated per-stage statistics for one CLI or harness invocation.
 ///
 /// Stages that did not run (e.g. no checking in `learn`) stay `None` and
@@ -186,6 +270,9 @@ pub struct PipelineStats {
     pub learn: Option<LearnStats>,
     /// Contract checking.
     pub check: Option<CheckStats>,
+    /// Incremental-engine state, when the run went through a resident
+    /// engine (`concord-cli serve`) instead of the batch pipeline.
+    pub engine: Option<EngineStats>,
     /// End-to-end wall-clock time of the instrumented run.
     pub total_time: Duration,
 }
@@ -199,6 +286,7 @@ impl PipelineStats {
             "build": self.build,
             "learn": self.learn,
             "check": self.check,
+            "engine": self.engine,
         })
     }
 
@@ -269,6 +357,30 @@ impl PipelineStats {
                 out.push_str(&format!("  phases: {}\n", parts.join(", ")));
             }
         }
+        if let Some(e) = &self.engine {
+            out.push_str(&format!(
+                "engine: {} configs, {} lines, {} patterns; {} edits, {} relearns, {} dirty\n",
+                e.configs, e.lines, e.patterns, e.edits, e.relearns, e.dirty_configs,
+            ));
+            out.push_str(&format!(
+                "  staleness {:.3}; lex cache {} hits / {} misses\n",
+                e.staleness, e.lex_cache_hits, e.lex_cache_misses,
+            ));
+            if let Some(c) = &e.last_check {
+                out.push_str(&format!(
+                    "  last check: {} dirty / {} reused configs; witness indexes {} rebuilt / {} patched{}\n",
+                    c.dirty_configs,
+                    c.reused_configs,
+                    c.witness_indexes_rebuilt,
+                    c.witness_indexes_patched,
+                    if c.resolution_invalidated {
+                        "; resolution invalidated"
+                    } else {
+                        ""
+                    },
+                ));
+            }
+        }
         out.push_str(&format!("total: {:.3}s", self.total_time.as_secs_f64()));
         out
     }
@@ -317,6 +429,25 @@ mod tests {
                     ("relational".to_string(), Duration::from_millis(4)),
                 ],
             }),
+            engine: Some(EngineStats {
+                configs: 4,
+                lines: 120,
+                patterns: 12,
+                contracts: Some(20),
+                edits: 3,
+                relearns: 1,
+                dirty_configs: 1,
+                staleness: 0.125,
+                lex_cache_hits: 90,
+                lex_cache_misses: 30,
+                last_check: Some(EngineCheckStats {
+                    dirty_configs: 1,
+                    reused_configs: 3,
+                    resolution_invalidated: false,
+                    witness_indexes_rebuilt: 2,
+                    witness_indexes_patched: 6,
+                }),
+            }),
             total_time: Duration::from_millis(80),
         }
     }
@@ -342,6 +473,21 @@ mod tests {
             json["check"]["categories"][1]["name"].as_str(),
             Some("relational")
         );
+        assert_eq!(json["engine"]["edits"].as_u64(), Some(3));
+        assert_eq!(json["engine"]["dirty_configs"].as_u64(), Some(1));
+        assert_eq!(json["engine"]["lex_cache"]["hits"].as_u64(), Some(90));
+        assert_eq!(
+            json["engine"]["last_check"]["reused_configs"].as_u64(),
+            Some(3)
+        );
+        assert_eq!(
+            json["engine"]["last_check"]["witness_indexes_patched"].as_u64(),
+            Some(6)
+        );
+        assert_eq!(
+            json["engine"]["last_check"]["resolution_invalidated"].as_bool(),
+            Some(false)
+        );
     }
 
     #[test]
@@ -351,6 +497,7 @@ mod tests {
         assert!(json["build"].is_null());
         assert!(json["learn"].is_null());
         assert!(json["check"].is_null());
+        assert!(json["engine"].is_null());
     }
 
     #[test]
@@ -364,6 +511,11 @@ mod tests {
         assert!(text.contains("witness indexes: 3 (450 entries)"));
         assert!(text.contains("probes: 200 (99.0% hit)"));
         assert!(text.contains("phases: present 0.001s, relational 0.004s"));
+        assert!(text
+            .contains("engine: 4 configs, 120 lines, 12 patterns; 3 edits, 1 relearns, 1 dirty"));
+        assert!(text.contains(
+            "last check: 1 dirty / 3 reused configs; witness indexes 2 rebuilt / 6 patched"
+        ));
         assert!(text.contains("total:"));
     }
 

@@ -1,0 +1,723 @@
+#![warn(missing_docs)]
+
+//! The resident incremental engine (§3.7's interactive workflow).
+//!
+//! The batch pipeline rebuilds everything from scratch on every run:
+//! re-lex the corpus, re-learn or re-load contracts, re-check every
+//! configuration. That is the right shape for CI, but an interactive
+//! session — an operator editing one device config at a time, a language
+//! server, the CLI's `serve` mode — touches one file per event and wants
+//! an answer proportional to the edit, not the corpus.
+//!
+//! [`Engine`] owns a versioned snapshot of the whole pipeline state:
+//!
+//! * a mutable [`Dataset`] with a stable [`ConfigId`] and a generation
+//!   counter per configuration — edits go through
+//!   [`Engine::upsert_config`] / [`Engine::remove_config`], which re-lex
+//!   only the changed file through a persistent [`LexCache`];
+//! * the current [`ContractSet`] (learned in-engine or loaded), with an
+//!   epoch counter bumped on every swap;
+//! * cached per-configuration check outcomes keyed by
+//!   `(contracts epoch, resolution fingerprint)`, so
+//!   [`Engine::check_dirty`] re-runs checks only for configurations
+//!   edited since the last call and patches the rest in from the cache.
+//!
+//! The output contract is strict: `check_dirty` is **byte-identical** to
+//! compiling and running the batch checker over the current snapshot
+//! (`concord-bench`'s `engine_equivalence` oracle drives random edit
+//! sequences against exactly that). The caching is sound because a
+//! configuration's outcome depends only on its own lines and on how the
+//! contract patterns resolved against the interner
+//! ([`CheckProgram::resolution_fingerprint`]); the one cross-configuration
+//! pass (unique contracts) is replayed from cached per-configuration
+//! [`UniqueTable`]s in dataset order, which reproduces the global
+//! first-seen-wins semantics exactly.
+//!
+//! Learning stays corpus-global, so the engine does not patch contracts
+//! incrementally; instead it tracks *staleness* — the fraction of lines
+//! changed since the last learn — and [`Engine::relearn_if_stale`] runs a
+//! full relearn once the drift crosses a threshold.
+
+use std::fmt;
+use std::time::Instant;
+
+use concord_core::{
+    learn_with_stats, parallel, CheckProgram, CheckReport, CheckStats, ConfigOutcome, ContractSet,
+    CoverageReport, Dataset, DatasetError, EngineCheckStats, EngineStats, LearnParams, LearnStats,
+    UniqueTable,
+};
+use concord_lexer::{LexCache, Lexer};
+
+/// A stable identifier for a configuration held by an [`Engine`].
+///
+/// Ids survive edits: replacing a configuration's text keeps its id (and
+/// bumps its generation); ids are never reused after a remove.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConfigId(pub u64);
+
+/// Tuning knobs of an [`Engine`].
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Whether to embed hierarchical context into patterns (§3.2).
+    pub embed_context: bool,
+    /// Worker threads for checking and learning.
+    pub parallelism: usize,
+    /// Learning parameters used by [`Engine::relearn`].
+    pub learn: LearnParams,
+    /// Staleness fraction at which [`Engine::relearn_if_stale`] fires: a
+    /// full relearn runs once `changed lines / corpus lines at last
+    /// learn` reaches this value.
+    pub staleness_threshold: f64,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            embed_context: true,
+            parallelism: 1,
+            learn: LearnParams::default(),
+            staleness_threshold: 0.2,
+        }
+    }
+}
+
+/// Why an [`Engine`] call could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// [`Engine::check_dirty`] was called before any contracts were
+    /// learned or loaded.
+    NoContracts,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::NoContracts => {
+                f.write_str("no contracts loaded: call relearn() or set_contracts() first")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The result of one [`Engine::check_dirty`] call.
+#[derive(Debug, Clone)]
+pub struct EngineCheckReport {
+    /// The full check report over the current snapshot — byte-identical
+    /// to a from-scratch batch check of the same dataset and contracts.
+    pub report: CheckReport,
+    /// Aggregate check statistics. Counters (violations, witness indexes,
+    /// probes) are exact sums over all configurations, replayed from the
+    /// cache for clean ones; per-phase times cover only this call's
+    /// recomputed work, so `category_times` is empty.
+    pub stats: CheckStats,
+    /// What this call patched versus recomputed.
+    pub engine: EngineCheckStats,
+}
+
+/// One configuration's engine-side bookkeeping, parallel to
+/// `dataset.configs`: identity, edit generation, and the cached check
+/// results (cleared on edit, repopulated by [`Engine::check_dirty`]).
+#[derive(Debug, Clone, Default)]
+struct Slot {
+    id: u64,
+    generation: u64,
+    /// Cached per-configuration outcome; `None` marks the slot dirty.
+    outcome: Option<ConfigOutcome>,
+    /// Cached unique-pass events (`None` while dirty, `Some` — possibly
+    /// empty — once checked under a program with unique contracts).
+    unique: Option<UniqueTable>,
+}
+
+/// A resident pipeline snapshot absorbing single-configuration edits.
+///
+/// See the [crate docs](crate) for the model. The batch pipeline is the
+/// degenerate use: build a fresh engine from a corpus, check once, drop —
+/// `check_dirty` on a fresh engine *is* the batch check.
+pub struct Engine {
+    lexer: Lexer,
+    /// Persistent across edits: re-upserting a file whose line shapes
+    /// were seen before costs hash lookups, not regex scans.
+    cache: LexCache,
+    options: EngineOptions,
+    dataset: Dataset,
+    /// One entry per configuration, kept index-aligned with
+    /// `dataset.configs` through every upsert/remove.
+    slots: Vec<Slot>,
+    next_id: u64,
+    contracts: Option<ContractSet>,
+    /// Bumped whenever the contract set object is swapped; part of the
+    /// outcome-cache key (two different sets can resolve identically).
+    contracts_epoch: u64,
+    /// The `(epoch, resolution fingerprint)` the cached outcomes were
+    /// computed under; a mismatch in `check_dirty` invalidates them all.
+    cached_key: Option<(u64, u64)>,
+    edits: u64,
+    relearns: u64,
+    /// Corpus size (own lines) when contracts were last learned/loaded.
+    lines_at_last_learn: usize,
+    /// Own lines added, removed, or replaced since then (both sides of a
+    /// replacement count — the staleness signal measures churn).
+    changed_lines_since_learn: usize,
+    last_check: Option<EngineCheckStats>,
+}
+
+impl Engine {
+    /// Creates an empty engine with the standard lexer.
+    pub fn new(options: EngineOptions) -> Engine {
+        Self::with_lexer(Lexer::standard(), options)
+    }
+
+    /// Creates an empty engine with a custom lexer.
+    pub fn with_lexer(lexer: Lexer, options: EngineOptions) -> Engine {
+        Engine {
+            lexer,
+            cache: LexCache::new(),
+            options,
+            dataset: Dataset::default(),
+            slots: Vec::new(),
+            next_id: 0,
+            contracts: None,
+            contracts_epoch: 0,
+            cached_key: None,
+            edits: 0,
+            relearns: 0,
+            lines_at_last_learn: 0,
+            changed_lines_since_learn: 0,
+            last_check: None,
+        }
+    }
+
+    /// Builds an engine over an initial corpus (the "fresh engine + one
+    /// transaction" form of the batch pipeline).
+    ///
+    /// Configurations are name-sorted first so the snapshot order matches
+    /// what a sequence of [`Engine::upsert_config`] calls produces — and
+    /// what the CLI's glob loader produces.
+    pub fn from_corpus(
+        configs: &[(String, String)],
+        metadata: &[(String, String)],
+        options: EngineOptions,
+    ) -> Result<Engine, DatasetError> {
+        Self::from_corpus_with_lexer(configs, metadata, Lexer::standard(), options)
+    }
+
+    /// [`Engine::from_corpus`] with a custom lexer.
+    pub fn from_corpus_with_lexer(
+        configs: &[(String, String)],
+        metadata: &[(String, String)],
+        lexer: Lexer,
+        options: EngineOptions,
+    ) -> Result<Engine, DatasetError> {
+        let mut sorted: Vec<(String, String)> = configs.to_vec();
+        sorted.sort();
+        let mut engine = Self::with_lexer(lexer, options);
+        let (dataset, _) = Dataset::build_with_stats(
+            &sorted,
+            metadata,
+            &engine.lexer,
+            engine.options.embed_context,
+            engine.options.parallelism,
+            Some(&engine.cache),
+        )?;
+        engine.slots = dataset
+            .configs
+            .iter()
+            .enumerate()
+            .map(|(i, _)| Slot {
+                id: i as u64,
+                ..Slot::default()
+            })
+            .collect();
+        engine.next_id = dataset.configs.len() as u64;
+        engine.dataset = dataset;
+        Ok(engine)
+    }
+
+    /// The current snapshot's dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The current contract set, if any.
+    pub fn contracts(&self) -> Option<&ContractSet> {
+        self.contracts.as_ref()
+    }
+
+    /// The engine's options.
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    /// The stable id of the configuration named `name`.
+    pub fn config_id(&self, name: &str) -> Option<ConfigId> {
+        let i = self.dataset.config_index(name)?;
+        Some(ConfigId(self.slots[i].id))
+    }
+
+    /// The edit generation of the configuration named `name` (0 for a
+    /// never-replaced configuration, +1 per replacing upsert).
+    pub fn config_generation(&self, name: &str) -> Option<u64> {
+        let i = self.dataset.config_index(name)?;
+        Some(self.slots[i].generation)
+    }
+
+    /// Inserts or replaces one configuration, re-lexing only `text`
+    /// (through the engine's persistent lex cache) and marking only this
+    /// configuration dirty. Returns the configuration's stable id.
+    pub fn upsert_config(&mut self, name: &str, text: &str) -> ConfigId {
+        let old_own = self
+            .dataset
+            .config_index(name)
+            .map(|i| self.dataset.configs[i].own_line_count())
+            .unwrap_or(0);
+        let before = self.dataset.configs.len();
+        let i = self.dataset.upsert_config(
+            name,
+            text,
+            &self.lexer,
+            self.options.embed_context,
+            Some(&self.cache),
+        );
+        if self.dataset.configs.len() == before {
+            // Replaced in place: same identity, new generation, dirty.
+            let slot = &mut self.slots[i];
+            slot.generation += 1;
+            slot.outcome = None;
+            slot.unique = None;
+        } else {
+            self.slots.insert(
+                i,
+                Slot {
+                    id: self.next_id,
+                    ..Slot::default()
+                },
+            );
+            self.next_id += 1;
+        }
+        self.edits += 1;
+        self.changed_lines_since_learn += old_own + self.dataset.configs[i].own_line_count();
+        ConfigId(self.slots[i].id)
+    }
+
+    /// Removes the configuration named `name`, returning its id (`None`
+    /// when no such configuration exists). Other configurations' cached
+    /// outcomes stay valid; the global unique pass is replayed over the
+    /// remaining tables at the next [`Engine::check_dirty`].
+    pub fn remove_config(&mut self, name: &str) -> Option<ConfigId> {
+        let i = self.dataset.config_index(name)?;
+        let own = self.dataset.configs[i].own_line_count();
+        self.dataset.remove_config(name);
+        let slot = self.slots.remove(i);
+        self.edits += 1;
+        self.changed_lines_since_learn += own;
+        Some(ConfigId(slot.id))
+    }
+
+    /// Swaps in an externally produced contract set (e.g. loaded from the
+    /// JSON a `learn` run wrote). Resets the staleness clock: the caller
+    /// asserts these contracts describe the current snapshot.
+    pub fn set_contracts(&mut self, contracts: ContractSet) {
+        self.contracts = Some(contracts);
+        self.contracts_epoch += 1;
+        self.lines_at_last_learn = self.dataset.total_lines();
+        self.changed_lines_since_learn = 0;
+    }
+
+    /// Learns a fresh contract set from the current snapshot, replacing
+    /// the previous one and resetting the staleness clock.
+    pub fn relearn(&mut self) -> LearnStats {
+        let (contracts, stats) = learn_with_stats(&self.dataset, &self.options.learn);
+        self.contracts = Some(contracts);
+        self.contracts_epoch += 1;
+        self.relearns += 1;
+        self.lines_at_last_learn = self.dataset.total_lines();
+        self.changed_lines_since_learn = 0;
+        stats
+    }
+
+    /// Fraction of the corpus changed since the last learn: `lines
+    /// touched by edits / own lines at last learn` (counting both the
+    /// removed and the inserted side of a replacement). `1.0` when no
+    /// learn has happened over a non-empty corpus.
+    pub fn staleness(&self) -> f64 {
+        if self.contracts.is_none() {
+            return if self.dataset.configs.is_empty() {
+                0.0
+            } else {
+                1.0
+            };
+        }
+        self.changed_lines_since_learn as f64 / self.lines_at_last_learn.max(1) as f64
+    }
+
+    /// Relearns when no contracts are loaded yet or when
+    /// [`Engine::staleness`] has reached the configured threshold.
+    /// Returns the learn stats when a relearn ran.
+    pub fn relearn_if_stale(&mut self) -> Option<LearnStats> {
+        if self.contracts.is_none() || self.staleness() >= self.options.staleness_threshold {
+            Some(self.relearn())
+        } else {
+            None
+        }
+    }
+
+    /// Checks the current snapshot, recomputing only dirty
+    /// configurations and patching everything else in from the cache.
+    ///
+    /// The returned report is byte-identical to a from-scratch batch
+    /// check ([`check_parallel_with_stats`]) of the same dataset and
+    /// contracts. A resolution change — contracts swapped, or an edit
+    /// interning a pattern that makes a contract resolve differently —
+    /// is detected via [`CheckProgram::resolution_fingerprint`] and
+    /// invalidates the whole cache (correctness first; the fingerprint
+    /// only moves when cached outcomes genuinely went stale).
+    pub fn check_dirty(&mut self) -> Result<EngineCheckReport, EngineError> {
+        let start = Instant::now();
+        let contracts = self.contracts.as_ref().ok_or(EngineError::NoContracts)?;
+        let program = CheckProgram::compile(contracts, &self.dataset);
+
+        let key = (self.contracts_epoch, program.resolution_fingerprint());
+        let resolution_invalidated = self.cached_key.is_some_and(|k| k != key);
+        if self.cached_key != Some(key) {
+            for slot in &mut self.slots {
+                slot.outcome = None;
+                slot.unique = None;
+            }
+            self.cached_key = Some(key);
+        }
+
+        let dirty: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.outcome.is_none())
+            .map(|(i, _)| i)
+            .collect();
+
+        // Re-check dirty configurations in parallel; each produces its
+        // cacheable outcome plus (when unique contracts resolved) its
+        // replayable unique-event table.
+        let dataset = &self.dataset;
+        let recomputed: Vec<(ConfigOutcome, Option<UniqueTable>)> = parallel::map(
+            &dirty,
+            |&i| {
+                let config = &dataset.configs[i];
+                let outcome = program.run_config(config);
+                let unique = program.has_unique().then(|| program.unique_table(config));
+                (outcome, unique)
+            },
+            self.options.parallelism,
+        );
+        for (&i, (outcome, unique)) in dirty.iter().zip(recomputed) {
+            self.slots[i].outcome = Some(outcome);
+            self.slots[i].unique = unique;
+        }
+
+        // Assemble the report in dataset order — exactly the shape the
+        // batch checker produces before its final sort.
+        let mut violations = Vec::new();
+        let mut coverages = Vec::new();
+        let mut counters = concord_core::CheckCounters::default();
+        let mut rebuilt = 0u64;
+        let mut patched = 0u64;
+        for (i, slot) in self.slots.iter().enumerate() {
+            let outcome = slot.outcome.as_ref().expect("just populated");
+            violations.extend_from_slice(&outcome.violations);
+            coverages.push(outcome.coverage.clone());
+            counters.accumulate(&outcome.counters);
+            if dirty.binary_search(&i).is_ok() {
+                rebuilt += outcome.counters.indexes_built;
+            } else {
+                patched += outcome.counters.indexes_built;
+            }
+        }
+        if program.has_unique() {
+            let tables: Vec<(&str, &UniqueTable)> = self
+                .dataset
+                .configs
+                .iter()
+                .zip(&self.slots)
+                .map(|(c, s)| (c.name.as_str(), s.unique.as_ref().expect("just populated")))
+                .collect();
+            violations.extend(program.check_unique_tables(&tables));
+        }
+        violations.sort_by(|a, b| {
+            (&a.config, a.line_no, a.contract_index).cmp(&(&b.config, b.line_no, b.contract_index))
+        });
+
+        let stats = CheckStats {
+            contracts: contracts.len(),
+            violations: violations.len(),
+            parallelism: self.options.parallelism.max(1),
+            check_time: start.elapsed(),
+            compile_time: program.compile_time,
+            witness_indexes: counters.indexes_built,
+            witness_entries: counters.index_entries,
+            witness_probes: counters.probes,
+            witness_probe_hits: counters.probe_hits,
+            // Per-phase times are not replayable from cached outcomes.
+            category_times: Vec::new(),
+        };
+        let engine = EngineCheckStats {
+            dirty_configs: dirty.len(),
+            reused_configs: self.slots.len() - dirty.len(),
+            resolution_invalidated,
+            witness_indexes_rebuilt: rebuilt,
+            witness_indexes_patched: patched,
+        };
+        self.last_check = Some(engine);
+
+        Ok(EngineCheckReport {
+            report: CheckReport {
+                violations,
+                coverage: CoverageReport {
+                    per_config: coverages,
+                },
+            },
+            stats,
+            engine,
+        })
+    }
+
+    /// A snapshot of the engine's state and lifetime counters.
+    pub fn snapshot_stats(&self) -> EngineStats {
+        let cache = self.cache.stats();
+        EngineStats {
+            configs: self.dataset.configs.len(),
+            lines: self.dataset.configs.iter().map(|c| c.lines.len()).sum(),
+            patterns: self.dataset.pattern_count(),
+            contracts: self.contracts.as_ref().map(ContractSet::len),
+            edits: self.edits,
+            relearns: self.relearns,
+            dirty_configs: self.slots.iter().filter(|s| s.outcome.is_none()).count(),
+            staleness: self.staleness(),
+            lex_cache_hits: cache.hits,
+            lex_cache_misses: cache.misses,
+            last_check: self.last_check,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concord_core::check_parallel_with_stats;
+
+    fn corpus() -> Vec<(String, String)> {
+        (0..6)
+            .map(|i| {
+                (
+                    format!("dev{i}"),
+                    format!(
+                        "hostname DEV{}\nrouter bgp 65000\ninterface Loopback0\n ip address 10.0.0.{}\nvlan {}\n",
+                        100 + i,
+                        i + 1,
+                        250 + i
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    /// Batch-checks `engine`'s current snapshot from scratch.
+    fn batch(engine: &Engine) -> (CheckReport, CheckStats) {
+        check_parallel_with_stats(
+            engine.contracts().expect("contracts loaded"),
+            engine.dataset(),
+            1,
+        )
+    }
+
+    fn assert_reports_equal(a: &CheckReport, b: &CheckReport) {
+        assert_eq!(a.violations, b.violations);
+        assert_eq!(a.coverage.per_config.len(), b.coverage.per_config.len());
+        for (ca, cb) in a.coverage.per_config.iter().zip(&b.coverage.per_config) {
+            assert_eq!(ca, cb);
+        }
+    }
+
+    #[test]
+    fn fresh_engine_check_matches_batch() {
+        let mut engine = Engine::from_corpus(&corpus(), &[], EngineOptions::default()).unwrap();
+        engine.relearn();
+        let incremental = engine.check_dirty().unwrap();
+        let (report, stats) = batch(&engine);
+        assert_reports_equal(&incremental.report, &report);
+        assert_eq!(incremental.stats.violations, stats.violations);
+        assert_eq!(incremental.stats.witness_indexes, stats.witness_indexes);
+        assert_eq!(incremental.stats.witness_probes, stats.witness_probes);
+        assert_eq!(incremental.engine.dirty_configs, 6);
+        assert_eq!(incremental.engine.reused_configs, 0);
+    }
+
+    #[test]
+    fn edit_rechecks_only_the_dirty_config() {
+        let mut engine = Engine::from_corpus(&corpus(), &[], EngineOptions::default()).unwrap();
+        engine.relearn();
+        engine.check_dirty().unwrap();
+
+        // Break one device: drop its bgp line.
+        engine.upsert_config(
+            "dev2",
+            "hostname DEV102\ninterface Loopback0\n ip address 10.0.0.3\nvlan 252\n",
+        );
+        let incremental = engine.check_dirty().unwrap();
+        assert_eq!(incremental.engine.dirty_configs, 1);
+        assert_eq!(incremental.engine.reused_configs, 5);
+        assert!(!incremental.engine.resolution_invalidated);
+        assert!(!incremental.report.violations.is_empty());
+
+        let (report, _) = batch(&engine);
+        assert_reports_equal(&incremental.report, &report);
+    }
+
+    #[test]
+    fn new_pattern_that_changes_resolution_invalidates_the_cache() {
+        let configs: Vec<(String, String)> = (0..6)
+            .map(|i| (format!("dev{i}"), format!("vlan {}\n", 10 + i)))
+            .collect();
+        let mut engine = Engine::from_corpus(&configs, &[], EngineOptions::default()).unwrap();
+        engine.relearn();
+        engine.check_dirty().unwrap();
+
+        // A brand-new line shape interns new patterns; if any contract
+        // resolves differently the whole cache must be dropped.
+        engine.upsert_config("dev0", "vlan 10\nmtu jumbo frames on\n");
+        let incremental = engine.check_dirty().unwrap();
+        let (report, _) = batch(&engine);
+        assert_reports_equal(&incremental.report, &report);
+        if incremental.engine.resolution_invalidated {
+            assert_eq!(incremental.engine.dirty_configs, 6);
+        }
+
+        // An edit reusing only known line shapes stays a 1-config check.
+        engine.upsert_config("dev1", "vlan 99\n");
+        let incremental = engine.check_dirty().unwrap();
+        assert_eq!(incremental.engine.dirty_configs, 1);
+        let (report, _) = batch(&engine);
+        assert_reports_equal(&incremental.report, &report);
+    }
+
+    #[test]
+    fn remove_config_replays_unique_pass_over_remaining_tables() {
+        // vlan ids are globally unique in this corpus, so learning yields
+        // unique contracts whose cross-config state must survive removal.
+        let mut engine = Engine::from_corpus(&corpus(), &[], EngineOptions::default()).unwrap();
+        engine.relearn();
+        engine.check_dirty().unwrap();
+
+        assert!(engine.remove_config("dev3").is_some());
+        assert!(engine.remove_config("dev3").is_none());
+        let incremental = engine.check_dirty().unwrap();
+        assert_eq!(incremental.engine.dirty_configs, 0);
+        let (report, _) = batch(&engine);
+        assert_reports_equal(&incremental.report, &report);
+
+        // Re-adding a config that duplicates another's vlan id must trip
+        // the unique contract even though only the new config is dirty.
+        engine.upsert_config(
+            "dev9",
+            "hostname DEV109\nrouter bgp 65000\ninterface Loopback0\n ip address 10.0.0.9\nvlan 250\n",
+        );
+        let incremental = engine.check_dirty().unwrap();
+        assert_eq!(incremental.engine.dirty_configs, 1);
+        let (report, _) = batch(&engine);
+        assert_reports_equal(&incremental.report, &report);
+    }
+
+    #[test]
+    fn ids_are_stable_and_generations_advance() {
+        let mut engine = Engine::from_corpus(&corpus(), &[], EngineOptions::default()).unwrap();
+        let id = engine.config_id("dev2").unwrap();
+        assert_eq!(engine.config_generation("dev2"), Some(0));
+
+        let same = engine.upsert_config("dev2", "vlan 1\n");
+        assert_eq!(same, id, "replacement keeps the id");
+        assert_eq!(engine.config_generation("dev2"), Some(1));
+
+        let fresh = engine.upsert_config("dev2b", "vlan 2\n");
+        assert_ne!(fresh, id);
+        engine.remove_config("dev2b");
+        let refresh = engine.upsert_config("dev2b", "vlan 2\n");
+        assert_ne!(refresh, fresh, "ids are never reused");
+    }
+
+    #[test]
+    fn check_without_contracts_is_an_error() {
+        let mut engine = Engine::from_corpus(&corpus(), &[], EngineOptions::default()).unwrap();
+        assert_eq!(engine.check_dirty().unwrap_err(), EngineError::NoContracts);
+        assert!(!engine.check_dirty().unwrap_err().to_string().is_empty());
+    }
+
+    #[test]
+    fn staleness_accumulates_and_relearn_if_stale_fires() {
+        let options = EngineOptions {
+            staleness_threshold: 0.5,
+            ..EngineOptions::default()
+        };
+        let mut engine = Engine::from_corpus(&corpus(), &[], options).unwrap();
+        assert_eq!(engine.staleness(), 1.0, "no contracts yet");
+        assert!(engine.relearn_if_stale().is_some(), "first call learns");
+        assert_eq!(engine.staleness(), 0.0);
+        assert!(engine.relearn_if_stale().is_none());
+
+        // 6 configs x 5 own lines = 30 lines at learn. One replacement
+        // (5 old + 5 new) is 10/30 churn: still below 0.5.
+        engine.upsert_config(
+            "dev0",
+            "hostname DEV200\nrouter bgp 65000\ninterface Loopback0\n ip address 10.0.9.1\nvlan 350\n",
+        );
+        assert!(engine.staleness() > 0.0);
+        assert!(engine.relearn_if_stale().is_none());
+
+        // A second replacement crosses it.
+        engine.upsert_config(
+            "dev1",
+            "hostname DEV201\nrouter bgp 65000\ninterface Loopback0\n ip address 10.0.9.2\nvlan 351\n",
+        );
+        assert!(engine.staleness() >= 0.5);
+        assert!(engine.relearn_if_stale().is_some());
+        assert_eq!(engine.snapshot_stats().relearns, 2);
+    }
+
+    #[test]
+    fn snapshot_stats_track_edits_and_cache() {
+        let mut engine = Engine::from_corpus(&corpus(), &[], EngineOptions::default()).unwrap();
+        engine.relearn();
+        engine.upsert_config("dev0", "vlan 900\n");
+        engine.remove_config("dev5");
+        let stats = engine.snapshot_stats();
+        assert_eq!(stats.configs, 5);
+        assert_eq!(stats.edits, 2);
+        assert_eq!(stats.contracts, Some(engine.contracts().unwrap().len()));
+        assert_eq!(stats.dirty_configs, 5, "nothing checked yet");
+        assert!(
+            stats.lex_cache_hits > 0,
+            "repeated line shapes must hit the persistent cache"
+        );
+        engine.check_dirty().unwrap();
+        let stats = engine.snapshot_stats();
+        assert_eq!(stats.dirty_configs, 0);
+        assert_eq!(stats.last_check.unwrap().dirty_configs, 5);
+    }
+
+    #[test]
+    fn metadata_flows_through_engine_edits() {
+        let metadata = vec![("site.yaml".to_string(), "siteId: 9\n".to_string())];
+        let mut engine =
+            Engine::from_corpus(&corpus(), &metadata, EngineOptions::default()).unwrap();
+        engine.relearn();
+        engine.check_dirty().unwrap();
+        engine.upsert_config("dev7", "vlan 901\n");
+        let incremental = engine.check_dirty().unwrap();
+        let (report, _) = batch(&engine);
+        assert_reports_equal(&incremental.report, &report);
+        assert!(engine
+            .dataset()
+            .configs
+            .iter()
+            .all(|c| c.lines.iter().any(|l| l.is_meta)));
+    }
+}
