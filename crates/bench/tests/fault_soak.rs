@@ -1,0 +1,188 @@
+//! Randomized fault-injection soak for the resilient engine.
+//!
+//! A seeded [`FaultPlan`] drives a durable [`ResilientEngine`] through
+//! a stream of edits while rotating through every storage- and
+//! panic-level fault class: torn WAL tails, truncated snapshots, and
+//! forced panics inside upsert / check / learn. After **every** fault
+//! the engine must still answer, and its CHECK report must match — byte
+//! for byte — a clean engine rebuilt from scratch out of the recovered
+//! image (the oracle the paper's incremental-equivalence argument rests
+//! on). Request-level faults (malformed / oversized / disconnect) are
+//! protocol concerns and are soaked at the serve layer in
+//! `concord-cli`'s robustness tests.
+//!
+//! Everything is a pure function of `CONCORD_SOAK_SEED` (default
+//! `0xC0C0`), and `CONCORD_SOAK_ITERS` (default 48) scales the run for
+//! CI soak jobs. A failing step prints both so it replays exactly.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use concord_core::{CheckReport, ContractSet};
+use concord_engine::fault::{FaultKind, FaultPlan, ALL_FAULTS};
+use concord_engine::{Engine, EngineFault, EngineOptions, OpKind, ResilientEngine};
+use concord_lexer::Lexer;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn soak_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("concord-fault-soak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Renders a check report the way the serve layer does, so "matches
+/// byte for byte" means the bytes a client would actually see.
+fn render(report: &CheckReport) -> String {
+    let mut s = String::new();
+    for v in &report.violations {
+        let _ = writeln!(s, "{v}");
+    }
+    let summary = report.coverage.summary();
+    let _ = writeln!(
+        s,
+        "{} violations; coverage {:.3}% of {} lines",
+        report.violations.len(),
+        summary.fraction * 100.0,
+        summary.total_lines,
+    );
+    s
+}
+
+/// The from-scratch oracle: a fresh engine built out of the resilient
+/// engine's last-known-good image, checked in full.
+fn oracle(me: &ResilientEngine) -> String {
+    let image = me.image();
+    let mut oracle =
+        Engine::from_corpus(&image.corpus(), &image.metadata, EngineOptions::default())
+            .expect("oracle builds");
+    if let Some(json) = &image.contracts {
+        oracle.set_contracts(ContractSet::from_json(json).expect("image contracts parse"));
+    }
+    render(&oracle.check_dirty().expect("oracle checks").report)
+}
+
+fn reboot(dir: &Path) -> ResilientEngine {
+    let (mut back, _) =
+        ResilientEngine::with_store(&[], &[], Lexer::standard(), EngineOptions::default(), dir)
+            .expect("reboot after fault");
+    back.set_checkpoint_every(4);
+    back
+}
+
+#[test]
+fn storage_and_panic_fault_soak() {
+    let seed = env_u64("CONCORD_SOAK_SEED", 0xC0C0);
+    let iters = env_u64("CONCORD_SOAK_ITERS", 48) as usize;
+    let dir = soak_dir();
+    let mut plan = FaultPlan::new(seed);
+
+    let corpus: Vec<(String, String)> = (0..8)
+        .map(|i| (format!("dev{i}"), plan.config_text()))
+        .collect();
+    let (mut me, resumed) = ResilientEngine::with_store(
+        &corpus,
+        &[],
+        Lexer::standard(),
+        EngineOptions::default(),
+        &dir,
+    )
+    .expect("boots");
+    assert!(!resumed);
+    me.set_checkpoint_every(4);
+    me.relearn().expect("initial learn");
+
+    let mut reboots = 0u64;
+    for step in 0..iters {
+        // Seeded edit traffic between faults.
+        match plan.index(4) {
+            0 | 1 => {
+                let name = plan.device_name(10);
+                let text = plan.config_text();
+                me.upsert(&name, &text)
+                    .unwrap_or_else(|e| panic!("step {step}: upsert failed: {e}"));
+            }
+            2 => {
+                let name = plan.device_name(10);
+                let _ = me
+                    .remove(&name)
+                    .unwrap_or_else(|e| panic!("step {step}: remove failed: {e}"));
+            }
+            _ => {
+                me.relearn()
+                    .unwrap_or_else(|e| panic!("step {step}: relearn failed: {e}"));
+            }
+        }
+
+        // Rotate deterministically through every fault class so a short
+        // run still covers all of them; the *shape* of each fault (how
+        // many bytes survive a tear, which device a panic hits) stays
+        // seeded.
+        let fault = ALL_FAULTS[step % ALL_FAULTS.len()];
+        match fault {
+            FaultKind::TornWal => {
+                drop(me);
+                let _ = plan.tear_wal(&dir).expect("tear wal");
+                me = reboot(&dir);
+                reboots += 1;
+            }
+            FaultKind::TruncatedSnapshot => {
+                drop(me);
+                let _ = plan.truncate_snapshot(&dir).expect("truncate snapshot");
+                me = reboot(&dir);
+                reboots += 1;
+            }
+            FaultKind::PanicUpsert => {
+                me.arm_panic(OpKind::Upsert);
+                let err = me.upsert(&plan.device_name(10), &plan.config_text());
+                assert!(
+                    matches!(err, Err(EngineFault::Panicked(_))),
+                    "step {step}: expected injected panic, got {err:?}"
+                );
+            }
+            FaultKind::PanicCheck => {
+                me.arm_panic(OpKind::Check);
+                let err = me.check();
+                assert!(
+                    matches!(err, Err(EngineFault::Panicked(_))),
+                    "step {step}: expected injected panic, got {:?}",
+                    err.map(|r| r.engine)
+                );
+            }
+            FaultKind::PanicLearn => {
+                me.arm_panic(OpKind::Learn);
+                let err = me.relearn();
+                assert!(
+                    matches!(err, Err(EngineFault::Panicked(_))),
+                    "step {step}: expected injected panic, got {err:?}"
+                );
+            }
+            // Request-level faults: exercised against the serve layer in
+            // concord-cli's robustness tests, no engine-level analogue.
+            FaultKind::MalformedRequest | FaultKind::OversizedRequest | FaultKind::Disconnect => {}
+        }
+
+        // Post-fault invariant: the engine answers, and byte-for-byte
+        // agrees with a clean rebuild of its own image.
+        let got = render(
+            &me.check()
+                .unwrap_or_else(|e| panic!("step {step} fault {fault:?}: check failed: {e}"))
+                .report,
+        );
+        let want = oracle(&me);
+        assert_eq!(
+            got, want,
+            "step {step} fault {fault:?} seed {seed}: post-fault check diverged from oracle"
+        );
+    }
+
+    let rob = me.robustness();
+    assert!(rob.panics_recovered >= 1, "{rob:?}");
+    assert!(reboots >= 1 && rob.wal_replays >= 1, "{rob:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

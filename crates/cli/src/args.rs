@@ -24,7 +24,10 @@ USAGE:
   concord serve [--configs <glob>] [--contracts <file>] [--metadata <glob>]
                 [--tokens <file>] [--support N] [--confidence F]
                 [--parallelism N] [--no-embed] [--staleness F]
-                [--listen <addr>] [--once]
+                [--listen <addr>] [--once] [--workers N]
+                [--deadline-ms N] [--max-line-bytes N]
+                [--max-body-bytes N] [--state-dir <dir>]
+                [--lex-cache-cap N] [--enable-fault-injection]
   concord help
 
 Categories for --disable: present ordering type sequence unique relational
@@ -32,13 +35,18 @@ Categories for --disable: present ordering type sequence unique relational
 --stats text prints a per-stage timing summary (lexing with cache
 hit/miss counts, each miner, minimization, checking); --stats json
 emits the same data as one machine-readable object (schema
-concord-pipeline-stats/v4, see DESIGN.md) instead of the human
+concord-pipeline-stats/v5, see DESIGN.md) instead of the human
 summary.
 
 serve holds a resident incremental engine and answers a line protocol
-on stdin/stdout (or one TCP connection at a time with --listen):
-UPSERT <name> (+ body, `.` terminated), REMOVE <name>, LEARN, CHECK,
-STATS, QUIT. See TUTORIAL.md for a walkthrough.";
+on stdin/stdout (or a --workers pool of TCP connections with
+--listen): UPSERT <name> (+ body, `.` terminated), REMOVE <name>,
+LEARN, CHECK, GEN <name>, CONTRACTS, STATS, CHECKPOINT, QUIT.
+Requests are bounded by --max-line-bytes / --max-body-bytes and a
+per-request --deadline-ms; excess load is shed with `err busy`. With
+--state-dir the engine checkpoints snapshots and fsyncs a write-ahead
+log so a killed process resumes exactly where it stopped. See
+TUTORIAL.md for a walkthrough.";
 
 /// Per-stage statistics reporting mode (`--stats`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -48,7 +56,7 @@ pub enum StatsMode {
     Off,
     /// Human-readable summary appended to normal output.
     Text,
-    /// One `concord-pipeline-stats/v4` JSON object replacing the human
+    /// One `concord-pipeline-stats/v5` JSON object replacing the human
     /// summary.
     Json,
 }
@@ -107,6 +115,21 @@ pub struct ServeArgs {
     pub listen: Option<String>,
     /// Exit after the first TCP connection closes (smoke tests).
     pub once: bool,
+    /// TCP worker threads (the bounded connection pool).
+    pub workers: usize,
+    /// Per-request deadline in milliseconds.
+    pub deadline_ms: u64,
+    /// Maximum bytes in one protocol line.
+    pub max_line_bytes: usize,
+    /// Maximum bytes in one UPSERT body.
+    pub max_body_bytes: usize,
+    /// Durable state directory (snapshot + write-ahead log).
+    pub state_dir: Option<String>,
+    /// Lexeme cache capacity in entries (0 = unbounded).
+    pub lex_cache_cap: usize,
+    /// Enable the FAULT verb (deterministic panic injection for the
+    /// robustness harness).
+    pub enable_faults: bool,
 }
 
 /// Arguments for `concord coverage`.
@@ -425,6 +448,13 @@ fn parse_serve(argv: &[String]) -> Result<Command, UsageError> {
         staleness: 0.2,
         listen: None,
         once: false,
+        workers: 4,
+        deadline_ms: 5000,
+        max_line_bytes: 64 * 1024,
+        max_body_bytes: 1024 * 1024,
+        state_dir: None,
+        lex_cache_cap: 64 * 1024,
+        enable_faults: false,
     };
     let mut flags = Flags { argv, pos: 0 };
     while let Some(flag) = flags.next_flag() {
@@ -448,6 +478,23 @@ fn parse_serve(argv: &[String]) -> Result<Command, UsageError> {
             }
             "--listen" => args.listen = Some(flags.value(flag)?.to_string()),
             "--once" => args.once = true,
+            "--workers" => {
+                args.workers = flags.parse(flag)?;
+                if args.workers == 0 {
+                    return Err(UsageError("--workers must be at least 1".to_string()));
+                }
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = flags.parse(flag)?;
+                if args.deadline_ms == 0 {
+                    return Err(UsageError("--deadline-ms must be at least 1".to_string()));
+                }
+            }
+            "--max-line-bytes" => args.max_line_bytes = flags.parse(flag)?,
+            "--max-body-bytes" => args.max_body_bytes = flags.parse(flag)?,
+            "--state-dir" => args.state_dir = Some(flags.value(flag)?.to_string()),
+            "--lex-cache-cap" => args.lex_cache_cap = flags.parse(flag)?,
+            "--enable-fault-injection" => args.enable_faults = true,
             other => return Err(UsageError(format!("unknown flag {other:?}"))),
         }
     }
@@ -553,6 +600,19 @@ mod tests {
             "--once",
             "--parallelism",
             "4",
+            "--workers",
+            "8",
+            "--deadline-ms",
+            "1500",
+            "--max-line-bytes",
+            "4096",
+            "--max-body-bytes",
+            "16384",
+            "--state-dir",
+            "/tmp/concord-state",
+            "--lex-cache-cap",
+            "1024",
+            "--enable-fault-injection",
         ]))
         .unwrap();
         match cmd {
@@ -563,15 +623,30 @@ mod tests {
                 assert!(a.once);
                 assert_eq!(a.parallelism, 4);
                 assert_eq!(a.params.parallelism, 4);
+                assert_eq!(a.workers, 8);
+                assert_eq!(a.deadline_ms, 1500);
+                assert_eq!(a.max_line_bytes, 4096);
+                assert_eq!(a.max_body_bytes, 16384);
+                assert_eq!(a.state_dir.as_deref(), Some("/tmp/concord-state"));
+                assert_eq!(a.lex_cache_cap, 1024);
+                assert!(a.enable_faults);
             }
             other => panic!("unexpected {other:?}"),
         }
         // serve needs no flags at all: an empty resident session is valid.
-        assert!(matches!(
-            parse_args(&argv(&["serve"])).unwrap(),
-            Command::Serve(_)
-        ));
+        match parse_args(&argv(&["serve"])).unwrap() {
+            Command::Serve(a) => {
+                assert_eq!(a.workers, 4);
+                assert_eq!(a.deadline_ms, 5000);
+                assert_eq!(a.lex_cache_cap, 64 * 1024);
+                assert!(a.state_dir.is_none());
+                assert!(!a.enable_faults);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
         assert!(parse_args(&argv(&["serve", "--staleness", "3.0"])).is_err());
+        assert!(parse_args(&argv(&["serve", "--workers", "0"])).is_err());
+        assert!(parse_args(&argv(&["serve", "--deadline-ms", "0"])).is_err());
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub use args::{
 };
 pub use ci::{is_suppressed, load_suppressions};
 pub use glob::expand_glob;
-pub use serve::serve_session;
+pub use serve::{serve_session, ServeLimits, ServeShared};
 
 use std::path::Path;
 use std::time::Instant;

@@ -1,12 +1,12 @@
 //! `concord serve`: a resident incremental engine behind a line protocol.
 //!
 //! The batch commands (`learn`, `check`) rebuild the pipeline from disk
-//! on every invocation. `serve` instead holds one [`Engine`] for the
-//! whole session and absorbs single-configuration edits, so each CHECK
-//! costs work proportional to what changed since the last one (§3.7's
-//! interactive workflow).
+//! on every invocation. `serve` instead holds one resident engine for
+//! the whole session and absorbs single-configuration edits, so each
+//! CHECK costs work proportional to what changed since the last one
+//! (§3.7's interactive workflow).
 //!
-//! The protocol is plain text, one command per line:
+//! The protocol is plain text, one command per line (LF or CRLF):
 //!
 //! ```text
 //! UPSERT <name>     -- followed by the configuration body, terminated
@@ -14,35 +14,142 @@
 //! REMOVE <name>
 //! LEARN             -- relearn contracts from the current snapshot
 //! CHECK             -- report violations; recomputes only dirty configs
-//! STATS             -- one-line JSON engine snapshot
+//! GEN <name>        -- the configuration's edit generation
+//! CONTRACTS         -- how many contracts are loaded
+//! STATS             -- one-line JSON engine snapshot (v5 schema)
+//! CHECKPOINT        -- force a durable checkpoint (needs --state-dir)
 //! QUIT
 //! ```
 //!
-//! Every response line starts with `ok` or `err`, so a driver can script
-//! the session. By default the session runs over stdin/stdout; with
-//! `--listen <addr>` it accepts TCP connections (one at a time — the
-//! engine state persists across connections, and `--once` exits after
-//! the first connection for smoke tests). Everything is `std`-only:
-//! [`std::net::TcpListener`] and line-buffered reads.
+//! Every response line starts with `ok` or `err`; errors carry a stable
+//! machine-readable code (`err busy`, `err deadline`, `err too-large`,
+//! `err bad-utf8`, `err bad-request …`, `err unknown-command …`,
+//! `err unknown-config …`, `err not-learned`, `err internal …`,
+//! `err persist …`, `err poisoned`).
+//!
+//! # Robustness
+//!
+//! The engine is wrapped in [`ResilientEngine`]: a panic inside any
+//! operation poisons the live snapshot and rebuilds from the
+//! last-known-good image, so the process never dies and never answers
+//! from suspect state. With `--state-dir` every acknowledged mutation
+//! is WAL-logged (fsync'd) and periodically checkpointed, so `kill -9`
+//! + restart resumes byte-identical.
+//!
+//! With `--listen`, connections are served by a fixed worker pool
+//! (`--workers`). The accept loop sheds load with `err busy` once all
+//! workers are occupied and the hand-off queue is full. Request lines
+//! are read through a bounded byte reader: oversized lines
+//! (`--max-line-bytes`) and bodies (`--max-body-bytes`) are rejected
+//! without touching the engine, invalid UTF-8 is reported as
+//! `err bad-utf8`, and a client that trickles a request slower than
+//! `--deadline-ms` (slow-loris) is disconnected with `err deadline`.
+//! Everything is `std`-only: [`std::net::TcpListener`], threads, and a
+//! hand-rolled line reader.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpListener;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, TrySendError};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
-use concord_core::ContractSet;
-use concord_engine::{Engine, EngineOptions};
+use concord_engine::{EngineFault, EngineOptions, OpKind, ResilientEngine};
 use concord_json::ToJson;
 
 use crate::args::ServeArgs;
 use crate::{build_lexer, read_file, read_glob, CliError};
 
+/// Request-level limits shared by every connection.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeLimits {
+    /// Per-request deadline: covers reading one command (and its body)
+    /// and waiting for the engine lock.
+    pub deadline: Duration,
+    /// Maximum bytes in one protocol line.
+    pub max_line: usize,
+    /// Maximum bytes in one UPSERT body.
+    pub max_body: usize,
+}
+
+impl Default for ServeLimits {
+    fn default() -> Self {
+        ServeLimits {
+            deadline: Duration::from_millis(5000),
+            max_line: 64 * 1024,
+            max_body: 1024 * 1024,
+        }
+    }
+}
+
+/// State shared by every connection: the engine, the limits, and the
+/// serve-layer robustness counters.
+pub struct ServeShared {
+    engine: Mutex<ResilientEngine>,
+    limits: ServeLimits,
+    /// `FAULT <op>` verb enabled (deterministic panic injection for the
+    /// robustness harness; off unless `--enable-fault-injection`).
+    faults_enabled: bool,
+    requests_rejected: AtomicU64,
+    deadlines_hit: AtomicU64,
+}
+
+impl ServeShared {
+    /// Wraps an engine for serving.
+    pub fn new(engine: ResilientEngine, limits: ServeLimits, faults_enabled: bool) -> ServeShared {
+        ServeShared {
+            engine: Mutex::new(engine),
+            limits,
+            faults_enabled,
+            requests_rejected: AtomicU64::new(0),
+            deadlines_hit: AtomicU64::new(0),
+        }
+    }
+
+    fn reject(&self) {
+        self.requests_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn deadline_hit(&self) {
+        self.deadlines_hit.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Locks the engine, waiting at most until `deadline`. A lock
+    /// poisoned by a panicking holder is still usable: the engine
+    /// beneath it recovers itself, so we take the guard regardless.
+    fn lock_engine(&self, deadline: Instant) -> Option<MutexGuard<'_, ResilientEngine>> {
+        loop {
+            match self.engine.try_lock() {
+                Ok(guard) => return Some(guard),
+                Err(std::sync::TryLockError::Poisoned(poisoned)) => {
+                    return Some(poisoned.into_inner())
+                }
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    if Instant::now() >= deadline {
+                        return None;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
+    }
+}
+
 /// Runs `concord serve`. Returns the process exit code.
 pub fn run_serve(args: &ServeArgs, out: &mut dyn Write) -> Result<i32, CliError> {
-    let mut engine = build_engine(args)?;
+    let engine = build_engine(args)?;
+    let limits = ServeLimits {
+        deadline: Duration::from_millis(args.deadline_ms.max(1)),
+        max_line: args.max_line_bytes.max(64),
+        max_body: args.max_body_bytes.max(64),
+    };
+    let shared = Arc::new(ServeShared::new(engine, limits, args.enable_faults));
     match &args.listen {
-        Some(addr) => serve_tcp(&mut engine, addr, args.once, out),
+        Some(addr) => serve_tcp(&shared, addr, args.once, args.workers.max(1), out),
         None => {
             let stdin = std::io::stdin();
-            serve_session(&mut engine, stdin.lock(), out)
+            serve_session(&shared, stdin.lock(), out)
                 .map_err(|e| CliError::Io("<stdin>".to_string(), e))?;
             Ok(0)
         }
@@ -50,8 +157,11 @@ pub fn run_serve(args: &ServeArgs, out: &mut dyn Write) -> Result<i32, CliError>
 }
 
 /// Builds the session's engine from the serve arguments: optional
-/// initial corpus and metadata globs, optional preloaded contracts.
-fn build_engine(args: &ServeArgs) -> Result<Engine, CliError> {
+/// initial corpus, metadata globs, preloaded contracts, and state
+/// directory. With `--state-dir`, an existing snapshot wins over the
+/// corpus glob (the directory is the durable truth) and `--contracts`
+/// applies only on a fresh (non-resumed) boot.
+fn build_engine(args: &ServeArgs) -> Result<ResilientEngine, CliError> {
     let lexer = match &args.tokens {
         Some(path) => build_lexer(path)?,
         None => concord_lexer::Lexer::standard(),
@@ -69,158 +179,571 @@ fn build_engine(args: &ServeArgs) -> Result<Engine, CliError> {
         parallelism: args.parallelism,
         learn: args.params.clone(),
         staleness_threshold: args.staleness,
+        lex_cache_cap: args.lex_cache_cap,
     };
-    let mut engine = Engine::from_corpus_with_lexer(&corpus, &metadata, lexer, options)
-        .map_err(|e| CliError::Invalid(e.to_string()))?;
-    if let Some(path) = &args.contracts {
-        let json = read_file(path)?;
-        let contracts =
-            ContractSet::from_json(&json).map_err(|e| CliError::Invalid(format!("{path}: {e}")))?;
-        engine.set_contracts(contracts);
+    let (mut engine, resumed) = match &args.state_dir {
+        Some(dir) => {
+            ResilientEngine::with_store(&corpus, &metadata, lexer, options, Path::new(dir))
+                .map_err(|e| CliError::Invalid(e.to_string()))?
+        }
+        None => (
+            ResilientEngine::new(&corpus, &metadata, lexer, options)
+                .map_err(|e| CliError::Invalid(e.to_string()))?,
+            false,
+        ),
+    };
+    if !resumed {
+        if let Some(path) = &args.contracts {
+            let json = read_file(path)?;
+            engine
+                .set_contracts_json(&json)
+                .map_err(|e| CliError::Invalid(format!("{path}: {e}")))?;
+        }
     }
     Ok(engine)
 }
 
 fn serve_tcp(
-    engine: &mut Engine,
+    shared: &Arc<ServeShared>,
     addr: &str,
     once: bool,
+    workers: usize,
     out: &mut dyn Write,
 ) -> Result<i32, CliError> {
-    let listener = TcpListener::bind(addr).map_err(|e| CliError::Io(addr.to_string(), e))?;
-    let local = listener
-        .local_addr()
-        .map_err(|e| CliError::Io(addr.to_string(), e))?;
+    let io_err = |e: std::io::Error| CliError::Io(addr.to_string(), e);
+    let listener = TcpListener::bind(addr).map_err(io_err)?;
+    let local = listener.local_addr().map_err(io_err)?;
     // The bound port (OS-chosen under `--listen 127.0.0.1:0`) goes to
     // stdout so a driver can connect.
     let _ = writeln!(out, "listening on {local}");
     let _ = out.flush();
+
+    // Fixed worker pool with a bounded hand-off queue: one slot per
+    // worker. When every worker is busy and the queue is full, the
+    // accept loop sheds the connection with `err busy` instead of
+    // queueing unboundedly.
+    let (tx, rx) = mpsc::sync_channel::<TcpStream>(workers);
+    let rx = Arc::new(Mutex::new(rx));
+    let mut handles = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let shared = Arc::clone(shared);
+        let rx = Arc::clone(&rx);
+        let handle = std::thread::Builder::new()
+            .name(format!("serve-worker-{i}"))
+            .spawn(move || loop {
+                let stream = {
+                    let guard = match rx.lock() {
+                        Ok(guard) => guard,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    guard.recv()
+                };
+                match stream {
+                    Ok(stream) => handle_connection(&shared, stream),
+                    Err(_) => return, // channel closed: shut down
+                }
+            })
+            .map_err(io_err)?;
+        handles.push(handle);
+    }
+
+    let mut dispatched = 0usize;
+    let mut tx = Some(tx);
     for stream in listener.incoming() {
-        let stream = stream.map_err(|e| CliError::Io(addr.to_string(), e))?;
-        let reader = BufReader::new(
-            stream
-                .try_clone()
-                .map_err(|e| CliError::Io(addr.to_string(), e))?,
-        );
-        let mut writer = stream;
-        // A dropped connection ends its session, not the server.
-        if let Err(e) = serve_session(engine, reader, &mut writer) {
-            let _ = writeln!(out, "connection error: {e}");
+        let stream = stream.map_err(io_err)?;
+        let sender = tx
+            .as_ref()
+            .ok_or_else(|| CliError::Invalid("accept after shutdown".to_string()))?;
+        match sender.try_send(stream) {
+            Ok(()) => dispatched += 1,
+            Err(TrySendError::Full(mut stream)) => {
+                shared.reject();
+                let _ = stream.write_all(b"err busy\n");
+                // Dropping the stream closes the shed connection.
+            }
+            Err(TrySendError::Disconnected(_)) => break,
         }
-        if once {
+        if once && dispatched > 0 {
             break;
         }
+    }
+    // Close the queue and let the workers drain what was handed off.
+    tx.take();
+    for handle in handles {
+        let _ = handle.join();
     }
     Ok(0)
 }
 
-/// Runs one protocol session over arbitrary line-based transports.
+/// Serves one TCP connection on a worker thread. Connection-level
+/// errors end the connection, never the process.
+fn handle_connection(shared: &ServeShared, stream: TcpStream) {
+    // A short socket timeout keeps the reader loop responsive so it
+    // can enforce per-request deadlines against slow-loris clients.
+    let poll = shared.limits.deadline.min(Duration::from_millis(100));
+    let _ = stream.set_read_timeout(Some(poll));
+    let _ = stream.set_write_timeout(Some(shared.limits.deadline));
+    let reader = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    let _ = serve_session(shared, reader, &mut writer);
+}
+
+/// One protocol line, classified.
+enum LineEvent {
+    /// Clean end of input.
+    Eof,
+    /// A complete UTF-8 line (line terminator stripped, CRLF folded).
+    Line(String),
+    /// The line exceeded the byte limit (it was drained to its end).
+    Oversized,
+    /// The line was complete but not valid UTF-8.
+    NonUtf8,
+    /// The deadline elapsed while the line was incomplete.
+    TimedOut,
+}
+
+/// A bounded, deadline-aware line reader over any [`Read`].
 ///
-/// The engine outlives the session: a TCP server passes the same engine
-/// to every connection, so edits persist across reconnects.
-pub fn serve_session<R: BufRead, W: Write + ?Sized>(
-    engine: &mut Engine,
-    mut input: R,
-    out: &mut W,
-) -> std::io::Result<()> {
-    let mut line = String::new();
-    loop {
-        line.clear();
-        if input.read_line(&mut line)? == 0 {
-            return Ok(()); // EOF ends the session.
+/// Unlike [`std::io::BufRead::read_line`], it never allocates beyond
+/// the configured limit for hostile input, tolerates invalid UTF-8
+/// (reported, not propagated as an error), and notices when a partial
+/// line has been pending longer than the deadline.
+struct LineReader<R: Read> {
+    inner: R,
+    buf: Vec<u8>,
+    /// When the first byte of the pending (incomplete) line arrived.
+    line_started: Option<Instant>,
+    max_line: usize,
+    /// Draining an oversized line: discard until the next newline.
+    draining: bool,
+}
+
+impl<R: Read> LineReader<R> {
+    fn new(inner: R, max_line: usize) -> LineReader<R> {
+        LineReader {
+            inner,
+            buf: Vec::new(),
+            line_started: None,
+            max_line,
+            draining: false,
         }
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        let (command, rest) = match trimmed.split_once(char::is_whitespace) {
-            Some((c, r)) => (c, r.trim()),
-            None => (trimmed, ""),
-        };
-        match command {
-            "UPSERT" => {
-                if rest.is_empty() {
-                    writeln!(out, "err UPSERT requires a configuration name")?;
-                } else {
-                    match read_body(&mut input)? {
-                        Some(body) => {
-                            let id = engine.upsert_config(rest, &body);
-                            let gen = engine.config_generation(rest).unwrap_or(0);
-                            writeln!(out, "ok upsert {rest} id={} gen={gen}", id.0)?;
-                        }
-                        None => {
-                            writeln!(out, "err UPSERT body not terminated by `.`")?;
-                            out.flush()?;
-                            return Ok(());
-                        }
-                    }
+    }
+
+    /// Reads the next line. `line_deadline` bounds how long a partial
+    /// line may stay pending; `overall` (when set) is an absolute
+    /// cutoff that fires even while idle — used for request bodies so
+    /// a client cannot park a worker mid-UPSERT forever.
+    fn next_line(
+        &mut self,
+        line_deadline: Duration,
+        overall: Option<Instant>,
+    ) -> std::io::Result<LineEvent> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            // Consume a complete line if one is already buffered.
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buf.drain(..=pos).collect();
+                self.line_started = None;
+                if self.draining {
+                    self.draining = false;
+                    return Ok(LineEvent::Oversized);
+                }
+                if line.len() - 1 > self.max_line {
+                    return Ok(LineEvent::Oversized);
+                }
+                let mut end = line.len() - 1; // strip '\n'
+                if end > 0 && line[end - 1] == b'\r' {
+                    end -= 1; // fold CRLF
+                }
+                return Ok(match String::from_utf8(line[..end].to_vec()) {
+                    Ok(text) => LineEvent::Line(text),
+                    Err(_) => LineEvent::NonUtf8,
+                });
+            }
+            if self.buf.len() > self.max_line && !self.draining {
+                // Too long and still no newline: switch to drain mode.
+                self.draining = true;
+            }
+            if self.draining {
+                self.buf.clear();
+            }
+            if let Some(cutoff) = overall {
+                if Instant::now() >= cutoff {
+                    return Ok(LineEvent::TimedOut);
                 }
             }
-            "REMOVE" => {
-                if rest.is_empty() {
-                    writeln!(out, "err REMOVE requires a configuration name")?;
-                } else {
-                    match engine.remove_config(rest) {
-                        Some(_) => writeln!(out, "ok remove {rest}")?,
-                        None => writeln!(out, "err no configuration named {rest}")?,
-                    }
+            if let Some(started) = self.line_started {
+                if started.elapsed() >= line_deadline {
+                    return Ok(LineEvent::TimedOut);
                 }
             }
-            "LEARN" => {
-                engine.relearn();
-                let n = engine.contracts().map(ContractSet::len).unwrap_or(0);
-                writeln!(out, "ok learn {n} contracts")?;
-            }
-            "CHECK" => match engine.check_dirty() {
-                Ok(result) => {
-                    for v in &result.report.violations {
-                        writeln!(out, "{v}")?;
+            match self.inner.read(&mut chunk) {
+                Ok(0) => {
+                    if self.buf.is_empty() || self.draining {
+                        return Ok(LineEvent::Eof);
                     }
-                    let summary = result.report.coverage.summary();
-                    writeln!(
-                        out,
-                        "ok check {} violations; coverage {:.1}% of {} lines; dirty={} reused={}",
-                        result.report.violations.len(),
-                        summary.fraction * 100.0,
-                        summary.total_lines,
-                        result.engine.dirty_configs,
-                        result.engine.reused_configs,
-                    )?;
+                    // Trailing bytes without a newline: surface them as
+                    // a final line, then EOF on the next call.
+                    let line = std::mem::take(&mut self.buf);
+                    self.line_started = None;
+                    return Ok(match String::from_utf8(line) {
+                        Ok(text) => LineEvent::Line(text),
+                        Err(_) => LineEvent::NonUtf8,
+                    });
                 }
-                Err(e) => writeln!(out, "err {e}")?,
-            },
-            "STATS" => {
-                writeln!(
-                    out,
-                    "ok stats {}",
-                    engine.snapshot_stats().to_json().render()
-                )?;
+                Ok(n) => {
+                    if !self.draining && self.buf.is_empty() && self.line_started.is_none() {
+                        self.line_started = Some(Instant::now());
+                    }
+                    if self.line_started.is_none() {
+                        self.line_started = Some(Instant::now());
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    // Socket poll tick: loop to re-check the deadlines.
+                    continue;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
             }
-            "QUIT" => {
-                writeln!(out, "ok bye")?;
-                out.flush()?;
-                return Ok(());
-            }
-            other => writeln!(out, "err unknown command {other:?}")?,
         }
-        out.flush()?;
     }
 }
 
-/// Reads an UPSERT body up to the `.` sentinel line. `None` on EOF
-/// before the sentinel.
-fn read_body<R: BufRead>(input: &mut R) -> std::io::Result<Option<String>> {
-    let mut body = String::new();
-    let mut line = String::new();
+/// What a handled command decided about the session.
+enum Flow {
+    Continue,
+    Quit,
+}
+
+/// Runs one protocol session over arbitrary byte transports.
+///
+/// The engine outlives the session: the TCP server passes the same
+/// shared state to every connection, so edits persist across
+/// reconnects.
+pub fn serve_session<R: Read, W: Write + ?Sized>(
+    shared: &ServeShared,
+    input: R,
+    out: &mut W,
+) -> std::io::Result<()> {
+    let limits = shared.limits;
+    let mut reader = LineReader::new(input, limits.max_line);
     loop {
-        line.clear();
-        if input.read_line(&mut line)? == 0 {
-            return Ok(None);
+        match reader.next_line(limits.deadline, None)? {
+            LineEvent::Eof => return Ok(()),
+            LineEvent::Oversized => {
+                shared.reject();
+                writeln!(out, "err too-large line exceeds {} bytes", limits.max_line)?;
+                out.flush()?;
+            }
+            LineEvent::NonUtf8 => {
+                shared.reject();
+                writeln!(out, "err bad-utf8")?;
+                out.flush()?;
+            }
+            LineEvent::TimedOut => {
+                shared.deadline_hit();
+                writeln!(out, "err deadline")?;
+                out.flush()?;
+                return Ok(()); // Slow-loris: free the worker.
+            }
+            LineEvent::Line(line) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue; // Blank lines (and bare CRLF) are ignored.
+                }
+                match handle_command(shared, trimmed, &mut reader, out)? {
+                    Flow::Continue => {}
+                    Flow::Quit => return Ok(()),
+                }
+            }
         }
-        if line.trim_end_matches(['\r', '\n']) == "." {
-            return Ok(Some(body));
+    }
+}
+
+/// Dispatches one command line; may consume an UPSERT body from
+/// `reader`. Every response is flushed before returning.
+fn handle_command<R: Read, W: Write + ?Sized>(
+    shared: &ServeShared,
+    trimmed: &str,
+    reader: &mut LineReader<R>,
+    out: &mut W,
+) -> std::io::Result<Flow> {
+    let limits = shared.limits;
+    let started = Instant::now();
+    let cutoff = started + limits.deadline;
+    let (command, rest) = match trimmed.split_once(char::is_whitespace) {
+        Some((c, r)) => (c, r.trim()),
+        None => (trimmed, ""),
+    };
+    let flow = match command {
+        "UPSERT" => {
+            if rest.is_empty() {
+                shared.reject();
+                writeln!(out, "err bad-request UPSERT requires a configuration name")?;
+                Flow::Continue
+            } else {
+                match read_body(reader, limits, cutoff)? {
+                    Body::Complete(body) => {
+                        let Some(mut engine) = shared.lock_engine(cutoff) else {
+                            shared.deadline_hit();
+                            writeln!(out, "err deadline")?;
+                            out.flush()?;
+                            return Ok(Flow::Continue);
+                        };
+                        match engine.upsert(rest, &body) {
+                            Ok(id) => match engine.config_generation(rest) {
+                                Ok(Some(gen)) => {
+                                    writeln!(out, "ok upsert {rest} id={} gen={gen}", id.0)?
+                                }
+                                Ok(None) => writeln!(out, "err unknown-config {rest}")?,
+                                Err(fault) => writeln!(out, "{}", fault_line(&fault))?,
+                            },
+                            Err(fault) => writeln!(out, "{}", fault_line(&fault))?,
+                        }
+                        Flow::Continue
+                    }
+                    Body::TooLarge => {
+                        shared.reject();
+                        writeln!(out, "err too-large body exceeds {} bytes", limits.max_body)?;
+                        Flow::Continue
+                    }
+                    Body::BadUtf8 => {
+                        shared.reject();
+                        writeln!(out, "err bad-utf8")?;
+                        Flow::Continue
+                    }
+                    Body::TimedOut => {
+                        shared.deadline_hit();
+                        writeln!(out, "err deadline")?;
+                        Flow::Quit
+                    }
+                    Body::Eof => {
+                        // Disconnect mid-UPSERT: nothing reached the
+                        // engine, the next connection starts clean.
+                        writeln!(out, "err bad-request UPSERT body not terminated by `.`")?;
+                        Flow::Quit
+                    }
+                }
+            }
         }
-        body.push_str(&line);
+        "REMOVE" => {
+            if rest.is_empty() {
+                shared.reject();
+                writeln!(out, "err bad-request REMOVE requires a configuration name")?;
+            } else if let Some(mut engine) = shared.lock_engine(cutoff) {
+                match engine.remove(rest) {
+                    Ok(Some(_)) => writeln!(out, "ok remove {rest}")?,
+                    Ok(None) => writeln!(out, "err unknown-config {rest}")?,
+                    Err(fault) => writeln!(out, "{}", fault_line(&fault))?,
+                }
+            } else {
+                shared.deadline_hit();
+                writeln!(out, "err deadline")?;
+            }
+            Flow::Continue
+        }
+        "LEARN" => {
+            if let Some(mut engine) = shared.lock_engine(cutoff) {
+                match engine.relearn() {
+                    Ok(_) => match engine.contracts_len() {
+                        Ok(Some(n)) => writeln!(out, "ok learn {n} contracts")?,
+                        Ok(None) => writeln!(out, "err not-learned")?,
+                        Err(fault) => writeln!(out, "{}", fault_line(&fault))?,
+                    },
+                    Err(fault) => writeln!(out, "{}", fault_line(&fault))?,
+                }
+            } else {
+                shared.deadline_hit();
+                writeln!(out, "err deadline")?;
+            }
+            Flow::Continue
+        }
+        "CHECK" => {
+            if let Some(mut engine) = shared.lock_engine(cutoff) {
+                match engine.check() {
+                    Ok(result) => {
+                        for v in &result.report.violations {
+                            writeln!(out, "{v}")?;
+                        }
+                        let summary = result.report.coverage.summary();
+                        writeln!(
+                            out,
+                            "ok check {} violations; coverage {:.1}% of {} lines; dirty={} reused={}",
+                            result.report.violations.len(),
+                            summary.fraction * 100.0,
+                            summary.total_lines,
+                            result.engine.dirty_configs,
+                            result.engine.reused_configs,
+                        )?;
+                    }
+                    Err(fault) => writeln!(out, "{}", fault_line(&fault))?,
+                }
+            } else {
+                shared.deadline_hit();
+                writeln!(out, "err deadline")?;
+            }
+            Flow::Continue
+        }
+        "GEN" => {
+            if rest.is_empty() {
+                shared.reject();
+                writeln!(out, "err bad-request GEN requires a configuration name")?;
+            } else if let Some(engine) = shared.lock_engine(cutoff) {
+                match engine.config_generation(rest) {
+                    Ok(Some(gen)) => writeln!(out, "ok gen {rest} {gen}")?,
+                    Ok(None) => writeln!(out, "err unknown-config {rest}")?,
+                    Err(fault) => writeln!(out, "{}", fault_line(&fault))?,
+                }
+            } else {
+                shared.deadline_hit();
+                writeln!(out, "err deadline")?;
+            }
+            Flow::Continue
+        }
+        "CONTRACTS" => {
+            if let Some(engine) = shared.lock_engine(cutoff) {
+                match engine.contracts_len() {
+                    Ok(Some(n)) => writeln!(out, "ok contracts {n}")?,
+                    Ok(None) => writeln!(out, "err not-learned")?,
+                    Err(fault) => writeln!(out, "{}", fault_line(&fault))?,
+                }
+            } else {
+                shared.deadline_hit();
+                writeln!(out, "err deadline")?;
+            }
+            Flow::Continue
+        }
+        "STATS" => {
+            if let Some(mut engine) = shared.lock_engine(cutoff) {
+                engine.add_serve_counters(
+                    shared.requests_rejected.load(Ordering::Relaxed),
+                    shared.deadlines_hit.load(Ordering::Relaxed),
+                );
+                match engine.snapshot_stats() {
+                    Ok(stats) => writeln!(out, "ok stats {}", stats.to_json().render())?,
+                    Err(fault) => writeln!(out, "{}", fault_line(&fault))?,
+                }
+            } else {
+                shared.deadline_hit();
+                writeln!(out, "err deadline")?;
+            }
+            Flow::Continue
+        }
+        "CHECKPOINT" => {
+            if let Some(mut engine) = shared.lock_engine(cutoff) {
+                if engine.checkpoint() {
+                    writeln!(out, "ok checkpoint")?;
+                } else {
+                    writeln!(out, "err persist checkpoint failed or no --state-dir")?;
+                }
+            } else {
+                shared.deadline_hit();
+                writeln!(out, "err deadline")?;
+            }
+            Flow::Continue
+        }
+        "FAULT" if shared.faults_enabled => {
+            match OpKind::parse(rest) {
+                Some(kind) => {
+                    if let Some(mut engine) = shared.lock_engine(cutoff) {
+                        engine.arm_panic(kind);
+                        writeln!(out, "ok fault armed {rest}")?;
+                    } else {
+                        shared.deadline_hit();
+                        writeln!(out, "err deadline")?;
+                    }
+                }
+                None => {
+                    shared.reject();
+                    writeln!(out, "err bad-request unknown fault kind {rest:?}")?;
+                }
+            }
+            Flow::Continue
+        }
+        "QUIT" => {
+            writeln!(out, "ok bye")?;
+            Flow::Quit
+        }
+        other => {
+            shared.reject();
+            writeln!(out, "err unknown-command {other:?}")?;
+            Flow::Continue
+        }
+    };
+    out.flush()?;
+    Ok(flow)
+}
+
+/// The outcome of reading an UPSERT body.
+enum Body {
+    /// Body read fully (CRLF folded to LF, sentinel consumed).
+    Complete(String),
+    /// The body (or one of its lines) exceeded a limit; the rest was
+    /// drained to the sentinel so the session can continue.
+    TooLarge,
+    /// A body line was not valid UTF-8 (drained to the sentinel).
+    BadUtf8,
+    /// The deadline elapsed mid-body.
+    TimedOut,
+    /// The client disconnected before the sentinel.
+    Eof,
+}
+
+/// Reads an UPSERT body up to the `.` sentinel line, enforcing the
+/// body byte limit and the request deadline.
+fn read_body<R: Read>(
+    reader: &mut LineReader<R>,
+    limits: ServeLimits,
+    cutoff: Instant,
+) -> std::io::Result<Body> {
+    let mut body = String::new();
+    let mut failed: Option<Body> = None;
+    loop {
+        match reader.next_line(limits.deadline, Some(cutoff))? {
+            LineEvent::Eof => return Ok(Body::Eof),
+            LineEvent::TimedOut => return Ok(Body::TimedOut),
+            LineEvent::Oversized => {
+                failed.get_or_insert(Body::TooLarge);
+            }
+            LineEvent::NonUtf8 => {
+                failed.get_or_insert(Body::BadUtf8);
+            }
+            LineEvent::Line(line) => {
+                if line.trim_end_matches(['\r', '\n']) == "." {
+                    return Ok(failed.unwrap_or(Body::Complete(body)));
+                }
+                if failed.is_none() {
+                    body.push_str(&line);
+                    body.push('\n');
+                    if body.len() > limits.max_body {
+                        body.clear();
+                        failed = Some(Body::TooLarge);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Renders an [`EngineFault`] as a protocol error line. Messages are
+/// flattened to one line so the framing survives arbitrary panic text.
+fn fault_line(fault: &EngineFault) -> String {
+    let one_line = |s: &str| s.replace(['\n', '\r'], " ");
+    match fault {
+        EngineFault::UnknownConfig(name) => format!("err unknown-config {}", one_line(name)),
+        EngineFault::NoContracts => "err no contracts loaded".to_string(),
+        EngineFault::BadContracts(e) => format!("err bad-request {}", one_line(e)),
+        EngineFault::Panicked(msg) => format!("err internal {}", one_line(msg)),
+        EngineFault::Persist(e) => format!("err persist {}", one_line(e)),
+        EngineFault::Poisoned => "err poisoned".to_string(),
     }
 }
 
@@ -229,8 +752,8 @@ mod tests {
     use super::*;
     use std::io::Cursor;
 
-    fn fresh_engine() -> Engine {
-        let corpus: Vec<(String, String)> = (0..6)
+    fn corpus() -> Vec<(String, String)> {
+        (0..6)
             .map(|i| {
                 (
                     format!("dev{i}"),
@@ -241,21 +764,37 @@ mod tests {
                     ),
                 )
             })
-            .collect();
-        Engine::from_corpus(&corpus, &[], EngineOptions::default()).unwrap()
+            .collect()
     }
 
-    fn session(engine: &mut Engine, script: &str) -> String {
+    fn fresh_shared() -> ServeShared {
+        let engine = ResilientEngine::new(
+            &corpus(),
+            &[],
+            concord_lexer::Lexer::standard(),
+            EngineOptions::default(),
+        )
+        .unwrap();
+        ServeShared::new(engine, ServeLimits::default(), true)
+    }
+
+    fn session(shared: &ServeShared, script: &str) -> String {
         let mut out = Vec::new();
-        serve_session(engine, Cursor::new(script.to_string()), &mut out).unwrap();
+        serve_session(shared, Cursor::new(script.as_bytes().to_vec()), &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    fn session_bytes(shared: &ServeShared, script: &[u8]) -> String {
+        let mut out = Vec::new();
+        serve_session(shared, Cursor::new(script.to_vec()), &mut out).unwrap();
         String::from_utf8(out).unwrap()
     }
 
     #[test]
     fn scripted_session_learns_edits_and_checks() {
-        let mut engine = fresh_engine();
+        let shared = fresh_shared();
         let out = session(
-            &mut engine,
+            &shared,
             "LEARN\nCHECK\nUPSERT dev0\nhostname DEV100\nvlan 250\n.\nCHECK\nQUIT\n",
         );
         assert!(out.contains("ok learn"), "{out}");
@@ -268,46 +807,176 @@ mod tests {
 
     #[test]
     fn session_state_persists_across_sessions() {
-        // Reconnecting (a second session on the same engine) sees the
-        // first session's edits — the engine outlives the transport.
-        let mut engine = fresh_engine();
-        session(&mut engine, "LEARN\nCHECK\nREMOVE dev5\n");
-        let out = session(&mut engine, "CHECK\nSTATS\n");
+        // Reconnecting (a second session on the same shared state) sees
+        // the first session's edits — the engine outlives the transport.
+        let shared = fresh_shared();
+        session(&shared, "LEARN\nCHECK\nREMOVE dev5\n");
+        let out = session(&shared, "CHECK\nSTATS\n");
         assert!(out.contains("dirty=0 reused=5"), "{out}");
         assert!(out.contains("\"edits\":1"), "{out}");
     }
 
     #[test]
-    fn errors_are_reported_inline() {
-        let mut engine = fresh_engine();
+    fn errors_are_reported_inline_and_engine_stays_usable() {
+        let shared = fresh_shared();
         let out = session(
-            &mut engine,
-            "CHECK\nREMOVE nope\nUPSERT\nFLY\nREMOVE\nQUIT\n",
+            &shared,
+            "CHECK\nREMOVE nope\nUPSERT\nFLY\nREMOVE\nGEN nope\nLEARN\nCHECK\nQUIT\n",
         );
         assert!(out.contains("err no contracts loaded"), "{out}");
-        assert!(out.contains("err no configuration named nope"), "{out}");
-        assert!(out.contains("err UPSERT requires"), "{out}");
-        assert!(out.contains("err unknown command \"FLY\""), "{out}");
-        assert!(out.contains("err REMOVE requires"), "{out}");
+        assert!(out.contains("err unknown-config nope"), "{out}");
+        assert!(out.contains("err bad-request UPSERT requires"), "{out}");
+        assert!(out.contains("err unknown-command \"FLY\""), "{out}");
+        assert!(out.contains("err bad-request REMOVE requires"), "{out}");
+        // And after all those errors the engine still works.
+        assert!(out.contains("ok learn"), "{out}");
+        assert!(out.contains("ok check 0 violations"), "{out}");
     }
 
     #[test]
-    fn unterminated_upsert_body_ends_session() {
-        let mut engine = fresh_engine();
-        let out = session(&mut engine, "UPSERT dev9\nvlan 1\n");
-        assert!(out.contains("err UPSERT body not terminated"), "{out}");
+    fn unknown_config_generation_is_an_error_not_zero() {
+        let shared = fresh_shared();
+        let out = session(&shared, "GEN dev0\nGEN ghost\nQUIT\n");
+        assert!(out.contains("ok gen dev0 0"), "{out}");
+        assert!(out.contains("err unknown-config ghost"), "{out}");
     }
 
     #[test]
-    fn stats_is_one_json_line() {
-        let mut engine = fresh_engine();
-        let out = session(&mut engine, "STATS\n");
-        let json_part = out
-            .strip_prefix("ok stats ")
-            .expect("stats prefix")
-            .trim_end();
+    fn contracts_before_learn_is_not_learned_not_zero() {
+        let shared = fresh_shared();
+        let out = session(&shared, "CONTRACTS\nLEARN\nCONTRACTS\nQUIT\n");
+        assert!(out.contains("err not-learned"), "{out}");
+        assert!(out.contains("ok contracts"), "{out}");
+        assert!(!out.contains("ok contracts 0"), "{out}");
+    }
+
+    #[test]
+    fn unterminated_upsert_body_ends_session_without_touching_engine() {
+        let shared = fresh_shared();
+        let out = session(&shared, "UPSERT dev9\nvlan 1\n");
+        assert!(
+            out.contains("err bad-request UPSERT body not terminated"),
+            "{out}"
+        );
+        // dev9 must NOT exist: the partial body never reached the engine.
+        let out = session(&shared, "GEN dev9\nQUIT\n");
+        assert!(out.contains("err unknown-config dev9"), "{out}");
+    }
+
+    #[test]
+    fn crlf_lines_are_equivalent_to_lf() {
+        let shared = fresh_shared();
+        let lf = session(&shared, "LEARN\nUPSERT dev0\nvlan 1\n.\nCHECK\nQUIT\n");
+        let shared2 = fresh_shared();
+        let crlf = session(
+            &shared2,
+            "LEARN\r\nUPSERT dev0\r\nvlan 1\r\n.\r\nCHECK\r\nQUIT\r\n",
+        );
+        assert_eq!(lf, crlf);
+    }
+
+    #[test]
+    fn non_utf8_input_is_rejected_and_session_continues() {
+        let shared = fresh_shared();
+        let mut script = Vec::new();
+        script.extend_from_slice(b"LEARN\n");
+        script.extend_from_slice(&[0xFF, 0xFE, 0x80, b'\n']);
+        script.extend_from_slice(b"CHECK\nQUIT\n");
+        let out = session_bytes(&shared, &script);
+        assert!(out.contains("err bad-utf8"), "{out}");
+        assert!(out.contains("ok check 0 violations"), "{out}");
+        assert!(out.ends_with("ok bye\n"), "{out}");
+    }
+
+    #[test]
+    fn oversized_line_is_rejected_and_session_continues() {
+        let engine = ResilientEngine::new(
+            &corpus(),
+            &[],
+            concord_lexer::Lexer::standard(),
+            EngineOptions::default(),
+        )
+        .unwrap();
+        let limits = ServeLimits {
+            max_line: 64,
+            ..ServeLimits::default()
+        };
+        let shared = ServeShared::new(engine, limits, false);
+        let long = "X".repeat(1000);
+        let out = session(&shared, &format!("{long}\nLEARN\nQUIT\n"));
+        assert!(out.contains("err too-large"), "{out}");
+        assert!(out.contains("ok learn"), "{out}");
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_but_engine_stays_clean() {
+        let engine = ResilientEngine::new(
+            &corpus(),
+            &[],
+            concord_lexer::Lexer::standard(),
+            EngineOptions::default(),
+        )
+        .unwrap();
+        let limits = ServeLimits {
+            max_body: 32,
+            ..ServeLimits::default()
+        };
+        let shared = ServeShared::new(engine, limits, false);
+        let big_body = "vlan 1\n".repeat(20);
+        let out = session(
+            &shared,
+            &format!("UPSERT huge\n{big_body}.\nGEN huge\nQUIT\n"),
+        );
+        assert!(out.contains("err too-large"), "{out}");
+        assert!(out.contains("err unknown-config huge"), "{out}");
+    }
+
+    #[test]
+    fn fault_verb_arms_a_panic_and_recovery_matches_oracle() {
+        let shared = fresh_shared();
+        let clean = session(&shared, "LEARN\nCHECK\n");
+        let check_line = clean
+            .lines()
+            .find(|l| l.starts_with("ok check"))
+            .unwrap()
+            .to_string();
+        let out = session(&shared, "FAULT check\nCHECK\nCHECK\nQUIT\n");
+        assert!(out.contains("ok fault armed check"), "{out}");
+        assert!(out.contains("err internal injected fault"), "{out}");
+        // The recovered engine re-checks from scratch, same answer.
+        assert!(out.contains(&check_line), "{out}");
+    }
+
+    #[test]
+    fn fault_verb_is_refused_without_opt_in() {
+        let engine = ResilientEngine::new(
+            &corpus(),
+            &[],
+            concord_lexer::Lexer::standard(),
+            EngineOptions::default(),
+        )
+        .unwrap();
+        let shared = ServeShared::new(engine, ServeLimits::default(), false);
+        let out = session(&shared, "FAULT check\nQUIT\n");
+        assert!(out.contains("err unknown-command \"FAULT\""), "{out}");
+    }
+
+    #[test]
+    fn stats_is_one_json_line_with_robustness() {
+        let shared = fresh_shared();
+        let out = session(&shared, "NOPE\nSTATS\n");
+        let stats_line = out
+            .lines()
+            .find(|l| l.starts_with("ok stats "))
+            .expect("stats line");
+        let json_part = stats_line.strip_prefix("ok stats ").unwrap();
         let json = concord_json::Json::parse(json_part).expect("valid JSON");
         assert_eq!(json["configs"].as_u64(), Some(6));
         assert!(json["contracts"].is_null());
+        assert_eq!(
+            json["robustness"]["requests_rejected"].as_u64(),
+            Some(1),
+            "{json_part}"
+        );
     }
 }

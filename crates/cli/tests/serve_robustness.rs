@@ -1,0 +1,535 @@
+//! Robustness tests for `concord serve`: concurrent clients with a
+//! misbehaving peer, bounded-queue load shedding, kill -9 + restart
+//! recovery through `--state-dir`, and a seeded protocol-garbage soak.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A `Write` the server thread and the test can share: the test polls
+/// it for the `listening on <addr>` line to learn the port.
+#[derive(Clone, Default)]
+struct SharedOut(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedOut {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl SharedOut {
+    fn text(&self) -> String {
+        String::from_utf8_lossy(&self.0.lock().unwrap()).into_owned()
+    }
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("concord-robust-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_corpus(dir: &Path) -> String {
+    for i in 0..6 {
+        std::fs::write(
+            dir.join(format!("dev{i}.cfg")),
+            format!(
+                "hostname DEV{}\nrouter bgp 65000\nvlan {}\n",
+                100 + i,
+                250 + i
+            ),
+        )
+        .unwrap();
+    }
+    format!("{}/*.cfg", dir.display())
+}
+
+/// Starts an in-process server thread and waits for its address. The
+/// thread is leaked (the server runs until the test process exits).
+fn spawn_server(argv: Vec<String>) -> (String, SharedOut) {
+    let out = SharedOut::default();
+    {
+        let mut out = out.clone();
+        std::thread::spawn(move || concord_cli::run(&argv, &mut out));
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let addr = loop {
+        let text = out.text();
+        if let Some(line) = text.lines().find(|l| l.starts_with("listening on ")) {
+            break line["listening on ".len()..].to_string();
+        }
+        assert!(Instant::now() < deadline, "server never announced: {text}");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    (addr, out)
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    fn send(&mut self, s: &str) -> std::io::Result<()> {
+        self.writer.write_all(s.as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Reads response lines through the terminating `ok`/`err` line.
+    fn read_block(&mut self) -> std::io::Result<Vec<String>> {
+        let mut lines = Vec::new();
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    format!("connection closed early: {lines:?}"),
+                ));
+            }
+            let trimmed = line.trim_end().to_string();
+            let done = trimmed.starts_with("ok ") || trimmed.starts_with("err ") || trimmed == "ok";
+            lines.push(trimmed);
+            if done {
+                return Ok(lines);
+            }
+        }
+    }
+}
+
+#[test]
+fn eight_clients_survive_a_misbehaving_peer() {
+    let dir = tempdir("clients");
+    let configs = write_corpus(&dir);
+    let argv: Vec<String> = [
+        "serve",
+        "--configs",
+        &configs,
+        "--listen",
+        "127.0.0.1:0",
+        "--workers",
+        "8",
+        "--deadline-ms",
+        "800",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let (addr, _out) = spawn_server(argv);
+
+    // Setup: learn once, and capture the steady-state CHECK block every
+    // well-behaved client must see byte-for-byte.
+    let mut setup = Client::connect(&addr).unwrap();
+    setup.send("LEARN\n").unwrap();
+    assert!(setup
+        .read_block()
+        .unwrap()
+        .last()
+        .unwrap()
+        .starts_with("ok learn"));
+    setup.send("CHECK\n").unwrap();
+    setup.read_block().unwrap(); // first check: everything dirty
+    setup.send("CHECK\n").unwrap();
+    let clean_check = setup.read_block().unwrap();
+    assert!(
+        clean_check
+            .last()
+            .unwrap()
+            .starts_with("ok check 0 violations"),
+        "{clean_check:?}"
+    );
+    setup.send("QUIT\n").unwrap();
+    setup.read_block().unwrap();
+
+    // Misbehaving peer 1: slow-loris. Trickles a partial command slower
+    // than the deadline; the server must cut it loose, not stall a
+    // worker forever.
+    let loris_addr = addr.clone();
+    let loris = std::thread::spawn(move || {
+        let mut client = Client::connect(&loris_addr).unwrap();
+        client.send("CHE").unwrap();
+        let mut cut_off = false;
+        for _ in 0..30 {
+            std::thread::sleep(Duration::from_millis(100));
+            if client.send("C").is_err() {
+                cut_off = true;
+                break;
+            }
+        }
+        if !cut_off {
+            // The server may have answered instead of resetting; either
+            // way the connection must be finished.
+            let mut buf = String::new();
+            // An Err here is a reset, which also counts as a cut-off.
+            if client.reader.read_to_string(&mut buf).is_ok() {
+                assert!(buf.contains("err deadline"), "loris got: {buf:?}");
+            }
+        }
+    });
+
+    // Misbehaving peer 2: oversized request line, then a normal command
+    // on the same connection (the session must survive the rejection).
+    let big_addr = addr.clone();
+    let oversized = std::thread::spawn(move || {
+        let mut client = Client::connect(&big_addr).unwrap();
+        let mut line = vec![b'x'; 128 * 1024];
+        line.push(b'\n');
+        client.writer.write_all(&line).unwrap();
+        client.writer.flush().unwrap();
+        let block = client.read_block().unwrap();
+        assert!(
+            block.last().unwrap().starts_with("err too-large"),
+            "{block:?}"
+        );
+        client.send("GEN dev1\nQUIT\n").unwrap();
+        let gen = client.read_block().unwrap();
+        assert_eq!(gen.last().unwrap(), "ok gen dev1 0");
+    });
+
+    // Eight well-behaved clients, concurrent with the misbehaving pair.
+    // `err busy` is legitimate load shedding, so clients retry.
+    let mut clients = Vec::new();
+    for c in 0..8 {
+        let addr = addr.clone();
+        let want_check = clean_check.clone();
+        clients.push(std::thread::spawn(move || {
+            let deadline = Instant::now() + Duration::from_secs(20);
+            loop {
+                assert!(Instant::now() < deadline, "client {c} starved");
+                let attempt = (|| -> std::io::Result<bool> {
+                    let mut client = Client::connect(&addr)?;
+                    client.send("GEN dev0\nCHECK\nQUIT\n")?;
+                    let gen = client.read_block()?;
+                    if gen.last().map(String::as_str) == Some("err busy") {
+                        return Ok(false); // shed: retry
+                    }
+                    assert_eq!(gen.last().unwrap(), "ok gen dev0 0", "client {c}: {gen:?}");
+                    let check = client.read_block()?;
+                    assert_eq!(check, want_check, "client {c}");
+                    let bye = client.read_block()?;
+                    assert_eq!(bye.last().unwrap(), "ok bye", "client {c}");
+                    Ok(true)
+                })();
+                match attempt {
+                    Ok(true) => return,
+                    Ok(false) | Err(_) => std::thread::sleep(Duration::from_millis(50)),
+                }
+            }
+        }));
+    }
+
+    for handle in clients {
+        handle.join().expect("well-behaved client");
+    }
+    oversized.join().expect("oversized client");
+    loris.join().expect("slow-loris client");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn saturated_pool_sheds_load_with_err_busy() {
+    let dir = tempdir("busy");
+    let configs = write_corpus(&dir);
+    let argv: Vec<String> = [
+        "serve",
+        "--configs",
+        &configs,
+        "--listen",
+        "127.0.0.1:0",
+        "--workers",
+        "1",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let (addr, _out) = spawn_server(argv);
+
+    // A occupies the only worker; B fills the one-deep hand-off queue.
+    let mut a = Client::connect(&addr).unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    let mut b = Client::connect(&addr).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // C must be shed immediately with a structured error.
+    let mut c = Client::connect(&addr).unwrap();
+    let shed = c.read_block().unwrap();
+    assert_eq!(shed.last().unwrap(), "err busy", "{shed:?}");
+
+    // Once A quits, the queued B is served normally.
+    a.send("QUIT\n").unwrap();
+    assert_eq!(a.read_block().unwrap().last().unwrap(), "ok bye");
+    b.send("GEN dev0\nQUIT\n").unwrap();
+    assert_eq!(b.read_block().unwrap().last().unwrap(), "ok gen dev0 0");
+    assert_eq!(b.read_block().unwrap().last().unwrap(), "ok bye");
+
+    // The shed shows up in the robustness counters.
+    let mut d = Client::connect(&addr).unwrap();
+    d.send("STATS\nQUIT\n").unwrap();
+    let stats = d.read_block().unwrap();
+    let json_part = stats
+        .last()
+        .unwrap()
+        .strip_prefix("ok stats ")
+        .expect("stats line");
+    let json = concord_json::Json::parse(json_part).unwrap();
+    assert!(
+        json["robustness"]["requests_rejected"].as_u64().unwrap() >= 1,
+        "{json_part}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Spawns the real `concord` binary serving on an OS port, returning
+/// the child and its announced address.
+fn spawn_binary(args: &[&str]) -> (Child, BufReader<std::process::ChildStdout>, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_concord"))
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn concord serve");
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        assert!(
+            stdout.read_line(&mut line).unwrap() > 0,
+            "server exited before announcing"
+        );
+        if let Some(rest) = line.trim_end().strip_prefix("listening on ") {
+            break rest.to_string();
+        }
+    };
+    (child, stdout, addr)
+}
+
+/// The mutation script both the interrupted and the control run apply.
+fn apply_edits(client: &mut Client) {
+    client.send("LEARN\n").unwrap();
+    assert!(client
+        .read_block()
+        .unwrap()
+        .last()
+        .unwrap()
+        .starts_with("ok learn"));
+    client
+        .send("UPSERT dev0\nhostname DEV100\nvlan 250\n.\n")
+        .unwrap();
+    assert!(client
+        .read_block()
+        .unwrap()
+        .last()
+        .unwrap()
+        .starts_with("ok upsert dev0"));
+    client.send("REMOVE dev5\n").unwrap();
+    assert_eq!(
+        client.read_block().unwrap().last().unwrap(),
+        "ok remove dev5"
+    );
+}
+
+/// Reads the CHECK block and the STATS generations from a session.
+fn observe(client: &mut Client) -> (Vec<String>, String, concord_json::Json) {
+    client.send("CHECK\n").unwrap();
+    let check = client.read_block().unwrap();
+    client.send("STATS\n").unwrap();
+    let stats = client.read_block().unwrap();
+    let json_part = stats
+        .last()
+        .unwrap()
+        .strip_prefix("ok stats ")
+        .expect("stats line")
+        .to_string();
+    let json = concord_json::Json::parse(&json_part).unwrap();
+    let generations = json["generations"].render();
+    (check, generations, json)
+}
+
+#[test]
+fn kill_nine_then_restart_resumes_byte_identical() {
+    let corpus_dir = tempdir("kill-corpus");
+    let configs = write_corpus(&corpus_dir);
+    let state_a = tempdir("kill-state-a");
+    let state_b = tempdir("kill-state-b");
+    let state_a_arg = state_a.display().to_string();
+    let state_b_arg = state_b.display().to_string();
+
+    // Interrupted run: apply the edits, then SIGKILL without QUIT or
+    // an explicit checkpoint — recovery must come from the WAL.
+    let (mut child, _stdout, addr) = spawn_binary(&[
+        "serve",
+        "--configs",
+        &configs,
+        "--state-dir",
+        &state_a_arg,
+        "--listen",
+        "127.0.0.1:0",
+    ]);
+    let mut client = Client::connect(&addr).unwrap();
+    apply_edits(&mut client);
+    child.kill().expect("kill -9");
+    child.wait().expect("reap");
+
+    // Restart on the same state dir (no --configs: the durable state is
+    // the truth) and observe.
+    let (mut child, _stdout, addr) = spawn_binary(&[
+        "serve",
+        "--state-dir",
+        &state_a_arg,
+        "--listen",
+        "127.0.0.1:0",
+        "--once",
+    ]);
+    let mut client = Client::connect(&addr).unwrap();
+    let (check_a, gens_a, json_a) = observe(&mut client);
+    client.send("QUIT\n").unwrap();
+    let _ = client.read_block();
+    child.wait().expect("reap restarted server");
+
+    // Control run: the same edits, never interrupted.
+    let (mut child, _stdout, addr) = spawn_binary(&[
+        "serve",
+        "--configs",
+        &configs,
+        "--state-dir",
+        &state_b_arg,
+        "--listen",
+        "127.0.0.1:0",
+        "--once",
+    ]);
+    let mut client = Client::connect(&addr).unwrap();
+    apply_edits(&mut client);
+    let (check_b, gens_b, _json_b) = observe(&mut client);
+    client.send("QUIT\n").unwrap();
+    let _ = client.read_block();
+    child.wait().expect("reap control server");
+
+    assert_eq!(
+        check_a, check_b,
+        "post-restart CHECK must be byte-identical"
+    );
+    assert_eq!(gens_a, gens_b, "post-restart generations must match");
+    assert!(
+        check_a.iter().any(|l| l.contains("missing required line")),
+        "the edit must actually trip a contract: {check_a:?}"
+    );
+    assert!(
+        json_a["robustness"]["wal_replays"].as_u64().unwrap() >= 1,
+        "restart must have replayed the WAL"
+    );
+
+    for dir in [&corpus_dir, &state_a, &state_b] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn protocol_garbage_soak_leaves_reports_byte_identical() {
+    use concord_engine::fault::FaultPlan;
+    use concord_engine::{EngineOptions, ResilientEngine};
+    use std::io::Cursor;
+
+    let corpus: Vec<(String, String)> = (0..6)
+        .map(|i| {
+            (
+                format!("dev{i}"),
+                format!(
+                    "hostname DEV{}\nrouter bgp 65000\nvlan {}\n",
+                    100 + i,
+                    250 + i
+                ),
+            )
+        })
+        .collect();
+    let engine = ResilientEngine::new(
+        &corpus,
+        &[],
+        concord_lexer::Lexer::standard(),
+        EngineOptions::default(),
+    )
+    .unwrap();
+    let limits = concord_cli::ServeLimits {
+        max_line: 1024,
+        max_body: 4096,
+        ..Default::default()
+    };
+    let shared = concord_cli::ServeShared::new(engine, limits, true);
+
+    let session = |script: &[u8]| -> String {
+        let mut out = Vec::new();
+        concord_cli::serve_session(&shared, Cursor::new(script.to_vec()), &mut out).unwrap();
+        String::from_utf8_lossy(&out).into_owned()
+    };
+
+    // The invariant signature: violations + the report summary, minus
+    // the dirty/reused performance counters (a post-panic rebuild
+    // legitimately recomputes everything).
+    let signature = |out: &str| -> String {
+        out.lines()
+            .filter(|l| !l.starts_with("ok ") || l.starts_with("ok check"))
+            .filter(|l| !l.starts_with("err"))
+            .map(|l| l.split("; dirty=").next().unwrap())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+
+    let baseline = session(b"LEARN\nCHECK\nQUIT\n");
+    let want = signature(&baseline);
+    assert!(want.contains("ok check 0 violations"), "{baseline}");
+
+    let mut plan = FaultPlan::new(7);
+    for step in 0..24 {
+        // One hostile session per step: garbage, an oversized line, a
+        // mid-UPSERT disconnect, or an injected engine panic.
+        let mut script: Vec<u8> = Vec::new();
+        match step % 4 {
+            0 => {
+                script.extend_from_slice(&plan.garbage_line(200));
+                script.push(b'\n');
+                script.extend_from_slice(b"QUIT\n");
+            }
+            1 => {
+                script.extend_from_slice(&plan.oversized_line(1024));
+                script.push(b'\n');
+                script.extend_from_slice(b"QUIT\n");
+            }
+            2 => {
+                // Disconnect mid-UPSERT: the script simply ends.
+                script.extend_from_slice(b"UPSERT dev0\nhostname HACKED\n");
+            }
+            _ => {
+                script.extend_from_slice(b"FAULT check\nCHECK\nQUIT\n");
+            }
+        }
+        let hostile = session(&script);
+        assert!(
+            !hostile.contains("ok upsert"),
+            "step {step}: hostile input mutated the engine: {hostile}"
+        );
+
+        // After every hostile session, a clean client still gets the
+        // exact same report.
+        let after = session(b"CHECK\nQUIT\n");
+        assert_eq!(
+            signature(&after),
+            want,
+            "step {step}: report drifted after hostile session {script:?}"
+        );
+    }
+}

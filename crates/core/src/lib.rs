@@ -74,5 +74,6 @@ pub use learn::learn_reference;
 pub use learn::{learn, learn_with_stats, LearnStats};
 pub use params::LearnParams;
 pub use stats::{
-    BuildStats, CheckStats, EngineCheckStats, EngineStats, PipelineStats, STATS_SCHEMA,
+    BuildStats, CheckStats, EngineCheckStats, EngineStats, PipelineStats, RobustnessStats,
+    STATS_SCHEMA,
 };

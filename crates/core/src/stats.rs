@@ -21,8 +21,11 @@ use crate::learn::LearnStats;
 /// `relational_merge_secs`, `fanout_truncations`) to the `learn` stage;
 /// v4 added the `engine` stage (incremental-engine counters: edits
 /// absorbed, dirty vs reused configurations, reused lex entries, patched
-/// vs rebuilt witness indexes).
-pub const STATS_SCHEMA: &str = "concord-pipeline-stats/v4";
+/// vs rebuilt witness indexes); v5 added the robustness counters
+/// (`engine.robustness`: requests rejected, deadlines hit, panics
+/// recovered, WAL replays, degraded checks), per-configuration edit
+/// generations (`engine.generations`), and lex-cache evictions.
+pub const STATS_SCHEMA: &str = "concord-pipeline-stats/v5";
 
 /// Statistics from one [`Dataset::build_with_stats`](crate::Dataset::build_with_stats) run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -207,6 +210,50 @@ impl ToJson for EngineCheckStats {
     }
 }
 
+/// Robustness counters of a fault-tolerant resident engine
+/// (`ResilientEngine` in `concord-engine` plus the `concord serve`
+/// transport layer): how often the hardening machinery actually fired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RobustnessStats {
+    /// Requests refused before touching the engine: load shedding
+    /// (`err busy`), oversized lines/bodies, malformed or non-UTF-8
+    /// input.
+    pub requests_rejected: u64,
+    /// Requests that hit their deadline (slow reads or engine-lock
+    /// waits) and were answered with `err deadline`.
+    pub deadlines_hit: u64,
+    /// Worker panics caught, after which the engine was rebuilt from its
+    /// last-known-good image.
+    pub panics_recovered: u64,
+    /// Startup recoveries that replayed a write-ahead log.
+    pub wal_replays: u64,
+    /// Individual WAL records applied across all replays.
+    pub wal_records_replayed: u64,
+    /// Snapshot checkpoints written (atomic rename + WAL rotation).
+    pub checkpoints: u64,
+    /// Checks served from a freshly rebuilt (post-recovery) engine — a
+    /// full recompute instead of the incremental path.
+    pub degraded_checks: u64,
+    /// Persistence failures swallowed without losing in-memory state
+    /// (WAL append or checkpoint I/O errors).
+    pub persist_errors: u64,
+}
+
+impl ToJson for RobustnessStats {
+    fn to_json(&self) -> Json {
+        concord_json::json!({
+            "requests_rejected": self.requests_rejected,
+            "deadlines_hit": self.deadlines_hit,
+            "panics_recovered": self.panics_recovered,
+            "wal_replays": self.wal_replays,
+            "wal_records_replayed": self.wal_records_replayed,
+            "checkpoints": self.checkpoints,
+            "degraded_checks": self.degraded_checks,
+            "persist_errors": self.persist_errors,
+        })
+    }
+}
+
 /// A snapshot of a resident incremental engine (`Engine::snapshot_stats`
 /// in `concord-engine`): the versioned dataset, the edit/relearn history,
 /// and the lex-cache reuse across all edits absorbed so far.
@@ -234,12 +281,27 @@ pub struct EngineStats {
     pub lex_cache_hits: u64,
     /// Lex-cache misses across the engine's lifetime.
     pub lex_cache_misses: u64,
+    /// Lex-cache evictions (0 for an unbounded cache).
+    pub lex_cache_evictions: u64,
+    /// Per-configuration edit generations in dataset order: `(name,
+    /// generation)`. Survives crash recovery, so a restarted engine
+    /// reports the same generations as an uninterrupted one.
+    pub generations: Vec<(String, u64)>,
     /// Counters of the most recent `check_dirty` call.
     pub last_check: Option<EngineCheckStats>,
+    /// Fault-tolerance counters, when the engine runs behind the
+    /// hardened serve layer (`None` for a bare `Engine`).
+    pub robustness: Option<RobustnessStats>,
 }
 
 impl ToJson for EngineStats {
     fn to_json(&self) -> Json {
+        let generations = Json::Object(
+            self.generations
+                .iter()
+                .map(|(name, gen)| (name.clone(), gen.to_json()))
+                .collect(),
+        );
         concord_json::json!({
             "configs": self.configs,
             "lines": self.lines,
@@ -252,8 +314,11 @@ impl ToJson for EngineStats {
             "lex_cache": concord_json::json!({
                 "hits": self.lex_cache_hits,
                 "misses": self.lex_cache_misses,
+                "evictions": self.lex_cache_evictions,
             }),
+            "generations": generations,
             "last_check": self.last_check,
+            "robustness": self.robustness,
         })
     }
 }
@@ -363,9 +428,21 @@ impl PipelineStats {
                 e.configs, e.lines, e.patterns, e.edits, e.relearns, e.dirty_configs,
             ));
             out.push_str(&format!(
-                "  staleness {:.3}; lex cache {} hits / {} misses\n",
-                e.staleness, e.lex_cache_hits, e.lex_cache_misses,
+                "  staleness {:.3}; lex cache {} hits / {} misses / {} evictions\n",
+                e.staleness, e.lex_cache_hits, e.lex_cache_misses, e.lex_cache_evictions,
             ));
+            if let Some(r) = &e.robustness {
+                out.push_str(&format!(
+                    "  robustness: {} rejected, {} deadlines, {} panics recovered, {} WAL replays ({} records), {} checkpoints, {} degraded checks\n",
+                    r.requests_rejected,
+                    r.deadlines_hit,
+                    r.panics_recovered,
+                    r.wal_replays,
+                    r.wal_records_replayed,
+                    r.checkpoints,
+                    r.degraded_checks,
+                ));
+            }
             if let Some(c) = &e.last_check {
                 out.push_str(&format!(
                     "  last check: {} dirty / {} reused configs; witness indexes {} rebuilt / {} patched{}\n",
@@ -440,12 +517,24 @@ mod tests {
                 staleness: 0.125,
                 lex_cache_hits: 90,
                 lex_cache_misses: 30,
+                lex_cache_evictions: 4,
+                generations: vec![("dev0".to_string(), 2), ("dev1".to_string(), 0)],
                 last_check: Some(EngineCheckStats {
                     dirty_configs: 1,
                     reused_configs: 3,
                     resolution_invalidated: false,
                     witness_indexes_rebuilt: 2,
                     witness_indexes_patched: 6,
+                }),
+                robustness: Some(RobustnessStats {
+                    requests_rejected: 5,
+                    deadlines_hit: 2,
+                    panics_recovered: 1,
+                    wal_replays: 1,
+                    wal_records_replayed: 12,
+                    checkpoints: 3,
+                    degraded_checks: 1,
+                    persist_errors: 0,
                 }),
             }),
             total_time: Duration::from_millis(80),
@@ -476,6 +565,25 @@ mod tests {
         assert_eq!(json["engine"]["edits"].as_u64(), Some(3));
         assert_eq!(json["engine"]["dirty_configs"].as_u64(), Some(1));
         assert_eq!(json["engine"]["lex_cache"]["hits"].as_u64(), Some(90));
+        assert_eq!(json["engine"]["lex_cache"]["evictions"].as_u64(), Some(4));
+        assert_eq!(json["engine"]["generations"]["dev0"].as_u64(), Some(2));
+        assert_eq!(json["engine"]["generations"]["dev1"].as_u64(), Some(0));
+        assert_eq!(
+            json["engine"]["robustness"]["panics_recovered"].as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            json["engine"]["robustness"]["requests_rejected"].as_u64(),
+            Some(5)
+        );
+        assert_eq!(
+            json["engine"]["robustness"]["wal_records_replayed"].as_u64(),
+            Some(12)
+        );
+        assert_eq!(
+            json["engine"]["robustness"]["degraded_checks"].as_u64(),
+            Some(1)
+        );
         assert_eq!(
             json["engine"]["last_check"]["reused_configs"].as_u64(),
             Some(3)
@@ -513,6 +621,10 @@ mod tests {
         assert!(text.contains("phases: present 0.001s, relational 0.004s"));
         assert!(text
             .contains("engine: 4 configs, 120 lines, 12 patterns; 3 edits, 1 relearns, 1 dirty"));
+        assert!(text.contains("lex cache 90 hits / 30 misses / 4 evictions"));
+        assert!(text.contains(
+            "robustness: 5 rejected, 2 deadlines, 1 panics recovered, 1 WAL replays (12 records), 3 checkpoints, 1 degraded checks"
+        ));
         assert!(text.contains(
             "last check: 1 dirty / 3 reused configs; witness indexes 2 rebuilt / 6 patched"
         ));

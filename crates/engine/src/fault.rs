@@ -1,0 +1,203 @@
+//! Deterministic fault-injection support for the resilient engine.
+//!
+//! A [`FaultPlan`] is a seeded [`concord_rng::StdRng`] plus generators
+//! for every fault class the hardening work defends against: torn WAL
+//! tails, truncated snapshots, malformed / non-UTF-8 / oversized
+//! requests, mid-session disconnects, and forced panics inside engine
+//! operations. Everything is a pure function of the seed — no
+//! wall-clock, no OS randomness — so a failing soak run replays
+//! exactly from its seed.
+//!
+//! The module lives in the library (not `#[cfg(test)]`) because the
+//! soak tests in `concord-bench` and the serve robustness tests in
+//! `concord-cli` both drive it; it has no effect on production paths
+//! unless explicitly invoked.
+
+use std::fs::OpenOptions;
+use std::io;
+use std::path::Path;
+
+use concord_rng::{Rng, SeedableRng, StdRng};
+
+/// The fault classes a soak run rotates through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Truncate the live WAL mid-record (simulated crash during append).
+    TornWal,
+    /// Truncate the live snapshot mid-payload (simulated crash during
+    /// checkpoint, or bit rot).
+    TruncatedSnapshot,
+    /// Arm a panic inside an upsert.
+    PanicUpsert,
+    /// Arm a panic inside a check.
+    PanicCheck,
+    /// Arm a panic inside a learn.
+    PanicLearn,
+    /// Send a malformed (possibly non-UTF-8) request line.
+    MalformedRequest,
+    /// Send a request line larger than the configured limit.
+    OversizedRequest,
+    /// Disconnect mid-request (e.g. between an UPSERT header and its
+    /// body sentinel).
+    Disconnect,
+}
+
+/// All fault kinds, in rotation order.
+pub const ALL_FAULTS: [FaultKind; 8] = [
+    FaultKind::TornWal,
+    FaultKind::TruncatedSnapshot,
+    FaultKind::PanicUpsert,
+    FaultKind::PanicCheck,
+    FaultKind::PanicLearn,
+    FaultKind::MalformedRequest,
+    FaultKind::OversizedRequest,
+    FaultKind::Disconnect,
+];
+
+/// A seeded source of faults and hostile inputs.
+pub struct FaultPlan {
+    rng: StdRng,
+}
+
+impl FaultPlan {
+    /// Builds a plan from a seed; two plans with the same seed produce
+    /// the same fault sequence on any platform.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Picks the next fault to inject.
+    pub fn pick(&mut self) -> FaultKind {
+        ALL_FAULTS[self.rng.gen_range(0..ALL_FAULTS.len())]
+    }
+
+    /// Uniform integer in `[0, bound)` (for choosing targets).
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.rng.gen_range(0..bound.max(1))
+    }
+
+    /// Returns `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p)
+    }
+
+    /// A deterministic device name for edit traffic.
+    pub fn device_name(&mut self, pool: usize) -> String {
+        format!("dev{}", self.rng.gen_range(0..pool.max(1)))
+    }
+
+    /// A deterministic configuration text: mostly well-formed lines so
+    /// the corpus keeps learnable structure, with occasional oddities.
+    pub fn config_text(&mut self) -> String {
+        let vlan = self.rng.gen_range(1..4000u32);
+        let mtu = [1500u32, 9000, 1400][self.rng.gen_range(0..3usize)];
+        let host = self.rng.gen_range(100..999u32);
+        let mut text = format!("hostname DEV{host}\nvlan {vlan}\nmtu {mtu}\n");
+        if self.rng.gen_bool(0.2) {
+            text.push_str("interface Loopback0\n ip address 10.0.0.1\n");
+        }
+        text
+    }
+
+    /// A malformed request line: random bytes (newline-free, so it
+    /// stays one protocol line), possibly invalid UTF-8.
+    pub fn garbage_line(&mut self, max_len: usize) -> Vec<u8> {
+        let len = self.rng.gen_range(1..max_len.max(2));
+        (0..len)
+            .map(|_| {
+                let b = self.rng.gen_range(0..=255u32) as u8;
+                if b == b'\n' || b == b'\r' {
+                    0xFF
+                } else {
+                    b
+                }
+            })
+            .collect()
+    }
+
+    /// A request line guaranteed to exceed `limit` bytes.
+    pub fn oversized_line(&mut self, limit: usize) -> Vec<u8> {
+        let extra = self.rng.gen_range(1..1024usize);
+        let mut line = Vec::with_capacity(limit + extra);
+        line.extend_from_slice(b"UPSERT ");
+        while line.len() < limit + extra {
+            line.push(b'x');
+        }
+        line
+    }
+
+    /// Truncates the live WAL by a random non-zero byte count,
+    /// simulating a crash mid-append. Returns `false` when there is no
+    /// WAL (or it is empty) to tear.
+    pub fn tear_wal(&mut self, state_dir: &Path) -> io::Result<bool> {
+        self.truncate_file(&state_dir.join("wal.log"))
+    }
+
+    /// Truncates the live snapshot mid-payload, simulating a crash
+    /// during checkpoint. Returns `false` when there is no snapshot.
+    pub fn truncate_snapshot(&mut self, state_dir: &Path) -> io::Result<bool> {
+        self.truncate_file(&state_dir.join("snapshot.json"))
+    }
+
+    fn truncate_file(&mut self, path: &Path) -> io::Result<bool> {
+        let len = match std::fs::metadata(path) {
+            Ok(meta) => meta.len(),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(false),
+            Err(e) => return Err(e),
+        };
+        if len < 2 {
+            return Ok(false);
+        }
+        let keep = self.rng.gen_range(1..len);
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(keep)?;
+        file.sync_all()?;
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let mut a = FaultPlan::new(42);
+        let mut b = FaultPlan::new(42);
+        for _ in 0..64 {
+            assert_eq!(a.pick(), b.pick());
+            assert_eq!(a.garbage_line(64), b.garbage_line(64));
+            assert_eq!(a.config_text(), b.config_text());
+        }
+    }
+
+    #[test]
+    fn oversized_line_exceeds_limit() {
+        let mut plan = FaultPlan::new(7);
+        for _ in 0..16 {
+            assert!(plan.oversized_line(4096).len() > 4096);
+        }
+    }
+
+    #[test]
+    fn garbage_lines_stay_single_line() {
+        let mut plan = FaultPlan::new(9);
+        for _ in 0..64 {
+            let line = plan.garbage_line(128);
+            assert!(!line.contains(&b'\n'));
+            assert!(!line.contains(&b'\r'));
+        }
+    }
+
+    #[test]
+    fn tearing_a_missing_wal_is_a_no_op() {
+        let dir = std::env::temp_dir().join(format!("concord-fault-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut plan = FaultPlan::new(1);
+        assert!(!plan.tear_wal(&dir).unwrap());
+        assert!(!plan.truncate_snapshot(&dir).unwrap());
+    }
+}

@@ -48,6 +48,17 @@ use concord_core::{
 };
 use concord_lexer::{LexCache, Lexer};
 
+pub mod fault;
+mod image;
+mod resilient;
+mod store;
+mod wal;
+
+pub use image::{EngineImage, ImageConfig, ImageError};
+pub use resilient::{BootError, EngineFault, OpKind, ResilientEngine};
+pub use store::{LoadOutcome, StateDir, StoreError};
+pub use wal::{Wal, WalOp, WalRecord};
+
 /// A stable identifier for a configuration held by an [`Engine`].
 ///
 /// Ids survive edits: replacing a configuration's text keeps its id (and
@@ -68,6 +79,10 @@ pub struct EngineOptions {
     /// full relearn runs once `changed lines / corpus lines at last
     /// learn` reaches this value.
     pub staleness_threshold: f64,
+    /// Upper bound on entries held by the persistent [`LexCache`]
+    /// (`0` = unbounded). Long-lived processes should set a cap so the
+    /// cache cannot grow without limit; see `LexCache::with_capacity`.
+    pub lex_cache_cap: usize,
 }
 
 impl Default for EngineOptions {
@@ -77,8 +92,28 @@ impl Default for EngineOptions {
             parallelism: 1,
             learn: LearnParams::default(),
             staleness_threshold: 0.2,
+            lex_cache_cap: 0,
         }
     }
+}
+
+/// The engine's lifetime counters, exposed for persistence: restoring
+/// them alongside the configuration texts makes a rebuilt engine
+/// indistinguishable from one that never stopped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Next id handed to a newly inserted configuration.
+    pub next_id: u64,
+    /// Lifetime count of upserts and removes.
+    pub edits: u64,
+    /// Lifetime count of relearns.
+    pub relearns: u64,
+    /// Bumped whenever the contract set is swapped.
+    pub contracts_epoch: u64,
+    /// Corpus size (own lines) when contracts were last learned/loaded.
+    pub lines_at_last_learn: usize,
+    /// Own lines churned since the last learn.
+    pub changed_lines_since_learn: usize,
 }
 
 /// Why an [`Engine`] call could not run.
@@ -171,9 +206,10 @@ impl Engine {
 
     /// Creates an empty engine with a custom lexer.
     pub fn with_lexer(lexer: Lexer, options: EngineOptions) -> Engine {
+        let cache = LexCache::with_capacity(options.lex_cache_cap);
         Engine {
             lexer,
-            cache: LexCache::new(),
+            cache,
             options,
             dataset: Dataset::default(),
             slots: Vec::new(),
@@ -235,9 +271,87 @@ impl Engine {
         Ok(engine)
     }
 
+    /// Rebuilds an engine from a persisted [`EngineImage`]: same
+    /// configurations in the same order, same ids and generations, same
+    /// counters, same contracts. Check results are recomputed on demand
+    /// (they are derived state), so the first `check_dirty` after a
+    /// restore is a full batch check — byte-identical by the engine's
+    /// own equivalence contract.
+    pub fn from_image(
+        image: &EngineImage,
+        lexer: Lexer,
+        options: EngineOptions,
+    ) -> Result<Engine, ImageError> {
+        let configs: Vec<(String, String)> = image
+            .configs
+            .iter()
+            .map(|c| (c.name.clone(), c.text.clone()))
+            .collect();
+        let mut engine = Self::with_lexer(lexer, options);
+        let (dataset, _) = Dataset::build_with_stats(
+            &configs,
+            &image.metadata,
+            &engine.lexer,
+            engine.options.embed_context,
+            engine.options.parallelism,
+            Some(&engine.cache),
+        )
+        .map_err(ImageError::Dataset)?;
+        engine.slots = image
+            .configs
+            .iter()
+            .map(|c| Slot {
+                id: c.id,
+                generation: c.generation,
+                ..Slot::default()
+            })
+            .collect();
+        engine.dataset = dataset;
+        if let Some(json) = &image.contracts {
+            let contracts =
+                ContractSet::from_json(json).map_err(|e| ImageError::Contracts(e.to_string()))?;
+            engine.contracts = Some(contracts);
+        }
+        let c = &image.counters;
+        engine.next_id = c.next_id;
+        engine.edits = c.edits;
+        engine.relearns = c.relearns;
+        engine.contracts_epoch = c.contracts_epoch;
+        engine.lines_at_last_learn = c.lines_at_last_learn;
+        engine.changed_lines_since_learn = c.changed_lines_since_learn;
+        Ok(engine)
+    }
+
     /// The current snapshot's dataset.
     pub fn dataset(&self) -> &Dataset {
         &self.dataset
+    }
+
+    /// The engine's lifetime counters (for persistence).
+    pub fn counters(&self) -> EngineCounters {
+        EngineCounters {
+            next_id: self.next_id,
+            edits: self.edits,
+            relearns: self.relearns,
+            contracts_epoch: self.contracts_epoch,
+            lines_at_last_learn: self.lines_at_last_learn,
+            changed_lines_since_learn: self.changed_lines_since_learn,
+        }
+    }
+
+    /// `(name, generation)` for every configuration, in dataset order.
+    pub fn generations(&self) -> Vec<(String, u64)> {
+        self.dataset
+            .configs
+            .iter()
+            .zip(&self.slots)
+            .map(|(c, s)| (c.name.clone(), s.generation))
+            .collect()
+    }
+
+    /// The stable id of the configuration at dataset index `i`.
+    pub fn id_at(&self, i: usize) -> Option<ConfigId> {
+        self.slots.get(i).map(|s| ConfigId(s.id))
     }
 
     /// The current contract set, if any.
@@ -495,6 +609,9 @@ impl Engine {
             staleness: self.staleness(),
             lex_cache_hits: cache.hits,
             lex_cache_misses: cache.misses,
+            lex_cache_evictions: cache.evictions,
+            generations: self.generations(),
+            robustness: None,
             last_check: self.last_check,
         }
     }

@@ -1,0 +1,669 @@
+//! Panic isolation, graceful degradation, and durable state for the
+//! engine.
+//!
+//! [`ResilientEngine`] wraps an [`Engine`] with three guarantees the
+//! raw engine does not make:
+//!
+//! 1. **Panic isolation.** Every operation runs under
+//!    [`std::panic::catch_unwind`]. A panic escaping the engine marks
+//!    the live snapshot *poisoned* — its incremental caches can no
+//!    longer be trusted — and the wrapper immediately rebuilds a fresh
+//!    engine from the last-known-good [`EngineImage`], which the
+//!    panicking operation never touched (the image is only updated
+//!    *after* an operation succeeds). The rebuild is oracle-equivalent
+//!    by construction: a from-scratch engine over the same corpus and
+//!    contracts, so the next check is byte-identical to a batch run.
+//! 2. **Durability.** With a [`StateDir`] attached, every successful
+//!    mutation is appended to an fsync'd WAL before it is acknowledged,
+//!    and the image is checkpointed atomically every
+//!    `checkpoint_every` appends. A killed process resumes from
+//!    snapshot + WAL replay exactly where it stopped.
+//! 3. **Deterministic fault injection.** Tests arm panics per
+//!    operation kind ([`ResilientEngine::arm_panic`]); the injected
+//!    panic fires inside the guarded region, exercising the real
+//!    recovery path with no timing dependence.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+
+use concord_core::{ContractSet, DatasetError, EngineStats, LearnStats, RobustnessStats};
+use concord_lexer::Lexer;
+
+use crate::image::{EngineImage, ImageError};
+use crate::store::{StateDir, StoreError};
+use crate::wal::WalOp;
+use crate::{ConfigId, Engine, EngineCheckReport, EngineError, EngineOptions};
+
+/// The operation kinds a fault can be armed against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// [`ResilientEngine::upsert`].
+    Upsert,
+    /// [`ResilientEngine::remove`].
+    Remove,
+    /// [`ResilientEngine::relearn`].
+    Learn,
+    /// [`ResilientEngine::set_contracts_json`].
+    SetContracts,
+    /// [`ResilientEngine::check`].
+    Check,
+    /// [`ResilientEngine::snapshot_stats`].
+    Stats,
+}
+
+impl OpKind {
+    /// Parses the lowercase name used by the serve protocol's
+    /// fault-injection verb.
+    pub fn parse(s: &str) -> Option<OpKind> {
+        Some(match s {
+            "upsert" => OpKind::Upsert,
+            "remove" => OpKind::Remove,
+            "learn" => OpKind::Learn,
+            "set-contracts" => OpKind::SetContracts,
+            "check" => OpKind::Check,
+            "stats" => OpKind::Stats,
+            _ => return None,
+        })
+    }
+}
+
+/// Why a resilient-engine operation failed. Every variant leaves the
+/// engine usable for the next request (possibly after an internal
+/// rebuild), except [`EngineFault::Poisoned`] which reports that the
+/// rebuild itself failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineFault {
+    /// A named configuration does not exist.
+    UnknownConfig(String),
+    /// No contracts are loaded yet.
+    NoContracts,
+    /// A supplied contract set failed to parse.
+    BadContracts(String),
+    /// The operation panicked; the engine was rebuilt from the
+    /// last-known-good image and the operation was *not* applied.
+    Panicked(String),
+    /// The operation was applied in memory but could not be made
+    /// durable (WAL append failed).
+    Persist(String),
+    /// The engine is poisoned and could not be rebuilt.
+    Poisoned,
+}
+
+impl std::fmt::Display for EngineFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineFault::UnknownConfig(name) => write!(f, "unknown config {name:?}"),
+            EngineFault::NoContracts => f.write_str("no contracts loaded"),
+            EngineFault::BadContracts(e) => write!(f, "bad contracts: {e}"),
+            EngineFault::Panicked(msg) => write!(f, "operation panicked: {msg}"),
+            EngineFault::Persist(e) => write!(f, "persistence failed: {e}"),
+            EngineFault::Poisoned => f.write_str("engine poisoned and rebuild failed"),
+        }
+    }
+}
+
+impl std::error::Error for EngineFault {}
+
+/// Why a [`ResilientEngine`] could not boot.
+#[derive(Debug)]
+pub enum BootError {
+    /// The seed corpus failed to build.
+    Dataset(DatasetError),
+    /// The state directory was unreadable.
+    Store(StoreError),
+    /// The persisted image failed to decode or rebuild.
+    Image(ImageError),
+}
+
+impl std::fmt::Display for BootError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BootError::Dataset(e) => write!(f, "building seed corpus: {e}"),
+            BootError::Store(e) => write!(f, "opening state dir: {e}"),
+            BootError::Image(e) => write!(f, "restoring snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BootError {}
+
+impl From<DatasetError> for BootError {
+    fn from(e: DatasetError) -> BootError {
+        BootError::Dataset(e)
+    }
+}
+
+impl From<StoreError> for BootError {
+    fn from(e: StoreError) -> BootError {
+        BootError::Store(e)
+    }
+}
+
+impl From<ImageError> for BootError {
+    fn from(e: ImageError) -> BootError {
+        BootError::Image(e)
+    }
+}
+
+/// A fault-isolated, optionally durable [`Engine`] wrapper.
+pub struct ResilientEngine {
+    /// `None` while poisoned (a panic escaped and the rebuild failed).
+    engine: Option<Engine>,
+    /// Last-known-good pure-data mirror; never touched by a failing op.
+    image: EngineImage,
+    lexer: Lexer,
+    options: EngineOptions,
+    store: Option<StateDir>,
+    robustness: RobustnessStats,
+    /// The next successful check runs on a freshly rebuilt engine and
+    /// is counted as degraded (recomputed from scratch, still exact).
+    degraded_pending: bool,
+    /// Armed fault injections, consumed one per matching operation.
+    armed: Vec<OpKind>,
+    checkpoint_every: u64,
+    appends_since_checkpoint: u64,
+}
+
+impl ResilientEngine {
+    /// Builds a memory-only resilient engine over a corpus.
+    pub fn new(
+        configs: &[(String, String)],
+        metadata: &[(String, String)],
+        lexer: Lexer,
+        options: EngineOptions,
+    ) -> Result<ResilientEngine, DatasetError> {
+        let engine =
+            Engine::from_corpus_with_lexer(configs, metadata, lexer.clone(), options.clone())?;
+        let image = EngineImage::from_corpus(configs, metadata);
+        Ok(ResilientEngine {
+            engine: Some(engine),
+            image,
+            lexer,
+            options,
+            store: None,
+            robustness: RobustnessStats::default(),
+            degraded_pending: false,
+            armed: Vec::new(),
+            checkpoint_every: 64,
+            appends_since_checkpoint: 0,
+        })
+    }
+
+    /// Builds a durable resilient engine backed by `dir`. A fresh
+    /// directory is seeded from `configs` and checkpointed immediately;
+    /// a directory with a usable snapshot resumes from it (plus WAL
+    /// replay) and **ignores** `configs`. Returns whether the engine
+    /// resumed from persisted state.
+    pub fn with_store(
+        configs: &[(String, String)],
+        metadata: &[(String, String)],
+        lexer: Lexer,
+        options: EngineOptions,
+        dir: &Path,
+    ) -> Result<(ResilientEngine, bool), BootError> {
+        let (store, load) = StateDir::open(dir)?;
+        let resumed = load.image.is_some();
+        let mut me = match load.image {
+            Some(image) => {
+                let engine = Engine::from_image(&image, lexer.clone(), options.clone())?;
+                ResilientEngine {
+                    engine: Some(engine),
+                    image,
+                    lexer,
+                    options,
+                    store: Some(store),
+                    robustness: RobustnessStats::default(),
+                    degraded_pending: false,
+                    armed: Vec::new(),
+                    checkpoint_every: 64,
+                    appends_since_checkpoint: 0,
+                }
+            }
+            None => {
+                let mut me = Self::new(configs, metadata, lexer, options)?;
+                me.store = Some(store);
+                me
+            }
+        };
+        if !load.replay.is_empty() {
+            me.robustness.wal_replays += 1;
+            me.robustness.wal_records_replayed += load.replay.len() as u64;
+            for record in &load.replay {
+                me.replay_op(&record.op, record.seq);
+            }
+        }
+        // Fold the replayed (or seeded) state into a fresh checkpoint
+        // so the next crash replays from here.
+        me.checkpoint();
+        Ok((me, resumed))
+    }
+
+    /// The last-known-good image (also the soak oracle's input).
+    pub fn image(&self) -> &EngineImage {
+        &self.image
+    }
+
+    /// Robustness counters accumulated so far.
+    pub fn robustness(&self) -> RobustnessStats {
+        self.robustness
+    }
+
+    /// Adds serve-layer rejections/deadlines into the robustness
+    /// counters reported by [`ResilientEngine::snapshot_stats`].
+    pub fn add_serve_counters(&mut self, requests_rejected: u64, deadlines_hit: u64) {
+        self.robustness.requests_rejected = requests_rejected;
+        self.robustness.deadlines_hit = deadlines_hit;
+    }
+
+    /// Sets the auto-checkpoint cadence (`0` disables auto
+    /// checkpoints; explicit [`ResilientEngine::checkpoint`] calls
+    /// still work).
+    pub fn set_checkpoint_every(&mut self, every: u64) {
+        self.checkpoint_every = every;
+    }
+
+    /// Arms one injected panic against the next operation of `kind`.
+    /// Test support: the panic fires inside the guarded region, so it
+    /// exercises the exact production recovery path.
+    pub fn arm_panic(&mut self, kind: OpKind) {
+        self.armed.push(kind);
+    }
+
+    /// Whether the engine is currently poisoned (rebuild failed).
+    pub fn poisoned(&self) -> bool {
+        self.engine.is_none()
+    }
+
+    /// The edit generation of `name`, if it exists.
+    pub fn config_generation(&self, name: &str) -> Result<Option<u64>, EngineFault> {
+        Ok(self
+            .engine
+            .as_ref()
+            .ok_or(EngineFault::Poisoned)?
+            .config_generation(name))
+    }
+
+    /// The number of loaded contracts, if any are loaded.
+    pub fn contracts_len(&self) -> Result<Option<usize>, EngineFault> {
+        Ok(self
+            .engine
+            .as_ref()
+            .ok_or(EngineFault::Poisoned)?
+            .contracts()
+            .map(ContractSet::len))
+    }
+
+    /// Inserts or replaces one configuration.
+    pub fn upsert(&mut self, name: &str, text: &str) -> Result<ConfigId, EngineFault> {
+        let id = self.guarded(OpKind::Upsert, |e| e.upsert_config(name, text))?;
+        self.image.upsert(name, text);
+        self.sync_counters();
+        self.log(WalOp::Upsert {
+            name: name.to_string(),
+            text: text.to_string(),
+        })?;
+        Ok(id)
+    }
+
+    /// Removes one configuration; `Ok(None)` when it did not exist.
+    pub fn remove(&mut self, name: &str) -> Result<Option<ConfigId>, EngineFault> {
+        let id = self.guarded(OpKind::Remove, |e| e.remove_config(name))?;
+        if id.is_some() {
+            self.image.remove(name);
+            self.sync_counters();
+            self.log(WalOp::Remove {
+                name: name.to_string(),
+            })?;
+        }
+        Ok(id)
+    }
+
+    /// Learns a fresh contract set from the current snapshot.
+    pub fn relearn(&mut self) -> Result<LearnStats, EngineFault> {
+        let stats = self.guarded(OpKind::Learn, |e| e.relearn())?;
+        self.image.contracts = self.current_contracts_json();
+        self.sync_counters();
+        self.log(WalOp::Learn)?;
+        Ok(stats)
+    }
+
+    /// Swaps in a contract set from its JSON serialization, returning
+    /// the number of contracts loaded.
+    pub fn set_contracts_json(&mut self, json: &str) -> Result<usize, EngineFault> {
+        let contracts =
+            ContractSet::from_json(json).map_err(|e| EngineFault::BadContracts(e.to_string()))?;
+        let len = contracts.len();
+        self.guarded(OpKind::SetContracts, move |e| e.set_contracts(contracts))?;
+        let canonical = self.current_contracts_json();
+        self.image.contracts = canonical.clone();
+        self.sync_counters();
+        self.log(WalOp::SetContracts {
+            json: canonical.unwrap_or_default(),
+        })?;
+        Ok(len)
+    }
+
+    /// Checks the current snapshot (incremental when the engine is
+    /// healthy, full-recompute right after a recovery — both exact).
+    pub fn check(&mut self) -> Result<EngineCheckReport, EngineFault> {
+        let result = self.guarded(OpKind::Check, |e| e.check_dirty())?;
+        let report = result.map_err(|e| match e {
+            EngineError::NoContracts => EngineFault::NoContracts,
+        })?;
+        if self.degraded_pending {
+            self.robustness.degraded_checks += 1;
+            self.degraded_pending = false;
+        }
+        Ok(report)
+    }
+
+    /// Engine statistics with the robustness counters attached.
+    pub fn snapshot_stats(&mut self) -> Result<EngineStats, EngineFault> {
+        let mut stats = self.guarded(OpKind::Stats, |e| e.snapshot_stats())?;
+        stats.robustness = Some(self.robustness);
+        Ok(stats)
+    }
+
+    /// Checkpoints now (no-op without a store). Returns whether a
+    /// checkpoint was written; failures are counted, not fatal.
+    pub fn checkpoint(&mut self) -> bool {
+        let Some(store) = self.store.as_mut() else {
+            return false;
+        };
+        match store.checkpoint(&self.image) {
+            Ok(()) => {
+                self.robustness.checkpoints += 1;
+                self.appends_since_checkpoint = 0;
+                true
+            }
+            Err(_) => {
+                self.robustness.persist_errors += 1;
+                false
+            }
+        }
+    }
+
+    /// Runs `f` on the live engine under `catch_unwind`, poisoning and
+    /// rebuilding on escape.
+    fn guarded<T>(
+        &mut self,
+        kind: OpKind,
+        f: impl FnOnce(&mut Engine) -> T,
+    ) -> Result<T, EngineFault> {
+        self.ensure_engine()?;
+        let inject = self.take_armed(kind);
+        let engine = self.engine.as_mut().ok_or(EngineFault::Poisoned)?;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if inject {
+                panic!("injected fault: {kind:?}");
+            }
+            f(engine)
+        }));
+        match result {
+            Ok(value) => Ok(value),
+            Err(payload) => {
+                let msg = panic_message(payload);
+                self.engine = None;
+                self.rebuild_from_image();
+                Err(EngineFault::Panicked(msg))
+            }
+        }
+    }
+
+    /// Rebuilds from the last-known-good image, guarding the rebuild
+    /// itself (a panic there leaves the engine poisoned).
+    fn rebuild_from_image(&mut self) {
+        let image = self.image.clone();
+        let lexer = self.lexer.clone();
+        let options = self.options.clone();
+        let rebuilt = catch_unwind(AssertUnwindSafe(|| {
+            Engine::from_image(&image, lexer, options)
+        }));
+        match rebuilt {
+            Ok(Ok(engine)) => {
+                self.engine = Some(engine);
+                self.robustness.panics_recovered += 1;
+                self.degraded_pending = true;
+            }
+            Ok(Err(_)) | Err(_) => {
+                self.engine = None;
+            }
+        }
+    }
+
+    fn ensure_engine(&mut self) -> Result<(), EngineFault> {
+        if self.engine.is_none() {
+            self.rebuild_from_image();
+        }
+        if self.engine.is_none() {
+            return Err(EngineFault::Poisoned);
+        }
+        Ok(())
+    }
+
+    fn take_armed(&mut self, kind: OpKind) -> bool {
+        match self.armed.iter().position(|k| *k == kind) {
+            Some(i) => {
+                self.armed.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn sync_counters(&mut self) {
+        if let Some(engine) = &self.engine {
+            self.image.counters = engine.counters();
+        }
+    }
+
+    fn current_contracts_json(&self) -> Option<String> {
+        self.engine
+            .as_ref()
+            .and_then(Engine::contracts)
+            .map(ContractSet::to_json)
+    }
+
+    /// Appends one op to the WAL (when a store is attached), advancing
+    /// `applied_seq` and auto-checkpointing on cadence.
+    fn log(&mut self, op: WalOp) -> Result<(), EngineFault> {
+        let Some(store) = self.store.as_mut() else {
+            return Ok(());
+        };
+        match store.append(&op) {
+            Ok(seq) => {
+                self.image.applied_seq = seq;
+                self.appends_since_checkpoint += 1;
+                if self.checkpoint_every > 0
+                    && self.appends_since_checkpoint >= self.checkpoint_every
+                {
+                    self.checkpoint();
+                }
+                Ok(())
+            }
+            Err(e) => {
+                self.robustness.persist_errors += 1;
+                Err(EngineFault::Persist(e.to_string()))
+            }
+        }
+    }
+
+    /// Applies one replayed WAL op to engine + image without re-logging.
+    fn replay_op(&mut self, op: &WalOp, seq: u64) {
+        match op {
+            WalOp::Upsert { name, text } => {
+                if let Some(engine) = self.engine.as_mut() {
+                    engine.upsert_config(name, text);
+                }
+                self.image.upsert(name, text);
+            }
+            WalOp::Remove { name } => {
+                if let Some(engine) = self.engine.as_mut() {
+                    engine.remove_config(name);
+                }
+                self.image.remove(name);
+            }
+            WalOp::Learn => {
+                if let Some(engine) = self.engine.as_mut() {
+                    engine.relearn();
+                }
+                self.image.contracts = self.current_contracts_json();
+            }
+            WalOp::SetContracts { json } => {
+                if let Ok(contracts) = ContractSet::from_json(json) {
+                    if let Some(engine) = self.engine.as_mut() {
+                        engine.set_contracts(contracts);
+                    }
+                    self.image.contracts = Some(json.clone());
+                }
+            }
+        }
+        self.sync_counters();
+        self.image.applied_seq = seq;
+    }
+}
+
+/// Extracts a printable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn corpus() -> Vec<(String, String)> {
+        (0..6)
+            .map(|i| {
+                (
+                    format!("dev{i}"),
+                    format!("hostname DEV{}\nvlan {}\nmtu 1500\n", 100 + i, 250 + i),
+                )
+            })
+            .collect()
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("concord-resilient-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn oracle_report(me: &ResilientEngine) -> crate::EngineCheckReport {
+        let image = me.image();
+        let mut oracle =
+            Engine::from_corpus(&image.corpus(), &image.metadata, EngineOptions::default())
+                .expect("oracle builds");
+        if let Some(json) = &image.contracts {
+            oracle.set_contracts(ContractSet::from_json(json).expect("contracts parse"));
+        }
+        oracle.check_dirty().expect("oracle checks")
+    }
+
+    #[test]
+    fn injected_panic_recovers_and_next_check_matches_oracle() {
+        let mut me =
+            ResilientEngine::new(&corpus(), &[], Lexer::standard(), EngineOptions::default())
+                .expect("builds");
+        me.relearn().expect("learns");
+        me.check().expect("checks");
+
+        me.arm_panic(OpKind::Upsert);
+        let err = me.upsert("dev0", "vlan 999\n").expect_err("panic injected");
+        assert!(matches!(err, EngineFault::Panicked(_)), "{err:?}");
+        assert!(!me.poisoned(), "rebuilt eagerly");
+        assert_eq!(me.robustness().panics_recovered, 1);
+
+        // The failed upsert must NOT have been applied.
+        let got = me.check().expect("post-recovery check");
+        assert_eq!(me.robustness().degraded_checks, 1);
+        let want = oracle_report(&me);
+        assert_eq!(got.report.violations, want.report.violations);
+
+        // And the engine is fully usable: the same upsert now succeeds.
+        me.upsert("dev0", "vlan 999\n")
+            .expect("works after recovery");
+        let got = me.check().expect("checks");
+        let want = oracle_report(&me);
+        assert_eq!(got.report.violations, want.report.violations);
+    }
+
+    #[test]
+    fn panic_during_check_recovers_too() {
+        let mut me =
+            ResilientEngine::new(&corpus(), &[], Lexer::standard(), EngineOptions::default())
+                .expect("builds");
+        me.relearn().expect("learns");
+        me.arm_panic(OpKind::Check);
+        assert!(matches!(me.check(), Err(EngineFault::Panicked(_))));
+        let got = me.check().expect("recovered");
+        let want = oracle_report(&me);
+        assert_eq!(got.report.violations, want.report.violations);
+    }
+
+    #[test]
+    fn durable_engine_resumes_after_drop_without_checkpoint() {
+        let dir = tmp_dir("resume");
+        let (mut me, resumed) = ResilientEngine::with_store(
+            &corpus(),
+            &[],
+            Lexer::standard(),
+            EngineOptions::default(),
+            &dir,
+        )
+        .expect("boots");
+        assert!(!resumed);
+        me.set_checkpoint_every(0); // force crash-style WAL-only recovery
+        me.relearn().expect("learns");
+        me.upsert("dev0", "vlan 999\nmtu 9000\n").expect("upserts");
+        me.remove("dev5").expect("removes");
+        let want_gens = {
+            let e = me.engine.as_ref().expect("live");
+            e.generations()
+        };
+        let want = me.check().expect("checks").report;
+        drop(me); // simulated kill: no checkpoint since the edits
+
+        let (mut back, resumed) = ResilientEngine::with_store(
+            &[],
+            &[],
+            Lexer::standard(),
+            EngineOptions::default(),
+            &dir,
+        )
+        .expect("reboots");
+        assert!(resumed);
+        assert!(back.robustness().wal_replays >= 1);
+        assert_eq!(back.engine.as_ref().expect("live").generations(), want_gens);
+        let got = back.check().expect("checks").report;
+        assert_eq!(got.violations, want.violations);
+        assert_eq!(
+            got.coverage.per_config.len(),
+            want.coverage.per_config.len()
+        );
+    }
+
+    #[test]
+    fn stats_carry_robustness_counters() {
+        let mut me =
+            ResilientEngine::new(&corpus(), &[], Lexer::standard(), EngineOptions::default())
+                .expect("builds");
+        me.relearn().expect("learns");
+        me.arm_panic(OpKind::Learn);
+        assert!(me.relearn().is_err());
+        me.add_serve_counters(3, 2);
+        let stats = me.snapshot_stats().expect("stats");
+        let rob = stats.robustness.expect("attached");
+        assert_eq!(rob.panics_recovered, 1);
+        assert_eq!(rob.requests_rejected, 3);
+        assert_eq!(rob.deadlines_hit, 2);
+    }
+}

@@ -1,0 +1,369 @@
+//! The crash-safe state directory: snapshot + WAL.
+//!
+//! Layout of `--state-dir`:
+//!
+//! ```text
+//! snapshot.json       last checkpointed EngineImage (header + payload)
+//! snapshot.json.bak   the checkpoint before that
+//! wal.log             ops appended since the last checkpoint
+//! wal.log.old         ops between the previous two checkpoints
+//! snapshot.tmp        in-flight checkpoint (transient)
+//! ```
+//!
+//! A checkpoint is atomic: write `snapshot.tmp`, fsync it, rename the
+//! current snapshot to `.bak`, rename the tmp into place, fsync the
+//! directory, then rotate the WAL (`wal.log` → `wal.log.old`). Because
+//! the `.bak` snapshot plus *both* WAL files cover every acknowledged
+//! op since the previous checkpoint, a crash at any point — including a
+//! torn `snapshot.json` — recovers: load falls back to the backup and
+//! replays the WALs, skipping records already folded into the image
+//! (`seq <= applied_seq`).
+//!
+//! The snapshot file is a one-line header `concord-engine-snapshot/v1
+//! crc32=XXXXXXXX` followed by the image JSON; the checksum covers the
+//! payload, so a truncated or bit-flipped snapshot is detected rather
+//! than trusted.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use concord_json::{FromJson, Json, ToJson};
+
+use crate::image::EngineImage;
+use crate::wal::{crc32, Wal, WalOp, WalRecord};
+
+/// Magic header prefix of a snapshot file.
+const SNAPSHOT_MAGIC: &str = "concord-engine-snapshot/v1";
+
+/// Why a state-directory operation failed.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io(io::Error),
+    /// Both the snapshot and its backup were unreadable or corrupt.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "state dir i/o: {e}"),
+            StoreError::Corrupt(msg) => write!(f, "state dir corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+/// What [`StateDir::open`] found on disk.
+#[derive(Debug)]
+pub struct LoadOutcome {
+    /// The last durable image (`None` for a fresh directory).
+    pub image: Option<EngineImage>,
+    /// Acknowledged ops to replay on top of the image, in sequence
+    /// order (already filtered to `seq > image.applied_seq`).
+    pub replay: Vec<WalRecord>,
+    /// Whether a torn or corrupt WAL tail was discarded during load.
+    pub wal_torn: bool,
+    /// Whether `snapshot.json` was unusable and `.bak` was used.
+    pub used_backup: bool,
+}
+
+/// An open state directory with its live WAL handle.
+#[derive(Debug)]
+pub struct StateDir {
+    dir: PathBuf,
+    wal: Wal,
+}
+
+impl StateDir {
+    /// Opens (creating if needed) the state directory, loading whatever
+    /// snapshot + WAL state survived. The returned [`StateDir`] has the
+    /// WAL open for appending with the sequence continuing after the
+    /// highest sequence seen on disk.
+    pub fn open(dir: &Path) -> Result<(StateDir, LoadOutcome), StoreError> {
+        fs::create_dir_all(dir)?;
+        let snap_path = dir.join("snapshot.json");
+        let bak_path = dir.join("snapshot.json.bak");
+
+        let (image, used_backup) = match read_snapshot(&snap_path)? {
+            Some(image) => (Some(image), false),
+            None => match read_snapshot(&bak_path)? {
+                Some(image) => {
+                    // Drop the unreadable live snapshot so the next
+                    // checkpoint cannot rotate it over the good backup.
+                    if snap_path.exists() {
+                        fs::remove_file(&snap_path)?;
+                    }
+                    (Some(image), true)
+                }
+                None => {
+                    let existed = snap_path.exists() || bak_path.exists();
+                    if existed {
+                        return Err(StoreError::Corrupt(
+                            "snapshot and backup both unreadable".to_string(),
+                        ));
+                    }
+                    (None, false)
+                }
+            },
+        };
+
+        let applied_seq = image.as_ref().map(|i| i.applied_seq).unwrap_or(0);
+        let (old_records, old_torn) = Wal::read_records(&dir.join("wal.log.old"))?;
+        let (new_records, new_torn) = Wal::read_records(&dir.join("wal.log"))?;
+        let mut replay: Vec<WalRecord> = old_records
+            .into_iter()
+            .chain(new_records)
+            .filter(|r| r.seq > applied_seq)
+            .collect();
+        replay.sort_by_key(|r| r.seq);
+        replay.dedup_by_key(|r| r.seq);
+
+        let max_seq = replay.last().map(|r| r.seq).unwrap_or(applied_seq);
+        let wal = Wal::open_append(&dir.join("wal.log"), max_seq + 1)?;
+        Ok((
+            StateDir {
+                dir: dir.to_path_buf(),
+                wal,
+            },
+            LoadOutcome {
+                image,
+                replay,
+                wal_torn: old_torn || new_torn,
+                used_backup,
+            },
+        ))
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Appends one op to the WAL (fsync'd). Returns its sequence.
+    pub fn append(&mut self, op: &WalOp) -> Result<u64, StoreError> {
+        Ok(self.wal.append(op)?)
+    }
+
+    /// The sequence number the next append will use.
+    pub fn next_seq(&self) -> u64 {
+        self.wal.next_seq()
+    }
+
+    /// Atomically checkpoints `image` (whose `applied_seq` must cover
+    /// every op appended so far) and rotates the WAL.
+    pub fn checkpoint(&mut self, image: &EngineImage) -> Result<(), StoreError> {
+        let tmp_path = self.dir.join("snapshot.tmp");
+        let snap_path = self.dir.join("snapshot.json");
+        let bak_path = self.dir.join("snapshot.json.bak");
+
+        let payload = image.to_json().render();
+        let mut tmp = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&tmp_path)?;
+        tmp.write_all(
+            format!("{SNAPSHOT_MAGIC} crc32={:08x}\n", crc32(payload.as_bytes())).as_bytes(),
+        )?;
+        tmp.write_all(payload.as_bytes())?;
+        tmp.write_all(b"\n")?;
+        tmp.sync_all()?;
+        drop(tmp);
+
+        if snap_path.exists() {
+            fs::rename(&snap_path, &bak_path)?;
+        }
+        fs::rename(&tmp_path, &snap_path)?;
+        sync_dir(&self.dir)?;
+
+        // Rotate the WAL: everything in the current log is folded into
+        // the snapshot just written; keep it one generation as `.old`
+        // so the `.bak` snapshot stays recoverable.
+        let next_seq = self.wal.next_seq();
+        let wal_path = self.dir.join("wal.log");
+        let old_path = self.dir.join("wal.log.old");
+        if old_path.exists() {
+            fs::remove_file(&old_path)?;
+        }
+        if wal_path.exists() {
+            fs::rename(&wal_path, &old_path)?;
+        }
+        self.wal = Wal::open_append(&wal_path, next_seq)?;
+        sync_dir(&self.dir)?;
+        Ok(())
+    }
+}
+
+/// Reads and verifies a snapshot file; `Ok(None)` when missing *or*
+/// corrupt (the caller falls back to the backup).
+fn read_snapshot(path: &Path) -> Result<Option<EngineImage>, StoreError> {
+    let mut text = String::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            if f.read_to_string(&mut text).is_err() {
+                return Ok(None);
+            }
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(StoreError::Io(e)),
+    }
+    let Some((header, payload)) = text.split_once('\n') else {
+        return Ok(None);
+    };
+    let payload = payload.strip_suffix('\n').unwrap_or(payload);
+    let Some(crc_part) = header
+        .strip_prefix(SNAPSHOT_MAGIC)
+        .and_then(|rest| rest.trim().strip_prefix("crc32="))
+    else {
+        return Ok(None);
+    };
+    let Ok(want) = u32::from_str_radix(crc_part, 16) else {
+        return Ok(None);
+    };
+    if crc32(payload.as_bytes()) != want {
+        return Ok(None);
+    }
+    let Ok(json) = Json::parse(payload) else {
+        return Ok(None);
+    };
+    Ok(EngineImage::from_json(&json).ok())
+}
+
+/// Fsyncs a directory so renames within it are durable (best-effort on
+/// platforms where directories cannot be opened).
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    match File::open(dir) {
+        Ok(f) => f.sync_all(),
+        Err(_) => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("concord-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn image_with(configs: &[(&str, &str)], applied_seq: u64) -> EngineImage {
+        let corpus: Vec<(String, String)> = configs
+            .iter()
+            .map(|(n, t)| (n.to_string(), t.to_string()))
+            .collect();
+        let mut image = EngineImage::from_corpus(&corpus, &[]);
+        image.applied_seq = applied_seq;
+        image
+    }
+
+    #[test]
+    fn fresh_dir_loads_empty() {
+        let dir = tmp_dir("fresh");
+        let (state, load) = StateDir::open(&dir).unwrap();
+        assert!(load.image.is_none());
+        assert!(load.replay.is_empty());
+        assert!(!load.wal_torn);
+        assert_eq!(state.next_seq(), 1);
+    }
+
+    #[test]
+    fn checkpoint_then_reopen_restores_image_and_skips_folded_ops() {
+        let dir = tmp_dir("checkpoint");
+        let (mut state, _) = StateDir::open(&dir).unwrap();
+        let s1 = state
+            .append(&WalOp::Upsert {
+                name: "dev0".to_string(),
+                text: "vlan 1\n".to_string(),
+            })
+            .unwrap();
+        let image = image_with(&[("dev0", "vlan 1\n")], s1);
+        state.checkpoint(&image).unwrap();
+        let s2 = state
+            .append(&WalOp::Remove {
+                name: "dev0".to_string(),
+            })
+            .unwrap();
+        assert_eq!(s2, s1 + 1);
+        drop(state);
+
+        let (state, load) = StateDir::open(&dir).unwrap();
+        let got = load.image.expect("snapshot present");
+        assert_eq!(got, image);
+        assert_eq!(load.replay.len(), 1, "only the post-checkpoint op replays");
+        assert_eq!(load.replay[0].seq, s2);
+        assert!(!load.used_backup);
+        assert_eq!(state.next_seq(), s2 + 1);
+    }
+
+    #[test]
+    fn truncated_snapshot_falls_back_to_backup_plus_wals() {
+        let dir = tmp_dir("truncated");
+        let (mut state, _) = StateDir::open(&dir).unwrap();
+        let s1 = state
+            .append(&WalOp::Upsert {
+                name: "a".to_string(),
+                text: "vlan 1\n".to_string(),
+            })
+            .unwrap();
+        state
+            .checkpoint(&image_with(&[("a", "vlan 1\n")], s1))
+            .unwrap();
+        let s2 = state
+            .append(&WalOp::Upsert {
+                name: "b".to_string(),
+                text: "vlan 2\n".to_string(),
+            })
+            .unwrap();
+        state
+            .checkpoint(&image_with(&[("a", "vlan 1\n"), ("b", "vlan 2\n")], s2))
+            .unwrap();
+        let s3 = state
+            .append(&WalOp::Upsert {
+                name: "c".to_string(),
+                text: "vlan 3\n".to_string(),
+            })
+            .unwrap();
+        drop(state);
+
+        // Truncate the live snapshot mid-payload.
+        let snap = dir.join("snapshot.json");
+        let bytes = std::fs::read(&snap).unwrap();
+        std::fs::write(&snap, &bytes[..bytes.len() / 2]).unwrap();
+
+        let (_, load) = StateDir::open(&dir).unwrap();
+        assert!(load.used_backup);
+        let image = load.image.expect("backup usable");
+        assert_eq!(image.applied_seq, s1);
+        // Replay covers everything after the backup's checkpoint: the
+        // op folded only into the (lost) newer snapshot, plus the tail.
+        let seqs: Vec<u64> = load.replay.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![s2, s3]);
+    }
+
+    #[test]
+    fn missing_everything_but_wal_is_corrupt_free_fresh_start() {
+        let dir = tmp_dir("walonly");
+        let (mut state, _) = StateDir::open(&dir).unwrap();
+        state
+            .append(&WalOp::Upsert {
+                name: "a".to_string(),
+                text: "vlan 1\n".to_string(),
+            })
+            .unwrap();
+        drop(state);
+        let (_, load) = StateDir::open(&dir).unwrap();
+        assert!(load.image.is_none());
+        assert_eq!(load.replay.len(), 1, "ops before any checkpoint replay");
+    }
+}

@@ -1,0 +1,336 @@
+//! Append-only write-ahead log of engine mutations.
+//!
+//! Each record is one line: an 8-hex-digit CRC-32 (IEEE) of the JSON
+//! payload, a space, the payload, `\n`. The payload carries a
+//! monotonically increasing sequence number and the operation:
+//!
+//! ```text
+//! 9a7f0c12 {"seq": 42, "op": {"Upsert": {"name": "dev0", "text": "vlan 1\n"}}}
+//! ```
+//!
+//! Appends are `fsync`'d before the server acknowledges the operation,
+//! so an acknowledged op survives a crash. Replay is torn-tail
+//! tolerant: a record that is truncated mid-line (no trailing newline),
+//! fails its checksum, or does not parse marks the end of the log —
+//! everything before it is applied, everything at and after it is
+//! discarded. A discarded tail is always an *unacknowledged* op, so
+//! dropping it cannot lose acknowledged state.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use concord_json::{Error as JsonError, FromJson, Json, ToJson};
+
+/// One logged engine mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// Insert or replace a configuration.
+    Upsert {
+        /// Configuration name.
+        name: String,
+        /// Full configuration text.
+        text: String,
+    },
+    /// Remove a configuration.
+    Remove {
+        /// Configuration name.
+        name: String,
+    },
+    /// Relearn contracts from the current snapshot (deterministic given
+    /// the dataset, so logging the op is enough to replay the result).
+    Learn,
+    /// Swap in an externally supplied contract set (exact JSON).
+    SetContracts {
+        /// The contract set's JSON serialization.
+        json: String,
+    },
+}
+
+/// A sequenced WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Monotonic sequence number (1-based; 0 means "nothing applied").
+    pub seq: u64,
+    /// The operation.
+    pub op: WalOp,
+}
+
+impl ToJson for WalOp {
+    fn to_json(&self) -> Json {
+        match self {
+            WalOp::Upsert { name, text } => Json::tagged(
+                "Upsert",
+                Json::Object(vec![
+                    ("name".to_string(), name.to_json()),
+                    ("text".to_string(), text.to_json()),
+                ]),
+            ),
+            WalOp::Remove { name } => Json::tagged(
+                "Remove",
+                Json::Object(vec![("name".to_string(), name.to_json())]),
+            ),
+            WalOp::Learn => Json::Str("Learn".to_string()),
+            WalOp::SetContracts { json } => Json::tagged(
+                "SetContracts",
+                Json::Object(vec![("json".to_string(), json.to_json())]),
+            ),
+        }
+    }
+}
+
+impl FromJson for WalOp {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        if let Some("Learn") = value.as_str() {
+            return Ok(WalOp::Learn);
+        }
+        let obj = value
+            .as_object()
+            .ok_or_else(|| JsonError::custom("wal op is not an object"))?;
+        match obj {
+            [(tag, body)] if tag == "Upsert" => Ok(WalOp::Upsert {
+                name: req_str(body, "name")?,
+                text: req_str(body, "text")?,
+            }),
+            [(tag, body)] if tag == "Remove" => Ok(WalOp::Remove {
+                name: req_str(body, "name")?,
+            }),
+            [(tag, body)] if tag == "SetContracts" => Ok(WalOp::SetContracts {
+                json: req_str(body, "json")?,
+            }),
+            _ => Err(JsonError::custom("unknown wal op tag")),
+        }
+    }
+}
+
+fn req_str(value: &Json, key: &str) -> Result<String, JsonError> {
+    value
+        .get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| JsonError::custom(format!("wal op missing string field {key:?}")))
+}
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial), table-driven.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut crc = i as u32;
+            let mut bit = 0;
+            while bit < 8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+                bit += 1;
+            }
+            table[i] = crc;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// An open, append-only WAL file.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    next_seq: u64,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the WAL at `path` for appending. The
+    /// first appended record gets sequence `next_seq`.
+    pub fn open_append(path: &Path, next_seq: u64) -> io::Result<Wal> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            next_seq,
+        })
+    }
+
+    /// The path this WAL appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The sequence number the next append will use.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Appends one record and syncs it to disk. Returns the record's
+    /// sequence number; the op is durable once this returns `Ok`.
+    pub fn append(&mut self, op: &WalOp) -> io::Result<u64> {
+        let seq = self.next_seq;
+        let payload = Json::Object(vec![
+            ("seq".to_string(), seq.to_json()),
+            ("op".to_string(), op.to_json()),
+        ])
+        .render();
+        let line = format!("{:08x} {payload}\n", crc32(payload.as_bytes()));
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_data()?;
+        self.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// Reads every intact record from the log at `path`, stopping at the
+    /// first torn, corrupt, or unparseable line (see module docs).
+    /// Returns the records plus whether a tail was discarded. A missing
+    /// file is an empty log.
+    pub fn read_records(path: &Path) -> io::Result<(Vec<WalRecord>, bool)> {
+        let mut bytes = Vec::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut bytes)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), false)),
+            Err(e) => return Err(e),
+        }
+        let mut records = Vec::new();
+        let mut rest: &[u8] = &bytes;
+        loop {
+            let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
+                // No newline: either clean EOF or a torn final record.
+                return Ok((records, !rest.is_empty()));
+            };
+            let line = &rest[..nl];
+            rest = &rest[nl + 1..];
+            match decode_line(line) {
+                Some(record) => records.push(record),
+                None => return Ok((records, true)),
+            }
+        }
+    }
+}
+
+/// Decodes one `crc payload` line; `None` on any mismatch.
+fn decode_line(line: &[u8]) -> Option<WalRecord> {
+    let line = std::str::from_utf8(line).ok()?;
+    let (crc_hex, payload) = line.split_once(' ')?;
+    let want = u32::from_str_radix(crc_hex, 16).ok()?;
+    if crc32(payload.as_bytes()) != want {
+        return None;
+    }
+    let json = Json::parse(payload).ok()?;
+    let seq = json.get("seq").and_then(Json::as_u64)?;
+    let op = WalOp::from_json(json.get("op")?).ok()?;
+    Some(WalRecord { seq, op })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("concord-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn append_then_read_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("wal.log");
+        let ops = vec![
+            WalOp::Upsert {
+                name: "dev0".to_string(),
+                text: "vlan 1\nmtu 1500\n".to_string(),
+            },
+            WalOp::Learn,
+            WalOp::Remove {
+                name: "dev0".to_string(),
+            },
+            WalOp::SetContracts {
+                json: "{\"contracts\": []}".to_string(),
+            },
+        ];
+        let mut wal = Wal::open_append(&path, 1).unwrap();
+        for op in &ops {
+            wal.append(op).unwrap();
+        }
+        assert_eq!(wal.next_seq(), 5);
+        let (records, torn) = Wal::read_records(&path).unwrap();
+        assert!(!torn);
+        assert_eq!(records.len(), 4);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.seq, i as u64 + 1);
+            assert_eq!(&r.op, &ops[i]);
+        }
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_but_prefix_survives() {
+        let dir = tmp_dir("torn");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::open_append(&path, 1).unwrap();
+        for i in 0..3 {
+            wal.append(&WalOp::Upsert {
+                name: format!("dev{i}"),
+                text: "vlan 1\n".to_string(),
+            })
+            .unwrap();
+        }
+        drop(wal);
+        // Tear: chop the last 5 bytes off the file.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let (records, torn) = Wal::read_records(&path).unwrap();
+        assert!(torn);
+        assert_eq!(records.len(), 2);
+    }
+
+    #[test]
+    fn corrupt_crc_stops_replay_at_that_record() {
+        let dir = tmp_dir("crc");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::open_append(&path, 1).unwrap();
+        for i in 0..3 {
+            wal.append(&WalOp::Remove {
+                name: format!("dev{i}"),
+            })
+            .unwrap();
+        }
+        drop(wal);
+        // Flip one payload byte in the middle record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let lines: Vec<usize> = bytes
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b == b'\n')
+            .map(|(i, _)| i)
+            .collect();
+        let mid = lines[0] + 12;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let (records, torn) = Wal::read_records(&path).unwrap();
+        assert!(torn);
+        assert_eq!(records.len(), 1);
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_log() {
+        let dir = tmp_dir("missing");
+        let (records, torn) = Wal::read_records(&dir.join("nope.log")).unwrap();
+        assert!(records.is_empty());
+        assert!(!torn);
+    }
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Gate: the fault-isolated paths must not contain a bare `.unwrap()`
+# outside `#[cfg(test)]`. A panic in the engine or the serve loop is
+# supposed to be impossible by construction (typed errors + `.expect()`
+# with an invariant message where infallibility is provable); a bare
+# unwrap is how "impossible" states take the whole resident process
+# down. Test modules sit at the end of each file, so everything from
+# the first `#[cfg(test)]` marker onward is exempt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+for f in crates/engine/src/*.rs crates/cli/src/serve.rs; do
+  hits=$(awk '/#\[cfg\(test\)\]/{exit} /\.unwrap\(\)/{print FILENAME ":" FNR ": " $0}' "$f")
+  if [ -n "$hits" ]; then
+    echo "$hits"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "error: bare .unwrap() outside #[cfg(test)] in fault-isolated code" >&2
+  exit 1
+fi
+echo "ok: no bare unwrap outside tests in crates/engine and serve.rs"
