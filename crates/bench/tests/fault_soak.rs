@@ -67,6 +67,20 @@ fn oracle(me: &ResilientEngine) -> String {
     render(&oracle.check_dirty().expect("oracle checks").report)
 }
 
+/// The learn oracle: the contract set a full (non-delta) relearn of
+/// the recovered corpus produces, as its canonical JSON.
+fn learn_oracle(me: &ResilientEngine) -> String {
+    let image = me.image();
+    let options = EngineOptions {
+        delta_learn: false,
+        ..EngineOptions::default()
+    };
+    let mut oracle = Engine::from_corpus(&image.corpus(), &image.metadata, options)
+        .expect("learn oracle builds");
+    oracle.relearn();
+    oracle.contracts().expect("learned").to_json()
+}
+
 fn reboot(dir: &Path) -> ResilientEngine {
     let (mut back, _) =
         ResilientEngine::with_store(&[], &[], Lexer::standard(), EngineOptions::default(), dir)
@@ -179,10 +193,98 @@ fn storage_and_panic_fault_soak() {
             got, want,
             "step {step} fault {fault:?} seed {seed}: post-fault check diverged from oracle"
         );
+
+        // Sketch-replay invariant: a delta relearn on the recovered
+        // engine — folding whatever sketches survived checkpointing,
+        // torn storage, and WAL replay — must byte-identically match a
+        // full relearn of the same corpus.
+        if step % 4 == 3 {
+            me.relearn()
+                .unwrap_or_else(|e| panic!("step {step}: post-fault relearn failed: {e}"));
+            let got = me.image().contracts.clone().expect("just learned");
+            assert_eq!(
+                got,
+                learn_oracle(&me),
+                "step {step} fault {fault:?} seed {seed}: delta relearn diverged from full relearn"
+            );
+        }
     }
 
     let rob = me.robustness();
     assert!(rob.panics_recovered >= 1, "{rob:?}");
     assert!(reboots >= 1 && rob.wal_replays >= 1, "{rob:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Sketch persistence under `kill -9`: sketches checkpointed with the
+/// snapshot are reused after a reboot, edits that only live in the WAL
+/// invalidate exactly their configs, and a *torn* persisted sketch
+/// bundle (bit-flipped snapshot payload) falls back to the backup
+/// rather than poisoning the learner — in every case the post-reboot
+/// delta relearn is byte-identical to a full relearn.
+#[test]
+fn sketch_cache_survives_kill_and_torn_persistence() {
+    let seed = env_u64("CONCORD_SOAK_SEED", 0xC0C0);
+    let dir = soak_dir();
+    let mut plan = FaultPlan::new(seed ^ 0x5E7C);
+
+    let corpus: Vec<(String, String)> = (0..8)
+        .map(|i| (format!("dev{i}"), plan.config_text()))
+        .collect();
+    let (mut me, _) = ResilientEngine::with_store(
+        &corpus,
+        &[],
+        Lexer::standard(),
+        EngineOptions::default(),
+        &dir,
+    )
+    .expect("boots");
+    me.set_checkpoint_every(0);
+    me.relearn().expect("initial learn");
+    me.checkpoint();
+
+    // Post-checkpoint edits live only in the WAL: after a kill, the
+    // persisted sketches for these configs are stale by generation.
+    me.upsert("dev0", &plan.config_text()).expect("upserts");
+    me.remove("dev7").expect("removes");
+    drop(me); // kill -9: no checkpoint since the edits
+
+    let mut back = reboot(&dir);
+    let ld = back.learn_delta().expect("live");
+    assert!(
+        ld.sketches >= 5,
+        "persisted sketches must survive the reboot: {ld:?}"
+    );
+    assert!(
+        ld.dirty >= 1,
+        "WAL-replayed edits must invalidate their sketches: {ld:?}"
+    );
+    back.relearn().expect("relearns");
+    let got = back.image().contracts.clone().expect("just learned");
+    assert_eq!(
+        got,
+        learn_oracle(&back),
+        "seed {seed}: post-kill delta relearn diverged from full relearn"
+    );
+    back.checkpoint();
+    drop(back);
+
+    // Tear the persisted sketch bundle: flip a byte inside the live
+    // snapshot's payload (the image CRC catches it, the backup takes
+    // over). The learner must come back clean either way.
+    let snap = dir.join("snapshot.json");
+    let mut bytes = std::fs::read(&snap).expect("snapshot readable");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&snap, &bytes).expect("snapshot tampered");
+
+    let mut back = reboot(&dir);
+    back.relearn().expect("relearns after torn snapshot");
+    let got = back.image().contracts.clone().expect("just learned");
+    assert_eq!(
+        got,
+        learn_oracle(&back),
+        "seed {seed}: post-tear delta relearn diverged from full relearn"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }

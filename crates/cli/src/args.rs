@@ -28,6 +28,7 @@ USAGE:
                 [--deadline-ms N] [--max-line-bytes N]
                 [--max-body-bytes N] [--state-dir <dir>]
                 [--lex-cache-cap N] [--enable-fault-injection]
+                [--full-relearn]
   concord help
 
 Categories for --disable: present ordering type sequence unique relational
@@ -35,7 +36,7 @@ Categories for --disable: present ordering type sequence unique relational
 --stats text prints a per-stage timing summary (lexing with cache
 hit/miss counts, each miner, minimization, checking); --stats json
 emits the same data as one machine-readable object (schema
-concord-pipeline-stats/v5, see DESIGN.md) instead of the human
+concord-pipeline-stats/v6, see DESIGN.md) instead of the human
 summary.
 
 serve holds a resident incremental engine and answers a line protocol
@@ -45,8 +46,11 @@ LEARN, CHECK, GEN <name>, CONTRACTS, STATS, CHECKPOINT, QUIT.
 Requests are bounded by --max-line-bytes / --max-body-bytes and a
 per-request --deadline-ms; excess load is shed with `err busy`. With
 --state-dir the engine checkpoints snapshots and fsyncs a write-ahead
-log so a killed process resumes exactly where it stopped. See
-TUTORIAL.md for a walkthrough.";
+log so a killed process resumes exactly where it stopped. LEARN folds
+cached per-config miner sketches by default, re-mining only edited
+configurations; --full-relearn disables the cache and re-mines the
+whole corpus every time (same result, used as the equivalence
+oracle). See TUTORIAL.md for a walkthrough.";
 
 /// Per-stage statistics reporting mode (`--stats`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -56,7 +60,7 @@ pub enum StatsMode {
     Off,
     /// Human-readable summary appended to normal output.
     Text,
-    /// One `concord-pipeline-stats/v5` JSON object replacing the human
+    /// One `concord-pipeline-stats/v6` JSON object replacing the human
     /// summary.
     Json,
 }
@@ -130,6 +134,9 @@ pub struct ServeArgs {
     /// Enable the FAULT verb (deterministic panic injection for the
     /// robustness harness).
     pub enable_faults: bool,
+    /// Disable the incremental sketch cache: every LEARN re-mines the
+    /// whole corpus (the byte-identical equivalence oracle).
+    pub full_relearn: bool,
 }
 
 /// Arguments for `concord coverage`.
@@ -455,6 +462,7 @@ fn parse_serve(argv: &[String]) -> Result<Command, UsageError> {
         state_dir: None,
         lex_cache_cap: 64 * 1024,
         enable_faults: false,
+        full_relearn: false,
     };
     let mut flags = Flags { argv, pos: 0 };
     while let Some(flag) = flags.next_flag() {
@@ -495,6 +503,7 @@ fn parse_serve(argv: &[String]) -> Result<Command, UsageError> {
             "--state-dir" => args.state_dir = Some(flags.value(flag)?.to_string()),
             "--lex-cache-cap" => args.lex_cache_cap = flags.parse(flag)?,
             "--enable-fault-injection" => args.enable_faults = true,
+            "--full-relearn" => args.full_relearn = true,
             other => return Err(UsageError(format!("unknown flag {other:?}"))),
         }
     }
@@ -613,6 +622,7 @@ mod tests {
             "--lex-cache-cap",
             "1024",
             "--enable-fault-injection",
+            "--full-relearn",
         ]))
         .unwrap();
         match cmd {
@@ -630,6 +640,7 @@ mod tests {
                 assert_eq!(a.state_dir.as_deref(), Some("/tmp/concord-state"));
                 assert_eq!(a.lex_cache_cap, 1024);
                 assert!(a.enable_faults);
+                assert!(a.full_relearn);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -641,6 +652,7 @@ mod tests {
                 assert_eq!(a.lex_cache_cap, 64 * 1024);
                 assert!(a.state_dir.is_none());
                 assert!(!a.enable_faults);
+                assert!(!a.full_relearn, "delta learn is the default");
             }
             other => panic!("unexpected {other:?}"),
         }

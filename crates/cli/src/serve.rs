@@ -12,11 +12,13 @@
 //! UPSERT <name>     -- followed by the configuration body, terminated
 //!                      by a line containing only "."
 //! REMOVE <name>
-//! LEARN             -- relearn contracts from the current snapshot
+//! LEARN             -- relearn contracts from the current snapshot;
+//!                      folds cached per-config sketches, re-mining
+//!                      only edited configs (unless --full-relearn)
 //! CHECK             -- report violations; recomputes only dirty configs
 //! GEN <name>        -- the configuration's edit generation
 //! CONTRACTS         -- how many contracts are loaded
-//! STATS             -- one-line JSON engine snapshot (v5 schema)
+//! STATS             -- one-line JSON engine snapshot (v6 schema)
 //! CHECKPOINT        -- force a durable checkpoint (needs --state-dir)
 //! QUIT
 //! ```
@@ -180,6 +182,7 @@ fn build_engine(args: &ServeArgs) -> Result<ResilientEngine, CliError> {
         learn: args.params.clone(),
         staleness_threshold: args.staleness,
         lex_cache_cap: args.lex_cache_cap,
+        delta_learn: !args.full_relearn,
     };
     let (mut engine, resumed) = match &args.state_dir {
         Some(dir) => {
@@ -554,7 +557,14 @@ fn handle_command<R: Read, W: Write + ?Sized>(
             if let Some(mut engine) = shared.lock_engine(cutoff) {
                 match engine.relearn() {
                     Ok(_) => match engine.contracts_len() {
-                        Ok(Some(n)) => writeln!(out, "ok learn {n} contracts")?,
+                        Ok(Some(n)) => {
+                            let delta = engine.learn_delta().unwrap_or_default();
+                            writeln!(
+                                out,
+                                "ok learn {n} contracts mined={} reused={}",
+                                delta.mined_last_learn, delta.reused_last_learn
+                            )?
+                        }
                         Ok(None) => writeln!(out, "err not-learned")?,
                         Err(fault) => writeln!(out, "{}", fault_line(&fault))?,
                     },
@@ -959,6 +969,30 @@ mod tests {
         let shared = ServeShared::new(engine, ServeLimits::default(), false);
         let out = session(&shared, "FAULT check\nQUIT\n");
         assert!(out.contains("err unknown-command \"FAULT\""), "{out}");
+    }
+
+    #[test]
+    fn learn_reports_delta_counters_and_stats_carry_learn_delta() {
+        let shared = fresh_shared();
+        let out = session(
+            &shared,
+            "LEARN\nLEARN\nUPSERT dev0\nvlan 1\n.\nLEARN\nSTATS\nQUIT\n",
+        );
+        let learns: Vec<&str> = out.lines().filter(|l| l.starts_with("ok learn")).collect();
+        assert_eq!(learns.len(), 3, "{out}");
+        assert!(learns[0].ends_with("mined=6 reused=0"), "{out}");
+        assert!(learns[1].ends_with("mined=0 reused=6"), "{out}");
+        assert!(learns[2].ends_with("mined=1 reused=5"), "{out}");
+        let stats_line = out
+            .lines()
+            .find(|l| l.starts_with("ok stats "))
+            .expect("stats line");
+        let json =
+            concord_json::Json::parse(stats_line.strip_prefix("ok stats ").unwrap()).unwrap();
+        assert_eq!(json["learn_delta"]["enabled"].as_bool(), Some(true));
+        assert_eq!(json["learn_delta"]["sketches"].as_u64(), Some(6));
+        assert_eq!(json["learn_delta"]["mined_last_learn"].as_u64(), Some(1));
+        assert_eq!(json["learn_delta"]["contracts_edits"].as_u64(), Some(1));
     }
 
     #[test]

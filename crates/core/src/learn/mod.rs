@@ -14,12 +14,17 @@ mod range;
 mod reference;
 mod relational;
 mod sequence;
+mod sketch;
 mod typing;
 mod unique;
 
 pub(crate) mod indexes;
 
 pub(crate) use sequence::is_sequential as sequence_is_sequential;
+pub use sketch::{
+    finalize_sketches, sketch_config, sketch_params_fingerprint, ConfigSketch,
+    SKETCH_FORMAT_VERSION,
+};
 
 use crate::contract::{Contract, ContractSet};
 use crate::fxhash::FxHashMap;
@@ -91,6 +96,7 @@ impl<'a> DatasetView<'a> {
     }
 
     /// Number of configurations containing `pattern`.
+    #[cfg(test)]
     pub fn configs_with(&self, pattern: PatternId) -> usize {
         self.config_count[pattern.0 as usize] as usize
     }

@@ -11,58 +11,97 @@ use crate::ir::PatternId;
 use crate::learn::DatasetView;
 use crate::params::LearnParams;
 
-pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> Vec<Contract> {
-    // (p1 -> p2) -> number of configs in which EVERY p1 line is
-    // immediately followed by a p2 line.
-    let mut valid: FxHashMap<(PatternId, PatternId), u32> = FxHashMap::default();
+/// Per-config ordering sketch: the config's non-conflicted
+/// `(pattern, immediate follower)` pairs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct Sketch {
+    /// Each `(p1, p2)` asserts every `p1` line in this config is
+    /// immediately followed by a `p2` line.
+    pub(crate) pairs: Vec<(PatternId, PatternId)>,
+}
 
-    for config in &view.dataset.configs {
-        // For each p1 in this config, the set of follower patterns; `None`
-        // marks an occurrence with no valid follower (end of file or a
-        // metadata boundary).
-        let mut followers: FxHashMap<PatternId, Option<PatternId>> = FxHashMap::default();
-        let mut conflicted: FxHashSet<PatternId> = FxHashSet::default();
-        for (i, line) in config.lines.iter().enumerate() {
-            let next = config.lines.get(i + 1);
-            let follower = match next {
-                Some(n) if n.is_meta == line.is_meta => Some(n.pattern),
-                _ => None,
-            };
-            match followers.entry(line.pattern) {
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(follower);
-                }
-                std::collections::hash_map::Entry::Occupied(e) => {
-                    if *e.get() != follower {
-                        conflicted.insert(line.pattern);
-                    }
-                }
+/// Accumulates one config's follower pairs.
+pub(crate) fn sketch_config(dataset: &crate::ir::Dataset, ci: usize) -> Sketch {
+    let config = &dataset.configs[ci];
+    // For each p1 in this config, the set of follower patterns; `None`
+    // marks an occurrence with no valid follower (end of file or a
+    // metadata boundary).
+    let mut followers: FxHashMap<PatternId, Option<PatternId>> = FxHashMap::default();
+    let mut conflicted: FxHashSet<PatternId> = FxHashSet::default();
+    for (i, line) in config.lines.iter().enumerate() {
+        let next = config.lines.get(i + 1);
+        let follower = match next {
+            Some(n) if n.is_meta == line.is_meta => Some(n.pattern),
+            _ => None,
+        };
+        match followers.entry(line.pattern) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(follower);
             }
-        }
-        for (p1, follower) in followers {
-            if conflicted.contains(&p1) {
-                continue;
-            }
-            if let Some(p2) = follower {
-                *valid.entry((p1, p2)).or_insert(0) += 1;
+            std::collections::hash_map::Entry::Occupied(e) => {
+                if *e.get() != follower {
+                    conflicted.insert(line.pattern);
+                }
             }
         }
     }
+    let mut pairs = Vec::new();
+    for (p1, follower) in followers {
+        if conflicted.contains(&p1) {
+            continue;
+        }
+        if let Some(p2) = follower {
+            pairs.push((p1, p2));
+        }
+    }
+    Sketch { pairs }
+}
 
+/// Global accumulation folded from per-config sketches.
+#[derive(Debug, Default)]
+pub(crate) struct Acc {
+    /// (p1 -> p2) -> number of configs in which EVERY p1 line is
+    /// immediately followed by a p2 line.
+    valid: FxHashMap<(PatternId, PatternId), u32>,
+}
+
+/// Folds one config's sketch into the accumulation.
+pub(crate) fn fold(acc: &mut Acc, sketch: &Sketch) {
+    for &pair in &sketch.pairs {
+        *acc.valid.entry(pair).or_insert(0) += 1;
+    }
+}
+
+/// Applies the support/confidence bars and renders contracts.
+pub(crate) fn emit(
+    acc: Acc,
+    dataset: &crate::ir::Dataset,
+    config_count: &[u32],
+    params: &LearnParams,
+) -> Vec<Contract> {
     let mut out = Vec::new();
-    for (&(p1, p2), &valid_count) in &valid {
-        let support = view.configs_with(p1);
-        if view.configs_with(p2) < params.support {
+    for (&(p1, p2), &valid_count) in &acc.valid {
+        let support = config_count[p1.0 as usize] as usize;
+        if (config_count[p2.0 as usize] as usize) < params.support {
             continue;
         }
         if params.accept(valid_count as usize, support) {
             out.push(Contract::Ordering {
-                first: view.dataset.table.text(p1).to_string(),
-                second: view.dataset.table.text(p2).to_string(),
+                first: dataset.table.text(p1).to_string(),
+                second: dataset.table.text(p2).to_string(),
             });
         }
     }
     out
+}
+
+pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> Vec<Contract> {
+    let mut acc = Acc::default();
+    for ci in 0..view.num_configs() {
+        let sketch = sketch_config(view.dataset, ci);
+        fold(&mut acc, &sketch);
+    }
+    emit(acc, view.dataset, &view.config_count, params)
 }
 
 #[cfg(test)]

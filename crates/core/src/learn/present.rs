@@ -7,17 +7,73 @@
 //! globally shared "magic constant" policies.
 
 use crate::contract::Contract;
-use crate::fxhash::FxHashMap;
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::ir::Dataset;
 use crate::learn::{fill_pattern_into, DatasetView};
 use crate::params::LearnParams;
 
-pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> Vec<Contract> {
-    let total = view.num_configs();
-    let required = params.required_valid(total);
+/// Per-config present sketch. The pattern-occurrence half of present
+/// mining folds from [`crate::learn::sketch::ConfigSketch::patterns`];
+/// this sketch carries only the constant-learning half: the config's
+/// distinct filled-line texts (set semantics — a line appearing twice in
+/// one config counts once).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct Sketch {
+    /// Distinct filled lines of this config, in first-occurrence order.
+    pub(crate) constants: Vec<String>,
+}
+
+/// Accumulates one config's present sketch (constant learning only; the
+/// sketch is empty when `learn_constants` is off).
+pub(crate) fn sketch_config(dataset: &Dataset, ci: usize, params: &LearnParams) -> Sketch {
+    let mut constants = Vec::new();
+    if params.learn_constants {
+        let mut seen: FxHashSet<String> = FxHashSet::default();
+        let mut buf = String::new();
+        for line in &dataset.configs[ci].lines {
+            buf.clear();
+            fill_pattern_into(&mut buf, dataset.table.text(line.pattern), &line.params);
+            if !seen.contains(buf.as_str()) {
+                seen.insert(buf.clone());
+                constants.push(buf.clone());
+            }
+        }
+    }
+    Sketch { constants }
+}
+
+/// Global accumulation folded from per-config sketches in config order.
+#[derive(Debug, Default)]
+pub(crate) struct Acc {
+    /// Filled line → number of configs containing it.
+    line_configs: FxHashMap<String, u32>,
+}
+
+/// Folds one config's sketch into the accumulation.
+pub(crate) fn fold(acc: &mut Acc, sketch: &Sketch) {
+    for line in &sketch.constants {
+        match acc.line_configs.get_mut(line.as_str()) {
+            Some(count) => *count += 1,
+            None => {
+                acc.line_configs.insert(line.clone(), 1);
+            }
+        }
+    }
+}
+
+/// Applies the support/confidence bars and renders contracts.
+pub(crate) fn emit(
+    acc: Acc,
+    dataset: &Dataset,
+    config_count: &[u32],
+    num_configs: usize,
+    params: &LearnParams,
+) -> Vec<Contract> {
+    let required = params.required_valid(num_configs);
     let mut out = Vec::new();
 
-    for (id, text) in view.dataset.table.iter() {
-        let count = view.configs_with(id);
+    for (id, text) in dataset.table.iter() {
+        let count = config_count[id.0 as usize] as usize;
         if count >= params.support && count >= required {
             out.push(Contract::Present {
                 pattern: text.to_string(),
@@ -25,53 +81,39 @@ pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> Vec<Contract
         }
     }
 
-    if params.learn_constants {
-        // Count exact filled-line occurrences per config (set semantics:
-        // a line appearing twice in one config counts once — tracked by
-        // remembering the last config that counted each line, so the
-        // whole pass fills one reused buffer and allocates only per
-        // *distinct* line).
-        let mut line_configs: FxHashMap<String, (u32, u32)> = FxHashMap::default();
-        let mut buf = String::new();
-        for (ci, config) in view.dataset.configs.iter().enumerate() {
-            let ci = ci as u32;
-            for line in &config.lines {
-                buf.clear();
-                fill_pattern_into(
-                    &mut buf,
-                    view.dataset.table.text(line.pattern),
-                    &line.params,
-                );
-                match line_configs.get_mut(buf.as_str()) {
-                    Some(slot) => {
-                        if slot.1 != ci {
-                            slot.0 += 1;
-                            slot.1 = ci;
-                        }
-                    }
-                    None => {
-                        line_configs.insert(buf.clone(), (1, ci));
-                    }
-                }
-            }
-        }
-        for (line, (count, _)) in line_configs {
-            let count = count as usize;
-            if count >= params.support && count >= required {
-                // Skip lines whose pattern has no holes: the plain Present
-                // contract already covers them exactly.
-                if line.contains('[') || {
-                    let pattern_id = view.dataset.table.get(&line);
-                    pattern_id.is_none()
-                } {
-                    out.push(Contract::PresentExact { line });
-                } else {
-                    continue;
-                }
+    for (line, count) in acc.line_configs {
+        let count = count as usize;
+        if count >= params.support && count >= required {
+            // Skip lines whose pattern has no holes: the plain Present
+            // contract already covers them exactly.
+            if line.contains('[') || {
+                let pattern_id = dataset.table.get(&line);
+                pattern_id.is_none()
+            } {
+                out.push(Contract::PresentExact { line });
+            } else {
+                continue;
             }
         }
     }
     out
+}
+
+pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> Vec<Contract> {
+    let mut acc = Acc::default();
+    if params.learn_constants {
+        for ci in 0..view.num_configs() {
+            let sketch = sketch_config(view.dataset, ci, params);
+            fold(&mut acc, &sketch);
+        }
+    }
+    emit(
+        acc,
+        view.dataset,
+        &view.config_count,
+        view.num_configs(),
+        params,
+    )
 }
 
 #[cfg(test)]

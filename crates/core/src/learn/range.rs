@@ -20,74 +20,152 @@ use crate::ir::PatternId;
 use crate::learn::DatasetView;
 use crate::params::LearnParams;
 
-pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> Vec<Contract> {
-    struct Acc {
-        min: BigNum,
-        max: BigNum,
-        instances: u64,
-        distinct: FxHashSet<BigNum>,
-        configs: u32,
-    }
-    let mut stats: FxHashMap<(PatternId, u16), Acc> = FxHashMap::default();
+/// One `(pattern, param)` pair's numeric evidence within a single
+/// config.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ParamSketch {
+    /// Smallest value in this config.
+    pub(crate) min: BigNum,
+    /// Largest value in this config.
+    pub(crate) max: BigNum,
+    /// Total numeric instances in this config.
+    pub(crate) instances: u64,
+    /// Distinct values in first-occurrence order (uncapped per config;
+    /// the global 64-value cap is applied at fold time, replaying the
+    /// reference accumulation's insertion sequence).
+    pub(crate) distinct: Vec<BigNum>,
+}
 
-    for (ci, config) in view.dataset.configs.iter().enumerate() {
-        for (&pattern, line_idxs) in &view.lines_by_pattern[ci] {
-            let first = &config.lines[line_idxs[0]];
-            for (pi, param) in first.params.iter().enumerate() {
-                if param.value.as_num().is_none() {
-                    continue;
+/// Per-config range sketch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct Sketch {
+    /// `((pattern, param), evidence)` for each numeric pair present in
+    /// the config.
+    pub(crate) entries: Vec<((PatternId, u16), ParamSketch)>,
+}
+
+/// Accumulates one config's numeric evidence.
+pub(crate) fn sketch_config(
+    dataset: &crate::ir::Dataset,
+    ci: usize,
+    lines_by_pattern: &FxHashMap<PatternId, Vec<usize>>,
+) -> Sketch {
+    let config = &dataset.configs[ci];
+    let mut entries = Vec::new();
+    for (&pattern, line_idxs) in lines_by_pattern {
+        let first = &config.lines[line_idxs[0]];
+        for (pi, param) in first.params.iter().enumerate() {
+            if param.value.as_num().is_none() {
+                continue;
+            }
+            let values: Vec<&BigNum> = line_idxs
+                .iter()
+                .filter_map(|&li| config.lines[li].params.get(pi))
+                .filter_map(|p| p.value.as_num())
+                .collect();
+            if values.is_empty() {
+                continue;
+            }
+            let mut ps = ParamSketch {
+                min: values[0].clone(),
+                max: values[0].clone(),
+                instances: 0,
+                distinct: Vec::new(),
+            };
+            let mut seen: FxHashSet<&BigNum> = FxHashSet::default();
+            for v in values {
+                ps.instances += 1;
+                if *v < ps.min {
+                    ps.min = v.clone();
                 }
-                let values: Vec<&BigNum> = line_idxs
-                    .iter()
-                    .filter_map(|&li| config.lines[li].params.get(pi))
-                    .filter_map(|p| p.value.as_num())
-                    .collect();
-                if values.is_empty() {
-                    continue;
+                if *v > ps.max {
+                    ps.max = v.clone();
                 }
-                let acc = stats.entry((pattern, pi as u16)).or_insert_with(|| Acc {
-                    min: values[0].clone(),
-                    max: values[0].clone(),
-                    instances: 0,
-                    distinct: FxHashSet::default(),
-                    configs: 0,
-                });
-                acc.configs += 1;
-                for v in values {
-                    acc.instances += 1;
-                    if *v < acc.min {
-                        acc.min = v.clone();
-                    }
-                    if *v > acc.max {
-                        acc.max = v.clone();
-                    }
-                    if acc.distinct.len() < 64 {
-                        acc.distinct.insert(v.clone());
-                    }
+                if seen.insert(v) {
+                    ps.distinct.push(v.clone());
                 }
+            }
+            entries.push(((pattern, pi as u16), ps));
+        }
+    }
+    Sketch { entries }
+}
+
+/// One `(pattern, param)` pair's folded accumulation.
+#[derive(Debug)]
+struct AccEntry {
+    min: BigNum,
+    max: BigNum,
+    instances: u64,
+    distinct: FxHashSet<BigNum>,
+    configs: u32,
+}
+
+/// Global accumulation folded from per-config sketches in config order.
+#[derive(Debug, Default)]
+pub(crate) struct Acc {
+    stats: FxHashMap<(PatternId, u16), AccEntry>,
+}
+
+/// Folds one config's sketch into the accumulation.
+pub(crate) fn fold(acc: &mut Acc, sketch: &Sketch) {
+    for ((pattern, param), ps) in &sketch.entries {
+        let entry = acc
+            .stats
+            .entry((*pattern, *param))
+            .or_insert_with(|| AccEntry {
+                min: ps.min.clone(),
+                max: ps.max.clone(),
+                instances: 0,
+                distinct: FxHashSet::default(),
+                configs: 0,
+            });
+        entry.configs += 1;
+        entry.instances += ps.instances;
+        if ps.min < entry.min {
+            entry.min = ps.min.clone();
+        }
+        if ps.max > entry.max {
+            entry.max = ps.max.clone();
+        }
+        for v in &ps.distinct {
+            if entry.distinct.len() < 64 {
+                entry.distinct.insert(v.clone());
             }
         }
     }
+}
 
+/// Applies the support and set-likeness bars and renders contracts.
+pub(crate) fn emit(acc: Acc, dataset: &crate::ir::Dataset, params: &LearnParams) -> Vec<Contract> {
     let mut out = Vec::new();
-    for (&(pattern, param), acc) in &stats {
-        if (acc.configs as usize) < params.support || acc.instances < 4 {
+    for (&(pattern, param), entry) in &acc.stats {
+        if (entry.configs as usize) < params.support || entry.instances < 4 {
             continue;
         }
         // Identifier-like parameters have nearly as many distinct values
         // as instances; set-like parameters repeat. Only the latter form
         // meaningful ranges.
-        if (acc.distinct.len() as u64) * 2 > acc.instances {
+        if (entry.distinct.len() as u64) * 2 > entry.instances {
             continue;
         }
         out.push(Contract::Range {
-            pattern: view.dataset.table.text(pattern).to_string(),
+            pattern: dataset.table.text(pattern).to_string(),
             param,
-            min: acc.min.clone(),
-            max: acc.max.clone(),
+            min: entry.min.clone(),
+            max: entry.max.clone(),
         });
     }
     out
+}
+
+pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> Vec<Contract> {
+    let mut acc = Acc::default();
+    for ci in 0..view.num_configs() {
+        let sketch = sketch_config(view.dataset, ci, &view.lines_by_pattern[ci]);
+        fold(&mut acc, &sketch);
+    }
+    emit(acc, view.dataset, params)
 }
 
 #[cfg(test)]

@@ -40,15 +40,16 @@ pub(crate) struct CandKey {
 /// runs, so a left fold and a binary tree merge produce bit-identical
 /// results — including the floating-point diversity score, which is
 /// summed over the list in its (stable) order at finalization.
-struct Partial {
-    valid: u32,
-    witnesses: Vec<(u64, f64)>,
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Partial {
+    pub(crate) valid: u32,
+    pub(crate) witnesses: Vec<(u64, f64)>,
     /// Hash-membership mirror of `witnesses`, materialized lazily once
     /// the list outgrows [`SEEN_THRESHOLD`]: per-config leaves hold a
     /// handful of witnesses and a linear dedup scan is faster than any
     /// set, but an accumulated run approaching the witness cap would
     /// make the scan quadratic per candidate across merge levels.
-    seen: Option<Box<crate::fxhash::FxHashSet<u64>>>,
+    pub(crate) seen: Option<Box<crate::fxhash::FxHashSet<u64>>>,
 }
 
 /// Witness-list length at which [`Partial::seen`] is materialized.
@@ -60,13 +61,13 @@ const SEEN_THRESHOLD: usize = 32;
 /// probing while 5k-candidate maps shuffle up the tree — and the full
 /// [`CandKey`] is only reconstructed once per surviving candidate at
 /// finalization.
-type PartialRun = Vec<(u128, Partial)>;
+pub(crate) type PartialRun = Vec<(u128, Partial)>;
 
 /// Per-configuration mining result, already folded into mergeable form.
-struct LocalOutcome {
-    partial: PartialRun,
+pub(crate) struct LocalOutcome {
+    pub(crate) partial: PartialRun,
     /// Witness records dropped by the pathological fan-out guard.
-    truncations: u64,
+    pub(crate) truncations: u64,
 }
 
 /// The result of relational mining, with merge-phase instrumentation.
@@ -97,7 +98,7 @@ pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> MineOutcome 
     for chunk in config_indices.chunks(chunk_len) {
         let locals = parallel::map(
             chunk,
-            |&ci| mine_config(view, ci, params),
+            |&ci| mine_config(view.dataset, ci, params),
             params.parallelism,
         );
         fanout_truncations += locals.iter().map(|l| l.truncations).sum::<u64>();
@@ -120,7 +121,12 @@ pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> MineOutcome 
     }
 
     MineOutcome {
-        contracts: finalize(global.unwrap_or_default(), view, params),
+        contracts: finalize(
+            global.unwrap_or_default(),
+            view.dataset,
+            &view.config_count,
+            params,
+        ),
         merge_time,
         fanout_truncations,
     }
@@ -133,7 +139,7 @@ pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> MineOutcome 
 /// deduplication, truncated at `cap`. Truncating eagerly is lossless: a
 /// witness past position `cap` in its own run's distinct order can never
 /// be among the first `cap` distinct of any longer run it is a suffix of.
-fn merge_partials(left: PartialRun, right: PartialRun, cap: usize) -> PartialRun {
+pub(crate) fn merge_partials(left: PartialRun, right: PartialRun, cap: usize) -> PartialRun {
     let mut out: PartialRun = Vec::with_capacity(left.len().max(right.len()));
     let mut l = left.into_iter();
     let mut r = right.into_iter();
@@ -203,16 +209,17 @@ fn merge_one(mut held: Partial, incoming: Partial, cap: usize) -> Partial {
 /// The diversity score is summed over each witness list in its stable
 /// (config-order) sequence, reproducing the reference fold's running sum
 /// bit-for-bit.
-fn finalize(
+pub(crate) fn finalize(
     global: PartialRun,
-    view: &DatasetView<'_>,
+    dataset: &crate::ir::Dataset,
+    config_count: &[u32],
     params: &LearnParams,
 ) -> Vec<RelationalContract> {
     let scored = global.into_iter().map(|(code, stats)| {
         let score: f64 = stats.witnesses.iter().map(|&(_, s)| s).sum();
         (decode_cand(code), stats.valid, score)
     });
-    finalize_scored(scored, view.dataset, &view.config_count, params)
+    finalize_scored(scored, dataset, config_count, params)
 }
 
 /// The shared tail of finalization: support/confidence/score bars, the
@@ -294,9 +301,16 @@ pub(crate) fn finalize_scored(
     out
 }
 
-/// Builds the per-configuration index and runs the query pass.
-fn mine_config(view: &DatasetView<'_>, ci: usize, params: &LearnParams) -> LocalOutcome {
-    let config = &view.dataset.configs[ci];
+/// Builds the per-configuration index and runs the query pass. Only the
+/// configuration itself is consulted — no cross-config state — which is
+/// what makes the result a per-config *sketch* the incremental engine
+/// can persist and re-merge.
+pub(crate) fn mine_config(
+    dataset: &crate::ir::Dataset,
+    ci: usize,
+    params: &LearnParams,
+) -> LocalOutcome {
+    let config = &dataset.configs[ci];
     let mut index = ValueIndex::new(params.max_affix_fanout);
     let mut node_instances: FxHashMap<u64, u32> = FxHashMap::default();
 
@@ -513,7 +527,7 @@ fn mine_config(view: &DatasetView<'_>, ci: usize, params: &LearnParams) -> Local
 /// Packs a [`NodeKey`] into an injective 59-bit code: transform tag
 /// (11 bits: 3-bit discriminant + 8-bit payload), parameter index
 /// (16 bits), pattern id (32 bits).
-fn node_code(node: NodeKey) -> u64 {
+pub(crate) fn node_code(node: NodeKey) -> u64 {
     let (d, payload) = match node.transform_tag {
         TransformTag::Id => (0u64, 0u64),
         TransformTag::Hex => (1, 0),
@@ -528,7 +542,7 @@ fn node_code(node: NodeKey) -> u64 {
 }
 
 /// Inverts [`node_code`].
-fn decode_node(code: u64) -> NodeKey {
+pub(crate) fn decode_node(code: u64) -> NodeKey {
     let payload = ((code >> 3) & 0xff) as u8;
     let transform_tag = match code & 0b111 {
         0 => TransformTag::Id,
@@ -551,19 +565,19 @@ fn decode_node(code: u64) -> NodeKey {
 /// node — into an injective 61-bit code. Within one antecedent rep this
 /// code identifies the candidate, so the per-rep dedup map hashes one
 /// `u64` instead of a multi-field `CandKey`.
-fn consequent_code(relation: RelationKind, node: NodeKey) -> u64 {
+pub(crate) fn consequent_code(relation: RelationKind, node: NodeKey) -> u64 {
     (relation as u64) | (node_code(node) << 2)
 }
 
 /// Packs a full candidate — antecedent node (59 bits) over the
 /// relation + consequent code (61 bits) — into an injective 120-bit
 /// code, the key of every map on the accumulate/merge path.
-fn cand_code(antecedent: u64, consequent: u64) -> u128 {
+pub(crate) fn cand_code(antecedent: u64, consequent: u64) -> u128 {
     (u128::from(antecedent) << 61) | u128::from(consequent)
 }
 
 /// Inverts [`cand_code`] back into the full [`CandKey`].
-fn decode_cand(code: u128) -> CandKey {
+pub(crate) fn decode_cand(code: u128) -> CandKey {
     let ccode = (code as u64) & ((1 << 61) - 1);
     let relation = match ccode & 0b11 {
         0 => RelationKind::Equals,

@@ -34,47 +34,87 @@ pub(crate) fn is_sequential(values: &[&BigNum]) -> bool {
     true
 }
 
-pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> Vec<Contract> {
-    // (pattern, param) -> (configs with >= 2 instances, sequential configs).
-    let mut stats: FxHashMap<(PatternId, u16), (u32, u32)> = FxHashMap::default();
+/// Per-config sequence sketch: for each eligible `(pattern, param)` (at
+/// least two numeric instances), whether the config's values form a
+/// sequence.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct Sketch {
+    /// `(pattern, param, is_sequential)` for each eligible pair.
+    pub(crate) entries: Vec<(PatternId, u16, bool)>,
+}
 
-    for (ci, config) in view.dataset.configs.iter().enumerate() {
-        for (&pattern, line_idxs) in &view.lines_by_pattern[ci] {
-            if line_idxs.len() < 2 {
+/// Accumulates one config's sequence evidence. `lines_by_pattern` maps
+/// pattern id → indices of the config's lines with that pattern.
+pub(crate) fn sketch_config(
+    dataset: &crate::ir::Dataset,
+    ci: usize,
+    lines_by_pattern: &FxHashMap<PatternId, Vec<usize>>,
+) -> Sketch {
+    let config = &dataset.configs[ci];
+    let mut entries = Vec::new();
+    for (&pattern, line_idxs) in lines_by_pattern {
+        if line_idxs.len() < 2 {
+            continue;
+        }
+        let first = &config.lines[line_idxs[0]];
+        for (pi, param) in first.params.iter().enumerate() {
+            if param.value.as_num().is_none() {
                 continue;
             }
-            let first = &config.lines[line_idxs[0]];
-            for (pi, param) in first.params.iter().enumerate() {
-                if param.value.as_num().is_none() {
-                    continue;
-                }
-                let values: Vec<&BigNum> = line_idxs
-                    .iter()
-                    .filter_map(|&li| config.lines[li].params.get(pi))
-                    .filter_map(|p| p.value.as_num())
-                    .collect();
-                if values.len() != line_idxs.len() {
-                    continue;
-                }
-                let entry = stats.entry((pattern, pi as u16)).or_insert((0, 0));
-                entry.0 += 1;
-                if is_sequential(&values) {
-                    entry.1 += 1;
-                }
+            let values: Vec<&BigNum> = line_idxs
+                .iter()
+                .filter_map(|&li| config.lines[li].params.get(pi))
+                .filter_map(|p| p.value.as_num())
+                .collect();
+            if values.len() != line_idxs.len() {
+                continue;
             }
+            entries.push((pattern, pi as u16, is_sequential(&values)));
         }
     }
+    Sketch { entries }
+}
 
+/// Global accumulation folded from per-config sketches.
+#[derive(Debug, Default)]
+pub(crate) struct Acc {
+    /// (pattern, param) -> (configs with >= 2 instances, sequential
+    /// configs).
+    stats: FxHashMap<(PatternId, u16), (u32, u32)>,
+}
+
+/// Folds one config's sketch into the accumulation.
+pub(crate) fn fold(acc: &mut Acc, sketch: &Sketch) {
+    for &(pattern, param, sequential) in &sketch.entries {
+        let entry = acc.stats.entry((pattern, param)).or_insert((0, 0));
+        entry.0 += 1;
+        if sequential {
+            entry.1 += 1;
+        }
+    }
+}
+
+/// Applies the support/confidence bars and renders contracts.
+pub(crate) fn emit(acc: Acc, dataset: &crate::ir::Dataset, params: &LearnParams) -> Vec<Contract> {
     let mut out = Vec::new();
-    for (&(pattern, param), &(support, sequential)) in &stats {
+    for (&(pattern, param), &(support, sequential)) in &acc.stats {
         if params.accept(sequential as usize, support as usize) {
             out.push(Contract::Sequence {
-                pattern: view.dataset.table.text(pattern).to_string(),
+                pattern: dataset.table.text(pattern).to_string(),
                 param,
             });
         }
     }
     out
+}
+
+pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> Vec<Contract> {
+    let mut acc = Acc::default();
+    for ci in 0..view.num_configs() {
+        let sketch = sketch_config(view.dataset, ci, &view.lines_by_pattern[ci]);
+        fold(&mut acc, &sketch);
+    }
+    emit(acc, view.dataset, params)
 }
 
 #[cfg(test)]

@@ -1,0 +1,727 @@
+//! Per-configuration miner sketches: the mergeable form of learning.
+//!
+//! Every miner in this module's siblings is structured as three phases —
+//! *sketch* one configuration, *fold* sketches in config order into a
+//! global accumulation, *emit* contracts from the accumulation — and
+//! [`super::learn_with_stats`] is exactly sketch-fold-emit over every
+//! config. A [`ConfigSketch`] bundles one config's per-miner sketches
+//! (pattern occurrence set, constant-line set, follower pairs, type
+//! histograms, sequence/unique/range accumulators, and the relational
+//! sorted-run fragment), so an engine that caches sketches can relearn
+//! after an edit by re-sketching only the changed config and re-running
+//! fold + emit ([`finalize_sketches`]) — the exact same code path as a
+//! full learn, hence byte-identical contracts by construction.
+//!
+//! Sketches serialize to JSON against the dataset's [`PatternTable`]
+//! (pattern *text*, not ids, so they survive snapshot/restore where ids
+//! are reassigned). Witness hashes and diversity scores are stored as
+//! fixed-width hex bit-patterns: the JSON number type is an `f64` and
+//! cannot round-trip full-range `u64` hashes.
+
+use std::time::Instant;
+
+use concord_json::{FromJson, Json, ToJson};
+use concord_types::{BigNum, Transform};
+
+use crate::contract::{Contract, ContractSet, RelationKind};
+use crate::ir::{Dataset, PatternId, PatternTable};
+use crate::learn::indexes::{NodeKey, TransformTag};
+use crate::learn::LearnStats;
+use crate::learn::{minimize, ordering, present, range, relational, sequence, typing, unique};
+use crate::params::LearnParams;
+
+/// Format version of the serialized sketch; bump on any layout change
+/// so stale persisted sketches are dropped instead of misread.
+pub const SKETCH_FORMAT_VERSION: u64 = 1;
+
+/// One configuration's complete miner sketch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConfigSketch {
+    /// Distinct pattern ids of the config — folds into the per-pattern
+    /// config counts used by present, ordering, and relational emission.
+    pub(crate) patterns: Vec<PatternId>,
+    pub(crate) present: present::Sketch,
+    pub(crate) ordering: ordering::Sketch,
+    pub(crate) typing: typing::Sketch,
+    pub(crate) sequence: sequence::Sketch,
+    pub(crate) unique: unique::Sketch,
+    pub(crate) range: range::Sketch,
+    /// Relational sorted-run fragment (see [`relational`]).
+    pub(crate) relational: relational::PartialRun,
+    /// Witness records this config's relational pass dropped to the
+    /// fan-out guard.
+    pub(crate) relational_truncations: u64,
+}
+
+/// Sketches one configuration under `params`. Only the categories
+/// enabled by `params` are accumulated, so the params fingerprint
+/// ([`sketch_params_fingerprint`]) must match before a sketch is reused.
+pub fn sketch_config(dataset: &Dataset, ci: usize, params: &LearnParams) -> ConfigSketch {
+    let mut lines_by_pattern: crate::fxhash::FxHashMap<PatternId, Vec<usize>> =
+        crate::fxhash::FxHashMap::default();
+    for (i, line) in dataset.configs[ci].lines.iter().enumerate() {
+        lines_by_pattern.entry(line.pattern).or_default().push(i);
+    }
+    let patterns: Vec<PatternId> = lines_by_pattern.keys().copied().collect();
+    let (relational, relational_truncations) = if params.enable_relational {
+        let outcome = relational::mine_config(dataset, ci, params);
+        (outcome.partial, outcome.truncations)
+    } else {
+        (Vec::new(), 0)
+    };
+    ConfigSketch {
+        patterns,
+        present: if params.enable_present {
+            present::sketch_config(dataset, ci, params)
+        } else {
+            present::Sketch::default()
+        },
+        ordering: if params.enable_ordering {
+            ordering::sketch_config(dataset, ci)
+        } else {
+            ordering::Sketch::default()
+        },
+        typing: if params.enable_type {
+            typing::sketch_config(dataset, ci)
+        } else {
+            typing::Sketch::default()
+        },
+        sequence: if params.enable_sequence {
+            sequence::sketch_config(dataset, ci, &lines_by_pattern)
+        } else {
+            sequence::Sketch::default()
+        },
+        unique: if params.enable_unique {
+            unique::sketch_config(dataset, ci, &lines_by_pattern)
+        } else {
+            unique::Sketch::default()
+        },
+        range: if params.enable_range {
+            range::sketch_config(dataset, ci, &lines_by_pattern)
+        } else {
+            range::Sketch::default()
+        },
+        relational,
+        relational_truncations,
+    }
+}
+
+/// Folds `sketches` (one per config, *in config order*) and emits the
+/// contract set — the same fold + emit code the full learner runs, so
+/// the result is byte-identical to `learn_with_stats(dataset, params)`
+/// whenever every sketch was produced by [`sketch_config`] under the
+/// same params.
+pub fn finalize_sketches(
+    dataset: &Dataset,
+    sketches: &[&ConfigSketch],
+    params: &LearnParams,
+) -> (ContractSet, LearnStats) {
+    let mut stats = LearnStats::default();
+    debug_assert_eq!(sketches.len(), dataset.configs.len());
+
+    let t = Instant::now();
+    let mut config_count = vec![0u32; dataset.table.len()];
+    for sketch in sketches {
+        for &pattern in &sketch.patterns {
+            config_count[pattern.0 as usize] += 1;
+        }
+    }
+    stats.view_time = t.elapsed();
+    let num_configs = dataset.configs.len();
+
+    let t_simple = Instant::now();
+    let mut contracts: Vec<Contract> = Vec::new();
+    let time_miner = |name: &str,
+                      out: &mut Vec<Contract>,
+                      mined: Vec<Contract>,
+                      t: Instant,
+                      stats: &mut LearnStats| {
+        stats.miner_times.push((name.to_string(), t.elapsed()));
+        out.extend(mined);
+    };
+    if params.enable_present {
+        let t = Instant::now();
+        let mut acc = present::Acc::default();
+        for sketch in sketches {
+            present::fold(&mut acc, &sketch.present);
+        }
+        let mined = present::emit(acc, dataset, &config_count, num_configs, params);
+        time_miner("present", &mut contracts, mined, t, &mut stats);
+    }
+    if params.enable_ordering {
+        let t = Instant::now();
+        let mut acc = ordering::Acc::default();
+        for sketch in sketches {
+            ordering::fold(&mut acc, &sketch.ordering);
+        }
+        let mined = ordering::emit(acc, dataset, &config_count, params);
+        time_miner("ordering", &mut contracts, mined, t, &mut stats);
+    }
+    if params.enable_type {
+        let t = Instant::now();
+        let mut acc = typing::Acc::default();
+        for sketch in sketches {
+            typing::fold(&mut acc, &sketch.typing);
+        }
+        let mined = typing::emit(acc, params);
+        time_miner("type", &mut contracts, mined, t, &mut stats);
+    }
+    if params.enable_sequence {
+        let t = Instant::now();
+        let mut acc = sequence::Acc::default();
+        for sketch in sketches {
+            sequence::fold(&mut acc, &sketch.sequence);
+        }
+        let mined = sequence::emit(acc, dataset, params);
+        time_miner("sequence", &mut contracts, mined, t, &mut stats);
+    }
+    if params.enable_unique {
+        let t = Instant::now();
+        let mut acc = unique::Acc::default();
+        for sketch in sketches {
+            unique::fold(&mut acc, &sketch.unique, params);
+        }
+        let mined = unique::emit(acc, dataset, num_configs, params);
+        time_miner("unique", &mut contracts, mined, t, &mut stats);
+    }
+    if params.enable_range {
+        let t = Instant::now();
+        let mut acc = range::Acc::default();
+        for sketch in sketches {
+            range::fold(&mut acc, &sketch.range);
+        }
+        let mined = range::emit(acc, dataset, params);
+        time_miner("range", &mut contracts, mined, t, &mut stats);
+    }
+    stats.simple_miners_time = t_simple.elapsed();
+    stats.miner_parallelism = 1;
+
+    let mut relational_before = 0;
+    if params.enable_relational {
+        let t = Instant::now();
+        let tm = Instant::now();
+        let mut global: relational::PartialRun = Vec::new();
+        for sketch in sketches {
+            stats.fanout_truncations += sketch.relational_truncations;
+            global = relational::merge_partials(
+                global,
+                sketch.relational.clone(),
+                params.max_score_witnesses,
+            );
+        }
+        stats.relational_merge_time = tm.elapsed();
+        let mined = relational::finalize(global, dataset, &config_count, params);
+        stats.relational_time = t.elapsed();
+        stats
+            .miner_times
+            .push(("relational".to_string(), stats.relational_time));
+        relational_before = mined.len();
+        let t = Instant::now();
+        let reduced = if params.minimize {
+            minimize::minimize(mined, params.parallelism)
+        } else {
+            mined
+        };
+        stats.minimize_time = t.elapsed();
+        stats.relational_after_minimization = reduced.len();
+        contracts.extend(reduced.into_iter().map(Contract::Relational));
+    }
+    stats.relational_before_minimization = relational_before;
+
+    contracts.sort_by(|a, b| (a.category(), a.describe()).cmp(&(b.category(), b.describe())));
+    contracts.dedup();
+
+    (
+        ContractSet {
+            contracts,
+            relational_before_minimization: relational_before,
+        },
+        stats,
+    )
+}
+
+/// A deterministic fingerprint of every [`LearnParams`] field that can
+/// change sketch contents or their interpretation. `parallelism` is
+/// deliberately excluded: learning is pinned byte-identical across
+/// parallelism levels, so sketches are reusable across it.
+pub fn sketch_params_fingerprint(params: &LearnParams) -> String {
+    format!(
+        "v{SKETCH_FORMAT_VERSION};support={};confidence={:016x};score_threshold={:016x};\
+         present={};ordering={};type={};sequence={};unique={};relational={};range={};\
+         constants={};minimize={};max_witnesses_per_instance={};max_affix_fanout={};\
+         max_score_witnesses={}",
+        params.support,
+        params.confidence.to_bits(),
+        params.score_threshold.to_bits(),
+        params.enable_present,
+        params.enable_ordering,
+        params.enable_type,
+        params.enable_sequence,
+        params.enable_unique,
+        params.enable_relational,
+        params.enable_range,
+        params.learn_constants,
+        params.minimize,
+        params.max_witnesses_per_instance,
+        params.max_affix_fanout,
+        params.max_score_witnesses,
+    )
+}
+
+fn hex64(v: u64) -> Json {
+    Json::Str(format!("{v:016x}"))
+}
+
+fn hex_f64(v: f64) -> Json {
+    hex64(v.to_bits())
+}
+
+fn parse_hex64(json: &Json) -> Option<u64> {
+    u64::from_str_radix(json.as_str()?, 16).ok()
+}
+
+fn parse_hex_f64(json: &Json) -> Option<f64> {
+    Some(f64::from_bits(parse_hex64(json)?))
+}
+
+fn node_to_json(node: NodeKey, table: &PatternTable) -> Json {
+    Json::Object(vec![
+        (
+            "pattern".to_string(),
+            Json::Str(table.text(node.pattern).to_string()),
+        ),
+        ("param".to_string(), u64::from(node.param).to_json()),
+        (
+            "transform".to_string(),
+            node.transform_tag.to_transform().to_json(),
+        ),
+    ])
+}
+
+fn node_from_json(json: &Json, table: &PatternTable) -> Option<NodeKey> {
+    let pattern = table.get(json.get("pattern")?.as_str()?)?;
+    let param = json.get("param")?.as_u64()? as u16;
+    let transform = Transform::from_json(json.get("transform")?).ok()?;
+    Some(NodeKey {
+        pattern,
+        param,
+        transform_tag: TransformTag::from_transform(&transform),
+    })
+}
+
+impl ConfigSketch {
+    /// Serializes against `table` (the table the sketch's pattern ids
+    /// refer to). Patterns are stored as text so the sketch survives
+    /// table rebuilds that reassign ids.
+    pub fn to_json(&self, table: &PatternTable) -> Json {
+        let patterns = Json::Array(
+            self.patterns
+                .iter()
+                .map(|&p| Json::Str(table.text(p).to_string()))
+                .collect(),
+        );
+        let constants = Json::Array(
+            self.present
+                .constants
+                .iter()
+                .map(|line| Json::Str(line.clone()))
+                .collect(),
+        );
+        let ordering = Json::Array(
+            self.ordering
+                .pairs
+                .iter()
+                .map(|&(p1, p2)| {
+                    Json::Array(vec![
+                        Json::Str(table.text(p1).to_string()),
+                        Json::Str(table.text(p2).to_string()),
+                    ])
+                })
+                .collect(),
+        );
+        let typing = Json::Array(
+            self.typing
+                .groups
+                .iter()
+                .map(|(agnostic, holes)| {
+                    Json::Array(vec![
+                        Json::Str(agnostic.clone()),
+                        Json::Array(
+                            holes
+                                .iter()
+                                .map(|counts| {
+                                    Json::Array(
+                                        counts
+                                            .iter()
+                                            .map(|(ty, count)| {
+                                                Json::Array(vec![ty.to_json(), count.to_json()])
+                                            })
+                                            .collect(),
+                                    )
+                                })
+                                .collect(),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let sequence = Json::Array(
+            self.sequence
+                .entries
+                .iter()
+                .map(|&(pattern, param, sequential)| {
+                    Json::Array(vec![
+                        Json::Str(table.text(pattern).to_string()),
+                        u64::from(param).to_json(),
+                        Json::Bool(sequential),
+                    ])
+                })
+                .collect(),
+        );
+        let unique = Json::Array(
+            self.unique
+                .entries
+                .iter()
+                .map(|((pattern, param), ps)| {
+                    Json::Array(vec![
+                        Json::Str(table.text(*pattern).to_string()),
+                        u64::from(*param).to_json(),
+                        Json::Object(vec![
+                            (
+                                "distinct".to_string(),
+                                Json::Array(
+                                    ps.distinct
+                                        .iter()
+                                        .map(|(rendered, score)| {
+                                            Json::Array(vec![
+                                                Json::Str(rendered.clone()),
+                                                hex_f64(*score),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                            ("instances".to_string(), ps.instances.to_json()),
+                            ("intra_dup".to_string(), Json::Bool(ps.intra_dup)),
+                            ("multi".to_string(), Json::Bool(ps.multi)),
+                        ]),
+                    ])
+                })
+                .collect(),
+        );
+        let range = Json::Array(
+            self.range
+                .entries
+                .iter()
+                .map(|((pattern, param), ps)| {
+                    Json::Array(vec![
+                        Json::Str(table.text(*pattern).to_string()),
+                        u64::from(*param).to_json(),
+                        Json::Object(vec![
+                            ("min".to_string(), ps.min.to_json()),
+                            ("max".to_string(), ps.max.to_json()),
+                            ("instances".to_string(), ps.instances.to_json()),
+                            (
+                                "distinct".to_string(),
+                                Json::Array(ps.distinct.iter().map(ToJson::to_json).collect()),
+                            ),
+                        ]),
+                    ])
+                })
+                .collect(),
+        );
+        let relational = Json::Array(
+            self.relational
+                .iter()
+                .map(|(code, partial)| {
+                    let key = relational::decode_cand(*code);
+                    Json::Object(vec![
+                        (
+                            "antecedent".to_string(),
+                            node_to_json(key.antecedent, table),
+                        ),
+                        ("relation".to_string(), key.relation.to_json()),
+                        (
+                            "consequent".to_string(),
+                            node_to_json(key.consequent, table),
+                        ),
+                        ("valid".to_string(), u64::from(partial.valid).to_json()),
+                        (
+                            "witnesses".to_string(),
+                            Json::Array(
+                                partial
+                                    .witnesses
+                                    .iter()
+                                    .map(|&(hash, score)| {
+                                        Json::Array(vec![hex64(hash), hex_f64(score)])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        Json::Object(vec![
+            ("patterns".to_string(), patterns),
+            ("constants".to_string(), constants),
+            ("ordering".to_string(), ordering),
+            ("typing".to_string(), typing),
+            ("sequence".to_string(), sequence),
+            ("unique".to_string(), unique),
+            ("range".to_string(), range),
+            ("relational".to_string(), relational),
+            (
+                "truncations".to_string(),
+                self.relational_truncations.to_json(),
+            ),
+        ])
+    }
+
+    /// Decodes a sketch against `table`, re-encoding pattern texts into
+    /// the table's current ids. Returns `None` on any shape mismatch or
+    /// when a referenced pattern is no longer interned — callers treat
+    /// that as "no sketch" and re-mine the config.
+    pub fn from_json(json: &Json, table: &PatternTable) -> Option<ConfigSketch> {
+        let pattern_of = |j: &Json| -> Option<PatternId> { table.get(j.as_str()?) };
+
+        let mut patterns = Vec::new();
+        for entry in json.get("patterns")?.as_array()? {
+            patterns.push(pattern_of(entry)?);
+        }
+        let mut constants = Vec::new();
+        for entry in json.get("constants")?.as_array()? {
+            constants.push(entry.as_str()?.to_string());
+        }
+        let mut pairs = Vec::new();
+        for entry in json.get("ordering")?.as_array()? {
+            let [p1, p2] = entry.as_array()? else {
+                return None;
+            };
+            pairs.push((pattern_of(p1)?, pattern_of(p2)?));
+        }
+        let mut groups = Vec::new();
+        for entry in json.get("typing")?.as_array()? {
+            let [agnostic, holes] = entry.as_array()? else {
+                return None;
+            };
+            let mut hole_counts = Vec::new();
+            for hole in holes.as_array()? {
+                let mut counts = Vec::new();
+                for pair in hole.as_array()? {
+                    let [ty, count] = pair.as_array()? else {
+                        return None;
+                    };
+                    counts.push((
+                        concord_types::ValueType::from_json(ty).ok()?,
+                        count.as_u64()?,
+                    ));
+                }
+                hole_counts.push(counts);
+            }
+            groups.push((agnostic.as_str()?.to_string(), hole_counts));
+        }
+        let mut sequence_entries = Vec::new();
+        for entry in json.get("sequence")?.as_array()? {
+            let [pattern, param, sequential] = entry.as_array()? else {
+                return None;
+            };
+            sequence_entries.push((
+                pattern_of(pattern)?,
+                param.as_u64()? as u16,
+                sequential.as_bool()?,
+            ));
+        }
+        let mut unique_entries = Vec::new();
+        for entry in json.get("unique")?.as_array()? {
+            let [pattern, param, body] = entry.as_array()? else {
+                return None;
+            };
+            let mut distinct = Vec::new();
+            for pair in body.get("distinct")?.as_array()? {
+                let [rendered, score] = pair.as_array()? else {
+                    return None;
+                };
+                distinct.push((rendered.as_str()?.to_string(), parse_hex_f64(score)?));
+            }
+            unique_entries.push((
+                (pattern_of(pattern)?, param.as_u64()? as u16),
+                unique::ParamSketch {
+                    distinct,
+                    instances: body.get("instances")?.as_u64()?,
+                    intra_dup: body.get("intra_dup")?.as_bool()?,
+                    multi: body.get("multi")?.as_bool()?,
+                },
+            ));
+        }
+        let mut range_entries = Vec::new();
+        for entry in json.get("range")?.as_array()? {
+            let [pattern, param, body] = entry.as_array()? else {
+                return None;
+            };
+            let mut distinct = Vec::new();
+            for value in body.get("distinct")?.as_array()? {
+                distinct.push(BigNum::from_json(value).ok()?);
+            }
+            range_entries.push((
+                (pattern_of(pattern)?, param.as_u64()? as u16),
+                range::ParamSketch {
+                    min: BigNum::from_json(body.get("min")?).ok()?,
+                    max: BigNum::from_json(body.get("max")?).ok()?,
+                    instances: body.get("instances")?.as_u64()?,
+                    distinct,
+                },
+            ));
+        }
+        let mut relational_run: relational::PartialRun = Vec::new();
+        for entry in json.get("relational")?.as_array()? {
+            let antecedent = node_from_json(entry.get("antecedent")?, table)?;
+            let relation = RelationKind::from_json(entry.get("relation")?).ok()?;
+            let consequent = node_from_json(entry.get("consequent")?, table)?;
+            let mut witnesses = Vec::new();
+            for pair in entry.get("witnesses")?.as_array()? {
+                let [hash, score] = pair.as_array()? else {
+                    return None;
+                };
+                witnesses.push((parse_hex64(hash)?, parse_hex_f64(score)?));
+            }
+            let code = relational::cand_code(
+                relational::node_code(antecedent),
+                relational::consequent_code(relation, consequent),
+            );
+            relational_run.push((
+                code,
+                relational::Partial {
+                    valid: entry.get("valid")?.as_u64()? as u32,
+                    witnesses,
+                    seen: None,
+                },
+            ));
+        }
+        // Ids may have been reassigned since the sketch was written:
+        // restore the sorted-run invariant under the current encoding.
+        relational_run.sort_unstable_by_key(|&(code, _)| code);
+
+        Some(ConfigSketch {
+            patterns,
+            present: present::Sketch { constants },
+            ordering: ordering::Sketch { pairs },
+            typing: typing::Sketch { groups },
+            sequence: sequence::Sketch {
+                entries: sequence_entries,
+            },
+            unique: unique::Sketch {
+                entries: unique_entries,
+            },
+            range: range::Sketch {
+                entries: range_entries,
+            },
+            relational: relational_run,
+            relational_truncations: json.get("truncations")?.as_u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::learn::learn_with_stats;
+
+    fn dataset(texts: &[String]) -> Dataset {
+        let configs: Vec<(String, String)> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (format!("dev{i}"), t.clone()))
+            .collect();
+        Dataset::from_named_texts(&configs, &[]).unwrap()
+    }
+
+    fn rich_texts() -> Vec<String> {
+        (0..9)
+            .map(|i| {
+                format!(
+                    "hostname DEV{i}\ninterface Loopback0\n ip address 10.14.14.{i}\n\
+                     ip prefix-list lo\n seq 10 permit 10.14.14.{i}/32\n\
+                     vlan {}\n rd 10.0.0.1:10{}\nvni {}\nmtu {}\n",
+                    250 + i,
+                    250 + i,
+                    250 + i,
+                    if i % 2 == 0 { 1500 } else { 9214 },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finalize_sketches_matches_full_learn() {
+        let ds = dataset(&rich_texts());
+        for (learn_constants, enable_range) in [(false, false), (true, true)] {
+            let params = LearnParams {
+                learn_constants,
+                enable_range,
+                ..LearnParams::default()
+            };
+            let sketches: Vec<ConfigSketch> = (0..ds.configs.len())
+                .map(|ci| sketch_config(&ds, ci, &params))
+                .collect();
+            let refs: Vec<&ConfigSketch> = sketches.iter().collect();
+            let (delta, delta_stats) = finalize_sketches(&ds, &refs, &params);
+            let (full, full_stats) = learn_with_stats(&ds, &params);
+            assert_eq!(delta.contracts, full.contracts);
+            assert_eq!(
+                delta.relational_before_minimization,
+                full.relational_before_minimization
+            );
+            assert_eq!(
+                delta_stats.fanout_truncations,
+                full_stats.fanout_truncations
+            );
+            assert!(!delta.is_empty());
+        }
+    }
+
+    #[test]
+    fn sketch_round_trips_through_json() {
+        let ds = dataset(&rich_texts());
+        let params = LearnParams {
+            learn_constants: true,
+            enable_range: true,
+            ..LearnParams::default()
+        };
+        for ci in 0..ds.configs.len() {
+            let sketch = sketch_config(&ds, ci, &params);
+            let json = sketch.to_json(&ds.table);
+            let reparsed = Json::parse(&json.render()).unwrap();
+            let decoded = ConfigSketch::from_json(&reparsed, &ds.table).unwrap();
+            assert_eq!(sketch, decoded, "sketch {ci} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_unknown_patterns() {
+        let ds = dataset(&rich_texts());
+        let params = LearnParams::default();
+        let sketch = sketch_config(&ds, 0, &params);
+        let json = sketch.to_json(&ds.table);
+        // Decode against a table that lacks the patterns.
+        let other = dataset(&["completely different\n".to_string()]);
+        assert!(ConfigSketch::from_json(&json, &other.table).is_none());
+    }
+
+    #[test]
+    fn fingerprint_tracks_semantic_params_only() {
+        let base = LearnParams::default();
+        let mut parallel = base.clone();
+        parallel.parallelism = 8;
+        assert_eq!(
+            sketch_params_fingerprint(&base),
+            sketch_params_fingerprint(&parallel)
+        );
+        let mut support = base.clone();
+        support.support = 7;
+        assert_ne!(
+            sketch_params_fingerprint(&base),
+            sketch_params_fingerprint(&support)
+        );
+    }
+}

@@ -16,46 +16,97 @@ use concord_lexer::type_agnostic_pattern;
 use concord_types::ValueType;
 
 use crate::contract::Contract;
-use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::fxhash::FxHashMap;
 use crate::learn::DatasetView;
 use crate::params::LearnParams;
 
-pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> Vec<Contract> {
-    // agnostic pattern -> per-hole type usage counts, plus config support.
-    struct Group {
-        hole_types: Vec<FxHashMap<ValueType, u64>>,
-        configs: FxHashSet<usize>,
-    }
-    let mut groups: FxHashMap<String, Group> = FxHashMap::default();
+/// Per-hole type usage: one `(type, count)` tally list per bound hole.
+pub(crate) type HoleTypeCounts = Vec<Vec<(ValueType, u64)>>;
 
-    for (ci, config) in view.dataset.configs.iter().enumerate() {
-        for line in &config.lines {
-            if line.params.is_empty() {
-                continue;
-            }
-            let agnostic = type_agnostic_pattern(view.dataset.table.text(line.pattern));
-            let group = groups.entry(agnostic).or_insert_with(|| Group {
-                hole_types: Vec::new(),
-                configs: FxHashSet::default(),
-            });
-            group.configs.insert(ci);
-            // Holes of the *bound* parameters: anonymous context holes are
-            // part of the agnostic text too, so index bound holes by
-            // their position among bound params only.
-            if group.hole_types.len() < line.params.len() {
-                group
-                    .hole_types
-                    .resize_with(line.params.len(), FxHashMap::default);
-            }
-            for (i, param) in line.params.iter().enumerate() {
-                *group.hole_types[i].entry(param.ty.clone()).or_insert(0) += 1;
+/// Per-config typing sketch: for each type-agnostic pattern appearing in
+/// the config, per-hole type usage counts within this config.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct Sketch {
+    /// `(agnostic pattern, per-hole type counts)`.
+    pub(crate) groups: Vec<(String, HoleTypeCounts)>,
+}
+
+/// Accumulates one config's type usage.
+pub(crate) fn sketch_config(dataset: &crate::ir::Dataset, ci: usize) -> Sketch {
+    let mut groups: FxHashMap<String, Vec<FxHashMap<ValueType, u64>>> = FxHashMap::default();
+    for line in &dataset.configs[ci].lines {
+        if line.params.is_empty() {
+            continue;
+        }
+        let agnostic = type_agnostic_pattern(dataset.table.text(line.pattern));
+        let hole_types = groups.entry(agnostic).or_default();
+        // Holes of the *bound* parameters: anonymous context holes are
+        // part of the agnostic text too, so index bound holes by
+        // their position among bound params only.
+        if hole_types.len() < line.params.len() {
+            hole_types.resize_with(line.params.len(), FxHashMap::default);
+        }
+        for (i, param) in line.params.iter().enumerate() {
+            *hole_types[i].entry(param.ty.clone()).or_insert(0) += 1;
+        }
+    }
+    Sketch {
+        groups: groups
+            .into_iter()
+            .map(|(agnostic, holes)| {
+                (
+                    agnostic,
+                    holes
+                        .into_iter()
+                        .map(|counts| counts.into_iter().collect())
+                        .collect(),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// One agnostic pattern's folded accumulation.
+#[derive(Debug, Default)]
+struct Group {
+    hole_types: Vec<FxHashMap<ValueType, u64>>,
+    configs: u32,
+}
+
+/// Global accumulation folded from per-config sketches.
+#[derive(Debug, Default)]
+pub(crate) struct Acc {
+    /// agnostic pattern -> per-hole type usage counts, plus config
+    /// support.
+    groups: FxHashMap<String, Group>,
+}
+
+/// Folds one config's sketch into the accumulation.
+pub(crate) fn fold(acc: &mut Acc, sketch: &Sketch) {
+    for (agnostic, holes) in &sketch.groups {
+        let group = match acc.groups.get_mut(agnostic.as_str()) {
+            Some(group) => group,
+            None => acc.groups.entry(agnostic.clone()).or_default(),
+        };
+        group.configs += 1;
+        if group.hole_types.len() < holes.len() {
+            group
+                .hole_types
+                .resize_with(holes.len(), FxHashMap::default);
+        }
+        for (i, counts) in holes.iter().enumerate() {
+            for (ty, count) in counts {
+                *group.hole_types[i].entry(ty.clone()).or_insert(0) += count;
             }
         }
     }
+}
 
+/// Applies the support/confidence bars and renders contracts.
+pub(crate) fn emit(acc: Acc, params: &LearnParams) -> Vec<Contract> {
     let mut out = Vec::new();
-    for (agnostic, group) in groups {
-        if group.configs.len() < params.support {
+    for (agnostic, group) in acc.groups {
+        if (group.configs as usize) < params.support {
             continue;
         }
         for (hole, types) in group.hole_types.iter().enumerate() {
@@ -83,6 +134,15 @@ pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> Vec<Contract
         }
     }
     out
+}
+
+pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> Vec<Contract> {
+    let mut acc = Acc::default();
+    for ci in 0..view.num_configs() {
+        let sketch = sketch_config(view.dataset, ci);
+        fold(&mut acc, &sketch);
+    }
+    emit(acc, params)
 }
 
 #[cfg(test)]

@@ -15,73 +15,153 @@ use crate::ir::PatternId;
 use crate::learn::DatasetView;
 use crate::params::LearnParams;
 
-pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> Vec<Contract> {
-    struct Acc {
-        values: FxHashSet<String>,
-        instances: u64,
-        duplicate: bool,
-        score: f64,
-        configs: u32,
-        once_per_config: bool,
-    }
-    let mut stats: FxHashMap<(PatternId, u16), Acc> = FxHashMap::default();
+/// One `(pattern, param)` pair's evidence within a single config.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct ParamSketch {
+    /// Distinct rendered values in first-occurrence order, each with the
+    /// informativeness score of its first instance.
+    pub(crate) distinct: Vec<(String, f64)>,
+    /// Total instances (including repeats) in this config.
+    pub(crate) instances: u64,
+    /// A value repeated *within* this config.
+    pub(crate) intra_dup: bool,
+    /// The pattern has more than one line in this config.
+    pub(crate) multi: bool,
+}
 
-    for (ci, _) in view.dataset.configs.iter().enumerate() {
-        for (&pattern, line_idxs) in &view.lines_by_pattern[ci] {
-            let config = &view.dataset.configs[ci];
-            let first = &config.lines[line_idxs[0]];
-            for pi in 0..first.params.len() {
-                let acc = stats.entry((pattern, pi as u16)).or_insert_with(|| Acc {
-                    values: FxHashSet::default(),
-                    instances: 0,
-                    duplicate: false,
-                    score: 0.0,
-                    configs: 0,
-                    once_per_config: true,
-                });
-                acc.configs += 1;
-                if line_idxs.len() != 1 {
-                    acc.once_per_config = false;
+/// Per-config unique sketch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct Sketch {
+    /// `((pattern, param), evidence)` for each pair present in the
+    /// config.
+    pub(crate) entries: Vec<((PatternId, u16), ParamSketch)>,
+}
+
+/// Accumulates one config's uniqueness evidence.
+pub(crate) fn sketch_config(
+    dataset: &crate::ir::Dataset,
+    ci: usize,
+    lines_by_pattern: &FxHashMap<PatternId, Vec<usize>>,
+) -> Sketch {
+    let config = &dataset.configs[ci];
+    let mut entries = Vec::new();
+    for (&pattern, line_idxs) in lines_by_pattern {
+        let first = &config.lines[line_idxs[0]];
+        for pi in 0..first.params.len() {
+            let mut ps = ParamSketch {
+                multi: line_idxs.len() != 1,
+                ..ParamSketch::default()
+            };
+            let mut seen: FxHashSet<String> = FxHashSet::default();
+            for &li in line_idxs {
+                let Some(param) = config.lines[li].params.get(pi) else {
+                    continue;
+                };
+                ps.instances += 1;
+                let rendered = param.value.render();
+                if seen.contains(rendered.as_str()) {
+                    ps.intra_dup = true;
+                } else {
+                    seen.insert(rendered.clone());
+                    ps.distinct.push((rendered, value_score(&param.value)));
                 }
-                for &li in line_idxs {
-                    let Some(param) = config.lines[li].params.get(pi) else {
-                        continue;
-                    };
-                    acc.instances += 1;
-                    let rendered = param.value.render();
-                    if acc.values.contains(&rendered) {
-                        acc.duplicate = true;
-                    } else {
-                        if acc.values.len() < params.max_score_witnesses {
-                            acc.score += value_score(&param.value);
-                        }
-                        acc.values.insert(rendered);
-                    }
+            }
+            entries.push(((pattern, pi as u16), ps));
+        }
+    }
+    Sketch { entries }
+}
+
+/// One `(pattern, param)` pair's folded accumulation.
+#[derive(Debug)]
+struct AccEntry {
+    values: FxHashSet<String>,
+    instances: u64,
+    duplicate: bool,
+    score: f64,
+    configs: u32,
+    once_per_config: bool,
+}
+
+/// Global accumulation folded from per-config sketches *in config
+/// order* — the score accrual cap makes the fold order-sensitive, and
+/// config order is the order the reference accumulation used.
+#[derive(Debug, Default)]
+pub(crate) struct Acc {
+    stats: FxHashMap<(PatternId, u16), AccEntry>,
+}
+
+/// Folds one config's sketch into the accumulation.
+pub(crate) fn fold(acc: &mut Acc, sketch: &Sketch, params: &LearnParams) {
+    for ((pattern, param), ps) in &sketch.entries {
+        let entry = acc
+            .stats
+            .entry((*pattern, *param))
+            .or_insert_with(|| AccEntry {
+                values: FxHashSet::default(),
+                instances: 0,
+                duplicate: false,
+                score: 0.0,
+                configs: 0,
+                once_per_config: true,
+            });
+        entry.configs += 1;
+        if ps.multi {
+            entry.once_per_config = false;
+        }
+        entry.instances += ps.instances;
+        if ps.intra_dup {
+            entry.duplicate = true;
+        }
+        for (rendered, score) in &ps.distinct {
+            if entry.values.contains(rendered.as_str()) {
+                entry.duplicate = true;
+            } else {
+                if entry.values.len() < params.max_score_witnesses {
+                    entry.score += score;
                 }
+                entry.values.insert(rendered.clone());
             }
         }
     }
+}
 
+/// Applies the support/score bars and renders contracts.
+pub(crate) fn emit(
+    acc: Acc,
+    dataset: &crate::ir::Dataset,
+    num_configs: usize,
+    params: &LearnParams,
+) -> Vec<Contract> {
     let mut out = Vec::new();
-    for (&(pattern, param), acc) in &stats {
-        if acc.duplicate
-            || (acc.configs as usize) < params.support
-            || acc.instances < 2
-            || acc.score < params.score_threshold
+    for (&(pattern, param), entry) in &acc.stats {
+        if entry.duplicate
+            || (entry.configs as usize) < params.support
+            || entry.instances < 2
+            || entry.score < params.score_threshold
         {
             continue;
         }
         out.push(Contract::Unique {
-            pattern: view.dataset.table.text(pattern).to_string(),
+            pattern: dataset.table.text(pattern).to_string(),
             param,
             // "Exactly once per configuration" only holds as a fleet-wide
             // rule when every configuration (not just those containing
             // the pattern) has exactly one instance — otherwise a
             // role-specific pattern would be demanded of foreign roles.
-            once_per_config: acc.once_per_config && acc.configs as usize == view.num_configs(),
+            once_per_config: entry.once_per_config && entry.configs as usize == num_configs,
         });
     }
     out
+}
+
+pub(crate) fn mine(view: &DatasetView<'_>, params: &LearnParams) -> Vec<Contract> {
+    let mut acc = Acc::default();
+    for ci in 0..view.num_configs() {
+        let sketch = sketch_config(view.dataset, ci, &view.lines_by_pattern[ci]);
+        fold(&mut acc, &sketch, params);
+    }
+    emit(acc, view.dataset, view.num_configs(), params)
 }
 
 #[cfg(test)]

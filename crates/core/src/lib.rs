@@ -71,9 +71,12 @@ pub use learn::indexes::{
 };
 #[cfg(any(test, feature = "reference-learn"))]
 pub use learn::learn_reference;
-pub use learn::{learn, learn_with_stats, LearnStats};
+pub use learn::{
+    finalize_sketches, learn, learn_with_stats, sketch_config, sketch_params_fingerprint,
+    ConfigSketch, LearnStats, SKETCH_FORMAT_VERSION,
+};
 pub use params::LearnParams;
 pub use stats::{
-    BuildStats, CheckStats, EngineCheckStats, EngineStats, PipelineStats, RobustnessStats,
-    STATS_SCHEMA,
+    BuildStats, CheckStats, EngineCheckStats, EngineStats, LearnDeltaStats, PipelineStats,
+    RobustnessStats, STATS_SCHEMA,
 };

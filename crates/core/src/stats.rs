@@ -24,8 +24,11 @@ use crate::learn::LearnStats;
 /// vs rebuilt witness indexes); v5 added the robustness counters
 /// (`engine.robustness`: requests rejected, deadlines hit, panics
 /// recovered, WAL replays, degraded checks), per-configuration edit
-/// generations (`engine.generations`), and lex-cache evictions.
-pub const STATS_SCHEMA: &str = "concord-pipeline-stats/v5";
+/// generations (`engine.generations`), and lex-cache evictions; v6 added
+/// the incremental-learning counters (`engine.learn_delta`: sketch cache
+/// occupancy, configs re-sketched vs reused by the last relearn, and the
+/// edit counter the current contracts were learned at).
+pub const STATS_SCHEMA: &str = "concord-pipeline-stats/v6";
 
 /// Statistics from one [`Dataset::build_with_stats`](crate::Dataset::build_with_stats) run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -254,6 +257,43 @@ impl ToJson for RobustnessStats {
     }
 }
 
+/// Incremental-learning counters of a resident engine: the state of its
+/// per-configuration sketch cache and what the most recent relearn
+/// actually recomputed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LearnDeltaStats {
+    /// Whether the engine relearns by folding cached sketches (the delta
+    /// path) or always re-mines the full corpus (the oracle path).
+    pub enabled: bool,
+    /// Configurations with a cached sketch.
+    pub sketches: usize,
+    /// Configurations whose sketch is missing (edited since it was
+    /// mined, or never mined).
+    pub dirty: usize,
+    /// Configurations re-sketched by the most recent relearn.
+    pub mined_last_learn: u64,
+    /// Configurations whose cached sketch the most recent relearn reused.
+    pub reused_last_learn: u64,
+    /// Value of the `edits` counter when the current contracts were
+    /// learned or loaded — `edits - contracts_edits` edits have happened
+    /// since, so `0` distance means the contracts describe the current
+    /// snapshot.
+    pub contracts_edits: u64,
+}
+
+impl ToJson for LearnDeltaStats {
+    fn to_json(&self) -> Json {
+        concord_json::json!({
+            "enabled": self.enabled,
+            "sketches": self.sketches,
+            "dirty": self.dirty,
+            "mined_last_learn": self.mined_last_learn,
+            "reused_last_learn": self.reused_last_learn,
+            "contracts_edits": self.contracts_edits,
+        })
+    }
+}
+
 /// A snapshot of a resident incremental engine (`Engine::snapshot_stats`
 /// in `concord-engine`): the versioned dataset, the edit/relearn history,
 /// and the lex-cache reuse across all edits absorbed so far.
@@ -292,6 +332,8 @@ pub struct EngineStats {
     /// Fault-tolerance counters, when the engine runs behind the
     /// hardened serve layer (`None` for a bare `Engine`).
     pub robustness: Option<RobustnessStats>,
+    /// Incremental-learning counters (sketch cache and last relearn).
+    pub learn_delta: LearnDeltaStats,
 }
 
 impl ToJson for EngineStats {
@@ -319,6 +361,7 @@ impl ToJson for EngineStats {
             "generations": generations,
             "last_check": self.last_check,
             "robustness": self.robustness,
+            "learn_delta": self.learn_delta,
         })
     }
 }
@@ -431,6 +474,16 @@ impl PipelineStats {
                 "  staleness {:.3}; lex cache {} hits / {} misses / {} evictions\n",
                 e.staleness, e.lex_cache_hits, e.lex_cache_misses, e.lex_cache_evictions,
             ));
+            let d = &e.learn_delta;
+            out.push_str(&format!(
+                "  learn delta: {}; {} sketches / {} dirty; last learn mined {} / reused {}; contracts at edit {}\n",
+                if d.enabled { "enabled" } else { "disabled" },
+                d.sketches,
+                d.dirty,
+                d.mined_last_learn,
+                d.reused_last_learn,
+                d.contracts_edits,
+            ));
             if let Some(r) = &e.robustness {
                 out.push_str(&format!(
                     "  robustness: {} rejected, {} deadlines, {} panics recovered, {} WAL replays ({} records), {} checkpoints, {} degraded checks\n",
@@ -536,6 +589,14 @@ mod tests {
                     degraded_checks: 1,
                     persist_errors: 0,
                 }),
+                learn_delta: LearnDeltaStats {
+                    enabled: true,
+                    sketches: 3,
+                    dirty: 1,
+                    mined_last_learn: 2,
+                    reused_last_learn: 2,
+                    contracts_edits: 3,
+                },
             }),
             total_time: Duration::from_millis(80),
         }
@@ -596,6 +657,24 @@ mod tests {
             json["engine"]["last_check"]["resolution_invalidated"].as_bool(),
             Some(false)
         );
+        assert_eq!(
+            json["engine"]["learn_delta"]["enabled"].as_bool(),
+            Some(true)
+        );
+        assert_eq!(json["engine"]["learn_delta"]["sketches"].as_u64(), Some(3));
+        assert_eq!(json["engine"]["learn_delta"]["dirty"].as_u64(), Some(1));
+        assert_eq!(
+            json["engine"]["learn_delta"]["mined_last_learn"].as_u64(),
+            Some(2)
+        );
+        assert_eq!(
+            json["engine"]["learn_delta"]["reused_last_learn"].as_u64(),
+            Some(2)
+        );
+        assert_eq!(
+            json["engine"]["learn_delta"]["contracts_edits"].as_u64(),
+            Some(3)
+        );
     }
 
     #[test]
@@ -627,6 +706,9 @@ mod tests {
         ));
         assert!(text.contains(
             "last check: 1 dirty / 3 reused configs; witness indexes 2 rebuilt / 6 patched"
+        ));
+        assert!(text.contains(
+            "learn delta: enabled; 3 sketches / 1 dirty; last learn mined 2 / reused 2; contracts at edit 3"
         ));
         assert!(text.contains("total:"));
     }

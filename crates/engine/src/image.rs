@@ -48,6 +48,12 @@ pub struct EngineImage {
     /// The contract set's exact JSON serialization (`None` before any
     /// learn/load). Stored as a string so restore round-trips exactly.
     pub contracts: Option<String>,
+    /// The engine's per-configuration learn-sketch bundle
+    /// (`Engine::export_sketches`), captured at checkpoint time. Purely
+    /// derived state: absent or stale sketches are simply re-mined, so
+    /// decoding tolerates a missing field (snapshots written before the
+    /// field existed load as `None`).
+    pub sketches: Option<String>,
     /// Lifetime counters, synced from the live engine after every
     /// successful operation.
     pub counters: EngineCounters,
@@ -101,6 +107,7 @@ impl EngineImage {
             configs,
             metadata: metadata.to_vec(),
             contracts: None,
+            sketches: None,
             counters: EngineCounters {
                 next_id,
                 ..EngineCounters::default()
@@ -202,6 +209,10 @@ impl ToJson for EngineCounters {
                 "changed_lines_since_learn".to_string(),
                 self.changed_lines_since_learn.to_json(),
             ),
+            (
+                "contracts_edits".to_string(),
+                self.contracts_edits.to_json(),
+            ),
         ])
     }
 }
@@ -215,6 +226,13 @@ impl FromJson for EngineCounters {
             contracts_epoch: req_u64(value, "contracts_epoch")?,
             lines_at_last_learn: req_u64(value, "lines_at_last_learn")? as usize,
             changed_lines_since_learn: req_u64(value, "changed_lines_since_learn")? as usize,
+            // Added with the incremental-learning work: absent in older
+            // snapshots, where 0 ("contracts set before any edit") is
+            // the conservative reading.
+            contracts_edits: value
+                .get("contracts_edits")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
         })
     }
 }
@@ -238,6 +256,13 @@ impl ToJson for EngineImage {
             (
                 "contracts".to_string(),
                 match &self.contracts {
+                    Some(json) => Json::Str(json.clone()),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "sketches".to_string(),
+                match &self.sketches {
                     Some(json) => Json::Str(json.clone()),
                     None => Json::Null,
                 },
@@ -288,6 +313,13 @@ impl FromJson for EngineImage {
                     .to_string(),
             ),
         };
+        // Tolerant: sketches are derived state, so a missing field (an
+        // old snapshot) or a non-string value loads as "no sketches"
+        // rather than failing the whole image.
+        let sketches = value
+            .get("sketches")
+            .and_then(Json::as_str)
+            .map(str::to_string);
         let counters = value
             .get("counters")
             .map(EngineCounters::from_json)
@@ -301,6 +333,7 @@ impl FromJson for EngineImage {
             configs,
             metadata,
             contracts,
+            sketches,
             counters,
             applied_seq,
         })
@@ -338,10 +371,52 @@ mod tests {
         let mut image = EngineImage::from_corpus(&corpus(), &[]);
         image.upsert("dev1", "vlan 99\n");
         image.contracts = Some("{\"schema\": \"x\"}".to_string());
+        image.sketches = Some("{\"version\": 1}".to_string());
+        image.counters.contracts_edits = 3;
         image.applied_seq = 7;
         let json = image.to_json().render();
         let back = EngineImage::from_json(&Json::parse(&json).expect("parses")).expect("decodes");
         assert_eq!(image, back);
+    }
+
+    #[test]
+    fn old_images_without_sketches_still_decode() {
+        // Snapshots written before the sketches field / contracts_edits
+        // counter existed must keep loading.
+        let mut image = EngineImage::from_corpus(&corpus(), &[]);
+        image.contracts = Some("{\"schema\": \"x\"}".to_string());
+        let json = image.to_json();
+        let Json::Object(pairs) = json else {
+            panic!("image serializes as an object")
+        };
+        let pruned = Json::Object(
+            pairs
+                .into_iter()
+                .map(|(k, v)| {
+                    if k == "counters" {
+                        let Json::Object(counters) = v else {
+                            panic!("counters serialize as an object")
+                        };
+                        (
+                            k,
+                            Json::Object(
+                                counters
+                                    .into_iter()
+                                    .filter(|(ck, _)| ck != "contracts_edits")
+                                    .collect(),
+                            ),
+                        )
+                    } else {
+                        (k, v)
+                    }
+                })
+                .filter(|(k, _)| k != "sketches")
+                .collect(),
+        );
+        let back = EngineImage::from_json(&pruned).expect("old shape decodes");
+        assert_eq!(back.sketches, None);
+        assert_eq!(back.counters.contracts_edits, 0);
+        assert_eq!(back.configs, image.configs);
     }
 
     #[test]

@@ -42,10 +42,12 @@ use std::fmt;
 use std::time::Instant;
 
 use concord_core::{
-    learn_with_stats, parallel, CheckProgram, CheckReport, CheckStats, ConfigOutcome, ContractSet,
-    CoverageReport, Dataset, DatasetError, EngineCheckStats, EngineStats, LearnParams, LearnStats,
-    UniqueTable,
+    finalize_sketches, learn_with_stats, parallel, sketch_config, sketch_params_fingerprint,
+    CheckProgram, CheckReport, CheckStats, ConfigOutcome, ConfigSketch, ContractSet,
+    CoverageReport, Dataset, DatasetError, EngineCheckStats, EngineStats, LearnDeltaStats,
+    LearnParams, LearnStats, UniqueTable, SKETCH_FORMAT_VERSION,
 };
+use concord_json::{Json, ToJson};
 use concord_lexer::{LexCache, Lexer};
 
 pub mod fault;
@@ -83,6 +85,14 @@ pub struct EngineOptions {
     /// (`0` = unbounded). Long-lived processes should set a cap so the
     /// cache cannot grow without limit; see `LexCache::with_capacity`.
     pub lex_cache_cap: usize,
+    /// Whether [`Engine::relearn`] runs incrementally — re-sketching
+    /// only configurations edited since their sketch was mined, then
+    /// folding all cached sketches — instead of re-mining the full
+    /// corpus. Both paths are pinned byte-identical (the full relearn is
+    /// kept as the equivalence oracle, mirroring `naive-check` and
+    /// `reference-learn`), so this is a performance knob, not a
+    /// semantics knob.
+    pub delta_learn: bool,
 }
 
 impl Default for EngineOptions {
@@ -93,6 +103,7 @@ impl Default for EngineOptions {
             learn: LearnParams::default(),
             staleness_threshold: 0.2,
             lex_cache_cap: 0,
+            delta_learn: true,
         }
     }
 }
@@ -114,6 +125,11 @@ pub struct EngineCounters {
     pub lines_at_last_learn: usize,
     /// Own lines churned since the last learn.
     pub changed_lines_since_learn: usize,
+    /// Value of `edits` when the current contracts were learned or
+    /// loaded — records which dataset generation the contracts claim to
+    /// describe, so a caller can tell "checked against fresh contracts"
+    /// from "checked against contracts set N edits ago".
+    pub contracts_edits: u64,
 }
 
 /// Why an [`Engine`] call could not run.
@@ -163,6 +179,9 @@ struct Slot {
     /// Cached unique-pass events (`None` while dirty, `Some` — possibly
     /// empty — once checked under a program with unique contracts).
     unique: Option<UniqueTable>,
+    /// Cached learn sketch (`None` while dirty; mined lazily by the next
+    /// delta relearn, or restored from a persisted snapshot).
+    sketch: Option<ConfigSketch>,
 }
 
 /// A resident pipeline snapshot absorbing single-configuration edits.
@@ -195,6 +214,11 @@ pub struct Engine {
     /// Own lines added, removed, or replaced since then (both sides of a
     /// replacement count — the staleness signal measures churn).
     changed_lines_since_learn: usize,
+    /// `edits` at the moment the current contracts were learned/loaded.
+    contracts_edits: u64,
+    /// Configurations re-sketched / reused by the most recent relearn.
+    last_learn_mined: u64,
+    last_learn_reused: u64,
     last_check: Option<EngineCheckStats>,
 }
 
@@ -221,6 +245,9 @@ impl Engine {
             relearns: 0,
             lines_at_last_learn: 0,
             changed_lines_since_learn: 0,
+            contracts_edits: 0,
+            last_learn_mined: 0,
+            last_learn_reused: 0,
             last_check: None,
         }
     }
@@ -319,6 +346,15 @@ impl Engine {
         engine.contracts_epoch = c.contracts_epoch;
         engine.lines_at_last_learn = c.lines_at_last_learn;
         engine.changed_lines_since_learn = c.changed_lines_since_learn;
+        engine.contracts_edits = c.contracts_edits;
+        // Sketches are derived state: import what survives the version,
+        // params, and generation guards; anything else (including a
+        // corrupt bundle) is silently re-mined by the next delta relearn.
+        if let Some(text) = &image.sketches {
+            if let Ok(bundle) = Json::parse(text) {
+                engine.import_sketches(&bundle);
+            }
+        }
         Ok(engine)
     }
 
@@ -336,6 +372,7 @@ impl Engine {
             contracts_epoch: self.contracts_epoch,
             lines_at_last_learn: self.lines_at_last_learn,
             changed_lines_since_learn: self.changed_lines_since_learn,
+            contracts_edits: self.contracts_edits,
         }
     }
 
@@ -400,6 +437,7 @@ impl Engine {
             slot.generation += 1;
             slot.outcome = None;
             slot.unique = None;
+            slot.sketch = None;
         } else {
             self.slots.insert(
                 i,
@@ -430,31 +468,94 @@ impl Engine {
     }
 
     /// Swaps in an externally produced contract set (e.g. loaded from the
-    /// JSON a `learn` run wrote). Resets the staleness clock: the caller
-    /// asserts these contracts describe the current snapshot.
+    /// JSON a `learn` run wrote). Resets the staleness clock: **the
+    /// caller asserts these contracts describe the current snapshot.**
+    /// The engine cannot verify that assertion — it records the current
+    /// edit counter as [`EngineCounters::contracts_edits`] so consumers
+    /// (stats, serve clients) can at least tell how many edits the
+    /// snapshot has absorbed since the contracts were installed; edits
+    /// made *after* this call accumulate staleness normally and drive
+    /// [`Engine::relearn_if_stale`] as usual.
     pub fn set_contracts(&mut self, contracts: ContractSet) {
         self.contracts = Some(contracts);
         self.contracts_epoch += 1;
+        self.contracts_edits = self.edits;
         self.lines_at_last_learn = self.dataset.total_lines();
         self.changed_lines_since_learn = 0;
     }
 
     /// Learns a fresh contract set from the current snapshot, replacing
     /// the previous one and resetting the staleness clock.
+    ///
+    /// With [`EngineOptions::delta_learn`] set (the default) this is an
+    /// O(edit) operation in the steady state: only configurations edited
+    /// since their sketch was mined are re-sketched, and the contract
+    /// set is produced by folding the cached per-configuration sketches
+    /// — the exact fold + emit code the full learner runs, so the result
+    /// is byte-identical to a full relearn.
     pub fn relearn(&mut self) -> LearnStats {
-        let (contracts, stats) = learn_with_stats(&self.dataset, &self.options.learn);
-        self.contracts = Some(contracts);
+        let stats = if self.options.delta_learn {
+            self.relearn_delta()
+        } else {
+            let (contracts, stats) = learn_with_stats(&self.dataset, &self.options.learn);
+            self.contracts = Some(contracts);
+            self.last_learn_mined = self.dataset.configs.len() as u64;
+            self.last_learn_reused = 0;
+            stats
+        };
         self.contracts_epoch += 1;
         self.relearns += 1;
+        self.contracts_edits = self.edits;
         self.lines_at_last_learn = self.dataset.total_lines();
         self.changed_lines_since_learn = 0;
         stats
     }
 
+    /// The delta-learn path: mine sketches for configurations that lack
+    /// one (in parallel), then fold every sketch in dataset order.
+    fn relearn_delta(&mut self) -> LearnStats {
+        let dirty: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.sketch.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        let dataset = &self.dataset;
+        let params = &self.options.learn;
+        let mined: Vec<ConfigSketch> = parallel::map(
+            &dirty,
+            |&i| sketch_config(dataset, i, params),
+            self.options.parallelism,
+        );
+        for (&i, sketch) in dirty.iter().zip(mined) {
+            self.slots[i].sketch = Some(sketch);
+        }
+        self.last_learn_mined = dirty.len() as u64;
+        self.last_learn_reused = (self.slots.len() - dirty.len()) as u64;
+        let (contracts, stats) = {
+            let sketches: Vec<&ConfigSketch> = self
+                .slots
+                .iter()
+                .map(|s| s.sketch.as_ref().expect("just populated"))
+                .collect();
+            finalize_sketches(&self.dataset, &sketches, &self.options.learn)
+        };
+        self.contracts = Some(contracts);
+        stats
+    }
+
     /// Fraction of the corpus changed since the last learn: `lines
-    /// touched by edits / own lines at last learn` (counting both the
-    /// removed and the inserted side of a replacement). `1.0` when no
-    /// learn has happened over a non-empty corpus.
+    /// touched by edits / corpus size` (counting both the removed and
+    /// the inserted side of a replacement). `1.0` when no learn has
+    /// happened over a non-empty corpus.
+    ///
+    /// The denominator is `max(own lines at last learn, own lines now)`:
+    /// a corpus that *grew* since the learn would otherwise overshoot
+    /// (churn measured against a smaller, stale corpus), and a corpus
+    /// that shrank would undershoot — removals count their removed lines
+    /// in the numerator, so dividing by the shrunken size would double-
+    /// discount them.
     pub fn staleness(&self) -> f64 {
         if self.contracts.is_none() {
             return if self.dataset.configs.is_empty() {
@@ -463,7 +564,11 @@ impl Engine {
                 1.0
             };
         }
-        self.changed_lines_since_learn as f64 / self.lines_at_last_learn.max(1) as f64
+        let denominator = self
+            .lines_at_last_learn
+            .max(self.dataset.total_lines())
+            .max(1);
+        self.changed_lines_since_learn as f64 / denominator as f64
     }
 
     /// Relearns when no contracts are loaded yet or when
@@ -475,6 +580,80 @@ impl Engine {
         } else {
             None
         }
+    }
+
+    /// Serializes the cached per-configuration learn sketches for
+    /// persistence. The bundle records the sketch format version, a
+    /// fingerprint of the learn parameters the sketches were mined
+    /// under, and each sketch's configuration name + edit generation, so
+    /// [`Engine::import_sketches`] can reject anything stale.
+    pub fn export_sketches(&self) -> Json {
+        let configs: Vec<Json> = self
+            .dataset
+            .configs
+            .iter()
+            .zip(&self.slots)
+            .filter_map(|(c, s)| {
+                let sketch = s.sketch.as_ref()?;
+                Some(Json::Object(vec![
+                    ("name".to_string(), Json::Str(c.name.clone())),
+                    ("generation".to_string(), s.generation.to_json()),
+                    ("sketch".to_string(), sketch.to_json(&self.dataset.table)),
+                ]))
+            })
+            .collect();
+        Json::Object(vec![
+            ("version".to_string(), SKETCH_FORMAT_VERSION.to_json()),
+            (
+                "params".to_string(),
+                Json::Str(sketch_params_fingerprint(&self.options.learn)),
+            ),
+            ("configs".to_string(), Json::Array(configs)),
+        ])
+    }
+
+    /// Restores cached sketches from an [`Engine::export_sketches`]
+    /// bundle, returning how many were accepted. Sketches are derived
+    /// state, so every guard fails *safe* to "no sketch" (re-mined by
+    /// the next delta relearn): a format-version or learn-params
+    /// mismatch drops the whole bundle; per configuration, an unknown
+    /// name, a generation mismatch, or an undecodable sketch (e.g. a
+    /// pattern no longer interned) drops just that entry.
+    pub fn import_sketches(&mut self, bundle: &Json) -> usize {
+        if bundle.get("version").and_then(Json::as_u64) != Some(SKETCH_FORMAT_VERSION) {
+            return 0;
+        }
+        let fingerprint = sketch_params_fingerprint(&self.options.learn);
+        if bundle.get("params").and_then(Json::as_str) != Some(fingerprint.as_str()) {
+            return 0;
+        }
+        let Some(entries) = bundle.get("configs").and_then(Json::as_array) else {
+            return 0;
+        };
+        let mut imported = 0;
+        for entry in entries {
+            let Some(name) = entry.get("name").and_then(Json::as_str) else {
+                continue;
+            };
+            let Some(generation) = entry.get("generation").and_then(Json::as_u64) else {
+                continue;
+            };
+            let Some(i) = self.dataset.config_index(name) else {
+                continue;
+            };
+            if self.slots[i].generation != generation {
+                continue;
+            }
+            let Some(sketch) = entry
+                .get("sketch")
+                .and_then(|j| ConfigSketch::from_json(j, &self.dataset.table))
+            else {
+                continue;
+            };
+            self.slots[i].sketch = Some(sketch);
+            imported += 1;
+        }
+        imported
     }
 
     /// Checks the current snapshot, recomputing only dirty
@@ -595,6 +774,20 @@ impl Engine {
         })
     }
 
+    /// The incremental-learn cache counters: occupancy, configs mined
+    /// vs reused by the last relearn, and the edit generation the
+    /// current contracts describe.
+    pub fn learn_delta(&self) -> LearnDeltaStats {
+        LearnDeltaStats {
+            enabled: self.options.delta_learn,
+            sketches: self.slots.iter().filter(|s| s.sketch.is_some()).count(),
+            dirty: self.slots.iter().filter(|s| s.sketch.is_none()).count(),
+            mined_last_learn: self.last_learn_mined,
+            reused_last_learn: self.last_learn_reused,
+            contracts_edits: self.contracts_edits,
+        }
+    }
+
     /// A snapshot of the engine's state and lifetime counters.
     pub fn snapshot_stats(&self) -> EngineStats {
         let cache = self.cache.stats();
@@ -613,6 +806,7 @@ impl Engine {
             generations: self.generations(),
             robustness: None,
             last_check: self.last_check,
+            learn_delta: self.learn_delta(),
         }
     }
 }
@@ -818,6 +1012,222 @@ mod tests {
         let stats = engine.snapshot_stats();
         assert_eq!(stats.dirty_configs, 0);
         assert_eq!(stats.last_check.unwrap().dirty_configs, 5);
+    }
+
+    #[test]
+    fn delta_relearn_is_byte_identical_to_full_relearn() {
+        let delta_options = EngineOptions::default();
+        assert!(delta_options.delta_learn, "delta learn is the default");
+        let full_options = EngineOptions {
+            delta_learn: false,
+            ..EngineOptions::default()
+        };
+        let mut delta = Engine::from_corpus(&corpus(), &[], delta_options).unwrap();
+        let mut full = Engine::from_corpus(&corpus(), &[], full_options).unwrap();
+
+        let edits: Vec<(&str, Option<&str>)> = vec![
+            ("dev2", Some("hostname DEV900\nvlan 900\n")),
+            (
+                "dev7",
+                Some("hostname DEV907\nrouter bgp 65000\nvlan 907\n"),
+            ),
+            ("dev0", None),
+            (
+                "dev7",
+                Some("hostname DEV908\nrouter bgp 65000\nvlan 908\n"),
+            ),
+        ];
+        for step in 0..=edits.len() {
+            delta.relearn();
+            full.relearn();
+            assert_eq!(
+                delta.contracts().unwrap().to_json(),
+                full.contracts().unwrap().to_json(),
+                "divergence after {step} edits"
+            );
+            if let Some((name, text)) = edits.get(step) {
+                match text {
+                    Some(text) => {
+                        delta.upsert_config(name, text);
+                        full.upsert_config(name, text);
+                    }
+                    None => {
+                        delta.remove_config(name);
+                        full.remove_config(name);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_relearn_mines_only_dirty_configs() {
+        let mut engine = Engine::from_corpus(&corpus(), &[], EngineOptions::default()).unwrap();
+        engine.relearn();
+        let ld = engine.snapshot_stats().learn_delta;
+        assert!(ld.enabled);
+        assert_eq!(ld.mined_last_learn, 6, "cold start sketches everything");
+        assert_eq!(ld.reused_last_learn, 0);
+        assert_eq!(ld.sketches, 6);
+        assert_eq!(ld.dirty, 0);
+
+        engine.upsert_config("dev2", "hostname DEV902\nvlan 902\n");
+        assert_eq!(engine.snapshot_stats().learn_delta.dirty, 1);
+        engine.relearn();
+        let ld = engine.snapshot_stats().learn_delta;
+        assert_eq!(ld.mined_last_learn, 1, "only the edited config re-mines");
+        assert_eq!(ld.reused_last_learn, 5);
+
+        // A no-edit relearn reuses every sketch.
+        engine.relearn();
+        let ld = engine.snapshot_stats().learn_delta;
+        assert_eq!(ld.mined_last_learn, 0);
+        assert_eq!(ld.reused_last_learn, 6);
+    }
+
+    #[test]
+    fn staleness_does_not_overshoot_when_the_corpus_grows() {
+        let mut engine = Engine::from_corpus(&corpus(), &[], EngineOptions::default()).unwrap();
+        engine.relearn();
+        // Learned over 30 lines; a 90-line newcomer triples the corpus.
+        let big: String = (0..90).map(|i| format!("vlan {}\n", 1000 + i)).collect();
+        engine.upsert_config("dev-big", &big);
+        let staleness = engine.staleness();
+        assert!(
+            staleness <= 1.0,
+            "growth must not overshoot: got {staleness}"
+        );
+        // 90 changed lines over the grown 120-line corpus.
+        assert!((staleness - 0.75).abs() < 1e-9, "got {staleness}");
+    }
+
+    #[test]
+    fn staleness_does_not_double_discount_when_the_corpus_shrinks() {
+        let mut engine = Engine::from_corpus(&corpus(), &[], EngineOptions::default()).unwrap();
+        engine.relearn();
+        // Learned over 30 lines; removing 3 configs churns 15 of them.
+        for name in ["dev0", "dev1", "dev2"] {
+            engine.remove_config(name);
+        }
+        let staleness = engine.staleness();
+        // Against the shrunken 15-line corpus this would read 1.0,
+        // double-discounting the removals already in the numerator.
+        assert!((staleness - 0.5).abs() < 1e-9, "got {staleness}");
+
+        // Removing everything still saturates and still fires a relearn.
+        for name in ["dev3", "dev4", "dev5"] {
+            engine.remove_config(name);
+        }
+        assert!((engine.staleness() - 1.0).abs() < 1e-9);
+        let options = EngineOptions {
+            staleness_threshold: 0.9,
+            ..EngineOptions::default()
+        };
+        let mut engine = Engine::from_corpus(&corpus(), &[], options).unwrap();
+        engine.relearn_if_stale();
+        for name in ["dev0", "dev1", "dev2", "dev3", "dev4", "dev5"] {
+            engine.remove_config(name);
+        }
+        assert!(engine.relearn_if_stale().is_some());
+    }
+
+    #[test]
+    fn set_contracts_records_the_edit_generation_it_describes() {
+        let mut engine = Engine::from_corpus(&corpus(), &[], EngineOptions::default()).unwrap();
+        engine.relearn();
+        let contracts = engine.contracts().unwrap().clone();
+
+        engine.upsert_config("dev0", "vlan 77\n");
+        assert!(engine.staleness() > 0.0);
+        engine.set_contracts(contracts.clone());
+        assert_eq!(engine.staleness(), 0.0, "caller asserts freshness");
+        assert_eq!(engine.snapshot_stats().learn_delta.contracts_edits, 1);
+
+        // Edits after the install accumulate staleness from that point.
+        engine.upsert_config("dev1", "vlan 78\n");
+        assert!(engine.staleness() > 0.0);
+        let stats = engine.snapshot_stats();
+        assert_eq!(stats.edits, 2);
+        assert_eq!(
+            stats.learn_delta.contracts_edits, 1,
+            "contracts still describe edit 1"
+        );
+        engine.relearn();
+        assert_eq!(engine.snapshot_stats().learn_delta.contracts_edits, 2);
+    }
+
+    #[test]
+    fn sketches_round_trip_through_export_import() {
+        let mut source = Engine::from_corpus(&corpus(), &[], EngineOptions::default()).unwrap();
+        source.relearn();
+        let bundle = source.export_sketches();
+
+        let mut restored = Engine::from_corpus(&corpus(), &[], EngineOptions::default()).unwrap();
+        assert_eq!(restored.import_sketches(&bundle), 6);
+        assert_eq!(restored.snapshot_stats().learn_delta.sketches, 6);
+        restored.relearn();
+        let ld = restored.snapshot_stats().learn_delta;
+        assert_eq!(ld.mined_last_learn, 0, "imported sketches are reused");
+        assert_eq!(ld.reused_last_learn, 6);
+        assert_eq!(
+            restored.contracts().unwrap().to_json(),
+            source.contracts().unwrap().to_json()
+        );
+    }
+
+    #[test]
+    fn import_sketches_rejects_stale_bundles() {
+        let mut source = Engine::from_corpus(&corpus(), &[], EngineOptions::default()).unwrap();
+        source.relearn();
+        let bundle = source.export_sketches();
+
+        // Format-version mismatch drops the whole bundle.
+        let mut wrong_version = bundle.clone();
+        if let Json::Object(fields) = &mut wrong_version {
+            for (k, v) in fields.iter_mut() {
+                if k == "version" {
+                    *v = (SKETCH_FORMAT_VERSION + 1).to_json();
+                }
+            }
+        }
+        let mut engine = Engine::from_corpus(&corpus(), &[], EngineOptions::default()).unwrap();
+        assert_eq!(engine.import_sketches(&wrong_version), 0);
+
+        // Learn-params mismatch drops the whole bundle: these sketches
+        // were mined under different semantics.
+        let options = EngineOptions {
+            learn: LearnParams {
+                support: 4,
+                ..LearnParams::default()
+            },
+            ..EngineOptions::default()
+        };
+        let mut engine = Engine::from_corpus(&corpus(), &[], options).unwrap();
+        assert_eq!(engine.import_sketches(&bundle), 0);
+
+        // A replaced config's entry is stale (generation moved on); the
+        // rest of the bundle still imports.
+        let mut engine = Engine::from_corpus(&corpus(), &[], EngineOptions::default()).unwrap();
+        engine.upsert_config("dev3", "vlan 9999\n");
+        assert_eq!(engine.import_sketches(&bundle), 5);
+        assert_eq!(engine.snapshot_stats().learn_delta.dirty, 1);
+
+        // An unknown config's entry is skipped too.
+        let mut engine =
+            Engine::from_corpus(&corpus()[..5], &[], EngineOptions::default()).unwrap();
+        assert_eq!(engine.import_sketches(&bundle), 5);
+    }
+
+    #[test]
+    fn corrupt_persisted_sketches_are_dropped_not_fatal() {
+        let mut image = EngineImage::from_corpus(&corpus(), &[]);
+        image.sketches = Some("{not json".to_string());
+        let mut engine =
+            Engine::from_image(&image, Lexer::standard(), EngineOptions::default()).unwrap();
+        assert_eq!(engine.snapshot_stats().learn_delta.sketches, 0);
+        // The next relearn simply re-mines everything.
+        engine.relearn();
+        assert_eq!(engine.snapshot_stats().learn_delta.mined_last_learn, 6);
     }
 
     #[test]

@@ -283,6 +283,15 @@ impl ResilientEngine {
             .config_generation(name))
     }
 
+    /// The incremental-learn cache counters of the live engine.
+    pub fn learn_delta(&self) -> Result<concord_core::LearnDeltaStats, EngineFault> {
+        Ok(self
+            .engine
+            .as_ref()
+            .ok_or(EngineFault::Poisoned)?
+            .learn_delta())
+    }
+
     /// The number of loaded contracts, if any are loaded.
     pub fn contracts_len(&self) -> Result<Option<usize>, EngineFault> {
         Ok(self
@@ -367,6 +376,14 @@ impl ResilientEngine {
     /// Checkpoints now (no-op without a store). Returns whether a
     /// checkpoint was written; failures are counted, not fatal.
     pub fn checkpoint(&mut self) -> bool {
+        if self.store.is_none() {
+            return false;
+        }
+        // Learn sketches are derived state synced into the image only
+        // here, not per-op: WAL replay reconstructs them (edits mark
+        // configs dirty, a replayed Learn re-mines), so serializing them
+        // on every append would be wasted work.
+        self.image.sketches = self.engine.as_ref().map(|e| e.export_sketches().render());
         let Some(store) = self.store.as_mut() else {
             return false;
         };
@@ -648,6 +665,109 @@ mod tests {
         assert_eq!(
             got.coverage.per_config.len(),
             want.coverage.per_config.len()
+        );
+    }
+
+    #[test]
+    fn sketches_survive_checkpoint_and_reboot() {
+        let dir = tmp_dir("sketches");
+        let (mut me, _) = ResilientEngine::with_store(
+            &corpus(),
+            &[],
+            Lexer::standard(),
+            EngineOptions::default(),
+            &dir,
+        )
+        .expect("boots");
+        me.relearn().expect("learns");
+        me.checkpoint();
+        let want_contracts = me
+            .engine
+            .as_ref()
+            .expect("live")
+            .contracts()
+            .expect("learned")
+            .to_json();
+        drop(me); // simulated kill after the checkpoint
+
+        let (mut back, resumed) = ResilientEngine::with_store(
+            &[],
+            &[],
+            Lexer::standard(),
+            EngineOptions::default(),
+            &dir,
+        )
+        .expect("reboots");
+        assert!(resumed);
+        let ld = back.snapshot_stats().expect("stats").learn_delta;
+        assert_eq!(ld.sketches, 6, "sketches restored from the snapshot");
+        assert_eq!(ld.dirty, 0);
+
+        // A relearn on the resumed engine reuses every persisted sketch
+        // and reproduces the pre-crash contracts byte for byte.
+        back.relearn().expect("relearns");
+        let ld = back.snapshot_stats().expect("stats").learn_delta;
+        assert_eq!(ld.mined_last_learn, 0);
+        assert_eq!(ld.reused_last_learn, 6);
+        assert_eq!(
+            back.engine
+                .as_ref()
+                .expect("live")
+                .contracts()
+                .expect("learned")
+                .to_json(),
+            want_contracts
+        );
+    }
+
+    #[test]
+    fn kill_between_checkpoint_and_learn_replays_edits_over_stale_sketches() {
+        let dir = tmp_dir("stale-sketches");
+        let (mut me, _) = ResilientEngine::with_store(
+            &corpus(),
+            &[],
+            Lexer::standard(),
+            EngineOptions::default(),
+            &dir,
+        )
+        .expect("boots");
+        me.set_checkpoint_every(0);
+        me.relearn().expect("learns");
+        me.checkpoint();
+        // Edits after the checkpoint live only in the WAL; the persisted
+        // sketches for the edited configs are now stale.
+        me.upsert("dev0", "vlan 999\nmtu 9000\n").expect("upserts");
+        me.remove("dev5").expect("removes");
+        me.relearn().expect("relearns");
+        let want_contracts = me
+            .engine
+            .as_ref()
+            .expect("live")
+            .contracts()
+            .expect("learned")
+            .to_json();
+        drop(me); // kill: sketches on disk predate the replayed edits
+
+        let (back, resumed) = ResilientEngine::with_store(
+            &[],
+            &[],
+            Lexer::standard(),
+            EngineOptions::default(),
+            &dir,
+        )
+        .expect("reboots");
+        assert!(resumed);
+        assert!(back.robustness().wal_replays >= 1);
+        // The replayed Learn re-mined the edited configs over the
+        // surviving sketches; the result matches the pre-kill learn.
+        assert_eq!(
+            back.engine
+                .as_ref()
+                .expect("live")
+                .contracts()
+                .expect("learned")
+                .to_json(),
+            want_contracts
         );
     }
 

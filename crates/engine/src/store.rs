@@ -352,6 +352,47 @@ mod tests {
     }
 
     #[test]
+    fn stale_wal_records_older_than_the_checkpoint_are_skipped_not_double_applied() {
+        let dir = tmp_dir("stale");
+        let (mut state, _) = StateDir::open(&dir).unwrap();
+        let _s1 = state
+            .append(&WalOp::Upsert {
+                name: "a".to_string(),
+                text: "vlan 1\n".to_string(),
+            })
+            .unwrap();
+        let s2 = state
+            .append(&WalOp::Upsert {
+                name: "b".to_string(),
+                text: "vlan 2\n".to_string(),
+            })
+            .unwrap();
+        let image = image_with(&[("a", "vlan 1\n"), ("b", "vlan 2\n")], s2);
+        state.checkpoint(&image).unwrap();
+        drop(state);
+
+        // Simulate a crash that left rotated-but-not-truncated state:
+        // the records already folded into the snapshot reappear in the
+        // live WAL (and still sit in `wal.log.old`). Replay must skip
+        // every one of them — `seq <= applied_seq` — not apply them a
+        // second time on top of the image.
+        std::fs::copy(dir.join("wal.log.old"), dir.join("wal.log")).unwrap();
+        let (state, load) = StateDir::open(&dir).unwrap();
+        let got = load.image.expect("snapshot present");
+        assert_eq!(got, image);
+        assert!(
+            load.replay.is_empty(),
+            "folded ops must not double-apply: {:?}",
+            load.replay
+        );
+        assert_eq!(
+            state.next_seq(),
+            s2 + 1,
+            "sequence continues after the tail"
+        );
+    }
+
+    #[test]
     fn missing_everything_but_wal_is_corrupt_free_fresh_start() {
         let dir = tmp_dir("walonly");
         let (mut state, _) = StateDir::open(&dir).unwrap();

@@ -150,7 +150,26 @@ pub struct Wal {
 impl Wal {
     /// Opens (creating if absent) the WAL at `path` for appending. The
     /// first appended record gets sequence `next_seq`.
+    ///
+    /// Any torn tail left by a crash mid-append is truncated first:
+    /// appending *after* garbage would bury every new — acknowledged —
+    /// record behind the bad line, where replay (which stops at the
+    /// first undecodable record) could never see it. The discarded
+    /// bytes are by construction an unacknowledged partial append, so
+    /// truncation cannot lose durable state.
     pub fn open_append(path: &Path, next_seq: u64) -> io::Result<Wal> {
+        match std::fs::read(path) {
+            Ok(bytes) => {
+                let valid = valid_prefix_len(&bytes);
+                if valid < bytes.len() as u64 {
+                    let f = OpenOptions::new().write(true).open(path)?;
+                    f.set_len(valid)?;
+                    f.sync_data()?;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
         let file = OpenOptions::new().create(true).append(true).open(path)?;
         Ok(Wal {
             file,
@@ -212,6 +231,23 @@ impl Wal {
                 None => return Ok((records, true)),
             }
         }
+    }
+}
+
+/// Byte length of the longest prefix of `bytes` made of intact records
+/// — the point [`Wal::read_records`] would stop at.
+fn valid_prefix_len(bytes: &[u8]) -> u64 {
+    let mut valid = 0usize;
+    let mut rest = bytes;
+    loop {
+        let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
+            return valid as u64;
+        };
+        if decode_line(&rest[..nl]).is_none() {
+            return valid as u64;
+        }
+        valid += nl + 1;
+        rest = &rest[nl + 1..];
     }
 }
 
@@ -296,6 +332,35 @@ mod tests {
         let (records, torn) = Wal::read_records(&path).unwrap();
         assert!(torn);
         assert_eq!(records.len(), 2);
+    }
+
+    #[test]
+    fn open_append_truncates_torn_tail_before_appending() {
+        let dir = tmp_dir("truncate");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::open_append(&path, 1).unwrap();
+        for i in 0..3 {
+            wal.append(&WalOp::Upsert {
+                name: format!("dev{i}"),
+                text: "vlan 1\n".to_string(),
+            })
+            .unwrap();
+        }
+        drop(wal);
+        // Tear: chop the last 5 bytes, leaving 2 intact records. A
+        // restart then appends a new acknowledged op.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let mut wal = Wal::open_append(&path, 3).unwrap();
+        wal.append(&WalOp::Learn).unwrap();
+        drop(wal);
+        // The new record must be visible to replay: the torn tail was
+        // truncated, not appended after.
+        let (records, torn) = Wal::read_records(&path).unwrap();
+        assert!(!torn);
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[2].seq, 3);
+        assert_eq!(records[2].op, WalOp::Learn);
     }
 
     #[test]
