@@ -1,0 +1,323 @@
+//! Serve-transport throughput: serial request/response vs pipelining,
+//! BATCH, and binary frames against the event-driven serve loop.
+//!
+//! The harness boots a real `concord serve --listen` instance
+//! in-process, then drives it over loopback TCP with 1/8/32/128
+//! concurrent clients (1/4 under `--smoke`). Every client issues the
+//! same read-dominated workload — `GEN` of a warmed device — four ways:
+//!
+//! * **serial** — one command per write, wait for the response before
+//!   the next: the per-request round-trip the old worker-pool serve
+//!   paid on every command;
+//! * **pipelined** — `GROUP` commands per write, responses read back
+//!   in order;
+//! * **batch** — the same group as one `BATCH n` request, so the server
+//!   acquires the engine once per group instead of once per command;
+//! * **binary** — the group as length-prefixed `0xC3` frames with
+//!   `0xC4` responses, skipping line scanning entirely.
+//!
+//! Results (req/s plus p50/p99 request latency per mode and client
+//! count) go to `target/experiments/serve_throughput.json`; full runs
+//! also snapshot `BENCH_serve.json` at the repository root. The
+//! headline `summary.max_ratio` is the best grouped mode over serial at
+//! the same client count — the number the CI gate holds at >= 5x.
+
+use concord_bench::{timed, write_result};
+use concord_cli::protocol::{self, opcode};
+use concord_json::{json, Json};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+/// Commands per pipelined write / BATCH count / binary frame group.
+const GROUP: usize = 32;
+
+fn smoke() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+        || std::env::var("CONCORD_SERVE_SMOKE").is_ok_and(|v| v == "1")
+}
+
+/// Groups each client runs per mode (ops per client = GROUP * groups).
+fn groups_per_client() -> usize {
+    if smoke() {
+        4
+    } else {
+        48
+    }
+}
+
+fn client_counts() -> &'static [usize] {
+    if smoke() {
+        &[1, 4]
+    } else {
+        &[1, 8, 32, 128]
+    }
+}
+
+/// A `Write` the server thread and the harness share, polled for the
+/// `listening on <addr>` announcement.
+#[derive(Clone, Default)]
+struct SharedOut(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedOut {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn spawn_server(configs: &str) -> String {
+    let argv: Vec<String> = [
+        "serve",
+        "--configs",
+        configs,
+        "--listen",
+        "127.0.0.1:0",
+        "--workers",
+        "8",
+        "--max-conns",
+        "1024",
+        "--deadline-ms",
+        "30000",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let out = SharedOut::default();
+    {
+        let mut sink = out.clone();
+        std::thread::spawn(move || concord_cli::run(&argv, &mut sink));
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let text = String::from_utf8_lossy(&out.0.lock().unwrap()).into_owned();
+        if let Some(line) = text.lines().find(|l| l.starts_with("listening on ")) {
+            return line["listening on ".len()..].to_string();
+        }
+        assert!(Instant::now() < deadline, "server never announced: {text}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn connect(addr: &str) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    stream
+}
+
+/// One client's workload in one mode: returns per-request latencies in
+/// microseconds (for grouped modes, each request in a group records the
+/// elapsed time from the group's send to that response's arrival).
+fn run_client(addr: &str, mode: &str, device: &str, barrier: &Barrier) -> Vec<f64> {
+    let stream = connect(addr);
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let groups = groups_per_client();
+    let mut latencies = Vec::with_capacity(groups * GROUP);
+
+    // Pre-render the wire bytes for one group in this mode.
+    let gen_line = format!("GEN {device}\n");
+    let group_bytes: Vec<u8> = match mode {
+        "serial" => gen_line.clone().into_bytes(),
+        "pipelined" => gen_line.repeat(GROUP).into_bytes(),
+        "batch" => format!("BATCH {GROUP}\n{}", gen_line.repeat(GROUP)).into_bytes(),
+        "binary" => {
+            let mut buf = Vec::new();
+            for _ in 0..GROUP {
+                protocol::encode_frame(opcode::GEN, device.as_bytes(), b"", &mut buf);
+            }
+            buf
+        }
+        other => unreachable!("mode {other}"),
+    };
+
+    barrier.wait();
+    for _ in 0..groups {
+        match mode {
+            "serial" => {
+                // One round trip per request, GROUP times.
+                for _ in 0..GROUP {
+                    let start = Instant::now();
+                    writer.write_all(&group_bytes).expect("write");
+                    let mut line = String::new();
+                    assert!(reader.read_line(&mut line).expect("read") > 0, "closed");
+                    assert!(line.starts_with("ok gen "), "{line}");
+                    latencies.push(start.elapsed().as_secs_f64() * 1e6);
+                }
+            }
+            "pipelined" | "batch" => {
+                let start = Instant::now();
+                writer.write_all(&group_bytes).expect("write");
+                for _ in 0..GROUP {
+                    let mut line = String::new();
+                    assert!(reader.read_line(&mut line).expect("read") > 0, "closed");
+                    assert!(line.starts_with("ok gen "), "{line}");
+                    latencies.push(start.elapsed().as_secs_f64() * 1e6);
+                }
+                if mode == "batch" {
+                    let mut trailer = String::new();
+                    assert!(reader.read_line(&mut trailer).expect("read") > 0, "closed");
+                    assert!(trailer.starts_with("ok batch "), "{trailer}");
+                }
+            }
+            "binary" => {
+                let start = Instant::now();
+                writer.write_all(&group_bytes).expect("write");
+                for _ in 0..GROUP {
+                    let mut header = [0u8; 6];
+                    reader.read_exact(&mut header).expect("frame header");
+                    assert_eq!(header[0], protocol::FRAME_RESPONSE, "bad magic");
+                    assert_eq!(header[1], 0, "error status");
+                    let len = u32::from_le_bytes([header[2], header[3], header[4], header[5]]);
+                    let mut payload = vec![0u8; len as usize];
+                    reader.read_exact(&mut payload).expect("frame payload");
+                    latencies.push(start.elapsed().as_secs_f64() * 1e6);
+                }
+            }
+            other => unreachable!("mode {other}"),
+        }
+    }
+    latencies
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Runs one (mode, client count) cell; returns (req/s, p50 us, p99 us).
+fn run_cell(addr: &str, mode: &'static str, device: &str, clients: usize) -> (f64, f64, f64) {
+    let barrier = Arc::new(Barrier::new(clients));
+    let mut handles = Vec::new();
+    let (all, wall) = timed(|| {
+        for _ in 0..clients {
+            let addr = addr.to_string();
+            let device = device.to_string();
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                run_client(&addr, mode, &device, &barrier)
+            }));
+        }
+        let mut all: Vec<f64> = Vec::new();
+        for handle in handles.drain(..) {
+            all.extend(handle.join().expect("client thread"));
+        }
+        all
+    });
+    let total_ops = clients * groups_per_client() * GROUP;
+    assert_eq!(all.len(), total_ops, "{mode}: dropped responses");
+    let mut sorted = all;
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let reqs_per_sec = total_ops as f64 / wall.as_secs_f64().max(1e-9);
+    (
+        reqs_per_sec,
+        percentile(&sorted, 0.50),
+        percentile(&sorted, 0.99),
+    )
+}
+
+fn main() {
+    // A small on-disk corpus: transport overhead is the subject, the
+    // engine work per GEN is deliberately tiny and identical per mode.
+    let dir = std::env::temp_dir().join(format!("concord-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    for i in 0..6 {
+        std::fs::write(
+            dir.join(format!("dev{i}.cfg")),
+            format!(
+                "hostname DEV{}\nrouter bgp 65000\nvlan {}\n",
+                100 + i,
+                250 + i
+            ),
+        )
+        .expect("write corpus");
+    }
+    let configs = format!("{}/*.cfg", dir.display());
+    let device = "dev0";
+
+    let addr = spawn_server(&configs);
+
+    // Warm the engine (learn + settle the incremental check cache) so
+    // every measured GEN takes the shared read path.
+    {
+        let stream = connect(&addr);
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        writer
+            .write_all(b"LEARN\nCHECK\nCHECK\nQUIT\n")
+            .expect("warm");
+        let mut text = String::new();
+        reader.read_to_string(&mut text).expect("warm responses");
+        assert!(text.contains("ok learn"), "{text}");
+        assert!(text.ends_with("ok bye\n"), "{text}");
+    }
+
+    const MODES: &[&str] = &["serial", "pipelined", "batch", "binary"];
+    let mut entries: Vec<Json> = Vec::new();
+    let mut max_ratio = 0.0f64;
+    for &clients in client_counts() {
+        let mut modes = Vec::new();
+        let mut serial_rps = 0.0f64;
+        let mut best_grouped = 0.0f64;
+        for &mode in MODES {
+            let (rps, p50, p99) = run_cell(&addr, mode, device, clients);
+            println!(
+                "{clients:>4} clients {mode:>9}: {rps:>10.0} req/s  p50 {p50:>8.1}us  p99 {p99:>8.1}us"
+            );
+            if mode == "serial" {
+                serial_rps = rps;
+            } else if rps > best_grouped {
+                best_grouped = rps;
+            }
+            modes.push(json!({
+                "mode": mode,
+                "reqs_per_sec": rps,
+                "p50_us": p50,
+                "p99_us": p99,
+            }));
+        }
+        let ratio = best_grouped / serial_rps.max(1e-9);
+        println!("{clients:>4} clients: best grouped mode is {ratio:.1}x serial");
+        if ratio > max_ratio {
+            max_ratio = ratio;
+        }
+        entries.push(json!({
+            "clients": clients,
+            "modes": Json::Array(modes),
+            "ratio_vs_serial": ratio,
+        }));
+    }
+
+    let result = json!({
+        "schema": "concord-bench-serve/v1",
+        "smoke": smoke(),
+        "group": GROUP,
+        "groups_per_client": groups_per_client(),
+        "workers": 8,
+        "cells": Json::Array(entries),
+        "summary": json!({
+            "max_ratio": max_ratio,
+        }),
+    });
+    write_result("serve_throughput", &result);
+    if !smoke() {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+        let text = concord_json::to_string_pretty(&result).expect("result serializes");
+        match std::fs::write(&path, text) {
+            Ok(()) => eprintln!("(wrote {})", path.display()),
+            Err(e) => eprintln!("(could not write {}: {e})", path.display()),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -25,7 +25,7 @@ USAGE:
                 [--tokens <file>] [--support N] [--confidence F]
                 [--parallelism N] [--no-embed] [--staleness F]
                 [--listen <addr>] [--once] [--workers N]
-                [--deadline-ms N] [--max-line-bytes N]
+                [--max-conns N] [--deadline-ms N] [--max-line-bytes N]
                 [--max-body-bytes N] [--state-dir <dir>]
                 [--lex-cache-cap N] [--enable-fault-injection]
                 [--full-relearn]
@@ -36,15 +36,23 @@ Categories for --disable: present ordering type sequence unique relational
 --stats text prints a per-stage timing summary (lexing with cache
 hit/miss counts, each miner, minimization, checking); --stats json
 emits the same data as one machine-readable object (schema
-concord-pipeline-stats/v6, see DESIGN.md) instead of the human
+concord-pipeline-stats/v7, see DESIGN.md) instead of the human
 summary.
 
-serve holds a resident incremental engine and answers a line protocol
-on stdin/stdout (or a --workers pool of TCP connections with
---listen): UPSERT <name> (+ body, `.` terminated), REMOVE <name>,
-LEARN, CHECK, GEN <name>, CONTRACTS, STATS, CHECKPOINT, QUIT.
+serve holds a resident incremental engine and answers a request
+protocol on stdin/stdout or TCP (--listen). On Linux, TCP runs on an
+epoll event loop: pipelined requests on one connection execute in
+order while connections proceed concurrently, read-only requests
+(CHECK/GEN/CONTRACTS/STATS) share the engine lock, and --workers
+executor threads run requests. Text verbs: UPSERT <name> (+ body, `.`
+terminated), REMOVE <name>, LEARN, CHECK, GEN <name>, CONTRACTS,
+STATS, CHECKPOINT, BATCH <n> (the next n commands under one engine
+acquisition, answered in order plus an `ok batch <n>` trailer), QUIT.
+A connection whose first byte is 0xC3 speaks the equivalent
+length-prefixed binary framing instead (see DESIGN.md).
 Requests are bounded by --max-line-bytes / --max-body-bytes and a
-per-request --deadline-ms; excess load is shed with `err busy`. With
+per-request --deadline-ms; beyond --max-conns concurrent connections
+(default: twice --workers) load is shed with `err busy`. With
 --state-dir the engine checkpoints snapshots and fsyncs a write-ahead
 log so a killed process resumes exactly where it stopped. LEARN folds
 cached per-config miner sketches by default, re-mining only edited
@@ -121,6 +129,9 @@ pub struct ServeArgs {
     pub once: bool,
     /// TCP worker threads (the bounded connection pool).
     pub workers: usize,
+    /// Concurrent connection cap before load shedding (`err busy`);
+    /// 0 picks the default of twice `workers`.
+    pub max_conns: usize,
     /// Per-request deadline in milliseconds.
     pub deadline_ms: u64,
     /// Maximum bytes in one protocol line.
@@ -456,6 +467,7 @@ fn parse_serve(argv: &[String]) -> Result<Command, UsageError> {
         listen: None,
         once: false,
         workers: 4,
+        max_conns: 0,
         deadline_ms: 5000,
         max_line_bytes: 64 * 1024,
         max_body_bytes: 1024 * 1024,
@@ -492,6 +504,7 @@ fn parse_serve(argv: &[String]) -> Result<Command, UsageError> {
                     return Err(UsageError("--workers must be at least 1".to_string()));
                 }
             }
+            "--max-conns" => args.max_conns = flags.parse(flag)?,
             "--deadline-ms" => {
                 args.deadline_ms = flags.parse(flag)?;
                 if args.deadline_ms == 0 {
@@ -611,6 +624,8 @@ mod tests {
             "4",
             "--workers",
             "8",
+            "--max-conns",
+            "32",
             "--deadline-ms",
             "1500",
             "--max-line-bytes",
@@ -634,6 +649,7 @@ mod tests {
                 assert_eq!(a.parallelism, 4);
                 assert_eq!(a.params.parallelism, 4);
                 assert_eq!(a.workers, 8);
+                assert_eq!(a.max_conns, 32);
                 assert_eq!(a.deadline_ms, 1500);
                 assert_eq!(a.max_line_bytes, 4096);
                 assert_eq!(a.max_body_bytes, 16384);
@@ -648,6 +664,7 @@ mod tests {
         match parse_args(&argv(&["serve"])).unwrap() {
             Command::Serve(a) => {
                 assert_eq!(a.workers, 4);
+                assert_eq!(a.max_conns, 0, "0 means twice --workers at runtime");
                 assert_eq!(a.deadline_ms, 5000);
                 assert_eq!(a.lex_cache_cap, 64 * 1024);
                 assert!(a.state_dir.is_none());

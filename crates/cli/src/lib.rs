@@ -22,9 +22,12 @@
 
 mod args;
 mod ci;
+mod eventloop;
 mod glob;
+pub mod protocol;
 mod report;
 mod serve;
+mod sync;
 
 pub use args::{
     parse_args, CheckArgs, CiArgs, Command, CoverageArgs, LearnArgs, ServeArgs, StatsMode,

@@ -1,4 +1,5 @@
-//! `concord serve`: a resident incremental engine behind a line protocol.
+//! `concord serve`: a resident incremental engine behind a request
+//! protocol.
 //!
 //! The batch commands (`learn`, `check`) rebuild the pipeline from disk
 //! on every invocation. `serve` instead holds one resident engine for
@@ -6,7 +7,8 @@
 //! CHECK costs work proportional to what changed since the last one
 //! (§3.7's interactive workflow).
 //!
-//! The protocol is plain text, one command per line (LF or CRLF):
+//! The default protocol is plain text, one command per line (LF or
+//! CRLF):
 //!
 //! ```text
 //! UPSERT <name>     -- followed by the configuration body, terminated
@@ -18,16 +20,39 @@
 //! CHECK             -- report violations; recomputes only dirty configs
 //! GEN <name>        -- the configuration's edit generation
 //! CONTRACTS         -- how many contracts are loaded
-//! STATS             -- one-line JSON engine snapshot (v6 schema)
+//! STATS             -- one-line JSON engine snapshot (v7 schema)
 //! CHECKPOINT        -- force a durable checkpoint (needs --state-dir)
+//! BATCH <n>         -- the next n commands execute under one engine
+//!                      acquisition; their responses stream back in
+//!                      order, then an `ok batch <n>` trailer
 //! QUIT
 //! ```
+//!
+//! A connection whose first byte is `0xC3` speaks the length-prefixed
+//! binary framing instead (see [`crate::protocol`]); both framings
+//! drive the same request handler, so stdin, TCP, text, and binary are
+//! thin adapters over one engine API.
 //!
 //! Every response line starts with `ok` or `err`; errors carry a stable
 //! machine-readable code (`err busy`, `err deadline`, `err too-large`,
 //! `err bad-utf8`, `err bad-request …`, `err unknown-command …`,
 //! `err unknown-config …`, `err not-learned`, `err internal …`,
 //! `err persist …`, `err poisoned`).
+//!
+//! # Concurrency
+//!
+//! The engine sits behind a deadline-bounded read/write lock
+//! ([`crate::sync::DeadlineRwLock`]) instead of a mutex: CHECK (when the
+//! engine's tagged report cache is current), GEN, CONTRACTS, and STATS
+//! run concurrently under the shared side, while UPSERT/REMOVE/LEARN,
+//! CHECKPOINT, fault verbs, and any read that misses the shared path
+//! take the exclusive side. On Linux (x86_64/aarch64) TCP connections
+//! are served by a readiness event loop (`epoll` via raw syscalls, no
+//! external crates): one I/O thread owns every socket and feeds parsed
+//! requests to a small executor pool (`--workers`), pipelined requests
+//! on one connection execute in order, and responses never interleave.
+//! Other targets fall back to a thread-per-connection loop with the
+//! same limits.
 //!
 //! # Robustness
 //!
@@ -38,29 +63,27 @@
 //! is WAL-logged (fsync'd) and periodically checkpointed, so `kill -9`
 //! + restart resumes byte-identical.
 //!
-//! With `--listen`, connections are served by a fixed worker pool
-//! (`--workers`). The accept loop sheds load with `err busy` once all
-//! workers are occupied and the hand-off queue is full. Request lines
-//! are read through a bounded byte reader: oversized lines
+//! Load shedding caps concurrent connections (`--max-conns`, default
+//! twice the worker count) with `err busy`. Oversized lines
 //! (`--max-line-bytes`) and bodies (`--max-body-bytes`) are rejected
 //! without touching the engine, invalid UTF-8 is reported as
 //! `err bad-utf8`, and a client that trickles a request slower than
 //! `--deadline-ms` (slow-loris) is disconnected with `err deadline`.
-//! Everything is `std`-only: [`std::net::TcpListener`], threads, and a
-//! hand-rolled line reader.
+//! Everything is `std`-only.
 
 use std::io::{Read, Write};
-use std::net::{TcpListener, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{self, TrySendError};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use concord_engine::{EngineFault, EngineOptions, OpKind, ResilientEngine};
+use concord_core::ServeTransportStats;
+use concord_engine::{EngineCheckReport, EngineFault, EngineOptions, OpKind, ResilientEngine};
 use concord_json::ToJson;
 
 use crate::args::ServeArgs;
+use crate::protocol::{frame_response, BatchItem, Framing, ParseEvent, Request, SessionParser};
+use crate::sync::DeadlineRwLock;
 use crate::{build_lexer, read_file, read_glob, CliError};
 
 /// Request-level limits shared by every connection.
@@ -69,9 +92,9 @@ pub struct ServeLimits {
     /// Per-request deadline: covers reading one command (and its body)
     /// and waiting for the engine lock.
     pub deadline: Duration,
-    /// Maximum bytes in one protocol line.
+    /// Maximum bytes in one protocol line (or binary frame name).
     pub max_line: usize,
-    /// Maximum bytes in one UPSERT body.
+    /// Maximum bytes in one UPSERT body (or binary frame body).
     pub max_body: usize,
 }
 
@@ -85,56 +108,403 @@ impl Default for ServeLimits {
     }
 }
 
-/// State shared by every connection: the engine, the limits, and the
-/// serve-layer robustness counters.
+/// Transport-layer counters, reported under `serve` in STATS (schema
+/// v7). All relaxed: they are monotonic telemetry, not synchronization.
+#[derive(Debug, Default)]
+struct TransportCounters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    binary_frames: AtomicU64,
+    shared_reads: AtomicU64,
+    exclusive_ops: AtomicU64,
+}
+
+impl TransportCounters {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ServeTransportStats {
+        ServeTransportStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            binary_frames: self.binary_frames.load(Ordering::Relaxed),
+            shared_reads: self.shared_reads.load(Ordering::Relaxed),
+            exclusive_ops: self.exclusive_ops.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// State shared by every connection: the engine behind its read/write
+/// lock, the limits, and the serve-layer counters.
 pub struct ServeShared {
-    engine: Mutex<ResilientEngine>,
+    engine: DeadlineRwLock<ResilientEngine>,
     limits: ServeLimits,
     /// `FAULT <op>` verb enabled (deterministic panic injection for the
     /// robustness harness; off unless `--enable-fault-injection`).
     faults_enabled: bool,
     requests_rejected: AtomicU64,
     deadlines_hit: AtomicU64,
+    transport: TransportCounters,
 }
 
 impl ServeShared {
     /// Wraps an engine for serving.
     pub fn new(engine: ResilientEngine, limits: ServeLimits, faults_enabled: bool) -> ServeShared {
         ServeShared {
-            engine: Mutex::new(engine),
+            engine: DeadlineRwLock::new(engine),
             limits,
             faults_enabled,
             requests_rejected: AtomicU64::new(0),
             deadlines_hit: AtomicU64::new(0),
+            transport: TransportCounters::default(),
         }
     }
 
-    fn reject(&self) {
+    pub(crate) fn limits(&self) -> ServeLimits {
+        self.limits
+    }
+
+    pub(crate) fn reject(&self) {
         self.requests_rejected.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn deadline_hit(&self) {
+    pub(crate) fn deadline_hit(&self) {
         self.deadlines_hit.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Locks the engine, waiting at most until `deadline`. A lock
-    /// poisoned by a panicking holder is still usable: the engine
-    /// beneath it recovers itself, so we take the guard regardless.
-    fn lock_engine(&self, deadline: Instant) -> Option<MutexGuard<'_, ResilientEngine>> {
-        loop {
-            match self.engine.try_lock() {
-                Ok(guard) => return Some(guard),
-                Err(std::sync::TryLockError::Poisoned(poisoned)) => {
-                    return Some(poisoned.into_inner())
-                }
-                Err(std::sync::TryLockError::WouldBlock) => {
-                    if Instant::now() >= deadline {
-                        return None;
+    pub(crate) fn count_connection(&self) {
+        TransportCounters::bump(&self.transport.connections);
+    }
+}
+
+/// One rendered response, already in the session's framing.
+pub(crate) struct Reply {
+    pub(crate) bytes: Vec<u8>,
+    /// The session ends after this response is written.
+    pub(crate) quit: bool,
+}
+
+/// Turns one parse event into its framed response, applying the
+/// rejection taxonomy and executing requests against the engine. This
+/// is the single request handler every transport drives.
+pub(crate) fn respond(shared: &ServeShared, event: ParseEvent, framing: Framing) -> Reply {
+    if framing == Framing::Binary {
+        TransportCounters::bump(&shared.transport.binary_frames);
+    }
+    let (text, quit) = match event {
+        ParseEvent::Request(req) => {
+            TransportCounters::bump(&shared.transport.requests);
+            execute_request(shared, req)
+        }
+        ParseEvent::Error { line, reject } => {
+            if reject {
+                shared.reject();
+            }
+            (format!("{line}\n"), false)
+        }
+        ParseEvent::Fatal { line, reject } => {
+            if reject {
+                shared.reject();
+            }
+            (format!("{line}\n"), true)
+        }
+    };
+    let mut bytes = Vec::with_capacity(text.len() + 8);
+    frame_response(framing, text.as_bytes(), &mut bytes);
+    Reply { bytes, quit }
+}
+
+/// The framed `err deadline` response (the transport counts the hit and
+/// closes the connection after writing it).
+pub(crate) fn deadline_reply(framing: Framing) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    frame_response(framing, b"err deadline\n", &mut bytes);
+    bytes
+}
+
+/// Whether a request needs the exclusive side of the engine lock.
+fn is_write_op(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::Upsert { .. }
+            | Request::Remove { .. }
+            | Request::Learn
+            | Request::Checkpoint
+            | Request::Fault { .. }
+    )
+}
+
+/// Executes one top-level request; returns the response text and
+/// whether the session ends.
+fn execute_request(shared: &ServeShared, req: Request) -> (String, bool) {
+    match req {
+        Request::Quit => ("ok bye\n".to_string(), true),
+        Request::Batch(items) => (execute_batch(shared, &items), false),
+        req => {
+            let cutoff = Instant::now() + shared.limits.deadline;
+            if !is_write_op(&req) {
+                // Shared-read fast path: concurrent CHECK/GEN/STATS
+                // don't serialize behind each other.
+                match shared.engine.read(cutoff) {
+                    Some(guard) => {
+                        if let Some(text) = exec_shared(shared, &guard, &req) {
+                            TransportCounters::bump(&shared.transport.shared_reads);
+                            return (text, false);
+                        }
+                        // Cache miss (or a state the shared path must
+                        // not serve): fall through to exclusive.
                     }
-                    std::thread::sleep(Duration::from_millis(1));
+                    None => {
+                        shared.deadline_hit();
+                        return ("err deadline\n".to_string(), false);
+                    }
+                }
+            }
+            match shared.engine.write(cutoff) {
+                Some(mut guard) => {
+                    TransportCounters::bump(&shared.transport.exclusive_ops);
+                    (exec_exclusive(shared, &mut guard, &req), false)
+                }
+                None => {
+                    shared.deadline_hit();
+                    ("err deadline\n".to_string(), false)
                 }
             }
         }
+    }
+}
+
+/// Executes a BATCH under one engine acquisition. All-read batches run
+/// under the shared lock; if any item misses the shared path the
+/// partial output is discarded and the whole batch reruns exclusively
+/// (reads are idempotent, so nothing double-fires). Any mutating item
+/// takes the exclusive lock up front.
+fn execute_batch(shared: &ServeShared, items: &[BatchItem]) -> String {
+    TransportCounters::bump(&shared.transport.batches);
+    shared
+        .transport
+        .batched_requests
+        .fetch_add(items.len() as u64, Ordering::Relaxed);
+    let cutoff = Instant::now() + shared.limits.deadline;
+    let needs_write = items
+        .iter()
+        .any(|item| matches!(item, BatchItem::Run(req) if is_write_op(req)));
+    if !needs_write {
+        match shared.engine.read(cutoff) {
+            Some(guard) => {
+                let mut out = String::new();
+                // Rejection counts are deferred until the shared run is
+                // known to stick, so an exclusive rerun can't double-count.
+                let mut rejects = 0u64;
+                let mut complete = true;
+                for item in items {
+                    match item {
+                        BatchItem::Error { line, reject } => {
+                            if *reject {
+                                rejects += 1;
+                            }
+                            out.push_str(line);
+                            out.push('\n');
+                        }
+                        BatchItem::Run(req) => match exec_shared(shared, &guard, req) {
+                            Some(text) => out.push_str(&text),
+                            None => {
+                                complete = false;
+                                break;
+                            }
+                        },
+                    }
+                }
+                if complete {
+                    TransportCounters::bump(&shared.transport.shared_reads);
+                    shared
+                        .requests_rejected
+                        .fetch_add(rejects, Ordering::Relaxed);
+                    out.push_str(&format!("ok batch {}\n", items.len()));
+                    return out;
+                }
+            }
+            None => {
+                shared.deadline_hit();
+                return "err deadline\n".to_string();
+            }
+        }
+    }
+    match shared.engine.write(cutoff) {
+        Some(mut guard) => {
+            TransportCounters::bump(&shared.transport.exclusive_ops);
+            let mut out = String::new();
+            for item in items {
+                match item {
+                    BatchItem::Error { line, reject } => {
+                        if *reject {
+                            shared.reject();
+                        }
+                        out.push_str(line);
+                        out.push('\n');
+                    }
+                    BatchItem::Run(req) => out.push_str(&exec_exclusive(shared, &mut guard, req)),
+                }
+            }
+            out.push_str(&format!("ok batch {}\n", items.len()));
+            out
+        }
+        None => {
+            shared.deadline_hit();
+            "err deadline\n".to_string()
+        }
+    }
+}
+
+/// Attempts a request under the shared (read) lock. `None` means the
+/// shared path cannot serve it — stale report cache, armed fault, or
+/// post-recovery state that must go through the guarded exclusive path.
+fn exec_shared(shared: &ServeShared, engine: &ResilientEngine, req: &Request) -> Option<String> {
+    match req {
+        Request::Check => engine.check_shared().map(|report| render_check(&report)),
+        Request::Gen { name } => Some(render_gen(engine.config_generation(name), name)),
+        Request::Contracts => Some(render_contracts(engine.contracts_len())),
+        Request::Stats => engine.stats_shared().map(|mut stats| {
+            if let Some(r) = &mut stats.robustness {
+                r.requests_rejected = shared.requests_rejected.load(Ordering::Relaxed);
+                r.deadlines_hit = shared.deadlines_hit.load(Ordering::Relaxed);
+            }
+            stats.serve = Some(shared.transport.snapshot());
+            format!("ok stats {}\n", stats.to_json().render())
+        }),
+        _ => None,
+    }
+}
+
+/// Executes a request under the exclusive lock (the original
+/// single-mutex semantics, response strings byte-identical).
+fn exec_exclusive(shared: &ServeShared, engine: &mut ResilientEngine, req: &Request) -> String {
+    match req {
+        Request::Upsert { name, body } => match engine.upsert(name, body) {
+            Ok(id) => match engine.config_generation(name) {
+                Ok(Some(gen)) => format!("ok upsert {name} id={} gen={gen}\n", id.0),
+                Ok(None) => format!("err unknown-config {name}\n"),
+                Err(fault) => format!("{}\n", fault_line(&fault)),
+            },
+            Err(fault) => format!("{}\n", fault_line(&fault)),
+        },
+        Request::Remove { name } => match engine.remove(name) {
+            Ok(Some(_)) => format!("ok remove {name}\n"),
+            Ok(None) => format!("err unknown-config {name}\n"),
+            Err(fault) => format!("{}\n", fault_line(&fault)),
+        },
+        Request::Learn => match engine.relearn() {
+            Ok(_) => match engine.contracts_len() {
+                Ok(Some(n)) => {
+                    let delta = engine.learn_delta().unwrap_or_default();
+                    format!(
+                        "ok learn {n} contracts mined={} reused={}\n",
+                        delta.mined_last_learn, delta.reused_last_learn
+                    )
+                }
+                Ok(None) => "err not-learned\n".to_string(),
+                Err(fault) => format!("{}\n", fault_line(&fault)),
+            },
+            Err(fault) => format!("{}\n", fault_line(&fault)),
+        },
+        Request::Check => match engine.check() {
+            Ok(result) => render_check(&result),
+            Err(fault) => format!("{}\n", fault_line(&fault)),
+        },
+        Request::Gen { name } => render_gen(engine.config_generation(name), name),
+        Request::Contracts => render_contracts(engine.contracts_len()),
+        Request::Stats => {
+            engine.add_serve_counters(
+                shared.requests_rejected.load(Ordering::Relaxed),
+                shared.deadlines_hit.load(Ordering::Relaxed),
+            );
+            match engine.snapshot_stats() {
+                Ok(mut stats) => {
+                    stats.serve = Some(shared.transport.snapshot());
+                    format!("ok stats {}\n", stats.to_json().render())
+                }
+                Err(fault) => format!("{}\n", fault_line(&fault)),
+            }
+        }
+        Request::Checkpoint => {
+            if engine.checkpoint() {
+                "ok checkpoint\n".to_string()
+            } else {
+                "err persist checkpoint failed or no --state-dir\n".to_string()
+            }
+        }
+        Request::Fault { rest } => {
+            if !shared.faults_enabled {
+                shared.reject();
+                return "err unknown-command \"FAULT\"\n".to_string();
+            }
+            match OpKind::parse(rest) {
+                Some(kind) => {
+                    engine.arm_panic(kind);
+                    format!("ok fault armed {rest}\n")
+                }
+                None => {
+                    shared.reject();
+                    format!("err bad-request unknown fault kind {rest:?}\n")
+                }
+            }
+        }
+        // Quit and Batch are routed before lock acquisition; reaching
+        // here would be a dispatch bug, answered, not panicked over.
+        Request::Quit | Request::Batch(_) => "err internal invalid request routing\n".to_string(),
+    }
+}
+
+/// Renders a CHECK report: violation lines, then the summary line.
+fn render_check(result: &EngineCheckReport) -> String {
+    let mut out = String::new();
+    for v in &result.report.violations {
+        out.push_str(&format!("{v}\n"));
+    }
+    let summary = result.report.coverage.summary();
+    out.push_str(&format!(
+        "ok check {} violations; coverage {:.1}% of {} lines; dirty={} reused={}\n",
+        result.report.violations.len(),
+        summary.fraction * 100.0,
+        summary.total_lines,
+        result.engine.dirty_configs,
+        result.engine.reused_configs,
+    ));
+    out
+}
+
+fn render_gen(result: Result<Option<u64>, EngineFault>, name: &str) -> String {
+    match result {
+        Ok(Some(gen)) => format!("ok gen {name} {gen}\n"),
+        Ok(None) => format!("err unknown-config {name}\n"),
+        Err(fault) => format!("{}\n", fault_line(&fault)),
+    }
+}
+
+fn render_contracts(result: Result<Option<usize>, EngineFault>) -> String {
+    match result {
+        Ok(Some(n)) => format!("ok contracts {n}\n"),
+        Ok(None) => "err not-learned\n".to_string(),
+        Err(fault) => format!("{}\n", fault_line(&fault)),
+    }
+}
+
+/// Renders an [`EngineFault`] as a protocol error line. Messages are
+/// flattened to one line so the framing survives arbitrary panic text.
+fn fault_line(fault: &EngineFault) -> String {
+    let one_line = |s: &str| s.replace(['\n', '\r'], " ");
+    match fault {
+        EngineFault::UnknownConfig(name) => format!("err unknown-config {}", one_line(name)),
+        EngineFault::NoContracts => "err no contracts loaded".to_string(),
+        EngineFault::BadContracts(e) => format!("err bad-request {}", one_line(e)),
+        EngineFault::Panicked(msg) => format!("err internal {}", one_line(msg)),
+        EngineFault::Persist(e) => format!("err persist {}", one_line(e)),
+        EngineFault::Poisoned => "err poisoned".to_string(),
     }
 }
 
@@ -147,8 +517,14 @@ pub fn run_serve(args: &ServeArgs, out: &mut dyn Write) -> Result<i32, CliError>
         max_body: args.max_body_bytes.max(64),
     };
     let shared = Arc::new(ServeShared::new(engine, limits, args.enable_faults));
+    let workers = args.workers.max(1);
+    let max_conns = if args.max_conns == 0 {
+        workers * 2
+    } else {
+        args.max_conns
+    };
     match &args.listen {
-        Some(addr) => serve_tcp(&shared, addr, args.once, args.workers.max(1), out),
+        Some(addr) => serve_tcp(&shared, addr, args.once, workers, max_conns, out),
         None => {
             let stdin = std::io::stdin();
             serve_session(&shared, stdin.lock(), out)
@@ -206,13 +582,39 @@ fn build_engine(args: &ServeArgs) -> Result<ResilientEngine, CliError> {
     Ok(engine)
 }
 
+/// On Linux, TCP is served by the epoll readiness event loop.
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
 fn serve_tcp(
     shared: &Arc<ServeShared>,
     addr: &str,
     once: bool,
     workers: usize,
+    max_conns: usize,
     out: &mut dyn Write,
 ) -> Result<i32, CliError> {
+    crate::eventloop::run_event_loop(shared, addr, once, workers, max_conns, out)
+}
+
+/// Portable fallback: thread-per-connection with the same limits,
+/// shedding, and protocol behavior (minus readiness-driven I/O).
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+fn serve_tcp(
+    shared: &Arc<ServeShared>,
+    addr: &str,
+    once: bool,
+    _workers: usize,
+    max_conns: usize,
+    out: &mut dyn Write,
+) -> Result<i32, CliError> {
+    use std::net::TcpListener;
+    use std::sync::atomic::AtomicUsize;
+
     let io_err = |e: std::io::Error| CliError::Io(addr.to_string(), e);
     let listener = TcpListener::bind(addr).map_err(io_err)?;
     let local = listener.local_addr().map_err(io_err)?;
@@ -221,545 +623,115 @@ fn serve_tcp(
     let _ = writeln!(out, "listening on {local}");
     let _ = out.flush();
 
-    // Fixed worker pool with a bounded hand-off queue: one slot per
-    // worker. When every worker is busy and the queue is full, the
-    // accept loop sheds the connection with `err busy` instead of
-    // queueing unboundedly.
-    let (tx, rx) = mpsc::sync_channel::<TcpStream>(workers);
-    let rx = Arc::new(Mutex::new(rx));
-    let mut handles = Vec::with_capacity(workers);
-    for i in 0..workers {
-        let shared = Arc::clone(shared);
-        let rx = Arc::clone(&rx);
-        let handle = std::thread::Builder::new()
-            .name(format!("serve-worker-{i}"))
-            .spawn(move || loop {
-                let stream = {
-                    let guard = match rx.lock() {
-                        Ok(guard) => guard,
-                        Err(poisoned) => poisoned.into_inner(),
-                    };
-                    guard.recv()
-                };
-                match stream {
-                    Ok(stream) => handle_connection(&shared, stream),
-                    Err(_) => return, // channel closed: shut down
-                }
-            })
-            .map_err(io_err)?;
-        handles.push(handle);
-    }
-
-    let mut dispatched = 0usize;
-    let mut tx = Some(tx);
+    let active = Arc::new(AtomicUsize::new(0));
     for stream in listener.incoming() {
-        let stream = stream.map_err(io_err)?;
-        let sender = tx
-            .as_ref()
-            .ok_or_else(|| CliError::Invalid("accept after shutdown".to_string()))?;
-        match sender.try_send(stream) {
-            Ok(()) => dispatched += 1,
-            Err(TrySendError::Full(mut stream)) => {
-                shared.reject();
-                let _ = stream.write_all(b"err busy\n");
-                // Dropping the stream closes the shed connection.
-            }
-            Err(TrySendError::Disconnected(_)) => break,
+        let mut stream = stream.map_err(io_err)?;
+        if once {
+            prepare_stream(shared, &stream);
+            let reader = match stream.try_clone() {
+                Ok(clone) => clone,
+                Err(_) => return Ok(0),
+            };
+            let _ = serve_session(shared, reader, &mut stream);
+            return Ok(0);
         }
-        if once && dispatched > 0 {
-            break;
+        if active.load(Ordering::SeqCst) >= max_conns {
+            shared.reject();
+            let _ = stream.write_all(b"err busy\n");
+            continue; // dropping the stream closes the shed connection
         }
-    }
-    // Close the queue and let the workers drain what was handed off.
-    tx.take();
-    for handle in handles {
-        let _ = handle.join();
+        active.fetch_add(1, Ordering::SeqCst);
+        let shared = Arc::clone(shared);
+        let active = Arc::clone(&active);
+        let spawned = std::thread::Builder::new()
+            .name("serve-conn".to_string())
+            .spawn(move || {
+                prepare_stream(&shared, &stream);
+                if let Ok(reader) = stream.try_clone() {
+                    let mut writer = stream;
+                    let _ = serve_session(&shared, reader, &mut writer);
+                }
+                active.fetch_sub(1, Ordering::SeqCst);
+            });
+        if spawned.is_err() {
+            active.fetch_sub(1, Ordering::SeqCst);
+        }
     }
     Ok(0)
 }
 
-/// Serves one TCP connection on a worker thread. Connection-level
-/// errors end the connection, never the process.
-fn handle_connection(shared: &ServeShared, stream: TcpStream) {
-    // A short socket timeout keeps the reader loop responsive so it
-    // can enforce per-request deadlines against slow-loris clients.
+/// Short read timeouts keep a blocking session responsive enough to
+/// enforce deadlines against slow-loris clients.
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+fn prepare_stream(shared: &ServeShared, stream: &std::net::TcpStream) {
     let poll = shared.limits.deadline.min(Duration::from_millis(100));
     let _ = stream.set_read_timeout(Some(poll));
     let _ = stream.set_write_timeout(Some(shared.limits.deadline));
-    let reader = match stream.try_clone() {
-        Ok(clone) => clone,
-        Err(_) => return,
-    };
-    let mut writer = stream;
-    let _ = serve_session(shared, reader, &mut writer);
 }
 
-/// One protocol line, classified.
-enum LineEvent {
-    /// Clean end of input.
-    Eof,
-    /// A complete UTF-8 line (line terminator stripped, CRLF folded).
-    Line(String),
-    /// The line exceeded the byte limit (it was drained to its end).
-    Oversized,
-    /// The line was complete but not valid UTF-8.
-    NonUtf8,
-    /// The deadline elapsed while the line was incomplete.
-    TimedOut,
-}
-
-/// A bounded, deadline-aware line reader over any [`Read`].
-///
-/// Unlike [`std::io::BufRead::read_line`], it never allocates beyond
-/// the configured limit for hostile input, tolerates invalid UTF-8
-/// (reported, not propagated as an error), and notices when a partial
-/// line has been pending longer than the deadline.
-struct LineReader<R: Read> {
-    inner: R,
-    buf: Vec<u8>,
-    /// When the first byte of the pending (incomplete) line arrived.
-    line_started: Option<Instant>,
-    max_line: usize,
-    /// Draining an oversized line: discard until the next newline.
-    draining: bool,
-}
-
-impl<R: Read> LineReader<R> {
-    fn new(inner: R, max_line: usize) -> LineReader<R> {
-        LineReader {
-            inner,
-            buf: Vec::new(),
-            line_started: None,
-            max_line,
-            draining: false,
-        }
-    }
-
-    /// Reads the next line. `line_deadline` bounds how long a partial
-    /// line may stay pending; `overall` (when set) is an absolute
-    /// cutoff that fires even while idle — used for request bodies so
-    /// a client cannot park a worker mid-UPSERT forever.
-    fn next_line(
-        &mut self,
-        line_deadline: Duration,
-        overall: Option<Instant>,
-    ) -> std::io::Result<LineEvent> {
-        let mut chunk = [0u8; 4096];
-        loop {
-            // Consume a complete line if one is already buffered.
-            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
-                let line: Vec<u8> = self.buf.drain(..=pos).collect();
-                self.line_started = None;
-                if self.draining {
-                    self.draining = false;
-                    return Ok(LineEvent::Oversized);
-                }
-                if line.len() - 1 > self.max_line {
-                    return Ok(LineEvent::Oversized);
-                }
-                let mut end = line.len() - 1; // strip '\n'
-                if end > 0 && line[end - 1] == b'\r' {
-                    end -= 1; // fold CRLF
-                }
-                return Ok(match String::from_utf8(line[..end].to_vec()) {
-                    Ok(text) => LineEvent::Line(text),
-                    Err(_) => LineEvent::NonUtf8,
-                });
-            }
-            if self.buf.len() > self.max_line && !self.draining {
-                // Too long and still no newline: switch to drain mode.
-                self.draining = true;
-            }
-            if self.draining {
-                self.buf.clear();
-            }
-            if let Some(cutoff) = overall {
-                if Instant::now() >= cutoff {
-                    return Ok(LineEvent::TimedOut);
-                }
-            }
-            if let Some(started) = self.line_started {
-                if started.elapsed() >= line_deadline {
-                    return Ok(LineEvent::TimedOut);
-                }
-            }
-            match self.inner.read(&mut chunk) {
-                Ok(0) => {
-                    if self.buf.is_empty() || self.draining {
-                        return Ok(LineEvent::Eof);
-                    }
-                    // Trailing bytes without a newline: surface them as
-                    // a final line, then EOF on the next call.
-                    let line = std::mem::take(&mut self.buf);
-                    self.line_started = None;
-                    return Ok(match String::from_utf8(line) {
-                        Ok(text) => LineEvent::Line(text),
-                        Err(_) => LineEvent::NonUtf8,
-                    });
-                }
-                Ok(n) => {
-                    if !self.draining && self.buf.is_empty() && self.line_started.is_none() {
-                        self.line_started = Some(Instant::now());
-                    }
-                    if self.line_started.is_none() {
-                        self.line_started = Some(Instant::now());
-                    }
-                    self.buf.extend_from_slice(&chunk[..n]);
-                }
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    // Socket poll tick: loop to re-check the deadlines.
-                    continue;
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(e) => return Err(e),
-            }
-        }
-    }
-}
-
-/// What a handled command decided about the session.
-enum Flow {
-    Continue,
-    Quit,
-}
-
-/// Runs one protocol session over arbitrary byte transports.
+/// Runs one protocol session over arbitrary blocking byte transports
+/// (stdin, a test cursor, the fallback TCP path).
 ///
 /// The engine outlives the session: the TCP server passes the same
 /// shared state to every connection, so edits persist across
 /// reconnects.
 pub fn serve_session<R: Read, W: Write + ?Sized>(
     shared: &ServeShared,
-    input: R,
+    mut input: R,
     out: &mut W,
 ) -> std::io::Result<()> {
+    shared.count_connection();
     let limits = shared.limits;
-    let mut reader = LineReader::new(input, limits.max_line);
+    let mut parser = SessionParser::new(limits.max_line, limits.max_body);
+    let mut chunk = [0u8; 8192];
+    let mut eof = false;
     loop {
-        match reader.next_line(limits.deadline, None)? {
-            LineEvent::Eof => return Ok(()),
-            LineEvent::Oversized => {
-                shared.reject();
-                writeln!(out, "err too-large line exceeds {} bytes", limits.max_line)?;
+        while let Some(event) = parser.next_event() {
+            let reply = respond(shared, event, parser.framing());
+            out.write_all(&reply.bytes)?;
+            out.flush()?;
+            if reply.quit {
+                return Ok(());
+            }
+        }
+        if eof {
+            return Ok(());
+        }
+        if let Some(since) = parser.pending_since() {
+            if since.elapsed() >= limits.deadline {
+                // Slow-loris: answer and free the session.
+                shared.deadline_hit();
+                out.write_all(&deadline_reply(parser.framing()))?;
                 out.flush()?;
-            }
-            LineEvent::NonUtf8 => {
-                shared.reject();
-                writeln!(out, "err bad-utf8")?;
-                out.flush()?;
-            }
-            LineEvent::TimedOut => {
-                shared.deadline_hit();
-                writeln!(out, "err deadline")?;
-                out.flush()?;
-                return Ok(()); // Slow-loris: free the worker.
-            }
-            LineEvent::Line(line) => {
-                let trimmed = line.trim();
-                if trimmed.is_empty() {
-                    continue; // Blank lines (and bare CRLF) are ignored.
-                }
-                match handle_command(shared, trimmed, &mut reader, out)? {
-                    Flow::Continue => {}
-                    Flow::Quit => return Ok(()),
-                }
+                return Ok(());
             }
         }
-    }
-}
-
-/// Dispatches one command line; may consume an UPSERT body from
-/// `reader`. Every response is flushed before returning.
-fn handle_command<R: Read, W: Write + ?Sized>(
-    shared: &ServeShared,
-    trimmed: &str,
-    reader: &mut LineReader<R>,
-    out: &mut W,
-) -> std::io::Result<Flow> {
-    let limits = shared.limits;
-    let started = Instant::now();
-    let cutoff = started + limits.deadline;
-    let (command, rest) = match trimmed.split_once(char::is_whitespace) {
-        Some((c, r)) => (c, r.trim()),
-        None => (trimmed, ""),
-    };
-    let flow = match command {
-        "UPSERT" => {
-            if rest.is_empty() {
-                shared.reject();
-                writeln!(out, "err bad-request UPSERT requires a configuration name")?;
-                Flow::Continue
-            } else {
-                match read_body(reader, limits, cutoff)? {
-                    Body::Complete(body) => {
-                        let Some(mut engine) = shared.lock_engine(cutoff) else {
-                            shared.deadline_hit();
-                            writeln!(out, "err deadline")?;
-                            out.flush()?;
-                            return Ok(Flow::Continue);
-                        };
-                        match engine.upsert(rest, &body) {
-                            Ok(id) => match engine.config_generation(rest) {
-                                Ok(Some(gen)) => {
-                                    writeln!(out, "ok upsert {rest} id={} gen={gen}", id.0)?
-                                }
-                                Ok(None) => writeln!(out, "err unknown-config {rest}")?,
-                                Err(fault) => writeln!(out, "{}", fault_line(&fault))?,
-                            },
-                            Err(fault) => writeln!(out, "{}", fault_line(&fault))?,
-                        }
-                        Flow::Continue
-                    }
-                    Body::TooLarge => {
-                        shared.reject();
-                        writeln!(out, "err too-large body exceeds {} bytes", limits.max_body)?;
-                        Flow::Continue
-                    }
-                    Body::BadUtf8 => {
-                        shared.reject();
-                        writeln!(out, "err bad-utf8")?;
-                        Flow::Continue
-                    }
-                    Body::TimedOut => {
-                        shared.deadline_hit();
-                        writeln!(out, "err deadline")?;
-                        Flow::Quit
-                    }
-                    Body::Eof => {
-                        // Disconnect mid-UPSERT: nothing reached the
-                        // engine, the next connection starts clean.
-                        writeln!(out, "err bad-request UPSERT body not terminated by `.`")?;
-                        Flow::Quit
-                    }
-                }
+        match input.read(&mut chunk) {
+            Ok(0) => {
+                parser.set_eof();
+                eof = true;
             }
-        }
-        "REMOVE" => {
-            if rest.is_empty() {
-                shared.reject();
-                writeln!(out, "err bad-request REMOVE requires a configuration name")?;
-            } else if let Some(mut engine) = shared.lock_engine(cutoff) {
-                match engine.remove(rest) {
-                    Ok(Some(_)) => writeln!(out, "ok remove {rest}")?,
-                    Ok(None) => writeln!(out, "err unknown-config {rest}")?,
-                    Err(fault) => writeln!(out, "{}", fault_line(&fault))?,
-                }
-            } else {
-                shared.deadline_hit();
-                writeln!(out, "err deadline")?;
+            Ok(n) => parser.push(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Socket poll tick: loop to re-check the deadline.
+                continue;
             }
-            Flow::Continue
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
         }
-        "LEARN" => {
-            if let Some(mut engine) = shared.lock_engine(cutoff) {
-                match engine.relearn() {
-                    Ok(_) => match engine.contracts_len() {
-                        Ok(Some(n)) => {
-                            let delta = engine.learn_delta().unwrap_or_default();
-                            writeln!(
-                                out,
-                                "ok learn {n} contracts mined={} reused={}",
-                                delta.mined_last_learn, delta.reused_last_learn
-                            )?
-                        }
-                        Ok(None) => writeln!(out, "err not-learned")?,
-                        Err(fault) => writeln!(out, "{}", fault_line(&fault))?,
-                    },
-                    Err(fault) => writeln!(out, "{}", fault_line(&fault))?,
-                }
-            } else {
-                shared.deadline_hit();
-                writeln!(out, "err deadline")?;
-            }
-            Flow::Continue
-        }
-        "CHECK" => {
-            if let Some(mut engine) = shared.lock_engine(cutoff) {
-                match engine.check() {
-                    Ok(result) => {
-                        for v in &result.report.violations {
-                            writeln!(out, "{v}")?;
-                        }
-                        let summary = result.report.coverage.summary();
-                        writeln!(
-                            out,
-                            "ok check {} violations; coverage {:.1}% of {} lines; dirty={} reused={}",
-                            result.report.violations.len(),
-                            summary.fraction * 100.0,
-                            summary.total_lines,
-                            result.engine.dirty_configs,
-                            result.engine.reused_configs,
-                        )?;
-                    }
-                    Err(fault) => writeln!(out, "{}", fault_line(&fault))?,
-                }
-            } else {
-                shared.deadline_hit();
-                writeln!(out, "err deadline")?;
-            }
-            Flow::Continue
-        }
-        "GEN" => {
-            if rest.is_empty() {
-                shared.reject();
-                writeln!(out, "err bad-request GEN requires a configuration name")?;
-            } else if let Some(engine) = shared.lock_engine(cutoff) {
-                match engine.config_generation(rest) {
-                    Ok(Some(gen)) => writeln!(out, "ok gen {rest} {gen}")?,
-                    Ok(None) => writeln!(out, "err unknown-config {rest}")?,
-                    Err(fault) => writeln!(out, "{}", fault_line(&fault))?,
-                }
-            } else {
-                shared.deadline_hit();
-                writeln!(out, "err deadline")?;
-            }
-            Flow::Continue
-        }
-        "CONTRACTS" => {
-            if let Some(engine) = shared.lock_engine(cutoff) {
-                match engine.contracts_len() {
-                    Ok(Some(n)) => writeln!(out, "ok contracts {n}")?,
-                    Ok(None) => writeln!(out, "err not-learned")?,
-                    Err(fault) => writeln!(out, "{}", fault_line(&fault))?,
-                }
-            } else {
-                shared.deadline_hit();
-                writeln!(out, "err deadline")?;
-            }
-            Flow::Continue
-        }
-        "STATS" => {
-            if let Some(mut engine) = shared.lock_engine(cutoff) {
-                engine.add_serve_counters(
-                    shared.requests_rejected.load(Ordering::Relaxed),
-                    shared.deadlines_hit.load(Ordering::Relaxed),
-                );
-                match engine.snapshot_stats() {
-                    Ok(stats) => writeln!(out, "ok stats {}", stats.to_json().render())?,
-                    Err(fault) => writeln!(out, "{}", fault_line(&fault))?,
-                }
-            } else {
-                shared.deadline_hit();
-                writeln!(out, "err deadline")?;
-            }
-            Flow::Continue
-        }
-        "CHECKPOINT" => {
-            if let Some(mut engine) = shared.lock_engine(cutoff) {
-                if engine.checkpoint() {
-                    writeln!(out, "ok checkpoint")?;
-                } else {
-                    writeln!(out, "err persist checkpoint failed or no --state-dir")?;
-                }
-            } else {
-                shared.deadline_hit();
-                writeln!(out, "err deadline")?;
-            }
-            Flow::Continue
-        }
-        "FAULT" if shared.faults_enabled => {
-            match OpKind::parse(rest) {
-                Some(kind) => {
-                    if let Some(mut engine) = shared.lock_engine(cutoff) {
-                        engine.arm_panic(kind);
-                        writeln!(out, "ok fault armed {rest}")?;
-                    } else {
-                        shared.deadline_hit();
-                        writeln!(out, "err deadline")?;
-                    }
-                }
-                None => {
-                    shared.reject();
-                    writeln!(out, "err bad-request unknown fault kind {rest:?}")?;
-                }
-            }
-            Flow::Continue
-        }
-        "QUIT" => {
-            writeln!(out, "ok bye")?;
-            Flow::Quit
-        }
-        other => {
-            shared.reject();
-            writeln!(out, "err unknown-command {other:?}")?;
-            Flow::Continue
-        }
-    };
-    out.flush()?;
-    Ok(flow)
-}
-
-/// The outcome of reading an UPSERT body.
-enum Body {
-    /// Body read fully (CRLF folded to LF, sentinel consumed).
-    Complete(String),
-    /// The body (or one of its lines) exceeded a limit; the rest was
-    /// drained to the sentinel so the session can continue.
-    TooLarge,
-    /// A body line was not valid UTF-8 (drained to the sentinel).
-    BadUtf8,
-    /// The deadline elapsed mid-body.
-    TimedOut,
-    /// The client disconnected before the sentinel.
-    Eof,
-}
-
-/// Reads an UPSERT body up to the `.` sentinel line, enforcing the
-/// body byte limit and the request deadline.
-fn read_body<R: Read>(
-    reader: &mut LineReader<R>,
-    limits: ServeLimits,
-    cutoff: Instant,
-) -> std::io::Result<Body> {
-    let mut body = String::new();
-    let mut failed: Option<Body> = None;
-    loop {
-        match reader.next_line(limits.deadline, Some(cutoff))? {
-            LineEvent::Eof => return Ok(Body::Eof),
-            LineEvent::TimedOut => return Ok(Body::TimedOut),
-            LineEvent::Oversized => {
-                failed.get_or_insert(Body::TooLarge);
-            }
-            LineEvent::NonUtf8 => {
-                failed.get_or_insert(Body::BadUtf8);
-            }
-            LineEvent::Line(line) => {
-                if line.trim_end_matches(['\r', '\n']) == "." {
-                    return Ok(failed.unwrap_or(Body::Complete(body)));
-                }
-                if failed.is_none() {
-                    body.push_str(&line);
-                    body.push('\n');
-                    if body.len() > limits.max_body {
-                        body.clear();
-                        failed = Some(Body::TooLarge);
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// Renders an [`EngineFault`] as a protocol error line. Messages are
-/// flattened to one line so the framing survives arbitrary panic text.
-fn fault_line(fault: &EngineFault) -> String {
-    let one_line = |s: &str| s.replace(['\n', '\r'], " ");
-    match fault {
-        EngineFault::UnknownConfig(name) => format!("err unknown-config {}", one_line(name)),
-        EngineFault::NoContracts => "err no contracts loaded".to_string(),
-        EngineFault::BadContracts(e) => format!("err bad-request {}", one_line(e)),
-        EngineFault::Panicked(msg) => format!("err internal {}", one_line(msg)),
-        EngineFault::Persist(e) => format!("err persist {}", one_line(e)),
-        EngineFault::Poisoned => "err poisoned".to_string(),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::{decode_response, encode_frame, encode_subframe, opcode};
     use std::io::Cursor;
 
     fn corpus() -> Vec<(String, String)> {
@@ -798,6 +770,21 @@ mod tests {
         let mut out = Vec::new();
         serve_session(shared, Cursor::new(script.to_vec()), &mut out).unwrap();
         String::from_utf8(out).unwrap()
+    }
+
+    /// Runs a binary-framed session and returns the decoded
+    /// `(status, payload)` responses.
+    fn binary_session(shared: &ServeShared, script: &[u8]) -> Vec<(u8, String)> {
+        let mut out = Vec::new();
+        serve_session(shared, Cursor::new(script.to_vec()), &mut out).unwrap();
+        let mut frames = Vec::new();
+        let mut rest = &out[..];
+        while !rest.is_empty() {
+            let (status, payload, consumed) = decode_response(rest).expect("well-framed response");
+            frames.push((status, String::from_utf8(payload.to_vec()).unwrap()));
+            rest = &rest[consumed..];
+        }
+        frames
     }
 
     #[test]
@@ -1012,5 +999,136 @@ mod tests {
             Some(1),
             "{json_part}"
         );
+    }
+
+    #[test]
+    fn stats_reports_serve_transport_counters() {
+        let shared = fresh_shared();
+        let out = session(&shared, "GEN dev0\nSTATS\nQUIT\n");
+        let stats_line = out
+            .lines()
+            .find(|l| l.starts_with("ok stats "))
+            .expect("stats line");
+        let json =
+            concord_json::Json::parse(stats_line.strip_prefix("ok stats ").unwrap()).unwrap();
+        assert_eq!(json["serve"]["connections"].as_u64(), Some(1), "{out}");
+        // GEN served under the shared lock; STATS itself may be shared
+        // or exclusive depending on cache state, so only GEN is pinned.
+        assert!(json["serve"]["shared_reads"].as_u64() >= Some(1), "{out}");
+        assert_eq!(json["serve"]["batches"].as_u64(), Some(0), "{out}");
+    }
+
+    #[test]
+    fn batch_matches_the_same_commands_sent_singly() {
+        // Byte-equality oracle: a BATCH response is the concatenation of
+        // the N single-command responses plus the trailer.
+        let shared = fresh_shared();
+        session(&shared, "LEARN\nCHECK\n"); // warm contracts + report cache
+        let singles = session(&shared, "CHECK\nGEN dev0\nCONTRACTS\nGEN ghost\nNOPE\n");
+        let shared2 = fresh_shared();
+        session(&shared2, "LEARN\nCHECK\n");
+        let batched = session(
+            &shared2,
+            "BATCH 5\nCHECK\nGEN dev0\nCONTRACTS\nGEN ghost\nNOPE\nQUIT\n",
+        );
+        assert_eq!(batched, format!("{singles}ok batch 5\nok bye\n"));
+    }
+
+    #[test]
+    fn batch_with_mutations_executes_in_order_under_one_lock() {
+        let shared = fresh_shared();
+        let out = session(
+            &shared,
+            "LEARN\nCHECK\nBATCH 3\nUPSERT dev0\nhostname DEV100\nrouter bgp 65000\nvlan 250\n.\nCHECK\nGEN dev0\nQUIT\n",
+        );
+        assert!(out.contains("ok upsert dev0"), "{out}");
+        assert!(out.contains("dirty=1 reused=5"), "{out}");
+        assert!(out.contains("ok gen dev0 1"), "{out}");
+        assert!(out.contains("ok batch 3"), "{out}");
+        assert!(out.ends_with("ok bye\n"), "{out}");
+    }
+
+    #[test]
+    fn batch_count_validation_and_eof_mid_batch() {
+        let shared = fresh_shared();
+        let out = session(&shared, "BATCH 0\nBATCH 9999\nQUIT\n");
+        assert_eq!(
+            out.matches("err bad-request BATCH requires a count between 1 and 1024")
+                .count(),
+            2,
+            "{out}"
+        );
+        let out = session(&shared, "BATCH 3\nCHECK\n");
+        assert!(out.contains("err bad-request BATCH not completed"), "{out}");
+    }
+
+    #[test]
+    fn binary_session_matches_text_session_payloads() {
+        let shared_text = fresh_shared();
+        let text = session(
+            &shared_text,
+            "LEARN\nUPSERT dev0\nvlan 1\n.\nCHECK\nGEN dev0\nQUIT\n",
+        );
+
+        let shared_bin = fresh_shared();
+        let mut script = Vec::new();
+        encode_frame(opcode::LEARN, b"", b"", &mut script);
+        encode_frame(opcode::UPSERT, b"dev0", b"vlan 1\n", &mut script);
+        encode_frame(opcode::CHECK, b"", b"", &mut script);
+        encode_frame(opcode::GEN, b"dev0", b"", &mut script);
+        encode_frame(opcode::QUIT, b"", b"", &mut script);
+        let frames = binary_session(&shared_bin, &script);
+        let joined: String = frames.iter().map(|(_, p)| p.as_str()).collect();
+        assert_eq!(joined, text, "binary payloads must match text protocol");
+        assert!(frames.iter().all(|(status, _)| *status == 0), "{frames:?}");
+    }
+
+    #[test]
+    fn binary_error_frames_carry_status_one() {
+        let shared = fresh_shared();
+        let mut script = Vec::new();
+        encode_frame(opcode::GEN, b"ghost", b"", &mut script);
+        encode_frame(opcode::QUIT, b"", b"", &mut script);
+        let frames = binary_session(&shared, &script);
+        assert_eq!(frames[0].0, 1, "{frames:?}");
+        assert_eq!(frames[0].1, "err unknown-config ghost\n");
+        assert_eq!(frames[1].0, 0);
+        assert_eq!(frames[1].1, "ok bye\n");
+    }
+
+    #[test]
+    fn binary_batch_executes_like_text_batch() {
+        let shared = fresh_shared();
+        session(&shared, "LEARN\nCHECK\n");
+        let text = session(&shared, "BATCH 2\nCHECK\nGEN dev0\nQUIT\n");
+        let expected_payload = text.strip_suffix("ok bye\n").expect("quit trailer");
+
+        let shared2 = fresh_shared();
+        session(&shared2, "LEARN\nCHECK\n");
+        let mut body = Vec::new();
+        encode_subframe(opcode::CHECK, b"", b"", &mut body);
+        encode_subframe(opcode::GEN, b"dev0", b"", &mut body);
+        let mut script = Vec::new();
+        encode_frame(opcode::BATCH, b"", &body, &mut script);
+        encode_frame(opcode::QUIT, b"", b"", &mut script);
+        let frames = binary_session(&shared2, &script);
+        assert_eq!(frames[0].1, expected_payload);
+        assert_eq!(frames[1].1, "ok bye\n");
+    }
+
+    #[test]
+    fn binary_garbage_frames_never_touch_the_engine() {
+        let shared = fresh_shared();
+        session(&shared, "LEARN\nCHECK\n");
+        // A hostile "frame": valid magic, nonsense lengths and opcodes.
+        let mut script = vec![0xC3, 0x77];
+        script.extend_from_slice(&u32::MAX.to_le_bytes());
+        script.extend_from_slice(&u32::MAX.to_le_bytes());
+        script.extend_from_slice(&[0xC3, 0x00, 0x01]);
+        let frames = binary_session(&shared, &script);
+        assert!(frames.iter().all(|(status, _)| *status == 1), "{frames:?}");
+        // The engine state is untouched: a clean session still answers.
+        let out = session(&shared, "CHECK\nQUIT\n");
+        assert!(out.contains("ok check 0 violations"), "{out}");
     }
 }

@@ -1,0 +1,312 @@
+//! Transport-level tests for the event-driven serve loop: request
+//! pipelining equivalence, BATCH-vs-singles byte equality, binary-frame
+//! round-trips against the text protocol, and a seeded garbage-frame
+//! soak — all over real TCP sockets.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use concord_cli::protocol::{self, opcode};
+use concord_rng::{Rng, SeedableRng, StdRng};
+
+/// A `Write` the server thread and the test can share: the test polls
+/// it for the `listening on <addr>` line to learn the port.
+#[derive(Clone, Default)]
+struct SharedOut(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedOut {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl SharedOut {
+    fn text(&self) -> String {
+        String::from_utf8_lossy(&self.0.lock().unwrap()).into_owned()
+    }
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("concord-pipeline-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_corpus(dir: &Path) -> String {
+    for i in 0..6 {
+        std::fs::write(
+            dir.join(format!("dev{i}.cfg")),
+            format!(
+                "hostname DEV{}\nrouter bgp 65000\nvlan {}\n",
+                100 + i,
+                250 + i
+            ),
+        )
+        .unwrap();
+    }
+    format!("{}/*.cfg", dir.display())
+}
+
+/// Starts an in-process server thread and waits for its address. The
+/// thread is leaked (the server runs until the test process exits).
+fn spawn_server(configs: &str, extra: &[&str]) -> String {
+    let mut argv = vec![
+        "serve".to_string(),
+        "--configs".to_string(),
+        configs.to_string(),
+        "--listen".to_string(),
+        "127.0.0.1:0".to_string(),
+    ];
+    argv.extend(extra.iter().map(|s| s.to_string()));
+    let out = SharedOut::default();
+    {
+        let mut out = out.clone();
+        std::thread::spawn(move || concord_cli::run(&argv, &mut out));
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let text = out.text();
+        if let Some(line) = text.lines().find(|l| l.starts_with("listening on ")) {
+            return line["listening on ".len()..].to_string();
+        }
+        assert!(Instant::now() < deadline, "server never announced: {text}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn connect(addr: &str) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+}
+
+/// Reads everything until the server closes the connection.
+fn read_to_eof(stream: &mut TcpStream) -> Vec<u8> {
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).expect("read to eof");
+    buf
+}
+
+/// Reads response lines through the terminating `ok`/`err` line,
+/// preserving the exact bytes (including newlines).
+fn read_block(reader: &mut BufReader<TcpStream>) -> String {
+    let mut block = String::new();
+    loop {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).unwrap() > 0,
+            "connection closed early: {block:?}"
+        );
+        let done = line.starts_with("ok ") || line.starts_with("err ");
+        block.push_str(&line);
+        if done {
+            return block;
+        }
+    }
+}
+
+/// The command script both the serial and the pipelined session run:
+/// reads, a mutation, and a re-check, ending in QUIT.
+const SCRIPT: &[&str] = &[
+    "LEARN\n",
+    "CHECK\n",
+    "GEN dev0\n",
+    "UPSERT dev0\nhostname DEV100\nvlan 250\n.\n",
+    "CHECK\n",
+    "CONTRACTS\n",
+    "GEN ghost\n",
+    "QUIT\n",
+];
+
+#[test]
+fn pipelined_session_is_byte_identical_to_serial() {
+    let dir = tempdir("serial");
+    let configs = write_corpus(&dir);
+
+    // Serial: send one command, wait for its full response, repeat.
+    let addr = spawn_server(&configs, &["--once"]);
+    let stream = connect(&addr);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut serial = String::new();
+    for cmd in SCRIPT {
+        writer.write_all(cmd.as_bytes()).unwrap();
+        writer.flush().unwrap();
+        serial.push_str(&read_block(&mut reader));
+    }
+    drop(writer);
+    assert!(serial.ends_with("ok bye\n"), "{serial}");
+
+    // Pipelined: the whole script in one write against a fresh server,
+    // responses must come back in order, byte-identical to serial.
+    let addr = spawn_server(&configs, &["--once"]);
+    let mut stream = connect(&addr);
+    let script: String = SCRIPT.concat();
+    stream.write_all(script.as_bytes()).unwrap();
+    stream.flush().unwrap();
+    let pipelined = String::from_utf8(read_to_eof(&mut stream)).unwrap();
+    assert_eq!(pipelined, serial, "pipelining must not reorder or alter");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_over_tcp_equals_the_same_singles() {
+    let dir = tempdir("batch");
+    let configs = write_corpus(&dir);
+    let addr = spawn_server(&configs, &[]);
+
+    let stream = connect(&addr);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut run = |cmd: &str| -> String {
+        writer.write_all(cmd.as_bytes()).unwrap();
+        writer.flush().unwrap();
+        read_block(&mut reader)
+    };
+
+    // Warm: learn and settle the incremental cache so the read-only
+    // commands below answer identically however they are grouped.
+    assert!(run("LEARN\n").contains("ok learn"));
+    run("CHECK\n");
+
+    let singles: String = ["CHECK\n", "GEN dev0\n", "CONTRACTS\n", "GEN ghost\n"]
+        .iter()
+        .map(|cmd| run(cmd))
+        .collect();
+
+    // The same four commands as one BATCH: the response must be the
+    // concatenation of the four single responses plus the trailer.
+    writer
+        .write_all(b"BATCH 4\nCHECK\nGEN dev0\nCONTRACTS\nGEN ghost\n")
+        .unwrap();
+    writer.flush().unwrap();
+    let mut batched = String::new();
+    loop {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).unwrap() > 0, "{batched:?}");
+        let done = line.starts_with("ok batch ");
+        batched.push_str(&line);
+        if done {
+            break;
+        }
+    }
+    assert_eq!(batched, format!("{singles}ok batch 4\n"));
+
+    writer.write_all(b"QUIT\n").unwrap();
+    let _ = read_block(&mut reader);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Encodes the text `SCRIPT` equivalent as binary frames.
+fn binary_script() -> Vec<u8> {
+    let mut buf = Vec::new();
+    protocol::encode_frame(opcode::LEARN, b"", b"", &mut buf);
+    protocol::encode_frame(opcode::CHECK, b"", b"", &mut buf);
+    protocol::encode_frame(opcode::GEN, b"dev0", b"", &mut buf);
+    protocol::encode_frame(
+        opcode::UPSERT,
+        b"dev0",
+        b"hostname DEV100\nvlan 250\n",
+        &mut buf,
+    );
+    protocol::encode_frame(opcode::CHECK, b"", b"", &mut buf);
+    protocol::encode_frame(opcode::CONTRACTS, b"", b"", &mut buf);
+    protocol::encode_frame(opcode::GEN, b"ghost", b"", &mut buf);
+    protocol::encode_frame(opcode::QUIT, b"", b"", &mut buf);
+    buf
+}
+
+#[test]
+fn binary_frames_round_trip_matching_the_text_protocol() {
+    let dir = tempdir("binary");
+    let configs = write_corpus(&dir);
+
+    // Text session for the reference bytes.
+    let addr = spawn_server(&configs, &["--once"]);
+    let mut stream = connect(&addr);
+    stream.write_all(SCRIPT.concat().as_bytes()).unwrap();
+    let text = read_to_eof(&mut stream);
+
+    // The same session as pipelined binary frames against a fresh
+    // server: payloads concatenate to the exact text-protocol bytes.
+    let addr = spawn_server(&configs, &["--once"]);
+    let mut stream = connect(&addr);
+    stream.write_all(&binary_script()).unwrap();
+    let raw = read_to_eof(&mut stream);
+
+    let mut offset = 0;
+    let mut payloads = Vec::new();
+    let mut statuses = Vec::new();
+    while offset < raw.len() {
+        let (status, payload, used) =
+            protocol::decode_response(&raw[offset..]).expect("complete response frame");
+        statuses.push(status);
+        payloads.extend_from_slice(payload);
+        offset += used;
+    }
+    assert_eq!(payloads, text, "binary payloads must match text bytes");
+    // GEN ghost is the only failing command in the script.
+    assert_eq!(statuses.iter().filter(|&&s| s != 0).count(), 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn seeded_garbage_frames_never_corrupt_the_engine() {
+    let dir = tempdir("fuzz");
+    let configs = write_corpus(&dir);
+    let addr = spawn_server(&configs, &["--workers", "2"]);
+
+    // Establish the reference report a clean client must always see.
+    let stream = connect(&addr);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    writer.write_all(b"LEARN\nCHECK\nCHECK\n").unwrap();
+    let _ = read_block(&mut reader);
+    let _ = read_block(&mut reader);
+    let want = read_block(&mut reader);
+    assert!(want.contains("ok check 0 violations"), "{want}");
+    writer.write_all(b"QUIT\n").unwrap();
+    let _ = read_block(&mut reader);
+
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for round in 0..24 {
+        // One hostile binary connection per round: a 0xC3 magic byte
+        // followed by random garbage — truncated headers, absurd
+        // lengths, unknown opcodes, raw noise.
+        let mut frame = vec![protocol::FRAME_REQUEST];
+        let len = rng.gen_range(0..64usize);
+        for _ in 0..len {
+            frame.push(rng.gen_range(0..=255u64) as u8);
+        }
+        let mut hostile = connect(&addr);
+        let _ = hostile.write_all(&frame);
+        if rng.gen_bool(0.5) {
+            // Half the rounds also slam the connection shut mid-frame.
+            drop(hostile);
+        } else {
+            let _ = read_to_eof(&mut hostile);
+        }
+
+        // A clean text client still sees the byte-identical report.
+        let stream = connect(&addr);
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writer.write_all(b"CHECK\nQUIT\n").unwrap();
+        let after = read_block(&mut reader);
+        assert_eq!(after, want, "round {round}: report drifted");
+        let _ = read_block(&mut reader);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -78,5 +78,5 @@ pub use learn::{
 pub use params::LearnParams;
 pub use stats::{
     BuildStats, CheckStats, EngineCheckStats, EngineStats, LearnDeltaStats, PipelineStats,
-    RobustnessStats, STATS_SCHEMA,
+    RobustnessStats, ServeTransportStats, STATS_SCHEMA,
 };

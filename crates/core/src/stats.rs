@@ -27,8 +27,11 @@ use crate::learn::LearnStats;
 /// generations (`engine.generations`), and lex-cache evictions; v6 added
 /// the incremental-learning counters (`engine.learn_delta`: sketch cache
 /// occupancy, configs re-sketched vs reused by the last relearn, and the
-/// edit counter the current contracts were learned at).
-pub const STATS_SCHEMA: &str = "concord-pipeline-stats/v6";
+/// edit counter the current contracts were learned at); v7 added the
+/// serve transport counters (`engine.serve`: connections, requests,
+/// batches and batched sub-requests, binary frames, and reads served
+/// under the shared lock vs exclusive engine operations).
+pub const STATS_SCHEMA: &str = "concord-pipeline-stats/v7";
 
 /// Statistics from one [`Dataset::build_with_stats`](crate::Dataset::build_with_stats) run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -294,6 +297,47 @@ impl ToJson for LearnDeltaStats {
     }
 }
 
+/// Transport-layer counters of one `concord serve` process: how traffic
+/// actually reached the engine (connections, pipelined requests, BATCH
+/// amortization, binary frames) and how often the read/write engine
+/// split let a request run under the shared lock instead of serializing
+/// behind writers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeTransportStats {
+    /// Connections accepted (stdin counts as one).
+    pub connections: u64,
+    /// Requests answered, across all connections and framings
+    /// (BATCH counts as one request; its sub-commands are counted in
+    /// `batched_requests`).
+    pub requests: u64,
+    /// BATCH requests executed.
+    pub batches: u64,
+    /// Sub-commands executed inside BATCH requests.
+    pub batched_requests: u64,
+    /// Requests that arrived as length-prefixed binary frames.
+    pub binary_frames: u64,
+    /// Read-only requests (CHECK/GEN/STATS/CONTRACTS) served under the
+    /// shared read lock, concurrently with other readers.
+    pub shared_reads: u64,
+    /// Requests that took the exclusive write lock (mutations, fault
+    /// verbs, and reads that missed the shared-path cache).
+    pub exclusive_ops: u64,
+}
+
+impl ToJson for ServeTransportStats {
+    fn to_json(&self) -> Json {
+        concord_json::json!({
+            "connections": self.connections,
+            "requests": self.requests,
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "binary_frames": self.binary_frames,
+            "shared_reads": self.shared_reads,
+            "exclusive_ops": self.exclusive_ops,
+        })
+    }
+}
+
 /// A snapshot of a resident incremental engine (`Engine::snapshot_stats`
 /// in `concord-engine`): the versioned dataset, the edit/relearn history,
 /// and the lex-cache reuse across all edits absorbed so far.
@@ -334,6 +378,9 @@ pub struct EngineStats {
     pub robustness: Option<RobustnessStats>,
     /// Incremental-learning counters (sketch cache and last relearn).
     pub learn_delta: LearnDeltaStats,
+    /// Serve transport counters, when the stats were produced by a
+    /// `concord serve` process (`None` for a bare engine).
+    pub serve: Option<ServeTransportStats>,
 }
 
 impl ToJson for EngineStats {
@@ -362,6 +409,7 @@ impl ToJson for EngineStats {
             "last_check": self.last_check,
             "robustness": self.robustness,
             "learn_delta": self.learn_delta,
+            "serve": self.serve,
         })
     }
 }
@@ -496,6 +544,18 @@ impl PipelineStats {
                     r.degraded_checks,
                 ));
             }
+            if let Some(s) = &e.serve {
+                out.push_str(&format!(
+                    "  serve: {} connections, {} requests ({} batches / {} batched, {} binary); {} shared reads / {} exclusive ops\n",
+                    s.connections,
+                    s.requests,
+                    s.batches,
+                    s.batched_requests,
+                    s.binary_frames,
+                    s.shared_reads,
+                    s.exclusive_ops,
+                ));
+            }
             if let Some(c) = &e.last_check {
                 out.push_str(&format!(
                     "  last check: {} dirty / {} reused configs; witness indexes {} rebuilt / {} patched{}\n",
@@ -597,6 +657,15 @@ mod tests {
                     reused_last_learn: 2,
                     contracts_edits: 3,
                 },
+                serve: Some(ServeTransportStats {
+                    connections: 9,
+                    requests: 40,
+                    batches: 2,
+                    batched_requests: 16,
+                    binary_frames: 8,
+                    shared_reads: 30,
+                    exclusive_ops: 10,
+                }),
             }),
             total_time: Duration::from_millis(80),
         }
@@ -675,6 +744,15 @@ mod tests {
             json["engine"]["learn_delta"]["contracts_edits"].as_u64(),
             Some(3)
         );
+        assert_eq!(json["engine"]["serve"]["connections"].as_u64(), Some(9));
+        assert_eq!(json["engine"]["serve"]["batches"].as_u64(), Some(2));
+        assert_eq!(
+            json["engine"]["serve"]["batched_requests"].as_u64(),
+            Some(16)
+        );
+        assert_eq!(json["engine"]["serve"]["binary_frames"].as_u64(), Some(8));
+        assert_eq!(json["engine"]["serve"]["shared_reads"].as_u64(), Some(30));
+        assert_eq!(json["engine"]["serve"]["exclusive_ops"].as_u64(), Some(10));
     }
 
     #[test]
@@ -709,6 +787,9 @@ mod tests {
         ));
         assert!(text.contains(
             "learn delta: enabled; 3 sketches / 1 dirty; last learn mined 2 / reused 2; contracts at edit 3"
+        ));
+        assert!(text.contains(
+            "serve: 9 connections, 40 requests (2 batches / 16 batched, 8 binary); 30 shared reads / 10 exclusive ops"
         ));
         assert!(text.contains("total:"));
     }

@@ -220,6 +220,13 @@ pub struct Engine {
     last_learn_mined: u64,
     last_learn_reused: u64,
     last_check: Option<EngineCheckStats>,
+    /// The fully assembled report of the most recent `check_dirty`,
+    /// tagged with the `(edits, contracts_epoch)` it was computed at.
+    /// Both counters move on every mutation (upsert/remove bump `edits`;
+    /// set_contracts/relearn bump `contracts_epoch`), so a tag match
+    /// proves the report still describes the current snapshot and
+    /// [`Engine::check_cached`] can serve it through `&self`.
+    cached_report: Option<(u64, u64, EngineCheckReport)>,
 }
 
 impl Engine {
@@ -249,6 +256,7 @@ impl Engine {
             last_learn_mined: 0,
             last_learn_reused: 0,
             last_check: None,
+            cached_report: None,
         }
     }
 
@@ -762,7 +770,7 @@ impl Engine {
         };
         self.last_check = Some(engine);
 
-        Ok(EngineCheckReport {
+        let report = EngineCheckReport {
             report: CheckReport {
                 violations,
                 coverage: CoverageReport {
@@ -771,7 +779,43 @@ impl Engine {
             },
             stats,
             engine,
-        })
+        };
+        // Cache the assembled report for `check_cached`, with its engine
+        // counters rewritten to what a clean replay (a second check_dirty
+        // with nothing dirty) would report: everything reused, every
+        // witness index patched in from cache.
+        let replay = EngineCheckStats {
+            dirty_configs: 0,
+            reused_configs: self.slots.len(),
+            resolution_invalidated: false,
+            witness_indexes_rebuilt: 0,
+            witness_indexes_patched: counters.indexes_built,
+        };
+        self.cached_report = Some((
+            self.edits,
+            self.contracts_epoch,
+            EngineCheckReport {
+                engine: replay,
+                ..report.clone()
+            },
+        ));
+        Ok(report)
+    }
+
+    /// Serves the most recent [`Engine::check_dirty`] report through
+    /// `&self`, when it provably still describes the current snapshot —
+    /// i.e. no edit and no contract change happened since (the
+    /// `(edits, contracts_epoch)` tag matches; both counters move on
+    /// every mutation). Violations, coverage, and the incremental
+    /// counters are identical to what a fresh `check_dirty` would
+    /// produce (clean replay: `dirty=0`, everything reused); only the
+    /// wall-clock timings in `stats` are those of the original
+    /// computation. `last_check` is deliberately not updated — this path
+    /// never touches engine state, which is what lets many readers call
+    /// it concurrently.
+    pub fn check_cached(&self) -> Option<EngineCheckReport> {
+        let (edits, epoch, report) = self.cached_report.as_ref()?;
+        (*edits == self.edits && *epoch == self.contracts_epoch).then(|| report.clone())
     }
 
     /// The incremental-learn cache counters: occupancy, configs mined
@@ -807,6 +851,7 @@ impl Engine {
             robustness: None,
             last_check: self.last_check,
             learn_delta: self.learn_delta(),
+            serve: None,
         }
     }
 }
@@ -909,6 +954,47 @@ mod tests {
         assert_eq!(incremental.engine.dirty_configs, 1);
         let (report, _) = batch(&engine);
         assert_reports_equal(&incremental.report, &report);
+    }
+
+    #[test]
+    fn check_cached_serves_the_report_until_any_mutation() {
+        let mut engine = Engine::from_corpus(&corpus(), &[], EngineOptions::default()).unwrap();
+        assert!(engine.check_cached().is_none(), "nothing checked yet");
+        engine.relearn();
+        assert!(engine.check_cached().is_none(), "relearn moved the epoch");
+
+        let fresh = engine.check_dirty().unwrap();
+        let cached = engine.check_cached().expect("report is current");
+        assert_eq!(cached.report.violations, fresh.report.violations);
+        assert_eq!(
+            cached.report.coverage.per_config,
+            fresh.report.coverage.per_config
+        );
+        // Cached counters are the clean-replay form: what a second
+        // check_dirty with nothing dirty would report.
+        let replay = engine.check_dirty().unwrap();
+        assert_eq!(cached.engine, replay.engine);
+        assert_eq!(cached.engine.dirty_configs, 0);
+        assert_eq!(cached.engine.reused_configs, 6);
+        assert_eq!(cached.engine.witness_indexes_rebuilt, 0);
+
+        // Every mutation class invalidates the tag.
+        engine.upsert_config("dev0", "vlan 9\n");
+        assert!(engine.check_cached().is_none(), "upsert bumped edits");
+        engine.check_dirty().unwrap();
+        assert!(engine.check_cached().is_some());
+        engine.remove_config("dev5");
+        assert!(engine.check_cached().is_none(), "remove bumped edits");
+        engine.check_dirty().unwrap();
+        engine.relearn();
+        assert!(engine.check_cached().is_none(), "relearn bumped the epoch");
+
+        // And the cached report stays byte-equal to a batch oracle.
+        let incremental = engine.check_dirty().unwrap();
+        let cached = engine.check_cached().expect("current again");
+        assert_reports_equal(&cached.report, &incremental.report);
+        let (oracle, _) = batch(&engine);
+        assert_reports_equal(&cached.report, &oracle);
     }
 
     #[test]

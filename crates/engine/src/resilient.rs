@@ -366,11 +366,42 @@ impl ResilientEngine {
         Ok(report)
     }
 
+    /// Shared-read CHECK: serves the cached report through `&self` when
+    /// that is provably equivalent to [`ResilientEngine::check`].
+    ///
+    /// Returns `None` — caller must fall back to the exclusive path —
+    /// whenever the exclusive path would do observable work this path
+    /// cannot replicate: no cached report for the current snapshot, an
+    /// armed injected fault (the panic must fire inside the guarded
+    /// region), a pending degraded-check acknowledgement (the
+    /// `degraded_checks` counter must stay exact), or a poisoned engine
+    /// (the caller surfaces `EngineFault::Poisoned` exclusively).
+    pub fn check_shared(&self) -> Option<EngineCheckReport> {
+        if !self.armed.is_empty() || self.degraded_pending {
+            return None;
+        }
+        self.engine.as_ref()?.check_cached()
+    }
+
     /// Engine statistics with the robustness counters attached.
     pub fn snapshot_stats(&mut self) -> Result<EngineStats, EngineFault> {
         let mut stats = self.guarded(OpKind::Stats, |e| e.snapshot_stats())?;
         stats.robustness = Some(self.robustness);
         Ok(stats)
+    }
+
+    /// Shared-read STATS: snapshots statistics through `&self`.
+    ///
+    /// `None` when an injected fault is armed (it must fire inside the
+    /// exclusive guarded region) or the engine is poisoned; the caller
+    /// falls back to [`ResilientEngine::snapshot_stats`].
+    pub fn stats_shared(&self) -> Option<EngineStats> {
+        if !self.armed.is_empty() {
+            return None;
+        }
+        let mut stats = self.engine.as_ref()?.snapshot_stats();
+        stats.robustness = Some(self.robustness);
+        Some(stats)
     }
 
     /// Checkpoints now (no-op without a store). Returns whether a
@@ -624,6 +655,53 @@ mod tests {
         let got = me.check().expect("recovered");
         let want = oracle_report(&me);
         assert_eq!(got.report.violations, want.report.violations);
+    }
+
+    #[test]
+    fn shared_reads_match_exclusive_and_refuse_armed_or_degraded_state() {
+        let mut me =
+            ResilientEngine::new(&corpus(), &[], Lexer::standard(), EngineOptions::default())
+                .expect("builds");
+        me.relearn().expect("learns");
+        assert!(
+            me.check_shared().is_none(),
+            "no report cached before the first exclusive check"
+        );
+        let exclusive = me.check().expect("checks");
+        let shared = me.check_shared().expect("cached report is current");
+        assert_eq!(shared.report.violations, exclusive.report.violations);
+        assert_eq!(
+            shared.report.coverage.per_config,
+            exclusive.report.coverage.per_config
+        );
+
+        let shared_stats = me.stats_shared().expect("healthy engine");
+        assert_eq!(shared_stats.robustness, Some(me.robustness()));
+        assert_eq!(
+            shared_stats.configs,
+            me.snapshot_stats().expect("exclusive stats").configs
+        );
+
+        // Mutations invalidate the shared CHECK until the next exclusive
+        // check republishes a report.
+        me.upsert("dev0", "vlan 999\n").expect("upserts");
+        assert!(me.check_shared().is_none(), "edit invalidated the cache");
+        me.check().expect("checks");
+        assert!(me.check_shared().is_some());
+
+        // An armed fault must fire inside the exclusive guarded region,
+        // so both shared paths step aside while one is pending.
+        me.arm_panic(OpKind::Check);
+        assert!(me.check_shared().is_none(), "armed fault forces exclusive");
+        assert!(me.stats_shared().is_none(), "armed fault forces exclusive");
+        assert!(matches!(me.check(), Err(EngineFault::Panicked(_))));
+
+        // Post-recovery the first check is degraded and must be counted
+        // by the exclusive path, not silently served from a stale cache.
+        assert!(me.check_shared().is_none(), "degraded check pending");
+        me.check().expect("recovered");
+        assert_eq!(me.robustness().degraded_checks, 1);
+        assert!(me.check_shared().is_some(), "healthy again");
     }
 
     #[test]

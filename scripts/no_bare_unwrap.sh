@@ -10,7 +10,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 fail=0
-for f in crates/engine/src/*.rs crates/cli/src/serve.rs; do
+for f in crates/engine/src/*.rs crates/cli/src/serve.rs \
+         crates/cli/src/protocol.rs crates/cli/src/eventloop.rs \
+         crates/cli/src/sync.rs; do
   hits=$(awk '/#\[cfg\(test\)\]/{exit} /\.unwrap\(\)/{print FILENAME ":" FNR ": " $0}' "$f")
   if [ -n "$hits" ]; then
     echo "$hits"
@@ -22,4 +24,4 @@ if [ "$fail" -ne 0 ]; then
   echo "error: bare .unwrap() outside #[cfg(test)] in fault-isolated code" >&2
   exit 1
 fi
-echo "ok: no bare unwrap outside tests in crates/engine and serve.rs"
+echo "ok: no bare unwrap outside tests in crates/engine and the serve stack"
