@@ -174,6 +174,7 @@ fn main() {
     let result = json!({
         "schema": "concord-bench-engine/v1",
         "smoke": smoke(),
+        "max_rss_kb": concord_bench::microbench::max_rss_kb(),
         "seed": seed(),
         "blocks": blocks(),
         "parallelism": parallelism,

@@ -148,6 +148,7 @@ fn main() {
     let result = json!({
         "schema": "concord-bench-learn-delta/v1",
         "smoke": smoke(),
+        "max_rss_kb": concord_bench::microbench::max_rss_kb(),
         "seed": seed(),
         "blocks": blocks(),
         "parallelism": parallelism,

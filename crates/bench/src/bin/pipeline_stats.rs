@@ -87,6 +87,7 @@ fn main() {
 
     let result = json!({
         "schema": "concord-bench-pipeline/v1",
+        "max_rss_kb": concord_bench::microbench::max_rss_kb(),
         "workload": json!({
             "role": "W2",
             "scale": scale(),

@@ -302,6 +302,7 @@ fn main() {
     let result = json!({
         "schema": "concord-bench-serve/v1",
         "smoke": smoke(),
+        "max_rss_kb": concord_bench::microbench::max_rss_kb(),
         "group": GROUP,
         "groups_per_client": groups_per_client(),
         "workers": 8,

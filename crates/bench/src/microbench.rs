@@ -53,6 +53,27 @@ pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Measurement {
     m
 }
 
+/// Peak resident set size of this process in kilobytes, read from
+/// `/proc/self/status` (`VmHWM`). `None` off Linux or if the field is
+/// unavailable — bench snapshots record it as `null` there, so the
+/// schema stays stable across platforms.
+pub fn max_rss_kb() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                return rest.trim().trim_end_matches("kB").trim().parse().ok();
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
 /// Formats a duration with a unit suited to its magnitude.
 pub fn fmt(d: Duration) -> String {
     let nanos = d.as_nanos();
@@ -78,6 +99,14 @@ mod tests {
         assert_eq!(m.samples, SAMPLES);
         assert_eq!(calls as usize, SAMPLES + 1); // warm-up + samples
         assert!(m.min <= m.mean && m.mean <= m.max);
+    }
+
+    #[test]
+    fn max_rss_is_positive_on_linux() {
+        let rss = max_rss_kb();
+        if cfg!(target_os = "linux") {
+            assert!(rss.expect("VmHWM present on Linux") > 0);
+        }
     }
 
     #[test]

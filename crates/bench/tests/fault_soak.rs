@@ -179,6 +179,10 @@ fn storage_and_panic_fault_soak() {
             // Request-level faults: exercised against the serve layer in
             // concord-cli's robustness tests, no engine-level analogue.
             FaultKind::MalformedRequest | FaultKind::OversizedRequest | FaultKind::Disconnect => {}
+            // Fleet faults: replication lag, shard failover, and stale
+            // replica reads live above a single engine — soaked against
+            // a real sharded server in `tests/fleet_soak.rs`.
+            FaultKind::ReplicaLag | FaultKind::ShardCrash | FaultKind::StaleReplicaRead => {}
         }
 
         // Post-fault invariant: the engine answers, and byte-for-byte

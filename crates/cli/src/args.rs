@@ -27,6 +27,7 @@ USAGE:
                 [--listen <addr>] [--once] [--workers N]
                 [--max-conns N] [--deadline-ms N] [--max-line-bytes N]
                 [--max-body-bytes N] [--state-dir <dir>]
+                [--shards N] [--replicas M]
                 [--lex-cache-cap N] [--enable-fault-injection]
                 [--full-relearn]
   concord help
@@ -36,7 +37,7 @@ Categories for --disable: present ordering type sequence unique relational
 --stats text prints a per-stage timing summary (lexing with cache
 hit/miss counts, each miner, minimization, checking); --stats json
 emits the same data as one machine-readable object (schema
-concord-pipeline-stats/v7, see DESIGN.md) instead of the human
+concord-pipeline-stats/v8, see DESIGN.md) instead of the human
 summary.
 
 serve holds a resident incremental engine and answers a request
@@ -54,7 +55,13 @@ Requests are bounded by --max-line-bytes / --max-body-bytes and a
 per-request --deadline-ms; beyond --max-conns concurrent connections
 (default: twice --workers) load is shed with `err busy`. With
 --state-dir the engine checkpoints snapshots and fsyncs a write-ahead
-log so a killed process resumes exactly where it stopped. LEARN folds
+log so a killed process resumes exactly where it stopped. --shards N
+consistent-hashes device names onto N engine shards (each with its own
+state subdirectory under --state-dir) so an edit dirties only its
+shard; answers stay byte-identical to --shards 1. --replicas M
+(requires --state-dir) attaches M WAL-tailing read replicas per shard
+that serve GEN at a tracked replication lag and take over CHECK when a
+shard leader is recovering. LEARN folds
 cached per-config miner sketches by default, re-mining only edited
 configurations; --full-relearn disables the cache and re-mines the
 whole corpus every time (same result, used as the equivalence
@@ -68,7 +75,7 @@ pub enum StatsMode {
     Off,
     /// Human-readable summary appended to normal output.
     Text,
-    /// One `concord-pipeline-stats/v6` JSON object replacing the human
+    /// One `concord-pipeline-stats/v8` JSON object replacing the human
     /// summary.
     Json,
 }
@@ -140,6 +147,12 @@ pub struct ServeArgs {
     pub max_body_bytes: usize,
     /// Durable state directory (snapshot + write-ahead log).
     pub state_dir: Option<String>,
+    /// Number of engine shards device names are consistent-hashed onto
+    /// (1 = the classic single resident engine).
+    pub shards: usize,
+    /// WAL-tailing read replicas attached to each shard (requires
+    /// `--state-dir`; replicas follow the shard leader's log).
+    pub replicas: usize,
     /// Lexeme cache capacity in entries (0 = unbounded).
     pub lex_cache_cap: usize,
     /// Enable the FAULT verb (deterministic panic injection for the
@@ -472,6 +485,8 @@ fn parse_serve(argv: &[String]) -> Result<Command, UsageError> {
         max_line_bytes: 64 * 1024,
         max_body_bytes: 1024 * 1024,
         state_dir: None,
+        shards: 1,
+        replicas: 0,
         lex_cache_cap: 64 * 1024,
         enable_faults: false,
         full_relearn: false,
@@ -514,11 +529,23 @@ fn parse_serve(argv: &[String]) -> Result<Command, UsageError> {
             "--max-line-bytes" => args.max_line_bytes = flags.parse(flag)?,
             "--max-body-bytes" => args.max_body_bytes = flags.parse(flag)?,
             "--state-dir" => args.state_dir = Some(flags.value(flag)?.to_string()),
+            "--shards" => {
+                args.shards = flags.parse(flag)?;
+                if args.shards == 0 {
+                    return Err(UsageError("--shards must be at least 1".to_string()));
+                }
+            }
+            "--replicas" => args.replicas = flags.parse(flag)?,
             "--lex-cache-cap" => args.lex_cache_cap = flags.parse(flag)?,
             "--enable-fault-injection" => args.enable_faults = true,
             "--full-relearn" => args.full_relearn = true,
             other => return Err(UsageError(format!("unknown flag {other:?}"))),
         }
+    }
+    if args.replicas > 0 && args.state_dir.is_none() {
+        return Err(UsageError(
+            "--replicas requires --state-dir (replicas tail the shard leader's log)".to_string(),
+        ));
     }
     Ok(Command::Serve(args))
 }
@@ -634,6 +661,10 @@ mod tests {
             "16384",
             "--state-dir",
             "/tmp/concord-state",
+            "--shards",
+            "4",
+            "--replicas",
+            "1",
             "--lex-cache-cap",
             "1024",
             "--enable-fault-injection",
@@ -654,6 +685,8 @@ mod tests {
                 assert_eq!(a.max_line_bytes, 4096);
                 assert_eq!(a.max_body_bytes, 16384);
                 assert_eq!(a.state_dir.as_deref(), Some("/tmp/concord-state"));
+                assert_eq!(a.shards, 4);
+                assert_eq!(a.replicas, 1);
                 assert_eq!(a.lex_cache_cap, 1024);
                 assert!(a.enable_faults);
                 assert!(a.full_relearn);
@@ -668,6 +701,8 @@ mod tests {
                 assert_eq!(a.deadline_ms, 5000);
                 assert_eq!(a.lex_cache_cap, 64 * 1024);
                 assert!(a.state_dir.is_none());
+                assert_eq!(a.shards, 1, "single shard is the classic engine");
+                assert_eq!(a.replicas, 0);
                 assert!(!a.enable_faults);
                 assert!(!a.full_relearn, "delta learn is the default");
             }
@@ -676,6 +711,11 @@ mod tests {
         assert!(parse_args(&argv(&["serve", "--staleness", "3.0"])).is_err());
         assert!(parse_args(&argv(&["serve", "--workers", "0"])).is_err());
         assert!(parse_args(&argv(&["serve", "--deadline-ms", "0"])).is_err());
+        assert!(parse_args(&argv(&["serve", "--shards", "0"])).is_err());
+        assert!(
+            parse_args(&argv(&["serve", "--replicas", "1"])).is_err(),
+            "replicas tail a WAL, so they require --state-dir"
+        );
     }
 
     #[test]

@@ -1,0 +1,1316 @@
+//! Sharded fleet serving: consistent-hash routing, WAL-shipping read
+//! replicas, and cross-shard answer assembly.
+//!
+//! A [`Fleet`] holds N independent [`ResilientEngine`] shard leaders
+//! (each with its own state subdirectory, WAL, and checkpoint) behind
+//! one protocol endpoint. Device names are consistent-hashed onto
+//! shards by [`ShardRouter`], so:
+//!
+//! * **Writes** (UPSERT/REMOVE) touch exactly one shard leader, and
+//!   dirty only `O(corpus / N)` of the next CHECK's work.
+//! * **CHECK** runs [`ResilientEngine::check_parts`] per shard and
+//!   merges with [`merge_check_parts`], reproducing the single-engine
+//!   report byte for byte (a clean shard is served from its cached
+//!   parts without touching its engine at all — the per-shard parts
+//!   cache is what makes CHECK scale past the single engine's
+//!   per-check reassembly cost).
+//! * **GEN** is answered by a read replica when the shard has one:
+//!   the replica tails the leader's crc32-framed WAL by offset
+//!   ([`Replica::poll`]) up to the last acknowledged sequence, so an
+//!   acked write is always visible. When a shard leader faults
+//!   mid-CHECK, its replica serves the parts instead (failover at a
+//!   tracked, reported lag).
+//!
+//! # Byte identity with `--shards 1`
+//!
+//! The fleet keeps a device-id registry (ids assigned in arrival
+//! order over the name-sorted boot corpus, exactly like
+//! `Engine::from_corpus`) so UPSERT responses carry the same
+//! `id=`/`gen=` the unsharded engine would emit; LEARN mines a
+//! scratch engine over the name-sorted union corpus, so the contract
+//! set — and every later CHECK — is byte-identical; BATCH reserves
+//! ids sequentially in batch order before fanning sub-requests out to
+//! their shards concurrently, and reassembles responses by item index.
+//!
+//! Two documented divergences: per-shard `dirty=`/`reused=` CHECK
+//! counters can differ from the single engine after a
+//! resolution-invalidating edit (the single engine drops its whole
+//! cache, the fleet only the owning shard — violations and coverage
+//! stay identical), and a restarted fleet's LEARN mined/reused
+//! counters restart like the restarted single engine's do.
+
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use concord_core::{
+    ContractSet, EngineCheckStats, EngineStats, FleetReplicaStats, FleetShardStats, FleetStats,
+    LearnDeltaStats, RobustnessStats,
+};
+use concord_engine::{
+    merge_check_aggregates, CheckParts, Engine, EngineFault, EngineOptions, FleetCheckReport,
+    OpKind, Replica, ResilientEngine, ShardCheckAggregate, ShardRouter,
+};
+use concord_json::ToJson;
+use concord_lexer::Lexer;
+
+use crate::args::ServeArgs;
+use crate::protocol::{BatchItem, Request};
+use crate::serve::{engine_inputs, fault_line, is_write_op, render_gen, ServeShared};
+use crate::sync::DeadlineRwLock;
+use crate::CliError;
+
+/// Mutex acquisition that rides through poisoning. Fleet bookkeeping is
+/// rebuilt-safe (shard engines recover from their last-known-good
+/// image), so a panicked peer must not wedge every later request.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// One shard: a leader engine behind a deadline lock, its replicas, and
+/// the per-shard caches/counters.
+struct FleetShard {
+    leader: DeadlineRwLock<ResilientEngine>,
+    /// Highest WAL sequence the leader has acknowledged, published
+    /// *after* the fsync'd append — a replica caught up to this value
+    /// has replayed every acked write, which is what makes replica GEN
+    /// reads read-your-writes consistent.
+    leader_seq: AtomicU64,
+    /// Bumped on every successful mutation of this shard; keys the
+    /// check-parts cache.
+    version: AtomicU64,
+    replicas: Vec<Mutex<Replica>>,
+    /// Replica polls to skip before reading (replica-lag / stale-read
+    /// fault injection).
+    poll_suppress: AtomicU64,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    /// `(shard version, aggregate)`: the last CHECK's per-shard
+    /// contribution, pre-sorted and pre-summed for the merge fast
+    /// path. A CHECK at an unchanged version reuses it without locking
+    /// the leader — the single engine re-assembles its full report per
+    /// CHECK; the fleet pays only for shards that changed.
+    parts: Mutex<Option<(u64, Arc<ShardCheckAggregate>)>>,
+}
+
+/// The currently loaded contract set, kept in both forms the fleet
+/// needs: the count for CONTRACTS and the parsed set for the CHECK
+/// merge. (The JSON form lives in each shard's image — it is
+/// distributed at boot and LEARN, never re-read from here.)
+struct FleetContracts {
+    len: usize,
+    set: ContractSet,
+}
+
+/// Fleet-wide identity and learn bookkeeping. Ids are assigned in
+/// arrival order over the name-sorted union corpus — the same order
+/// `Engine::from_corpus` assigns — so UPSERT responses match the
+/// unsharded engine's; `clean` mirrors the single engine's sketch cache
+/// (evicted on edit, refilled by LEARN) to reproduce its
+/// `mined=`/`reused=` counters.
+struct Registry {
+    ids: HashMap<String, u64>,
+    next_id: u64,
+    clean: HashSet<String>,
+    mined_last_learn: u64,
+    reused_last_learn: u64,
+    /// Fleet edit counter value when the current contracts were learned.
+    contracts_edits: u64,
+}
+
+/// A reserved upsert id, with enough context to roll the reservation
+/// back if the shard operation faults (the single engine's rebuild
+/// doesn't consume an id, so neither may the fleet).
+struct ReservedUpsert {
+    id: u64,
+    new: bool,
+    was_clean: bool,
+}
+
+/// Registry side effects already applied by the batch walk (ids must be
+/// assigned sequentially in batch order, before sub-requests fan out to
+/// their shards concurrently).
+enum Pre {
+    /// Direct request: apply registry effects inline.
+    Direct,
+    Upsert(ReservedUpsert),
+    Remove(Option<(u64, bool)>),
+}
+
+/// A sharded serve backend: router, shard leaders with replicas, and
+/// the fleet-level caches that keep answers byte-identical to
+/// `--shards 1`.
+pub(crate) struct Fleet {
+    router: ShardRouter,
+    shards: Vec<FleetShard>,
+    /// Fleet-wide mutation version; keys the rendered CHECK cache.
+    version: AtomicU64,
+    /// Successful UPSERTs + REMOVEs across all shards.
+    edits: AtomicU64,
+    relearns: AtomicU64,
+    contracts: Mutex<Option<FleetContracts>>,
+    registry: Mutex<Registry>,
+    /// `(fleet version, rendered replay-form response)`: a repeat CHECK
+    /// with no intervening edit answers from here with `dirty=0
+    /// reused=N`, exactly like the single engine's cached-report path.
+    check_cache: Mutex<Option<(u64, String)>>,
+    last_check: Mutex<Option<EngineCheckStats>>,
+    metadata: Vec<(String, String)>,
+    lexer: Lexer,
+    options: EngineOptions,
+}
+
+/// Builds the fleet from the serve arguments: partitions the corpus by
+/// router, boots one shard leader per partition (each under
+/// `<state-dir>/shard-<i>` when durable), records/validates the shard
+/// count in `<state-dir>/fleet.json` (resuming with a different
+/// `--shards` would silently re-route devices), adopts resumed
+/// contracts (or the `--contracts` file on a fresh boot) and
+/// distributes them, then attaches the read replicas.
+pub(crate) fn build_fleet(args: &ServeArgs) -> Result<Fleet, CliError> {
+    let (lexer, corpus, metadata, options) = engine_inputs(args)?;
+    let router = ShardRouter::new(args.shards);
+    let mut partitions: Vec<Vec<(String, String)>> = vec![Vec::new(); router.shards()];
+    for (name, text) in corpus {
+        let shard = router.route(&name);
+        partitions[shard].push((name, text));
+    }
+    if let Some(dir) = &args.state_dir {
+        check_manifest(Path::new(dir), router.shards())?;
+    }
+
+    let mut leaders = Vec::with_capacity(router.shards());
+    let mut adopted: Option<String> = None;
+    let mut resumed_any = false;
+    for (i, part) in partitions.iter().enumerate() {
+        let (engine, resumed) = match &args.state_dir {
+            Some(dir) => {
+                let shard_dir = Path::new(dir).join(format!("shard-{i}"));
+                ResilientEngine::with_store(
+                    part,
+                    &metadata,
+                    lexer.clone(),
+                    options.clone(),
+                    &shard_dir,
+                )
+                .map_err(|e| CliError::Invalid(format!("shard {i}: {e}")))?
+            }
+            None => (
+                ResilientEngine::new(part, &metadata, lexer.clone(), options.clone())
+                    .map_err(|e| CliError::Invalid(format!("shard {i}: {e}")))?,
+                false,
+            ),
+        };
+        if resumed {
+            resumed_any = true;
+            if adopted.is_none() {
+                adopted = engine.image().contracts.clone();
+            }
+        }
+        leaders.push(engine);
+    }
+
+    // The state directory is the durable truth: a resumed fleet keeps
+    // the contracts it persisted; only a fresh boot loads the file.
+    let contracts_json = match adopted {
+        Some(json) => Some(json),
+        None if resumed_any => None,
+        None => match &args.contracts {
+            Some(path) => Some(crate::read_file(path)?),
+            None => None,
+        },
+    };
+    let contracts = match &contracts_json {
+        Some(json) => {
+            let set = ContractSet::from_json(json)
+                .map_err(|e| CliError::Invalid(format!("contracts: {e}")))?;
+            for (i, leader) in leaders.iter_mut().enumerate() {
+                if leader.image().contracts.as_deref() != Some(json.as_str()) {
+                    leader
+                        .set_contracts_json(json)
+                        .map_err(|e| CliError::Invalid(format!("shard {i}: {}", fault_line(&e))))?;
+                }
+            }
+            Some(FleetContracts {
+                len: set.len(),
+                set,
+            })
+        }
+        None => None,
+    };
+
+    // Ids in name-sorted arrival order over the (possibly resumed)
+    // union corpus — the order `Engine::from_corpus` assigns.
+    let mut names: Vec<String> = leaders
+        .iter()
+        .flat_map(|l| l.image().corpus().into_iter().map(|(name, _)| name))
+        .collect();
+    names.sort();
+    let registry = Registry {
+        next_id: names.len() as u64,
+        ids: names
+            .into_iter()
+            .enumerate()
+            .map(|(i, name)| (name, i as u64))
+            .collect(),
+        clean: HashSet::new(),
+        mined_last_learn: 0,
+        reused_last_learn: 0,
+        contracts_edits: 0,
+    };
+
+    let mut shards = Vec::with_capacity(leaders.len());
+    for (i, leader) in leaders.into_iter().enumerate() {
+        let mut replicas = Vec::with_capacity(args.replicas);
+        if args.replicas > 0 {
+            // Validated in args: replicas require --state-dir.
+            if let Some(dir) = &args.state_dir {
+                let shard_dir = Path::new(dir).join(format!("shard-{i}"));
+                for _ in 0..args.replicas {
+                    let replica = Replica::attach(&shard_dir, lexer.clone(), options.clone())
+                        .map_err(|e| CliError::Invalid(format!("shard {i} replica: {e}")))?;
+                    replicas.push(Mutex::new(replica));
+                }
+            }
+        }
+        shards.push(FleetShard {
+            leader_seq: AtomicU64::new(leader.image().applied_seq),
+            leader: DeadlineRwLock::new(leader),
+            version: AtomicU64::new(0),
+            replicas,
+            poll_suppress: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            parts: Mutex::new(None),
+        });
+    }
+
+    Ok(Fleet {
+        router,
+        shards,
+        version: AtomicU64::new(0),
+        edits: AtomicU64::new(0),
+        relearns: AtomicU64::new(0),
+        contracts: Mutex::new(contracts),
+        registry: Mutex::new(registry),
+        check_cache: Mutex::new(None),
+        last_check: Mutex::new(None),
+        metadata,
+        lexer,
+        options,
+    })
+}
+
+/// Records the shard count on first boot and refuses to reopen a state
+/// directory under a different one: the router would silently send
+/// devices to shards that don't hold them.
+fn check_manifest(dir: &Path, shards: usize) -> Result<(), CliError> {
+    std::fs::create_dir_all(dir).map_err(|e| CliError::Io(dir.display().to_string(), e))?;
+    let path = dir.join("fleet.json");
+    match std::fs::read_to_string(&path) {
+        Ok(text) => {
+            let json = concord_json::Json::parse(&text)
+                .map_err(|e| CliError::Invalid(format!("{}: {e}", path.display())))?;
+            let recorded = json["shards"].as_u64().unwrap_or(0) as usize;
+            if recorded != shards {
+                return Err(CliError::Invalid(format!(
+                    "{}: state directory was created with --shards {recorded}; reopening with \
+                     --shards {shards} would re-route devices away from the shards that hold them",
+                    path.display()
+                )));
+            }
+            Ok(())
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            let manifest = concord_json::json!({ "shards": shards });
+            std::fs::write(&path, manifest.render())
+                .map_err(|e| CliError::Io(path.display().to_string(), e))?;
+            Ok(())
+        }
+        Err(e) => Err(CliError::Io(path.display().to_string(), e)),
+    }
+}
+
+impl Fleet {
+    fn shard_for(&self, name: &str) -> &FleetShard {
+        &self.shards[self.router.route(name)]
+    }
+
+    fn reserve_upsert(&self, name: &str) -> ReservedUpsert {
+        let mut reg = lock(&self.registry);
+        let was_clean = reg.clean.remove(name);
+        match reg.ids.get(name).copied() {
+            Some(id) => ReservedUpsert {
+                id,
+                new: false,
+                was_clean,
+            },
+            None => {
+                let id = reg.next_id;
+                reg.next_id += 1;
+                reg.ids.insert(name.to_string(), id);
+                ReservedUpsert {
+                    id,
+                    new: true,
+                    was_clean,
+                }
+            }
+        }
+    }
+
+    /// Undoes a reservation after a faulted upsert. Under concurrent
+    /// reservations the freed id may stay consumed (the single engine
+    /// serializes and never hits this); sequential traffic rolls back
+    /// exactly.
+    fn rollback_upsert(&self, name: &str, reserved: &ReservedUpsert) {
+        let mut reg = lock(&self.registry);
+        if reserved.new && reg.ids.get(name) == Some(&reserved.id) {
+            reg.ids.remove(name);
+            if reg.next_id == reserved.id + 1 {
+                reg.next_id = reserved.id;
+            }
+        }
+        if reserved.was_clean {
+            reg.clean.insert(name.to_string());
+        }
+    }
+
+    fn registry_remove(&self, name: &str) -> Option<(u64, bool)> {
+        let mut reg = lock(&self.registry);
+        let id = reg.ids.remove(name)?;
+        let was_clean = reg.clean.remove(name);
+        Some((id, was_clean))
+    }
+
+    fn registry_restore(&self, name: &str, entry: (u64, bool)) {
+        let mut reg = lock(&self.registry);
+        reg.ids.insert(name.to_string(), entry.0);
+        if entry.1 {
+            reg.clean.insert(name.to_string());
+        }
+    }
+
+    /// Publishes a successful mutation on `shard`: leader sequence (for
+    /// replicas), shard + fleet versions (cache invalidation), counters.
+    fn published_write(&self, shard: &FleetShard, guard: &ResilientEngine, edit: bool) {
+        shard
+            .leader_seq
+            .store(guard.image().applied_seq, Ordering::Release);
+        shard.version.fetch_add(1, Ordering::Release);
+        shard.writes.fetch_add(1, Ordering::Relaxed);
+        self.version.fetch_add(1, Ordering::Release);
+        if edit {
+            self.edits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Executes one non-batch request against the fleet; the response
+/// string is byte-identical to the single-engine path wherever the
+/// protocol promises it (see module docs for the two counter caveats).
+pub(crate) fn execute(shared: &ServeShared, fleet: &Fleet, req: &Request) -> String {
+    if is_write_op(req) {
+        shared.count_exclusive_op();
+    } else {
+        shared.count_shared_read();
+    }
+    run_one(shared, fleet, req, Pre::Direct)
+}
+
+fn run_one(shared: &ServeShared, fleet: &Fleet, req: &Request, pre: Pre) -> String {
+    match req {
+        Request::Upsert { name, body } => fleet_upsert(shared, fleet, name, body, pre),
+        Request::Remove { name } => fleet_remove(shared, fleet, name, pre),
+        Request::Gen { name } => fleet_gen(shared, fleet, name),
+        Request::Learn => fleet_learn(shared, fleet),
+        Request::Check => fleet_check(shared, fleet),
+        Request::Contracts => match lock(&fleet.contracts).as_ref() {
+            Some(contracts) => format!("ok contracts {}\n", contracts.len),
+            None => "err not-learned\n".to_string(),
+        },
+        Request::Stats => fleet_stats(shared, fleet),
+        Request::Checkpoint => fleet_checkpoint(shared, fleet),
+        Request::Fault { rest } => fleet_fault(shared, fleet, rest),
+        // Routed before dispatch; a dispatch bug is answered, not
+        // panicked over (same as the single-engine path).
+        Request::Quit | Request::Batch(_) => "err internal invalid request routing\n".to_string(),
+    }
+}
+
+fn deadline(shared: &ServeShared) -> String {
+    shared.deadline_hit();
+    "err deadline\n".to_string()
+}
+
+fn fleet_upsert(shared: &ServeShared, fleet: &Fleet, name: &str, body: &str, pre: Pre) -> String {
+    let reserved = match pre {
+        Pre::Upsert(reserved) => reserved,
+        _ => fleet.reserve_upsert(name),
+    };
+    let shard = fleet.shard_for(name);
+    let cutoff = Instant::now() + shared.limits().deadline;
+    let Some(mut guard) = shard.leader.write(cutoff) else {
+        fleet.rollback_upsert(name, &reserved);
+        return deadline(shared);
+    };
+    match guard.upsert(name, body) {
+        Ok(_) => {
+            fleet.published_write(shard, &guard, true);
+            match guard.config_generation(name) {
+                Ok(Some(gen)) => format!("ok upsert {name} id={} gen={gen}\n", reserved.id),
+                Ok(None) => format!("err unknown-config {name}\n"),
+                Err(fault) => format!("{}\n", fault_line(&fault)),
+            }
+        }
+        Err(fault) => {
+            // The leader rebuilt from its image — the edit didn't land,
+            // so the id reservation must not stick either.
+            fleet.rollback_upsert(name, &reserved);
+            format!("{}\n", fault_line(&fault))
+        }
+    }
+}
+
+fn fleet_remove(shared: &ServeShared, fleet: &Fleet, name: &str, pre: Pre) -> String {
+    let removed = match pre {
+        Pre::Remove(removed) => removed,
+        _ => fleet.registry_remove(name),
+    };
+    let shard = fleet.shard_for(name);
+    let cutoff = Instant::now() + shared.limits().deadline;
+    let Some(mut guard) = shard.leader.write(cutoff) else {
+        if let Some(entry) = removed {
+            fleet.registry_restore(name, entry);
+        }
+        return deadline(shared);
+    };
+    match guard.remove(name) {
+        Ok(Some(_)) => {
+            fleet.published_write(shard, &guard, true);
+            format!("ok remove {name}\n")
+        }
+        Ok(None) => {
+            if let Some(entry) = removed {
+                fleet.registry_restore(name, entry);
+            }
+            format!("err unknown-config {name}\n")
+        }
+        Err(fault) => {
+            if let Some(entry) = removed {
+                fleet.registry_restore(name, entry);
+            }
+            format!("{}\n", fault_line(&fault))
+        }
+    }
+}
+
+/// GEN prefers a read replica when the shard has one: poll the WAL tail
+/// up to the last acked sequence (read-your-writes), then answer from
+/// the replica image without touching the leader. Suppressed polls
+/// (replica-lag / stale-read fault injection) serve the stale image —
+/// the scenario the fault soak exercises. Replication errors fall back
+/// to the leader.
+fn fleet_gen(shared: &ServeShared, fleet: &Fleet, name: &str) -> String {
+    let shard = fleet.shard_for(name);
+    shard.reads.fetch_add(1, Ordering::Relaxed);
+    if !shard.replicas.is_empty() {
+        let skip_poll = shard
+            .poll_suppress
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1))
+            .is_ok();
+        let leader_seq = shard.leader_seq.load(Ordering::Acquire);
+        let mut replica = lock(&shard.replicas[0]);
+        if skip_poll || replica.poll(leader_seq).is_ok() {
+            return render_gen(Ok(replica.engine_mut().config_generation(name)), name);
+        }
+    }
+    let cutoff = Instant::now() + shared.limits().deadline;
+    match shard.leader.read(cutoff) {
+        Some(guard) => render_gen(guard.config_generation(name), name),
+        None => deadline(shared),
+    }
+}
+
+/// LEARN takes every shard's write lock (in shard order — the one
+/// global lock order every multi-shard path uses), mines a scratch
+/// engine over the name-sorted union corpus (byte-identical contracts
+/// to the unsharded engine), distributes the set to every leader
+/// (WAL-logged, so replicas replay it), and reports the single engine's
+/// mined/reused counters from the registry's clean set.
+fn fleet_learn(shared: &ServeShared, fleet: &Fleet) -> String {
+    let cutoff = Instant::now() + shared.limits().deadline;
+    let mut guards = Vec::with_capacity(fleet.shards.len());
+    for shard in &fleet.shards {
+        match shard.leader.write(cutoff) {
+            Some(guard) => guards.push(guard),
+            None => return deadline(shared),
+        }
+    }
+    let mut union: Vec<(String, String)> = guards
+        .iter()
+        .flat_map(|guard| guard.image().corpus())
+        .collect();
+    union.sort();
+    let mut scratch = match Engine::from_corpus_with_lexer(
+        &union,
+        &fleet.metadata,
+        fleet.lexer.clone(),
+        fleet.options.clone(),
+    ) {
+        Ok(engine) => engine,
+        // Unreachable in practice: the same inputs built the shards.
+        Err(e) => return format!("err internal {}\n", one_line(&e.to_string())),
+    };
+    scratch.relearn();
+    let set = match scratch.contracts() {
+        Some(set) => set.clone(),
+        None => return "err not-learned\n".to_string(),
+    };
+    let json = set.to_json();
+    for (i, guard) in guards.iter_mut().enumerate() {
+        match guard.set_contracts_json(&json) {
+            Ok(_) => fleet.published_write(&fleet.shards[i], guard, false),
+            Err(fault) => {
+                // Earlier shards already swapped; conservatively
+                // invalidate everything so no stale parts survive the
+                // half-applied learn.
+                for shard in &fleet.shards {
+                    shard.version.fetch_add(1, Ordering::Release);
+                }
+                fleet.version.fetch_add(1, Ordering::Release);
+                return format!("{}\n", fault_line(&fault));
+            }
+        }
+    }
+    let n = set.len();
+    let (mined, reused) = {
+        let mut reg = lock(&fleet.registry);
+        let total = reg.ids.len() as u64;
+        let (mined, reused) = if fleet.options.delta_learn {
+            let reused = reg.clean.len() as u64;
+            (total - reused, reused)
+        } else {
+            (total, 0)
+        };
+        if fleet.options.delta_learn {
+            reg.clean = reg.ids.keys().cloned().collect();
+        }
+        reg.mined_last_learn = mined;
+        reg.reused_last_learn = reused;
+        reg.contracts_edits = fleet.edits.load(Ordering::Relaxed);
+        (mined, reused)
+    };
+    *lock(&fleet.contracts) = Some(FleetContracts { len: n, set });
+    fleet.relearns.fetch_add(1, Ordering::Relaxed);
+    format!("ok learn {n} contracts mined={mined} reused={reused}\n")
+}
+
+/// CHECK: per-shard parts (cached for clean shards, recomputed under
+/// the leader's write lock for dirty ones, served by a replica when the
+/// leader faults), merged in deterministic shard order into the
+/// byte-identical single-engine report.
+fn fleet_check(shared: &ServeShared, fleet: &Fleet) -> String {
+    let fleet_version = fleet.version.load(Ordering::Acquire);
+    if let Some((version, text)) = lock(&fleet.check_cache).as_ref() {
+        if *version == fleet_version {
+            return text.clone();
+        }
+    }
+    let contracts = match lock(&fleet.contracts).as_ref() {
+        // Cloned so the CHECK merge never holds the contracts lock
+        // while acquiring shard locks (LEARN takes them the other way
+        // around).
+        Some(contracts) => contracts.set.clone(),
+        None => return "err no contracts loaded\n".to_string(),
+    };
+    let cutoff = Instant::now() + shared.limits().deadline;
+    let mut parts: Vec<Arc<ShardCheckAggregate>> = Vec::with_capacity(fleet.shards.len());
+    let mut dirty = 0usize;
+    let mut reused = 0usize;
+    let mut resolution_invalidated = false;
+    for shard in &fleet.shards {
+        let mut slot = lock(&shard.parts);
+        let cached_version = shard.version.load(Ordering::Acquire);
+        if let Some((version, cached)) = slot.as_ref() {
+            if *version == cached_version {
+                // Clean shard: the single engine would have reused every
+                // one of its configurations (the cached parts still
+                // carry the dirty counters of the check that computed
+                // them, so the counters are summed here, not there).
+                reused += cached.parts.configs.len();
+                parts.push(Arc::clone(cached));
+                continue;
+            }
+        }
+        let Some(mut guard) = shard.leader.write(cutoff) else {
+            return deadline(shared);
+        };
+        // Re-read under the write lock: the version is stable while we
+        // hold it, so the cache entry is keyed consistently.
+        let shard_version = shard.version.load(Ordering::Acquire);
+        let computed = match guard.check_parts() {
+            Ok(computed) => computed,
+            Err(fault) => {
+                drop(guard); // the leader already rebuilt; free it
+                match failover_parts(shard, &fault) {
+                    Some(computed) => computed,
+                    None => return format!("{}\n", fault_line(&fault)),
+                }
+            }
+        };
+        shard.reads.fetch_add(1, Ordering::Relaxed);
+        dirty += computed.dirty_configs;
+        reused += computed.reused_configs;
+        resolution_invalidated |= computed.resolution_invalidated;
+        let arc = Arc::new(ShardCheckAggregate::new(computed));
+        *slot = Some((shard_version, Arc::clone(&arc)));
+        parts.push(arc);
+    }
+    let refs: Vec<&ShardCheckAggregate> = parts.iter().map(|p| p.as_ref()).collect();
+    let report = merge_check_aggregates(&contracts, &refs);
+    let total_configs: usize = parts.iter().map(|p| p.parts.configs.len()).sum();
+    let first = render_fleet_check(&report, dirty, reused);
+    // A repeat CHECK at this fleet version reuses everything — the
+    // single engine's cached-report path reports dirty=0, reused=all.
+    let replay = render_fleet_check(&report, 0, total_configs);
+    *lock(&fleet.check_cache) = Some((fleet_version, replay));
+    *lock(&fleet.last_check) = Some(EngineCheckStats {
+        dirty_configs: dirty,
+        reused_configs: reused,
+        resolution_invalidated,
+        witness_indexes_rebuilt: 0,
+        witness_indexes_patched: 0,
+    });
+    first
+}
+
+/// Shard-leader CHECK failover: when the leader faulted mid-check (it
+/// has already rebuilt from its image), serve the parts from a replica
+/// caught up to the last acked write. Only recovery faults fail over —
+/// a missing-contracts fault would fail identically on the replica.
+fn failover_parts(shard: &FleetShard, fault: &EngineFault) -> Option<CheckParts> {
+    if !matches!(fault, EngineFault::Panicked(_) | EngineFault::Poisoned) {
+        return None;
+    }
+    let leader_seq = shard.leader_seq.load(Ordering::Acquire);
+    for replica in &shard.replicas {
+        let mut replica = lock(replica);
+        if replica.poll(leader_seq).is_err() {
+            continue;
+        }
+        if let Ok(parts) = replica.engine_mut().check_parts() {
+            shard.reads.fetch_add(1, Ordering::Relaxed);
+            return Some(parts);
+        }
+    }
+    None
+}
+
+/// Renders the merged fleet report in the single engine's CHECK format.
+fn render_fleet_check(report: &FleetCheckReport, dirty: usize, reused: usize) -> String {
+    let mut out = String::new();
+    for v in &report.violations {
+        out.push_str(&format!("{v}\n"));
+    }
+    out.push_str(&format!(
+        "ok check {} violations; coverage {:.1}% of {} lines; dirty={} reused={}\n",
+        report.violations.len(),
+        report.coverage_fraction() * 100.0,
+        report.total_lines,
+        dirty,
+        reused,
+    ));
+    out
+}
+
+/// STATS: per-shard engine snapshots aggregated in shard order, plus
+/// the v8 `fleet` object (per-shard counters, replica lag, router
+/// distribution, and one-pass totals).
+fn fleet_stats(shared: &ServeShared, fleet: &Fleet) -> String {
+    let cutoff = Instant::now() + shared.limits().deadline;
+    let mut shard_stats: Vec<EngineStats> = Vec::with_capacity(fleet.shards.len());
+    for shard in &fleet.shards {
+        let Some(mut guard) = shard.leader.write(cutoff) else {
+            return deadline(shared);
+        };
+        match guard.snapshot_stats() {
+            Ok(stats) => shard_stats.push(stats),
+            Err(fault) => return format!("{}\n", fault_line(&fault)),
+        }
+    }
+    let mut stats = EngineStats::default();
+    let mut robustness = RobustnessStats::default();
+    let mut fleet_shards = Vec::with_capacity(fleet.shards.len());
+    for (i, s) in shard_stats.iter().enumerate() {
+        stats.configs += s.configs;
+        stats.lines += s.lines;
+        // Approximate: a pattern shared by configs on two shards counts
+        // once per shard (each shard interns independently).
+        stats.patterns += s.patterns;
+        stats.edits += s.edits;
+        stats.dirty_configs += s.dirty_configs;
+        stats.staleness = stats.staleness.max(s.staleness);
+        stats.lex_cache_hits += s.lex_cache_hits;
+        stats.lex_cache_misses += s.lex_cache_misses;
+        stats.lex_cache_evictions += s.lex_cache_evictions;
+        stats.generations.extend(s.generations.iter().cloned());
+        if let Some(r) = &s.robustness {
+            robustness.accumulate(r);
+        }
+        let shard = &fleet.shards[i];
+        let leader_seq = shard.leader_seq.load(Ordering::Acquire);
+        let mut replicas = Vec::with_capacity(shard.replicas.len());
+        for replica in &shard.replicas {
+            let replica = lock(replica);
+            replicas.push(FleetReplicaStats {
+                applied_seq: replica.applied_seq(),
+                lag: replica.lag(leader_seq),
+                resyncs: replica.resyncs(),
+                reads: replica.reads(),
+            });
+        }
+        fleet_shards.push(FleetShardStats {
+            shard: i,
+            configs: s.configs,
+            applied_seq: leader_seq,
+            reads: shard.reads.load(Ordering::Relaxed),
+            writes: shard.writes.load(Ordering::Relaxed),
+            robustness: s.robustness.unwrap_or_default(),
+            replicas,
+        });
+    }
+    // The union dataset is name-sorted; shards partition the names.
+    stats.generations.sort_by(|a, b| a.0.cmp(&b.0));
+    let (rejected, deadlines) = shared.serve_overlay();
+    robustness.requests_rejected = rejected;
+    robustness.deadlines_hit = deadlines;
+    stats.robustness = Some(robustness);
+    stats.contracts = lock(&fleet.contracts).as_ref().map(|c| c.len);
+    stats.relearns = fleet.relearns.load(Ordering::Relaxed);
+    stats.last_check = *lock(&fleet.last_check);
+    {
+        let reg = lock(&fleet.registry);
+        stats.learn_delta = LearnDeltaStats {
+            enabled: fleet.options.delta_learn,
+            sketches: reg.clean.len(),
+            dirty: reg.ids.len().saturating_sub(reg.clean.len()),
+            mined_last_learn: reg.mined_last_learn,
+            reused_last_learn: reg.reused_last_learn,
+            contracts_edits: reg.contracts_edits,
+        };
+    }
+    stats.serve = Some(shared.transport_snapshot());
+    let router: Vec<usize> = fleet_shards.iter().map(|s| s.configs).collect();
+    let totals = FleetStats::rollup(&fleet_shards);
+    stats.fleet = Some(FleetStats {
+        shards: fleet_shards,
+        router,
+        totals,
+    });
+    format!("ok stats {}\n", stats.to_json().render())
+}
+
+fn fleet_checkpoint(shared: &ServeShared, fleet: &Fleet) -> String {
+    let cutoff = Instant::now() + shared.limits().deadline;
+    for shard in &fleet.shards {
+        let Some(mut guard) = shard.leader.write(cutoff) else {
+            return deadline(shared);
+        };
+        if !guard.checkpoint() {
+            return "err persist checkpoint failed or no --state-dir\n".to_string();
+        }
+    }
+    "ok checkpoint\n".to_string()
+}
+
+/// The FAULT verb, extended with fleet scenarios. `FAULT <op> [shard]`
+/// arms a deterministic panic on that shard's leader (default shard 0);
+/// `FAULT replica-lag [shard] [n]` suppresses the next n replica polls
+/// (reads serve the stale image and report real lag); `FAULT stale-read
+/// [shard]` is one suppressed poll.
+fn fleet_fault(shared: &ServeShared, fleet: &Fleet, rest: &str) -> String {
+    if !shared.faults_enabled() {
+        shared.reject();
+        return "err unknown-command \"FAULT\"\n".to_string();
+    }
+    let bad = |shared: &ServeShared| {
+        shared.reject();
+        format!("err bad-request unknown fault kind {rest:?}\n")
+    };
+    let tokens: Vec<&str> = rest.split_whitespace().collect();
+    let shard_at = |i: usize| -> Option<usize> {
+        match tokens.get(i) {
+            None => Some(0),
+            Some(t) => t.parse().ok().filter(|s| *s < fleet.shards.len()),
+        }
+    };
+    match tokens.first().copied() {
+        Some("replica-lag") => match shard_at(1) {
+            Some(s) => {
+                let n = match tokens.get(2) {
+                    None => 3,
+                    Some(t) => match t.parse::<u64>() {
+                        Ok(n) => n,
+                        Err(_) => return bad(shared),
+                    },
+                };
+                fleet.shards[s].poll_suppress.fetch_add(n, Ordering::AcqRel);
+                format!("ok fault armed {rest}\n")
+            }
+            None => bad(shared),
+        },
+        Some("stale-read") => match shard_at(1) {
+            Some(s) => {
+                fleet.shards[s].poll_suppress.fetch_add(1, Ordering::AcqRel);
+                format!("ok fault armed {rest}\n")
+            }
+            None => bad(shared),
+        },
+        Some(op) => match (OpKind::parse(op), shard_at(1)) {
+            (Some(kind), Some(s)) => {
+                let cutoff = Instant::now() + shared.limits().deadline;
+                match fleet.shards[s].leader.write(cutoff) {
+                    Some(mut guard) => {
+                        guard.arm_panic(kind);
+                        format!("ok fault armed {rest}\n")
+                    }
+                    None => deadline(shared),
+                }
+            }
+            _ => bad(shared),
+        },
+        None => bad(shared),
+    }
+}
+
+fn one_line(s: &str) -> String {
+    s.replace(['\n', '\r'], " ")
+}
+
+/// One queued batch sub-request: its item index (for in-order response
+/// reassembly) and the registry effects the walk already applied.
+struct Queued<'a> {
+    index: usize,
+    req: &'a Request,
+    pre: Pre,
+}
+
+/// BATCH against the fleet: sub-requests are walked in order (registry
+/// ids assigned sequentially, exactly like the single engine's
+/// serialized batch), grouped into per-shard queues, and the queues
+/// executed concurrently — one thread per shard with pending work.
+/// Global verbs (LEARN/CHECK/STATS/CHECKPOINT/FAULT/CONTRACTS) are
+/// barriers: pending queues flush first, so every sub-request observes
+/// the same engine states it would have under one serialized lock.
+/// Responses are reassembled by item index, then the `ok batch` trailer
+/// — byte-identical to `--shards 1`.
+pub(crate) fn execute_batch(shared: &ServeShared, fleet: &Fleet, items: &[BatchItem]) -> String {
+    let any_write = items
+        .iter()
+        .any(|item| matches!(item, BatchItem::Run(req) if is_write_op(req)));
+    if any_write {
+        shared.count_exclusive_op();
+    } else {
+        shared.count_shared_read();
+    }
+    let mut slots: Vec<Option<String>> = vec![None; items.len()];
+    let mut queues: Vec<Vec<Queued>> = (0..fleet.shards.len()).map(|_| Vec::new()).collect();
+    for (index, item) in items.iter().enumerate() {
+        match item {
+            BatchItem::Error { line, reject } => {
+                if *reject {
+                    shared.reject();
+                }
+                slots[index] = Some(format!("{line}\n"));
+            }
+            BatchItem::Run(req) => match req {
+                Request::Upsert { name, .. } => {
+                    let pre = Pre::Upsert(fleet.reserve_upsert(name));
+                    queues[self::route(fleet, name)].push(Queued { index, req, pre });
+                }
+                Request::Remove { name } => {
+                    // Applied at walk time so a later upsert of the same
+                    // name in this batch draws a fresh id, like the
+                    // single engine's serialized order would.
+                    let pre = Pre::Remove(fleet.registry_remove(name));
+                    queues[self::route(fleet, name)].push(Queued { index, req, pre });
+                }
+                Request::Gen { name } => {
+                    queues[self::route(fleet, name)].push(Queued {
+                        index,
+                        req,
+                        pre: Pre::Direct,
+                    });
+                }
+                _ => {
+                    flush(shared, fleet, &mut queues, &mut slots);
+                    slots[index] = Some(run_one(shared, fleet, req, Pre::Direct));
+                }
+            },
+        }
+    }
+    flush(shared, fleet, &mut queues, &mut slots);
+    let mut out = String::new();
+    for slot in slots {
+        out.push_str(&slot.unwrap_or_else(|| "err internal batch worker failed\n".to_string()));
+    }
+    out.push_str(&format!("ok batch {}\n", items.len()));
+    out
+}
+
+fn route(fleet: &Fleet, name: &str) -> usize {
+    fleet.router.route(name)
+}
+
+/// Drains the per-shard queues concurrently (scoped threads, one per
+/// shard with work; a lone queue runs inline) and writes responses into
+/// their item slots.
+fn flush(
+    shared: &ServeShared,
+    fleet: &Fleet,
+    queues: &mut [Vec<Queued>],
+    slots: &mut [Option<String>],
+) {
+    let pending = queues.iter().filter(|q| !q.is_empty()).count();
+    if pending == 0 {
+        return;
+    }
+    let drained: Vec<Vec<Queued>> = queues.iter_mut().map(std::mem::take).collect();
+    if pending == 1 {
+        for queue in drained {
+            for q in queue {
+                slots[q.index] = Some(run_one(shared, fleet, q.req, q.pre));
+            }
+        }
+        return;
+    }
+    let outputs: Vec<Vec<(usize, String)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = drained
+            .into_iter()
+            .filter(|queue| !queue.is_empty())
+            .map(|queue| {
+                scope.spawn(move || {
+                    queue
+                        .into_iter()
+                        .map(|q| (q.index, run_one(shared, fleet, q.req, q.pre)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().unwrap_or_default())
+            .collect()
+    });
+    for (index, text) in outputs.into_iter().flatten() {
+        slots[index] = Some(text);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::ServeArgs;
+    use crate::serve::{serve_session, ServeLimits};
+    use concord_core::LearnParams;
+    use std::io::Cursor;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("concord-fleet-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    /// Writes the serve tests' six-config corpus as files and returns
+    /// the glob that selects them.
+    fn corpus_glob(tag: &str) -> String {
+        let dir = temp_dir(&format!("corpus-{tag}"));
+        for i in 0..6 {
+            let text = format!(
+                "hostname DEV{}\nrouter bgp 65000\nvlan {}\n",
+                100 + i,
+                250 + i
+            );
+            std::fs::write(dir.join(format!("dev{i}.cfg")), text).expect("write config");
+        }
+        format!("{}/*.cfg", dir.display())
+    }
+
+    fn serve_args(
+        glob: &str,
+        shards: usize,
+        replicas: usize,
+        state_dir: Option<&Path>,
+    ) -> ServeArgs {
+        ServeArgs {
+            configs: Some(glob.to_string()),
+            contracts: None,
+            metadata: None,
+            tokens: None,
+            params: LearnParams::default(),
+            embed: true,
+            parallelism: 1,
+            staleness: 0.2,
+            listen: None,
+            once: false,
+            workers: 4,
+            max_conns: 0,
+            deadline_ms: 5000,
+            max_line_bytes: 64 * 1024,
+            max_body_bytes: 1024 * 1024,
+            state_dir: state_dir.map(|d| d.display().to_string()),
+            shards,
+            replicas,
+            lex_cache_cap: 64 * 1024,
+            enable_faults: true,
+            full_relearn: false,
+        }
+    }
+
+    fn fleet_shared(args: &ServeArgs) -> ServeShared {
+        let fleet = build_fleet(args).expect("fleet builds");
+        ServeShared::new_fleet(fleet, ServeLimits::default(), args.enable_faults)
+    }
+
+    /// The unsharded oracle over the exact same inputs and options.
+    fn single_shared(args: &ServeArgs) -> ServeShared {
+        let (lexer, corpus, metadata, options) = engine_inputs(args).expect("inputs");
+        let engine = ResilientEngine::new(&corpus, &metadata, lexer, options).expect("engine");
+        ServeShared::new(engine, ServeLimits::default(), args.enable_faults)
+    }
+
+    fn session(shared: &ServeShared, script: &str) -> String {
+        let mut out = Vec::new();
+        serve_session(shared, Cursor::new(script.as_bytes().to_vec()), &mut out)
+            .expect("session runs");
+        String::from_utf8(out).expect("utf8 output")
+    }
+
+    /// The full interactive workflow — learn, edit, check, gen, remove,
+    /// re-learn — answers byte-identically at 1 and 3 shards. The edits
+    /// reuse known line shapes so no shard drops its cache for a
+    /// resolution change (the one documented counter divergence).
+    #[test]
+    fn fleet_session_is_byte_identical_to_single_engine() {
+        let glob = corpus_glob("identity");
+        let script = "LEARN\nCHECK\nUPSERT dev0\nhostname DEV100\nvlan 250\n.\nCHECK\nGEN dev0\n\
+                      GEN dev3\nCONTRACTS\nUPSERT dev9\nhostname DEV109\nrouter bgp 65000\n\
+                      vlan 999\n.\nCHECK\nLEARN\nREMOVE dev3\nGEN nope\nCHECK\nLEARN\nQUIT\n";
+        let single = session(&single_shared(&serve_args(&glob, 1, 0, None)), script);
+        let fleet = session(&fleet_shared(&serve_args(&glob, 3, 0, None)), script);
+        assert_eq!(single, fleet);
+        // The script exercised real work, not just error paths.
+        assert!(single.contains("ok learn"), "{single}");
+        assert!(single.contains("missing required line"), "{single}");
+        assert!(single.contains("dirty=1 reused=5"), "{single}");
+        assert!(single.contains("ok upsert dev9 id=6"), "{single}");
+        // Both sessions edited dev0 and dev9 since the first LEARN.
+        assert!(single.contains("mined=2 reused=5"), "{single}");
+    }
+
+    /// A BATCH against the fleet (sub-requests fanned out per shard,
+    /// responses reassembled by index) equals the same commands issued
+    /// singly, and equals the single engine's batch, byte for byte.
+    #[test]
+    fn fleet_batch_matches_singles_and_single_engine() {
+        let glob = corpus_glob("batch");
+        let singles_script = "LEARN\nUPSERT dev0\nhostname DEV100\nvlan 250\n.\nGEN dev0\n\
+                              GEN dev5\nREMOVE dev2\nCHECK\nQUIT\n";
+        let batch_script = "LEARN\nBATCH 5\nUPSERT dev0\nhostname DEV100\nvlan 250\n.\nGEN dev0\n\
+                            GEN dev5\nREMOVE dev2\nCHECK\nQUIT\n";
+        let args = serve_args(&glob, 3, 0, None);
+        let singles = session(&fleet_shared(&args), singles_script);
+        let batched = session(&fleet_shared(&args), batch_script);
+        let singles_body = singles.strip_suffix("ok bye\n").expect("quit ack");
+        assert_eq!(batched, format!("{singles_body}ok batch 5\nok bye\n"));
+        let oracle = session(&single_shared(&serve_args(&glob, 1, 0, None)), batch_script);
+        assert_eq!(batched, oracle);
+    }
+
+    /// A REMOVE and an UPSERT of the same name inside one batch must
+    /// assign a fresh id (walk-order registry effects), exactly like the
+    /// single engine's serialized batch.
+    #[test]
+    fn fleet_batch_remove_then_upsert_assigns_fresh_id() {
+        let glob = corpus_glob("batch-reuse");
+        let script = "BATCH 2\nREMOVE dev1\nUPSERT dev1\nhostname DEV101\nvlan 251\n.\nQUIT\n";
+        let fleet = session(&fleet_shared(&serve_args(&glob, 3, 0, None)), script);
+        let single = session(&single_shared(&serve_args(&glob, 1, 0, None)), script);
+        assert_eq!(fleet, single);
+        assert!(fleet.contains("ok upsert dev1 id=6"), "{fleet}");
+    }
+
+    /// STATS at shards > 1 reports the v8 `fleet` object, with totals
+    /// equal to the per-shard sums and the router distribution covering
+    /// the whole corpus.
+    #[test]
+    fn fleet_stats_reports_v8_fleet_object_with_consistent_totals() {
+        let glob = corpus_glob("stats");
+        let shared = fleet_shared(&serve_args(&glob, 3, 0, None));
+        let out = session(
+            &shared,
+            "LEARN\nUPSERT dev0\nhostname DEV100\nvlan 250\n.\nCHECK\nGEN dev1\nSTATS\nQUIT\n",
+        );
+        let line = out
+            .lines()
+            .find(|l| l.starts_with("ok stats "))
+            .expect("stats line");
+        let json =
+            concord_json::Json::parse(line.trim_start_matches("ok stats ")).expect("stats parse");
+        let fleet = &json["fleet"];
+        let shards = match fleet["shards"] {
+            concord_json::Json::Array(ref v) => v,
+            _ => panic!("fleet.shards missing: {line}"),
+        };
+        assert_eq!(shards.len(), 3);
+        let sum = |key: &str| -> u64 {
+            shards
+                .iter()
+                .map(|s| s[key].as_u64().expect("shard counter"))
+                .sum()
+        };
+        assert_eq!(fleet["totals"]["configs"].as_u64(), Some(sum("configs")));
+        assert_eq!(fleet["totals"]["reads"].as_u64(), Some(sum("reads")));
+        assert_eq!(fleet["totals"]["writes"].as_u64(), Some(sum("writes")));
+        assert_eq!(sum("configs"), 6);
+        assert_eq!(
+            sum("writes"),
+            4,
+            "3 learn distributions + 1 upsert land on shards"
+        );
+        assert_eq!(json["configs"].as_u64(), Some(6));
+        // The router distribution is the per-shard config counts.
+        let router_total: u64 = match fleet["router"] {
+            concord_json::Json::Array(ref v) => v.iter().map(|c| c.as_u64().unwrap_or(0)).sum(),
+            _ => panic!("fleet.router missing: {line}"),
+        };
+        assert_eq!(router_total, 6);
+    }
+
+    /// With `--replicas`, GEN is served by the WAL-tailing replica
+    /// (read-your-writes: an acked upsert is visible), and a shard
+    /// leader panicking mid-CHECK fails over to its replica — the
+    /// session answers, and the next CHECK is byte-identical to the
+    /// unsharded oracle's.
+    #[test]
+    fn replica_serves_gen_and_check_fails_over_on_shard_crash() {
+        let glob = corpus_glob("failover");
+        let dir = temp_dir("failover-state");
+        let args = serve_args(&glob, 2, 1, Some(&dir));
+        let shared = fleet_shared(&args);
+        // Arm the panic on the shard that owns dev0, so the dirty
+        // recheck after the upsert is what trips it.
+        let shard = concord_engine::ShardRouter::new(2).route("dev0");
+        let script = format!(
+            "LEARN\nUPSERT dev0\nhostname DEV100\nvlan 250\n.\nGEN dev0\nFAULT check {shard}\n\
+             CHECK\nCHECK\nQUIT\n"
+        );
+        let out = session(&shared, &script);
+        // Replica GEN sees the acked write.
+        assert!(out.contains("ok gen dev0 1"), "{out}");
+        assert!(out.contains("ok fault armed"), "{out}");
+        // The faulted CHECK still answered (replica parts), with the
+        // edit's violation present.
+        assert!(out.contains("missing required line"), "{out}");
+        assert!(!out.contains("err internal"), "{out}");
+        // And the steady-state CHECK matches the oracle byte for byte.
+        let oracle = session(
+            &single_shared(&serve_args(&glob, 1, 0, None)),
+            "LEARN\nUPSERT dev0\nhostname DEV100\nvlan 250\n.\nGEN dev0\nCHECK\nCHECK\nQUIT\n",
+        );
+        let last = |s: &str| {
+            s.lines()
+                .rfind(|l| l.starts_with("ok check"))
+                .map(str::to_string)
+                .expect("a check summary")
+        };
+        assert_eq!(last(&out), last(&oracle));
+        assert!(last(&out).contains("dirty=0 reused=6"), "{out}");
+    }
+
+    /// The fleet fault verbs: `FAULT stale-read` suppresses one replica
+    /// poll (the next GEN serves the stale image and only then catches
+    /// up), and `FAULT replica-lag` suppresses a run of them.
+    #[test]
+    fn stale_read_and_replica_lag_faults_serve_stale_then_converge() {
+        let glob = corpus_glob("stale");
+        let dir = temp_dir("stale-state");
+        let args = serve_args(&glob, 1, 1, Some(&dir));
+        let shared = fleet_shared(&args);
+        let out = session(
+            &shared,
+            "FAULT stale-read 0\nUPSERT dev0\nhostname DEV100\nvlan 250\n.\nGEN dev0\nGEN dev0\n\
+             FAULT replica-lag 0 2\nUPSERT dev0\nhostname DEV100\nvlan 251\n.\nGEN dev0\n\
+             GEN dev0\nGEN dev0\nFAULT bogus-kind\nQUIT\n",
+        );
+        let gens: Vec<&str> = out
+            .lines()
+            .filter(|l| l.starts_with("ok gen dev0 "))
+            .collect();
+        // Stale read, then caught up; two lagged reads, then caught up.
+        assert_eq!(
+            gens,
+            vec![
+                "ok gen dev0 0",
+                "ok gen dev0 1",
+                "ok gen dev0 1",
+                "ok gen dev0 1",
+                "ok gen dev0 2"
+            ],
+            "{out}"
+        );
+        assert!(
+            out.contains("err bad-request unknown fault kind \"bogus-kind\""),
+            "{out}"
+        );
+    }
+
+    /// Reopening a fleet state directory under a different `--shards`
+    /// is refused: the router would re-route devices away from the
+    /// shards that hold them.
+    #[test]
+    fn reopening_with_a_different_shard_count_is_refused() {
+        let glob = corpus_glob("manifest");
+        let dir = temp_dir("manifest-state");
+        let args = serve_args(&glob, 2, 0, Some(&dir));
+        drop(fleet_shared(&args));
+        let again = serve_args(&glob, 4, 0, Some(&dir));
+        let err = match build_fleet(&again) {
+            Ok(_) => panic!("shard count mismatch must refuse"),
+            Err(e) => e.to_string(),
+        };
+        assert!(err.contains("--shards 2"), "unexpected error: {err}");
+    }
+
+    /// A sharded fleet resumes from its state directories: edits from a
+    /// previous process survive, and answers match a from-scratch oracle
+    /// over the surviving corpus.
+    #[test]
+    fn fleet_resumes_from_state_directories() {
+        let glob = corpus_glob("resume");
+        let dir = temp_dir("resume-state");
+        let args = serve_args(&glob, 2, 0, Some(&dir));
+        {
+            let shared = fleet_shared(&args);
+            let out = session(
+                &shared,
+                "LEARN\nUPSERT dev0\nhostname DEV100\nvlan 250\n.\nREMOVE dev4\nQUIT\n",
+            );
+            assert!(out.contains("ok remove dev4"), "{out}");
+        }
+        let shared = fleet_shared(&args);
+        let out = session(&shared, "GEN dev0\nGEN dev4\nCONTRACTS\nCHECK\nQUIT\n");
+        assert!(out.contains("ok gen dev0 1"), "{out}");
+        assert!(out.contains("err unknown-config dev4"), "{out}");
+        assert!(out.contains("ok contracts"), "{out}");
+        assert!(out.contains("missing required line"), "{out}");
+        assert!(out.contains("ok check"), "{out}");
+    }
+}

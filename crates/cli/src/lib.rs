@@ -23,6 +23,7 @@
 mod args;
 mod ci;
 mod eventloop;
+mod fleet;
 mod glob;
 pub mod protocol;
 mod report;

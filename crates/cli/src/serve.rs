@@ -20,7 +20,7 @@
 //! CHECK             -- report violations; recomputes only dirty configs
 //! GEN <name>        -- the configuration's edit generation
 //! CONTRACTS         -- how many contracts are loaded
-//! STATS             -- one-line JSON engine snapshot (v7 schema)
+//! STATS             -- one-line JSON engine snapshot (v8 schema)
 //! CHECKPOINT        -- force a durable checkpoint (needs --state-dir)
 //! BATCH <n>         -- the next n commands execute under one engine
 //!                      acquisition; their responses stream back in
@@ -70,6 +70,15 @@
 //! `err bad-utf8`, and a client that trickles a request slower than
 //! `--deadline-ms` (slow-loris) is disconnected with `err deadline`.
 //! Everything is `std`-only.
+//!
+//! # Sharding
+//!
+//! With `--shards N` the resident engine is replaced by a
+//! [`crate::fleet::Fleet`]: N shard engines behind a consistent-hash
+//! router, each with its own WAL and checkpoint under `--state-dir`,
+//! optionally followed by `--replicas M` WAL-tailing read replicas per
+//! shard. Responses stay byte-identical to `--shards 1`; STATS grows a
+//! `fleet` object (schema v8).
 
 use std::io::{Read, Write};
 use std::path::Path;
@@ -139,10 +148,22 @@ impl TransportCounters {
     }
 }
 
-/// State shared by every connection: the engine behind its read/write
-/// lock, the limits, and the serve-layer counters.
+/// The engine(s) a session executes against: the classic single
+/// resident engine, or a sharded fleet (`--shards` / `--replicas`).
+// One `Backend` exists per process (inside the `Arc<ServeShared>`), so
+// the variant size gap is irrelevant and boxing would only add a deref
+// to every request.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum Backend {
+    Single(DeadlineRwLock<ResilientEngine>),
+    Fleet(crate::fleet::Fleet),
+}
+
+/// State shared by every connection: the backend (single engine behind
+/// its read/write lock, or the fleet), the limits, and the serve-layer
+/// counters.
 pub struct ServeShared {
-    engine: DeadlineRwLock<ResilientEngine>,
+    backend: Backend,
     limits: ServeLimits,
     /// `FAULT <op>` verb enabled (deterministic panic injection for the
     /// robustness harness; off unless `--enable-fault-injection`).
@@ -155,8 +176,25 @@ pub struct ServeShared {
 impl ServeShared {
     /// Wraps an engine for serving.
     pub fn new(engine: ResilientEngine, limits: ServeLimits, faults_enabled: bool) -> ServeShared {
+        ServeShared::with_backend(
+            Backend::Single(DeadlineRwLock::new(engine)),
+            limits,
+            faults_enabled,
+        )
+    }
+
+    /// Wraps a sharded fleet for serving.
+    pub(crate) fn new_fleet(
+        fleet: crate::fleet::Fleet,
+        limits: ServeLimits,
+        faults_enabled: bool,
+    ) -> ServeShared {
+        ServeShared::with_backend(Backend::Fleet(fleet), limits, faults_enabled)
+    }
+
+    fn with_backend(backend: Backend, limits: ServeLimits, faults_enabled: bool) -> ServeShared {
         ServeShared {
-            engine: DeadlineRwLock::new(engine),
+            backend,
             limits,
             faults_enabled,
             requests_rejected: AtomicU64::new(0),
@@ -179,6 +217,31 @@ impl ServeShared {
 
     pub(crate) fn count_connection(&self) {
         TransportCounters::bump(&self.transport.connections);
+    }
+
+    pub(crate) fn faults_enabled(&self) -> bool {
+        self.faults_enabled
+    }
+
+    /// The serve-layer robustness overlay: `(requests_rejected,
+    /// deadlines_hit)` — counted here, not in any engine.
+    pub(crate) fn serve_overlay(&self) -> (u64, u64) {
+        (
+            self.requests_rejected.load(Ordering::Relaxed),
+            self.deadlines_hit.load(Ordering::Relaxed),
+        )
+    }
+
+    pub(crate) fn transport_snapshot(&self) -> ServeTransportStats {
+        self.transport.snapshot()
+    }
+
+    pub(crate) fn count_shared_read(&self) {
+        TransportCounters::bump(&self.transport.shared_reads);
+    }
+
+    pub(crate) fn count_exclusive_op(&self) {
+        TransportCounters::bump(&self.transport.exclusive_ops);
     }
 }
 
@@ -228,7 +291,7 @@ pub(crate) fn deadline_reply(framing: Framing) -> Vec<u8> {
 }
 
 /// Whether a request needs the exclusive side of the engine lock.
-fn is_write_op(req: &Request) -> bool {
+pub(crate) fn is_write_op(req: &Request) -> bool {
     matches!(
         req,
         Request::Upsert { .. }
@@ -246,11 +309,17 @@ fn execute_request(shared: &ServeShared, req: Request) -> (String, bool) {
         Request::Quit => ("ok bye\n".to_string(), true),
         Request::Batch(items) => (execute_batch(shared, &items), false),
         req => {
+            let engine = match &shared.backend {
+                Backend::Fleet(fleet) => {
+                    return (crate::fleet::execute(shared, fleet, &req), false)
+                }
+                Backend::Single(engine) => engine,
+            };
             let cutoff = Instant::now() + shared.limits.deadline;
             if !is_write_op(&req) {
                 // Shared-read fast path: concurrent CHECK/GEN/STATS
                 // don't serialize behind each other.
-                match shared.engine.read(cutoff) {
+                match engine.read(cutoff) {
                     Some(guard) => {
                         if let Some(text) = exec_shared(shared, &guard, &req) {
                             TransportCounters::bump(&shared.transport.shared_reads);
@@ -265,7 +334,7 @@ fn execute_request(shared: &ServeShared, req: Request) -> (String, bool) {
                     }
                 }
             }
-            match shared.engine.write(cutoff) {
+            match engine.write(cutoff) {
                 Some(mut guard) => {
                     TransportCounters::bump(&shared.transport.exclusive_ops);
                     (exec_exclusive(shared, &mut guard, &req), false)
@@ -290,12 +359,16 @@ fn execute_batch(shared: &ServeShared, items: &[BatchItem]) -> String {
         .transport
         .batched_requests
         .fetch_add(items.len() as u64, Ordering::Relaxed);
+    let engine = match &shared.backend {
+        Backend::Fleet(fleet) => return crate::fleet::execute_batch(shared, fleet, items),
+        Backend::Single(engine) => engine,
+    };
     let cutoff = Instant::now() + shared.limits.deadline;
     let needs_write = items
         .iter()
         .any(|item| matches!(item, BatchItem::Run(req) if is_write_op(req)));
     if !needs_write {
-        match shared.engine.read(cutoff) {
+        match engine.read(cutoff) {
             Some(guard) => {
                 let mut out = String::new();
                 // Rejection counts are deferred until the shared run is
@@ -335,7 +408,7 @@ fn execute_batch(shared: &ServeShared, items: &[BatchItem]) -> String {
             }
         }
     }
-    match shared.engine.write(cutoff) {
+    match engine.write(cutoff) {
         Some(mut guard) => {
             TransportCounters::bump(&shared.transport.exclusive_ops);
             let mut out = String::new();
@@ -478,7 +551,7 @@ fn render_check(result: &EngineCheckReport) -> String {
     out
 }
 
-fn render_gen(result: Result<Option<u64>, EngineFault>, name: &str) -> String {
+pub(crate) fn render_gen(result: Result<Option<u64>, EngineFault>, name: &str) -> String {
     match result {
         Ok(Some(gen)) => format!("ok gen {name} {gen}\n"),
         Ok(None) => format!("err unknown-config {name}\n"),
@@ -496,7 +569,7 @@ fn render_contracts(result: Result<Option<usize>, EngineFault>) -> String {
 
 /// Renders an [`EngineFault`] as a protocol error line. Messages are
 /// flattened to one line so the framing survives arbitrary panic text.
-fn fault_line(fault: &EngineFault) -> String {
+pub(crate) fn fault_line(fault: &EngineFault) -> String {
     let one_line = |s: &str| s.replace(['\n', '\r'], " ");
     match fault {
         EngineFault::UnknownConfig(name) => format!("err unknown-config {}", one_line(name)),
@@ -510,13 +583,18 @@ fn fault_line(fault: &EngineFault) -> String {
 
 /// Runs `concord serve`. Returns the process exit code.
 pub fn run_serve(args: &ServeArgs, out: &mut dyn Write) -> Result<i32, CliError> {
-    let engine = build_engine(args)?;
     let limits = ServeLimits {
         deadline: Duration::from_millis(args.deadline_ms.max(1)),
         max_line: args.max_line_bytes.max(64),
         max_body: args.max_body_bytes.max(64),
     };
-    let shared = Arc::new(ServeShared::new(engine, limits, args.enable_faults));
+    let shared = if args.shards > 1 || args.replicas > 0 {
+        let fleet = crate::fleet::build_fleet(args)?;
+        Arc::new(ServeShared::new_fleet(fleet, limits, args.enable_faults))
+    } else {
+        let engine = build_engine(args)?;
+        Arc::new(ServeShared::new(engine, limits, args.enable_faults))
+    };
     let workers = args.workers.max(1);
     let max_conns = if args.max_conns == 0 {
         workers * 2
@@ -540,26 +618,7 @@ pub fn run_serve(args: &ServeArgs, out: &mut dyn Write) -> Result<i32, CliError>
 /// corpus glob (the directory is the durable truth) and `--contracts`
 /// applies only on a fresh (non-resumed) boot.
 fn build_engine(args: &ServeArgs) -> Result<ResilientEngine, CliError> {
-    let lexer = match &args.tokens {
-        Some(path) => build_lexer(path)?,
-        None => concord_lexer::Lexer::standard(),
-    };
-    let corpus = match &args.configs {
-        Some(glob) => read_glob(glob)?,
-        None => Vec::new(),
-    };
-    let metadata = match &args.metadata {
-        Some(glob) => read_glob(glob)?,
-        None => Vec::new(),
-    };
-    let options = EngineOptions {
-        embed_context: args.embed,
-        parallelism: args.parallelism,
-        learn: args.params.clone(),
-        staleness_threshold: args.staleness,
-        lex_cache_cap: args.lex_cache_cap,
-        delta_learn: !args.full_relearn,
-    };
+    let (lexer, corpus, metadata, options) = engine_inputs(args)?;
     let (mut engine, resumed) = match &args.state_dir {
         Some(dir) => {
             ResilientEngine::with_store(&corpus, &metadata, lexer, options, Path::new(dir))
@@ -580,6 +639,44 @@ fn build_engine(args: &ServeArgs) -> Result<ResilientEngine, CliError> {
         }
     }
     Ok(engine)
+}
+
+/// The inputs every serve engine boots from (shared by the single
+/// engine and each fleet shard): lexer, corpus, metadata, and the
+/// engine options derived from the flags.
+#[allow(clippy::type_complexity)]
+pub(crate) fn engine_inputs(
+    args: &ServeArgs,
+) -> Result<
+    (
+        concord_lexer::Lexer,
+        Vec<(String, String)>,
+        Vec<(String, String)>,
+        EngineOptions,
+    ),
+    CliError,
+> {
+    let lexer = match &args.tokens {
+        Some(path) => build_lexer(path)?,
+        None => concord_lexer::Lexer::standard(),
+    };
+    let corpus = match &args.configs {
+        Some(glob) => read_glob(glob)?,
+        None => Vec::new(),
+    };
+    let metadata = match &args.metadata {
+        Some(glob) => read_glob(glob)?,
+        None => Vec::new(),
+    };
+    let options = EngineOptions {
+        embed_context: args.embed,
+        parallelism: args.parallelism,
+        learn: args.params.clone(),
+        staleness_threshold: args.staleness,
+        lex_cache_cap: args.lex_cache_cap,
+        delta_learn: !args.full_relearn,
+    };
+    Ok((lexer, corpus, metadata, options))
 }
 
 /// On Linux, TCP is served by the epoll readiness event loop.

@@ -17,7 +17,7 @@ pub mod coverage;
 pub mod program;
 mod witness;
 
-pub use program::{CheckCounters, CheckProgram, ConfigOutcome, UniqueTable};
+pub use program::{replay_unique_tables, CheckCounters, CheckProgram, ConfigOutcome, UniqueTable};
 
 use std::collections::{HashMap, HashSet};
 

@@ -729,64 +729,17 @@ impl<'c> CheckProgram<'c> {
     /// state, and `once_per_config` "found none" violations follow each
     /// configuration in compiled contract order.
     pub fn check_unique_tables(&self, tables: &[(&str, &UniqueTable)]) -> Vec<Violation> {
-        if self.unique.is_empty() {
-            return Vec::new();
-        }
-        let mut out = Vec::new();
-        // Per-contract cross-config seen sets, keyed by contract index.
-        let mut seen: HashMap<usize, HashSet<String>> = HashMap::new();
-        let mut counts: HashMap<usize, u32> = HashMap::new();
-        for &(name, table) in tables {
-            counts.clear();
-            for event in &table.events {
-                let idx = event.contract;
-                let Contract::Unique { pattern, param, .. } = &self.contracts.contracts[idx] else {
-                    unreachable!("unique event on non-unique contract")
-                };
-                *counts.entry(idx).or_insert(0) += 1;
-                let Some(rendered) = &event.rendered else {
-                    continue;
-                };
-                let seen_set = seen.entry(idx).or_default();
-                if seen_set.contains(rendered) {
-                    out.push(Violation {
-                        contract_index: idx,
-                        category: self.contracts.contracts[idx].category().to_string(),
-                        config: name.to_string(),
-                        line_no: Some(event.line_no),
-                        line: event.line.to_string(),
-                        message: format!(
-                            "value {rendered} of param {param} of {pattern} is reused"
-                        ),
-                    });
-                } else {
-                    seen_set.insert(rendered.clone());
-                }
-            }
-            for &(idx, _) in &self.unique {
-                let Contract::Unique {
-                    pattern,
-                    once_per_config,
-                    ..
-                } = &self.contracts.contracts[idx]
-                else {
-                    unreachable!("unique op on non-unique contract")
-                };
-                if *once_per_config && counts.get(&idx).copied().unwrap_or(0) == 0 {
-                    out.push(Violation {
-                        contract_index: idx,
-                        category: self.contracts.contracts[idx].category().to_string(),
-                        config: name.to_string(),
-                        line_no: None,
-                        line: pattern.clone(),
-                        message: format!(
-                            "expected exactly one line matching {pattern}, found none"
-                        ),
-                    });
-                }
-            }
-        }
-        out
+        let indices: Vec<usize> = self.unique.iter().map(|&(idx, _)| idx).collect();
+        replay_unique_tables(self.contracts, &indices, tables)
+    }
+
+    /// Contract indices of the unique contracts that resolved against
+    /// this program's dataset, in compiled (contract-set) order. A fleet
+    /// of shards unions these per-shard lists to recover the global
+    /// resolution before replaying tables with
+    /// [`replay_unique_tables`].
+    pub fn unique_indices(&self) -> Vec<usize> {
+        self.unique.iter().map(|&(idx, _)| idx).collect()
     }
 
     /// Checks all unique contracts in a single pass over the dataset —
@@ -810,6 +763,75 @@ impl<'c> CheckProgram<'c> {
             .collect();
         self.check_unique_tables(&refs)
     }
+}
+
+/// Replays per-configuration [`UniqueTable`]s in dataset order against
+/// an explicit contract set and list of resolved unique-contract
+/// indices, reproducing the global unique pass byte for byte. This is
+/// the program-independent core of
+/// [`CheckProgram::check_unique_tables`]: a sharded fleet extracts
+/// tables with per-shard programs, unions the shards' resolved indices
+/// (each stays in compiled order, so a sorted merge preserves it), and
+/// replays here to recover exactly the single-engine unique pass.
+pub fn replay_unique_tables(
+    contracts: &ContractSet,
+    unique_indices: &[usize],
+    tables: &[(&str, &UniqueTable)],
+) -> Vec<Violation> {
+    if unique_indices.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    // Per-contract cross-config seen sets, keyed by contract index.
+    let mut seen: HashMap<usize, HashSet<String>> = HashMap::new();
+    let mut counts: HashMap<usize, u32> = HashMap::new();
+    for &(name, table) in tables {
+        counts.clear();
+        for event in &table.events {
+            let idx = event.contract;
+            let Contract::Unique { pattern, param, .. } = &contracts.contracts[idx] else {
+                unreachable!("unique event on non-unique contract")
+            };
+            *counts.entry(idx).or_insert(0) += 1;
+            let Some(rendered) = &event.rendered else {
+                continue;
+            };
+            let seen_set = seen.entry(idx).or_default();
+            if seen_set.contains(rendered) {
+                out.push(Violation {
+                    contract_index: idx,
+                    category: contracts.contracts[idx].category().to_string(),
+                    config: name.to_string(),
+                    line_no: Some(event.line_no),
+                    line: event.line.to_string(),
+                    message: format!("value {rendered} of param {param} of {pattern} is reused"),
+                });
+            } else {
+                seen_set.insert(rendered.clone());
+            }
+        }
+        for &idx in unique_indices {
+            let Contract::Unique {
+                pattern,
+                once_per_config,
+                ..
+            } = &contracts.contracts[idx]
+            else {
+                unreachable!("unique op on non-unique contract")
+            };
+            if *once_per_config && counts.get(&idx).copied().unwrap_or(0) == 0 {
+                out.push(Violation {
+                    contract_index: idx,
+                    category: contracts.contracts[idx].category().to_string(),
+                    config: name.to_string(),
+                    line_no: None,
+                    line: pattern.clone(),
+                    message: format!("expected exactly one line matching {pattern}, found none"),
+                });
+            }
+        }
+    }
+    out
 }
 
 /// One configuration's contribution to the global unique pass: an event

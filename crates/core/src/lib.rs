@@ -58,8 +58,8 @@ mod stats;
 
 pub use check::coverage::{ConfigCoverage, CoverageReport, CoverageSummary};
 pub use check::{
-    check, check_parallel, check_parallel_with_stats, CheckCounters, CheckProgram, CheckReport,
-    ConfigOutcome, UniqueTable, Violation,
+    check, check_parallel, check_parallel_with_stats, replay_unique_tables, CheckCounters,
+    CheckProgram, CheckReport, ConfigOutcome, UniqueTable, Violation,
 };
 #[cfg(any(test, feature = "naive-check"))]
 pub use check::{check_naive, check_naive_parallel};
@@ -77,6 +77,7 @@ pub use learn::{
 };
 pub use params::LearnParams;
 pub use stats::{
-    BuildStats, CheckStats, EngineCheckStats, EngineStats, LearnDeltaStats, PipelineStats,
-    RobustnessStats, ServeTransportStats, STATS_SCHEMA,
+    BuildStats, CheckStats, EngineCheckStats, EngineStats, FleetReplicaStats, FleetShardStats,
+    FleetStats, FleetTotals, LearnDeltaStats, PipelineStats, RobustnessStats, ServeTransportStats,
+    STATS_SCHEMA,
 };

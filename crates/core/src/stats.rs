@@ -30,8 +30,12 @@ use crate::learn::LearnStats;
 /// edit counter the current contracts were learned at); v7 added the
 /// serve transport counters (`engine.serve`: connections, requests,
 /// batches and batched sub-requests, binary frames, and reads served
-/// under the shared lock vs exclusive engine operations).
-pub const STATS_SCHEMA: &str = "concord-pipeline-stats/v7";
+/// under the shared lock vs exclusive engine operations); v8 added the
+/// fleet object (`engine.fleet`: per-shard counters with applied WAL
+/// sequence and robustness, replica lag entries, the router's hash
+/// distribution, and one-pass summed totals — `null` when serving a
+/// single unsharded engine).
+pub const STATS_SCHEMA: &str = "concord-pipeline-stats/v8";
 
 /// Statistics from one [`Dataset::build_with_stats`](crate::Dataset::build_with_stats) run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -245,6 +249,21 @@ pub struct RobustnessStats {
     pub persist_errors: u64,
 }
 
+impl RobustnessStats {
+    /// Adds another counter set into this one — the fleet rollup sums
+    /// every shard's robustness object in one pass with this.
+    pub fn accumulate(&mut self, other: &RobustnessStats) {
+        self.requests_rejected += other.requests_rejected;
+        self.deadlines_hit += other.deadlines_hit;
+        self.panics_recovered += other.panics_recovered;
+        self.wal_replays += other.wal_replays;
+        self.wal_records_replayed += other.wal_records_replayed;
+        self.checkpoints += other.checkpoints;
+        self.degraded_checks += other.degraded_checks;
+        self.persist_errors += other.persist_errors;
+    }
+}
+
 impl ToJson for RobustnessStats {
     fn to_json(&self) -> Json {
         concord_json::json!({
@@ -338,6 +357,143 @@ impl ToJson for ServeTransportStats {
     }
 }
 
+/// One read replica's position inside a [`FleetShardStats`] entry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetReplicaStats {
+    /// Highest WAL sequence the replica has replayed.
+    pub applied_seq: u64,
+    /// Leader sequence minus replica sequence at snapshot time — 0 means
+    /// the replica has replayed every acknowledged write.
+    pub lag: u64,
+    /// Full resynchronizations (snapshot reload after a WAL rotation or
+    /// sequence gap).
+    pub resyncs: u64,
+    /// Reads this replica served (GEN answered from the replica image).
+    pub reads: u64,
+}
+
+impl ToJson for FleetReplicaStats {
+    fn to_json(&self) -> Json {
+        concord_json::json!({
+            "applied_seq": self.applied_seq,
+            "lag": self.lag,
+            "resyncs": self.resyncs,
+            "reads": self.reads,
+        })
+    }
+}
+
+/// One shard's slice of a [`FleetStats`] snapshot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetShardStats {
+    /// Shard index in router order.
+    pub shard: usize,
+    /// Configurations currently routed to this shard.
+    pub configs: usize,
+    /// Highest WAL sequence the shard leader has applied.
+    pub applied_seq: u64,
+    /// Read verbs (CHECK parts / GEN / CONTRACTS) executed on this shard.
+    pub reads: u64,
+    /// Write verbs (UPSERT / REMOVE / contract swaps) executed on this
+    /// shard leader.
+    pub writes: u64,
+    /// The shard leader's robustness counters.
+    pub robustness: RobustnessStats,
+    /// Read replicas tailing this shard's WAL.
+    pub replicas: Vec<FleetReplicaStats>,
+}
+
+impl ToJson for FleetShardStats {
+    fn to_json(&self) -> Json {
+        concord_json::json!({
+            "shard": self.shard,
+            "configs": self.configs,
+            "applied_seq": self.applied_seq,
+            "reads": self.reads,
+            "writes": self.writes,
+            "robustness": self.robustness,
+            "replicas": Json::Array(self.replicas.iter().map(ToJson::to_json).collect()),
+        })
+    }
+}
+
+/// One-pass sums over every shard in a [`FleetStats`] snapshot. Built by
+/// a single fold over the shard entries, so the totals and the per-shard
+/// objects come from the same snapshot and always agree (the v7 layout
+/// overlaid serve counters read-side, which could drift from the
+/// engine-held copies).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetTotals {
+    /// Σ shard configs.
+    pub configs: usize,
+    /// Σ shard reads.
+    pub reads: u64,
+    /// Σ shard writes.
+    pub writes: u64,
+    /// Σ replica reads across all shards.
+    pub replica_reads: u64,
+    /// Maximum replica lag across all shards at snapshot time.
+    pub max_replica_lag: u64,
+    /// Σ shard robustness counters, field by field.
+    pub robustness: RobustnessStats,
+}
+
+impl ToJson for FleetTotals {
+    fn to_json(&self) -> Json {
+        concord_json::json!({
+            "configs": self.configs,
+            "reads": self.reads,
+            "writes": self.writes,
+            "replica_reads": self.replica_reads,
+            "max_replica_lag": self.max_replica_lag,
+            "robustness": self.robustness,
+        })
+    }
+}
+
+/// Fleet-level statistics of a sharded `concord serve` process: the
+/// consistent-hash router's device distribution, per-shard counters with
+/// replica lag, and one-pass summed totals. `None` in `EngineStats` when
+/// serving a single unsharded engine.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetStats {
+    /// Per-shard entries, in shard (router) order.
+    pub shards: Vec<FleetShardStats>,
+    /// Devices the router currently maps to each shard, in shard order —
+    /// the observed hash distribution.
+    pub router: Vec<usize>,
+    /// One-pass sums over `shards` (see [`FleetStats::rollup`]).
+    pub totals: FleetTotals,
+}
+
+impl FleetStats {
+    /// Folds the per-shard entries into [`FleetTotals`] in one pass.
+    pub fn rollup(shards: &[FleetShardStats]) -> FleetTotals {
+        let mut totals = FleetTotals::default();
+        for shard in shards {
+            totals.configs += shard.configs;
+            totals.reads += shard.reads;
+            totals.writes += shard.writes;
+            totals.robustness.accumulate(&shard.robustness);
+            for replica in &shard.replicas {
+                totals.replica_reads += replica.reads;
+                totals.max_replica_lag = totals.max_replica_lag.max(replica.lag);
+            }
+        }
+        totals
+    }
+}
+
+impl ToJson for FleetStats {
+    fn to_json(&self) -> Json {
+        concord_json::json!({
+            "shards": Json::Array(self.shards.iter().map(ToJson::to_json).collect()),
+            "router": Json::Array(self.router.iter().map(|n| n.to_json()).collect()),
+            "totals": self.totals,
+        })
+    }
+}
+
 /// A snapshot of a resident incremental engine (`Engine::snapshot_stats`
 /// in `concord-engine`): the versioned dataset, the edit/relearn history,
 /// and the lex-cache reuse across all edits absorbed so far.
@@ -381,6 +537,9 @@ pub struct EngineStats {
     /// Serve transport counters, when the stats were produced by a
     /// `concord serve` process (`None` for a bare engine).
     pub serve: Option<ServeTransportStats>,
+    /// Fleet rollup, when the stats were produced by a sharded serve
+    /// process (`None` for a single unsharded engine).
+    pub fleet: Option<FleetStats>,
 }
 
 impl ToJson for EngineStats {
@@ -410,6 +569,7 @@ impl ToJson for EngineStats {
             "robustness": self.robustness,
             "learn_delta": self.learn_delta,
             "serve": self.serve,
+            "fleet": self.fleet,
         })
     }
 }
@@ -556,6 +716,17 @@ impl PipelineStats {
                     s.exclusive_ops,
                 ));
             }
+            if let Some(f) = &e.fleet {
+                out.push_str(&format!(
+                    "  fleet: {} shards; router {:?}; {} reads / {} writes; {} replica reads (max lag {})\n",
+                    f.shards.len(),
+                    f.router,
+                    f.totals.reads,
+                    f.totals.writes,
+                    f.totals.replica_reads,
+                    f.totals.max_replica_lag,
+                ));
+            }
             if let Some(c) = &e.last_check {
                 out.push_str(&format!(
                     "  last check: {} dirty / {} reused configs; witness indexes {} rebuilt / {} patched{}\n",
@@ -579,6 +750,54 @@ impl PipelineStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn sample_fleet() -> FleetStats {
+        let shards = vec![
+            FleetShardStats {
+                shard: 0,
+                configs: 3,
+                applied_seq: 7,
+                reads: 20,
+                writes: 5,
+                robustness: RobustnessStats {
+                    requests_rejected: 2,
+                    deadlines_hit: 1,
+                    checkpoints: 2,
+                    ..RobustnessStats::default()
+                },
+                replicas: vec![FleetReplicaStats {
+                    applied_seq: 6,
+                    lag: 1,
+                    resyncs: 1,
+                    reads: 11,
+                }],
+            },
+            FleetShardStats {
+                shard: 1,
+                configs: 1,
+                applied_seq: 4,
+                reads: 10,
+                writes: 4,
+                robustness: RobustnessStats {
+                    requests_rejected: 3,
+                    panics_recovered: 1,
+                    ..RobustnessStats::default()
+                },
+                replicas: vec![FleetReplicaStats {
+                    applied_seq: 4,
+                    lag: 0,
+                    resyncs: 0,
+                    reads: 6,
+                }],
+            },
+        ];
+        let totals = FleetStats::rollup(&shards);
+        FleetStats {
+            shards,
+            router: vec![3, 1],
+            totals,
+        }
+    }
 
     fn sample() -> PipelineStats {
         PipelineStats {
@@ -666,6 +885,7 @@ mod tests {
                     shared_reads: 30,
                     exclusive_ops: 10,
                 }),
+                fleet: Some(sample_fleet()),
             }),
             total_time: Duration::from_millis(80),
         }
@@ -753,6 +973,58 @@ mod tests {
         assert_eq!(json["engine"]["serve"]["binary_frames"].as_u64(), Some(8));
         assert_eq!(json["engine"]["serve"]["shared_reads"].as_u64(), Some(30));
         assert_eq!(json["engine"]["serve"]["exclusive_ops"].as_u64(), Some(10));
+        assert_eq!(
+            json["engine"]["fleet"]["shards"][0]["shard"].as_u64(),
+            Some(0)
+        );
+        assert_eq!(
+            json["engine"]["fleet"]["shards"][0]["applied_seq"].as_u64(),
+            Some(7)
+        );
+        assert_eq!(
+            json["engine"]["fleet"]["shards"][0]["replicas"][0]["lag"].as_u64(),
+            Some(1)
+        );
+        assert_eq!(json["engine"]["fleet"]["router"][0].as_u64(), Some(3));
+        assert_eq!(
+            json["engine"]["fleet"]["totals"]["configs"].as_u64(),
+            Some(4)
+        );
+        assert_eq!(
+            json["engine"]["fleet"]["totals"]["robustness"]["requests_rejected"].as_u64(),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn fleet_rollup_totals_equal_sum_of_shards() {
+        let fleet = sample_fleet();
+        let mut configs = 0;
+        let mut reads = 0;
+        let mut writes = 0;
+        let mut replica_reads = 0;
+        let mut max_lag = 0;
+        let mut robustness = RobustnessStats::default();
+        for shard in &fleet.shards {
+            configs += shard.configs;
+            reads += shard.reads;
+            writes += shard.writes;
+            robustness.accumulate(&shard.robustness);
+            for replica in &shard.replicas {
+                replica_reads += replica.reads;
+                max_lag = max_lag.max(replica.lag);
+            }
+        }
+        assert_eq!(fleet.totals.configs, configs);
+        assert_eq!(fleet.totals.reads, reads);
+        assert_eq!(fleet.totals.writes, writes);
+        assert_eq!(fleet.totals.replica_reads, replica_reads);
+        assert_eq!(fleet.totals.max_replica_lag, max_lag);
+        assert_eq!(fleet.totals.robustness, robustness);
+        assert_eq!(fleet.totals.robustness.requests_rejected, 5);
+        assert_eq!(fleet.totals.robustness.deadlines_hit, 1);
+        assert_eq!(fleet.totals.robustness.panics_recovered, 1);
+        assert_eq!(fleet.totals.robustness.checkpoints, 2);
     }
 
     #[test]
@@ -791,6 +1063,10 @@ mod tests {
         assert!(text.contains(
             "serve: 9 connections, 40 requests (2 batches / 16 batched, 8 binary); 30 shared reads / 10 exclusive ops"
         ));
+        assert!(
+            text.contains("fleet: 2 shards; router [3, 1]; 30 reads / 9 writes"),
+            "{text}"
+        );
         assert!(text.contains("total:"));
     }
 

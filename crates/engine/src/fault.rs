@@ -40,10 +40,20 @@ pub enum FaultKind {
     /// Disconnect mid-request (e.g. between an UPSERT header and its
     /// body sentinel).
     Disconnect,
+    /// Suppress a read replica's WAL polling for a few writes, forcing
+    /// visible replication lag before the replica catches up.
+    ReplicaLag,
+    /// Crash one shard's leader (armed panic inside its next operation)
+    /// so reads fail over to the shard's replica while the leader
+    /// rebuilds.
+    ShardCrash,
+    /// Read from a deliberately lag-suppressed replica *without* the
+    /// catch-up poll, exercising the stale-read reporting path.
+    StaleReplicaRead,
 }
 
 /// All fault kinds, in rotation order.
-pub const ALL_FAULTS: [FaultKind; 8] = [
+pub const ALL_FAULTS: [FaultKind; 11] = [
     FaultKind::TornWal,
     FaultKind::TruncatedSnapshot,
     FaultKind::PanicUpsert,
@@ -52,6 +62,17 @@ pub const ALL_FAULTS: [FaultKind; 8] = [
     FaultKind::MalformedRequest,
     FaultKind::OversizedRequest,
     FaultKind::Disconnect,
+    FaultKind::ReplicaLag,
+    FaultKind::ShardCrash,
+    FaultKind::StaleReplicaRead,
+];
+
+/// The fleet-only fault kinds, in rotation order — what a sharded soak
+/// adds on top of [`ALL_FAULTS`]'s single-engine classes.
+pub const FLEET_FAULTS: [FaultKind; 3] = [
+    FaultKind::ReplicaLag,
+    FaultKind::ShardCrash,
+    FaultKind::StaleReplicaRead,
 ];
 
 /// A seeded source of faults and hostile inputs.

@@ -51,15 +51,21 @@ use concord_json::{Json, ToJson};
 use concord_lexer::{LexCache, Lexer};
 
 pub mod fault;
+mod fleet;
 mod image;
+mod replica;
 mod resilient;
+mod router;
 mod store;
 mod wal;
 
+pub use fleet::{merge_check_aggregates, merge_check_parts, FleetCheckReport, ShardCheckAggregate};
 pub use image::{EngineImage, ImageConfig, ImageError};
+pub use replica::{Replica, ReplicaError};
 pub use resilient::{BootError, EngineFault, OpKind, ResilientEngine};
+pub use router::{ShardRouter, VNODES_PER_SHARD};
 pub use store::{LoadOutcome, StateDir, StoreError};
-pub use wal::{Wal, WalOp, WalRecord};
+pub use wal::{tail_records, TailChunk, Wal, WalOp, WalRecord};
 
 /// A stable identifier for a configuration held by an [`Engine`].
 ///
@@ -165,6 +171,45 @@ pub struct EngineCheckReport {
     pub stats: CheckStats,
     /// What this call patched versus recomputed.
     pub engine: EngineCheckStats,
+}
+
+/// One configuration's contribution to a sharded check, as produced by
+/// [`Engine::check_parts`]: everything a fleet needs to reassemble the
+/// unsharded engine's report without re-running any per-configuration
+/// work.
+#[derive(Debug, Clone)]
+pub struct CheckPartConfig {
+    /// Configuration name (the global merge key — the unsharded dataset
+    /// is name-sorted, so merging shards by name recovers its order).
+    pub name: String,
+    /// This configuration's violations, in the engine's pre-sort order
+    /// (excludes the cross-configuration unique pass).
+    pub violations: Vec<concord_core::Violation>,
+    /// Lines covered by at least one contract.
+    pub covered_lines: usize,
+    /// Total lines (the coverage denominator contribution).
+    pub total_lines: usize,
+    /// The configuration's unique-pass event table; `None` when no
+    /// unique contract resolved against this shard's dataset (an empty
+    /// contribution — the fleet replays it as an empty table).
+    pub unique: Option<UniqueTable>,
+}
+
+/// The unassembled result of one [`Engine::check_parts`] call.
+#[derive(Debug, Clone)]
+pub struct CheckParts {
+    /// Per-configuration parts, in this engine's dataset (name) order.
+    pub configs: Vec<CheckPartConfig>,
+    /// Contract indices of the unique contracts that resolved against
+    /// this engine's dataset, in compiled order. The fleet unions these
+    /// across shards (sorted merge) to recover the global resolution.
+    pub unique_indices: Vec<usize>,
+    /// Configurations re-checked by this call.
+    pub dirty_configs: usize,
+    /// Configurations served from the outcome cache.
+    pub reused_configs: usize,
+    /// Whether a resolution change invalidated this engine's cache.
+    pub resolution_invalidated: bool,
 }
 
 /// One configuration's engine-side bookkeeping, parallel to
@@ -678,43 +723,14 @@ impl Engine {
         let start = Instant::now();
         let contracts = self.contracts.as_ref().ok_or(EngineError::NoContracts)?;
         let program = CheckProgram::compile(contracts, &self.dataset);
-
-        let key = (self.contracts_epoch, program.resolution_fingerprint());
-        let resolution_invalidated = self.cached_key.is_some_and(|k| k != key);
-        if self.cached_key != Some(key) {
-            for slot in &mut self.slots {
-                slot.outcome = None;
-                slot.unique = None;
-            }
-            self.cached_key = Some(key);
-        }
-
-        let dirty: Vec<usize> = self
-            .slots
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.outcome.is_none())
-            .map(|(i, _)| i)
-            .collect();
-
-        // Re-check dirty configurations in parallel; each produces its
-        // cacheable outcome plus (when unique contracts resolved) its
-        // replayable unique-event table.
-        let dataset = &self.dataset;
-        let recomputed: Vec<(ConfigOutcome, Option<UniqueTable>)> = parallel::map(
-            &dirty,
-            |&i| {
-                let config = &dataset.configs[i];
-                let outcome = program.run_config(config);
-                let unique = program.has_unique().then(|| program.unique_table(config));
-                (outcome, unique)
-            },
+        let (dirty, resolution_invalidated) = refresh_outcomes(
+            &mut self.slots,
+            &mut self.cached_key,
+            &self.dataset,
+            &program,
+            self.contracts_epoch,
             self.options.parallelism,
         );
-        for (&i, (outcome, unique)) in dirty.iter().zip(recomputed) {
-            self.slots[i].outcome = Some(outcome);
-            self.slots[i].unique = unique;
-        }
 
         // Assemble the report in dataset order — exactly the shape the
         // batch checker produces before its final sort.
@@ -802,6 +818,59 @@ impl Engine {
         Ok(report)
     }
 
+    /// Checks the current snapshot like [`Engine::check_dirty`], but
+    /// returns the *unassembled* per-configuration parts instead of the
+    /// merged report: each configuration's violations, covered/total
+    /// line counts, and unique-pass event table, plus the resolved
+    /// unique-contract indices. A sharded fleet collects every shard's
+    /// parts, merges the configurations in global name order (the
+    /// dataset order an unsharded engine would hold), replays the union
+    /// of the unique tables, and applies the engine's final stable sort
+    /// — reproducing [`Engine::check_dirty`]'s report byte for byte
+    /// while each shard pays only for its own dirty configurations.
+    ///
+    /// Shares the outcome cache with `check_dirty`: both paths refresh
+    /// the same per-slot outcomes, so interleaving them never recomputes
+    /// a clean configuration. The assembled-report cache
+    /// ([`Engine::check_cached`]) is left untouched — this path does not
+    /// build the merged report it would hold.
+    pub fn check_parts(&mut self) -> Result<CheckParts, EngineError> {
+        let contracts = self.contracts.as_ref().ok_or(EngineError::NoContracts)?;
+        let program = CheckProgram::compile(contracts, &self.dataset);
+        let (dirty, resolution_invalidated) = refresh_outcomes(
+            &mut self.slots,
+            &mut self.cached_key,
+            &self.dataset,
+            &program,
+            self.contracts_epoch,
+            self.options.parallelism,
+        );
+        let has_unique = program.has_unique();
+        let configs = self
+            .dataset
+            .configs
+            .iter()
+            .zip(&self.slots)
+            .map(|(c, s)| {
+                let outcome = s.outcome.as_ref().expect("just populated");
+                CheckPartConfig {
+                    name: c.name.clone(),
+                    violations: outcome.violations.clone(),
+                    covered_lines: outcome.coverage.covered.len(),
+                    total_lines: outcome.coverage.total_lines,
+                    unique: has_unique.then(|| s.unique.clone().expect("just populated")),
+                }
+            })
+            .collect();
+        Ok(CheckParts {
+            configs,
+            unique_indices: program.unique_indices(),
+            dirty_configs: dirty.len(),
+            reused_configs: self.slots.len() - dirty.len(),
+            resolution_invalidated,
+        })
+    }
+
     /// Serves the most recent [`Engine::check_dirty`] report through
     /// `&self`, when it provably still describes the current snapshot —
     /// i.e. no edit and no contract change happened since (the
@@ -852,8 +921,60 @@ impl Engine {
             last_check: self.last_check,
             learn_delta: self.learn_delta(),
             serve: None,
+            fleet: None,
         }
     }
+}
+
+/// Ensures every slot holds a current outcome under `program`'s
+/// resolution key, re-running only dirty configurations (in parallel).
+/// Returns the sorted dirty indices and whether a resolution change
+/// invalidated the cache. A free function over disjoint [`Engine`]
+/// fields because `program` immutably borrows the engine's dataset and
+/// contracts while the slots are written.
+fn refresh_outcomes(
+    slots: &mut [Slot],
+    cached_key: &mut Option<(u64, u64)>,
+    dataset: &Dataset,
+    program: &CheckProgram<'_>,
+    contracts_epoch: u64,
+    parallelism: usize,
+) -> (Vec<usize>, bool) {
+    let key = (contracts_epoch, program.resolution_fingerprint());
+    let resolution_invalidated = cached_key.is_some_and(|k| k != key);
+    if *cached_key != Some(key) {
+        for slot in slots.iter_mut() {
+            slot.outcome = None;
+            slot.unique = None;
+        }
+        *cached_key = Some(key);
+    }
+
+    let dirty: Vec<usize> = slots
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.outcome.is_none())
+        .map(|(i, _)| i)
+        .collect();
+
+    // Re-check dirty configurations in parallel; each produces its
+    // cacheable outcome plus (when unique contracts resolved) its
+    // replayable unique-event table.
+    let recomputed: Vec<(ConfigOutcome, Option<UniqueTable>)> = parallel::map(
+        &dirty,
+        |&i| {
+            let config = &dataset.configs[i];
+            let outcome = program.run_config(config);
+            let unique = program.has_unique().then(|| program.unique_table(config));
+            (outcome, unique)
+        },
+        parallelism,
+    );
+    for (&i, (outcome, unique)) in dirty.iter().zip(recomputed) {
+        slots[i].outcome = Some(outcome);
+        slots[i].unique = unique;
+    }
+    (dirty, resolution_invalidated)
 }
 
 #[cfg(test)]

@@ -1,0 +1,390 @@
+//! WAL-shipping read replicas.
+//!
+//! A [`Replica`] follows a leader's state directory *without ever
+//! writing to it*: it loads the leader's snapshot read-only (never
+//! through [`StateDir::open`], whose `open_append` would truncate the
+//! leader's in-flight tail), then tails `wal.log` by byte offset with
+//! [`tail_records`] and replays each record into its own in-memory
+//! [`Engine`]. The replica's engine answers CHECK/GEN/CONTRACTS reads
+//! at a tracked lag — `leader applied_seq − replica applied_seq` —
+//! while all writes keep routing to the leader.
+//!
+//! The follow protocol is deliberately dumb and self-healing:
+//!
+//! * **Contiguous records apply.** A tailed record with
+//!   `seq == applied_seq + 1` replays directly.
+//! * **Anything else resyncs.** A rotated WAL (checkpoint truncated the
+//!   file under the cursor) or a sequence gap (the cursor landed
+//!   mid-stream after rotation grew the new log past the stale offset)
+//!   both fall back to [`Replica::resync`]: reload the snapshot, replay
+//!   `wal.log.old` + `wal.log`, and resume tailing from the end.
+//!   Resyncs are counted, not hidden — stats report them.
+//!
+//! Because the leader fsyncs each WAL append *before* acknowledging the
+//! write, a replica that polls after an acknowledged write always
+//! observes it: `poll()`-then-read yields lag 0 for everything the
+//! client has seen confirmed.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use concord_core::ContractSet;
+use concord_lexer::Lexer;
+
+use crate::store::{read_snapshot, StoreError};
+use crate::wal::{tail_records, Wal, WalOp, WalRecord};
+use crate::{Engine, EngineOptions, ImageError};
+
+/// Why a replica could not load or follow its leader's state.
+#[derive(Debug)]
+pub enum ReplicaError {
+    /// Reading the leader's files failed at the I/O layer.
+    Io(io::Error),
+    /// The leader's snapshot failed integrity or parse checks.
+    Store(StoreError),
+    /// The snapshot image did not rebuild into an engine.
+    Image(ImageError),
+}
+
+impl std::fmt::Display for ReplicaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplicaError::Io(e) => write!(f, "replica io error: {e}"),
+            ReplicaError::Store(e) => write!(f, "replica snapshot error: {e}"),
+            ReplicaError::Image(e) => write!(f, "replica image error: {e}"),
+        }
+    }
+}
+
+impl From<io::Error> for ReplicaError {
+    fn from(e: io::Error) -> ReplicaError {
+        ReplicaError::Io(e)
+    }
+}
+
+/// A read-only follower of one shard leader's state directory.
+pub struct Replica {
+    dir: PathBuf,
+    lexer: Lexer,
+    options: EngineOptions,
+    engine: Engine,
+    applied_seq: u64,
+    /// Byte offset into the leader's live `wal.log` where the next poll
+    /// resumes.
+    offset: u64,
+    resyncs: u64,
+    reads: u64,
+}
+
+impl Replica {
+    /// Attaches a replica to the leader state directory at `dir`,
+    /// performing an initial full sync. The initial sync does not count
+    /// toward [`Replica::resyncs`].
+    pub fn attach(
+        dir: &Path,
+        lexer: Lexer,
+        options: EngineOptions,
+    ) -> Result<Replica, ReplicaError> {
+        let mut replica = Replica {
+            dir: dir.to_path_buf(),
+            lexer,
+            options,
+            engine: Engine::new(EngineOptions::default()),
+            applied_seq: 0,
+            offset: 0,
+            resyncs: 0,
+            reads: 0,
+        };
+        replica.resync()?;
+        replica.resyncs = 0;
+        Ok(replica)
+    }
+
+    /// Rebuilds the replica's engine from the leader's snapshot plus
+    /// every intact WAL record, and repositions the tail cursor at the
+    /// end of the live log.
+    pub fn resync(&mut self) -> Result<(), ReplicaError> {
+        self.resyncs += 1;
+        let image = match read_snapshot(&self.dir.join("snapshot.json")) {
+            Ok(Some(image)) => Some(image),
+            Ok(None) => {
+                read_snapshot(&self.dir.join("snapshot.json.bak")).map_err(ReplicaError::Store)?
+            }
+            Err(e) => return Err(ReplicaError::Store(e)),
+        };
+        let (mut engine, mut applied) = match &image {
+            Some(image) => (
+                Engine::from_image(image, self.lexer.clone(), self.options.clone())
+                    .map_err(ReplicaError::Image)?,
+                image.applied_seq,
+            ),
+            None => (
+                Engine::with_lexer(self.lexer.clone(), self.options.clone()),
+                0,
+            ),
+        };
+        // Replay the rotated log first, then the live one; filter to
+        // records past the snapshot, sort + dedup by sequence so a
+        // half-rotated directory (records present in both files) is
+        // harmless. A torn tail on either file simply ends that file's
+        // contribution — the leader's recovery truncates it on its side.
+        let (old_records, _) = Wal::read_records(&self.dir.join("wal.log.old"))?;
+        let live = tail_records(&self.dir.join("wal.log"), 0)?;
+        let mut records: Vec<WalRecord> = old_records
+            .into_iter()
+            .chain(live.records)
+            .filter(|r| r.seq > applied)
+            .collect();
+        records.sort_by_key(|r| r.seq);
+        records.dedup_by_key(|r| r.seq);
+        for record in &records {
+            apply_op(&mut engine, &record.op);
+            applied = record.seq;
+        }
+        self.engine = engine;
+        self.applied_seq = applied;
+        self.offset = live.new_offset;
+        Ok(())
+    }
+
+    /// One follow step: tail the live WAL from the cursor and replay
+    /// whatever arrived. `leader_seq` is the leader's published applied
+    /// sequence — published only *after* the append fsyncs, so every
+    /// acknowledged record is on disk by the time a poll reads it.
+    /// After a successful poll the replica has applied at least
+    /// `leader_seq`: any shortfall means the cursor stopped pointing
+    /// into a contiguous history (the leader rotated the log at a
+    /// checkpoint, and the new log regrew past the stale offset) and
+    /// forces a [`Replica::resync`]. Returns the number of records
+    /// applied, resync replays included.
+    pub fn poll(&mut self, leader_seq: u64) -> Result<usize, ReplicaError> {
+        let before = self.applied_seq;
+        let chunk = tail_records(&self.dir.join("wal.log"), self.offset)?;
+        if chunk.rotated {
+            self.resync()?;
+            return Ok(self.applied_seq.saturating_sub(before) as usize);
+        }
+        let mut contiguous = true;
+        for record in &chunk.records {
+            if record.seq <= self.applied_seq {
+                continue;
+            }
+            if record.seq != self.applied_seq + 1 {
+                // Sequence gap: the cursor landed on a record boundary
+                // of a rotated-and-regrown log, mid-stream.
+                contiguous = false;
+                break;
+            }
+            apply_op(&mut self.engine, &record.op);
+            self.applied_seq = record.seq;
+        }
+        if contiguous {
+            self.offset = chunk.new_offset;
+        }
+        if !contiguous || self.applied_seq < leader_seq {
+            // Acknowledged records exist that this cursor cannot see —
+            // the undetectable rotation case (new log at least as long
+            // as the old one, cursor mid-line so nothing decodes).
+            self.resync()?;
+        }
+        Ok(self.applied_seq.saturating_sub(before) as usize)
+    }
+
+    /// The replica's engine, for serving reads. Mutable because CHECK
+    /// caches incremental state; the replica never mutates the corpus
+    /// outside [`apply_op`].
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        self.reads += 1;
+        &mut self.engine
+    }
+
+    /// Highest WAL sequence this replica has applied.
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq
+    }
+
+    /// Replication lag in WAL records behind `leader_seq`.
+    pub fn lag(&self, leader_seq: u64) -> u64 {
+        leader_seq.saturating_sub(self.applied_seq)
+    }
+
+    /// How many full resynchronizations this replica has performed
+    /// (rotation catch-ups and gap recoveries; the initial attach is
+    /// not counted).
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
+    }
+
+    /// How many reads this replica has served via [`Replica::engine_mut`].
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+}
+
+/// Replays one WAL operation into a replica engine — the read-only
+/// mirror of `ResilientEngine::replay_op`.
+fn apply_op(engine: &mut Engine, op: &WalOp) {
+    match op {
+        WalOp::Upsert { name, text } => {
+            engine.upsert_config(name, text);
+        }
+        WalOp::Remove { name } => {
+            engine.remove_config(name);
+        }
+        WalOp::Learn => {
+            engine.relearn();
+        }
+        WalOp::SetContracts { json } => {
+            if let Ok(contracts) = ContractSet::from_json(json) {
+                engine.set_contracts(contracts);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StateDir;
+    use crate::EngineImage;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("concord-replica-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    fn leader(dir: &Path) -> StateDir {
+        let (store, _) = StateDir::open(dir).expect("open state dir");
+        store
+    }
+
+    fn replica(dir: &Path) -> Replica {
+        Replica::attach(dir, Lexer::standard(), EngineOptions::default()).expect("attach replica")
+    }
+
+    fn upsert(name: &str, vlan: u32) -> WalOp {
+        WalOp::Upsert {
+            name: name.to_string(),
+            text: format!("hostname {name}\nvlan {vlan}\n"),
+        }
+    }
+
+    #[test]
+    fn replica_follows_appends_and_tracks_lag() {
+        let dir = temp_dir("follow");
+        let mut store = leader(&dir);
+        let mut replica = replica(&dir);
+        assert_eq!(replica.applied_seq(), 0);
+
+        let mut leader_seq = 0;
+        for (i, name) in ["r1", "r2", "r3"].iter().enumerate() {
+            leader_seq = store.append(&upsert(name, 100 + i as u32)).expect("append");
+        }
+        assert_eq!(replica.lag(leader_seq), 3);
+        assert_eq!(replica.poll(leader_seq).expect("poll"), 3);
+        assert_eq!(replica.applied_seq(), leader_seq);
+        assert_eq!(replica.lag(leader_seq), 0);
+        assert_eq!(replica.resyncs(), 0);
+
+        let corpus = dataset_names(replica.engine_mut());
+        assert_eq!(corpus, vec!["r1", "r2", "r3"]);
+
+        let seq = store
+            .append(&WalOp::Remove { name: "r2".into() })
+            .expect("append");
+        assert_eq!(replica.poll(seq).expect("poll"), 1);
+        assert_eq!(dataset_names(replica.engine_mut()), vec!["r1", "r3"]);
+    }
+
+    #[test]
+    fn replica_resyncs_after_checkpoint_rotation() {
+        let dir = temp_dir("rotate");
+        let mut store = leader(&dir);
+        let mut replica = replica(&dir);
+
+        let seq = store.append(&upsert("a", 1)).expect("append");
+        assert_eq!(replica.poll(seq).expect("poll"), 1);
+
+        // Checkpoint: rotate the WAL out from under the replica's
+        // cursor, then keep writing.
+        let image = EngineImage::from_corpus(
+            &[("a".to_string(), "hostname a\nvlan 1\n".to_string())],
+            &[],
+        );
+        let mut image = image;
+        image.applied_seq = store.next_seq() - 1;
+        store.checkpoint(&image).expect("checkpoint");
+        let seq = store.append(&upsert("b", 2)).expect("append");
+
+        let applied = replica.poll(seq).expect("poll");
+        assert_eq!(applied, 1, "resync replays exactly the new record");
+        assert_eq!(replica.resyncs(), 1);
+        assert_eq!(dataset_names(replica.engine_mut()), vec!["a", "b"]);
+
+        // Follow-up polls tail normally again.
+        let seq = store.append(&upsert("c", 3)).expect("append");
+        assert_eq!(replica.poll(seq).expect("poll"), 1);
+        assert_eq!(replica.resyncs(), 1);
+        assert_eq!(dataset_names(replica.engine_mut()), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn replica_attaches_mid_history_from_snapshot_plus_wal() {
+        let dir = temp_dir("attach");
+        let mut store = leader(&dir);
+        store.append(&upsert("a", 1)).expect("append");
+        let mut image = EngineImage::from_corpus(
+            &[("a".to_string(), "hostname a\nvlan 1\n".to_string())],
+            &[],
+        );
+        image.applied_seq = store.next_seq() - 1;
+        store.checkpoint(&image).expect("checkpoint");
+        store.append(&upsert("b", 2)).expect("append");
+
+        let mut replica = replica(&dir);
+        assert_eq!(replica.applied_seq(), store.next_seq() - 1);
+        assert_eq!(dataset_names(replica.engine_mut()), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn replica_ignores_torn_tail_until_leader_completes_it() {
+        let dir = temp_dir("torn");
+        let mut store = leader(&dir);
+        let mut replica = replica(&dir);
+        let seq = store.append(&upsert("a", 1)).expect("append");
+        assert_eq!(replica.poll(seq).expect("poll"), 1);
+
+        // Simulate an in-flight append: a torn half-line at the tail.
+        // The leader has not acknowledged it, so `leader_seq` stays at
+        // the last fsynced record.
+        let wal_path = dir.join("wal.log");
+        let intact = std::fs::read(&wal_path).expect("read wal");
+        let mut torn = intact.clone();
+        torn.extend_from_slice(b"deadbeef {\"seq\": 99");
+        std::fs::write(&wal_path, &torn).expect("write torn tail");
+
+        assert_eq!(replica.poll(seq).expect("poll"), 0);
+        assert_eq!(replica.resyncs(), 0, "a torn tail is not a rotation");
+
+        // The leader completes the append; the replica picks it up from
+        // the same cursor.
+        std::fs::write(&wal_path, &intact).expect("restore wal");
+        let mut store2 = leader(&dir); // re-open truncates nothing: tail is intact
+        let seq = store2.append(&upsert("b", 2)).expect("append");
+        assert_eq!(replica.poll(seq).expect("poll"), 1);
+        assert_eq!(dataset_names(replica.engine_mut()), vec!["a", "b"]);
+        drop(store);
+    }
+
+    fn dataset_names(engine: &mut Engine) -> Vec<String> {
+        engine
+            .dataset()
+            .configs
+            .iter()
+            .map(|c| c.name.clone())
+            .collect()
+    }
+}

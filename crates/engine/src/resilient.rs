@@ -32,7 +32,7 @@ use concord_lexer::Lexer;
 use crate::image::{EngineImage, ImageError};
 use crate::store::{StateDir, StoreError};
 use crate::wal::WalOp;
-use crate::{ConfigId, Engine, EngineCheckReport, EngineError, EngineOptions};
+use crate::{CheckParts, ConfigId, Engine, EngineCheckReport, EngineError, EngineOptions};
 
 /// The operation kinds a fault can be armed against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -364,6 +364,23 @@ impl ResilientEngine {
             self.degraded_pending = false;
         }
         Ok(report)
+    }
+
+    /// Checks the current snapshot and returns the unassembled
+    /// per-configuration parts (see [`Engine::check_parts`]) — the
+    /// sharded fleet's CHECK primitive. Guarded exactly like
+    /// [`ResilientEngine::check`]: an armed `Check` fault fires inside
+    /// this path too, and a post-recovery run counts as degraded.
+    pub fn check_parts(&mut self) -> Result<CheckParts, EngineFault> {
+        let result = self.guarded(OpKind::Check, |e| e.check_parts())?;
+        let parts = result.map_err(|e| match e {
+            EngineError::NoContracts => EngineFault::NoContracts,
+        })?;
+        if self.degraded_pending {
+            self.robustness.degraded_checks += 1;
+            self.degraded_pending = false;
+        }
+        Ok(parts)
     }
 
     /// Shared-read CHECK: serves the cached report through `&self` when

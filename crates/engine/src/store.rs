@@ -204,8 +204,11 @@ impl StateDir {
 }
 
 /// Reads and verifies a snapshot file; `Ok(None)` when missing *or*
-/// corrupt (the caller falls back to the backup).
-fn read_snapshot(path: &Path) -> Result<Option<EngineImage>, StoreError> {
+/// corrupt (the caller falls back to the backup). `pub(crate)` so a
+/// read replica can load a leader's snapshot without opening the state
+/// directory for writing (opening would truncate the leader's WAL
+/// tail).
+pub(crate) fn read_snapshot(path: &Path) -> Result<Option<EngineImage>, StoreError> {
     let mut text = String::new();
     match File::open(path) {
         Ok(mut f) => {

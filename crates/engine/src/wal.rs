@@ -234,6 +234,68 @@ impl Wal {
     }
 }
 
+/// One poll of a leader's WAL by a follower: the intact records decoded
+/// at and after the follower's byte offset, plus where the next poll
+/// should resume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailChunk {
+    /// Intact records decoded from `offset` onward, in log order.
+    pub records: Vec<WalRecord>,
+    /// Byte offset of the first byte *after* the last intact record —
+    /// pass this to the next [`tail_records`] call. Unchanged when no
+    /// complete record was available (a torn or in-flight tail never
+    /// advances the cursor; the leader's next fsync completes it).
+    pub new_offset: u64,
+    /// The file is shorter than `offset` (or gone): the leader rotated
+    /// the WAL at a checkpoint. The follower must resynchronize from the
+    /// snapshot instead of tailing forward.
+    pub rotated: bool,
+}
+
+/// Reads intact records from the log at `path` starting at byte
+/// `offset` — the WAL-shipping primitive a read replica polls.
+///
+/// Unlike [`Wal::read_records`], a torn or partially written tail is
+/// *not* a terminal condition here: the cursor simply stops before it,
+/// and the next poll re-reads from the same offset once the leader's
+/// append completes the line. A file shorter than `offset` (including a
+/// missing file when `offset > 0`) reports `rotated` instead, because
+/// the leader truncates its WAL only when checkpointing.
+pub fn tail_records(path: &Path, offset: u64) -> io::Result<TailChunk> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return Ok(TailChunk {
+                records: Vec::new(),
+                new_offset: if offset > 0 { 0 } else { offset },
+                rotated: offset > 0,
+            });
+        }
+        Err(e) => return Err(e),
+    };
+    if (bytes.len() as u64) < offset {
+        return Ok(TailChunk {
+            records: Vec::new(),
+            new_offset: 0,
+            rotated: true,
+        });
+    }
+    let mut records = Vec::new();
+    let mut pos = offset as usize;
+    while let Some(nl) = bytes[pos..].iter().position(|&b| b == b'\n') {
+        let Some(record) = decode_line(&bytes[pos..pos + nl]) else {
+            break;
+        };
+        records.push(record);
+        pos += nl + 1;
+    }
+    Ok(TailChunk {
+        records,
+        new_offset: pos as u64,
+        rotated: false,
+    })
+}
+
 /// Byte length of the longest prefix of `bytes` made of intact records
 /// — the point [`Wal::read_records`] would stop at.
 fn valid_prefix_len(bytes: &[u8]) -> u64 {
@@ -397,5 +459,187 @@ mod tests {
         let (records, torn) = Wal::read_records(&dir.join("nope.log")).unwrap();
         assert!(records.is_empty());
         assert!(!torn);
+    }
+
+    /// Tiny deterministic generator for the torn-tail fuzz loop.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 33
+        }
+    }
+
+    fn fuzz_op(rng: &mut Lcg, i: usize) -> WalOp {
+        match rng.next() % 4 {
+            0 => WalOp::Upsert {
+                name: format!("dev{}", rng.next() % 16),
+                text: format!(
+                    "vlan {}\nmtu {}\n",
+                    rng.next() % 4096,
+                    1500 + rng.next() % 8
+                ),
+            },
+            1 => WalOp::Remove {
+                name: format!("dev{}", rng.next() % 16),
+            },
+            2 => WalOp::Learn,
+            _ => WalOp::SetContracts {
+                json: format!("{{\"contracts\": [], \"tag\": {i}}}"),
+            },
+        }
+    }
+
+    /// Property: truncating a valid log at *every* byte offset inside
+    /// the final record always replays exactly the prefix records, and
+    /// `open_append` recovers cleanly (truncates the tear, then appends
+    /// a record that replay sees). Seeded so a failure reproduces.
+    #[test]
+    fn torn_tail_property_every_truncation_offset() {
+        let seed = std::env::var("CONCORD_WAL_FUZZ_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x5eed_cafe_u64);
+        let mut rng = Lcg(seed);
+        let dir = tmp_dir("fuzz");
+        for round in 0..4 {
+            let n_records = 2 + (rng.next() % 4) as usize;
+            let ops: Vec<WalOp> = (0..n_records).map(|i| fuzz_op(&mut rng, i)).collect();
+            let pristine = dir.join(format!("pristine-{round}.log"));
+            let mut wal = Wal::open_append(&pristine, 1).unwrap();
+            for op in &ops {
+                wal.append(op).unwrap();
+            }
+            drop(wal);
+            let bytes = std::fs::read(&pristine).unwrap();
+            // Start of the final record = one past the second-to-last
+            // newline (0 for a single-record log).
+            let newlines: Vec<usize> = bytes
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b == b'\n')
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(newlines.len(), n_records);
+            let last_start = if n_records >= 2 {
+                newlines[n_records - 2] + 1
+            } else {
+                0
+            };
+            let path = dir.join(format!("torn-{round}.log"));
+            for cut in last_start..bytes.len() {
+                std::fs::write(&path, &bytes[..cut]).unwrap();
+                let (records, torn) = Wal::read_records(&path).unwrap();
+                assert_eq!(
+                    records.len(),
+                    n_records - 1,
+                    "seed {seed} round {round} cut {cut}: replay must yield the prefix"
+                );
+                for (i, r) in records.iter().enumerate() {
+                    assert_eq!(r.seq, i as u64 + 1, "seed {seed} round {round} cut {cut}");
+                    assert_eq!(r.op, ops[i], "seed {seed} round {round} cut {cut}");
+                }
+                assert_eq!(
+                    torn,
+                    cut > last_start,
+                    "seed {seed} round {round} cut {cut}: a clean prefix is not torn"
+                );
+                // open_append must truncate the tear and take appends
+                // that replay then sees.
+                let mut wal = Wal::open_append(&path, n_records as u64).unwrap();
+                wal.append(&WalOp::Learn).unwrap();
+                drop(wal);
+                let (records, torn) = Wal::read_records(&path).unwrap();
+                assert!(!torn, "seed {seed} round {round} cut {cut}");
+                assert_eq!(
+                    records.len(),
+                    n_records,
+                    "seed {seed} round {round} cut {cut}"
+                );
+                assert_eq!(records[n_records - 1].op, WalOp::Learn);
+            }
+        }
+    }
+
+    #[test]
+    fn tail_records_follows_appends_by_offset() {
+        let dir = tmp_dir("tail");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::open_append(&path, 1).unwrap();
+        wal.append(&WalOp::Upsert {
+            name: "dev0".to_string(),
+            text: "vlan 1\n".to_string(),
+        })
+        .unwrap();
+        let chunk = tail_records(&path, 0).unwrap();
+        assert_eq!(chunk.records.len(), 1);
+        assert!(!chunk.rotated);
+        let mid = chunk.new_offset;
+        // No new data: cursor holds.
+        let chunk = tail_records(&path, mid).unwrap();
+        assert!(chunk.records.is_empty());
+        assert_eq!(chunk.new_offset, mid);
+        // Two more appends arrive; the follower picks up exactly those.
+        wal.append(&WalOp::Learn).unwrap();
+        wal.append(&WalOp::Remove {
+            name: "dev0".to_string(),
+        })
+        .unwrap();
+        let chunk = tail_records(&path, mid).unwrap();
+        assert_eq!(chunk.records.len(), 2);
+        assert_eq!(chunk.records[0].seq, 2);
+        assert_eq!(chunk.records[1].seq, 3);
+    }
+
+    #[test]
+    fn tail_records_stops_before_torn_tail_without_advancing() {
+        let dir = tmp_dir("tailtorn");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::open_append(&path, 1).unwrap();
+        wal.append(&WalOp::Learn).unwrap();
+        wal.append(&WalOp::Learn).unwrap();
+        drop(wal);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let chunk = tail_records(&path, 0).unwrap();
+        assert_eq!(chunk.records.len(), 1);
+        assert!(!chunk.rotated);
+        let held = chunk.new_offset;
+        // The partial line never advances the cursor...
+        let chunk = tail_records(&path, held).unwrap();
+        assert!(chunk.records.is_empty());
+        assert_eq!(chunk.new_offset, held);
+        // ...and once the append completes (leader re-writes the line),
+        // the follower resumes from the same offset.
+        std::fs::write(&path, &bytes).unwrap();
+        let chunk = tail_records(&path, held).unwrap();
+        assert_eq!(chunk.records.len(), 1);
+        assert_eq!(chunk.records[0].seq, 2);
+    }
+
+    #[test]
+    fn tail_records_reports_rotation_when_file_shrinks_or_vanishes() {
+        let dir = tmp_dir("tailrot");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::open_append(&path, 1).unwrap();
+        wal.append(&WalOp::Learn).unwrap();
+        drop(wal);
+        let end = std::fs::read(&path).unwrap().len() as u64;
+        // Checkpoint rotation: the WAL restarts empty.
+        std::fs::write(&path, b"").unwrap();
+        let chunk = tail_records(&path, end).unwrap();
+        assert!(chunk.rotated);
+        // A vanished file with a nonzero cursor is also a rotation.
+        std::fs::remove_file(&path).unwrap();
+        let chunk = tail_records(&path, end).unwrap();
+        assert!(chunk.rotated);
+        // A fresh follower on a missing file is just an empty log.
+        let chunk = tail_records(&path, 0).unwrap();
+        assert!(!chunk.rotated);
+        assert!(chunk.records.is_empty());
     }
 }

@@ -12,7 +12,7 @@ cd "$(dirname "$0")/.."
 fail=0
 for f in crates/engine/src/*.rs crates/cli/src/serve.rs \
          crates/cli/src/protocol.rs crates/cli/src/eventloop.rs \
-         crates/cli/src/sync.rs; do
+         crates/cli/src/sync.rs crates/cli/src/fleet.rs; do
   hits=$(awk '/#\[cfg\(test\)\]/{exit} /\.unwrap\(\)/{print FILENAME ":" FNR ": " $0}' "$f")
   if [ -n "$hits" ]; then
     echo "$hits"
