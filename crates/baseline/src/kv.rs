@@ -27,7 +27,7 @@ pub fn from_dataset(dataset: &Dataset) -> Vec<KvConfig> {
         .iter()
         .map(|config| {
             let mut pairs = HashMap::new();
-            for line in &config.lines {
+            for line in config.lines(&dataset.arenas) {
                 if line.is_meta {
                     continue;
                 }
@@ -51,7 +51,7 @@ pub fn lost_fraction(dataset: &Dataset) -> f64 {
     let mut kept = 0usize;
     for config in &dataset.configs {
         let mut seen = std::collections::HashSet::new();
-        for line in &config.lines {
+        for line in config.lines(&dataset.arenas) {
             if line.is_meta {
                 continue;
             }

@@ -56,7 +56,7 @@ pub fn mine_with_deadline(
     for config in &dataset.configs {
         let mut map: HashMap<usize, Vec<Occurrence>> = HashMap::new();
         let mut patterns_here: HashSet<u32> = HashSet::new();
-        for line in &config.lines {
+        for line in config.lines(&dataset.arenas) {
             patterns_here.insert(line.pattern.0);
             for (pi, param) in line.params.iter().enumerate() {
                 let base = value_score(&param.value);

@@ -16,11 +16,22 @@
 //! repository root (full runs; smoke runs only write
 //! `target/experiments/engine_scaling.json`). Pass `--smoke` (or set
 //! `CONCORD_ENGINE_SMOKE=1`) for the small CI sizes.
+//!
+//! A second, **resident** ladder scales the fleet dimension instead of
+//! the per-device dimension: thousands of small (~12 line)
+//! configurations held by a durable [`ResilientEngine`]. Each rung
+//! records deterministic heap accounting (arena-interned SoA bytes vs
+//! the `legacy-ir` oracle's per-record `Arc` bytes, pattern table
+//! excluded on both sides), the process RSS high-water, and the
+//! segmented-checkpoint scorecard: a forced full checkpoint (every
+//! segment re-written — the price the monolithic snapshot paid every
+//! time) against a checkpoint after one edit (one segment plus the
+//! manifest).
 
 use concord_bench::{fmt_secs, seed, timed, write_result};
-use concord_core::{check_parallel_with_stats, CheckReport, Dataset, LearnParams};
+use concord_core::{check_parallel_with_stats, CheckReport, Dataset, LearnParams, LegacyDataset};
 use concord_datagen::{generate_role, RoleSpec, Style};
-use concord_engine::{Engine, EngineOptions};
+use concord_engine::{Engine, EngineOptions, ResilientEngine};
 use concord_json::{json, Json};
 use concord_lexer::{LexCache, Lexer};
 use std::time::Duration;
@@ -57,11 +68,141 @@ fn assert_reports_equal(incremental: &CheckReport, batch: &CheckReport, context:
     );
 }
 
+/// One small resident-fleet configuration (~12 lines). Lines repeat
+/// heavily across devices — as real fleet snapshots do — so interning
+/// has sharing to exploit; the hostname and vlan rotation keep the
+/// corpus non-degenerate.
+fn resident_config(i: usize) -> (String, String) {
+    let name = format!("res{i:06}");
+    let vlan_a = 10 + (i % 8);
+    let vlan_b = 20 + (i % 8);
+    let text = [
+        format!("hostname {name}"),
+        format!("vlan {vlan_a}"),
+        format!("vlan {vlan_b}"),
+        "interface Ethernet1".to_string(),
+        " description uplink".to_string(),
+        " mtu 9100".to_string(),
+        format!(" switchport access vlan {vlan_a}"),
+        "interface Ethernet2".to_string(),
+        " description peer".to_string(),
+        " mtu 9100".to_string(),
+        format!(" switchport access vlan {vlan_b}"),
+        "ntp server 10.0.0.1".to_string(),
+    ]
+    .join("\n")
+        + "\n";
+    (name, text)
+}
+
+/// One rung of the resident ladder: memory accounting plus the
+/// full-vs-edit checkpoint comparison at `devices` configurations.
+fn resident_rung(devices: usize) -> Json {
+    let corpus: Vec<(String, String)> = (0..devices).map(resident_config).collect();
+
+    // Deterministic heap accounting. The legacy oracle counts every
+    // distinct `Arc` payload once; the SoA side reports its arenas.
+    // Both exclude the shared pattern table, so the ratio isolates what
+    // the refactor changed: per-record ownership vs interned storage.
+    let legacy_heap_bytes = LegacyDataset::from_named_texts(&corpus, &[]).heap_bytes() as u64;
+
+    let dir = std::env::temp_dir().join(format!(
+        "concord-engine-resident-{}-{devices}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let options = EngineOptions {
+        parallelism: 1,
+        learn: LearnParams::default(),
+        ..EngineOptions::default()
+    };
+    let ((mut engine, _resumed), boot_time) = timed(|| {
+        ResilientEngine::with_store(&corpus, &[], Lexer::standard(), options, &dir)
+            .expect("resident engine boots")
+    });
+    engine.set_checkpoint_every(0); // explicit checkpoints only
+
+    // Full checkpoint: clear the segment directory so every
+    // configuration must be re-serialized and re-written — the cost the
+    // monolithic snapshot paid on *every* checkpoint.
+    let segments = dir.join("segments");
+    for entry in std::fs::read_dir(&segments).expect("segments dir exists") {
+        let entry = entry.expect("readable segments entry");
+        std::fs::remove_file(entry.path()).expect("segment file removable");
+    }
+    let (ok, full_time) = timed(|| engine.checkpoint());
+    assert!(ok, "{devices} configs: full checkpoint failed");
+
+    // Checkpoint after one edit: exactly one segment plus the manifest.
+    let (target, base) = corpus[0].clone();
+    let longer = format!("{base}ntp server 10.0.0.2\n");
+    let mut edit_best: Option<Duration> = None;
+    for sample in 0..SAMPLES {
+        let text = if sample % 2 == 0 { &longer } else { &base };
+        engine.upsert(&target, text).expect("upsert succeeds");
+        let (ok, edit_time) = timed(|| engine.checkpoint());
+        assert!(ok, "{devices} configs: edit checkpoint failed");
+        if edit_best.is_none_or(|t| edit_time < t) {
+            edit_best = Some(edit_time);
+        }
+    }
+    let edit_time = edit_best.expect("SAMPLES > 0");
+
+    let memory = engine.snapshot_stats().expect("stats available").memory;
+    // Pin the segmented-store invariant the timing relies on: the seed
+    // and forced-full checkpoints each wrote the whole fleet, and every
+    // edit checkpoint wrote exactly one segment and skipped the rest.
+    assert_eq!(
+        memory.segments_written,
+        2 * devices as u64 + SAMPLES as u64,
+        "{devices} configs: unexpected segment write count"
+    );
+    assert_eq!(
+        memory.segments_skipped,
+        (SAMPLES * (devices - 1)) as u64,
+        "{devices} configs: unexpected segment skip count"
+    );
+
+    let soa_heap_bytes = memory.string_arena_bytes + memory.param_arena_bytes + memory.column_bytes;
+    let heap_ratio = legacy_heap_bytes as f64 / (soa_heap_bytes as f64).max(1.0);
+    let speedup = full_time.as_secs_f64() / edit_time.as_secs_f64().max(1e-9);
+    let rss_kb = concord_bench::microbench::max_rss_kb().unwrap_or(0);
+
+    println!(
+        "{devices:>7} resident configs: boot {} / full checkpoint {} / edit checkpoint {} ({speedup:.1}x); heap {:.1} MiB SoA vs {:.1} MiB legacy ({heap_ratio:.1}x); rss high-water {rss_kb} KiB",
+        fmt_secs(boot_time),
+        fmt_secs(full_time),
+        fmt_secs(edit_time),
+        soa_heap_bytes as f64 / (1024.0 * 1024.0),
+        legacy_heap_bytes as f64 / (1024.0 * 1024.0),
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    json!({
+        "configs": devices,
+        "boot_secs": boot_time.as_secs_f64(),
+        "checkpoint_full_secs": full_time.as_secs_f64(),
+        "checkpoint_edit_secs": edit_time.as_secs_f64(),
+        "checkpoint_speedup": speedup,
+        "soa_heap_bytes": soa_heap_bytes,
+        "legacy_heap_bytes": legacy_heap_bytes,
+        "heap_ratio": heap_ratio,
+        "segments_written": memory.segments_written,
+        "segments_skipped": memory.segments_skipped,
+        "max_rss_kb": rss_kb,
+    })
+}
+
 fn main() {
     let sizes: &[usize] = if smoke() {
         &[4, 8, 16]
     } else {
         &[8, 16, 32, 64]
+    };
+    let resident_sizes: &[usize] = if smoke() {
+        &[100, 500]
+    } else {
+        &[1_000, 10_000, 100_000]
     };
     let parallelism = 1; // measure work avoided, not the thread pool
 
@@ -171,6 +312,14 @@ fn main() {
         }));
     }
 
+    // The resident ladder runs in ascending order after the edit-loop
+    // ladder, so each rung's RSS high-water reflects the largest fleet
+    // held so far.
+    let resident: Vec<Json> = resident_sizes
+        .iter()
+        .map(|&devices| resident_rung(devices))
+        .collect();
+
     let result = json!({
         "schema": "concord-bench-engine/v1",
         "smoke": smoke(),
@@ -179,6 +328,7 @@ fn main() {
         "blocks": blocks(),
         "parallelism": parallelism,
         "sizes": Json::Array(entries),
+        "resident": Json::Array(resident),
     });
     write_result("engine_scaling", &result);
     if !smoke() {

@@ -2,8 +2,9 @@
 //!
 //! A seeded [`FaultPlan`] drives a durable [`ResilientEngine`] through
 //! a stream of edits while rotating through every storage- and
-//! panic-level fault class: torn WAL tails, truncated snapshots, and
-//! forced panics inside upsert / check / learn. After **every** fault
+//! panic-level fault class: torn WAL tails, truncated checkpoint
+//! manifests, torn per-config segments, and forced panics inside
+//! upsert / check / learn. After **every** fault
 //! the engine must still answer, and its CHECK report must match — byte
 //! for byte — a clean engine rebuilt from scratch out of the recovered
 //! image (the oracle the paper's incremental-equivalence argument rests
@@ -147,7 +148,13 @@ fn storage_and_panic_fault_soak() {
             }
             FaultKind::TruncatedSnapshot => {
                 drop(me);
-                let _ = plan.truncate_snapshot(&dir).expect("truncate snapshot");
+                let _ = plan.truncate_snapshot(&dir).expect("truncate manifest");
+                me = reboot(&dir);
+                reboots += 1;
+            }
+            FaultKind::TornSegment => {
+                drop(me);
+                let _ = plan.tear_fresh_segment(&dir).expect("tear segment");
                 me = reboot(&dir);
                 reboots += 1;
             }
@@ -273,22 +280,141 @@ fn sketch_cache_survives_kill_and_torn_persistence() {
     back.checkpoint();
     drop(back);
 
-    // Tear the persisted sketch bundle: flip a byte inside the live
-    // snapshot's payload (the image CRC catches it, the backup takes
-    // over). The learner must come back clean either way.
-    let snap = dir.join("snapshot.json");
-    let mut bytes = std::fs::read(&snap).expect("snapshot readable");
-    let mid = bytes.len() / 2;
-    bytes[mid] ^= 0x40;
-    std::fs::write(&snap, &bytes).expect("snapshot tampered");
+    // Tear a persisted sketch: corrupt the newest segment of an edited
+    // config (referenced by the live manifest only — the per-segment
+    // CRC catches it and recovery falls back to the backup manifest
+    // plus WAL replay). The learner must come back clean either way.
+    assert!(
+        plan.tear_fresh_segment(&dir).expect("tear segment"),
+        "an edited config must leave two segment generations on disk"
+    );
 
     let mut back = reboot(&dir);
-    back.relearn().expect("relearns after torn snapshot");
+    back.relearn().expect("relearns after torn segment");
     let got = back.image().contracts.clone().expect("just learned");
     assert_eq!(
         got,
         learn_oracle(&back),
         "seed {seed}: post-tear delta relearn diverged from full relearn"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A kill between segment writes and the manifest rename: the crash
+/// strands fully-written *orphan* segments (tmp + fsync + rename means
+/// no half files), the old manifest still pins the old immutable
+/// segments, and recovery is old-manifest + WAL replay. The orphans
+/// are swept by the next checkpoint's garbage collector.
+#[test]
+fn kill_between_segment_writes_and_manifest_recovers_from_old_manifest() {
+    let seed = env_u64("CONCORD_SOAK_SEED", 0xC0C0);
+    let dir = soak_dir();
+    let mut plan = FaultPlan::new(seed ^ 0x0DD5);
+
+    let corpus: Vec<(String, String)> = (0..6)
+        .map(|i| (format!("dev{i}"), plan.config_text()))
+        .collect();
+    let (mut me, _) = ResilientEngine::with_store(
+        &corpus,
+        &[],
+        Lexer::standard(),
+        EngineOptions::default(),
+        &dir,
+    )
+    .expect("boots");
+    me.set_checkpoint_every(0);
+    me.relearn().expect("initial learn");
+    me.checkpoint();
+
+    // Edits acknowledged into the WAL but never checkpointed.
+    me.upsert("dev1", &plan.config_text()).expect("upserts");
+    me.upsert("dev2", &plan.config_text()).expect("upserts");
+    drop(me); // kill -9 before any further checkpoint
+
+    // Simulate the torn checkpoint: the next checkpoint would have
+    // written fresh segments for dev1/dev2 *before* the manifest
+    // rename. Strand plausible orphans (new generation, garbage
+    // payload is irrelevant — nothing references them).
+    let seg_dir = dir.join("segments");
+    for orphan in [
+        "cfg-0000000000000001-0000000000000007-0.seg",
+        "cfg-0000000000000002-0000000000000007-0.seg",
+    ] {
+        std::fs::write(
+            seg_dir.join(orphan),
+            b"concord-engine-segment/v1 crc32=00000000\n{}\n",
+        )
+        .expect("orphan written");
+    }
+
+    let mut back = reboot(&dir);
+    let got = render(&back.check().expect("post-crash check").report);
+    assert_eq!(
+        got,
+        oracle(&back),
+        "seed {seed}: recovery from old manifest + WAL diverged from oracle"
+    );
+    back.relearn().expect("relearns");
+    assert_eq!(
+        back.image().contracts.clone().expect("just learned"),
+        learn_oracle(&back),
+        "seed {seed}: post-crash delta relearn diverged from full relearn"
+    );
+
+    // The reboot checkpointed (with_store folds replayed state), so the
+    // orphans must be gone: unreferenced by both retained manifests.
+    for orphan in [
+        "cfg-0000000000000001-0000000000000007-0.seg",
+        "cfg-0000000000000002-0000000000000007-0.seg",
+    ] {
+        assert!(
+            !seg_dir.join(orphan).exists(),
+            "orphan {orphan} survived garbage collection"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A crash after the manifest rename but before the WAL truncate-and-
+/// rotate finished: records already folded into the manifest reappear
+/// in both `wal.log.old` and `wal.log`. Replay must skip every one of
+/// them (`seq <= applied_seq`) instead of double-applying.
+#[test]
+fn rotated_but_untruncated_wal_does_not_double_apply() {
+    let seed = env_u64("CONCORD_SOAK_SEED", 0xC0C0);
+    let dir = soak_dir();
+    let mut plan = FaultPlan::new(seed ^ 0x3A1B);
+
+    let corpus: Vec<(String, String)> = (0..6)
+        .map(|i| (format!("dev{i}"), plan.config_text()))
+        .collect();
+    let (mut me, _) = ResilientEngine::with_store(
+        &corpus,
+        &[],
+        Lexer::standard(),
+        EngineOptions::default(),
+        &dir,
+    )
+    .expect("boots");
+    me.set_checkpoint_every(0);
+    me.relearn().expect("initial learn");
+    me.upsert("dev3", &plan.config_text()).expect("upserts");
+    me.checkpoint();
+    let want_before = render(&me.check().expect("pre-crash check").report);
+    drop(me); // kill -9 mid-rotation, emulated below
+
+    std::fs::copy(dir.join("wal.log.old"), dir.join("wal.log")).expect("wal re-duplicated");
+
+    let mut back = reboot(&dir);
+    let got = render(&back.check().expect("post-crash check").report);
+    assert_eq!(
+        got, want_before,
+        "seed {seed}: duplicated WAL records changed the recovered state"
+    );
+    assert_eq!(
+        got,
+        oracle(&back),
+        "seed {seed}: recovery with duplicated WALs diverged from oracle"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -237,11 +237,17 @@ fn run_coverage(args: &CoverageArgs, out: &mut dyn std::io::Write) -> Result<i32
         let _ = writeln!(out, "uncovered lines (first {}):", args.uncovered);
         let mut shown = 0usize;
         'outer: for (config, cov) in dataset.configs.iter().zip(&report.coverage.per_config) {
-            for (i, line) in config.lines.iter().enumerate() {
+            for (i, line) in config.lines(&dataset.arenas).enumerate() {
                 if line.is_meta || cov.covered.contains(&i) {
                     continue;
                 }
-                let _ = writeln!(out, "  {}:{} {}", config.name, line.line_no, line.original);
+                let _ = writeln!(
+                    out,
+                    "  {}:{} {}",
+                    dataset.name_of(config),
+                    line.line_no,
+                    line.original
+                );
                 shown += 1;
                 if shown >= args.uncovered {
                     break 'outer;

@@ -43,6 +43,8 @@ use crate::contract::Contract;
 #[cfg(any(test, feature = "naive-check"))]
 use crate::contract::ContractSet;
 use crate::ir::ConfigIr;
+#[cfg(any(test, feature = "naive-check"))]
+use crate::ir::Dataset;
 use crate::learn::sequence_is_sequential;
 
 /// Coverage of one configuration.
@@ -120,9 +122,9 @@ pub(crate) fn config_coverage(
     // each duplicate dwarfs the probes themselves. The public
     // `HashSet`/`BTreeMap` shape is materialized once at the end, paying
     // one insert per *unique* covered line instead of one per report.
-    let mut bits = CoverBits::new(config.lines.len());
+    let mut bits = CoverBits::new(config.len());
     let cover = |cat: &'static str, li: usize, config: &ConfigIr, bits: &mut CoverBits| {
-        if config.lines[li].is_meta {
+        if config.is_meta(li) {
             return;
         }
         bits.set(cat, li);
@@ -169,15 +171,14 @@ pub(crate) fn config_coverage(
         };
         for &li in seconds {
             let prev_matches = li > 0
-                && config.lines[li - 1].pattern == f
-                && config.lines[li - 1].is_meta == config.lines[li].is_meta;
+                && config.pattern(li - 1) == f
+                && config.is_meta(li - 1) == config.is_meta(li);
             if !prev_matches {
                 continue;
             }
-            let next_also_matches = config
-                .lines
-                .get(li + 1)
-                .is_some_and(|n| n.pattern == s && n.is_meta == config.lines[li].is_meta);
+            let next_also_matches = li + 1 < config.len()
+                && config.pattern(li + 1) == s
+                && config.is_meta(li + 1) == config.is_meta(li);
             if !next_also_matches {
                 cover(contracts[idx].category(), li, config, &mut bits);
             }
@@ -230,7 +231,7 @@ pub(crate) fn config_coverage(
 
     let (covered, by_category) = bits.materialize();
     ConfigCoverage {
-        name: config.name.clone(),
+        name: program.dataset.name_of(config).to_string(),
         total_lines: config.own_line_count(),
         covered,
         by_category,
@@ -296,14 +297,15 @@ impl CoverBits {
 #[cfg(any(test, feature = "naive-check"))]
 pub(crate) fn config_coverage_naive(
     contracts: &ContractSet,
+    dataset: &Dataset,
     config: &ConfigIr,
     resolved: &Resolved,
-    ctx: &ConfigContext,
+    ctx: &ConfigContext<'_>,
 ) -> ConfigCoverage {
     let mut covered: HashSet<usize> = HashSet::new();
     let mut by_category: BTreeMap<String, HashSet<usize>> = BTreeMap::new();
     let mut cover = |cat: &str, li: usize, config: &ConfigIr, covered: &mut HashSet<usize>| {
-        if config.lines[li].is_meta {
+        if config.is_meta(li) {
             return;
         }
         covered.insert(li);
@@ -350,20 +352,19 @@ pub(crate) fn config_coverage_naive(
             }
             (Contract::Ordering { .. }, ResolvedContract::Ordering(f, s)) => {
                 let (Some(f), Some(s)) = (f, s) else { continue };
-                for li in 0..config.lines.len() {
-                    if config.lines[li].pattern != *s {
+                for li in 0..config.len() {
+                    if config.pattern(li) != *s {
                         continue;
                     }
                     let prev_matches = li > 0
-                        && config.lines[li - 1].pattern == *f
-                        && config.lines[li - 1].is_meta == config.lines[li].is_meta;
+                        && config.pattern(li - 1) == *f
+                        && config.is_meta(li - 1) == config.is_meta(li);
                     if !prev_matches {
                         continue;
                     }
-                    let next_also_matches = config
-                        .lines
-                        .get(li + 1)
-                        .is_some_and(|n| n.pattern == *s && n.is_meta == config.lines[li].is_meta);
+                    let next_also_matches = li + 1 < config.len()
+                        && config.pattern(li + 1) == *s
+                        && config.is_meta(li + 1) == config.is_meta(li);
                     if !next_also_matches {
                         cover(category, li, config, &mut covered);
                     }
@@ -421,7 +422,7 @@ pub(crate) fn config_coverage_naive(
     }
 
     ConfigCoverage {
-        name: config.name.clone(),
+        name: dataset.name_of(config).to_string(),
         total_lines: config.own_line_count(),
         covered,
         by_category,

@@ -246,9 +246,9 @@ pub fn check_naive_parallel(
     let per_config: Vec<(Vec<Violation>, coverage::ConfigCoverage)> = parallel::map(
         &dataset.configs,
         |config| {
-            let ctx = ConfigContext::new(config, &dataset.table, &resolved);
-            let violations = check_config(contracts, config, &resolved, &ctx);
-            let cov = coverage::config_coverage_naive(contracts, config, &resolved, &ctx);
+            let ctx = ConfigContext::new(config, dataset, &resolved);
+            let violations = check_config(contracts, dataset, config, &resolved, &ctx);
+            let cov = coverage::config_coverage_naive(contracts, dataset, config, &resolved, &ctx);
             (violations, cov)
         },
         parallelism,
@@ -353,8 +353,11 @@ fn resolve(contracts: &ContractSet, dataset: &Dataset) -> Resolved {
 }
 
 /// Per-configuration evaluation context: occurrence maps and cached
-/// transformed-value collections.
-pub(crate) struct ConfigContext {
+/// transformed-value collections. Borrows the dataset's arenas so line
+/// parameters can be resolved from SoA ids on demand.
+pub(crate) struct ConfigContext<'d> {
+    /// The dataset's shared arenas (param/text resolution).
+    arenas: &'d crate::ir::Arenas,
     /// Pattern id → line indices.
     pub lines_by_pattern: FxHashMap<PatternId, Vec<usize>>,
     /// Per-line filled exact text (empty unless `PresentExact` contracts
@@ -375,27 +378,23 @@ type NodeCacheKey = (PatternId, u16, crate::learn::indexes::TransformTag);
 /// indices.
 pub(crate) type SharedValues = std::rc::Rc<Vec<(Value, usize)>>;
 
-impl ConfigContext {
-    pub(crate) fn new(
-        config: &ConfigIr,
-        table: &crate::ir::PatternTable,
-        resolved: &Resolved,
-    ) -> Self {
+impl<'d> ConfigContext<'d> {
+    pub(crate) fn new(config: &ConfigIr, dataset: &'d Dataset, resolved: &Resolved) -> Self {
         let mut lines_by_pattern: FxHashMap<PatternId, Vec<usize>> = FxHashMap::default();
-        for (i, line) in config.lines.iter().enumerate() {
-            lines_by_pattern.entry(line.pattern).or_default().push(i);
+        for (i, &pattern) in config.patterns().iter().enumerate() {
+            lines_by_pattern.entry(pattern).or_default().push(i);
         }
         let filled_by_line: Vec<String> = if resolved.need_filled_lines {
             config
-                .lines
-                .iter()
-                .map(|l| crate::learn::fill_pattern(table.text(l.pattern), &l.params))
+                .lines(&dataset.arenas)
+                .map(|l| crate::learn::fill_pattern(dataset.table.text(l.pattern), l.params))
                 .collect()
         } else {
             Vec::new()
         };
         let filled_lines = filled_by_line.iter().cloned().collect();
         ConfigContext {
+            arenas: &dataset.arenas,
             lines_by_pattern,
             filled_by_line,
             filled_lines,
@@ -430,8 +429,8 @@ impl ConfigContext {
             .map(|idxs| {
                 idxs.iter()
                     .filter_map(|&li| {
-                        let line = &config.lines[li];
-                        let value = line.params.get(usize::from(param))?;
+                        let params = self.arenas.params.slice(config.params_id(li));
+                        let value = params.get(usize::from(param))?;
                         Some((transform.apply(&value.value)?, li))
                     })
                     .collect()
@@ -480,10 +479,13 @@ pub(crate) fn find_witnesses(
 #[cfg(any(test, feature = "naive-check"))]
 fn check_config(
     contracts: &ContractSet,
+    dataset: &Dataset,
     config: &ConfigIr,
     resolved: &Resolved,
-    ctx: &ConfigContext,
+    ctx: &ConfigContext<'_>,
 ) -> Vec<Violation> {
+    let arenas = &dataset.arenas;
+    let config_name = dataset.name_of(config);
     let mut out = Vec::new();
     for (idx, contract) in contracts.contracts.iter().enumerate() {
         match (contract, &resolved.by_contract[idx]) {
@@ -495,7 +497,7 @@ fn check_config(
                     out.push(Violation {
                         contract_index: idx,
                         category: contract.category().to_string(),
-                        config: config.name.clone(),
+                        config: config_name.to_string(),
                         line_no: None,
                         line: pattern.clone(),
                         message: format!("missing required line matching {pattern}"),
@@ -507,7 +509,7 @@ fn check_config(
                     out.push(Violation {
                         contract_index: idx,
                         category: contract.category().to_string(),
-                        config: config.name.clone(),
+                        config: config_name.to_string(),
                         line_no: None,
                         line: line.clone(),
                         message: format!("missing required exact line {line:?}"),
@@ -520,17 +522,18 @@ fn check_config(
                     continue;
                 };
                 for &li in line_idxs {
-                    let line = &config.lines[li];
-                    let next = config.lines.get(li + 1);
-                    let ok = match (next, s) {
-                        (Some(n), Some(s)) => n.pattern == *s && n.is_meta == line.is_meta,
+                    let line = config.line(arenas, li);
+                    let ok = match s {
+                        Some(s) if li + 1 < config.len() => {
+                            config.pattern(li + 1) == *s && config.is_meta(li + 1) == line.is_meta
+                        }
                         _ => false,
                     };
                     if !ok {
                         out.push(Violation {
                             contract_index: idx,
                             category: contract.category().to_string(),
-                            config: config.name.clone(),
+                            config: config_name.to_string(),
                             line_no: Some(line.line_no),
                             line: line.original.to_string(),
                             message: format!(
@@ -550,7 +553,7 @@ fn check_config(
             ) => {
                 // Any line whose agnostic pattern matches but whose hole
                 // type is not in the valid set.
-                for line in &config.lines {
+                for line in config.lines(arenas) {
                     if !ids.contains(&line.pattern) {
                         continue;
                     }
@@ -561,7 +564,7 @@ fn check_config(
                         out.push(Violation {
                             contract_index: idx,
                             category: contract.category().to_string(),
-                            config: config.name.clone(),
+                            config: config_name.to_string(),
                             line_no: Some(line.line_no),
                             line: line.original.to_string(),
                             message: format!(
@@ -585,11 +588,11 @@ fn check_config(
                         .map(|i| i + 1)
                         .unwrap_or(1);
                     let li = values[break_at].1;
-                    let line = &config.lines[li];
+                    let line = config.line(arenas, li);
                     out.push(Violation {
                         contract_index: idx,
                         category: contract.category().to_string(),
-                        config: config.name.clone(),
+                        config: config_name.to_string(),
                         line_no: Some(line.line_no),
                         line: line.original.to_string(),
                         message: format!(
@@ -614,11 +617,11 @@ fn check_config(
                 for (value, li) in values.iter() {
                     let Some(n) = value.as_num() else { continue };
                     if n < min || n > max {
-                        let line = &config.lines[*li];
+                        let line = config.line(arenas, *li);
                         out.push(Violation {
                             contract_index: idx,
                             category: contract.category().to_string(),
-                            config: config.name.clone(),
+                            config: config_name.to_string(),
                             line_no: Some(line.line_no),
                             line: line.original.to_string(),
                             message: format!(
@@ -633,6 +636,7 @@ fn check_config(
                     idx,
                     r,
                     contract.category(),
+                    dataset,
                     config,
                     ctx,
                     *a,
@@ -651,8 +655,9 @@ fn check_relational(
     idx: usize,
     r: &RelationalContract,
     category: &'static str,
+    dataset: &Dataset,
     config: &ConfigIr,
-    ctx: &ConfigContext,
+    ctx: &ConfigContext<'_>,
     antecedent: Option<PatternId>,
     consequent: Option<PatternId>,
 ) -> Vec<Violation> {
@@ -674,11 +679,11 @@ fn check_relational(
     );
     for (v1, li) in antecedents.iter() {
         if find_witnesses(r.relation, v1, &consequents).is_empty() {
-            let line = &config.lines[*li];
+            let line = config.line(&dataset.arenas, *li);
             out.push(Violation {
                 contract_index: idx,
                 category: category.to_string(),
-                config: config.name.clone(),
+                config: dataset.name_of(config).to_string(),
                 line_no: Some(line.line_no),
                 line: line.original.to_string(),
                 message: format!(
@@ -715,8 +720,9 @@ fn check_unique_global(
         let Some(id) = id else { continue };
         let mut seen: HashSet<String> = HashSet::new();
         for config in &dataset.configs {
+            let config_name = dataset.name_of(config);
             let mut count_here = 0u32;
-            for line in &config.lines {
+            for line in config.lines(&dataset.arenas) {
                 if line.pattern != *id {
                     continue;
                 }
@@ -729,7 +735,7 @@ fn check_unique_global(
                     out.push(Violation {
                         contract_index: idx,
                         category: contract.category().to_string(),
-                        config: config.name.clone(),
+                        config: config_name.to_string(),
                         line_no: Some(line.line_no),
                         line: line.original.to_string(),
                         message: format!(
@@ -744,7 +750,7 @@ fn check_unique_global(
                 out.push(Violation {
                     contract_index: idx,
                     category: contract.category().to_string(),
-                    config: config.name.clone(),
+                    config: config_name.to_string(),
                     line_no: None,
                     line: pattern.clone(),
                     message: format!("expected exactly one line matching {pattern}, found none"),
@@ -787,7 +793,7 @@ mod tests {
         let ds = toy_dataset();
         let config = &ds.configs[0];
         let resolved = resolve(&empty_set(), &ds);
-        let ctx = ConfigContext::new(config, &ds.table, &resolved);
+        let ctx = ConfigContext::new(config, &ds, &resolved);
 
         // The pattern with an IP parameter (the `ip address` lines).
         let pattern = ip_address_pattern(&ds);
@@ -810,7 +816,7 @@ mod tests {
         let ds = toy_dataset();
         let config = &ds.configs[0];
         let resolved = resolve(&empty_set(), &ds);
-        let ctx = ConfigContext::new(config, &ds.table, &resolved);
+        let ctx = ConfigContext::new(config, &ds, &resolved);
         let pattern = ip_address_pattern(&ds);
 
         // Unresolved pattern: nothing to collect.

@@ -35,7 +35,7 @@ use std::time::{Duration, Instant};
 use concord_types::Transform;
 
 use crate::contract::{Contract, ContractSet, RelationKind};
-use crate::ir::{ConfigIr, Dataset, PatternId, PatternTable};
+use crate::ir::{ConfigIr, Dataset, PatternId};
 use crate::learn::indexes::TransformTag;
 use crate::learn::sequence_is_sequential;
 
@@ -90,7 +90,7 @@ struct IndexSpec {
 pub struct CheckProgram<'c> {
     pub(crate) contracts: &'c ContractSet,
     pub(crate) resolved: Resolved,
-    table: &'c PatternTable,
+    pub(crate) dataset: &'c Dataset,
     /// `Present` contracts: `(idx, resolved pattern id)`.
     pub(crate) present: Vec<(usize, Option<PatternId>)>,
     /// `PresentExact` contracts.
@@ -118,7 +118,7 @@ pub struct CheckProgram<'c> {
 /// indexes and probe counters. Checking builds it; coverage reuses it.
 pub(crate) struct ProgramContext<'a> {
     /// Occurrence maps and the transformed-value cache.
-    pub ctx: ConfigContext,
+    pub ctx: ConfigContext<'a>,
     config: &'a ConfigIr,
     /// Lazily built witness indexes, one slot per [`IndexSpec`].
     witness: RefCell<Vec<Option<Rc<WitnessIndex>>>>,
@@ -211,9 +211,9 @@ pub(crate) struct PhaseTimes {
 }
 
 impl<'a> ProgramContext<'a> {
-    pub(crate) fn new(program: &CheckProgram<'_>, config: &'a ConfigIr) -> Self {
+    pub(crate) fn new(program: &CheckProgram<'a>, config: &'a ConfigIr) -> Self {
         ProgramContext {
-            ctx: ConfigContext::new(config, program.table, &program.resolved),
+            ctx: ConfigContext::new(config, program.dataset, &program.resolved),
             config,
             witness: RefCell::new(vec![None; program.index_specs.len()]),
             relational_cover: RefCell::new(Vec::new()),
@@ -340,7 +340,7 @@ impl<'c> CheckProgram<'c> {
         CheckProgram {
             contracts,
             resolved,
-            table: &dataset.table,
+            dataset,
             present,
             present_exact,
             line_ops,
@@ -457,6 +457,8 @@ impl<'c> CheckProgram<'c> {
         let mut out = Vec::new();
         let mut phases = PhaseTimes::default();
         let ctx = &pctx.ctx;
+        let arenas = &self.dataset.arenas;
+        let config_name = self.dataset.name_of(config);
 
         // Presence: O(1) per contract.
         let t = Instant::now();
@@ -471,7 +473,7 @@ impl<'c> CheckProgram<'c> {
                 out.push(Violation {
                     contract_index: idx,
                     category: self.contracts.contracts[idx].category().to_string(),
-                    config: config.name.clone(),
+                    config: config_name.to_string(),
                     line_no: None,
                     line: pattern.clone(),
                     message: format!("missing required line matching {pattern}"),
@@ -486,7 +488,7 @@ impl<'c> CheckProgram<'c> {
                 out.push(Violation {
                     contract_index: idx,
                     category: self.contracts.contracts[idx].category().to_string(),
-                    config: config.name.clone(),
+                    config: config_name.to_string(),
                     line_no: None,
                     line: line.clone(),
                     message: format!("missing required exact line {line:?}"),
@@ -495,14 +497,15 @@ impl<'c> CheckProgram<'c> {
         }
         phases.present = t.elapsed();
 
-        // Pattern-dispatched line checks: one pass over the lines; each
-        // line visits only the ops compiled for its pattern id.
+        // Pattern-dispatched line checks: one pass over the pattern
+        // column; a line is materialized only when an op fires on its id.
         let t = Instant::now();
         if !self.line_ops.is_empty() {
-            for (li, line) in config.lines.iter().enumerate() {
-                let Some(ops) = self.line_ops.get(&line.pattern) else {
+            for li in 0..config.len() {
+                let Some(ops) = self.line_ops.get(&config.pattern(li)) else {
                     continue;
                 };
+                let line = config.line(arenas, li);
                 for op in ops {
                     match *op {
                         LineOp::Type { idx } => {
@@ -521,7 +524,7 @@ impl<'c> CheckProgram<'c> {
                                 out.push(Violation {
                                     contract_index: idx,
                                     category: self.contracts.contracts[idx].category().to_string(),
-                                    config: config.name.clone(),
+                                    config: config_name.to_string(),
                                     line_no: Some(line.line_no),
                                     line: line.original.to_string(),
                                     message: format!(
@@ -549,7 +552,7 @@ impl<'c> CheckProgram<'c> {
                                 out.push(Violation {
                                     contract_index: idx,
                                     category: self.contracts.contracts[idx].category().to_string(),
-                                    config: config.name.clone(),
+                                    config: config_name.to_string(),
                                     line_no: Some(line.line_no),
                                     line: line.original.to_string(),
                                     message: format!(
@@ -566,16 +569,18 @@ impl<'c> CheckProgram<'c> {
                             else {
                                 unreachable!("ordering op on non-ordering contract")
                             };
-                            let next = config.lines.get(li + 1);
-                            let ok = match (next, second) {
-                                (Some(n), Some(s)) => n.pattern == s && n.is_meta == line.is_meta,
+                            let ok = match second {
+                                Some(s) if li + 1 < config.len() => {
+                                    config.pattern(li + 1) == s
+                                        && config.is_meta(li + 1) == line.is_meta
+                                }
                                 _ => false,
                             };
                             if !ok {
                                 out.push(Violation {
                                     contract_index: idx,
                                     category: self.contracts.contracts[idx].category().to_string(),
-                                    config: config.name.clone(),
+                                    config: config_name.to_string(),
                                     line_no: Some(line.line_no),
                                     line: line.original.to_string(),
                                     message: format!(
@@ -607,11 +612,11 @@ impl<'c> CheckProgram<'c> {
                     .map(|i| i + 1)
                     .unwrap_or(1);
                 let li = values[break_at].1;
-                let line = &config.lines[li];
+                let line = config.line(arenas, li);
                 out.push(Violation {
                     contract_index: idx,
                     category: self.contracts.contracts[idx].category().to_string(),
-                    config: config.name.clone(),
+                    config: config_name.to_string(),
                     line_no: Some(line.line_no),
                     line: line.original.to_string(),
                     message: format!("values of param {param} of {pattern} are not equidistant"),
@@ -645,13 +650,13 @@ impl<'c> CheckProgram<'c> {
                 probes += 1;
                 match index.probe(v1) {
                     WitnessProbe::Zero => {
-                        let line = &config.lines[*li];
+                        let line = config.line(arenas, *li);
                         out.push(Violation {
                             contract_index: compiled.idx,
                             category: self.contracts.contracts[compiled.idx]
                                 .category()
                                 .to_string(),
-                            config: config.name.clone(),
+                            config: config_name.to_string(),
                             line_no: Some(line.line_no),
                             line: line.original.to_string(),
                             message: format!(
@@ -700,10 +705,11 @@ impl<'c> CheckProgram<'c> {
         if self.unique.is_empty() {
             return UniqueTable { events };
         }
-        for line in &config.lines {
-            let Some(ops) = self.unique_ops.get(&line.pattern) else {
+        for li in 0..config.len() {
+            let Some(ops) = self.unique_ops.get(&config.pattern(li)) else {
                 continue;
             };
+            let line = config.line(&self.dataset.arenas, li);
             for &idx in ops {
                 let Contract::Unique { param, .. } = &self.contracts.contracts[idx] else {
                     unreachable!("unique op on non-unique contract")
@@ -715,7 +721,7 @@ impl<'c> CheckProgram<'c> {
                 events.push(UniqueEvent {
                     contract: idx,
                     line_no: line.line_no,
-                    line: line.original.clone(),
+                    line: Arc::from(line.original),
                     rendered,
                 });
             }
@@ -759,7 +765,7 @@ impl<'c> CheckProgram<'c> {
             .configs
             .iter()
             .zip(&tables)
-            .map(|(c, t)| (c.name.as_str(), t))
+            .map(|(c, t)| (dataset.name_of(c), t))
             .collect();
         self.check_unique_tables(&refs)
     }

@@ -1,26 +1,36 @@
 //! The intermediate representation shared by learning and checking.
 //!
-//! A [`Dataset`] holds one [`ConfigIr`] per configuration file plus an
-//! interning [`PatternTable`]. Every content line becomes a [`LineRecord`]
-//! carrying its dense pattern id, its extracted parameters, and its source
-//! line number. Metadata files (§3.7) are lexed once, prefixed with
-//! `@meta`, and appended to every configuration so the miners discover
-//! config↔metadata relationships with no special cases. The appended
-//! records are `Arc`-shared: every configuration carries the *same*
-//! parameter and text allocations, so a large metadata corpus costs one
-//! copy regardless of configuration count.
+//! A [`Dataset`] holds one [`ConfigIr`] per configuration file plus the
+//! shared interning state: a [`PatternTable`] for embedded patterns, a
+//! [`StrArena`] for original line texts and configuration names, and a
+//! [`ParamArena`] deduplicating identical parameter slices. Every content
+//! line is stored structure-of-arrays — parallel `u32` columns (pattern
+//! id, param-slice id, line number, original-text id) instead of a
+//! per-line record fanning out into `Arc` allocations — and read back
+//! through lightweight [`LineRef`] views. Two lines with the same text
+//! anywhere in the corpus share one arena entry, so resident memory
+//! scales with *distinct* content, not line count.
+//!
+//! Metadata files (§3.7) are lexed once, prefixed with `@meta`, and
+//! appended to every configuration so the miners discover config↔metadata
+//! relationships with no special cases. Because metadata lines are always
+//! appended *after* a configuration's own lines, the own/meta split is a
+//! single boundary index per configuration (`is_meta(li)` ⇔
+//! `li >= own_len`) rather than a per-line flag, which also makes
+//! [`ConfigIr::own_line_count`] O(1).
 //!
 //! Datasets are also *mutable*: [`Dataset::upsert_config`] and
 //! [`Dataset::remove_config`] absorb single-file edits without rebuilding
 //! the corpus — only the changed file is re-embedded and re-lexed (through
-//! the shared [`LexCache`]), and the pattern table grows append-only so
-//! existing [`PatternId`]s stay stable across edits. This is the
-//! foundation the resident `concord-engine` snapshot builds on.
+//! the shared [`LexCache`]), and all interners grow append-only so
+//! existing ids stay stable across edits. Arena entries orphaned by an
+//! edit stay interned (they are deduplicated, so repeated edit churn over
+//! similar content does not grow the arena). This is the foundation the
+//! resident `concord-engine` snapshot builds on.
 
 use std::collections::HashSet;
 use std::fmt;
-use std::hash::Hasher;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
 use std::time::Instant;
 
 use concord_formats::{embed_auto, FormatCategory};
@@ -34,40 +44,19 @@ use crate::stats::BuildStats;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PatternId(pub u32);
 
-/// Empty bucket sentinel of the interner's probe table.
+/// A dense identifier for a string interned in a [`StrArena`]
+/// (original line texts and configuration names).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StrId(pub u32);
+
+/// A dense identifier for a parameter slice interned in a [`ParamArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParamSliceId(pub u32);
+
+/// Empty bucket sentinel of the interners' probe tables.
 const EMPTY: u32 = u32::MAX;
 
-/// Interns pattern strings to dense ids.
-///
-/// The table is a hand-rolled open-addressing map (Fx-hashed, linear
-/// probing): one probe walk serves both hit and miss, so [`intern`]
-/// touches the table exactly once per call instead of the get-then-insert
-/// double lookup a `HashMap` forces without raw-entry access. Ids are
-/// append-only — interning never invalidates previously returned ids,
-/// which is what allows datasets to be edited in place.
-///
-/// [`intern`]: PatternTable::intern
-#[derive(Debug, Clone)]
-pub struct PatternTable {
-    /// Interned pattern texts, indexed by id.
-    texts: Vec<Arc<str>>,
-    /// Cached hash per text (grow re-buckets without re-hashing).
-    hashes: Vec<u64>,
-    /// Open-addressing probe table over ids; power-of-two length.
-    buckets: Vec<u32>,
-}
-
-impl Default for PatternTable {
-    fn default() -> Self {
-        PatternTable {
-            texts: Vec::new(),
-            hashes: Vec::new(),
-            buckets: vec![EMPTY; 16],
-        }
-    }
-}
-
-/// Fx hash of a pattern text (the interner's single hash function).
+/// Fx hash of a string (the interners' single hash function).
 #[inline]
 fn hash_text(text: &str) -> u64 {
     let mut h = FxHasher::default();
@@ -75,17 +64,68 @@ fn hash_text(text: &str) -> u64 {
     h.finish()
 }
 
-impl PatternTable {
-    /// Creates an empty table.
+/// Fx hash of a parameter slice.
+#[inline]
+fn hash_params(params: &[Param]) -> u64 {
+    let mut h = FxHasher::default();
+    for p in params {
+        p.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Interns strings into one contiguous byte buffer, returning dense
+/// [`StrId`]s.
+///
+/// This is the generalization of the pattern interner's single-probe
+/// open-addressing design (Fx-hashed, linear probing): one probe walk
+/// serves both hit and miss, so [`intern`] touches the table exactly once
+/// per call. Interned bytes live in a single `String` arena addressed by
+/// `(offset, len)` spans — no per-string allocation, no per-string
+/// refcount. Ids are append-only: interning never invalidates previously
+/// returned ids, which is what allows datasets to be edited in place.
+///
+/// [`intern`]: StrArena::intern
+#[derive(Debug, Clone)]
+pub struct StrArena {
+    /// All interned bytes, end to end.
+    buf: String,
+    /// `(offset, len)` of each interned string, indexed by id.
+    spans: Vec<(u32, u32)>,
+    /// Cached hash per string (grow re-buckets without re-hashing).
+    hashes: Vec<u64>,
+    /// Open-addressing probe table over ids; power-of-two length.
+    buckets: Vec<u32>,
+}
+
+impl Default for StrArena {
+    fn default() -> Self {
+        StrArena {
+            buf: String::new(),
+            spans: Vec::new(),
+            hashes: Vec::new(),
+            buckets: vec![EMPTY; 16],
+        }
+    }
+}
+
+impl StrArena {
+    /// Creates an empty arena.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    #[inline]
+    fn span_text(&self, i: usize) -> &str {
+        let (off, len) = self.spans[i];
+        &self.buf[off as usize..(off + len) as usize]
     }
 
     /// Interns `text`, returning its id.
     ///
     /// One probe walk: an existing entry returns its id from the same
     /// walk that would otherwise find the insertion slot.
-    pub fn intern(&mut self, text: &str) -> PatternId {
+    pub fn intern(&mut self, text: &str) -> StrId {
         let hash = hash_text(text);
         let mask = self.buckets.len() - 1;
         let mut slot = (hash as usize) & mask;
@@ -95,24 +135,27 @@ impl PatternTable {
                 break;
             }
             let i = entry as usize;
-            if self.hashes[i] == hash && &*self.texts[i] == text {
-                return PatternId(entry);
+            if self.hashes[i] == hash && self.span_text(i) == text {
+                return StrId(entry);
             }
             slot = (slot + 1) & mask;
         }
-        let id = u32::try_from(self.texts.len()).expect("pattern table fits u32 ids");
-        self.texts.push(Arc::from(text));
+        let id = u32::try_from(self.spans.len()).expect("string arena fits u32 ids");
+        let off = u32::try_from(self.buf.len()).expect("string arena fits u32 offsets");
+        let len = u32::try_from(text.len()).expect("interned string fits u32 length");
+        self.buf.push_str(text);
+        self.spans.push((off, len));
         self.hashes.push(hash);
         self.buckets[slot] = id;
         // Keep load under 7/8 so probe chains stay short.
-        if (self.texts.len() + 1) * 8 > self.buckets.len() * 7 {
+        if (self.spans.len() + 1) * 8 > self.buckets.len() * 7 {
             self.grow();
         }
-        PatternId(id)
+        StrId(id)
     }
 
     /// Doubles the probe table and re-buckets every id from its cached
-    /// hash (texts are never re-hashed).
+    /// hash (strings are never re-hashed).
     fn grow(&mut self) {
         let new_len = self.buckets.len() * 2;
         let mask = new_len - 1;
@@ -127,8 +170,8 @@ impl PatternTable {
         self.buckets = buckets;
     }
 
-    /// Looks up an already-interned pattern.
-    pub fn get(&self, text: &str) -> Option<PatternId> {
+    /// Looks up an already-interned string.
+    pub fn get(&self, text: &str) -> Option<StrId> {
         let hash = hash_text(text);
         let mask = self.buckets.len() - 1;
         let mut slot = (hash as usize) & mask;
@@ -138,8 +181,8 @@ impl PatternTable {
                 return None;
             }
             let i = entry as usize;
-            if self.hashes[i] == hash && &*self.texts[i] == text {
-                return Some(PatternId(entry));
+            if self.hashes[i] == hash && self.span_text(i) == text {
+                return Some(StrId(entry));
             }
             slot = (slot + 1) & mask;
         }
@@ -149,81 +192,401 @@ impl PatternTable {
     ///
     /// # Panics
     ///
+    /// Panics if `id` was not produced by this arena.
+    #[inline]
+    pub fn text(&self, id: StrId) -> &str {
+        self.span_text(id.0 as usize)
+    }
+
+    /// Returns the number of interned strings.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Returns `true` if nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Iterates over all `(id, text)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (StrId, &str)> {
+        (0..self.spans.len()).map(|i| (StrId(i as u32), self.span_text(i)))
+    }
+
+    /// Heap bytes held by the arena: interned bytes plus index overhead.
+    pub fn heap_bytes(&self) -> usize {
+        self.buf.capacity()
+            + self.spans.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.hashes.capacity() * std::mem::size_of::<u64>()
+            + self.buckets.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Interns pattern strings to dense ids.
+///
+/// A thin wrapper over [`StrArena`] preserving the historical pattern-id
+/// type: pattern ids and string ids are separate id spaces (a
+/// [`PatternId`] indexes this table, a [`StrId`] indexes the dataset's
+/// text arena), so they cannot be confused at type-check time.
+#[derive(Debug, Clone, Default)]
+pub struct PatternTable {
+    arena: StrArena,
+}
+
+impl PatternTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `text`, returning its id.
+    pub fn intern(&mut self, text: &str) -> PatternId {
+        PatternId(self.arena.intern(text).0)
+    }
+
+    /// Looks up an already-interned pattern.
+    pub fn get(&self, text: &str) -> Option<PatternId> {
+        self.arena.get(text).map(|id| PatternId(id.0))
+    }
+
+    /// Returns the text of `id`.
+    ///
+    /// # Panics
+    ///
     /// Panics if `id` was not produced by this table.
+    #[inline]
     pub fn text(&self, id: PatternId) -> &str {
-        &self.texts[id.0 as usize]
+        self.arena.text(StrId(id.0))
     }
 
     /// Returns the number of interned patterns.
     pub fn len(&self) -> usize {
-        self.texts.len()
+        self.arena.len()
     }
 
     /// Returns `true` if no patterns are interned.
     pub fn is_empty(&self) -> bool {
-        self.texts.is_empty()
+        self.arena.is_empty()
     }
 
     /// Iterates over all `(id, text)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (PatternId, &str)> {
-        self.texts
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (PatternId(i as u32), t.as_ref()))
+        self.arena.iter().map(|(id, t)| (PatternId(id.0), t))
+    }
+
+    /// Heap bytes held by the table.
+    pub fn heap_bytes(&self) -> usize {
+        self.arena.heap_bytes()
     }
 }
 
-/// One lexed configuration line.
+/// Interns parameter slices to dense ids, deduplicating identical slices.
 ///
-/// Parameter and text payloads are `Arc`-shared so records clone in O(1):
-/// metadata records are shared across every configuration, and dataset
-/// edits move records without copying line contents.
+/// Parameters are stored flattened in one `Vec<Param>` addressed by
+/// `(offset, len)` spans; two lines binding the same values anywhere in
+/// the corpus (e.g. every `vlan 10` line) share one entry. Same
+/// single-probe open-addressing design as [`StrArena`].
 #[derive(Debug, Clone)]
-pub struct LineRecord {
-    /// The interned pattern id of the full embedded line.
-    pub pattern: PatternId,
-    /// Parameters bound from the original line text, in order.
-    pub params: Arc<[Param]>,
-    /// 1-based line number in the source file.
-    pub line_no: u32,
-    /// The trimmed original line text.
-    pub original: Arc<str>,
-    /// `true` when the line came from an appended metadata file.
-    pub is_meta: bool,
+pub struct ParamArena {
+    /// All interned parameters, slice after slice.
+    flat: Vec<Param>,
+    /// `(offset, len)` of each interned slice, indexed by id.
+    spans: Vec<(u32, u32)>,
+    /// Cached hash per slice.
+    hashes: Vec<u64>,
+    /// Open-addressing probe table over ids; power-of-two length.
+    buckets: Vec<u32>,
 }
 
-/// One configuration file after the full front-end pipeline.
+impl Default for ParamArena {
+    fn default() -> Self {
+        ParamArena {
+            flat: Vec::new(),
+            spans: Vec::new(),
+            hashes: Vec::new(),
+            buckets: vec![EMPTY; 16],
+        }
+    }
+}
+
+impl ParamArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn span_slice(&self, i: usize) -> &[Param] {
+        let (off, len) = self.spans[i];
+        &self.flat[off as usize..(off + len) as usize]
+    }
+
+    /// Interns `params`, returning its id. Identical slices (same names,
+    /// types, and values, in order) share one id.
+    pub fn intern(&mut self, params: &[Param]) -> ParamSliceId {
+        let hash = hash_params(params);
+        let mask = self.buckets.len() - 1;
+        let mut slot = (hash as usize) & mask;
+        loop {
+            let entry = self.buckets[slot];
+            if entry == EMPTY {
+                break;
+            }
+            let i = entry as usize;
+            if self.hashes[i] == hash && self.span_slice(i) == params {
+                return ParamSliceId(entry);
+            }
+            slot = (slot + 1) & mask;
+        }
+        let id = u32::try_from(self.spans.len()).expect("param arena fits u32 ids");
+        let off = u32::try_from(self.flat.len()).expect("param arena fits u32 offsets");
+        let len = u32::try_from(params.len()).expect("param slice fits u32 length");
+        self.flat.extend_from_slice(params);
+        self.spans.push((off, len));
+        self.hashes.push(hash);
+        self.buckets[slot] = id;
+        if (self.spans.len() + 1) * 8 > self.buckets.len() * 7 {
+            self.grow();
+        }
+        ParamSliceId(id)
+    }
+
+    /// Doubles the probe table and re-buckets every id from its cached
+    /// hash.
+    fn grow(&mut self) {
+        let new_len = self.buckets.len() * 2;
+        let mask = new_len - 1;
+        let mut buckets = vec![EMPTY; new_len];
+        for (i, &hash) in self.hashes.iter().enumerate() {
+            let mut slot = (hash as usize) & mask;
+            while buckets[slot] != EMPTY {
+                slot = (slot + 1) & mask;
+            }
+            buckets[slot] = i as u32;
+        }
+        self.buckets = buckets;
+    }
+
+    /// Returns the slice of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this arena.
+    #[inline]
+    pub fn slice(&self, id: ParamSliceId) -> &[Param] {
+        self.span_slice(id.0 as usize)
+    }
+
+    /// Returns the number of interned (distinct) slices.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Returns `true` if nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Total parameters stored across all distinct slices.
+    pub fn total_params(&self) -> usize {
+        self.flat.len()
+    }
+
+    /// Approximate heap bytes held by the arena: flattened parameters
+    /// (struct plus name-string heap) and index overhead. `Value` heap
+    /// payloads are not walked.
+    pub fn heap_bytes(&self) -> usize {
+        self.flat.capacity() * std::mem::size_of::<Param>()
+            + self.flat.iter().map(|p| p.name.capacity()).sum::<usize>()
+            + self.spans.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.hashes.capacity() * std::mem::size_of::<u64>()
+            + self.buckets.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+/// The shared interning arenas of a [`Dataset`]: line/name texts and
+/// parameter slices. (Patterns keep their own table for id-space
+/// separation.)
+#[derive(Debug, Clone, Default)]
+pub struct Arenas {
+    /// Original line texts and configuration names.
+    pub strings: StrArena,
+    /// Deduplicated parameter slices.
+    pub params: ParamArena,
+}
+
+/// A lightweight view of one configuration line, resolved against the
+/// dataset's arenas. Borrowed fields point into arena storage; the view
+/// itself is `Copy` and does not borrow the [`ConfigIr`].
+#[derive(Debug, Clone, Copy)]
+pub struct LineRef<'a> {
+    /// The interned pattern id of the full embedded line.
+    pub pattern: PatternId,
+    /// 1-based line number in the source file.
+    pub line_no: u32,
+    /// `true` when the line came from an appended metadata file.
+    pub is_meta: bool,
+    /// The trimmed original line text.
+    pub original: &'a str,
+    /// Parameters bound from the original line text, in order.
+    pub params: &'a [Param],
+}
+
+/// One configuration file after the full front-end pipeline, stored
+/// structure-of-arrays: parallel `u32`-id columns per line, resolved
+/// through the dataset's [`Arenas`] via [`ConfigIr::line`].
 #[derive(Debug, Clone)]
 pub struct ConfigIr {
-    /// The configuration's name (usually the file name / device name).
-    pub name: String,
+    /// The configuration's name (usually the file name / device name),
+    /// interned in the dataset's string arena.
+    pub name: StrId,
     /// The inferred format category.
     pub format: FormatCategory,
-    /// All content lines in source order (metadata lines appended last).
-    pub lines: Vec<LineRecord>,
+    /// Per-line pattern ids, in source order (metadata lines appended
+    /// last).
+    patterns: Vec<PatternId>,
+    /// Per-line parameter-slice ids.
+    params: Vec<ParamSliceId>,
+    /// Per-line 1-based source line numbers.
+    line_nos: Vec<u32>,
+    /// Per-line original-text ids.
+    originals: Vec<StrId>,
+    /// Boundary between own lines (`..own_len`) and appended metadata
+    /// lines (`own_len..`). Valid because metadata is always appended
+    /// after every own line.
+    own_len: u32,
 }
 
 impl ConfigIr {
-    /// Returns the number of non-metadata lines.
+    /// Total number of lines, including appended metadata.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Returns `true` when the configuration has no lines at all.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Returns the number of non-metadata lines. O(1): the own/meta
+    /// boundary is stored, not recounted.
+    #[inline]
     pub fn own_line_count(&self) -> usize {
-        self.lines.iter().filter(|l| !l.is_meta).count()
+        self.own_len as usize
+    }
+
+    /// The pattern id of line `li`.
+    #[inline]
+    pub fn pattern(&self, li: usize) -> PatternId {
+        self.patterns[li]
+    }
+
+    /// All per-line pattern ids, in source order.
+    #[inline]
+    pub fn patterns(&self) -> &[PatternId] {
+        &self.patterns
+    }
+
+    /// The parameter-slice id of line `li`.
+    #[inline]
+    pub fn params_id(&self, li: usize) -> ParamSliceId {
+        self.params[li]
+    }
+
+    /// The original-text id of line `li`.
+    #[inline]
+    pub fn original_id(&self, li: usize) -> StrId {
+        self.originals[li]
+    }
+
+    /// The 1-based source line number of line `li`.
+    #[inline]
+    pub fn line_no(&self, li: usize) -> u32 {
+        self.line_nos[li]
+    }
+
+    /// Whether line `li` came from an appended metadata file.
+    #[inline]
+    pub fn is_meta(&self, li: usize) -> bool {
+        li >= self.own_len as usize
+    }
+
+    /// Resolves line `li` against `arenas` into a [`LineRef`] view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `li` is out of bounds or `arenas` is not the dataset's
+    /// arena set.
+    #[inline]
+    pub fn line<'a>(&self, arenas: &'a Arenas, li: usize) -> LineRef<'a> {
+        LineRef {
+            pattern: self.patterns[li],
+            line_no: self.line_nos[li],
+            is_meta: self.is_meta(li),
+            original: arenas.strings.text(self.originals[li]),
+            params: arenas.params.slice(self.params[li]),
+        }
+    }
+
+    /// Iterates [`LineRef`] views over every line.
+    pub fn lines<'a>(&'a self, arenas: &'a Arenas) -> impl Iterator<Item = LineRef<'a>> + 'a {
+        (0..self.len()).map(move |li| self.line(arenas, li))
+    }
+
+    /// Removes line `li` from the configuration (test/oracle support —
+    /// production edits replace whole configurations). Callers editing a
+    /// dataset in place should go through [`Dataset::remove_line`] so the
+    /// cached total stays correct.
+    pub fn remove_line(&mut self, li: usize) {
+        self.patterns.remove(li);
+        self.params.remove(li);
+        self.line_nos.remove(li);
+        self.originals.remove(li);
+        if li < self.own_len as usize {
+            self.own_len -= 1;
+        }
+    }
+
+    /// Heap bytes held by the SoA columns.
+    pub fn heap_bytes(&self) -> usize {
+        self.patterns.capacity() * std::mem::size_of::<PatternId>()
+            + self.params.capacity() * std::mem::size_of::<ParamSliceId>()
+            + self.line_nos.capacity() * std::mem::size_of::<u32>()
+            + self.originals.capacity() * std::mem::size_of::<StrId>()
     }
 }
 
-/// A set of configurations sharing one pattern table.
+/// The shared metadata columns appended to every configuration. Only ids
+/// are copied per configuration; the underlying text/param storage lives
+/// once in the arenas.
+#[derive(Debug, Clone)]
+struct MetaCols {
+    patterns: Vec<PatternId>,
+    params: Vec<ParamSliceId>,
+    line_nos: Vec<u32>,
+    originals: Vec<StrId>,
+}
+
+/// A set of configurations sharing one pattern table and one arena set.
 #[derive(Debug, Clone, Default)]
 pub struct Dataset {
     /// The shared pattern interner.
     pub table: PatternTable,
+    /// The shared string/parameter arenas.
+    pub arenas: Arenas,
     /// The configurations.
     pub configs: Vec<ConfigIr>,
     /// Lexed metadata files, kept so edits can append metadata to newly
     /// upserted configurations.
     meta_lexed: Vec<Vec<LexedLine>>,
-    /// The shared metadata records (interned lazily so id assignment
+    /// The shared metadata columns (interned lazily so id assignment
     /// matches the batch build order: first config's own lines, then
     /// metadata). `None` until the first configuration needs them.
-    meta_records: Option<Vec<LineRecord>>,
+    meta_cols: Option<MetaCols>,
+    /// Cached total of non-metadata lines across all configurations,
+    /// maintained on every edit so [`Dataset::total_lines`] is O(1).
+    total_own: usize,
 }
 
 /// Error constructing a [`Dataset`].
@@ -318,27 +681,16 @@ impl Dataset {
         let intern_start = Instant::now();
         let mut dataset = Dataset {
             table: PatternTable::new(),
+            arenas: Arenas::default(),
             configs: Vec::with_capacity(configs.len()),
             meta_lexed,
-            meta_records: None,
+            meta_cols: None,
+            total_own: 0,
         };
         for ((name, _), (format, lines)) in configs.iter().zip(lexed) {
-            let mut records: Vec<LineRecord> = lines
-                .into_iter()
-                .map(|l| LineRecord {
-                    pattern: dataset.table.intern(&l.pattern),
-                    params: l.params.into(),
-                    line_no: l.line_no,
-                    original: l.original.into(),
-                    is_meta: false,
-                })
-                .collect();
-            records.extend_from_slice(dataset.shared_meta_records());
-            dataset.configs.push(ConfigIr {
-                name: name.clone(),
-                format,
-                lines: records,
-            });
+            let config = dataset.make_config(name, format, &lines);
+            dataset.total_own += config.own_line_count();
+            dataset.configs.push(config);
         }
         let intern_time = intern_start.elapsed();
 
@@ -348,7 +700,7 @@ impl Dataset {
         };
         let stats = BuildStats {
             configs: dataset.configs.len(),
-            lines: dataset.configs.iter().map(|c| c.lines.len()).sum(),
+            lines: dataset.configs.iter().map(ConfigIr::len).sum(),
             patterns: dataset.table.len(),
             lex_time,
             intern_time,
@@ -359,26 +711,115 @@ impl Dataset {
         Ok((dataset, stats))
     }
 
-    /// Returns the shared metadata records, interning their patterns on
+    /// Interns one lexed configuration into SoA columns and appends the
+    /// shared metadata columns.
+    fn make_config(&mut self, name: &str, format: FormatCategory, lines: &[LexedLine]) -> ConfigIr {
+        let mut patterns = Vec::with_capacity(lines.len());
+        let mut params = Vec::with_capacity(lines.len());
+        let mut line_nos = Vec::with_capacity(lines.len());
+        let mut originals = Vec::with_capacity(lines.len());
+        for l in lines {
+            patterns.push(self.table.intern(&l.pattern));
+            params.push(self.arenas.params.intern(&l.params));
+            line_nos.push(l.line_no);
+            originals.push(self.arenas.strings.intern(&l.original));
+        }
+        let own_len = u32::try_from(patterns.len()).expect("config line count fits u32");
+        let meta = self.shared_meta_cols();
+        patterns.extend_from_slice(&meta.patterns);
+        params.extend_from_slice(&meta.params);
+        line_nos.extend_from_slice(&meta.line_nos);
+        originals.extend_from_slice(&meta.originals);
+        let name = self.arenas.strings.intern(name);
+        ConfigIr {
+            name,
+            format,
+            patterns,
+            params,
+            line_nos,
+            originals,
+            own_len,
+        }
+    }
+
+    /// Returns the shared metadata columns, interning their patterns on
     /// first use (after the first configuration's own lines, matching the
     /// batch interning order).
-    fn shared_meta_records(&mut self) -> &[LineRecord] {
-        if self.meta_records.is_none() {
-            let records: Vec<LineRecord> = self
-                .meta_lexed
-                .iter()
-                .flat_map(|lines| lines.iter())
-                .map(|l| LineRecord {
-                    pattern: self.table.intern(&format!("@meta{}", l.pattern)),
-                    params: l.params.clone().into(),
-                    line_no: l.line_no,
-                    original: l.original.as_str().into(),
-                    is_meta: true,
-                })
-                .collect();
-            self.meta_records = Some(records);
+    fn shared_meta_cols(&mut self) -> &MetaCols {
+        if self.meta_cols.is_none() {
+            let mut cols = MetaCols {
+                patterns: Vec::new(),
+                params: Vec::new(),
+                line_nos: Vec::new(),
+                originals: Vec::new(),
+            };
+            // Move the lexed metadata out while interning to appease the
+            // borrow checker, then put it back.
+            let meta_lexed = std::mem::take(&mut self.meta_lexed);
+            for l in meta_lexed.iter().flat_map(|lines| lines.iter()) {
+                cols.patterns
+                    .push(self.table.intern(&format!("@meta{}", l.pattern)));
+                cols.params.push(self.arenas.params.intern(&l.params));
+                cols.line_nos.push(l.line_no);
+                cols.originals.push(self.arenas.strings.intern(&l.original));
+            }
+            self.meta_lexed = meta_lexed;
+            self.meta_cols = Some(cols);
         }
-        self.meta_records.as_deref().expect("just populated")
+        self.meta_cols.as_ref().expect("just populated")
+    }
+
+    /// Appends one already-lexed configuration whose first `own_len`
+    /// lines are its own and whose remainder are (already-prefixed)
+    /// metadata lines. Conversion support for the `legacy-ir` oracle.
+    #[cfg(any(test, feature = "legacy-ir"))]
+    pub(crate) fn push_converted(
+        &mut self,
+        name: &str,
+        format: FormatCategory,
+        lines: &[LexedLine],
+        own_len: usize,
+    ) {
+        let mut patterns = Vec::with_capacity(lines.len());
+        let mut params = Vec::with_capacity(lines.len());
+        let mut line_nos = Vec::with_capacity(lines.len());
+        let mut originals = Vec::with_capacity(lines.len());
+        for l in lines {
+            patterns.push(self.table.intern(&l.pattern));
+            params.push(self.arenas.params.intern(&l.params));
+            line_nos.push(l.line_no);
+            originals.push(self.arenas.strings.intern(&l.original));
+        }
+        let name = self.arenas.strings.intern(name);
+        self.total_own += own_len;
+        self.configs.push(ConfigIr {
+            name,
+            format,
+            patterns,
+            params,
+            line_nos,
+            originals,
+            own_len: u32::try_from(own_len).expect("config line count fits u32"),
+        });
+    }
+
+    /// The name of configuration `config`, resolved against the string
+    /// arena.
+    #[inline]
+    pub fn name_of(&self, config: &ConfigIr) -> &str {
+        self.arenas.strings.text(config.name)
+    }
+
+    /// The name of the configuration at index `ci`.
+    #[inline]
+    pub fn config_name(&self, ci: usize) -> &str {
+        self.name_of(&self.configs[ci])
+    }
+
+    /// Resolves line `li` of configuration `config` into a [`LineRef`].
+    #[inline]
+    pub fn line<'a>(&'a self, config: &ConfigIr, li: usize) -> LineRef<'a> {
+        config.line(&self.arenas, li)
     }
 
     /// Inserts or replaces the configuration named `name`, re-embedding
@@ -387,8 +828,8 @@ impl Dataset {
     /// An existing configuration is replaced in place (its position is
     /// preserved); a new one is inserted at its name-sorted position, the
     /// order [`Dataset::from_named_texts`] produces when callers pass
-    /// name-sorted corpora (the CLI always does). Pattern ids are
-    /// append-only: patterns no longer referenced by any line simply stay
+    /// name-sorted corpora (the CLI always does). All interners are
+    /// append-only: entries no longer referenced by any line simply stay
     /// interned, which never changes check output (violations carry
     /// texts, not ids).
     pub fn upsert_config(
@@ -400,29 +841,21 @@ impl Dataset {
         cache: Option<&LexCache>,
     ) -> usize {
         let (format, lines) = lex_text(text, lexer, embed_context, cache);
-        let mut records: Vec<LineRecord> = lines
-            .into_iter()
-            .map(|l| LineRecord {
-                pattern: self.table.intern(&l.pattern),
-                params: l.params.into(),
-                line_no: l.line_no,
-                original: l.original.into(),
-                is_meta: false,
-            })
-            .collect();
-        records.extend_from_slice(self.shared_meta_records());
-        let config = ConfigIr {
-            name: name.to_string(),
-            format,
-            lines: records,
-        };
-        match self.configs.iter().position(|c| c.name == name) {
+        let config = self.make_config(name, format, &lines);
+        let own = config.own_line_count();
+        match self.config_index(name) {
             Some(i) => {
+                self.total_own = self.total_own - self.configs[i].own_line_count() + own;
                 self.configs[i] = config;
                 i
             }
             None => {
-                let i = self.configs.partition_point(|c| c.name.as_str() < name);
+                let i = {
+                    let strings = &self.arenas.strings;
+                    self.configs
+                        .partition_point(|c| strings.text(c.name) < name)
+                };
+                self.total_own += own;
                 self.configs.insert(i, config);
                 i
             }
@@ -430,23 +863,52 @@ impl Dataset {
     }
 
     /// Removes the configuration named `name`, returning its former index
-    /// (`None` when no such configuration exists). The pattern table is
-    /// left untouched.
+    /// (`None` when no such configuration exists). The interners are left
+    /// untouched.
     pub fn remove_config(&mut self, name: &str) -> Option<usize> {
-        let i = self.configs.iter().position(|c| c.name == name)?;
+        let i = self.config_index(name)?;
+        self.total_own -= self.configs[i].own_line_count();
         self.configs.remove(i);
         Some(i)
     }
 
-    /// Returns the index of the configuration named `name`.
+    /// Removes line `li` of configuration `ci`, keeping the cached line
+    /// total correct (test/oracle support).
+    pub fn remove_line(&mut self, ci: usize, li: usize) {
+        if !self.configs[ci].is_meta(li) {
+            self.total_own -= 1;
+        }
+        self.configs[ci].remove_line(li);
+    }
+
+    /// Returns the index of the configuration named `name`. Datasets
+    /// built from name-sorted corpora (the CLI always sorts, and upsert
+    /// preserves the order) resolve in O(log n); a dataset holding an
+    /// unsorted input order falls back to the linear scan, so the
+    /// answer is the same either way. This is on the checkpoint hot
+    /// path — the resident engine looks up every config per
+    /// checkpoint, which must not be quadratic at fleet scale.
     pub fn config_index(&self, name: &str) -> Option<usize> {
-        self.configs.iter().position(|c| c.name == name)
+        let strings = &self.arenas.strings;
+        let i = self
+            .configs
+            .partition_point(|c| strings.text(c.name) < name);
+        if self
+            .configs
+            .get(i)
+            .is_some_and(|c| strings.text(c.name) == name)
+        {
+            return Some(i);
+        }
+        self.configs
+            .iter()
+            .position(|c| strings.text(c.name) == name)
     }
 
     /// Returns the total number of configuration lines (excluding
-    /// metadata).
+    /// metadata). O(1): the total is maintained across edits.
     pub fn total_lines(&self) -> usize {
-        self.configs.iter().map(ConfigIr::own_line_count).sum()
+        self.total_own
     }
 
     /// Returns the number of distinct patterns.
@@ -459,18 +921,43 @@ impl Dataset {
     pub fn parameter_count(&self) -> usize {
         let mut seen = HashSet::new();
         for config in &self.configs {
-            for line in &config.lines {
-                for (i, _) in line.params.iter().enumerate() {
-                    seen.insert((line.pattern, i as u16));
+            for li in 0..config.len() {
+                let arity = self.arenas.params.slice(config.params_id(li)).len();
+                for i in 0..arity {
+                    seen.insert((config.pattern(li), i as u16));
                 }
             }
         }
         seen.len()
     }
+
+    /// Arena and column memory accounting (the v9 `memory` stats object):
+    /// `(string-arena bytes, param-arena bytes, pattern-table bytes,
+    /// SoA column bytes)`.
+    pub fn arena_bytes(&self) -> (usize, usize, usize, usize) {
+        let columns = self.configs.iter().map(ConfigIr::heap_bytes).sum();
+        (
+            self.arenas.strings.heap_bytes(),
+            self.arenas.params.heap_bytes(),
+            self.table.heap_bytes(),
+            columns,
+        )
+    }
+
+    /// Number of strings interned across the text arena (line texts and
+    /// names).
+    pub fn interned_strings(&self) -> usize {
+        self.arenas.strings.len()
+    }
+
+    /// Number of distinct parameter slices interned.
+    pub fn interned_param_slices(&self) -> usize {
+        self.arenas.params.len()
+    }
 }
 
 /// Runs embedding and lexing for one file.
-fn lex_text(
+pub(crate) fn lex_text(
     text: &str,
     lexer: &Lexer,
     embed_context: bool,
@@ -540,27 +1027,68 @@ mod tests {
     }
 
     #[test]
+    fn str_arena_interns_and_dedups() {
+        let mut arena = StrArena::new();
+        let a = arena.intern("vlan 10");
+        let b = arena.intern("vlan 20");
+        assert_ne!(a, b);
+        assert_eq!(arena.intern("vlan 10"), a, "re-intern is a hit");
+        assert_eq!(arena.text(a), "vlan 10");
+        assert_eq!(arena.get("vlan 20"), Some(b));
+        assert_eq!(arena.get("vlan 30"), None);
+        assert_eq!(arena.len(), 2);
+        // Growth keeps ids and lookups stable.
+        let ids: Vec<StrId> = (0..500).map(|i| arena.intern(&format!("s{i}"))).collect();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(arena.text(*id), format!("s{i}"));
+            assert_eq!(arena.get(&format!("s{i}")), Some(*id));
+        }
+        assert_eq!(arena.text(a), "vlan 10");
+    }
+
+    #[test]
+    fn param_arena_dedups_identical_slices() {
+        let configs = cfgs(&["vlan 10\nvlan 10\nvlan 20\n", "vlan 10\n"]);
+        let ds = Dataset::from_named_texts(&configs, &[]).unwrap();
+        // Three `vlan 10` lines across two configs share one slice id.
+        assert_eq!(
+            ds.configs[0].params_id(0),
+            ds.configs[0].params_id(1),
+            "identical lines in one config share a param slice"
+        );
+        assert_eq!(
+            ds.configs[0].params_id(0),
+            ds.configs[1].params_id(0),
+            "identical lines across configs share a param slice"
+        );
+        assert_ne!(ds.configs[0].params_id(0), ds.configs[0].params_id(2));
+        // And the originals share one string id.
+        assert_eq!(ds.configs[0].original_id(0), ds.configs[1].original_id(0));
+    }
+
+    #[test]
     fn builds_dataset_with_embedding() {
         let configs = cfgs(&["interface Loopback0\n ip address 10.0.0.1\n"]);
         let ds = Dataset::from_named_texts(&configs, &[]).unwrap();
         assert_eq!(ds.configs.len(), 1);
         let config = &ds.configs[0];
-        assert_eq!(config.lines.len(), 2);
+        assert_eq!(config.len(), 2);
         assert_eq!(
-            ds.table.text(config.lines[1].pattern),
+            ds.table.text(config.pattern(1)),
             "/interface Loopback[num]/ip address [a:ip4]"
         );
-        assert_eq!(config.lines[1].line_no, 2);
+        assert_eq!(config.line_no(1), 2);
+        let line = ds.line(config, 1);
+        assert_eq!(line.original, "ip address 10.0.0.1");
+        assert_eq!(line.params.len(), 1);
+        assert!(!line.is_meta);
     }
 
     #[test]
     fn same_pattern_shares_id_across_configs() {
         let configs = cfgs(&["vlan 10\n", "vlan 20\n"]);
         let ds = Dataset::from_named_texts(&configs, &[]).unwrap();
-        assert_eq!(
-            ds.configs[0].lines[0].pattern,
-            ds.configs[1].lines[0].pattern
-        );
+        assert_eq!(ds.configs[0].pattern(0), ds.configs[1].pattern(0));
         assert_eq!(ds.pattern_count(), 1);
     }
 
@@ -570,37 +1098,42 @@ mod tests {
         let metadata = vec![("meta.yaml".to_string(), "vlanId: 10\n".to_string())];
         let ds = Dataset::from_named_texts(&configs, &metadata).unwrap();
         for config in &ds.configs {
-            let meta_lines: Vec<_> = config.lines.iter().filter(|l| l.is_meta).collect();
+            let meta_lines: Vec<usize> =
+                (0..config.len()).filter(|&li| config.is_meta(li)).collect();
             assert_eq!(meta_lines.len(), 1);
-            assert!(ds.table.text(meta_lines[0].pattern).starts_with("@meta/"));
+            assert!(ds
+                .table
+                .text(config.pattern(meta_lines[0]))
+                .starts_with("@meta/"));
         }
         // Metadata lines are excluded from the own-line count.
         assert_eq!(ds.total_lines(), 2);
     }
 
     #[test]
-    fn metadata_records_are_arc_shared_across_configs() {
+    fn metadata_storage_is_shared_across_configs() {
         let configs = cfgs(&["vlan 10\n", "vlan 20\n", "vlan 30\n"]);
         let metadata = vec![(
             "meta.yaml".to_string(),
             "vlanId: 10\nsiteId: 4\n".to_string(),
         )];
         let ds = Dataset::from_named_texts(&configs, &metadata).unwrap();
-        let meta_of = |ci: usize| -> Vec<&LineRecord> {
-            ds.configs[ci].lines.iter().filter(|l| l.is_meta).collect()
+        let meta_ids = |ci: usize| -> Vec<(StrId, ParamSliceId)> {
+            let c = &ds.configs[ci];
+            (0..c.len())
+                .filter(|&li| c.is_meta(li))
+                .map(|li| (c.original_id(li), c.params_id(li)))
+                .collect()
         };
-        let (a, b) = (meta_of(0), meta_of(1));
+        let (a, b) = (meta_ids(0), meta_ids(1));
         assert_eq!(a.len(), 2);
-        for (la, lb) in a.iter().zip(&b) {
-            assert!(
-                Arc::ptr_eq(&la.original, &lb.original),
-                "metadata text allocations must be shared, not copied"
-            );
-            assert!(
-                Arc::ptr_eq(&la.params, &lb.params),
-                "metadata param allocations must be shared, not copied"
-            );
-        }
+        assert_eq!(
+            a, b,
+            "metadata text/param storage must be shared arena ids, not copies"
+        );
+        // The arena holds each metadata line once regardless of config
+        // count: 3 own originals + 2 meta originals + 3 names.
+        assert_eq!(ds.interned_strings(), 8);
     }
 
     #[test]
@@ -609,7 +1142,7 @@ mod tests {
         let lexer = Lexer::standard();
         let ds = Dataset::build(&configs, &[], &lexer, false, 1).unwrap();
         assert_eq!(
-            ds.table.text(ds.configs[0].lines[1].pattern),
+            ds.table.text(ds.configs[0].pattern(1)),
             "/ip address [a:ip4]"
         );
     }
@@ -635,8 +1168,8 @@ mod tests {
         let par = Dataset::build(&configs, &[], &lexer, true, 4).unwrap();
         assert_eq!(seq.pattern_count(), par.pattern_count());
         for (a, b) in seq.configs.iter().zip(&par.configs) {
-            assert_eq!(a.lines.len(), b.lines.len());
-            for (la, lb) in a.lines.iter().zip(&b.lines) {
+            assert_eq!(a.len(), b.len());
+            for (la, lb) in a.lines(&seq.arenas).zip(b.lines(&par.arenas)) {
                 assert_eq!(la.pattern, lb.pattern);
                 assert_eq!(la.original, lb.original);
             }
@@ -652,20 +1185,20 @@ mod tests {
         // Replace dev1 in place.
         let i = ds.upsert_config("dev1", "interface Et1\n mtu 9000\n", &lexer, true, None);
         assert_eq!(i, 1);
-        assert_eq!(ds.configs[1].name, "dev1");
-        assert_eq!(ds.configs[1].lines.len(), 2);
+        assert_eq!(ds.config_name(1), "dev1");
+        assert_eq!(ds.configs[1].len(), 2);
 
         // Insert a new name at its sorted position.
         let i = ds.upsert_config("dev15", "vlan 9\n", &lexer, true, None);
         assert_eq!(i, 2, "dev15 sorts between dev1 and dev2");
-        let names: Vec<&str> = ds.configs.iter().map(|c| c.name.as_str()).collect();
+        let names: Vec<&str> = (0..ds.configs.len()).map(|i| ds.config_name(i)).collect();
         assert_eq!(names, ["dev0", "dev1", "dev15", "dev2"]);
     }
 
     #[test]
     fn upsert_matches_batch_build() {
-        // An edited dataset must equal (up to pattern id numbering) the
-        // batch build of the edited corpus: same lines, same texts, same
+        // An edited dataset must equal (up to id numbering) the batch
+        // build of the edited corpus: same lines, same texts, same
         // pattern texts per line.
         let lexer = Lexer::standard();
         let metadata = vec![("meta.yaml".to_string(), "siteId: 9\n".to_string())];
@@ -688,9 +1221,9 @@ mod tests {
         assert_eq!(ds.configs.len(), batch.configs.len());
         assert_eq!(ds.total_lines(), batch.total_lines());
         for (a, b) in ds.configs.iter().zip(&batch.configs) {
-            assert_eq!(a.name, b.name);
-            assert_eq!(a.lines.len(), b.lines.len());
-            for (la, lb) in a.lines.iter().zip(&b.lines) {
+            assert_eq!(ds.name_of(a), batch.name_of(b));
+            assert_eq!(a.len(), b.len());
+            for (la, lb) in a.lines(&ds.arenas).zip(b.lines(&batch.arenas)) {
                 assert_eq!(ds.table.text(la.pattern), batch.table.text(lb.pattern));
                 assert_eq!(la.original, lb.original);
                 assert_eq!(la.params, lb.params);
@@ -707,8 +1240,40 @@ mod tests {
         assert!(ds.configs.is_empty());
         ds.upsert_config("dev0", "vlan 4\n", &lexer, true, None);
         let batch = Dataset::from_named_texts(&cfgs(&["vlan 4\n"]), &metadata).unwrap();
-        assert_eq!(ds.configs[0].lines.len(), batch.configs[0].lines.len());
+        assert_eq!(ds.configs[0].len(), batch.configs[0].len());
         assert_eq!(ds.pattern_count(), batch.pattern_count());
-        assert!(ds.configs[0].lines.iter().any(|l| l.is_meta));
+        assert!((0..ds.configs[0].len()).any(|li| ds.configs[0].is_meta(li)));
+    }
+
+    #[test]
+    fn cached_line_totals_track_edits() {
+        let lexer = Lexer::standard();
+        let metadata = vec![("meta.yaml".to_string(), "siteId: 9\n".to_string())];
+        let configs = cfgs(&["vlan 1\nvlan 2\n", "vlan 3\n"]);
+        let mut ds = Dataset::from_named_texts(&configs, &metadata).unwrap();
+        let recount = |ds: &Dataset| -> usize {
+            ds.configs
+                .iter()
+                .map(|c| (0..c.len()).filter(|&li| !c.is_meta(li)).count())
+                .sum()
+        };
+        assert_eq!(ds.total_lines(), 3);
+        assert_eq!(ds.total_lines(), recount(&ds));
+
+        ds.upsert_config("dev0", "vlan 1\n", &lexer, true, None);
+        assert_eq!(ds.total_lines(), 2);
+        assert_eq!(ds.total_lines(), recount(&ds));
+
+        ds.upsert_config("dev9", "vlan 4\nvlan 5\nvlan 6\n", &lexer, true, None);
+        assert_eq!(ds.total_lines(), 5);
+        assert_eq!(ds.total_lines(), recount(&ds));
+
+        ds.remove_config("dev1");
+        assert_eq!(ds.total_lines(), 4);
+        assert_eq!(ds.total_lines(), recount(&ds));
+
+        ds.remove_line(0, 0);
+        assert_eq!(ds.total_lines(), 3);
+        assert_eq!(ds.total_lines(), recount(&ds));
     }
 }

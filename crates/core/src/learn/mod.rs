@@ -80,8 +80,8 @@ impl<'a> DatasetView<'a> {
         let mut config_count = vec![0u32; dataset.table.len()];
         for config in &dataset.configs {
             let mut map: FxHashMap<PatternId, Vec<usize>> = FxHashMap::default();
-            for (i, line) in config.lines.iter().enumerate() {
-                map.entry(line.pattern).or_default().push(i);
+            for (i, &pattern) in config.patterns().iter().enumerate() {
+                map.entry(pattern).or_default().push(i);
             }
             for &pattern in map.keys() {
                 config_count[pattern.0 as usize] += 1;
@@ -358,18 +358,18 @@ mod tests {
     #[test]
     fn fill_pattern_substitutes_bound_holes() {
         let ds = dataset(&["rd 1.2.3.4:55\n"]);
-        let line = &ds.configs[0].lines[0];
+        let line = ds.configs[0].line(&ds.arenas, 0);
         let pattern = ds.table.text(line.pattern);
-        assert_eq!(fill_pattern(pattern, &line.params), "/rd 1.2.3.4:55");
+        assert_eq!(fill_pattern(pattern, line.params), "/rd 1.2.3.4:55");
     }
 
     #[test]
     fn fill_pattern_keeps_anonymous_holes() {
         let ds = dataset(&["interface Loopback0\n ip address 10.0.0.1\n"]);
-        let line = &ds.configs[0].lines[1];
+        let line = ds.configs[0].line(&ds.arenas, 1);
         let pattern = ds.table.text(line.pattern);
         assert_eq!(
-            fill_pattern(pattern, &line.params),
+            fill_pattern(pattern, line.params),
             "/interface Loopback[num]/ip address 10.0.0.1"
         );
     }

@@ -28,19 +28,20 @@ pub(crate) fn sketch_config(dataset: &crate::ir::Dataset, ci: usize) -> Sketch {
     // metadata boundary).
     let mut followers: FxHashMap<PatternId, Option<PatternId>> = FxHashMap::default();
     let mut conflicted: FxHashSet<PatternId> = FxHashSet::default();
-    for (i, line) in config.lines.iter().enumerate() {
-        let next = config.lines.get(i + 1);
-        let follower = match next {
-            Some(n) if n.is_meta == line.is_meta => Some(n.pattern),
-            _ => None,
+    for i in 0..config.len() {
+        let pattern = config.pattern(i);
+        let follower = if i + 1 < config.len() && config.is_meta(i + 1) == config.is_meta(i) {
+            Some(config.pattern(i + 1))
+        } else {
+            None
         };
-        match followers.entry(line.pattern) {
+        match followers.entry(pattern) {
             std::collections::hash_map::Entry::Vacant(e) => {
                 e.insert(follower);
             }
             std::collections::hash_map::Entry::Occupied(e) => {
                 if *e.get() != follower {
-                    conflicted.insert(line.pattern);
+                    conflicted.insert(pattern);
                 }
             }
         }

@@ -30,9 +30,9 @@ pub(crate) fn sketch_config(dataset: &Dataset, ci: usize, params: &LearnParams) 
     if params.learn_constants {
         let mut seen: FxHashSet<String> = FxHashSet::default();
         let mut buf = String::new();
-        for line in &dataset.configs[ci].lines {
+        for line in dataset.configs[ci].lines(&dataset.arenas) {
             buf.clear();
-            fill_pattern_into(&mut buf, dataset.table.text(line.pattern), &line.params);
+            fill_pattern_into(&mut buf, dataset.table.text(line.pattern), line.params);
             if !seen.contains(buf.as_str()) {
                 seen.insert(buf.clone());
                 constants.push(buf.clone());

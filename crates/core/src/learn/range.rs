@@ -51,16 +51,17 @@ pub(crate) fn sketch_config(
     lines_by_pattern: &FxHashMap<PatternId, Vec<usize>>,
 ) -> Sketch {
     let config = &dataset.configs[ci];
+    let arenas = &dataset.arenas;
     let mut entries = Vec::new();
     for (&pattern, line_idxs) in lines_by_pattern {
-        let first = &config.lines[line_idxs[0]];
+        let first = config.line(arenas, line_idxs[0]);
         for (pi, param) in first.params.iter().enumerate() {
             if param.value.as_num().is_none() {
                 continue;
             }
             let values: Vec<&BigNum> = line_idxs
                 .iter()
-                .filter_map(|&li| config.lines[li].params.get(pi))
+                .filter_map(|&li| config.line(arenas, li).params.get(pi))
                 .filter_map(|p| p.value.as_num())
                 .collect();
             if values.is_empty() {

@@ -84,8 +84,8 @@ impl<'a> DatasetView<'a> {
         for config in &dataset.configs {
             let mut map: std::collections::HashMap<PatternId, Vec<usize>> =
                 std::collections::HashMap::new();
-            for (i, line) in config.lines.iter().enumerate() {
-                map.entry(line.pattern).or_default().push(i);
+            for (i, &pattern) in config.patterns().iter().enumerate() {
+                map.entry(pattern).or_default().push(i);
             }
             for &pattern in map.keys() {
                 config_count[pattern.0 as usize] += 1;
@@ -183,8 +183,8 @@ mod present {
             let mut line_configs: HashMap<String, u32> = HashMap::new();
             for config in &view.dataset.configs {
                 let mut seen = std::collections::HashSet::new();
-                for line in &config.lines {
-                    let filled = fill_pattern(view.dataset.table.text(line.pattern), &line.params);
+                for line in config.lines(&view.dataset.arenas) {
+                    let filled = fill_pattern(view.dataset.table.text(line.pattern), line.params);
                     if seen.insert(filled.clone()) {
                         *line_configs.entry(filled).or_insert(0) += 1;
                     }
@@ -237,19 +237,21 @@ mod ordering {
             let mut followers: HashMap<PatternId, Option<PatternId>> = HashMap::new();
             let mut conflicted: std::collections::HashSet<PatternId> =
                 std::collections::HashSet::new();
-            for (i, line) in config.lines.iter().enumerate() {
-                let next = config.lines.get(i + 1);
-                let follower = match next {
-                    Some(n) if n.is_meta == line.is_meta => Some(n.pattern),
-                    _ => None,
+            for i in 0..config.len() {
+                let pattern = config.pattern(i);
+                let follower = if i + 1 < config.len() && config.is_meta(i + 1) == config.is_meta(i)
+                {
+                    Some(config.pattern(i + 1))
+                } else {
+                    None
                 };
-                match followers.entry(line.pattern) {
+                match followers.entry(pattern) {
                     std::collections::hash_map::Entry::Vacant(e) => {
                         e.insert(follower);
                     }
                     std::collections::hash_map::Entry::Occupied(e) => {
                         if *e.get() != follower {
-                            conflicted.insert(line.pattern);
+                            conflicted.insert(pattern);
                         }
                     }
                 }
@@ -314,7 +316,7 @@ mod typing {
         let mut groups: HashMap<String, Group> = HashMap::new();
 
         for (ci, config) in view.dataset.configs.iter().enumerate() {
-            for line in &config.lines {
+            for line in config.lines(&view.dataset.arenas) {
                 if line.params.is_empty() {
                     continue;
                 }
@@ -418,14 +420,15 @@ mod sequence {
                 if line_idxs.len() < 2 {
                     continue;
                 }
-                let first = &config.lines[line_idxs[0]];
+                let arenas = &view.dataset.arenas;
+                let first = config.line(arenas, line_idxs[0]);
                 for (pi, param) in first.params.iter().enumerate() {
                     if param.value.as_num().is_none() {
                         continue;
                     }
                     let values: Vec<&BigNum> = line_idxs
                         .iter()
-                        .filter_map(|&li| config.lines[li].params.get(pi))
+                        .filter_map(|&li| config.line(arenas, li).params.get(pi))
                         .filter_map(|p| p.value.as_num())
                         .collect();
                     if values.len() != line_idxs.len() {
@@ -486,7 +489,8 @@ mod unique {
         for (ci, _) in view.dataset.configs.iter().enumerate() {
             for (&pattern, line_idxs) in &view.lines_by_pattern[ci] {
                 let config = &view.dataset.configs[ci];
-                let first = &config.lines[line_idxs[0]];
+                let arenas = &view.dataset.arenas;
+                let first = config.line(arenas, line_idxs[0]);
                 for pi in 0..first.params.len() {
                     let acc = stats.entry((pattern, pi as u16)).or_insert_with(|| Acc {
                         values: HashSet::new(),
@@ -501,7 +505,7 @@ mod unique {
                         acc.once_per_config = false;
                     }
                     for &li in line_idxs {
-                        let Some(param) = config.lines[li].params.get(pi) else {
+                        let Some(param) = config.line(arenas, li).params.get(pi) else {
                             continue;
                         };
                         acc.instances += 1;
@@ -578,14 +582,15 @@ mod range {
 
         for (ci, config) in view.dataset.configs.iter().enumerate() {
             for (&pattern, line_idxs) in &view.lines_by_pattern[ci] {
-                let first = &config.lines[line_idxs[0]];
+                let arenas = &view.dataset.arenas;
+                let first = config.line(arenas, line_idxs[0]);
                 for (pi, param) in first.params.iter().enumerate() {
                     if param.value.as_num().is_none() {
                         continue;
                     }
                     let values: Vec<&BigNum> = line_idxs
                         .iter()
-                        .filter_map(|&li| config.lines[li].params.get(pi))
+                        .filter_map(|&li| config.line(arenas, li).params.get(pi))
                         .filter_map(|p| p.value.as_num())
                         .collect();
                     if values.is_empty() {
@@ -826,7 +831,7 @@ pub(crate) fn mine_relational(
         let mut index = reference_index(params.max_affix_fanout);
         let mut node_instances: HashMap<NodeKey, u32> = HashMap::new();
 
-        for line in &config.lines {
+        for line in config.lines(&view.dataset.arenas) {
             for (pi, param) in line.params.iter().enumerate() {
                 let base_score = value_score(&param.value);
                 for transform in Transform::enumerate_for(&param.value) {

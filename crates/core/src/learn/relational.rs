@@ -315,7 +315,7 @@ pub(crate) fn mine_config(
     let mut node_instances: FxHashMap<u64, u32> = FxHashMap::default();
 
     let mut transforms: Vec<Transform> = Vec::new();
-    for line in &config.lines {
+    for line in config.lines(&dataset.arenas) {
         for (pi, param) in line.params.iter().enumerate() {
             let base_score = value_score(&param.value);
             Transform::enumerate_into(&param.value, &mut transforms);

@@ -59,8 +59,8 @@ pub struct ConfigSketch {
 pub fn sketch_config(dataset: &Dataset, ci: usize, params: &LearnParams) -> ConfigSketch {
     let mut lines_by_pattern: crate::fxhash::FxHashMap<PatternId, Vec<usize>> =
         crate::fxhash::FxHashMap::default();
-    for (i, line) in dataset.configs[ci].lines.iter().enumerate() {
-        lines_by_pattern.entry(line.pattern).or_default().push(i);
+    for (i, &pattern) in dataset.configs[ci].patterns().iter().enumerate() {
+        lines_by_pattern.entry(pattern).or_default().push(i);
     }
     let patterns: Vec<PatternId> = lines_by_pattern.keys().copied().collect();
     let (relational, relational_truncations) = if params.enable_relational {

@@ -34,7 +34,7 @@ pub(crate) struct Sketch {
 /// Accumulates one config's type usage.
 pub(crate) fn sketch_config(dataset: &crate::ir::Dataset, ci: usize) -> Sketch {
     let mut groups: FxHashMap<String, Vec<FxHashMap<ValueType, u64>>> = FxHashMap::default();
-    for line in &dataset.configs[ci].lines {
+    for line in dataset.configs[ci].lines(&dataset.arenas) {
         if line.params.is_empty() {
             continue;
         }

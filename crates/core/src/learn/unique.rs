@@ -44,9 +44,10 @@ pub(crate) fn sketch_config(
     lines_by_pattern: &FxHashMap<PatternId, Vec<usize>>,
 ) -> Sketch {
     let config = &dataset.configs[ci];
+    let arenas = &dataset.arenas;
     let mut entries = Vec::new();
     for (&pattern, line_idxs) in lines_by_pattern {
-        let first = &config.lines[line_idxs[0]];
+        let first = config.line(arenas, line_idxs[0]);
         for pi in 0..first.params.len() {
             let mut ps = ParamSketch {
                 multi: line_idxs.len() != 1,
@@ -54,7 +55,7 @@ pub(crate) fn sketch_config(
             };
             let mut seen: FxHashSet<String> = FxHashSet::default();
             for &li in line_idxs {
-                let Some(param) = config.lines[li].params.get(pi) else {
+                let Some(param) = config.line(arenas, li).params.get(pi) else {
                     continue;
                 };
                 ps.instances += 1;

@@ -1,0 +1,251 @@
+//! The pre-refactor, array-of-structs dataset representation, retained
+//! behind the `legacy-ir` feature as the equivalence oracle for the
+//! arena-backed SoA [`Dataset`] (same pattern as `naive-check` /
+//! `reference-learn`).
+//!
+//! [`LegacyDataset`] reproduces the original build/upsert/remove logic
+//! exactly: every line is a materialized [`LegacyLineRecord`] owning an
+//! `Arc<str>` original and an `Arc<[Param]>`, and metadata records are
+//! `Arc`-shared across configurations. Property tests drive identical
+//! randomized edit sequences through both representations and assert the
+//! resulting datasets are line-for-line identical and produce
+//! byte-identical CHECK/LEARN output (see `bench/tests/ir_equivalence.rs`).
+
+use std::sync::Arc;
+
+use concord_formats::FormatCategory;
+use concord_lexer::{LexCache, LexedLine, Lexer, Param};
+
+use crate::ir::{lex_text, Dataset, PatternId, PatternTable};
+
+/// One lexed configuration line, pre-refactor shape: materialized record
+/// with `Arc`-shared payloads.
+#[derive(Debug, Clone)]
+pub struct LegacyLineRecord {
+    /// The interned pattern id of the full embedded line.
+    pub pattern: PatternId,
+    /// Parameters bound from the original line text, in order.
+    pub params: Arc<[Param]>,
+    /// 1-based line number in the source file.
+    pub line_no: u32,
+    /// The trimmed original line text.
+    pub original: Arc<str>,
+    /// `true` when the line came from an appended metadata file.
+    pub is_meta: bool,
+}
+
+/// One configuration file, pre-refactor shape.
+#[derive(Debug, Clone)]
+pub struct LegacyConfig {
+    /// The configuration's name.
+    pub name: String,
+    /// The inferred format category.
+    pub format: FormatCategory,
+    /// All content lines in source order (metadata lines appended last).
+    pub lines: Vec<LegacyLineRecord>,
+}
+
+/// A set of configurations in the pre-refactor representation, with the
+/// original edit logic.
+#[derive(Debug, Clone, Default)]
+pub struct LegacyDataset {
+    /// The shared pattern interner.
+    pub table: PatternTable,
+    /// The configurations.
+    pub configs: Vec<LegacyConfig>,
+    meta_lexed: Vec<Vec<LexedLine>>,
+    meta_records: Option<Vec<LegacyLineRecord>>,
+}
+
+impl LegacyDataset {
+    /// Builds a legacy dataset with the standard lexer, mirroring
+    /// [`Dataset::from_named_texts`].
+    pub fn from_named_texts(
+        configs: &[(String, String)],
+        metadata: &[(String, String)],
+    ) -> LegacyDataset {
+        let lexer = Lexer::standard();
+        let meta_lexed: Vec<Vec<LexedLine>> = metadata
+            .iter()
+            .map(|(_, text)| lex_text(text, &lexer, true, None).1)
+            .collect();
+        let mut dataset = LegacyDataset {
+            table: PatternTable::new(),
+            configs: Vec::with_capacity(configs.len()),
+            meta_lexed,
+            meta_records: None,
+        };
+        for (name, text) in configs {
+            dataset.upsert_config(name, text, &lexer, true, None);
+        }
+        dataset
+    }
+
+    fn shared_meta_records(&mut self) -> &[LegacyLineRecord] {
+        if self.meta_records.is_none() {
+            let records: Vec<LegacyLineRecord> = self
+                .meta_lexed
+                .iter()
+                .flat_map(|lines| lines.iter())
+                .map(|l| LegacyLineRecord {
+                    pattern: self.table.intern(&format!("@meta{}", l.pattern)),
+                    params: l.params.clone().into(),
+                    line_no: l.line_no,
+                    original: l.original.as_str().into(),
+                    is_meta: true,
+                })
+                .collect();
+            self.meta_records = Some(records);
+        }
+        self.meta_records.as_deref().expect("just populated")
+    }
+
+    /// Inserts or replaces the configuration named `name` — the
+    /// pre-refactor upsert logic verbatim.
+    pub fn upsert_config(
+        &mut self,
+        name: &str,
+        text: &str,
+        lexer: &Lexer,
+        embed_context: bool,
+        cache: Option<&LexCache>,
+    ) -> usize {
+        let (format, lines) = lex_text(text, lexer, embed_context, cache);
+        let mut records: Vec<LegacyLineRecord> = lines
+            .into_iter()
+            .map(|l| LegacyLineRecord {
+                pattern: self.table.intern(&l.pattern),
+                params: l.params.into(),
+                line_no: l.line_no,
+                original: l.original.into(),
+                is_meta: false,
+            })
+            .collect();
+        records.extend_from_slice(self.shared_meta_records());
+        let config = LegacyConfig {
+            name: name.to_string(),
+            format,
+            lines: records,
+        };
+        match self.configs.iter().position(|c| c.name == name) {
+            Some(i) => {
+                self.configs[i] = config;
+                i
+            }
+            None => {
+                let i = self.configs.partition_point(|c| c.name.as_str() < name);
+                self.configs.insert(i, config);
+                i
+            }
+        }
+    }
+
+    /// Removes the configuration named `name`.
+    pub fn remove_config(&mut self, name: &str) -> Option<usize> {
+        let i = self.configs.iter().position(|c| c.name == name)?;
+        self.configs.remove(i);
+        Some(i)
+    }
+
+    /// Returns the number of non-metadata lines across all configurations
+    /// (the pre-refactor O(lines) recount).
+    pub fn total_lines(&self) -> usize {
+        self.configs
+            .iter()
+            .map(|c| c.lines.iter().filter(|l| !l.is_meta).count())
+            .sum()
+    }
+
+    /// Heap bytes held by the line records: the per-record structs plus
+    /// every distinct `Arc` payload (originals, param slices, param name
+    /// strings), counted **once per allocation** — `Arc`-shared metadata
+    /// records do not multiply. The pattern table is excluded so the
+    /// figure is directly comparable to the SoA side's string + param +
+    /// column arenas (`Dataset::arena_bytes` minus its table term).
+    pub fn heap_bytes(&self) -> usize {
+        let mut seen: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        let mut bytes = 0usize;
+        for config in &self.configs {
+            bytes += config.name.capacity();
+            bytes += config.lines.capacity() * std::mem::size_of::<LegacyLineRecord>();
+            for line in &config.lines {
+                if seen.insert(Arc::as_ptr(&line.original) as *const u8 as usize) {
+                    bytes += line.original.len();
+                }
+                if seen.insert(Arc::as_ptr(&line.params) as *const u8 as usize) {
+                    bytes += line.params.len() * std::mem::size_of::<Param>()
+                        + line.params.iter().map(|p| p.name.capacity()).sum::<usize>();
+                }
+            }
+        }
+        bytes
+    }
+
+    /// Converts into the SoA representation by re-interning every record
+    /// in order. The result is a fully independent [`Dataset`] whose line
+    /// views must match this dataset's records field for field.
+    pub fn to_dataset(&self) -> Dataset {
+        let mut out = Dataset::default();
+        for config in &self.configs {
+            let own: Vec<&LegacyLineRecord> = config.lines.iter().filter(|l| !l.is_meta).collect();
+            let meta: Vec<&LegacyLineRecord> = config.lines.iter().filter(|l| l.is_meta).collect();
+            assert_eq!(
+                own.len() + meta.len(),
+                config.lines.len(),
+                "metadata records must form a contiguous suffix"
+            );
+            let lexed: Vec<LexedLine> = own
+                .iter()
+                .chain(meta.iter())
+                .map(|l| LexedLine {
+                    pattern: self.table.text(l.pattern).to_string(),
+                    params: l.params.to_vec(),
+                    line_no: l.line_no,
+                    original: l.original.to_string(),
+                })
+                .collect();
+            out.push_converted(&config.name, config.format, &lexed, own.len());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfgs(texts: &[&str]) -> Vec<(String, String)> {
+        texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (format!("dev{i}"), t.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn legacy_matches_soa_on_batch_build() {
+        let configs = cfgs(&[
+            "interface Loopback0\n ip address 10.0.0.1\n",
+            "vlan 10\nvlan 20\n",
+        ]);
+        let metadata = vec![("meta.yaml".to_string(), "siteId: 4\n".to_string())];
+        let legacy = LegacyDataset::from_named_texts(&configs, &metadata);
+        let soa = Dataset::from_named_texts(&configs, &metadata).unwrap();
+        let converted = legacy.to_dataset();
+        for ds in [&soa, &converted] {
+            assert_eq!(legacy.configs.len(), ds.configs.len());
+            assert_eq!(legacy.total_lines(), ds.total_lines());
+            for (lc, sc) in legacy.configs.iter().zip(&ds.configs) {
+                assert_eq!(lc.name, ds.name_of(sc));
+                assert_eq!(lc.lines.len(), sc.len());
+                for (lr, sr) in lc.lines.iter().zip(sc.lines(&ds.arenas)) {
+                    assert_eq!(legacy.table.text(lr.pattern), ds.table.text(sr.pattern));
+                    assert_eq!(&*lr.original, sr.original);
+                    assert_eq!(&*lr.params, sr.params);
+                    assert_eq!(lr.line_no, sr.line_no);
+                    assert_eq!(lr.is_meta, sr.is_meta);
+                }
+            }
+        }
+    }
+}

@@ -52,6 +52,8 @@ mod contract;
 mod fxhash;
 mod ir;
 mod learn;
+#[cfg(any(test, feature = "legacy-ir"))]
+mod legacy;
 pub mod parallel;
 mod params;
 mod stats;
@@ -64,7 +66,10 @@ pub use check::{
 #[cfg(any(test, feature = "naive-check"))]
 pub use check::{check_naive, check_naive_parallel};
 pub use contract::{Contract, ContractSet, PatternRef, RelationKind, RelationalContract};
-pub use ir::{ConfigIr, Dataset, DatasetError, LineRecord, PatternId, PatternTable};
+pub use ir::{
+    Arenas, ConfigIr, Dataset, DatasetError, LineRef, ParamArena, ParamSliceId, PatternId,
+    PatternTable, StrArena, StrId,
+};
 pub use learn::indexes::{
     AffixStructure, ContainsStructure, Entry, EqualityStructure, NodeKey, PrefixTrie,
     RelationStructure, StrTrie, TransformTag, ValueIndex,
@@ -75,9 +80,11 @@ pub use learn::{
     finalize_sketches, learn, learn_with_stats, sketch_config, sketch_params_fingerprint,
     ConfigSketch, LearnStats, SKETCH_FORMAT_VERSION,
 };
+#[cfg(any(test, feature = "legacy-ir"))]
+pub use legacy::{LegacyConfig, LegacyDataset, LegacyLineRecord};
 pub use params::LearnParams;
 pub use stats::{
     BuildStats, CheckStats, EngineCheckStats, EngineStats, FleetReplicaStats, FleetShardStats,
-    FleetStats, FleetTotals, LearnDeltaStats, PipelineStats, RobustnessStats, ServeTransportStats,
-    STATS_SCHEMA,
+    FleetStats, FleetTotals, LearnDeltaStats, MemoryStats, PipelineStats, RobustnessStats,
+    ServeTransportStats, STATS_SCHEMA,
 };

@@ -34,8 +34,12 @@ use crate::learn::LearnStats;
 /// fleet object (`engine.fleet`: per-shard counters with applied WAL
 /// sequence and robustness, replica lag entries, the router's hash
 /// distribution, and one-pass summed totals — `null` when serving a
-/// single unsharded engine).
-pub const STATS_SCHEMA: &str = "concord-pipeline-stats/v8";
+/// single unsharded engine); v9 added the memory object
+/// (`engine.memory`: arena-interner heap accounting for the
+/// structure-of-arrays dataset — string/param/pattern-table/column
+/// bytes and interned-entry counts — plus the segmented-checkpoint
+/// scorecard of segments written vs skipped).
+pub const STATS_SCHEMA: &str = "concord-pipeline-stats/v9";
 
 /// Statistics from one [`Dataset::build_with_stats`](crate::Dataset::build_with_stats) run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -316,6 +320,46 @@ impl ToJson for LearnDeltaStats {
     }
 }
 
+/// Memory accounting for the arena-interned structure-of-arrays
+/// dataset, plus the segmented-checkpoint scorecard (the v9 `memory`
+/// stats object). Byte figures are exact heap-allocation sums from the
+/// arenas themselves, not RSS estimates, so they are stable across
+/// allocators and platforms.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Bytes held by the interned-string arena (originals and names).
+    pub string_arena_bytes: u64,
+    /// Bytes held by the interned parameter-slice arena.
+    pub param_arena_bytes: u64,
+    /// Bytes held by the pattern table.
+    pub pattern_table_bytes: u64,
+    /// Bytes held by the per-config SoA line columns.
+    pub column_bytes: u64,
+    /// Distinct strings interned (deduplicated across the corpus).
+    pub interned_strings: u64,
+    /// Distinct parameter slices interned.
+    pub interned_param_slices: u64,
+    /// Segment files written across all checkpoints of this process.
+    pub segments_written: u64,
+    /// Clean segments skipped (already durable) across all checkpoints.
+    pub segments_skipped: u64,
+}
+
+impl ToJson for MemoryStats {
+    fn to_json(&self) -> Json {
+        concord_json::json!({
+            "string_arena_bytes": self.string_arena_bytes,
+            "param_arena_bytes": self.param_arena_bytes,
+            "pattern_table_bytes": self.pattern_table_bytes,
+            "column_bytes": self.column_bytes,
+            "interned_strings": self.interned_strings,
+            "interned_param_slices": self.interned_param_slices,
+            "segments_written": self.segments_written,
+            "segments_skipped": self.segments_skipped,
+        })
+    }
+}
+
 /// Transport-layer counters of one `concord serve` process: how traffic
 /// actually reached the engine (connections, pipelined requests, BATCH
 /// amortization, binary frames) and how often the read/write engine
@@ -534,6 +578,9 @@ pub struct EngineStats {
     pub robustness: Option<RobustnessStats>,
     /// Incremental-learning counters (sketch cache and last relearn).
     pub learn_delta: LearnDeltaStats,
+    /// Arena/interner memory accounting and segmented-checkpoint
+    /// counters.
+    pub memory: MemoryStats,
     /// Serve transport counters, when the stats were produced by a
     /// `concord serve` process (`None` for a bare engine).
     pub serve: Option<ServeTransportStats>,
@@ -568,6 +615,7 @@ impl ToJson for EngineStats {
             "last_check": self.last_check,
             "robustness": self.robustness,
             "learn_delta": self.learn_delta,
+            "memory": self.memory,
             "serve": self.serve,
             "fleet": self.fleet,
         })
@@ -691,6 +739,18 @@ impl PipelineStats {
                 d.mined_last_learn,
                 d.reused_last_learn,
                 d.contracts_edits,
+            ));
+            let m = &e.memory;
+            out.push_str(&format!(
+                "  memory: {} KiB strings + {} KiB params + {} KiB patterns + {} KiB columns; {} strings / {} param slices interned; segments {} written / {} skipped\n",
+                m.string_arena_bytes / 1024,
+                m.param_arena_bytes / 1024,
+                m.pattern_table_bytes / 1024,
+                m.column_bytes / 1024,
+                m.interned_strings,
+                m.interned_param_slices,
+                m.segments_written,
+                m.segments_skipped,
             ));
             if let Some(r) = &e.robustness {
                 out.push_str(&format!(
@@ -876,6 +936,16 @@ mod tests {
                     reused_last_learn: 2,
                     contracts_edits: 3,
                 },
+                memory: MemoryStats {
+                    string_arena_bytes: 4096,
+                    param_arena_bytes: 1024,
+                    pattern_table_bytes: 512,
+                    column_bytes: 2048,
+                    interned_strings: 100,
+                    interned_param_slices: 40,
+                    segments_written: 7,
+                    segments_skipped: 21,
+                },
                 serve: Some(ServeTransportStats {
                     connections: 9,
                     requests: 40,
@@ -963,6 +1033,26 @@ mod tests {
         assert_eq!(
             json["engine"]["learn_delta"]["contracts_edits"].as_u64(),
             Some(3)
+        );
+        assert_eq!(
+            json["engine"]["memory"]["string_arena_bytes"].as_u64(),
+            Some(4096)
+        );
+        assert_eq!(
+            json["engine"]["memory"]["column_bytes"].as_u64(),
+            Some(2048)
+        );
+        assert_eq!(
+            json["engine"]["memory"]["interned_strings"].as_u64(),
+            Some(100)
+        );
+        assert_eq!(
+            json["engine"]["memory"]["segments_written"].as_u64(),
+            Some(7)
+        );
+        assert_eq!(
+            json["engine"]["memory"]["segments_skipped"].as_u64(),
+            Some(21)
         );
         assert_eq!(json["engine"]["serve"]["connections"].as_u64(), Some(9));
         assert_eq!(json["engine"]["serve"]["batches"].as_u64(), Some(2));

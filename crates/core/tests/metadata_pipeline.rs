@@ -28,8 +28,8 @@ fn metadata_lines_are_marked_and_shared() {
     let (configs, metadata) = fleet_with_metadata(&[210, 220]);
     let ds = Dataset::from_named_texts(&configs, &metadata).unwrap();
     for config in &ds.configs {
-        let meta_lines: Vec<_> = config.lines.iter().filter(|l| l.is_meta).collect();
-        assert_eq!(meta_lines.len(), 3, "{}", config.name); // `vlans` + 2 ids.
+        let meta_lines: Vec<_> = config.lines(&ds.arenas).filter(|l| l.is_meta).collect();
+        assert_eq!(meta_lines.len(), 3, "{}", ds.name_of(config)); // `vlans` + 2 ids.
         for line in meta_lines {
             assert!(ds.table.text(line.pattern).starts_with("@meta/"));
         }

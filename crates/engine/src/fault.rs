@@ -13,20 +13,28 @@
 //! `concord-cli` both drive it; it has no effect on production paths
 //! unless explicitly invoked.
 
+use std::collections::HashMap;
 use std::fs::OpenOptions;
 use std::io;
 use std::path::Path;
 
 use concord_rng::{Rng, SeedableRng, StdRng};
 
+use crate::store::SegRef;
+
 /// The fault classes a soak run rotates through.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {
     /// Truncate the live WAL mid-record (simulated crash during append).
     TornWal,
-    /// Truncate the live snapshot mid-payload (simulated crash during
-    /// checkpoint, or bit rot).
+    /// Truncate the live checkpoint manifest mid-payload (simulated
+    /// crash during checkpoint, or bit rot). Falls back to truncating a
+    /// legacy `snapshot.json` when no manifest exists.
     TruncatedSnapshot,
+    /// Truncate a segment file referenced only by the live manifest
+    /// (bit rot inside one config's segment), forcing recovery through
+    /// the backup manifest plus WAL replay.
+    TornSegment,
     /// Arm a panic inside an upsert.
     PanicUpsert,
     /// Arm a panic inside a check.
@@ -53,9 +61,10 @@ pub enum FaultKind {
 }
 
 /// All fault kinds, in rotation order.
-pub const ALL_FAULTS: [FaultKind; 11] = [
+pub const ALL_FAULTS: [FaultKind; 12] = [
     FaultKind::TornWal,
     FaultKind::TruncatedSnapshot,
+    FaultKind::TornSegment,
     FaultKind::PanicUpsert,
     FaultKind::PanicCheck,
     FaultKind::PanicLearn,
@@ -156,10 +165,51 @@ impl FaultPlan {
         self.truncate_file(&state_dir.join("wal.log"))
     }
 
-    /// Truncates the live snapshot mid-payload, simulating a crash
-    /// during checkpoint. Returns `false` when there is no snapshot.
+    /// Truncates the live checkpoint manifest (or, for a directory
+    /// that predates segmented checkpoints, the legacy monolithic
+    /// snapshot) mid-payload, simulating a crash during checkpoint.
+    /// Returns `false` when there is nothing to truncate.
     pub fn truncate_snapshot(&mut self, state_dir: &Path) -> io::Result<bool> {
+        let manifest = state_dir.join("manifest.json");
+        if manifest.exists() {
+            return self.truncate_file(&manifest);
+        }
         self.truncate_file(&state_dir.join("snapshot.json"))
+    }
+
+    /// Truncates the *newest* segment of a config that has more than
+    /// one on-disk segment file — by construction a segment referenced
+    /// by the live manifest only, never the `.bak` (backup refs are
+    /// strictly older for a duplicated id). Tearing a shared segment
+    /// would corrupt both fallback rungs at once, which no real crash
+    /// can do: segments are written tmp + fsync + rename, so a kill
+    /// mid-checkpoint only ever strands whole orphan files. Returns
+    /// `false` when no config has a duplicated segment.
+    pub fn tear_fresh_segment(&mut self, state_dir: &Path) -> io::Result<bool> {
+        let seg_dir = state_dir.join("segments");
+        let entries = match std::fs::read_dir(&seg_dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(false),
+            Err(e) => return Err(e),
+        };
+        let mut by_id: HashMap<u64, Vec<SegRef>> = HashMap::new();
+        for entry in entries.flatten() {
+            if let Some(seg) = SegRef::parse(&entry.file_name().to_string_lossy()) {
+                by_id.entry(seg.id).or_default().push(seg);
+            }
+        }
+        let mut candidates: Vec<SegRef> = by_id
+            .values()
+            .filter(|refs| refs.len() >= 2)
+            .filter_map(|refs| refs.iter().max_by_key(|r| (r.generation, r.sketch)))
+            .copied()
+            .collect();
+        if candidates.is_empty() {
+            return Ok(false);
+        }
+        candidates.sort_by_key(|r| (r.id, r.generation, r.sketch));
+        let pick = candidates[self.index(candidates.len())];
+        self.truncate_file(&seg_dir.join(pick.file_name()))
     }
 
     fn truncate_file(&mut self, path: &Path) -> io::Result<bool> {

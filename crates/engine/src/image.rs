@@ -36,6 +36,14 @@ pub struct ImageConfig {
     pub id: u64,
     /// Edit generation.
     pub generation: u64,
+    /// This configuration's learn sketch as a complete single-config
+    /// `Engine::export_sketches`-shaped bundle, captured at checkpoint
+    /// time. Purely derived state: `None` (or a stale/undecodable
+    /// bundle) is simply re-mined by the next delta relearn. Keeping the
+    /// sketch *per config* is what makes segmented checkpoints O(dirty):
+    /// an unedited config's segment — text and sketch — never has to be
+    /// re-serialized.
+    pub sketch: Option<String>,
 }
 
 /// A serializable last-known-good snapshot of an engine.
@@ -48,12 +56,6 @@ pub struct EngineImage {
     /// The contract set's exact JSON serialization (`None` before any
     /// learn/load). Stored as a string so restore round-trips exactly.
     pub contracts: Option<String>,
-    /// The engine's per-configuration learn-sketch bundle
-    /// (`Engine::export_sketches`), captured at checkpoint time. Purely
-    /// derived state: absent or stale sketches are simply re-mined, so
-    /// decoding tolerates a missing field (snapshots written before the
-    /// field existed load as `None`).
-    pub sketches: Option<String>,
     /// Lifetime counters, synced from the live engine after every
     /// successful operation.
     pub counters: EngineCounters,
@@ -100,6 +102,7 @@ impl EngineImage {
                 text,
                 id: i as u64,
                 generation: 0,
+                sketch: None,
             })
             .collect();
         let next_id = configs.len() as u64;
@@ -107,7 +110,6 @@ impl EngineImage {
             configs,
             metadata: metadata.to_vec(),
             contracts: None,
-            sketches: None,
             counters: EngineCounters {
                 next_id,
                 ..EngineCounters::default()
@@ -129,6 +131,9 @@ impl EngineImage {
             Ok(i) => {
                 self.configs[i].text = text.to_string();
                 self.configs[i].generation += 1;
+                // The text changed, so any captured sketch is stale by
+                // generation; the next checkpoint re-exports it.
+                self.configs[i].sketch = None;
             }
             Err(i) => {
                 self.configs.insert(
@@ -138,6 +143,7 @@ impl EngineImage {
                         text: text.to_string(),
                         id: self.counters.next_id,
                         generation: 0,
+                        sketch: None,
                     },
                 );
                 self.counters.next_id += 1;
@@ -176,6 +182,13 @@ impl ToJson for ImageConfig {
             ("text".to_string(), self.text.to_json()),
             ("id".to_string(), self.id.to_json()),
             ("generation".to_string(), self.generation.to_json()),
+            (
+                "sketch".to_string(),
+                match &self.sketch {
+                    Some(json) => Json::Str(json.clone()),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 }
@@ -187,6 +200,13 @@ impl FromJson for ImageConfig {
             text: req_str(value, "text")?,
             id: req_u64(value, "id")?,
             generation: req_u64(value, "generation")?,
+            // Tolerant: sketches are derived state, so a missing field
+            // (an old snapshot) or a non-string value loads as "no
+            // sketch" rather than failing the config.
+            sketch: value
+                .get("sketch")
+                .and_then(Json::as_str)
+                .map(str::to_string),
         })
     }
 }
@@ -260,13 +280,6 @@ impl ToJson for EngineImage {
                     None => Json::Null,
                 },
             ),
-            (
-                "sketches".to_string(),
-                match &self.sketches {
-                    Some(json) => Json::Str(json.clone()),
-                    None => Json::Null,
-                },
-            ),
             ("counters".to_string(), self.counters.to_json()),
             ("applied_seq".to_string(), self.applied_seq.to_json()),
         ])
@@ -313,13 +326,6 @@ impl FromJson for EngineImage {
                     .to_string(),
             ),
         };
-        // Tolerant: sketches are derived state, so a missing field (an
-        // old snapshot) or a non-string value loads as "no sketches"
-        // rather than failing the whole image.
-        let sketches = value
-            .get("sketches")
-            .and_then(Json::as_str)
-            .map(str::to_string);
         let counters = value
             .get("counters")
             .map(EngineCounters::from_json)
@@ -329,14 +335,53 @@ impl FromJson for EngineImage {
             .get("applied_seq")
             .and_then(Json::as_u64)
             .ok_or_else(|| JsonError::custom("image missing applied_seq"))?;
-        Ok(EngineImage {
+        let mut image = EngineImage {
             configs,
             metadata,
             contracts,
-            sketches,
             counters,
             applied_seq,
-        })
+        };
+        // Snapshots written before sketches moved into the per-config
+        // segments carried one monolithic `Engine::export_sketches`
+        // bundle; split it into per-config single-entry bundles so the
+        // rest of the engine only ever sees the per-config shape.
+        if let Some(bundle) = value.get("sketches").and_then(Json::as_str) {
+            distribute_legacy_sketches(&mut image.configs, bundle);
+        }
+        Ok(image)
+    }
+}
+
+/// Splits a legacy monolithic sketch bundle into per-config
+/// single-entry bundles (each self-contained with the format version
+/// and learn-params fingerprint, so `Engine::import_sketches` applies
+/// its staleness guards unchanged). Best-effort: an unparsable bundle
+/// or an unknown config name is silently dropped — sketches are derived
+/// state and re-mining is always correct.
+fn distribute_legacy_sketches(configs: &mut [ImageConfig], bundle: &str) {
+    let Ok(bundle) = Json::parse(bundle) else {
+        return;
+    };
+    let (Some(version), Some(params)) = (bundle.get("version"), bundle.get("params")) else {
+        return;
+    };
+    let Some(entries) = bundle.get("configs").and_then(Json::as_array) else {
+        return;
+    };
+    for entry in entries {
+        let Some(name) = entry.get("name").and_then(Json::as_str) else {
+            continue;
+        };
+        let Ok(i) = configs.binary_search_by(|c| c.name.as_str().cmp(name)) else {
+            continue;
+        };
+        let single = Json::Object(vec![
+            ("version".to_string(), version.clone()),
+            ("params".to_string(), params.clone()),
+            ("configs".to_string(), Json::Array(vec![entry.clone()])),
+        ]);
+        configs[i].sketch = Some(single.render());
     }
 }
 
@@ -371,7 +416,7 @@ mod tests {
         let mut image = EngineImage::from_corpus(&corpus(), &[]);
         image.upsert("dev1", "vlan 99\n");
         image.contracts = Some("{\"schema\": \"x\"}".to_string());
-        image.sketches = Some("{\"version\": 1}".to_string());
+        image.configs[0].sketch = Some("{\"version\": 1}".to_string());
         image.counters.contracts_edits = 3;
         image.applied_seq = 7;
         let json = image.to_json().render();
@@ -414,9 +459,47 @@ mod tests {
                 .collect(),
         );
         let back = EngineImage::from_json(&pruned).expect("old shape decodes");
-        assert_eq!(back.sketches, None);
+        assert!(back.configs.iter().all(|c| c.sketch.is_none()));
         assert_eq!(back.counters.contracts_edits, 0);
         assert_eq!(back.configs, image.configs);
+    }
+
+    #[test]
+    fn legacy_monolithic_sketch_bundle_distributes_per_config() {
+        // A pre-segmentation snapshot carried one top-level `sketches`
+        // bundle; decoding must split it into self-contained per-config
+        // bundles (version + params preserved) and drop unknown names.
+        let image = EngineImage::from_corpus(&corpus(), &[]);
+        let Json::Object(mut pairs) = image.to_json() else {
+            panic!("image serializes as an object")
+        };
+        let bundle = concat!(
+            "{\"version\": 1, \"params\": \"fp\", \"configs\": [",
+            "{\"name\": \"dev2\", \"generation\": 0, \"sketch\": {}},",
+            "{\"name\": \"ghost\", \"generation\": 0, \"sketch\": {}}]}",
+        );
+        pairs.push(("sketches".to_string(), Json::Str(bundle.to_string())));
+        let back = EngineImage::from_json(&Json::Object(pairs)).expect("decodes");
+        let dev2 = back
+            .configs
+            .iter()
+            .find(|c| c.name == "dev2")
+            .expect("dev2 present");
+        let single = Json::parse(dev2.sketch.as_deref().expect("distributed")).expect("parses");
+        assert_eq!(single.get("version").and_then(Json::as_u64), Some(1));
+        assert_eq!(single.get("params").and_then(Json::as_str), Some("fp"));
+        assert_eq!(
+            single
+                .get("configs")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(1)
+        );
+        assert!(back
+            .configs
+            .iter()
+            .filter(|c| c.name != "dev2")
+            .all(|c| c.sketch.is_none()));
     }
 
     #[test]

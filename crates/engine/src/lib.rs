@@ -45,7 +45,7 @@ use concord_core::{
     finalize_sketches, learn_with_stats, parallel, sketch_config, sketch_params_fingerprint,
     CheckProgram, CheckReport, CheckStats, ConfigOutcome, ConfigSketch, ContractSet,
     CoverageReport, Dataset, DatasetError, EngineCheckStats, EngineStats, LearnDeltaStats,
-    LearnParams, LearnStats, UniqueTable, SKETCH_FORMAT_VERSION,
+    LearnParams, LearnStats, MemoryStats, UniqueTable, SKETCH_FORMAT_VERSION,
 };
 use concord_json::{Json, ToJson};
 use concord_lexer::{LexCache, Lexer};
@@ -402,10 +402,13 @@ impl Engine {
         engine.contracts_edits = c.contracts_edits;
         // Sketches are derived state: import what survives the version,
         // params, and generation guards; anything else (including a
-        // corrupt bundle) is silently re-mined by the next delta relearn.
-        if let Some(text) = &image.sketches {
-            if let Ok(bundle) = Json::parse(text) {
-                engine.import_sketches(&bundle);
+        // corrupt per-config bundle) is silently re-mined by the next
+        // delta relearn.
+        for config in &image.configs {
+            if let Some(text) = &config.sketch {
+                if let Ok(bundle) = Json::parse(text) {
+                    engine.import_sketches(&bundle);
+                }
             }
         }
         Ok(engine)
@@ -435,7 +438,7 @@ impl Engine {
             .configs
             .iter()
             .zip(&self.slots)
-            .map(|(c, s)| (c.name.clone(), s.generation))
+            .map(|(c, s)| (self.dataset.name_of(c).to_string(), s.generation))
             .collect()
     }
 
@@ -649,7 +652,10 @@ impl Engine {
             .filter_map(|(c, s)| {
                 let sketch = s.sketch.as_ref()?;
                 Some(Json::Object(vec![
-                    ("name".to_string(), Json::Str(c.name.clone())),
+                    (
+                        "name".to_string(),
+                        Json::Str(self.dataset.name_of(c).to_string()),
+                    ),
                     ("generation".to_string(), s.generation.to_json()),
                     ("sketch".to_string(), sketch.to_json(&self.dataset.table)),
                 ]))
@@ -663,6 +669,33 @@ impl Engine {
             ),
             ("configs".to_string(), Json::Array(configs)),
         ])
+    }
+
+    /// Serializes one configuration's cached learn sketch as a complete
+    /// single-config bundle (same shape as [`Engine::export_sketches`],
+    /// with one entry), or `None` when the config is unknown or its
+    /// sketch has not been mined yet. The segmented checkpoint path
+    /// stores this per config so an unedited configuration's sketch is
+    /// never re-rendered.
+    pub fn export_sketch_for(&self, name: &str) -> Option<Json> {
+        let i = self.dataset.config_index(name)?;
+        let slot = &self.slots[i];
+        let sketch = slot.sketch.as_ref()?;
+        Some(Json::Object(vec![
+            ("version".to_string(), SKETCH_FORMAT_VERSION.to_json()),
+            (
+                "params".to_string(),
+                Json::Str(sketch_params_fingerprint(&self.options.learn)),
+            ),
+            (
+                "configs".to_string(),
+                Json::Array(vec![Json::Object(vec![
+                    ("name".to_string(), Json::Str(name.to_string())),
+                    ("generation".to_string(), slot.generation.to_json()),
+                    ("sketch".to_string(), sketch.to_json(&self.dataset.table)),
+                ])]),
+            ),
+        ]))
     }
 
     /// Restores cached sketches from an [`Engine::export_sketches`]
@@ -756,7 +789,12 @@ impl Engine {
                 .configs
                 .iter()
                 .zip(&self.slots)
-                .map(|(c, s)| (c.name.as_str(), s.unique.as_ref().expect("just populated")))
+                .map(|(c, s)| {
+                    (
+                        self.dataset.name_of(c),
+                        s.unique.as_ref().expect("just populated"),
+                    )
+                })
                 .collect();
             violations.extend(program.check_unique_tables(&tables));
         }
@@ -854,7 +892,7 @@ impl Engine {
             .map(|(c, s)| {
                 let outcome = s.outcome.as_ref().expect("just populated");
                 CheckPartConfig {
-                    name: c.name.clone(),
+                    name: self.dataset.name_of(c).to_string(),
                     violations: outcome.violations.clone(),
                     covered_lines: outcome.coverage.covered.len(),
                     total_lines: outcome.coverage.total_lines,
@@ -906,7 +944,7 @@ impl Engine {
         let cache = self.cache.stats();
         EngineStats {
             configs: self.dataset.configs.len(),
-            lines: self.dataset.configs.iter().map(|c| c.lines.len()).sum(),
+            lines: self.dataset.configs.iter().map(|c| c.len()).sum(),
             patterns: self.dataset.pattern_count(),
             contracts: self.contracts.as_ref().map(ContractSet::len),
             edits: self.edits,
@@ -920,8 +958,26 @@ impl Engine {
             robustness: None,
             last_check: self.last_check,
             learn_delta: self.learn_delta(),
+            memory: self.memory_stats(),
             serve: None,
             fleet: None,
+        }
+    }
+
+    /// Arena/interner heap accounting for the SoA dataset. The
+    /// segmented-checkpoint counters stay zero here: a bare engine has
+    /// no store; the resilient layer fills them in.
+    fn memory_stats(&self) -> MemoryStats {
+        let (strings, params, table, columns) = self.dataset.arena_bytes();
+        MemoryStats {
+            string_arena_bytes: strings as u64,
+            param_arena_bytes: params as u64,
+            pattern_table_bytes: table as u64,
+            column_bytes: columns as u64,
+            interned_strings: self.dataset.interned_strings() as u64,
+            interned_param_slices: self.dataset.interned_param_slices() as u64,
+            segments_written: 0,
+            segments_skipped: 0,
         }
     }
 }
@@ -1428,7 +1484,7 @@ mod tests {
     #[test]
     fn corrupt_persisted_sketches_are_dropped_not_fatal() {
         let mut image = EngineImage::from_corpus(&corpus(), &[]);
-        image.sketches = Some("{not json".to_string());
+        image.configs[0].sketch = Some("{not json".to_string());
         let mut engine =
             Engine::from_image(&image, Lexer::standard(), EngineOptions::default()).unwrap();
         assert_eq!(engine.snapshot_stats().learn_delta.sketches, 0);
@@ -1448,10 +1504,10 @@ mod tests {
         let incremental = engine.check_dirty().unwrap();
         let (report, _) = batch(&engine);
         assert_reports_equal(&incremental.report, &report);
-        assert!(engine
-            .dataset()
+        let ds = engine.dataset();
+        assert!(ds
             .configs
             .iter()
-            .all(|c| c.lines.iter().any(|l| l.is_meta)));
+            .all(|c| (0..c.len()).any(|li| c.is_meta(li))));
     }
 }

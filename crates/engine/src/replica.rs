@@ -31,7 +31,7 @@ use std::path::{Path, PathBuf};
 use concord_core::ContractSet;
 use concord_lexer::Lexer;
 
-use crate::store::{read_snapshot, StoreError};
+use crate::store::{load_image, StoreError};
 use crate::wal::{tail_records, Wal, WalOp, WalRecord};
 use crate::{Engine, EngineOptions, ImageError};
 
@@ -105,13 +105,14 @@ impl Replica {
     /// end of the live log.
     pub fn resync(&mut self) -> Result<(), ReplicaError> {
         self.resyncs += 1;
-        let image = match read_snapshot(&self.dir.join("snapshot.json")) {
-            Ok(Some(image)) => Some(image),
-            Ok(None) => {
-                read_snapshot(&self.dir.join("snapshot.json.bak")).map_err(ReplicaError::Store)?
-            }
-            Err(e) => return Err(ReplicaError::Store(e)),
-        };
+        // Walk the leader's full fallback ladder (segmented manifest,
+        // its backup, legacy snapshot, legacy backup) read-only; a
+        // leader mid-checkpoint shows either the old or the new
+        // manifest, never a half state, because segments land before
+        // the manifest rename.
+        let image = load_image(&self.dir)
+            .map_err(ReplicaError::Store)?
+            .map(|load| load.image);
         let (mut engine, mut applied) = match &image {
             Some(image) => (
                 Engine::from_image(image, self.lexer.clone(), self.options.clone())
@@ -380,11 +381,10 @@ mod tests {
     }
 
     fn dataset_names(engine: &mut Engine) -> Vec<String> {
-        engine
-            .dataset()
-            .configs
+        let ds = engine.dataset();
+        ds.configs
             .iter()
-            .map(|c| c.name.clone())
+            .map(|c| ds.name_of(c).to_string())
             .collect()
     }
 }

@@ -162,6 +162,9 @@ pub struct ResilientEngine {
     armed: Vec<OpKind>,
     checkpoint_every: u64,
     appends_since_checkpoint: u64,
+    /// Cumulative segmented-checkpoint counters (v9 `memory` stats).
+    segments_written: u64,
+    segments_skipped: u64,
 }
 
 impl ResilientEngine {
@@ -186,6 +189,8 @@ impl ResilientEngine {
             armed: Vec::new(),
             checkpoint_every: 64,
             appends_since_checkpoint: 0,
+            segments_written: 0,
+            segments_skipped: 0,
         })
     }
 
@@ -217,6 +222,8 @@ impl ResilientEngine {
                     armed: Vec::new(),
                     checkpoint_every: 64,
                     appends_since_checkpoint: 0,
+                    segments_written: 0,
+                    segments_skipped: 0,
                 }
             }
             None => {
@@ -400,10 +407,13 @@ impl ResilientEngine {
         self.engine.as_ref()?.check_cached()
     }
 
-    /// Engine statistics with the robustness counters attached.
+    /// Engine statistics with the robustness counters and segmented-
+    /// checkpoint counters attached.
     pub fn snapshot_stats(&mut self) -> Result<EngineStats, EngineFault> {
         let mut stats = self.guarded(OpKind::Stats, |e| e.snapshot_stats())?;
         stats.robustness = Some(self.robustness);
+        stats.memory.segments_written = self.segments_written;
+        stats.memory.segments_skipped = self.segments_skipped;
         Ok(stats)
     }
 
@@ -418,6 +428,8 @@ impl ResilientEngine {
         }
         let mut stats = self.engine.as_ref()?.snapshot_stats();
         stats.robustness = Some(self.robustness);
+        stats.memory.segments_written = self.segments_written;
+        stats.memory.segments_skipped = self.segments_skipped;
         Some(stats)
     }
 
@@ -430,14 +442,26 @@ impl ResilientEngine {
         // Learn sketches are derived state synced into the image only
         // here, not per-op: WAL replay reconstructs them (edits mark
         // configs dirty, a replayed Learn re-mines), so serializing them
-        // on every append would be wasted work.
-        self.image.sketches = self.engine.as_ref().map(|e| e.export_sketches().render());
+        // on every append would be wasted work. An image config only
+        // needs a fill when its sketch is `None` — at a fixed
+        // (id, generation) a sketch is written at most once, so a
+        // `Some` is already final and the segment holding it can be
+        // skipped by the store.
+        if let Some(engine) = self.engine.as_ref() {
+            for config in &mut self.image.configs {
+                if config.sketch.is_none() {
+                    config.sketch = engine.export_sketch_for(&config.name).map(|j| j.render());
+                }
+            }
+        }
         let Some(store) = self.store.as_mut() else {
             return false;
         };
         match store.checkpoint(&self.image) {
-            Ok(()) => {
+            Ok(stats) => {
                 self.robustness.checkpoints += 1;
+                self.segments_written += stats.segments_written;
+                self.segments_skipped += stats.segments_skipped;
                 self.appends_since_checkpoint = 0;
                 true
             }

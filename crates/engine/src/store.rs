@@ -1,39 +1,66 @@
-//! The crash-safe state directory: snapshot + WAL.
+//! The crash-safe state directory: segmented snapshot + WAL.
 //!
 //! Layout of `--state-dir`:
 //!
 //! ```text
-//! snapshot.json       last checkpointed EngineImage (header + payload)
-//! snapshot.json.bak   the checkpoint before that
-//! wal.log             ops appended since the last checkpoint
-//! wal.log.old         ops between the previous two checkpoints
-//! snapshot.tmp        in-flight checkpoint (transient)
+//! manifest.json          checkpoint manifest: segment refs + shared state
+//! manifest.json.bak      the manifest before that
+//! segments/              one immutable file per configuration
+//!   cfg-<id>-<gen>-<s>.seg
+//! wal.log                ops appended since the last checkpoint
+//! wal.log.old            ops between the previous two checkpoints
+//! manifest.tmp           in-flight manifest (transient)
+//! segments/*.tmp         in-flight segments (transient)
 //! ```
 //!
-//! A checkpoint is atomic: write `snapshot.tmp`, fsync it, rename the
-//! current snapshot to `.bak`, rename the tmp into place, fsync the
-//! directory, then rotate the WAL (`wal.log` → `wal.log.old`). Because
-//! the `.bak` snapshot plus *both* WAL files cover every acknowledged
-//! op since the previous checkpoint, a crash at any point — including a
-//! torn `snapshot.json` — recovers: load falls back to the backup and
-//! replays the WALs, skipping records already folded into the image
-//! (`seq <= applied_seq`).
+//! A checkpoint is **incremental**: each configuration serializes into
+//! its own segment file whose name encodes `(id, generation,
+//! has-sketch)`. Because a segment's content at a fixed name is
+//! immutable — an edit bumps the generation, and at a fixed generation
+//! a learn sketch is captured at most once (`None` → `Some`, never
+//! rewritten) — a segment that already exists under the right name is
+//! simply *skipped*. Checkpoint cost is O(dirtied configs), not
+//! O(fleet).
 //!
-//! The snapshot file is a one-line header `concord-engine-snapshot/v1
-//! crc32=XXXXXXXX` followed by the image JSON; the checksum covers the
-//! payload, so a truncated or bit-flipped snapshot is detected rather
-//! than trusted.
+//! The write order makes the whole ladder atomic: write dirty segments
+//! (tmp + fsync + rename), fsync `segments/`, write `manifest.tmp`,
+//! fsync it, rotate `manifest.json` → `.bak`, rename the tmp into
+//! place, fsync the directory, then rotate the WAL. A crash at any
+//! point leaves either the old manifest (orphan new segments are
+//! garbage-collected later) or the new one (fully referenced). Because
+//! the `.bak` manifest plus *both* WAL files cover every acknowledged
+//! op since the previous checkpoint, a torn `manifest.json` recovers:
+//! load falls back to the backup and replays the WALs, skipping
+//! records already folded into the image (`seq <= applied_seq`).
+//! Segments referenced by the `.bak` manifest are retained by the
+//! garbage collector, so the fallback always finds its files.
+//!
+//! Manifest and segment files carry a one-line header
+//! (`concord-engine-manifest/v1 crc32=XXXXXXXX` /
+//! `concord-engine-segment/v1 crc32=XXXXXXXX`) followed by the JSON
+//! payload; the checksum covers the payload, so truncated or
+//! bit-flipped files are detected rather than trusted.
+//!
+//! Directories written by older builds hold a monolithic
+//! `snapshot.json` (+ `.bak`). Those still load — lowest rungs of the
+//! fallback ladder — and are deleted after the first successful
+//! segmented checkpoint.
 
+use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 
 use concord_json::{FromJson, Json, ToJson};
 
-use crate::image::EngineImage;
+use crate::image::{EngineImage, ImageConfig};
 use crate::wal::{crc32, Wal, WalOp, WalRecord};
 
-/// Magic header prefix of a snapshot file.
+/// Magic header prefix of a checkpoint manifest.
+const MANIFEST_MAGIC: &str = "concord-engine-manifest/v1";
+/// Magic header prefix of a per-config segment file.
+const SEGMENT_MAGIC: &str = "concord-engine-segment/v1";
+/// Magic header prefix of a legacy monolithic snapshot (read-only).
 const SNAPSHOT_MAGIC: &str = "concord-engine-snapshot/v1";
 
 /// Why a state-directory operation failed.
@@ -41,7 +68,8 @@ const SNAPSHOT_MAGIC: &str = "concord-engine-snapshot/v1";
 pub enum StoreError {
     /// An underlying filesystem operation failed.
     Io(io::Error),
-    /// Both the snapshot and its backup were unreadable or corrupt.
+    /// Every snapshot rung (manifest, its backup, legacy snapshot,
+    /// legacy backup) was unreadable or corrupt.
     Corrupt(String),
 }
 
@@ -62,6 +90,100 @@ impl From<io::Error> for StoreError {
     }
 }
 
+/// What one [`StateDir::checkpoint`] call actually wrote: the
+/// incremental-checkpoint scorecard. `segments_skipped` counts configs
+/// whose on-disk segment already matched `(id, generation, sketch)` and
+/// were not re-serialized.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Segment files serialized and fsync'd by this checkpoint.
+    pub segments_written: u64,
+    /// Clean configs whose existing segment was reused as-is.
+    pub segments_skipped: u64,
+}
+
+/// A reference to one immutable segment file: the per-config identity a
+/// manifest pins and a file name encodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct SegRef {
+    pub id: u64,
+    pub generation: u64,
+    /// Whether the segment carries a captured learn sketch. Part of the
+    /// identity because a sketch lands *after* the text at the same
+    /// generation: `(id, gen, false)` and `(id, gen, true)` are distinct
+    /// immutable files.
+    pub sketch: bool,
+}
+
+impl SegRef {
+    fn of(config: &ImageConfig) -> SegRef {
+        SegRef {
+            id: config.id,
+            generation: config.generation,
+            sketch: config.sketch.is_some(),
+        }
+    }
+
+    pub(crate) fn file_name(&self) -> String {
+        format!(
+            "cfg-{:016x}-{:016x}-{}.seg",
+            self.id,
+            self.generation,
+            u8::from(self.sketch)
+        )
+    }
+
+    /// Parses a `cfg-<id>-<gen>-<0|1>.seg` file name; `None` for
+    /// anything else (tmp files, foreign droppings).
+    pub(crate) fn parse(name: &str) -> Option<SegRef> {
+        let rest = name.strip_prefix("cfg-")?.strip_suffix(".seg")?;
+        let mut parts = rest.split('-');
+        let id = u64::from_str_radix(parts.next()?, 16).ok()?;
+        let generation = u64::from_str_radix(parts.next()?, 16).ok()?;
+        let sketch = match parts.next()? {
+            "0" => false,
+            "1" => true,
+            _ => return None,
+        };
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(SegRef {
+            id,
+            generation,
+            sketch,
+        })
+    }
+}
+
+/// Which rung of the fallback ladder produced a loaded image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LoadSource {
+    Manifest,
+    ManifestBak,
+    LegacySnapshot,
+    LegacySnapshotBak,
+}
+
+/// A successfully loaded image plus where it came from.
+#[derive(Debug)]
+pub(crate) struct ImageLoad {
+    pub image: EngineImage,
+    /// Segment refs the loaded manifest pins (empty for legacy rungs).
+    pub refs: Vec<SegRef>,
+    pub source: LoadSource,
+}
+
+impl ImageLoad {
+    /// Whether the live file was unusable and a `.bak` answered.
+    pub fn used_backup(&self) -> bool {
+        matches!(
+            self.source,
+            LoadSource::ManifestBak | LoadSource::LegacySnapshotBak
+        )
+    }
+}
+
 /// What [`StateDir::open`] found on disk.
 #[derive(Debug)]
 pub struct LoadOutcome {
@@ -72,7 +194,8 @@ pub struct LoadOutcome {
     pub replay: Vec<WalRecord>,
     /// Whether a torn or corrupt WAL tail was discarded during load.
     pub wal_torn: bool,
-    /// Whether `snapshot.json` was unusable and `.bak` was used.
+    /// Whether the live manifest/snapshot was unusable and a `.bak`
+    /// was used.
     pub used_backup: bool,
 }
 
@@ -81,6 +204,14 @@ pub struct LoadOutcome {
 pub struct StateDir {
     dir: PathBuf,
     wal: Wal,
+    /// Segments known to exist on disk with the right content, keyed by
+    /// config id → `(generation, has-sketch)`. The incremental skip
+    /// map: a config whose identity matches is not re-serialized.
+    written: HashMap<u64, (u64, bool)>,
+    /// Refs of the manifest that will survive as `.bak` after the next
+    /// checkpoint — the garbage collector must keep their files so the
+    /// backup stays loadable.
+    prev_refs: Vec<SegRef>,
 }
 
 impl StateDir {
@@ -90,30 +221,36 @@ impl StateDir {
     /// highest sequence seen on disk.
     pub fn open(dir: &Path) -> Result<(StateDir, LoadOutcome), StoreError> {
         fs::create_dir_all(dir)?;
-        let snap_path = dir.join("snapshot.json");
-        let bak_path = dir.join("snapshot.json.bak");
-
-        let (image, used_backup) = match read_snapshot(&snap_path)? {
-            Some(image) => (Some(image), false),
-            None => match read_snapshot(&bak_path)? {
-                Some(image) => {
-                    // Drop the unreadable live snapshot so the next
-                    // checkpoint cannot rotate it over the good backup.
-                    if snap_path.exists() {
-                        fs::remove_file(&snap_path)?;
-                    }
-                    (Some(image), true)
+        let load = load_image(dir)?;
+        let (image, used_backup, written, prev_refs) = match load {
+            Some(load) => {
+                // Drop an unreadable live file so the next checkpoint's
+                // rotation cannot clobber the good backup with garbage.
+                match load.source {
+                    LoadSource::ManifestBak => remove_if_exists(&dir.join("manifest.json"))?,
+                    LoadSource::LegacySnapshotBak => remove_if_exists(&dir.join("snapshot.json"))?,
+                    LoadSource::Manifest | LoadSource::LegacySnapshot => {}
                 }
-                None => {
-                    let existed = snap_path.exists() || bak_path.exists();
-                    if existed {
-                        return Err(StoreError::Corrupt(
-                            "snapshot and backup both unreadable".to_string(),
-                        ));
-                    }
-                    (None, false)
+                let written: HashMap<u64, (u64, bool)> = load
+                    .refs
+                    .iter()
+                    .map(|r| (r.id, (r.generation, r.sketch)))
+                    .collect();
+                let used_backup = load.used_backup();
+                (Some(load.image), used_backup, written, load.refs)
+            }
+            None => {
+                let existed = ["manifest.json", "manifest.json.bak", "snapshot.json"]
+                    .iter()
+                    .any(|f| dir.join(f).exists())
+                    || dir.join("snapshot.json.bak").exists();
+                if existed {
+                    return Err(StoreError::Corrupt(
+                        "snapshot, manifest, and backups all unreadable".to_string(),
+                    ));
                 }
-            },
+                (None, false, HashMap::new(), Vec::new())
+            }
         };
 
         let applied_seq = image.as_ref().map(|i| i.applied_seq).unwrap_or(0);
@@ -133,6 +270,8 @@ impl StateDir {
             StateDir {
                 dir: dir.to_path_buf(),
                 wal,
+                written,
+                prev_refs,
             },
             LoadOutcome {
                 image,
@@ -159,35 +298,59 @@ impl StateDir {
     }
 
     /// Atomically checkpoints `image` (whose `applied_seq` must cover
-    /// every op appended so far) and rotates the WAL.
-    pub fn checkpoint(&mut self, image: &EngineImage) -> Result<(), StoreError> {
-        let tmp_path = self.dir.join("snapshot.tmp");
-        let snap_path = self.dir.join("snapshot.json");
-        let bak_path = self.dir.join("snapshot.json.bak");
+    /// every op appended so far) and rotates the WAL. Only segments for
+    /// configs dirtied since the last checkpoint are re-serialized.
+    pub fn checkpoint(&mut self, image: &EngineImage) -> Result<CheckpointStats, StoreError> {
+        let seg_dir = self.dir.join("segments");
+        fs::create_dir_all(&seg_dir)?;
 
-        let payload = image.to_json().render();
-        let mut tmp = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(&tmp_path)?;
-        tmp.write_all(
-            format!("{SNAPSHOT_MAGIC} crc32={:08x}\n", crc32(payload.as_bytes())).as_bytes(),
-        )?;
-        tmp.write_all(payload.as_bytes())?;
-        tmp.write_all(b"\n")?;
-        tmp.sync_all()?;
-        drop(tmp);
-
-        if snap_path.exists() {
-            fs::rename(&snap_path, &bak_path)?;
+        // 1. Segments: write every config whose (id, generation,
+        //    sketch) identity is not already durable, skip the rest.
+        let mut stats = CheckpointStats::default();
+        let mut refs: Vec<SegRef> = Vec::with_capacity(image.configs.len());
+        for config in &image.configs {
+            let sref = SegRef::of(config);
+            let seg_path = seg_dir.join(sref.file_name());
+            let clean = self.written.get(&config.id) == Some(&(sref.generation, sref.sketch))
+                && seg_path.exists();
+            if clean {
+                stats.segments_skipped += 1;
+            } else {
+                write_verified(&seg_path, SEGMENT_MAGIC, &config.to_json().render())?;
+                self.written
+                    .insert(config.id, (sref.generation, sref.sketch));
+                stats.segments_written += 1;
+            }
+            refs.push(sref);
         }
-        fs::rename(&tmp_path, &snap_path)?;
+        if stats.segments_written > 0 {
+            sync_dir(&seg_dir)?;
+        }
+
+        // 2. Manifest: refs + all the non-per-config image state. The
+        //    rename ladder is what makes the checkpoint atomic — until
+        //    the new manifest lands, the old one still pins the old
+        //    (immutable, still-present) segments.
+        let payload = manifest_json(image, &refs).render();
+        let tmp_path = self.dir.join("manifest.tmp");
+        let manifest_path = self.dir.join("manifest.json");
+        let bak_path = self.dir.join("manifest.json.bak");
+        write_verified(&tmp_path, MANIFEST_MAGIC, &payload)?;
+        if manifest_path.exists() {
+            fs::rename(&manifest_path, &bak_path)?;
+        }
+        fs::rename(&tmp_path, &manifest_path)?;
         sync_dir(&self.dir)?;
 
-        // Rotate the WAL: everything in the current log is folded into
-        // the snapshot just written; keep it one generation as `.old`
-        // so the `.bak` snapshot stays recoverable.
+        // A pre-segmentation snapshot pair is superseded the moment one
+        // segmented checkpoint lands; remove it so the fallback ladder
+        // can never resurrect the older state.
+        remove_if_exists(&self.dir.join("snapshot.json"))?;
+        remove_if_exists(&self.dir.join("snapshot.json.bak"))?;
+
+        // 3. Rotate the WAL: everything in the current log is folded
+        //    into the manifest just written; keep it one generation as
+        //    `.old` so the `.bak` manifest stays recoverable.
         let next_seq = self.wal.next_seq();
         let wal_path = self.dir.join("wal.log");
         let old_path = self.dir.join("wal.log.old");
@@ -199,16 +362,204 @@ impl StateDir {
         }
         self.wal = Wal::open_append(&wal_path, next_seq)?;
         sync_dir(&self.dir)?;
-        Ok(())
+
+        // 4. Garbage-collect segments referenced by neither the new
+        //    manifest nor the one now at `.bak` (plus any stray tmp
+        //    files from interrupted checkpoints). Best-effort: a
+        //    leftover file costs disk, never correctness.
+        let retain: std::collections::HashSet<String> = refs
+            .iter()
+            .chain(self.prev_refs.iter())
+            .map(SegRef::file_name)
+            .collect();
+        if let Ok(entries) = fs::read_dir(&seg_dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if !retain.contains(&name) {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+        self.prev_refs = refs;
+        Ok(stats)
     }
 }
 
-/// Reads and verifies a snapshot file; `Ok(None)` when missing *or*
-/// corrupt (the caller falls back to the backup). `pub(crate)` so a
-/// read replica can load a leader's snapshot without opening the state
-/// directory for writing (opening would truncate the leader's WAL
-/// tail).
-pub(crate) fn read_snapshot(path: &Path) -> Result<Option<EngineImage>, StoreError> {
+/// Loads the best available image from `dir`, walking the fallback
+/// ladder: segmented manifest → its backup → legacy monolithic snapshot
+/// → its backup. `Ok(None)` means nothing was loadable (missing *or*
+/// corrupt at every rung — the caller decides whether that is a fresh
+/// start or a [`StoreError::Corrupt`]). `pub(crate)` so a read replica
+/// can load a leader's state without opening the directory for writing
+/// (opening would truncate the leader's WAL tail).
+pub(crate) fn load_image(dir: &Path) -> Result<Option<ImageLoad>, StoreError> {
+    if let Some((image, refs)) = read_manifest(&dir.join("manifest.json"), dir)? {
+        return Ok(Some(ImageLoad {
+            image,
+            refs,
+            source: LoadSource::Manifest,
+        }));
+    }
+    if let Some((image, refs)) = read_manifest(&dir.join("manifest.json.bak"), dir)? {
+        return Ok(Some(ImageLoad {
+            image,
+            refs,
+            source: LoadSource::ManifestBak,
+        }));
+    }
+    if let Some(image) = read_snapshot(&dir.join("snapshot.json"))? {
+        return Ok(Some(ImageLoad {
+            image,
+            refs: Vec::new(),
+            source: LoadSource::LegacySnapshot,
+        }));
+    }
+    if let Some(image) = read_snapshot(&dir.join("snapshot.json.bak"))? {
+        return Ok(Some(ImageLoad {
+            image,
+            refs: Vec::new(),
+            source: LoadSource::LegacySnapshotBak,
+        }));
+    }
+    Ok(None)
+}
+
+/// Serializes the manifest payload: segment refs in config order plus
+/// everything in the image that is not per-config.
+fn manifest_json(image: &EngineImage, refs: &[SegRef]) -> Json {
+    Json::Object(vec![
+        (
+            "configs".to_string(),
+            Json::Array(
+                refs.iter()
+                    .map(|r| {
+                        Json::Object(vec![
+                            ("id".to_string(), r.id.to_json()),
+                            ("generation".to_string(), r.generation.to_json()),
+                            ("sketch".to_string(), Json::Bool(r.sketch)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "metadata".to_string(),
+            Json::Array(
+                image
+                    .metadata
+                    .iter()
+                    .map(|(n, t)| Json::Array(vec![n.to_json(), t.to_json()]))
+                    .collect(),
+            ),
+        ),
+        (
+            "contracts".to_string(),
+            match &image.contracts {
+                Some(json) => Json::Str(json.clone()),
+                None => Json::Null,
+            },
+        ),
+        ("counters".to_string(), image.counters.to_json()),
+        ("applied_seq".to_string(), image.applied_seq.to_json()),
+    ])
+}
+
+/// Reads and verifies a manifest plus every segment it references;
+/// `Ok(None)` when the manifest is missing, corrupt, or any referenced
+/// segment is missing/corrupt/mismatched (the caller falls down the
+/// ladder).
+fn read_manifest(
+    path: &Path,
+    dir: &Path,
+) -> Result<Option<(EngineImage, Vec<SegRef>)>, StoreError> {
+    let Some(payload) = read_verified(path, MANIFEST_MAGIC)? else {
+        return Ok(None);
+    };
+    let Ok(json) = Json::parse(&payload) else {
+        return Ok(None);
+    };
+    let Some(entries) = json.get("configs").and_then(Json::as_array) else {
+        return Ok(None);
+    };
+    let mut refs: Vec<SegRef> = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let (Some(id), Some(generation), Some(sketch)) = (
+            entry.get("id").and_then(Json::as_u64),
+            entry.get("generation").and_then(Json::as_u64),
+            entry.get("sketch").and_then(Json::as_bool),
+        ) else {
+            return Ok(None);
+        };
+        refs.push(SegRef {
+            id,
+            generation,
+            sketch,
+        });
+    }
+
+    // Decode the shared (non-per-config) state by reusing the image
+    // decoder on the manifest with an emptied configs array.
+    let Json::Object(pairs) = &json else {
+        return Ok(None);
+    };
+    let mut shared: Vec<(String, Json)> = pairs
+        .iter()
+        .filter(|(k, _)| k != "configs")
+        .cloned()
+        .collect();
+    shared.push(("configs".to_string(), Json::Array(Vec::new())));
+    let Ok(mut image) = EngineImage::from_json(&Json::Object(shared)) else {
+        return Ok(None);
+    };
+
+    // Assemble configs from their segments, verifying each against the
+    // identity the manifest pins.
+    let seg_dir = dir.join("segments");
+    let mut configs: Vec<ImageConfig> = Vec::with_capacity(refs.len());
+    for sref in &refs {
+        let Some(payload) = read_verified(&seg_dir.join(sref.file_name()), SEGMENT_MAGIC)? else {
+            return Ok(None);
+        };
+        let Ok(json) = Json::parse(&payload) else {
+            return Ok(None);
+        };
+        let Ok(config) = ImageConfig::from_json(&json) else {
+            return Ok(None);
+        };
+        if config.id != sref.id
+            || config.generation != sref.generation
+            || config.sketch.is_some() != sref.sketch
+        {
+            return Ok(None);
+        }
+        configs.push(config);
+    }
+    image.configs = configs;
+    Ok(Some((image, refs)))
+}
+
+/// Writes `payload` to `path` atomically-ish for segment/tmp use: a
+/// crc-headed file written via a sibling `.tmp`, fsync'd, renamed into
+/// place. (The *manifest* rename ladder on top of this is what makes a
+/// whole checkpoint atomic.)
+fn write_verified(path: &Path, magic: &str, payload: &str) -> Result<(), StoreError> {
+    let tmp_path = path.with_extension("tmp");
+    let mut tmp = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(&tmp_path)?;
+    tmp.write_all(format!("{magic} crc32={:08x}\n", crc32(payload.as_bytes())).as_bytes())?;
+    tmp.write_all(payload.as_bytes())?;
+    tmp.write_all(b"\n")?;
+    tmp.sync_all()?;
+    drop(tmp);
+    fs::rename(&tmp_path, path)?;
+    Ok(())
+}
+
+/// Reads a crc-headed file; `Ok(None)` when missing or corrupt.
+fn read_verified(path: &Path, magic: &str) -> Result<Option<String>, StoreError> {
     let mut text = String::new();
     match File::open(path) {
         Ok(mut f) => {
@@ -224,7 +575,7 @@ pub(crate) fn read_snapshot(path: &Path) -> Result<Option<EngineImage>, StoreErr
     };
     let payload = payload.strip_suffix('\n').unwrap_or(payload);
     let Some(crc_part) = header
-        .strip_prefix(SNAPSHOT_MAGIC)
+        .strip_prefix(magic)
         .and_then(|rest| rest.trim().strip_prefix("crc32="))
     else {
         return Ok(None);
@@ -235,10 +586,27 @@ pub(crate) fn read_snapshot(path: &Path) -> Result<Option<EngineImage>, StoreErr
     if crc32(payload.as_bytes()) != want {
         return Ok(None);
     }
-    let Ok(json) = Json::parse(payload) else {
+    Ok(Some(payload.to_string()))
+}
+
+/// Reads and verifies a legacy monolithic snapshot file; `Ok(None)`
+/// when missing *or* corrupt (the caller falls down the ladder).
+fn read_snapshot(path: &Path) -> Result<Option<EngineImage>, StoreError> {
+    let Some(payload) = read_verified(path, SNAPSHOT_MAGIC)? else {
+        return Ok(None);
+    };
+    let Ok(json) = Json::parse(&payload) else {
         return Ok(None);
     };
     Ok(EngineImage::from_json(&json).ok())
+}
+
+fn remove_if_exists(path: &Path) -> io::Result<()> {
+    match fs::remove_file(path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e),
+    }
 }
 
 /// Fsyncs a directory so renames within it are durable (best-effort on
@@ -268,6 +636,19 @@ mod tests {
         let mut image = EngineImage::from_corpus(&corpus, &[]);
         image.applied_seq = applied_seq;
         image
+    }
+
+    fn segment_files(dir: &Path) -> Vec<String> {
+        let mut out: Vec<String> = std::fs::read_dir(dir.join("segments"))
+            .map(|entries| {
+                entries
+                    .flatten()
+                    .map(|e| e.file_name().to_string_lossy().into_owned())
+                    .collect()
+            })
+            .unwrap_or_default();
+        out.sort();
+        out
     }
 
     #[test]
@@ -310,7 +691,83 @@ mod tests {
     }
 
     #[test]
-    fn truncated_snapshot_falls_back_to_backup_plus_wals() {
+    fn clean_segments_are_skipped_dirty_ones_rewritten() {
+        let dir = tmp_dir("incremental");
+        let (mut state, _) = StateDir::open(&dir).unwrap();
+        let mut image = image_with(
+            &[("a", "vlan 1\n"), ("b", "vlan 2\n"), ("c", "vlan 3\n")],
+            0,
+        );
+        let first = state.checkpoint(&image).unwrap();
+        assert_eq!(first.segments_written, 3);
+        assert_eq!(first.segments_skipped, 0);
+
+        // Nothing changed: the whole fleet is skipped.
+        let idle = state.checkpoint(&image).unwrap();
+        assert_eq!(idle.segments_written, 0);
+        assert_eq!(idle.segments_skipped, 3);
+
+        // One edit dirties exactly one segment.
+        image.upsert("b", "vlan 99\n");
+        image.applied_seq = 1;
+        let edit = state.checkpoint(&image).unwrap();
+        assert_eq!(edit.segments_written, 1);
+        assert_eq!(edit.segments_skipped, 2);
+
+        drop(state);
+        let (_, load) = StateDir::open(&dir).unwrap();
+        assert_eq!(load.image.expect("manifest loads"), image);
+    }
+
+    #[test]
+    fn sketch_capture_rewrites_the_segment_once() {
+        let dir = tmp_dir("sketchseg");
+        let (mut state, _) = StateDir::open(&dir).unwrap();
+        let mut image = image_with(&[("a", "vlan 1\n")], 0);
+        state.checkpoint(&image).unwrap();
+
+        // A sketch landing at the same generation is a new identity …
+        image.configs[0].sketch = Some("{\"version\": 1}".to_string());
+        let captured = state.checkpoint(&image).unwrap();
+        assert_eq!(captured.segments_written, 1);
+
+        // … and final: the next checkpoint skips it again.
+        let idle = state.checkpoint(&image).unwrap();
+        assert_eq!(idle.segments_written, 0);
+        assert_eq!(idle.segments_skipped, 1);
+
+        drop(state);
+        let (_, load) = StateDir::open(&dir).unwrap();
+        assert_eq!(
+            load.image.expect("manifest loads").configs[0].sketch,
+            image.configs[0].sketch
+        );
+    }
+
+    #[test]
+    fn unreferenced_segments_are_garbage_collected() {
+        let dir = tmp_dir("gc");
+        let (mut state, _) = StateDir::open(&dir).unwrap();
+        let mut image = image_with(&[("a", "vlan 1\n"), ("b", "vlan 2\n")], 0);
+        state.checkpoint(&image).unwrap();
+        let gen0 = segment_files(&dir);
+        assert_eq!(gen0.len(), 2);
+
+        image.upsert("a", "vlan 2\n");
+        state.checkpoint(&image).unwrap();
+        // Old a-segment retained: the .bak manifest still pins it.
+        assert_eq!(segment_files(&dir).len(), 3);
+
+        image.upsert("a", "vlan 3\n");
+        state.checkpoint(&image).unwrap();
+        // Two manifests deep, generation-0 `a` is unreferenced → gone.
+        let files = segment_files(&dir);
+        assert_eq!(files.len(), 3);
+        assert!(!files.contains(&gen0[0]), "{files:?}");
+    }
+
+    #[test]
+    fn truncated_manifest_falls_back_to_backup_plus_wals() {
         let dir = tmp_dir("truncated");
         let (mut state, _) = StateDir::open(&dir).unwrap();
         let s1 = state
@@ -339,19 +796,131 @@ mod tests {
             .unwrap();
         drop(state);
 
-        // Truncate the live snapshot mid-payload.
-        let snap = dir.join("snapshot.json");
-        let bytes = std::fs::read(&snap).unwrap();
-        std::fs::write(&snap, &bytes[..bytes.len() / 2]).unwrap();
+        // Truncate the live manifest mid-payload.
+        let manifest = dir.join("manifest.json");
+        let bytes = std::fs::read(&manifest).unwrap();
+        std::fs::write(&manifest, &bytes[..bytes.len() / 2]).unwrap();
 
         let (_, load) = StateDir::open(&dir).unwrap();
         assert!(load.used_backup);
         let image = load.image.expect("backup usable");
         assert_eq!(image.applied_seq, s1);
         // Replay covers everything after the backup's checkpoint: the
-        // op folded only into the (lost) newer snapshot, plus the tail.
+        // op folded only into the (lost) newer manifest, plus the tail.
         let seqs: Vec<u64> = load.replay.iter().map(|r| r.seq).collect();
         assert_eq!(seqs, vec![s2, s3]);
+    }
+
+    #[test]
+    fn torn_live_only_segment_falls_back_to_backup_manifest() {
+        let dir = tmp_dir("tornseg");
+        let (mut state, _) = StateDir::open(&dir).unwrap();
+        let s1 = state
+            .append(&WalOp::Upsert {
+                name: "a".to_string(),
+                text: "vlan 1\n".to_string(),
+            })
+            .unwrap();
+        state
+            .checkpoint(&image_with(&[("a", "vlan 1\n")], s1))
+            .unwrap();
+        let s2 = state
+            .append(&WalOp::Upsert {
+                name: "a".to_string(),
+                text: "vlan 2\n".to_string(),
+            })
+            .unwrap();
+        let mut edited = image_with(&[("a", "vlan 2\n")], s2);
+        edited.configs[0].generation = 1;
+        state.checkpoint(&edited).unwrap();
+        drop(state);
+
+        // Corrupt the generation-1 segment: referenced only by the live
+        // manifest (the .bak still pins generation 0).
+        let seg = dir.join("segments").join(
+            SegRef {
+                id: 0,
+                generation: 1,
+                sketch: false,
+            }
+            .file_name(),
+        );
+        let bytes = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &bytes[..bytes.len() - 3]).unwrap();
+
+        let (_, load) = StateDir::open(&dir).unwrap();
+        assert!(load.used_backup, "live manifest unusable via its segment");
+        let image = load.image.expect("backup usable");
+        assert_eq!(image.applied_seq, s1);
+        // The edit folded into the lost manifest replays from the WALs.
+        let seqs: Vec<u64> = load.replay.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![s2]);
+    }
+
+    #[test]
+    fn segment_manifest_generation_mismatch_is_rejected() {
+        let dir = tmp_dir("genmismatch");
+        let (mut state, _) = StateDir::open(&dir).unwrap();
+        let mut image = image_with(&[("a", "vlan 1\n")], 0);
+        state.checkpoint(&image).unwrap();
+        image.upsert("a", "vlan 2\n");
+        state.checkpoint(&image).unwrap();
+        drop(state);
+
+        // Copy the stale generation-0 segment over the generation-1
+        // file: well-formed, valid crc, wrong identity.
+        let seg_dir = dir.join("segments");
+        let gen0 = SegRef {
+            id: 0,
+            generation: 0,
+            sketch: false,
+        };
+        let gen1 = SegRef {
+            id: 0,
+            generation: 1,
+            sketch: false,
+        };
+        std::fs::copy(
+            seg_dir.join(gen0.file_name()),
+            seg_dir.join(gen1.file_name()),
+        )
+        .unwrap();
+
+        let (_, load) = StateDir::open(&dir).unwrap();
+        assert!(load.used_backup, "live manifest must reject the impostor");
+        assert_eq!(
+            load.image.expect("backup usable").configs[0].text,
+            "vlan 1\n"
+        );
+    }
+
+    #[test]
+    fn legacy_monolithic_snapshot_loads_and_is_migrated_by_checkpoint() {
+        let dir = tmp_dir("legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        let image = image_with(&[("a", "vlan 1\n"), ("b", "vlan 2\n")], 0);
+        let payload = image.to_json().render();
+        std::fs::write(
+            dir.join("snapshot.json"),
+            format!(
+                "{SNAPSHOT_MAGIC} crc32={:08x}\n{payload}\n",
+                crc32(payload.as_bytes())
+            ),
+        )
+        .unwrap();
+
+        let (mut state, load) = StateDir::open(&dir).unwrap();
+        assert_eq!(load.image.expect("legacy snapshot loads"), image);
+
+        let stats = state.checkpoint(&image).unwrap();
+        assert_eq!(stats.segments_written, 2, "legacy load primes no skip map");
+        assert!(!dir.join("snapshot.json").exists(), "legacy file removed");
+        assert!(dir.join("manifest.json").exists());
+        drop(state);
+
+        let (_, load) = StateDir::open(&dir).unwrap();
+        assert_eq!(load.image.expect("segmented reload"), image);
+        assert!(!load.used_backup);
     }
 
     #[test]
@@ -409,5 +978,21 @@ mod tests {
         let (_, load) = StateDir::open(&dir).unwrap();
         assert!(load.image.is_none());
         assert_eq!(load.replay.len(), 1, "ops before any checkpoint replay");
+    }
+
+    #[test]
+    fn segref_file_names_round_trip() {
+        let r = SegRef {
+            id: 0xdead_beef,
+            generation: 42,
+            sketch: true,
+        };
+        assert_eq!(SegRef::parse(&r.file_name()), Some(r));
+        assert_eq!(SegRef::parse("cfg-zz-0-0.seg"), None);
+        assert_eq!(
+            SegRef::parse("cfg-0000000000000000-0000000000000000-0.seg.tmp"),
+            None
+        );
+        assert_eq!(SegRef::parse("manifest.json"), None);
     }
 }

@@ -48,7 +48,7 @@ pub use token::{TokenDef, TokenDefError};
 use concord_types::{Value, ValueType};
 
 /// A named, typed parameter extracted from a line.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Param {
     /// The variable name (`a`, `b`, ..., then `a1`, `b1`, ...).
     pub name: String,

@@ -49,11 +49,16 @@ fn main() {
     println!("\nsample uncovered lines:");
     let mut shown = 0;
     'outer: for (config, cov) in dataset.configs.iter().zip(&report.coverage.per_config) {
-        for (i, line) in config.lines.iter().enumerate() {
+        for (i, line) in config.lines(&dataset.arenas).enumerate() {
             if line.is_meta || cov.covered.contains(&i) {
                 continue;
             }
-            println!("  {}:{} {}", config.name, line.line_no, line.original);
+            println!(
+                "  {}:{} {}",
+                dataset.name_of(config),
+                line.line_no,
+                line.original
+            );
             shown += 1;
             if shown >= 8 {
                 break 'outer;

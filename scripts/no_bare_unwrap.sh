@@ -10,9 +10,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 fail=0
+# crates/core/src/ir.rs and legacy.rs carry the arena-interned dataset
+# the resident engine holds in memory — same blast radius, same gate.
 for f in crates/engine/src/*.rs crates/cli/src/serve.rs \
          crates/cli/src/protocol.rs crates/cli/src/eventloop.rs \
-         crates/cli/src/sync.rs crates/cli/src/fleet.rs; do
+         crates/cli/src/sync.rs crates/cli/src/fleet.rs \
+         crates/core/src/ir.rs crates/core/src/legacy.rs; do
   hits=$(awk '/#\[cfg\(test\)\]/{exit} /\.unwrap\(\)/{print FILENAME ":" FNR ": " $0}' "$f")
   if [ -n "$hits" ]; then
     echo "$hits"
@@ -24,4 +27,4 @@ if [ "$fail" -ne 0 ]; then
   echo "error: bare .unwrap() outside #[cfg(test)] in fault-isolated code" >&2
   exit 1
 fi
-echo "ok: no bare unwrap outside tests in crates/engine and the serve stack"
+echo "ok: no bare unwrap outside tests in crates/engine, the serve stack, and the core IR"

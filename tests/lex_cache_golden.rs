@@ -40,19 +40,16 @@ fn assert_datasets_identical(a: &Dataset, b: &Dataset, label: &str) {
     }
     assert_eq!(a.configs.len(), b.configs.len(), "{label}: configs");
     for (ca, cb) in a.configs.iter().zip(&b.configs) {
-        assert_eq!(ca.name, cb.name, "{label}");
-        assert_eq!(ca.format, cb.format, "{label}: {}", ca.name);
-        assert_eq!(ca.lines.len(), cb.lines.len(), "{label}: {}", ca.name);
-        for (la, lb) in ca.lines.iter().zip(&cb.lines) {
-            assert_eq!(
-                la.pattern, lb.pattern,
-                "{label}: {}:{}",
-                ca.name, la.line_no
-            );
-            assert_eq!(la.params, lb.params, "{label}: {}:{}", ca.name, la.line_no);
-            assert_eq!(la.line_no, lb.line_no, "{label}: {}", ca.name);
-            assert_eq!(la.original, lb.original, "{label}: {}", ca.name);
-            assert_eq!(la.is_meta, lb.is_meta, "{label}: {}", ca.name);
+        let name = a.name_of(ca);
+        assert_eq!(name, b.name_of(cb), "{label}");
+        assert_eq!(ca.format, cb.format, "{label}: {name}");
+        assert_eq!(ca.len(), cb.len(), "{label}: {name}");
+        for (la, lb) in ca.lines(&a.arenas).zip(cb.lines(&b.arenas)) {
+            assert_eq!(la.pattern, lb.pattern, "{label}: {name}:{}", la.line_no);
+            assert_eq!(la.params, lb.params, "{label}: {name}:{}", la.line_no);
+            assert_eq!(la.line_no, lb.line_no, "{label}: {name}");
+            assert_eq!(la.original, lb.original, "{label}: {name}");
+            assert_eq!(la.is_meta, lb.is_meta, "{label}: {name}");
         }
     }
 }
