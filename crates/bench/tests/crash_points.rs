@@ -1,0 +1,259 @@
+//! Exhaustive crash-point exploration over the durability layer.
+//!
+//! The scripted edit workload below runs once over a counting
+//! [`FaultVfs`] with no faults armed, which yields the total number of
+//! storage sync points the workload crosses (every `sync_data` /
+//! `sync_all` / directory fsync in boot, WAL appends, and checkpoints).
+//! The workload is then re-run once *per sync point*, crashing at
+//! exactly that point: the sync fails, every later mutating filesystem
+//! operation fails (the "process" is dead — pre-crash writes remain
+//! visible, the friendly single-node crash model), and the surviving
+//! directory is rebooted through the real filesystem.
+//!
+//! Two invariants must hold at **every** crash point `k`:
+//!
+//! 1. **Recovery is self-consistent.** The rebooted engine's CHECK is
+//!    byte-identical to a clean engine rebuilt from scratch out of the
+//!    recovered image — no torn write, half checkpoint, or truncated
+//!    WAL tail leaks into the recovered state.
+//! 2. **Nothing acknowledged is lost.** Re-applying exactly the ops the
+//!    crashed run never acknowledged brings the rebooted engine to the
+//!    clean run's final CHECK report and contract set, byte for byte.
+//!    (Acknowledged ops must already be there via snapshot + WAL
+//!    replay; unacknowledged ops are the client's to retry.)
+//!
+//! `CONCORD_CRASH_POINTS_MAX` bounds how many crash points a run
+//! explores (0 = all) so CI can run a quick smoke while the full sweep
+//! stays the default.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use concord_core::{CheckReport, ContractSet};
+use concord_engine::{Engine, EngineOptions, FaultVfs, ResilientEngine};
+use concord_lexer::Lexer;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("concord-crash-points-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One step of the scripted workload. Deterministic: the same sequence
+/// runs in the clean pass and in every crashing pass.
+#[derive(Debug, Clone)]
+enum Step {
+    Learn,
+    Upsert(&'static str, &'static str),
+    Remove(&'static str),
+    Checkpoint,
+}
+
+fn corpus() -> Vec<(String, String)> {
+    (0..4)
+        .map(|i| {
+            (
+                format!("dev{i}"),
+                format!("hostname DEV{}\nvlan {}\nmtu 1500\n", 100 + i, 250 + i),
+            )
+        })
+        .collect()
+}
+
+/// The scripted workload: every durability code path — appends of all
+/// op kinds, explicit checkpoints (segment writes, manifest rename, WAL
+/// rotation, segment GC), and a final learn whose contracts land in the
+/// image.
+fn steps() -> Vec<Step> {
+    vec![
+        Step::Learn,
+        Step::Upsert("dev0", "hostname DEV100\nvlan 999\nmtu 9000\n"),
+        Step::Upsert("dev4", "hostname DEV104\nvlan 254\nmtu 1500\n"),
+        Step::Checkpoint,
+        Step::Remove("dev1"),
+        Step::Upsert("dev2", "hostname DEV102\nvlan 777\nmtu 1500\n"),
+        Step::Learn,
+        Step::Checkpoint,
+    ]
+}
+
+/// Renders a check report the way the serve layer does, so
+/// "byte-identical" means the bytes a client would actually see.
+fn render(report: &CheckReport) -> String {
+    let mut s = String::new();
+    for v in &report.violations {
+        let _ = writeln!(s, "{v}");
+    }
+    let summary = report.coverage.summary();
+    let _ = writeln!(
+        s,
+        "{} violations; coverage {:.3}% of {} lines",
+        report.violations.len(),
+        summary.fraction * 100.0,
+        summary.total_lines,
+    );
+    s
+}
+
+/// The from-scratch oracle over an engine's own recovered image.
+fn oracle(me: &ResilientEngine) -> String {
+    let image = me.image();
+    let mut oracle =
+        Engine::from_corpus(&image.corpus(), &image.metadata, EngineOptions::default())
+            .expect("oracle builds");
+    if let Some(json) = &image.contracts {
+        oracle.set_contracts(ContractSet::from_json(json).expect("image contracts parse"));
+    }
+    render(&oracle.check_dirty().expect("oracle checks").report)
+}
+
+/// The final observable state: the serve-rendered CHECK plus the
+/// canonical contracts JSON.
+fn final_state(me: &mut ResilientEngine) -> (String, String) {
+    let check = render(&me.check().expect("final check").report);
+    let contracts = me.image().contracts.clone().unwrap_or_default();
+    (check, contracts)
+}
+
+/// Applies one step; `true` if the engine acknowledged it (so replay
+/// after a crash must reproduce it without any help).
+fn apply(me: &mut ResilientEngine, step: &Step) -> bool {
+    match step {
+        Step::Learn => me.relearn().is_ok(),
+        Step::Upsert(name, text) => me.upsert(name, text).is_ok(),
+        Step::Remove(name) => me.remove(name).is_ok(),
+        Step::Checkpoint => me.checkpoint(),
+    }
+}
+
+/// Runs the workload over `vfs` in a fresh `dir`. Returns the per-step
+/// acknowledgement flags (`false` for steps never reached or never
+/// acknowledged before the crash) and the engine if it survived.
+fn run_workload(dir: &Path, vfs: &FaultVfs) -> (Vec<bool>, Option<ResilientEngine>) {
+    let steps = steps();
+    let mut acked = vec![false; steps.len()];
+    let booted = ResilientEngine::with_store_vfs(
+        &corpus(),
+        &[],
+        Lexer::standard(),
+        EngineOptions::default(),
+        dir,
+        Arc::new(vfs.clone()),
+    );
+    let Ok((mut me, _)) = booted else {
+        // Crashed so early the state directory did not even open; every
+        // step is unacknowledged.
+        return (acked, None);
+    };
+    me.set_checkpoint_every(0); // sync points come only from the script
+    for (i, step) in steps.iter().enumerate() {
+        if vfs.crashed() {
+            break; // the process is dead; nothing further is issued
+        }
+        acked[i] = apply(&mut me, step);
+    }
+    (acked, Some(me))
+}
+
+/// Reboots a (possibly crash-scarred) state directory through the real
+/// filesystem, reseeding from the boot corpus when no usable snapshot
+/// survived — exactly what a restarted production process would do.
+fn reboot(dir: &Path) -> ResilientEngine {
+    let (mut back, _) = ResilientEngine::with_store(
+        &corpus(),
+        &[],
+        Lexer::standard(),
+        EngineOptions::default(),
+        dir,
+    )
+    .expect("reboot must always succeed through a healthy filesystem");
+    back.set_checkpoint_every(0);
+    back
+}
+
+#[test]
+fn every_sync_point_crash_recovers_byte_identical() {
+    // Pass 1: clean run under a counting VFS — no faults armed — to
+    // enumerate the sync points and capture the oracle final state.
+    let clean_dir = fresh_dir("clean");
+    let clean_vfs = FaultVfs::new(0);
+    let (clean_acked, clean_engine) = run_workload(&clean_dir, &clean_vfs);
+    let mut clean_engine = clean_engine.expect("clean run boots");
+    assert!(
+        clean_acked.iter().all(|&a| a),
+        "clean run must acknowledge every step: {clean_acked:?}"
+    );
+    assert_eq!(clean_vfs.faults(), 0, "clean run must inject nothing");
+    let total = clean_vfs.sync_points();
+    assert!(
+        total >= 10,
+        "workload must cross boot + append + checkpoint sync points, got {total}"
+    );
+    let (want_check, want_contracts) = final_state(&mut clean_engine);
+    drop(clean_engine);
+    let _ = std::fs::remove_dir_all(&clean_dir);
+
+    // Pass 2: one run per sync point, crashing exactly there.
+    let max = env_u64("CONCORD_CRASH_POINTS_MAX", 0);
+    let explore = if max == 0 { total } else { total.min(max) };
+    let mut crashed_runs = 0u64;
+    for k in 1..=explore {
+        let dir = fresh_dir("crash");
+        let vfs = FaultVfs::new(k);
+        vfs.crash_at_sync_point(k);
+        let (acked, survivor) = run_workload(&dir, &vfs);
+        assert!(
+            vfs.crashed(),
+            "crash point {k}/{total} never fired — sync-point schedule drifted"
+        );
+        crashed_runs += 1;
+        drop(survivor); // kill the crashed process
+
+        let mut back = reboot(&dir);
+
+        // Invariant 1: recovery is self-consistent — the recovered
+        // state checks byte-identically to a clean rebuild of itself.
+        // (Crashes before the first Learn recover a contract-less
+        // image, which has no CHECK output to compare yet.)
+        if back.image().contracts.is_some() {
+            let got = render(&back.check().expect("post-crash check").report);
+            assert_eq!(
+                got,
+                oracle(&back),
+                "crash point {k}/{total}: recovered state diverged from its own oracle"
+            );
+        }
+
+        // Invariant 2: nothing acknowledged is lost — replaying only
+        // the unacknowledged steps reaches the clean final state.
+        for (step, was_acked) in steps().iter().zip(&acked) {
+            if !was_acked {
+                assert!(
+                    apply(&mut back, step),
+                    "crash point {k}/{total}: healthy re-apply of {step:?} failed"
+                );
+            }
+        }
+        let (got_check, got_contracts) = final_state(&mut back);
+        assert_eq!(
+            got_check, want_check,
+            "crash point {k}/{total}: final CHECK diverged from the clean run"
+        );
+        assert_eq!(
+            got_contracts, want_contracts,
+            "crash point {k}/{total}: final contracts diverged from the clean run"
+        );
+        drop(back);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert_eq!(crashed_runs, explore);
+}

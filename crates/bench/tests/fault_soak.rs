@@ -21,7 +21,10 @@ use std::path::{Path, PathBuf};
 
 use concord_core::{CheckReport, ContractSet};
 use concord_engine::fault::{FaultKind, FaultPlan, ALL_FAULTS};
+// The storage-level (VFS) fault types share names with the plan-level
+// ones above; alias them apart.
 use concord_engine::{Engine, EngineFault, EngineOptions, OpKind, ResilientEngine};
+use concord_engine::{FaultKind as StorageFault, FaultVfs};
 use concord_lexer::Lexer;
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -415,6 +418,207 @@ fn rotated_but_untruncated_wal_does_not_double_apply() {
         got,
         oracle(&back),
         "seed {seed}: recovery with duplicated WALs diverged from oracle"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A state directory private to one storage-fault test, so these runs
+/// never race the shared soak directory.
+fn storage_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("concord-storage-soak-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn boot_with_vfs(corpus: &[(String, String)], dir: &Path, vfs: &FaultVfs) -> ResilientEngine {
+    let (mut me, _) = ResilientEngine::with_store_vfs(
+        corpus,
+        &[],
+        Lexer::standard(),
+        EngineOptions::default(),
+        dir,
+        std::sync::Arc::new(vfs.clone()),
+    )
+    .expect("boots through fault vfs");
+    me.set_checkpoint_every(0);
+    me
+}
+
+/// ENOSPC tearing a write in half — once inside a WAL append, once
+/// inside a checkpoint segment write. Both must be absorbed by the
+/// engine's bounded retries (the torn tail repaired in between), never
+/// degrade the engine, and leave a directory whose recovery is
+/// byte-identical to the from-scratch oracle.
+#[test]
+fn enospc_mid_segment_write_is_retried_clean() {
+    let seed = env_u64("CONCORD_SOAK_SEED", 0xC0C0);
+    let dir = storage_dir("enospc");
+    let mut plan = FaultPlan::new(seed ^ 0x5E6C);
+    let corpus: Vec<(String, String)> = (0..6)
+        .map(|i| (format!("dev{i}"), plan.config_text()))
+        .collect();
+    let vfs = FaultVfs::new(seed ^ 0x5E6C);
+    let mut me = boot_with_vfs(&corpus, &dir, &vfs);
+    me.relearn().expect("initial learn");
+
+    // Half-write the next WAL append, then run out of space.
+    vfs.fail_next(1, StorageFault::ShortWrite);
+    me.upsert("dev0", &plan.config_text())
+        .expect("short-written WAL append must be retried to success");
+
+    // Same mid-write ENOSPC inside the checkpoint's segment writer.
+    vfs.fail_next(1, StorageFault::ShortWrite);
+    assert!(
+        me.checkpoint(),
+        "checkpoint must retry past the torn segment"
+    );
+
+    let storage = me.storage_stats();
+    assert!(!storage.degraded, "transient ENOSPC must not degrade");
+    assert!(storage.retries >= 2, "both faults retried: {storage:?}");
+    assert!(storage.faults_injected >= 2, "faults counted: {storage:?}");
+    assert_eq!(storage.degraded_transitions, 0);
+    let want = render(&me.check().expect("post-fault check").report);
+    drop(me);
+
+    let mut back = reboot(&dir);
+    let got = render(&back.check().expect("post-reboot check").report);
+    assert_eq!(
+        got, want,
+        "seed {seed}: torn writes changed recovered state"
+    );
+    assert_eq!(
+        got,
+        oracle(&back),
+        "seed {seed}: recovery after mid-write ENOSPC diverged from oracle"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An fsync that fails after its data write landed: the append must be
+/// retried (re-syncing a possibly duplicated record the replay's seq
+/// dedup absorbs), acknowledged, and survive a reboot byte-identically.
+#[test]
+fn fsync_failure_then_retry_recovers() {
+    let seed = env_u64("CONCORD_SOAK_SEED", 0xC0C0);
+    let dir = storage_dir("fsync");
+    let mut plan = FaultPlan::new(seed ^ 0xF5C0);
+    let corpus: Vec<(String, String)> = (0..6)
+        .map(|i| (format!("dev{i}"), plan.config_text()))
+        .collect();
+    let vfs = FaultVfs::new(seed ^ 0xF5C0);
+    let mut me = boot_with_vfs(&corpus, &dir, &vfs);
+    me.relearn().expect("initial learn");
+
+    vfs.fail_next_syncs(1, StorageFault::Eio);
+    me.upsert("dev1", &plan.config_text())
+        .expect("append whose fsync failed once must be retried to success");
+
+    let storage = me.storage_stats();
+    assert!(!storage.degraded, "one failed fsync must not degrade");
+    assert!(storage.retries >= 1, "fsync failure retried: {storage:?}");
+    let want = render(&me.check().expect("post-fault check").report);
+    let want_gen = me.config_generation("dev1").expect("generation read");
+    drop(me);
+
+    let mut back = reboot(&dir);
+    assert_eq!(
+        back.config_generation("dev1").expect("generation read"),
+        want_gen,
+        "seed {seed}: the retried append was lost across reboot"
+    );
+    let got = render(&back.check().expect("post-reboot check").report);
+    assert_eq!(
+        got, want,
+        "seed {seed}: fsync retry changed recovered state"
+    );
+    assert_eq!(
+        got,
+        oracle(&back),
+        "seed {seed}: recovery after fsync failure diverged from oracle"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The degraded-mode contract end to end: persistent storage failure
+/// drives the engine read-only after bounded retries, CHECK keeps
+/// answering byte-identically to the oracle the whole time, writes are
+/// refused without touching memory, and the engine re-probes its way
+/// back to healthy the moment the device recovers — all deterministic
+/// under the soak seed.
+#[test]
+fn degraded_read_only_serves_then_recovers_when_faults_clear() {
+    let seed = env_u64("CONCORD_SOAK_SEED", 0xC0C0);
+    let dir = storage_dir("degraded");
+    let mut plan = FaultPlan::new(seed ^ 0xDE64);
+    let corpus: Vec<(String, String)> = (0..8)
+        .map(|i| (format!("dev{i}"), plan.config_text()))
+        .collect();
+    let vfs = FaultVfs::new(seed ^ 0xDE64);
+    let mut me = boot_with_vfs(&corpus, &dir, &vfs);
+    me.relearn().expect("initial learn");
+    me.upsert("dev0", &plan.config_text())
+        .expect("healthy write");
+
+    // The device dies for good (until further notice).
+    vfs.fail_all_writes(Some(StorageFault::Eio));
+    let err = me
+        .upsert("dev1", &plan.config_text())
+        .expect_err("write on a dead device must be refused");
+    assert!(
+        matches!(err, EngineFault::StorageDegraded(_)),
+        "expected storage-degraded, got {err}"
+    );
+    assert!(
+        me.degraded(),
+        "engine must be degraded after retry exhaustion"
+    );
+
+    // Degraded is read-only: refused writes leave no trace, and CHECK
+    // keeps answering from the resident state, matching the oracle.
+    for i in 0..3 {
+        let name = format!("ghost{i}");
+        assert!(me.upsert(&name, &plan.config_text()).is_err());
+        assert_eq!(
+            me.config_generation(&name).expect("degraded read"),
+            None,
+            "ghost write applied"
+        );
+        assert_eq!(
+            render(&me.check().expect("degraded check").report),
+            oracle(&me),
+            "seed {seed}: degraded CHECK diverged from oracle"
+        );
+    }
+    let storage = me.storage_stats();
+    assert_eq!(
+        storage.degraded_transitions, 1,
+        "one transition: {storage:?}"
+    );
+    assert!(storage.retries >= 1 && storage.faults_injected >= 1);
+
+    // The device comes back; the next write re-probes and recovers.
+    vfs.fail_all_writes(None);
+    me.upsert("dev1", &plan.config_text())
+        .expect("write after the device recovers");
+    assert!(!me.degraded(), "engine must recover once writes succeed");
+    let storage = me.storage_stats();
+    assert!(storage.recoveries >= 1, "recovery counted: {storage:?}");
+    assert!(me.checkpoint(), "post-recovery checkpoint");
+    let want = render(&me.check().expect("post-recovery check").report);
+    drop(me);
+
+    let mut back = reboot(&dir);
+    let got = render(&back.check().expect("post-reboot check").report);
+    assert_eq!(
+        got, want,
+        "seed {seed}: degraded episode changed durable state"
+    );
+    assert_eq!(
+        got,
+        oracle(&back),
+        "seed {seed}: recovery after degraded episode diverged from oracle"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

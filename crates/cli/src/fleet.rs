@@ -47,7 +47,7 @@ use std::time::Instant;
 
 use concord_core::{
     ContractSet, EngineCheckStats, EngineStats, FleetReplicaStats, FleetShardStats, FleetStats,
-    LearnDeltaStats, RobustnessStats,
+    LearnDeltaStats, RobustnessStats, StorageStats,
 };
 use concord_engine::{
     merge_check_aggregates, CheckParts, Engine, EngineFault, EngineOptions, FleetCheckReport,
@@ -435,6 +435,7 @@ fn run_one(shared: &ServeShared, fleet: &Fleet, req: &Request, pre: Pre) -> Stri
         },
         Request::Stats => fleet_stats(shared, fleet),
         Request::Checkpoint => fleet_checkpoint(shared, fleet),
+        Request::Health => fleet_health(shared, fleet),
         Request::Fault { rest } => fleet_fault(shared, fleet, rest),
         // Routed before dispatch; a dispatch bug is answered, not
         // panicked over (same as the single-engine path).
@@ -690,11 +691,16 @@ fn fleet_check(shared: &ServeShared, fleet: &Fleet) -> String {
 }
 
 /// Shard-leader CHECK failover: when the leader faulted mid-check (it
-/// has already rebuilt from its image), serve the parts from a replica
-/// caught up to the last acked write. Only recovery faults fail over —
-/// a missing-contracts fault would fail identically on the replica.
+/// has already rebuilt from its image) or its storage degraded (the
+/// shard is quarantined read-only), serve the parts from a replica
+/// caught up to the last acked write. Only recovery/storage faults fail
+/// over — a missing-contracts fault would fail identically on the
+/// replica.
 fn failover_parts(shard: &FleetShard, fault: &EngineFault) -> Option<CheckParts> {
-    if !matches!(fault, EngineFault::Panicked(_) | EngineFault::Poisoned) {
+    if !matches!(
+        fault,
+        EngineFault::Panicked(_) | EngineFault::Poisoned | EngineFault::StorageDegraded(_)
+    ) {
         return None;
     }
     let leader_seq = shard.leader_seq.load(Ordering::Acquire);
@@ -745,6 +751,7 @@ fn fleet_stats(shared: &ServeShared, fleet: &Fleet) -> String {
     }
     let mut stats = EngineStats::default();
     let mut robustness = RobustnessStats::default();
+    let mut storage = StorageStats::default();
     let mut fleet_shards = Vec::with_capacity(fleet.shards.len());
     for (i, s) in shard_stats.iter().enumerate() {
         stats.configs += s.configs;
@@ -761,6 +768,9 @@ fn fleet_stats(shared: &ServeShared, fleet: &Fleet) -> String {
         stats.generations.extend(s.generations.iter().cloned());
         if let Some(r) = &s.robustness {
             robustness.accumulate(r);
+        }
+        if let Some(st) = &s.storage {
+            storage.accumulate(st);
         }
         let shard = &fleet.shards[i];
         let leader_seq = shard.leader_seq.load(Ordering::Acquire);
@@ -790,6 +800,7 @@ fn fleet_stats(shared: &ServeShared, fleet: &Fleet) -> String {
     robustness.requests_rejected = rejected;
     robustness.deadlines_hit = deadlines;
     stats.robustness = Some(robustness);
+    stats.storage = Some(storage);
     stats.contracts = lock(&fleet.contracts).as_ref().map(|c| c.len);
     stats.relearns = fleet.relearns.load(Ordering::Relaxed);
     stats.last_check = *lock(&fleet.last_check);
@@ -813,6 +824,35 @@ fn fleet_stats(shared: &ServeShared, fleet: &Fleet) -> String {
         totals,
     });
     format!("ok stats {}\n", stats.to_json().render())
+}
+
+/// HEALTH: per-shard storage counters accumulated under shared read
+/// locks, plus the shard/degraded-shard census. The fleet is degraded
+/// when any shard leader is.
+fn fleet_health(shared: &ServeShared, fleet: &Fleet) -> String {
+    let cutoff = Instant::now() + shared.limits().deadline;
+    let mut storage = StorageStats::default();
+    let mut degraded_shards = 0usize;
+    for shard in &fleet.shards {
+        let Some(guard) = shard.leader.read(cutoff) else {
+            return deadline(shared);
+        };
+        let s = guard.storage_stats();
+        if s.degraded {
+            degraded_shards += 1;
+        }
+        storage.accumulate(&s);
+    }
+    format!(
+        "ok health {} faults={} retries={} transitions={} recoveries={} shards={} degraded_shards={}\n",
+        if storage.degraded { "degraded" } else { "healthy" },
+        storage.faults_injected,
+        storage.retries,
+        storage.degraded_transitions,
+        storage.recoveries,
+        fleet.shards.len(),
+        degraded_shards,
+    )
 }
 
 fn fleet_checkpoint(shared: &ServeShared, fleet: &Fleet) -> String {

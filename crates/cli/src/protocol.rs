@@ -52,6 +52,7 @@ pub mod opcode {
     pub const FAULT: u8 = 9;
     pub const QUIT: u8 = 10;
     pub const BATCH: u8 = 11;
+    pub const HEALTH: u8 = 12;
 }
 
 /// Largest accepted `BATCH` count, shared by both framings.
@@ -76,6 +77,8 @@ pub enum Request {
     Contracts,
     Stats,
     Checkpoint,
+    /// `HEALTH`: storage health — degraded/healthy plus fault counters.
+    Health,
     /// `FAULT <kind>`; whether the verb is enabled (and whether the kind
     /// parses) is decided at execution time, like the original loop.
     Fault {
@@ -555,6 +558,7 @@ impl SessionParser {
             "CONTRACTS" => Parsed::Req(Request::Contracts),
             "STATS" => Parsed::Req(Request::Stats),
             "CHECKPOINT" => Parsed::Req(Request::Checkpoint),
+            "HEALTH" => Parsed::Req(Request::Health),
             "FAULT" => Parsed::Req(Request::Fault {
                 rest: rest.to_string(),
             }),
@@ -742,6 +746,7 @@ fn build_binary_request(op: u8, name: &[u8], body: &[u8], in_batch: bool) -> Bat
         opcode::CONTRACTS => BatchItem::Run(Request::Contracts),
         opcode::STATS => BatchItem::Run(Request::Stats),
         opcode::CHECKPOINT => BatchItem::Run(Request::Checkpoint),
+        opcode::HEALTH => BatchItem::Run(Request::Health),
         opcode::FAULT => match utf8(name) {
             Ok(rest) => BatchItem::Run(Request::Fault { rest }),
             Err(item) => item,
@@ -1054,6 +1059,7 @@ mod tests {
         encode_frame(opcode::CONTRACTS, b"", b"", &mut input);
         encode_frame(opcode::STATS, b"", b"", &mut input);
         encode_frame(opcode::CHECKPOINT, b"", b"", &mut input);
+        encode_frame(opcode::HEALTH, b"", b"", &mut input);
         encode_frame(opcode::FAULT, b"check", b"", &mut input);
         encode_frame(opcode::QUIT, b"", b"", &mut input);
         let events = parse_all(&input, 1024, 4096);
@@ -1075,6 +1081,7 @@ mod tests {
                 ParseEvent::Request(Request::Contracts),
                 ParseEvent::Request(Request::Stats),
                 ParseEvent::Request(Request::Checkpoint),
+                ParseEvent::Request(Request::Health),
                 ParseEvent::Request(Request::Fault {
                     rest: "check".to_string()
                 }),

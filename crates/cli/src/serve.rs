@@ -442,6 +442,7 @@ fn exec_shared(shared: &ServeShared, engine: &ResilientEngine, req: &Request) ->
         Request::Check => engine.check_shared().map(|report| render_check(&report)),
         Request::Gen { name } => Some(render_gen(engine.config_generation(name), name)),
         Request::Contracts => Some(render_contracts(engine.contracts_len())),
+        Request::Health => Some(render_health(&engine.storage_stats())),
         Request::Stats => engine.stats_shared().map(|mut stats| {
             if let Some(r) = &mut stats.robustness {
                 r.requests_rejected = shared.requests_rejected.load(Ordering::Relaxed);
@@ -491,6 +492,7 @@ fn exec_exclusive(shared: &ServeShared, engine: &mut ResilientEngine, req: &Requ
         },
         Request::Gen { name } => render_gen(engine.config_generation(name), name),
         Request::Contracts => render_contracts(engine.contracts_len()),
+        Request::Health => render_health(&engine.storage_stats()),
         Request::Stats => {
             engine.add_serve_counters(
                 shared.requests_rejected.load(Ordering::Relaxed),
@@ -559,6 +561,22 @@ pub(crate) fn render_gen(result: Result<Option<u64>, EngineFault>, name: &str) -
     }
 }
 
+/// Renders the HEALTH response from the engine's storage counters.
+pub(crate) fn render_health(storage: &concord_core::StorageStats) -> String {
+    format!(
+        "ok health {} faults={} retries={} transitions={} recoveries={}\n",
+        if storage.degraded {
+            "degraded"
+        } else {
+            "healthy"
+        },
+        storage.faults_injected,
+        storage.retries,
+        storage.degraded_transitions,
+        storage.recoveries,
+    )
+}
+
 fn render_contracts(result: Result<Option<usize>, EngineFault>) -> String {
     match result {
         Ok(Some(n)) => format!("ok contracts {n}\n"),
@@ -577,6 +595,7 @@ pub(crate) fn fault_line(fault: &EngineFault) -> String {
         EngineFault::BadContracts(e) => format!("err bad-request {}", one_line(e)),
         EngineFault::Panicked(msg) => format!("err internal {}", one_line(msg)),
         EngineFault::Persist(e) => format!("err persist {}", one_line(e)),
+        EngineFault::StorageDegraded(e) => format!("err storage-degraded {}", one_line(e)),
         EngineFault::Poisoned => "err poisoned".to_string(),
     }
 }

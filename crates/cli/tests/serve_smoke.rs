@@ -133,6 +133,18 @@ fn tcp_session_round_trips() {
     send("STATS\n");
     let stats = read_until_ok(&mut reader);
     assert!(stats.last().unwrap().starts_with("ok stats {"), "{stats:?}");
+    assert!(
+        stats.last().unwrap().contains("\"storage\""),
+        "stats must carry the storage health object: {stats:?}"
+    );
+
+    send("HEALTH\n");
+    let health = read_until_ok(&mut reader);
+    assert_eq!(
+        health.last().unwrap(),
+        "ok health healthy faults=0 retries=0 transitions=0 recoveries=0",
+        "{health:?}"
+    );
 
     send("QUIT\n");
     let bye = read_until_ok(&mut reader);

@@ -86,5 +86,5 @@ pub use params::LearnParams;
 pub use stats::{
     BuildStats, CheckStats, EngineCheckStats, EngineStats, FleetReplicaStats, FleetShardStats,
     FleetStats, FleetTotals, LearnDeltaStats, MemoryStats, PipelineStats, RobustnessStats,
-    ServeTransportStats, STATS_SCHEMA,
+    ServeTransportStats, StorageStats, STATS_SCHEMA,
 };

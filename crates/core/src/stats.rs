@@ -38,8 +38,12 @@ use crate::learn::LearnStats;
 /// (`engine.memory`: arena-interner heap accounting for the
 /// structure-of-arrays dataset — string/param/pattern-table/column
 /// bytes and interned-entry counts — plus the segmented-checkpoint
-/// scorecard of segments written vs skipped).
-pub const STATS_SCHEMA: &str = "concord-pipeline-stats/v9";
+/// scorecard of segments written vs skipped); v10 added the storage
+/// object (`engine.storage`: injected storage faults, bounded-retry
+/// attempts, degraded-mode transitions and recoveries, and GC removal
+/// errors that were previously swallowed — plus the live degraded
+/// flag surfaced by the serve `HEALTH` verb).
+pub const STATS_SCHEMA: &str = "concord-pipeline-stats/v10";
 
 /// Statistics from one [`Dataset::build_with_stats`](crate::Dataset::build_with_stats) run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -360,6 +364,61 @@ impl ToJson for MemoryStats {
     }
 }
 
+/// Storage-fault counters of a durable resident engine (the v10
+/// `storage` stats object): what the fault-injecting VFS actually
+/// threw at the durability layer and how the engine absorbed it —
+/// bounded retries, degraded read-only transitions, and automatic
+/// recoveries once writes succeed again. Also surfaced by the serve
+/// `HEALTH` verb.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Whether the engine is currently in degraded read-only mode
+    /// (writes answer `err storage-degraded`; reads keep serving from
+    /// the resident snapshot).
+    pub degraded: bool,
+    /// Faults injected by the VFS layer (0 on a passthrough `RealVfs`).
+    pub faults_injected: u64,
+    /// WAL-append / checkpoint attempts retried after a storage error
+    /// (each backoff step counts once).
+    pub retries: u64,
+    /// Transitions into degraded read-only mode after the bounded
+    /// retry budget was exhausted.
+    pub degraded_transitions: u64,
+    /// Automatic recoveries out of degraded mode once a write probe
+    /// succeeded again.
+    pub recoveries: u64,
+    /// Segment-GC / WAL-rotation removals that failed — previously
+    /// swallowed with `let _ =`, now counted and logged once.
+    pub gc_remove_errors: u64,
+}
+
+impl StorageStats {
+    /// Adds another counter set into this one — the fleet rollup sums
+    /// every shard's storage object in one pass with this. A fleet is
+    /// degraded if any shard is.
+    pub fn accumulate(&mut self, other: &StorageStats) {
+        self.degraded |= other.degraded;
+        self.faults_injected += other.faults_injected;
+        self.retries += other.retries;
+        self.degraded_transitions += other.degraded_transitions;
+        self.recoveries += other.recoveries;
+        self.gc_remove_errors += other.gc_remove_errors;
+    }
+}
+
+impl ToJson for StorageStats {
+    fn to_json(&self) -> Json {
+        concord_json::json!({
+            "degraded": self.degraded,
+            "faults_injected": self.faults_injected,
+            "retries": self.retries,
+            "degraded_transitions": self.degraded_transitions,
+            "recoveries": self.recoveries,
+            "gc_remove_errors": self.gc_remove_errors,
+        })
+    }
+}
+
 /// Transport-layer counters of one `concord serve` process: how traffic
 /// actually reached the engine (connections, pipelined requests, BATCH
 /// amortization, binary frames) and how often the read/write engine
@@ -581,6 +640,10 @@ pub struct EngineStats {
     /// Arena/interner memory accounting and segmented-checkpoint
     /// counters.
     pub memory: MemoryStats,
+    /// Storage-fault and degraded-mode counters, when the engine runs
+    /// behind the hardened durability layer (`None` for a bare
+    /// `Engine`).
+    pub storage: Option<StorageStats>,
     /// Serve transport counters, when the stats were produced by a
     /// `concord serve` process (`None` for a bare engine).
     pub serve: Option<ServeTransportStats>,
@@ -616,6 +679,7 @@ impl ToJson for EngineStats {
             "robustness": self.robustness,
             "learn_delta": self.learn_delta,
             "memory": self.memory,
+            "storage": self.storage,
             "serve": self.serve,
             "fleet": self.fleet,
         })
@@ -762,6 +826,17 @@ impl PipelineStats {
                     r.wal_records_replayed,
                     r.checkpoints,
                     r.degraded_checks,
+                ));
+            }
+            if let Some(s) = &e.storage {
+                out.push_str(&format!(
+                    "  storage: {}; {} faults injected, {} retries, {} degraded transitions / {} recoveries, {} GC remove errors\n",
+                    if s.degraded { "DEGRADED (read-only)" } else { "healthy" },
+                    s.faults_injected,
+                    s.retries,
+                    s.degraded_transitions,
+                    s.recoveries,
+                    s.gc_remove_errors,
                 ));
             }
             if let Some(s) = &e.serve {
@@ -946,6 +1021,14 @@ mod tests {
                     segments_written: 7,
                     segments_skipped: 21,
                 },
+                storage: Some(StorageStats {
+                    degraded: true,
+                    faults_injected: 14,
+                    retries: 6,
+                    degraded_transitions: 2,
+                    recoveries: 1,
+                    gc_remove_errors: 3,
+                }),
                 serve: Some(ServeTransportStats {
                     connections: 9,
                     requests: 40,
@@ -1054,6 +1137,21 @@ mod tests {
             json["engine"]["memory"]["segments_skipped"].as_u64(),
             Some(21)
         );
+        assert_eq!(json["engine"]["storage"]["degraded"].as_bool(), Some(true));
+        assert_eq!(
+            json["engine"]["storage"]["faults_injected"].as_u64(),
+            Some(14)
+        );
+        assert_eq!(json["engine"]["storage"]["retries"].as_u64(), Some(6));
+        assert_eq!(
+            json["engine"]["storage"]["degraded_transitions"].as_u64(),
+            Some(2)
+        );
+        assert_eq!(json["engine"]["storage"]["recoveries"].as_u64(), Some(1));
+        assert_eq!(
+            json["engine"]["storage"]["gc_remove_errors"].as_u64(),
+            Some(3)
+        );
         assert_eq!(json["engine"]["serve"]["connections"].as_u64(), Some(9));
         assert_eq!(json["engine"]["serve"]["batches"].as_u64(), Some(2));
         assert_eq!(
@@ -1149,6 +1247,9 @@ mod tests {
         ));
         assert!(text.contains(
             "learn delta: enabled; 3 sketches / 1 dirty; last learn mined 2 / reused 2; contracts at edit 3"
+        ));
+        assert!(text.contains(
+            "storage: DEGRADED (read-only); 14 faults injected, 6 retries, 2 degraded transitions / 1 recoveries, 3 GC remove errors"
         ));
         assert!(text.contains(
             "serve: 9 connections, 40 requests (2 batches / 16 batched, 8 binary); 30 shared reads / 10 exclusive ops"

@@ -57,6 +57,7 @@ mod replica;
 mod resilient;
 mod router;
 mod store;
+mod vfs;
 mod wal;
 
 pub use fleet::{merge_check_aggregates, merge_check_parts, FleetCheckReport, ShardCheckAggregate};
@@ -65,6 +66,7 @@ pub use replica::{Replica, ReplicaError};
 pub use resilient::{BootError, EngineFault, OpKind, ResilientEngine};
 pub use router::{ShardRouter, VNODES_PER_SHARD};
 pub use store::{LoadOutcome, StateDir, StoreError};
+pub use vfs::{FaultKind, FaultPlan, FaultVfs, RealVfs, StorageError, Vfs, VfsFile};
 pub use wal::{tail_records, TailChunk, Wal, WalOp, WalRecord};
 
 /// A stable identifier for a configuration held by an [`Engine`].
@@ -959,6 +961,7 @@ impl Engine {
             last_check: self.last_check,
             learn_delta: self.learn_delta(),
             memory: self.memory_stats(),
+            storage: None,
             serve: None,
             fleet: None,
         }

@@ -27,12 +27,14 @@
 
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use concord_core::ContractSet;
 use concord_lexer::Lexer;
 
 use crate::store::{load_image, StoreError};
-use crate::wal::{tail_records, Wal, WalOp, WalRecord};
+use crate::vfs::{RealVfs, Vfs};
+use crate::wal::{tail_records_vfs, Wal, WalOp, WalRecord};
 use crate::{Engine, EngineOptions, ImageError};
 
 /// Why a replica could not load or follow its leader's state.
@@ -65,6 +67,7 @@ impl From<io::Error> for ReplicaError {
 /// A read-only follower of one shard leader's state directory.
 pub struct Replica {
     dir: PathBuf,
+    vfs: Arc<dyn Vfs>,
     lexer: Lexer,
     options: EngineOptions,
     engine: Engine,
@@ -85,8 +88,20 @@ impl Replica {
         lexer: Lexer,
         options: EngineOptions,
     ) -> Result<Replica, ReplicaError> {
+        Self::attach_vfs(dir, lexer, options, Arc::new(RealVfs))
+    }
+
+    /// Like [`Replica::attach`] but with every filesystem read routed
+    /// through `vfs` — the fault-injection entry point.
+    pub fn attach_vfs(
+        dir: &Path,
+        lexer: Lexer,
+        options: EngineOptions,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<Replica, ReplicaError> {
         let mut replica = Replica {
             dir: dir.to_path_buf(),
+            vfs,
             lexer,
             options,
             engine: Engine::new(EngineOptions::default()),
@@ -110,7 +125,7 @@ impl Replica {
         // leader mid-checkpoint shows either the old or the new
         // manifest, never a half state, because segments land before
         // the manifest rename.
-        let image = load_image(&self.dir)
+        let image = load_image(self.vfs.as_ref(), &self.dir)
             .map_err(ReplicaError::Store)?
             .map(|load| load.image);
         let (mut engine, mut applied) = match &image {
@@ -129,8 +144,9 @@ impl Replica {
         // half-rotated directory (records present in both files) is
         // harmless. A torn tail on either file simply ends that file's
         // contribution — the leader's recovery truncates it on its side.
-        let (old_records, _) = Wal::read_records(&self.dir.join("wal.log.old"))?;
-        let live = tail_records(&self.dir.join("wal.log"), 0)?;
+        let (old_records, _) =
+            Wal::read_records_vfs(self.vfs.as_ref(), &self.dir.join("wal.log.old"))?;
+        let live = tail_records_vfs(self.vfs.as_ref(), &self.dir.join("wal.log"), 0)?;
         let mut records: Vec<WalRecord> = old_records
             .into_iter()
             .chain(live.records)
@@ -160,7 +176,7 @@ impl Replica {
     /// applied, resync replays included.
     pub fn poll(&mut self, leader_seq: u64) -> Result<usize, ReplicaError> {
         let before = self.applied_seq;
-        let chunk = tail_records(&self.dir.join("wal.log"), self.offset)?;
+        let chunk = tail_records_vfs(self.vfs.as_ref(), &self.dir.join("wal.log"), self.offset)?;
         if chunk.rotated {
             self.resync()?;
             return Ok(self.applied_seq.saturating_sub(before) as usize);

@@ -25,14 +25,24 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
 
-use concord_core::{ContractSet, DatasetError, EngineStats, LearnStats, RobustnessStats};
+use concord_core::{
+    ContractSet, DatasetError, EngineStats, LearnStats, RobustnessStats, StorageStats,
+};
 use concord_lexer::Lexer;
 
 use crate::image::{EngineImage, ImageError};
 use crate::store::{StateDir, StoreError};
+use crate::vfs::{RealVfs, Vfs};
 use crate::wal::WalOp;
 use crate::{CheckParts, ConfigId, Engine, EngineCheckReport, EngineError, EngineOptions};
+
+/// Bounded retries before a failing append/checkpoint degrades the
+/// engine to read-only. Attempt `n` sleeps `1 << (n - 1)` ms first
+/// (1/2/4 ms), so a transient hiccup is absorbed in under 10 ms.
+const STORAGE_RETRY_LIMIT: u32 = 3;
 
 /// The operation kinds a fault can be armed against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +95,10 @@ pub enum EngineFault {
     /// The operation was applied in memory but could not be made
     /// durable (WAL append failed).
     Persist(String),
+    /// Storage is persistently failing: the engine is in degraded
+    /// read-only mode. Reads keep serving from the resident snapshot;
+    /// writes are rejected until a re-probe succeeds.
+    StorageDegraded(String),
     /// The engine is poisoned and could not be rebuilt.
     Poisoned,
 }
@@ -97,6 +111,9 @@ impl std::fmt::Display for EngineFault {
             EngineFault::BadContracts(e) => write!(f, "bad contracts: {e}"),
             EngineFault::Panicked(msg) => write!(f, "operation panicked: {msg}"),
             EngineFault::Persist(e) => write!(f, "persistence failed: {e}"),
+            EngineFault::StorageDegraded(e) => {
+                write!(f, "storage degraded, serving read-only: {e}")
+            }
             EngineFault::Poisoned => f.write_str("engine poisoned and rebuild failed"),
         }
     }
@@ -165,6 +182,13 @@ pub struct ResilientEngine {
     /// Cumulative segmented-checkpoint counters (v9 `memory` stats).
     segments_written: u64,
     segments_skipped: u64,
+    /// Storage is persistently failing: writes are rejected, reads keep
+    /// serving from the resident snapshot, and every write attempt
+    /// re-probes the storage stack for recovery (v10 `storage` stats).
+    degraded: bool,
+    storage_retries: u64,
+    degraded_transitions: u64,
+    storage_recoveries: u64,
 }
 
 impl ResilientEngine {
@@ -191,6 +215,10 @@ impl ResilientEngine {
             appends_since_checkpoint: 0,
             segments_written: 0,
             segments_skipped: 0,
+            degraded: false,
+            storage_retries: 0,
+            degraded_transitions: 0,
+            storage_recoveries: 0,
         })
     }
 
@@ -206,7 +234,21 @@ impl ResilientEngine {
         options: EngineOptions,
         dir: &Path,
     ) -> Result<(ResilientEngine, bool), BootError> {
-        let (store, load) = StateDir::open(dir)?;
+        Self::with_store_vfs(configs, metadata, lexer, options, dir, Arc::new(RealVfs))
+    }
+
+    /// Like [`ResilientEngine::with_store`] but with every filesystem
+    /// operation routed through `vfs` — the fault-injection and
+    /// crash-point entry point.
+    pub fn with_store_vfs(
+        configs: &[(String, String)],
+        metadata: &[(String, String)],
+        lexer: Lexer,
+        options: EngineOptions,
+        dir: &Path,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<(ResilientEngine, bool), BootError> {
+        let (store, load) = StateDir::open_vfs(dir, vfs)?;
         let resumed = load.image.is_some();
         let mut me = match load.image {
             Some(image) => {
@@ -224,6 +266,10 @@ impl ResilientEngine {
                     appends_since_checkpoint: 0,
                     segments_written: 0,
                     segments_skipped: 0,
+                    degraded: false,
+                    storage_retries: 0,
+                    degraded_transitions: 0,
+                    storage_recoveries: 0,
                 }
             }
             None => {
@@ -311,6 +357,7 @@ impl ResilientEngine {
 
     /// Inserts or replaces one configuration.
     pub fn upsert(&mut self, name: &str, text: &str) -> Result<ConfigId, EngineFault> {
+        self.ensure_writable()?;
         let id = self.guarded(OpKind::Upsert, |e| e.upsert_config(name, text))?;
         self.image.upsert(name, text);
         self.sync_counters();
@@ -323,6 +370,7 @@ impl ResilientEngine {
 
     /// Removes one configuration; `Ok(None)` when it did not exist.
     pub fn remove(&mut self, name: &str) -> Result<Option<ConfigId>, EngineFault> {
+        self.ensure_writable()?;
         let id = self.guarded(OpKind::Remove, |e| e.remove_config(name))?;
         if id.is_some() {
             self.image.remove(name);
@@ -336,6 +384,7 @@ impl ResilientEngine {
 
     /// Learns a fresh contract set from the current snapshot.
     pub fn relearn(&mut self) -> Result<LearnStats, EngineFault> {
+        self.ensure_writable()?;
         let stats = self.guarded(OpKind::Learn, |e| e.relearn())?;
         self.image.contracts = self.current_contracts_json();
         self.sync_counters();
@@ -346,6 +395,7 @@ impl ResilientEngine {
     /// Swaps in a contract set from its JSON serialization, returning
     /// the number of contracts loaded.
     pub fn set_contracts_json(&mut self, json: &str) -> Result<usize, EngineFault> {
+        self.ensure_writable()?;
         let contracts =
             ContractSet::from_json(json).map_err(|e| EngineFault::BadContracts(e.to_string()))?;
         let len = contracts.len();
@@ -414,6 +464,7 @@ impl ResilientEngine {
         stats.robustness = Some(self.robustness);
         stats.memory.segments_written = self.segments_written;
         stats.memory.segments_skipped = self.segments_skipped;
+        stats.storage = Some(self.storage_stats());
         Ok(stats)
     }
 
@@ -430,7 +481,27 @@ impl ResilientEngine {
         stats.robustness = Some(self.robustness);
         stats.memory.segments_written = self.segments_written;
         stats.memory.segments_skipped = self.segments_skipped;
+        stats.storage = Some(self.storage_stats());
         Some(stats)
+    }
+
+    /// Whether the engine is in degraded read-only mode (storage is
+    /// persistently failing; reads still serve from the snapshot).
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// The storage-health counters (v10 `storage` stats and the serve
+    /// protocol's `HEALTH` verb). All zero for a memory-only engine.
+    pub fn storage_stats(&self) -> StorageStats {
+        StorageStats {
+            degraded: self.degraded,
+            faults_injected: self.store.as_ref().map_or(0, StateDir::injected_faults),
+            retries: self.storage_retries,
+            degraded_transitions: self.degraded_transitions,
+            recoveries: self.storage_recoveries,
+            gc_remove_errors: self.store.as_ref().map_or(0, StateDir::gc_remove_errors),
+        }
     }
 
     /// Checkpoints now (no-op without a store). Returns whether a
@@ -454,20 +525,30 @@ impl ResilientEngine {
                 }
             }
         }
-        let Some(store) = self.store.as_mut() else {
-            return false;
-        };
-        match store.checkpoint(&self.image) {
-            Ok(stats) => {
-                self.robustness.checkpoints += 1;
-                self.segments_written += stats.segments_written;
-                self.segments_skipped += stats.segments_skipped;
-                self.appends_since_checkpoint = 0;
-                true
-            }
-            Err(_) => {
-                self.robustness.persist_errors += 1;
-                false
+        let mut attempt = 0u32;
+        loop {
+            let Some(store) = self.store.as_mut() else {
+                return false;
+            };
+            match store.checkpoint(&self.image) {
+                Ok(stats) => {
+                    self.note_storage_ok();
+                    self.robustness.checkpoints += 1;
+                    self.segments_written += stats.segments_written;
+                    self.segments_skipped += stats.segments_skipped;
+                    self.appends_since_checkpoint = 0;
+                    return true;
+                }
+                Err(e) => {
+                    if !e.retryable() || attempt >= STORAGE_RETRY_LIMIT {
+                        self.robustness.persist_errors += 1;
+                        self.note_storage_degraded();
+                        return false;
+                    }
+                    attempt += 1;
+                    self.storage_retries += 1;
+                    std::thread::sleep(Duration::from_millis(1u64 << (attempt - 1)));
+                }
             }
         }
     }
@@ -555,25 +636,88 @@ impl ResilientEngine {
 
     /// Appends one op to the WAL (when a store is attached), advancing
     /// `applied_seq` and auto-checkpointing on cadence.
+    ///
+    /// A failed append is retried up to [`STORAGE_RETRY_LIMIT`] times
+    /// with exponential backoff; the WAL tail is repaired between
+    /// attempts, because a mid-write failure can leave a torn line that
+    /// would bury the retried record where replay cannot see it.
+    /// Exhausting the retries (or a non-retryable corruption error)
+    /// degrades the engine to read-only.
     fn log(&mut self, op: WalOp) -> Result<(), EngineFault> {
+        if self.store.is_none() {
+            return Ok(());
+        }
+        let mut attempt = 0u32;
+        loop {
+            let store = self.store.as_mut().expect("store attached");
+            match store.append(&op) {
+                Ok(seq) => {
+                    self.note_storage_ok();
+                    self.image.applied_seq = seq;
+                    self.appends_since_checkpoint += 1;
+                    if self.checkpoint_every > 0
+                        && self.appends_since_checkpoint >= self.checkpoint_every
+                    {
+                        self.checkpoint();
+                    }
+                    return Ok(());
+                }
+                Err(e) => {
+                    if !e.retryable() || attempt >= STORAGE_RETRY_LIMIT {
+                        self.robustness.persist_errors += 1;
+                        self.note_storage_degraded();
+                        return Err(EngineFault::StorageDegraded(e.to_string()));
+                    }
+                    attempt += 1;
+                    self.storage_retries += 1;
+                    // Repair the torn tail before retrying; if the
+                    // repair itself fails, the retried append surfaces
+                    // the same error and the loop degrades as usual.
+                    let store = self.store.as_mut().expect("store attached");
+                    let _ = store.recover_wal();
+                    std::thread::sleep(Duration::from_millis(1u64 << (attempt - 1)));
+                }
+            }
+        }
+    }
+
+    /// A write-path operation succeeded: leave degraded mode if we were
+    /// in it.
+    fn note_storage_ok(&mut self) {
+        if self.degraded {
+            self.degraded = false;
+            self.storage_recoveries += 1;
+        }
+    }
+
+    /// A write-path operation failed after retries: enter degraded
+    /// read-only mode (idempotent).
+    fn note_storage_degraded(&mut self) {
+        if !self.degraded {
+            self.degraded = true;
+            self.degraded_transitions += 1;
+        }
+    }
+
+    /// Gate at the top of every mutation. Healthy engines pass through;
+    /// a degraded engine re-probes the storage stack (repairing the WAL
+    /// tail first, since the failure that degraded us may have torn it)
+    /// and either recovers or rejects the write without touching the
+    /// in-memory snapshot — degraded mode is genuinely read-only.
+    fn ensure_writable(&mut self) -> Result<(), EngineFault> {
+        if !self.degraded {
+            return Ok(());
+        }
         let Some(store) = self.store.as_mut() else {
+            self.degraded = false;
             return Ok(());
         };
-        match store.append(&op) {
-            Ok(seq) => {
-                self.image.applied_seq = seq;
-                self.appends_since_checkpoint += 1;
-                if self.checkpoint_every > 0
-                    && self.appends_since_checkpoint >= self.checkpoint_every
-                {
-                    self.checkpoint();
-                }
+        match store.recover_wal().and_then(|()| store.probe()) {
+            Ok(()) => {
+                self.note_storage_ok();
                 Ok(())
             }
-            Err(e) => {
-                self.robustness.persist_errors += 1;
-                Err(EngineFault::Persist(e.to_string()))
-            }
+            Err(e) => Err(EngineFault::StorageDegraded(e.to_string())),
         }
     }
 
@@ -888,6 +1032,132 @@ mod tests {
                 .to_json(),
             want_contracts
         );
+    }
+
+    #[test]
+    fn transient_storage_fault_is_absorbed_by_retries() {
+        use crate::vfs::{FaultKind, FaultVfs};
+        let dir = tmp_dir("retry");
+        let fault = FaultVfs::new(0xA11);
+        let (mut me, _) = ResilientEngine::with_store_vfs(
+            &corpus(),
+            &[],
+            Lexer::standard(),
+            EngineOptions::default(),
+            &dir,
+            Arc::new(fault.clone()),
+        )
+        .expect("boots");
+        me.set_checkpoint_every(0);
+        me.relearn().expect("learns");
+
+        // One failing fsync on the next append: the retry loop must
+        // absorb it and acknowledge the op.
+        fault.fail_next_syncs(1, FaultKind::Eio);
+        me.upsert("dev0", "vlan 999\n")
+            .expect("retry absorbs fault");
+        let storage = me.storage_stats();
+        assert!(!storage.degraded);
+        assert!(storage.retries >= 1, "{storage:?}");
+        assert!(storage.faults_injected >= 1, "{storage:?}");
+        assert_eq!(storage.degraded_transitions, 0);
+
+        // The retried record must be replayable: reboot and compare.
+        let want_gens = me.engine.as_ref().expect("live").generations();
+        let want = me.check().expect("checks").report;
+        drop(me);
+        let (mut back, resumed) = ResilientEngine::with_store(
+            &[],
+            &[],
+            Lexer::standard(),
+            EngineOptions::default(),
+            &dir,
+        )
+        .expect("reboots");
+        assert!(resumed);
+        assert!(back.robustness().wal_replays >= 1);
+        assert_eq!(
+            back.engine.as_ref().expect("live").generations(),
+            want_gens,
+            "the retried upsert survived the reboot"
+        );
+        let got = back.check().expect("checks").report;
+        assert_eq!(got.violations, want.violations);
+    }
+
+    #[test]
+    fn persistent_storage_failure_degrades_then_recovers() {
+        use crate::vfs::{FaultKind, FaultVfs};
+        let dir = tmp_dir("degrade");
+        let fault = FaultVfs::new(0xDE6);
+        let (mut me, _) = ResilientEngine::with_store_vfs(
+            &corpus(),
+            &[],
+            Lexer::standard(),
+            EngineOptions::default(),
+            &dir,
+            Arc::new(fault.clone()),
+        )
+        .expect("boots");
+        me.set_checkpoint_every(0);
+        me.relearn().expect("learns");
+        me.check().expect("checks");
+
+        // The disk goes persistently bad: the first write exhausts its
+        // retries and flips the engine into degraded read-only mode.
+        fault.fail_all_writes(Some(FaultKind::Eio));
+        let err = me.upsert("dev0", "vlan 999\n").expect_err("disk is dead");
+        assert!(matches!(err, EngineFault::StorageDegraded(_)), "{err:?}");
+        assert!(me.degraded());
+        let storage = me.storage_stats();
+        assert_eq!(storage.degraded_transitions, 1);
+        assert_eq!(storage.retries, STORAGE_RETRY_LIMIT as u64);
+
+        // Degraded mode is genuinely read-only: rejected writes never
+        // touch the in-memory snapshot...
+        let err = me.upsert("brand-new", "vlan 1\n").expect_err("read-only");
+        assert!(matches!(err, EngineFault::StorageDegraded(_)), "{err:?}");
+        assert_eq!(
+            me.config_generation("brand-new").expect("live"),
+            None,
+            "rejected write must not be applied"
+        );
+        // ...while reads keep serving from the resident snapshot.
+        let got = me.check().expect("reads still work");
+        let want = oracle_report(&me);
+        assert_eq!(got.report.violations, want.report.violations);
+
+        // Storage heals: the next write re-probes, recovers, and is
+        // applied + durable again.
+        fault.fail_all_writes(None);
+        me.upsert("brand-new", "vlan 1\n").expect("recovered");
+        assert!(!me.degraded());
+        let storage = me.storage_stats();
+        assert_eq!(storage.recoveries, 1);
+        assert!(me.checkpoint(), "checkpoint works again");
+
+        // The healed state (including the edit that triggered the
+        // degrade, which the checkpoint persisted from the image) is
+        // what a reboot sees.
+        drop(me);
+        let (mut back, resumed) = ResilientEngine::with_store(
+            &[],
+            &[],
+            Lexer::standard(),
+            EngineOptions::default(),
+            &dir,
+        )
+        .expect("reboots");
+        assert!(resumed);
+        let got = back.check().expect("checks");
+        let want = oracle_report(&back);
+        assert_eq!(got.report.violations, want.report.violations);
+        assert!(back
+            .engine
+            .as_ref()
+            .expect("live")
+            .config_generation("brand-new")
+            .is_some());
     }
 
     #[test]

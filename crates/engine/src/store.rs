@@ -47,13 +47,14 @@
 //! segmented checkpoint.
 
 use std::collections::HashMap;
-use std::fs::{self, File, OpenOptions};
-use std::io::{self, Read, Write};
+use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use concord_json::{FromJson, Json, ToJson};
 
 use crate::image::{EngineImage, ImageConfig};
+use crate::vfs::{RealVfs, StorageError, Vfs};
 use crate::wal::{crc32, Wal, WalOp, WalRecord};
 
 /// Magic header prefix of a checkpoint manifest.
@@ -87,6 +88,15 @@ impl std::error::Error for StoreError {}
 impl From<io::Error> for StoreError {
     fn from(e: io::Error) -> StoreError {
         StoreError::Io(e)
+    }
+}
+
+impl From<StorageError> for StoreError {
+    fn from(e: StorageError) -> StoreError {
+        match e {
+            StorageError::Corrupt(msg) => StoreError::Corrupt(msg),
+            other => StoreError::Io(io::Error::other(other.to_string())),
+        }
     }
 }
 
@@ -203,6 +213,7 @@ pub struct LoadOutcome {
 #[derive(Debug)]
 pub struct StateDir {
     dir: PathBuf,
+    vfs: Arc<dyn Vfs>,
     wal: Wal,
     /// Segments known to exist on disk with the right content, keyed by
     /// config id → `(generation, has-sketch)`. The incremental skip
@@ -212,23 +223,39 @@ pub struct StateDir {
     /// checkpoint — the garbage collector must keep their files so the
     /// backup stays loadable.
     prev_refs: Vec<SegRef>,
+    /// Segment-GC / WAL-rotation removals that failed. Previously
+    /// dropped with `let _ =`; now counted (surfaced in the v10
+    /// `storage` stats object) and logged once.
+    gc_remove_errors: u64,
+    gc_error_logged: bool,
 }
 
 impl StateDir {
+    /// Opens (creating if needed) the state directory through the real
+    /// filesystem. See [`StateDir::open_vfs`].
+    pub fn open(dir: &Path) -> Result<(StateDir, LoadOutcome), StoreError> {
+        StateDir::open_vfs(dir, Arc::new(RealVfs))
+    }
+
     /// Opens (creating if needed) the state directory, loading whatever
     /// snapshot + WAL state survived. The returned [`StateDir`] has the
     /// WAL open for appending with the sequence continuing after the
-    /// highest sequence seen on disk.
-    pub fn open(dir: &Path) -> Result<(StateDir, LoadOutcome), StoreError> {
-        fs::create_dir_all(dir)?;
-        let load = load_image(dir)?;
+    /// highest sequence seen on disk. All I/O — now and for the life of
+    /// the store — goes through `vfs`.
+    pub fn open_vfs(dir: &Path, vfs: Arc<dyn Vfs>) -> Result<(StateDir, LoadOutcome), StoreError> {
+        vfs.create_dir_all(dir)?;
+        let load = load_image(vfs.as_ref(), dir)?;
         let (image, used_backup, written, prev_refs) = match load {
             Some(load) => {
                 // Drop an unreadable live file so the next checkpoint's
                 // rotation cannot clobber the good backup with garbage.
                 match load.source {
-                    LoadSource::ManifestBak => remove_if_exists(&dir.join("manifest.json"))?,
-                    LoadSource::LegacySnapshotBak => remove_if_exists(&dir.join("snapshot.json"))?,
+                    LoadSource::ManifestBak => {
+                        remove_if_exists(vfs.as_ref(), &dir.join("manifest.json"))?
+                    }
+                    LoadSource::LegacySnapshotBak => {
+                        remove_if_exists(vfs.as_ref(), &dir.join("snapshot.json"))?
+                    }
                     LoadSource::Manifest | LoadSource::LegacySnapshot => {}
                 }
                 let written: HashMap<u64, (u64, bool)> = load
@@ -242,8 +269,8 @@ impl StateDir {
             None => {
                 let existed = ["manifest.json", "manifest.json.bak", "snapshot.json"]
                     .iter()
-                    .any(|f| dir.join(f).exists())
-                    || dir.join("snapshot.json.bak").exists();
+                    .any(|f| vfs.exists(&dir.join(f)))
+                    || vfs.exists(&dir.join("snapshot.json.bak"));
                 if existed {
                     return Err(StoreError::Corrupt(
                         "snapshot, manifest, and backups all unreadable".to_string(),
@@ -254,8 +281,9 @@ impl StateDir {
         };
 
         let applied_seq = image.as_ref().map(|i| i.applied_seq).unwrap_or(0);
-        let (old_records, old_torn) = Wal::read_records(&dir.join("wal.log.old"))?;
-        let (new_records, new_torn) = Wal::read_records(&dir.join("wal.log"))?;
+        let (old_records, old_torn) =
+            Wal::read_records_vfs(vfs.as_ref(), &dir.join("wal.log.old"))?;
+        let (new_records, new_torn) = Wal::read_records_vfs(vfs.as_ref(), &dir.join("wal.log"))?;
         let mut replay: Vec<WalRecord> = old_records
             .into_iter()
             .chain(new_records)
@@ -265,13 +293,16 @@ impl StateDir {
         replay.dedup_by_key(|r| r.seq);
 
         let max_seq = replay.last().map(|r| r.seq).unwrap_or(applied_seq);
-        let wal = Wal::open_append(&dir.join("wal.log"), max_seq + 1)?;
+        let wal = Wal::open_append_vfs(vfs.as_ref(), &dir.join("wal.log"), max_seq + 1)?;
         Ok((
             StateDir {
                 dir: dir.to_path_buf(),
+                vfs,
                 wal,
                 written,
                 prev_refs,
+                gc_remove_errors: 0,
+                gc_error_logged: false,
             },
             LoadOutcome {
                 image,
@@ -288,8 +319,8 @@ impl StateDir {
     }
 
     /// Appends one op to the WAL (fsync'd). Returns its sequence.
-    pub fn append(&mut self, op: &WalOp) -> Result<u64, StoreError> {
-        Ok(self.wal.append(op)?)
+    pub fn append(&mut self, op: &WalOp) -> Result<u64, StorageError> {
+        self.wal.append(op)
     }
 
     /// The sequence number the next append will use.
@@ -297,12 +328,53 @@ impl StateDir {
         self.wal.next_seq()
     }
 
+    /// Probes whether the storage stack accepts writes again (an empty
+    /// write + fsync on the live WAL handle). Used to re-probe out of
+    /// degraded mode without consuming a sequence number.
+    pub fn probe(&mut self) -> Result<(), StorageError> {
+        self.wal.probe()
+    }
+
+    /// Re-opens the live WAL after a failed append, truncating any torn
+    /// line the failure left behind. A retry that appended after a torn
+    /// partial line would bury its (acknowledged) record behind garbage
+    /// where replay could never see it — so retries must repair first.
+    pub fn recover_wal(&mut self) -> Result<(), StorageError> {
+        let next_seq = self.wal.next_seq();
+        self.wal = Wal::open_append_vfs(self.vfs.as_ref(), &self.dir.join("wal.log"), next_seq)?;
+        Ok(())
+    }
+
+    /// Faults the VFS injected so far (0 on a passthrough [`RealVfs`]).
+    pub fn injected_faults(&self) -> u64 {
+        self.vfs.injected_faults()
+    }
+
+    /// Segment-GC / WAL-rotation removals that failed so far.
+    pub fn gc_remove_errors(&self) -> u64 {
+        self.gc_remove_errors
+    }
+
+    /// Counts (and logs, once per store) a failed best-effort removal.
+    fn note_remove_error(&mut self, path: &Path, err: &io::Error) {
+        self.gc_remove_errors += 1;
+        if !self.gc_error_logged {
+            self.gc_error_logged = true;
+            eprintln!(
+                "concord: state-dir cleanup failed (counted, further errors suppressed): {}: {err}",
+                path.display()
+            );
+        }
+    }
+
     /// Atomically checkpoints `image` (whose `applied_seq` must cover
     /// every op appended so far) and rotates the WAL. Only segments for
     /// configs dirtied since the last checkpoint are re-serialized.
-    pub fn checkpoint(&mut self, image: &EngineImage) -> Result<CheckpointStats, StoreError> {
+    pub fn checkpoint(&mut self, image: &EngineImage) -> Result<CheckpointStats, StorageError> {
+        let vfs = self.vfs.clone();
         let seg_dir = self.dir.join("segments");
-        fs::create_dir_all(&seg_dir)?;
+        vfs.create_dir_all(&seg_dir)
+            .map_err(StorageError::from_io)?;
 
         // 1. Segments: write every config whose (id, generation,
         //    sketch) identity is not already durable, skip the rest.
@@ -312,11 +384,16 @@ impl StateDir {
             let sref = SegRef::of(config);
             let seg_path = seg_dir.join(sref.file_name());
             let clean = self.written.get(&config.id) == Some(&(sref.generation, sref.sketch))
-                && seg_path.exists();
+                && vfs.exists(&seg_path);
             if clean {
                 stats.segments_skipped += 1;
             } else {
-                write_verified(&seg_path, SEGMENT_MAGIC, &config.to_json().render())?;
+                write_verified(
+                    vfs.as_ref(),
+                    &seg_path,
+                    SEGMENT_MAGIC,
+                    &config.to_json().render(),
+                )?;
                 self.written
                     .insert(config.id, (sref.generation, sref.sketch));
                 stats.segments_written += 1;
@@ -324,7 +401,7 @@ impl StateDir {
             refs.push(sref);
         }
         if stats.segments_written > 0 {
-            sync_dir(&seg_dir)?;
+            vfs.sync_dir(&seg_dir).map_err(StorageError::from_io)?;
         }
 
         // 2. Manifest: refs + all the non-per-config image state. The
@@ -335,48 +412,60 @@ impl StateDir {
         let tmp_path = self.dir.join("manifest.tmp");
         let manifest_path = self.dir.join("manifest.json");
         let bak_path = self.dir.join("manifest.json.bak");
-        write_verified(&tmp_path, MANIFEST_MAGIC, &payload)?;
-        if manifest_path.exists() {
-            fs::rename(&manifest_path, &bak_path)?;
+        write_verified(vfs.as_ref(), &tmp_path, MANIFEST_MAGIC, &payload)?;
+        if vfs.exists(&manifest_path) {
+            vfs.rename(&manifest_path, &bak_path)
+                .map_err(StorageError::from_io)?;
         }
-        fs::rename(&tmp_path, &manifest_path)?;
-        sync_dir(&self.dir)?;
+        vfs.rename(&tmp_path, &manifest_path)
+            .map_err(StorageError::from_io)?;
+        vfs.sync_dir(&self.dir).map_err(StorageError::from_io)?;
 
         // A pre-segmentation snapshot pair is superseded the moment one
         // segmented checkpoint lands; remove it so the fallback ladder
         // can never resurrect the older state.
-        remove_if_exists(&self.dir.join("snapshot.json"))?;
-        remove_if_exists(&self.dir.join("snapshot.json.bak"))?;
+        remove_if_exists(vfs.as_ref(), &self.dir.join("snapshot.json"))
+            .map_err(StorageError::from_io)?;
+        remove_if_exists(vfs.as_ref(), &self.dir.join("snapshot.json.bak"))
+            .map_err(StorageError::from_io)?;
 
         // 3. Rotate the WAL: everything in the current log is folded
         //    into the manifest just written; keep it one generation as
-        //    `.old` so the `.bak` manifest stays recoverable.
+        //    `.old` so the `.bak` manifest stays recoverable. A failed
+        //    removal of the doomed `.old` is counted, not fatal — the
+        //    rename below overwrites it anyway.
         let next_seq = self.wal.next_seq();
         let wal_path = self.dir.join("wal.log");
         let old_path = self.dir.join("wal.log.old");
-        if old_path.exists() {
-            fs::remove_file(&old_path)?;
+        if vfs.exists(&old_path) {
+            if let Err(e) = vfs.remove_file(&old_path) {
+                self.note_remove_error(&old_path, &e);
+            }
         }
-        if wal_path.exists() {
-            fs::rename(&wal_path, &old_path)?;
+        if vfs.exists(&wal_path) {
+            vfs.rename(&wal_path, &old_path)
+                .map_err(StorageError::from_io)?;
         }
-        self.wal = Wal::open_append(&wal_path, next_seq)?;
-        sync_dir(&self.dir)?;
+        self.wal = Wal::open_append_vfs(vfs.as_ref(), &wal_path, next_seq)?;
+        vfs.sync_dir(&self.dir).map_err(StorageError::from_io)?;
 
         // 4. Garbage-collect segments referenced by neither the new
         //    manifest nor the one now at `.bak` (plus any stray tmp
         //    files from interrupted checkpoints). Best-effort: a
-        //    leftover file costs disk, never correctness.
+        //    leftover file costs disk, never correctness — but failures
+        //    are counted and logged once, not dropped on the floor.
         let retain: std::collections::HashSet<String> = refs
             .iter()
             .chain(self.prev_refs.iter())
             .map(SegRef::file_name)
             .collect();
-        if let Ok(entries) = fs::read_dir(&seg_dir) {
-            for entry in entries.flatten() {
-                let name = entry.file_name().to_string_lossy().into_owned();
+        if let Ok(names) = vfs.read_dir(&seg_dir) {
+            for name in names {
                 if !retain.contains(&name) {
-                    let _ = fs::remove_file(entry.path());
+                    let path = seg_dir.join(&name);
+                    if let Err(e) = vfs.remove_file(&path) {
+                        self.note_remove_error(&path, &e);
+                    }
                 }
             }
         }
@@ -392,29 +481,29 @@ impl StateDir {
 /// start or a [`StoreError::Corrupt`]). `pub(crate)` so a read replica
 /// can load a leader's state without opening the directory for writing
 /// (opening would truncate the leader's WAL tail).
-pub(crate) fn load_image(dir: &Path) -> Result<Option<ImageLoad>, StoreError> {
-    if let Some((image, refs)) = read_manifest(&dir.join("manifest.json"), dir)? {
+pub(crate) fn load_image(vfs: &dyn Vfs, dir: &Path) -> Result<Option<ImageLoad>, StoreError> {
+    if let Some((image, refs)) = read_manifest(vfs, &dir.join("manifest.json"), dir)? {
         return Ok(Some(ImageLoad {
             image,
             refs,
             source: LoadSource::Manifest,
         }));
     }
-    if let Some((image, refs)) = read_manifest(&dir.join("manifest.json.bak"), dir)? {
+    if let Some((image, refs)) = read_manifest(vfs, &dir.join("manifest.json.bak"), dir)? {
         return Ok(Some(ImageLoad {
             image,
             refs,
             source: LoadSource::ManifestBak,
         }));
     }
-    if let Some(image) = read_snapshot(&dir.join("snapshot.json"))? {
+    if let Some(image) = read_snapshot(vfs, &dir.join("snapshot.json"))? {
         return Ok(Some(ImageLoad {
             image,
             refs: Vec::new(),
             source: LoadSource::LegacySnapshot,
         }));
     }
-    if let Some(image) = read_snapshot(&dir.join("snapshot.json.bak"))? {
+    if let Some(image) = read_snapshot(vfs, &dir.join("snapshot.json.bak"))? {
         return Ok(Some(ImageLoad {
             image,
             refs: Vec::new(),
@@ -469,10 +558,11 @@ fn manifest_json(image: &EngineImage, refs: &[SegRef]) -> Json {
 /// segment is missing/corrupt/mismatched (the caller falls down the
 /// ladder).
 fn read_manifest(
+    vfs: &dyn Vfs,
     path: &Path,
     dir: &Path,
 ) -> Result<Option<(EngineImage, Vec<SegRef>)>, StoreError> {
-    let Some(payload) = read_verified(path, MANIFEST_MAGIC)? else {
+    let Some(payload) = read_verified(vfs, path, MANIFEST_MAGIC)? else {
         return Ok(None);
     };
     let Ok(json) = Json::parse(&payload) else {
@@ -517,7 +607,8 @@ fn read_manifest(
     let seg_dir = dir.join("segments");
     let mut configs: Vec<ImageConfig> = Vec::with_capacity(refs.len());
     for sref in &refs {
-        let Some(payload) = read_verified(&seg_dir.join(sref.file_name()), SEGMENT_MAGIC)? else {
+        let Some(payload) = read_verified(vfs, &seg_dir.join(sref.file_name()), SEGMENT_MAGIC)?
+        else {
             return Ok(None);
         };
         let Ok(json) = Json::parse(&payload) else {
@@ -542,34 +633,37 @@ fn read_manifest(
 /// crc-headed file written via a sibling `.tmp`, fsync'd, renamed into
 /// place. (The *manifest* rename ladder on top of this is what makes a
 /// whole checkpoint atomic.)
-fn write_verified(path: &Path, magic: &str, payload: &str) -> Result<(), StoreError> {
+fn write_verified(
+    vfs: &dyn Vfs,
+    path: &Path,
+    magic: &str,
+    payload: &str,
+) -> Result<(), StorageError> {
     let tmp_path = path.with_extension("tmp");
-    let mut tmp = OpenOptions::new()
-        .create(true)
-        .write(true)
-        .truncate(true)
-        .open(&tmp_path)?;
-    tmp.write_all(format!("{magic} crc32={:08x}\n", crc32(payload.as_bytes())).as_bytes())?;
-    tmp.write_all(payload.as_bytes())?;
-    tmp.write_all(b"\n")?;
-    tmp.sync_all()?;
+    let mut tmp = vfs
+        .create_truncate(&tmp_path)
+        .map_err(StorageError::from_io)?;
+    tmp.write_all(format!("{magic} crc32={:08x}\n", crc32(payload.as_bytes())).as_bytes())
+        .map_err(StorageError::from_io)?;
+    tmp.write_all(payload.as_bytes())
+        .map_err(StorageError::from_io)?;
+    tmp.write_all(b"\n").map_err(StorageError::from_io)?;
+    tmp.sync_all().map_err(StorageError::from_io)?;
     drop(tmp);
-    fs::rename(&tmp_path, path)?;
+    vfs.rename(&tmp_path, path).map_err(StorageError::from_io)?;
     Ok(())
 }
 
 /// Reads a crc-headed file; `Ok(None)` when missing or corrupt.
-fn read_verified(path: &Path, magic: &str) -> Result<Option<String>, StoreError> {
-    let mut text = String::new();
-    match File::open(path) {
-        Ok(mut f) => {
-            if f.read_to_string(&mut text).is_err() {
-                return Ok(None);
-            }
-        }
+fn read_verified(vfs: &dyn Vfs, path: &Path, magic: &str) -> Result<Option<String>, StoreError> {
+    let text = match vfs.read(path) {
+        Ok(bytes) => match String::from_utf8(bytes) {
+            Ok(text) => text,
+            Err(_) => return Ok(None),
+        },
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(StoreError::Io(e)),
-    }
+    };
     let Some((header, payload)) = text.split_once('\n') else {
         return Ok(None);
     };
@@ -591,8 +685,8 @@ fn read_verified(path: &Path, magic: &str) -> Result<Option<String>, StoreError>
 
 /// Reads and verifies a legacy monolithic snapshot file; `Ok(None)`
 /// when missing *or* corrupt (the caller falls down the ladder).
-fn read_snapshot(path: &Path) -> Result<Option<EngineImage>, StoreError> {
-    let Some(payload) = read_verified(path, SNAPSHOT_MAGIC)? else {
+fn read_snapshot(vfs: &dyn Vfs, path: &Path) -> Result<Option<EngineImage>, StoreError> {
+    let Some(payload) = read_verified(vfs, path, SNAPSHOT_MAGIC)? else {
         return Ok(None);
     };
     let Ok(json) = Json::parse(&payload) else {
@@ -601,20 +695,11 @@ fn read_snapshot(path: &Path) -> Result<Option<EngineImage>, StoreError> {
     Ok(EngineImage::from_json(&json).ok())
 }
 
-fn remove_if_exists(path: &Path) -> io::Result<()> {
-    match fs::remove_file(path) {
+fn remove_if_exists(vfs: &dyn Vfs, path: &Path) -> io::Result<()> {
+    match vfs.remove_file(path) {
         Ok(()) => Ok(()),
         Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
         Err(e) => Err(e),
-    }
-}
-
-/// Fsyncs a directory so renames within it are durable (best-effort on
-/// platforms where directories cannot be opened).
-fn sync_dir(dir: &Path) -> io::Result<()> {
-    match File::open(dir) {
-        Ok(f) => f.sync_all(),
-        Err(_) => Ok(()),
     }
 }
 

@@ -16,11 +16,13 @@
 //! discarded. A discarded tail is always an *unacknowledged* op, so
 //! dropping it cannot lose acknowledged state.
 
-use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Write};
+use std::fmt;
+use std::io;
 use std::path::{Path, PathBuf};
 
 use concord_json::{Error as JsonError, FromJson, Json, ToJson};
+
+use crate::vfs::{RealVfs, StorageError, Vfs, VfsFile};
 
 /// One logged engine mutation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -139,17 +141,32 @@ pub(crate) fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
-/// An open, append-only WAL file.
-#[derive(Debug)]
+/// An open, append-only WAL file. All I/O goes through the [`Vfs`]
+/// handle chosen at open time.
 pub struct Wal {
-    file: File,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
     next_seq: u64,
 }
 
+impl fmt::Debug for Wal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Wal")
+            .field("path", &self.path)
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
 impl Wal {
-    /// Opens (creating if absent) the WAL at `path` for appending. The
-    /// first appended record gets sequence `next_seq`.
+    /// Opens (creating if absent) the WAL at `path` for appending
+    /// through the real filesystem. The first appended record gets
+    /// sequence `next_seq`.
+    pub fn open_append(path: &Path, next_seq: u64) -> Result<Wal, StorageError> {
+        Wal::open_append_vfs(&RealVfs, path, next_seq)
+    }
+
+    /// Like [`Wal::open_append`] but through an explicit [`Vfs`].
     ///
     /// Any torn tail left by a crash mid-append is truncated first:
     /// appending *after* garbage would bury every new — acknowledged —
@@ -157,20 +174,20 @@ impl Wal {
     /// first undecodable record) could never see it. The discarded
     /// bytes are by construction an unacknowledged partial append, so
     /// truncation cannot lose durable state.
-    pub fn open_append(path: &Path, next_seq: u64) -> io::Result<Wal> {
-        match std::fs::read(path) {
+    pub fn open_append_vfs(vfs: &dyn Vfs, path: &Path, next_seq: u64) -> Result<Wal, StorageError> {
+        match vfs.read(path) {
             Ok(bytes) => {
                 let valid = valid_prefix_len(&bytes);
                 if valid < bytes.len() as u64 {
-                    let f = OpenOptions::new().write(true).open(path)?;
-                    f.set_len(valid)?;
-                    f.sync_data()?;
+                    let mut f = vfs.open_write(path).map_err(StorageError::from_io)?;
+                    f.set_len(valid).map_err(StorageError::from_io)?;
+                    f.sync_data().map_err(StorageError::from_io)?;
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::NotFound => {}
-            Err(e) => return Err(e),
+            Err(e) => return Err(StorageError::from_io(e)),
         }
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let file = vfs.open_append(path).map_err(StorageError::from_io)?;
         Ok(Wal {
             file,
             path: path.to_path_buf(),
@@ -190,7 +207,14 @@ impl Wal {
 
     /// Appends one record and syncs it to disk. Returns the record's
     /// sequence number; the op is durable once this returns `Ok`.
-    pub fn append(&mut self, op: &WalOp) -> io::Result<u64> {
+    ///
+    /// On `Err` the sequence number is *not* consumed, so a retry of
+    /// the same op reuses it. A failed attempt may leave a torn or
+    /// duplicate line behind; replay's torn-tail truncation and
+    /// sequence dedup absorb both, but a caller retrying after a
+    /// mid-write failure should first repair the tail (see
+    /// `StateDir::recover_wal`).
+    pub fn append(&mut self, op: &WalOp) -> Result<u64, StorageError> {
         let seq = self.next_seq;
         let payload = Json::Object(vec![
             ("seq".to_string(), seq.to_json()),
@@ -198,10 +222,23 @@ impl Wal {
         ])
         .render();
         let line = format!("{:08x} {payload}\n", crc32(payload.as_bytes()));
-        self.file.write_all(line.as_bytes())?;
-        self.file.sync_data()?;
+        self.file
+            .write_all(line.as_bytes())
+            .map_err(StorageError::from_io)?;
+        self.file.sync_data().map_err(StorageError::from_io)?;
         self.next_seq += 1;
         Ok(seq)
+    }
+
+    /// Writes nothing but syncs the WAL handle — a cheap probe of
+    /// whether the storage stack is accepting writes again. Used to
+    /// re-probe out of degraded mode without consuming a sequence
+    /// number or risking a torn record.
+    pub fn probe(&mut self) -> Result<(), StorageError> {
+        self.file
+            .write_all(&[])
+            .and_then(|()| self.file.sync_data())
+            .map_err(StorageError::from_io)
     }
 
     /// Reads every intact record from the log at `path`, stopping at the
@@ -209,14 +246,16 @@ impl Wal {
     /// Returns the records plus whether a tail was discarded. A missing
     /// file is an empty log.
     pub fn read_records(path: &Path) -> io::Result<(Vec<WalRecord>, bool)> {
-        let mut bytes = Vec::new();
-        match File::open(path) {
-            Ok(mut f) => {
-                f.read_to_end(&mut bytes)?;
-            }
+        Wal::read_records_vfs(&RealVfs, path)
+    }
+
+    /// Like [`Wal::read_records`] but through an explicit [`Vfs`].
+    pub fn read_records_vfs(vfs: &dyn Vfs, path: &Path) -> io::Result<(Vec<WalRecord>, bool)> {
+        let bytes = match vfs.read(path) {
+            Ok(bytes) => bytes,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), false)),
             Err(e) => return Err(e),
-        }
+        };
         let mut records = Vec::new();
         let mut rest: &[u8] = &bytes;
         loop {
@@ -262,7 +301,12 @@ pub struct TailChunk {
 /// missing file when `offset > 0`) reports `rotated` instead, because
 /// the leader truncates its WAL only when checkpointing.
 pub fn tail_records(path: &Path, offset: u64) -> io::Result<TailChunk> {
-    let bytes = match std::fs::read(path) {
+    tail_records_vfs(&RealVfs, path, offset)
+}
+
+/// Like [`tail_records`] but through an explicit [`Vfs`].
+pub fn tail_records_vfs(vfs: &dyn Vfs, path: &Path, offset: u64) -> io::Result<TailChunk> {
+    let bytes = match vfs.read(path) {
         Ok(bytes) => bytes,
         Err(e) if e.kind() == io::ErrorKind::NotFound => {
             return Ok(TailChunk {

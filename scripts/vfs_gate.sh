@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Gate: the durability layer must do ALL of its filesystem I/O through
+# the `Vfs` trait. A direct `std::fs` / `File` / `OpenOptions` call in
+# wal.rs, store.rs, or image.rs would bypass fault injection and
+# crash-point counting, silently shrinking the crash-exploration
+# surface the storage tests rely on. Test modules sit at the end of
+# each file, so everything from the first `#[cfg(test)]` marker onward
+# is exempt (tests may stage real files to corrupt).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+for f in crates/engine/src/wal.rs crates/engine/src/store.rs \
+         crates/engine/src/image.rs; do
+  hits=$(awk '/#\[cfg\(test\)\]/{exit}
+    /(^|[^A-Za-z0-9_])(std::fs|fs::|File::|OpenOptions)/ {print FILENAME ":" FNR ": " $0}' "$f")
+  if [ -n "$hits" ]; then
+    echo "$hits"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "error: direct filesystem access outside #[cfg(test)] in the durability layer — route it through Vfs" >&2
+  exit 1
+fi
+echo "ok: wal.rs, store.rs, and image.rs touch the filesystem only through Vfs"
